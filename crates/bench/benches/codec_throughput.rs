@@ -1,0 +1,71 @@
+//! Encoder/decoder throughput for every Table I code and the RS baselines.
+//!
+//! The software counterpart of Table V: how expensive each code's
+//! encode / clean-decode / correct paths are per 64-byte-line-equivalent.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use muse_core::{presets, Word};
+use muse_rs::RsMemoryCode;
+use std::hint::black_box;
+
+fn muse_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("muse");
+    for code in [
+        presets::muse_144_132(),
+        presets::muse_80_69(),
+        presets::muse_80_67(),
+        presets::muse_80_70(),
+        presets::muse_268_256(),
+    ] {
+        let payload = Word::mask(code.k_bits()) ^ (Word::from(0x5A5Au64) << 7);
+        let cw = code.encode(&payload);
+        let corrupted = cw ^ *code.symbol_map().mask(1);
+        group.bench_function(format!("{}/encode", code.name()), |b| {
+            b.iter(|| black_box(code.encode(black_box(&payload))))
+        });
+        group.bench_function(format!("{}/decode_clean", code.name()), |b| {
+            b.iter(|| black_box(code.decode(black_box(&cw))))
+        });
+        group.bench_function(format!("{}/decode_correct", code.name()), |b| {
+            b.iter(|| black_box(code.decode(black_box(&corrupted))))
+        });
+    }
+    group.finish();
+}
+
+fn rs_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs");
+    for (s, n) in [(8u32, 144u32), (8, 80), (5, 144)] {
+        let code = RsMemoryCode::new(s, n, 1).expect("geometry");
+        let payload = Word::mask(code.data_bits());
+        let cw = code.encode(&payload);
+        let corrupted = cw ^ (Word::from(0x3u64) << 40);
+        group.bench_function(format!("{}/encode", code.name()), |b| {
+            b.iter(|| black_box(code.encode(black_box(&payload))))
+        });
+        group.bench_function(format!("{}/decode_clean", code.name()), |b| {
+            b.iter(|| black_box(code.decode(black_box(&cw))))
+        });
+        group.bench_function(format!("{}/decode_correct", code.name()), |b| {
+            b.iter(|| black_box(code.decode(black_box(&corrupted))))
+        });
+    }
+    group.finish();
+}
+
+fn erasure_recovery(c: &mut Criterion) {
+    let code = presets::muse_80_69();
+    let payload = Word::from(0x0123_4567_89ABu64);
+    let cw = code.encode(&payload);
+    let corrupted = cw ^ *code.symbol_map().mask(4) ^ *code.symbol_map().mask(5);
+    c.bench_function("muse/erasure_pair_recovery", |b| {
+        b.iter_batched(
+            || corrupted,
+            |w| black_box(code.recover_erasures(&w, &[4, 5])),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, muse_codecs, rs_codecs, erasure_recovery);
+criterion_main!(benches);

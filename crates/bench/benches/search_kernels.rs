@@ -1,0 +1,56 @@
+//! Kernels of the offline tooling: multiplier validation (the inner loop of
+//! Algorithm 1), error-value enumeration, fast modulo vs long division, and
+//! Booth recoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_core::{
+    enumerate_error_values, validate_multiplier_over, Direction, ErrorModel, FastMod,
+    SymbolMap, Word,
+};
+use std::hint::black_box;
+
+fn enumeration(c: &mut Criterion) {
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    let map144 = SymbolMap::sequential(144, 4).expect("layout");
+    c.bench_function("enumerate/144b_c4b", |b| {
+        b.iter(|| black_box(enumerate_error_values(black_box(&map144), &model)))
+    });
+    let map80 = SymbolMap::interleaved(80, 10).expect("layout");
+    let asym = ErrorModel::symbol(Direction::OneToZero);
+    c.bench_function("enumerate/80b_c8a_shuffled", |b| {
+        b.iter(|| black_box(enumerate_error_values(black_box(&map80), &asym)))
+    });
+}
+
+fn validation(c: &mut Criterion) {
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    let map = SymbolMap::sequential(144, 4).expect("layout");
+    let values = enumerate_error_values(&map, &model);
+    c.bench_function("validate/144b_good_multiplier", |b| {
+        b.iter(|| black_box(validate_multiplier_over(black_box(&values), 4065)))
+    });
+    c.bench_function("validate/144b_bad_multiplier", |b| {
+        b.iter(|| black_box(validate_multiplier_over(black_box(&values), 4067)))
+    });
+}
+
+fn modulo(c: &mut Criterion) {
+    let fm = FastMod::minimal(4065, 144).expect("constants");
+    let x = Word::mask(144) ^ (Word::from(0xABCDEFu64) << 60);
+    c.bench_function("modulo/lemire_fastmod_144b", |b| {
+        b.iter(|| black_box(fm.rem(black_box(&x))))
+    });
+    c.bench_function("modulo/horner_division_144b", |b| {
+        b.iter(|| black_box(black_box(&x).rem_u64(4065)))
+    });
+}
+
+fn booth(c: &mut Criterion) {
+    let inverse = *FastMod::minimal(4065, 144).expect("constants").inverse();
+    c.bench_function("booth/recode_145bit_inverse", |b| {
+        b.iter(|| black_box(muse_hw::BoothEncoding::of(black_box(&inverse))))
+    });
+}
+
+criterion_group!(benches, enumeration, validation, modulo, booth);
+criterion_main!(benches);

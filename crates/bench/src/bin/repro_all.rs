@@ -1,0 +1,33 @@
+//! Runs every experiment binary in sequence (the full reproduction pass).
+//!
+//! `cargo run --release -p muse-bench --bin repro_all`
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1",
+        "appendix_search",
+        "fig1b",
+        "table3",
+        "table4",
+        "table5",
+        "fig6",
+        "fig7",
+        "pim",
+        "rowhammer",
+        "fit",
+        "ablation",
+        "ondie",
+    ];
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,65 @@
+//! Plain-text table rendering for experiment output.
+
+/// Prints an aligned table with a title, header row, and data rows.
+///
+/// # Examples
+///
+/// ```
+/// muse_bench::print_table(
+///     "Demo",
+///     &["code", "m"],
+///     &[vec!["MUSE(80,69)".into(), "2005".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    render(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        render(row);
+    }
+}
+
+/// An ASCII bar for quick-look histograms: `#` per unit, scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table("t", &["a", "b"], &[vec!["1".into(), "22".into()]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness: shared runners and formatting for the binaries that
+//! regenerate every table and figure of the paper.
+//!
+//! Each `src/bin/*.rs` target reproduces one artifact (run with
+//! `--release`):
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1` | Table I — code parameters via multiplier search |
+//! | `appendix_search` | Appendix F — full multiplier lists |
+//! | `fig1b` | Figure 1(b) — error-value histograms |
+//! | `table3` | Table III — fast-modulo inverse constants |
+//! | `table4` | Table IV — MSED rates vs extra bits |
+//! | `table5` | Table V — VLSI cost model |
+//! | `fig6` | Figure 6 — ECC latency slowdowns on SPEC-shaped workloads |
+//! | `fig7` | Figure 7 + Table VI — memory tagging study |
+//! | `pim` | Section VI-B — the MUSE(268,256) PIM code |
+//! | `rowhammer` | Section VI-A — hash-protected lines vs Rowhammer |
+//! | `fit` | extension — FIT-rate projection over field failure modes |
+//! | `ablation` | extension — design-choice ablations |
+//! | `ondie` | extension — on-die SEC × rank MUSE co-design |
+//! | `repro_all` | Everything above in sequence |
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;
+pub use format::{bar, print_table};

@@ -1,0 +1,344 @@
+//! `muse-tool`: a command-line interface to the MUSE ECC library.
+//!
+//! Subcommands:
+//!
+//! * `presets` — list the built-in codes.
+//! * `inspect <preset>` — parameters, ELC size, detection headroom.
+//! * `encode <preset> <hex-data> [--meta <hex>]` — produce a codeword.
+//! * `decode <preset> <hex-codeword>` — decode/correct a codeword.
+//! * `search --bits N [--symbol S] [--redundancy R] [--interleaved]
+//!   [--asym] [--single-bit] [--limit K]` — run Algorithm 1.
+//! * `msed <preset> [--trials N] [--devices K]` — Monte-Carlo detection
+//!   rate.
+//!
+//! The command layer is a plain function from parsed arguments to a
+//! [`String`], so every path is unit-testable without spawning processes.
+
+use muse_core::analysis::remainder_profile;
+use muse_core::{
+    presets, CodeBuilder, Decoded, MuseCode, SearchOptions, Shuffle, Word,
+};
+use muse_faultsim::{muse_msed, MsedConfig};
+
+/// Error surfaced to the CLI user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+muse-tool — residue codes for modern memories
+
+USAGE:
+  muse-tool presets
+  muse-tool inspect <preset>
+  muse-tool encode <preset> <hex-data> [--meta <hex>]
+  muse-tool decode <preset> <hex-codeword>
+  muse-tool search --bits <n> [--symbol <s>] [--redundancy <r>]
+                   [--interleaved] [--asym] [--single-bit] [--limit <k>]
+  muse-tool msed <preset> [--trials <n>] [--devices <k>]
+  muse-tool verilog <preset> [--syndrome-only|--corrector]
+  muse-tool spec <preset>
+
+PRESETS: muse144_132 muse80_69 muse80_67 muse80_70 muse268_256 muse144_128";
+
+/// Resolves a preset name.
+pub fn preset(name: &str) -> Result<MuseCode, CliError> {
+    match name {
+        "muse144_132" => Ok(presets::muse_144_132()),
+        "muse80_69" => Ok(presets::muse_80_69()),
+        "muse80_67" => Ok(presets::muse_80_67()),
+        "muse80_70" => Ok(presets::muse_80_70()),
+        "muse268_256" => Ok(presets::muse_268_256()),
+        "muse144_128" => Ok(presets::muse_144_128()),
+        other => Err(err(format!("unknown preset {other:?}; try `muse-tool presets`"))),
+    }
+}
+
+/// Runs one parsed command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for any invalid
+/// invocation.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
+        Some("presets") => Ok([
+            "muse144_132  DDR4 x4 ChipKill, m=4065, 4 spare bits over 2x64b",
+            "muse80_69    DDR5 x4 ChipKill, m=2005, 5 spare bits",
+            "muse80_67    DDR5 x8 retention (C8A), m=5621, 3 spare bits",
+            "muse80_70    hybrid C4A_U1B, m=821, 6 spare bits",
+            "muse268_256  PIM/HBM2, m=3621, 12 check bits",
+            "muse144_128  max-detection variant, m=65519",
+        ]
+        .join("\n")),
+        Some("inspect") => {
+            let code = preset(it.next().ok_or_else(|| err("inspect needs a preset"))?)?;
+            let profile = remainder_profile(&code);
+            Ok(format!(
+                "{name}\n  class        {class}\n  multiplier   {m}\n  n/k/r        {n}/{k}/{r} bits\n  devices      {devs} x{s}\n  spare bits   {spare}\n  ELC entries  {elc}\n  headroom     {head:.1}% of remainders unused",
+                name = code.name(),
+                class = code.class_name(),
+                m = code.multiplier(),
+                n = code.n_bits(),
+                k = code.k_bits(),
+                r = code.r_bits(),
+                devs = code.symbol_map().num_symbols(),
+                s = code.symbol_map().bits_of(0).len(),
+                spare = code.spare_bits(),
+                elc = code.elc().len(),
+                head = 100.0 * profile.headroom,
+            ))
+        }
+        Some("encode") => {
+            let code = preset(it.next().ok_or_else(|| err("encode needs a preset"))?)?;
+            let data = parse_hex(it.next().ok_or_else(|| err("encode needs hex data"))?)?;
+            let rest: Vec<&str> = it.collect();
+            let meta = match flag_value(&rest, "--meta")? {
+                Some(v) => parse_hex(v)?.to_u64().ok_or_else(|| err("metadata too wide"))?,
+                None => 0,
+            };
+            let payload = if meta != 0 || code.spare_bits() > 0 && data.bit_len() <= 64 {
+                let d = data.to_u64().ok_or_else(|| err("data wider than 64 bits; omit --meta and pass a full payload"))?;
+                code.pack_metadata(d, meta)
+            } else {
+                data
+            };
+            if payload.bit_len() > code.k_bits() {
+                return Err(err(format!("payload exceeds {} bits", code.k_bits())));
+            }
+            Ok(format!("{:#x}", code.encode(&payload)))
+        }
+        Some("decode") => {
+            let code = preset(it.next().ok_or_else(|| err("decode needs a preset"))?)?;
+            let cw = parse_hex(it.next().ok_or_else(|| err("decode needs a hex codeword"))?)?;
+            if cw.bit_len() > code.n_bits() {
+                return Err(err(format!("codeword exceeds {} bits", code.n_bits())));
+            }
+            Ok(match code.decode(&cw) {
+                Decoded::Clean { payload } => format!("clean: payload {payload:#x}"),
+                Decoded::Corrected { payload, symbol, error } => {
+                    format!("corrected device {symbol} (error {error}): payload {payload:#x}")
+                }
+                Decoded::Detected => "UNCORRECTABLE: multi-device error detected".to_string(),
+            })
+        }
+        Some("search") => {
+            let rest: Vec<&str> = it.collect();
+            let bits: u32 = require_parsed(&rest, "--bits")?;
+            let symbol: u32 = parse_or(&rest, "--symbol", 4)?;
+            let redundancy: u32 = parse_or(&rest, "--redundancy", 12)?;
+            let limit: usize = parse_or(&rest, "--limit", 0)?;
+            let mut builder = CodeBuilder::new(bits)
+                .symbol_bits(symbol)
+                .redundancy_bits(redundancy)
+                .search_options(SearchOptions { threads: 0, limit });
+            if has_flag(&rest, "--interleaved") {
+                builder = builder.shuffle(Shuffle::Interleaved);
+            }
+            if has_flag(&rest, "--asym") {
+                builder = builder.direction(muse_core::Direction::OneToZero);
+            }
+            if has_flag(&rest, "--single-bit") {
+                builder = builder.with_single_bit_errors(muse_core::Direction::Bidirectional);
+            }
+            let map = builder.layout().map_err(|e| err(e.to_string()))?;
+            let model = builder.model();
+            let found = muse_core::find_multipliers(
+                &map,
+                &model,
+                redundancy,
+                SearchOptions { threads: 0, limit },
+            );
+            if found.is_empty() {
+                Ok(format!(
+                    "no valid {redundancy}-bit multiplier for {bits}b/{symbol}-bit {}",
+                    model.name(symbol)
+                ))
+            } else {
+                Ok(format!(
+                    "{} multiplier(s) for {bits}b/{symbol}-bit {}: {found:?}",
+                    found.len(),
+                    model.name(symbol)
+                ))
+            }
+        }
+        Some("verilog") => {
+            let code = preset(it.next().ok_or_else(|| err("verilog needs a preset"))?)?;
+            let rest: Vec<&str> = it.collect();
+            let name = code.name().replace(['(', ')'], "_").replace(',', "_").to_lowercase();
+            if has_flag(&rest, "--syndrome-only") {
+                Ok(muse_hw::emit_remainder_module(&code, &format!("{name}rem")))
+            } else if has_flag(&rest, "--corrector") {
+                Ok(muse_hw::emit_corrector_module(&code, &format!("{name}corr")))
+            } else {
+                Ok(muse_hw::emit_encoder_module(&code, &format!("{name}enc")))
+            }
+        }
+        Some("spec") => {
+            let code = preset(it.next().ok_or_else(|| err("spec needs a preset"))?)?;
+            Ok(code.to_spec_string())
+        }
+        Some("msed") => {
+            let code = preset(it.next().ok_or_else(|| err("msed needs a preset"))?)?;
+            let rest: Vec<&str> = it.collect();
+            let trials: u64 = parse_or(&rest, "--trials", 10_000)?;
+            let devices: usize = parse_or(&rest, "--devices", 2)?;
+            let stats = muse_msed(
+                &code,
+                MsedConfig { trials, failing_devices: devices, ..MsedConfig::default() },
+            );
+            Ok(format!(
+                "{}: {:.2}% of {} {}-device errors detected ({} miscorrected, {} silent)",
+                code.name(),
+                stats.detection_rate(),
+                trials,
+                devices,
+                stats.miscorrected,
+                stats.silent
+            ))
+        }
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn parse_hex(s: &str) -> Result<Word, CliError> {
+    let trimmed = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    Word::from_str_radix(trimmed, 16).map_err(|e| err(format!("bad hex {s:?}: {e}")))
+}
+
+fn flag_value<'a>(rest: &[&'a str], flag: &str) -> Result<Option<&'a str>, CliError> {
+    match rest.iter().position(|&a| a == flag) {
+        None => Ok(None),
+        Some(i) => rest
+            .get(i + 1)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| err(format!("{flag} needs a value"))),
+    }
+}
+
+fn has_flag(rest: &[&str], flag: &str) -> bool {
+    rest.contains(&flag)
+}
+
+fn require_parsed<T: std::str::FromStr>(rest: &[&str], flag: &str) -> Result<T, CliError> {
+    let v = flag_value(rest, flag)?.ok_or_else(|| err(format!("{flag} is required")))?;
+    v.parse().map_err(|_| err(format!("{flag}: cannot parse {v:?}")))
+}
+
+fn parse_or<T: std::str::FromStr>(rest: &[&str], flag: &str, default: T) -> Result<T, CliError> {
+    match flag_value(rest, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("{flag}: cannot parse {v:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(line: &str) -> Result<String, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn help_and_presets() {
+        assert!(run_str("help").unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run_str("presets").unwrap().contains("muse80_69"));
+    }
+
+    #[test]
+    fn inspect_shows_parameters() {
+        let out = run_str("inspect muse80_69").unwrap();
+        assert!(out.contains("MUSE(80,69)"));
+        assert!(out.contains("2005"));
+        assert!(out.contains("C4B"));
+        assert!(run_str("inspect nope").is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cw = run_str("encode muse80_69 0xDEADBEEF --meta 0x1F").unwrap();
+        let out = run_str(&format!("decode muse80_69 {cw}")).unwrap();
+        assert!(out.starts_with("clean:"), "{out}");
+
+        // Corrupt one device and decode again.
+        let word = parse_hex(&cw).unwrap();
+        let code = preset("muse80_69").unwrap();
+        let corrupted = word ^ *code.symbol_map().mask(7);
+        let out = run_str(&format!("decode muse80_69 {corrupted:#x}")).unwrap();
+        assert!(out.starts_with("corrected device 7"), "{out}");
+    }
+
+    #[test]
+    fn decode_flags_uncorrectable() {
+        let cw = run_str("encode muse80_69 0x1").unwrap();
+        let word = parse_hex(&cw).unwrap();
+        let code = preset("muse80_69").unwrap();
+        let corrupted = word ^ *code.symbol_map().mask(1) ^ *code.symbol_map().mask(9);
+        let out = run_str(&format!("decode muse80_69 {corrupted:#x}")).unwrap();
+        assert!(out.contains("UNCORRECTABLE"), "{out}");
+    }
+
+    #[test]
+    fn search_finds_table1_values() {
+        let out = run_str("search --bits 80 --symbol 4 --redundancy 11").unwrap();
+        assert!(out.contains("2005"), "{out}");
+        let out = run_str("search --bits 80 --symbol 8 --redundancy 13 --asym").unwrap();
+        assert!(out.contains("no valid"), "{out}");
+        let out =
+            run_str("search --bits 80 --symbol 8 --redundancy 13 --asym --interleaved").unwrap();
+        assert!(out.contains("5621"), "{out}");
+    }
+
+    #[test]
+    fn msed_reports_rate() {
+        let out = run_str("msed muse80_69 --trials 500").unwrap();
+        assert!(out.contains("% of 500 2-device errors detected"), "{out}");
+    }
+
+    #[test]
+    fn verilog_and_spec_subcommands() {
+        let v = run_str("verilog muse80_69").unwrap();
+        assert!(v.contains("module muse_80_69_enc"));
+        let v = run_str("verilog muse80_69 --syndrome-only").unwrap();
+        assert!(v.contains("remainder"));
+        assert!(!v.contains("_enc ("));
+        let v = run_str("verilog muse80_69 --corrector").unwrap();
+        assert!(v.contains("uncorrectable"));
+        assert_eq!(v.matches(": begin err_val").count(), 600); // 20 devices x 30
+        let s = run_str("spec muse80_67").unwrap();
+        assert!(s.contains("multiplier 5621"));
+        // The printed spec loads back into an identical code.
+        let code = muse_core::MuseCode::from_spec_string(&s).unwrap();
+        assert_eq!(code.multiplier(), 5621);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run_str("encode muse80_69").is_err());
+        assert!(run_str("encode muse80_69 zzz").is_err());
+        assert!(run_str("decode muse80_69").is_err());
+        assert!(run_str("search --symbol 4").is_err()); // --bits required
+        assert!(run_str("bogus").is_err());
+        // Oversized inputs rejected.
+        let too_wide = format!("decode muse80_69 0x{}", "f".repeat(30));
+        assert!(run_str(&too_wide).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Field-reliability projection: FIT-rate accounting over published DRAM
+//! failure modes (an extension beyond the paper's evaluation; the per-mode
+//! rates follow the shape of large-scale field studies à la Sridharan et
+//! al., not any specific deployment).
+//!
+//! A failure mode is a *pattern generator* (how a fault corrupts a
+//! codeword) plus a *rate* (FIT per device = failures per 10⁹ device-
+//! hours). For each mode the Monte-Carlo engine measures the probability
+//! that the code corrects / detects / miscorrects the resulting word
+//! errors, and the projection combines them into DIMM-level rates of
+//! detected-uncorrectable errors (DUE) and silent data corruptions (SDC).
+
+use muse_core::{Decoded, MuseCode};
+
+use crate::{random_payload, Rng};
+
+/// A DRAM device failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// One stuck/flipped bit in one device.
+    SingleBit,
+    /// A multi-bit fault confined to one device (row/column/sense-amp).
+    SingleDeviceMultiBit,
+    /// An entire device returns garbage (chip kill).
+    WholeDevice,
+    /// Two independent devices fault in the same word (the rare
+    /// overlapping-fault case a single-symbol-correct code cannot fix).
+    TwoDevices,
+}
+
+impl FailureMode {
+    /// Representative field rate, FIT per device.
+    ///
+    /// Shaped after published field studies: single-bit faults dominate;
+    /// whole-chip faults are rare; overlapping faults are derived from the
+    /// others (see [`FitProjection`]) and given here as a per-word residual.
+    pub fn fit_per_device(self) -> f64 {
+        match self {
+            Self::SingleBit => 35.0,
+            Self::SingleDeviceMultiBit => 20.0,
+            Self::WholeDevice => 5.0,
+            Self::TwoDevices => 0.05,
+        }
+    }
+
+    /// All modes.
+    pub fn all() -> [FailureMode; 4] {
+        [Self::SingleBit, Self::SingleDeviceMultiBit, Self::WholeDevice, Self::TwoDevices]
+    }
+}
+
+/// Measured per-mode outcome probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeOutcome {
+    /// The mode.
+    pub mode: FailureMode,
+    /// P(corrected back to the right data).
+    pub p_correct: f64,
+    /// P(detected uncorrectable).
+    pub p_due: f64,
+    /// P(silent corruption or miscorrection).
+    pub p_sdc: f64,
+}
+
+/// Monte-Carlo per-mode outcome measurement for a MUSE code.
+pub fn measure_mode(code: &MuseCode, mode: FailureMode, trials: u64, seed: u64) -> ModeOutcome {
+    let mut rng = Rng::seeded(seed ^ 0xF17);
+    let n_sym = code.symbol_map().num_symbols();
+    let mut correct = 0u64;
+    let mut due = 0u64;
+    let mut sdc = 0u64;
+    for _ in 0..trials {
+        let payload = random_payload(&mut rng, code.k_bits());
+        let cw = code.encode(&payload);
+        let mut corrupted = cw;
+        match mode {
+            FailureMode::SingleBit => {
+                let sym = rng.below(n_sym as u64) as usize;
+                let bits = code.symbol_map().bits_of(sym);
+                corrupted.toggle_bit(bits[rng.below(bits.len() as u64) as usize]);
+            }
+            FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
+                let sym = rng.below(n_sym as u64) as usize;
+                let bits = code.symbol_map().bits_of(sym);
+                let pattern = if mode == FailureMode::WholeDevice {
+                    rng.nonzero_below(1 << bits.len())
+                } else {
+                    // 2..all bits of the device
+                    rng.nonzero_below((1 << bits.len()) - 1) + 1
+                };
+                for (i, &bit) in bits.iter().enumerate() {
+                    if pattern >> i & 1 == 1 {
+                        corrupted.toggle_bit(bit);
+                    }
+                }
+            }
+            FailureMode::TwoDevices => {
+                for sym in rng.choose_k(n_sym, 2) {
+                    let bits = code.symbol_map().bits_of(sym);
+                    let pattern = rng.nonzero_below(1 << bits.len());
+                    for (i, &bit) in bits.iter().enumerate() {
+                        if pattern >> i & 1 == 1 {
+                            corrupted.toggle_bit(bit);
+                        }
+                    }
+                }
+            }
+        }
+        match code.decode(&corrupted) {
+            Decoded::Detected => due += 1,
+            Decoded::Clean { payload: p } | Decoded::Corrected { payload: p, .. } => {
+                if p == payload {
+                    correct += 1;
+                } else {
+                    sdc += 1;
+                }
+            }
+        }
+    }
+    let t = trials as f64;
+    ModeOutcome {
+        mode,
+        p_correct: correct as f64 / t,
+        p_due: due as f64 / t,
+        p_sdc: sdc as f64 / t,
+    }
+}
+
+/// DIMM-level projection.
+#[derive(Debug, Clone)]
+pub struct FitProjection {
+    /// Per-mode measured outcomes.
+    pub outcomes: Vec<ModeOutcome>,
+    /// Detected-uncorrectable FIT per DIMM.
+    pub due_fit: f64,
+    /// Silent-corruption FIT per DIMM.
+    pub sdc_fit: f64,
+}
+
+/// Projects DIMM-level DUE/SDC FIT rates for a code with `devices` DRAM
+/// chips, weighting each mode's measured outcome by its field rate.
+pub fn project_fit(code: &MuseCode, devices: u32, trials: u64, seed: u64) -> FitProjection {
+    let mut outcomes = Vec::new();
+    let mut due_fit = 0.0;
+    let mut sdc_fit = 0.0;
+    for mode in FailureMode::all() {
+        let outcome = measure_mode(code, mode, trials, seed ^ mode as u64);
+        let rate = mode.fit_per_device() * devices as f64;
+        due_fit += rate * outcome.p_due;
+        sdc_fit += rate * outcome.p_sdc;
+        outcomes.push(outcome);
+    }
+    FitProjection { outcomes, due_fit, sdc_fit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::presets;
+
+    #[test]
+    fn in_model_modes_always_correct() {
+        let code = presets::muse_144_132();
+        for mode in [
+            FailureMode::SingleBit,
+            FailureMode::SingleDeviceMultiBit,
+            FailureMode::WholeDevice,
+        ] {
+            let o = measure_mode(&code, mode, 400, 11);
+            assert_eq!(o.p_correct, 1.0, "{mode:?}");
+            assert_eq!(o.p_due + o.p_sdc, 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn two_device_mode_splits_due_and_sdc() {
+        let code = presets::muse_144_132();
+        let o = measure_mode(&code, FailureMode::TwoDevices, 2_000, 13);
+        assert_eq!(o.p_correct, 0.0, "two-device errors never restore data");
+        assert!(o.p_due > 0.8, "most are detected: {}", o.p_due);
+        assert!(o.p_sdc < 0.2);
+        assert!((o.p_due + o.p_sdc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_dominated_by_overlap_residual() {
+        // A ChipKill code's DUE/SDC FIT comes only from the overlap mode.
+        let proj = project_fit(&presets::muse_144_132(), 36, 800, 17);
+        assert!(proj.due_fit > 0.0);
+        assert!(proj.due_fit < 36.0 * 0.05 * 1.01, "bounded by the overlap rate");
+        assert!(proj.sdc_fit < proj.due_fit);
+        assert_eq!(proj.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn stronger_code_has_lower_sdc_fit() {
+        let weak = project_fit(&presets::muse_144_132(), 36, 2_000, 23);
+        let strong = project_fit(&presets::muse_144_128(), 36, 2_000, 23);
+        assert!(strong.sdc_fit < weak.sdc_fit, "m=65519 detects more than m=4065");
+    }
+}

@@ -1,0 +1,50 @@
+//! Monte-Carlo fault injection for MUSE and Reed-Solomon memory codes.
+//!
+//! Four pieces:
+//!
+//! * [`Rng`] — a deterministic in-tree xoshiro256++ so every experiment is
+//!   reproducible bit-for-bit.
+//! * [`muse_msed`] / [`rs_msed`] — the multi-symbol error detection (MSED)
+//!   simulator behind the paper's Table IV.
+//! * [`simulate_attacks`] — the Section VI-A case study: 40-bit line hashes in
+//!   MUSE spare bits vs blind bit-flip attacks.
+//! * [`simulate_retention`] — the Section III-C asymmetric (1→0) retention-error
+//!   model and refresh-interval sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use muse_core::presets;
+//! use muse_faultsim::{muse_msed, MsedConfig};
+//!
+//! // Reproduce one Table IV cell (reduced trial count for speed):
+//! let stats = muse_msed(&presets::muse_144_132(), MsedConfig {
+//!     trials: 1_000,
+//!     ..MsedConfig::default()
+//! });
+//! println!("MSED = {:.2}%", stats.detection_rate()); // paper: 86.71%
+//! ```
+
+mod fit;
+mod msed;
+mod ondie;
+mod retention;
+mod rng;
+mod scrub;
+mod rowhammer;
+
+pub use fit::{measure_mode, project_fit, FailureMode, FitProjection, ModeOutcome};
+pub use ondie::{simulate_stack, OndieStats, Stack};
+pub use msed::{
+    muse_msed, random_payload, rs_msed, MsedConfig, MsedStats, Outcome, RsDetectMode,
+};
+pub use retention::{
+    analytic_uncorrectable_probability, relative_refresh_power, simulate_retention,
+    sweep_refresh_intervals, RetentionModel, RetentionStats, SweepPoint,
+};
+pub use rng::Rng;
+pub use scrub::{analytic_overlap_probability, simulate_scrubbing, ScrubConfig, ScrubStats};
+pub use rowhammer::{
+    simulate_attacks, AttackStats, HashedLine, LineError, LineHasher, HASH_BITS,
+    WORDS_PER_LINE,
+};

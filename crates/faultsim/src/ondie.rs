@@ -1,0 +1,224 @@
+//! On-die ECC + rank-level MUSE co-design (the paper's stated future work:
+//! "the investigation of MUSE co-design with on-die ECC is an interesting
+//! topic for future work").
+//!
+//! Model: each DRAM device internally protects 128-bit words with a DDR5-
+//! style Hamming SEC code (8 check bits, no double-error detection). A
+//! rank-level codeword draws `s` bits from each device. Retention faults
+//! strike cells independently; the on-die code heals or *miscorrects*
+//! inside each device before the rank-level code (MUSE or none) sees the
+//! result.
+//!
+//! The interesting interaction: on-die SEC removes most single-cell faults
+//! (so the rank code's single-device budget is spent on real multi-bit
+//! events), but a double fault inside one on-die word can be *miscorrected
+//! into a third bit*, turning 2 bad cells into 3 — still device-confined,
+//! so ChipKill-class rank codes clean it up, while a rank-less system
+//! silently corrupts.
+
+use muse_core::{Decoded, MuseCode};
+use muse_secded::{SecDecoded, SecDed, Word};
+
+use crate::{random_payload, Rng};
+
+/// Which protections are stacked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// No ECC at all (baseline).
+    None,
+    /// On-die SEC inside each device only.
+    OnDieOnly,
+    /// Rank-level MUSE only.
+    RankOnly,
+    /// Both: on-die first, then the rank code.
+    Stacked,
+}
+
+/// Outcome tallies for one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OndieStats {
+    /// Rank words delivered intact.
+    pub intact: u64,
+    /// Rank words flagged uncorrectable (DUE).
+    pub due: u64,
+    /// Rank words silently wrong (SDC).
+    pub sdc: u64,
+}
+
+impl OndieStats {
+    /// Total words simulated.
+    pub fn total(&self) -> u64 {
+        self.intact + self.due + self.sdc
+    }
+
+    /// Silent-corruption rate.
+    pub fn sdc_rate(&self) -> f64 {
+        self.sdc as f64 / self.total() as f64
+    }
+
+    /// Uncorrectable rate.
+    pub fn due_rate(&self) -> f64 {
+        self.due as f64 / self.total() as f64
+    }
+}
+
+/// Simulates `words` rank-level reads at per-cell fault probability
+/// `cell_p`, with the given protection stack.
+///
+/// The rank code's devices each contribute their symbol bits from an
+/// independent on-die word; faults hit the full on-die word, and the
+/// rank-visible bits inherit whatever the on-die decode leaves behind.
+///
+/// # Panics
+///
+/// Panics if `rank_code` is needed by the stack but `None` was passed.
+pub fn simulate_stack(
+    stack: Stack,
+    rank_code: Option<&MuseCode>,
+    cell_p: f64,
+    words: u64,
+    seed: u64,
+) -> OndieStats {
+    let ondie = SecDed::hamming_sec(136, 128).expect("DDR5 on-die geometry");
+    let mut rng = Rng::seeded(seed ^ 0x0D1E);
+    let mut stats = OndieStats::default();
+    let code = rank_code.filter(|_| matches!(stack, Stack::RankOnly | Stack::Stacked));
+    if matches!(stack, Stack::RankOnly | Stack::Stacked) {
+        assert!(code.is_some(), "stack {stack:?} needs a rank code");
+    }
+
+    for _ in 0..words {
+        // Rank-level payload and codeword (or raw data when no rank code).
+        let (payload, rank_word, n_bits, map) = match code {
+            Some(c) => {
+                let payload = random_payload(&mut rng, c.k_bits());
+                (payload, c.encode(&payload), c.n_bits(), Some(c.symbol_map()))
+            }
+            None => {
+                let data = random_payload(&mut rng, 64);
+                (data, data, 64, None)
+            }
+        };
+
+        // Each device's rank-visible bits live inside an independent
+        // on-die word at a random offset.
+        let mut delivered = rank_word;
+        let num_devices = map.map_or(16, |m| m.num_symbols());
+        for dev in 0..num_devices {
+            let bits: Vec<u32> = match map {
+                Some(m) => m.bits_of(dev).to_vec(),
+                None => (0..4).map(|i| (dev as u32 * 4 + i) % n_bits).collect(),
+            };
+            // Build the on-die word: our bits at offset 0..s, the rest of
+            // the 128 data bits random (other rank words' data).
+            let mut ondie_data = random_payload(&mut rng, 128);
+            for (i, &bit) in bits.iter().enumerate() {
+                ondie_data.set_bit(i as u32, rank_word.bit(bit));
+            }
+            let stored = ondie.encode(&ondie_data);
+            // Retention faults on the stored 136 bits.
+            let mut faulty = stored;
+            let mut any = false;
+            for b in 0..136 {
+                if rng.chance(cell_p) {
+                    faulty.toggle_bit(b);
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let after: Word = if matches!(stack, Stack::OnDieOnly | Stack::Stacked) {
+                match ondie.decode(&faulty) {
+                    SecDecoded::Clean { data } | SecDecoded::Corrected { data, .. } => data,
+                    // On-die SEC has no detection signaling to the
+                    // controller: an unmapped syndrome passes the raw word.
+                    SecDecoded::Detected => faulty >> ondie.r_bits(),
+                }
+            } else {
+                faulty >> ondie.r_bits()
+            };
+            for (i, &bit) in bits.iter().enumerate() {
+                delivered.set_bit(bit, after.bit(i as u32));
+            }
+        }
+
+        // Rank-level decode (or raw delivery).
+        match code {
+            Some(c) => match c.decode(&delivered) {
+                Decoded::Detected => stats.due += 1,
+                d => {
+                    if d.payload() == Some(payload) {
+                        stats.intact += 1;
+                    } else {
+                        stats.sdc += 1;
+                    }
+                }
+            },
+            None => {
+                if delivered == payload {
+                    stats.intact += 1;
+                } else {
+                    stats.sdc += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::presets;
+
+    const P: f64 = 2e-3; // accelerated fault rate for test speed
+
+    #[test]
+    fn no_protection_corrupts_silently() {
+        let stats = simulate_stack(Stack::None, None, P, 1_500, 1);
+        assert!(stats.sdc > 0, "raw words must corrupt");
+        assert_eq!(stats.due, 0, "nothing detects");
+    }
+
+    #[test]
+    fn ondie_alone_reduces_but_does_not_eliminate_sdc() {
+        let none = simulate_stack(Stack::None, None, P, 1_500, 2);
+        let ondie = simulate_stack(Stack::OnDieOnly, None, P, 1_500, 2);
+        assert!(ondie.sdc < none.sdc, "on-die SEC heals most single-cell faults");
+        assert!(ondie.sdc > 0, "double faults still leak (or miscorrect)");
+    }
+
+    #[test]
+    fn stacked_beats_everything() {
+        let code = presets::muse_144_132();
+        let rank = simulate_stack(Stack::RankOnly, Some(&code), P, 1_000, 3);
+        let stacked = simulate_stack(Stack::Stacked, Some(&code), P, 1_000, 3);
+        assert!(stacked.sdc <= rank.sdc);
+        assert!(stacked.due <= rank.due, "on-die pre-correction removes rank DUEs");
+        assert!(stacked.intact >= rank.intact);
+    }
+
+    #[test]
+    fn rank_code_handles_ondie_miscorrections() {
+        // On-die double faults miscorrect into a third bit — still
+        // device-confined, so the rank code mops them up. (Simultaneous
+        // residuals in *two* devices exceed ChipKill and become DUEs, so
+        // the fault rate here keeps multi-device coincidences rare.)
+        let code = presets::muse_144_132();
+        let stacked = simulate_stack(Stack::Stacked, Some(&code), 1e-3, 1_200, 4);
+        let intact_rate = stacked.intact as f64 / stacked.total() as f64;
+        assert!(intact_rate > 0.9, "stack survives: {stacked:?}");
+        assert!(stacked.sdc * 50 < stacked.total(), "SDC stays rare: {stacked:?}");
+    }
+
+    #[test]
+    fn zero_fault_rate_is_perfect() {
+        let code = presets::muse_144_132();
+        for stack in [Stack::None, Stack::OnDieOnly, Stack::RankOnly, Stack::Stacked] {
+            let rank = matches!(stack, Stack::RankOnly | Stack::Stacked).then_some(&code);
+            let stats = simulate_stack(stack, rank, 0.0, 100, 5);
+            assert_eq!(stats.intact, 100, "{stack:?}");
+        }
+    }
+}

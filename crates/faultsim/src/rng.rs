@@ -1,0 +1,187 @@
+//! Deterministic PRNG for the Monte-Carlo experiments.
+//!
+//! An in-tree xoshiro256++ keeps every experiment bit-reproducible across
+//! library versions (DESIGN.md §3.5); `rand` remains available for
+//! non-experiment conveniences.
+
+/// xoshiro256++ PRNG, seeded through SplitMix64.
+///
+/// # Examples
+///
+/// ```
+/// use muse_faultsim::Rng;
+///
+/// let mut a = Rng::seeded(42);
+/// let mut b = Rng::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion, so any
+    /// seed — including 0 — yields a good state).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (Lemire multiply-shift with rejection,
+    /// bias-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[1, bound)` — a random *nonzero* corruption pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 2`.
+    pub fn nonzero_below(&mut self, bound: u64) -> u64 {
+        assert!(bound >= 2, "no nonzero values below {bound}");
+        1 + self.below(bound - 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// `k` distinct indices drawn uniformly from `[0, n)` (partial
+    /// Fisher-Yates), in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn choose_k(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} of {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seeded(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::seeded(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn nonzero_below_never_zero() {
+        let mut rng = Rng::seeded(2);
+        for _ in 0..1000 {
+            let v = rng.nonzero_below(16);
+            assert!((1..16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_k_distinct() {
+        let mut rng = Rng::seeded(3);
+        for _ in 0..200 {
+            let mut picks = rng.choose_k(36, 5);
+            picks.sort_unstable();
+            picks.dedup();
+            assert_eq!(picks.len(), 5);
+            assert!(picks.iter().all(|&p| p < 36));
+        }
+    }
+
+    #[test]
+    fn choose_all_is_permutation() {
+        let mut rng = Rng::seeded(4);
+        let mut picks = rng.choose_k(8, 8);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seeded(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut rng = Rng::seeded(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

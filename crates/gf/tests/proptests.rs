@@ -1,0 +1,71 @@
+//! Property tests: field axioms over randomly drawn elements for every
+//! supported width, and polynomial-algebra consistency.
+
+use muse_gf::Gf;
+use proptest::prelude::*;
+
+fn field_and_elems(max_elems: usize) -> impl Strategy<Value = (Gf, Vec<u16>)> {
+    (2u32..=12).prop_flat_map(move |w| {
+        let gf = Gf::new(w).expect("supported width");
+        let size = gf.size() as u16;
+        (
+            Just(gf),
+            prop::collection::vec(0..size, 3..max_elems.max(4)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn axioms_hold_for_random_elements((gf, elems) in field_and_elems(8)) {
+        let (a, b, c) = (elems[0], elems[1], elems[2]);
+        // Commutativity, associativity, distributivity.
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
+        prop_assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        // Identities.
+        prop_assert_eq!(gf.mul(a, 1), a);
+        prop_assert_eq!(gf.add(a, 0), a);
+        prop_assert_eq!(gf.add(a, a), 0); // characteristic 2
+        // Inverses.
+        if a != 0 {
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+            prop_assert_eq!(gf.div(gf.mul(a, b), a), b);
+        }
+    }
+
+    #[test]
+    fn log_exp_consistency((gf, elems) in field_and_elems(4)) {
+        let a = elems[0];
+        if a != 0 {
+            let l = gf.log(a).expect("nonzero has a log");
+            prop_assert_eq!(gf.alpha_pow(l as i64), a);
+        }
+        prop_assert_eq!(gf.log(0), None);
+    }
+
+    #[test]
+    fn pow_laws((gf, elems) in field_and_elems(4), e1 in 1i64..200, e2 in 1i64..200) {
+        let a = elems[0];
+        if a != 0 {
+            prop_assert_eq!(gf.mul(gf.pow(a, e1), gf.pow(a, e2)), gf.pow(a, e1 + e2));
+            prop_assert_eq!(gf.pow(gf.pow(a, e1), e2), gf.pow(a, e1 * e2));
+            prop_assert_eq!(gf.mul(gf.pow(a, e1), gf.pow(a, -e1)), 1);
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism((gf, elems) in field_and_elems(10)) {
+        // eval(p·q, x) == eval(p, x) · eval(q, x)
+        let x = elems[0];
+        let split = elems.len() / 2;
+        let (p, q) = (&elems[1..split.max(2)], &elems[split.max(2)..]);
+        if !p.is_empty() && !q.is_empty() {
+            let prod = gf.poly_mul(p, q);
+            prop_assert_eq!(
+                gf.poly_eval(&prod, x),
+                gf.mul(gf.poly_eval(p, x), gf.poly_eval(q, x))
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Radix-4 Booth recoding of the constant multiplier (paper Section V-B).
+//!
+//! Multiplying by a *known* constant lets the design drop every partial
+//! product whose Booth digit is zero: the paper reports that the
+//! MUSE(144,132) inverse has 73 partial products of which 23 are zero,
+//! shaving one Wallace-tree level.
+
+use muse_wideint::U320;
+
+/// Radix-4 Booth digits of a constant, least-significant digit first.
+/// Digits are in `{-2, -1, 0, +1, +2}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoothEncoding {
+    digits: Vec<i8>,
+}
+
+impl BoothEncoding {
+    /// Recodes `constant` (must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constant` is zero.
+    pub fn of(constant: &U320) -> Self {
+        assert!(!constant.is_zero(), "Booth recoding of zero is degenerate");
+        let len = constant.bit_len();
+        let n_digits = (len + 1).div_ceil(2);
+        let bit = |i: i64| -> i8 {
+            if i < 0 || i as u32 >= len {
+                0
+            } else {
+                constant.bit(i as u32) as i8
+            }
+        };
+        let digits = (0..n_digits)
+            .map(|d| {
+                let i = 2 * d as i64;
+                bit(i - 1) + bit(i) - 2 * bit(i + 1)
+            })
+            .collect();
+        Self { digits }
+    }
+
+    /// All digits, LSB first.
+    pub fn digits(&self) -> &[i8] {
+        &self.digits
+    }
+
+    /// Total digit count = partial products before elimination.
+    pub fn partial_products(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Zero digits = partial products eliminated at design time.
+    pub fn zero_partial_products(&self) -> usize {
+        self.digits.iter().filter(|&&d| d == 0).count()
+    }
+
+    /// Partial products that actually enter the compressor tree.
+    pub fn nonzero_partial_products(&self) -> usize {
+        self.partial_products() - self.zero_partial_products()
+    }
+
+    /// Reconstructs the constant from the digits (sanity inverse).
+    pub fn reconstruct(&self) -> i128 {
+        self.digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d as i128) << (2 * i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::FastMod;
+
+    #[test]
+    fn small_constants_reconstruct() {
+        for c in [1u64, 2, 3, 5, 7, 15, 100, 821, 2005, 4065, 5621, 65519] {
+            let enc = BoothEncoding::of(&U320::from(c));
+            assert_eq!(enc.reconstruct(), c as i128, "c={c}");
+        }
+    }
+
+    #[test]
+    fn digit_count_formula() {
+        // bit_len = 12 for 4065 -> ceil(13/2) = 7 digits.
+        let enc = BoothEncoding::of(&U320::from(4065u64));
+        assert_eq!(enc.partial_products(), 7);
+        for &d in enc.digits() {
+            assert!((-2..=2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn paper_claim_73_partial_products_23_zero() {
+        // Section V-B: "Booth Encoding of the multiplier's inverse value has
+        // 73 partial products, of which 23 are equal to 0."
+        let inverse = *FastMod::minimal(4065, 144).unwrap().inverse();
+        let enc = BoothEncoding::of(&inverse);
+        assert_eq!(enc.partial_products(), 73);
+        assert_eq!(enc.zero_partial_products(), 23);
+        assert_eq!(enc.nonzero_partial_products(), 50);
+    }
+
+    #[test]
+    fn all_ones_has_sparse_recoding() {
+        // 0xFFFF = 2^16 - 1: Booth gives (+1 at 2^16... digit pattern with
+        // mostly zeros) — far fewer nonzero digits than bits.
+        let enc = BoothEncoding::of(&U320::from(0xFFFFu64));
+        assert_eq!(enc.reconstruct(), 0xFFFF);
+        assert!(enc.nonzero_partial_products() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_rejected() {
+        let _ = BoothEncoding::of(&U320::ZERO);
+    }
+}

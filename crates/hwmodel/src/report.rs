@@ -1,0 +1,225 @@
+//! Encoder / error-corrector cost reports per code — the Table V generator.
+
+use muse_core::MuseCode;
+use muse_rs::RsMemoryCode;
+
+use crate::{adder_cost, elc_cam_cost, gf_lut_cost, xor_tree_cost, CircuitCost, FastModuloUnit, TechParams};
+
+/// One Table V row: a code with its encoder and corrector costs.
+#[derive(Debug, Clone)]
+pub struct CodeHardware {
+    /// Display name, e.g. `MUSE(144,132)` or `RS(80,64)`.
+    pub name: String,
+    /// Encoder cost.
+    pub encoder: CircuitCost,
+    /// Error correction & detection cost.
+    pub corrector: CircuitCost,
+    /// Write-path pipeline cycles (encoder).
+    pub encode_cycles: u32,
+    /// Read-path pipeline cycles under always-correction.
+    pub correct_cycles: u32,
+    /// Read-path cycles in the error-free case (0: systematic codes).
+    pub decode_cycles: u32,
+}
+
+/// Models the MUSE encoder of Figure 3(b): fast modulo of the shifted
+/// payload plus the small `m − rem` subtractor.
+pub fn muse_encoder(code: &MuseCode, tech: &TechParams) -> CircuitCost {
+    let modulo = muse_modulo_unit(code).cost(tech);
+    let sub = adder_cost(code.r_bits(), tech);
+    modulo.then(sub)
+}
+
+/// Models the MUSE error correction & detection unit of Figure 2: fast
+/// modulo (remainder), ELC lookup, correction adder, and the
+/// overflow/underflow check (folded into the adder stage).
+pub fn muse_corrector(code: &MuseCode, tech: &TechParams) -> CircuitCost {
+    let modulo = muse_modulo_unit(code).cost(tech);
+    // Each ELC entry: remainder tag + error value + sign (157 bits for
+    // MUSE(144,132), matching Section V-A).
+    let cam = elc_cam_cost(code.elc().len(), code.r_bits(), code.n_bits() + 1, tech);
+    let corrector = adder_cost(code.n_bits(), tech);
+    modulo.then(cam).then(corrector)
+}
+
+fn muse_modulo_unit(code: &MuseCode) -> FastModuloUnit {
+    let fm = muse_core::FastMod::minimal(code.multiplier(), code.n_bits())
+        .expect("valid code has fast-modulo constants");
+    FastModuloUnit::new(code.n_bits(), code.multiplier(), fm.inverse(), fm.shift())
+}
+
+/// Measures the Reed-Solomon encoder's XOR forest by probing the actual
+/// code: average number of data bits feeding each parity bit.
+pub fn rs_parity_fanin(code: &RsMemoryCode) -> f64 {
+    use muse_core::Word;
+    let parity_bits = code.parity_bits();
+    let mut counts = vec![0u64; parity_bits as usize];
+    for d in 0..code.data_bits() {
+        let cw = code.encode(&Word::pow2(d));
+        for p in 0..parity_bits {
+            if cw.bit(p) {
+                counts[p as usize] += 1;
+            }
+        }
+    }
+    counts.iter().sum::<u64>() as f64 / parity_bits as f64
+}
+
+/// Models the RS encoder: one XOR tree per parity bit (paper: "simple XOR
+/// trees implementing binary multiplication of generator matrix and data").
+pub fn rs_encoder(code: &RsMemoryCode, tech: &TechParams) -> CircuitCost {
+    xor_tree_cost(code.parity_bits(), rs_parity_fanin(code), tech)
+}
+
+/// Models the RS error corrector: syndrome XOR trees, GF log/antilog LUTs
+/// (PGZ with lookup-table arithmetic), locator compare, and correction XOR.
+pub fn rs_corrector(code: &RsMemoryCode, tech: &TechParams) -> CircuitCost {
+    let s = code.symbol_bits();
+    // Syndromes: 2t·s bits, each a parity over ~half the codeword bits.
+    let syndromes = xor_tree_cost(code.parity_bits(), code.n_bits() as f64 / 2.0, tech);
+    // PGZ over LUTs: log(S0), log(S1), subtract, antilog, position bound
+    // check, then the correcting XOR. Two log tables + one antilog.
+    let luts = gf_lut_cost(s, tech).then(gf_lut_cost(s, tech)).alongside(gf_lut_cost(s, tech));
+    let locate = adder_cost(s, tech); // log-domain subtract mod 2^s−1
+    let fixup = xor_tree_cost(s, 2.0, tech);
+    syndromes.then(luts).then(locate).then(fixup)
+}
+
+/// Builds one [`CodeHardware`] row for a MUSE code.
+pub fn muse_hardware(code: &MuseCode, tech: &TechParams) -> CodeHardware {
+    let encoder = muse_encoder(code, tech);
+    let corrector = muse_corrector(code, tech);
+    CodeHardware {
+        name: code.name().to_owned(),
+        encode_cycles: tech.cycles(encoder.delay_ps),
+        correct_cycles: tech.cycles(corrector.delay_ps),
+        decode_cycles: 0, // systematic: data bits pass straight through
+        encoder,
+        corrector,
+    }
+}
+
+/// Builds one [`CodeHardware`] row for a Reed-Solomon code.
+pub fn rs_hardware(code: &RsMemoryCode, tech: &TechParams) -> CodeHardware {
+    let encoder = rs_encoder(code, tech);
+    let corrector = rs_corrector(code, tech);
+    CodeHardware {
+        name: code.name(),
+        encode_cycles: tech.cycles(encoder.delay_ps),
+        correct_cycles: tech.cycles(corrector.delay_ps),
+        decode_cycles: 0, // systematic
+        encoder,
+        corrector,
+    }
+}
+
+/// All six Table V rows with the default technology.
+pub fn table5(tech: &TechParams) -> Vec<CodeHardware> {
+    use muse_core::presets;
+    let mut rows = vec![
+        muse_hardware(&presets::muse_144_132(), tech),
+        muse_hardware(&presets::muse_80_69(), tech),
+        muse_hardware(&presets::muse_80_67(), tech),
+        muse_hardware(&presets::muse_80_70(), tech),
+    ];
+    let rs144 = RsMemoryCode::new(8, 144, 1).expect("RS(144,128) geometry");
+    let rs80 = RsMemoryCode::new(8, 80, 1).expect("RS(80,64) geometry");
+    rows.push(rs_hardware(&rs144, tech));
+    rows.push(rs_hardware(&rs80, tech));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::presets;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn muse_encoder_in_table5_regime() {
+        // Paper: 1.129 ns, 33312 cells, 10999 µm², 5.11 mW.
+        let cost = muse_encoder(&presets::muse_144_132(), &tech());
+        let ns = cost.delay_ns();
+        assert!((0.7..1.7).contains(&ns), "latency {ns} ns");
+        assert!((15_000..70_000).contains(&cost.cells), "{} cells", cost.cells);
+        assert!((5_000.0..25_000.0).contains(&cost.area_um2), "{} um2", cost.area_um2);
+    }
+
+    #[test]
+    fn rs_encoder_far_cheaper_than_muse() {
+        // The paper's headline VLSI comparison: MUSE(80,67) uses ~12× the
+        // silicon of RS(80,64) and ~2 extra cycles.
+        let t = tech();
+        let muse = muse_encoder(&presets::muse_80_67(), &t);
+        let rs = rs_encoder(&RsMemoryCode::new(8, 80, 1).unwrap(), &t);
+        assert!(muse.area_um2 > 5.0 * rs.area_um2);
+        assert!(muse.delay_ps > 2.0 * rs.delay_ps);
+    }
+
+    #[test]
+    fn rs_encoder_single_cycle() {
+        let t = tech();
+        for n_bits in [80u32, 144] {
+            let rs = rs_hardware(&RsMemoryCode::new(8, n_bits, 1).unwrap(), &t);
+            assert_eq!(rs.encode_cycles, 1, "{}", rs.name);
+            assert_eq!(rs.decode_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn muse_encoder_three_ish_cycles() {
+        let t = tech();
+        for code in [presets::muse_144_132(), presets::muse_80_69()] {
+            let hw = muse_hardware(&code, &t);
+            assert!(
+                (2..=4).contains(&hw.encode_cycles),
+                "{}: {} cycles",
+                hw.name,
+                hw.encode_cycles
+            );
+            assert_eq!(hw.decode_cycles, 0, "systematic fast path");
+        }
+    }
+
+    #[test]
+    fn parity_fanin_reasonable() {
+        // Each RS parity bit depends on a sizeable fraction of the 128 data
+        // bits (dense generator matrix over GF(256)).
+        let fanin = rs_parity_fanin(&RsMemoryCode::new(8, 144, 1).unwrap());
+        assert!((20.0..100.0).contains(&fanin), "fanin {fanin}");
+    }
+
+    #[test]
+    fn table5_has_six_rows_in_paper_order() {
+        let rows = table5(&tech());
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MUSE(144,132)",
+                "MUSE(80,69)",
+                "MUSE(80,67)",
+                "MUSE(80,70)",
+                "RS(144,128)",
+                "RS(80,64)"
+            ]
+        );
+        // Every MUSE row costs more silicon than every RS row (paper trend).
+        let min_muse = rows[..4].iter().map(|r| r.encoder.cells).min().unwrap();
+        let max_rs = rows[4..].iter().map(|r| r.encoder.cells).max().unwrap();
+        assert!(min_muse > max_rs);
+    }
+
+    #[test]
+    fn corrector_costs_exceed_encoder_costs_for_muse() {
+        // Table V: the corrector adds the ELC on top of the modulo unit.
+        let t = tech();
+        for code in [presets::muse_144_132(), presets::muse_80_69()] {
+            let hw = muse_hardware(&code, &t);
+            assert!(hw.corrector.cells > hw.encoder.cells, "{}", hw.name);
+        }
+    }
+}

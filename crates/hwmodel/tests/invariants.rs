@@ -1,0 +1,80 @@
+//! Model-level invariants of the VLSI cost estimator: the analytical model
+//! must behave monotonically and consistently or Table V comparisons are
+//! meaningless.
+
+use muse_hw::{
+    wallace_levels, BoothEncoding, ConstMultiplier, TechParams,
+};
+use muse_wideint::U320;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn booth_reconstructs_any_u64(c in 1u64..) {
+        let enc = BoothEncoding::of(&U320::from(c));
+        prop_assert_eq!(enc.reconstruct(), c as i128);
+        // Digit count formula.
+        let bits = 64 - c.leading_zeros();
+        prop_assert_eq!(enc.partial_products() as u32, (bits + 2) / 2);
+    }
+
+    #[test]
+    fn booth_nonzero_digits_at_most_half_plus_one(c in 1u64..) {
+        // Radix-4 Booth guarantees ≤ ⌈(bits+1)/2⌉ digits, each possibly
+        // nonzero; the zero count never exceeds the total.
+        let enc = BoothEncoding::of(&U320::from(c));
+        prop_assert!(enc.nonzero_partial_products() <= enc.partial_products());
+        prop_assert!(enc.nonzero_partial_products() >= 1);
+    }
+
+    #[test]
+    fn wallace_levels_monotone(a in 1usize..500, b in 1usize..500) {
+        prop_assume!(a <= b);
+        prop_assert!(wallace_levels(a) <= wallace_levels(b));
+    }
+
+    #[test]
+    fn multiplier_cost_monotone_in_operand_width(w1 in 8u32..120, w2 in 8u32..120, c in 3u64..) {
+        prop_assume!(w1 < w2);
+        let tech = TechParams::default();
+        let constant = U320::from(c);
+        let small = ConstMultiplier::new(w1, &constant).cost(&tech);
+        let big = ConstMultiplier::new(w2, &constant).cost(&tech);
+        prop_assert!(big.cells >= small.cells);
+        prop_assert!(big.delay_ps >= small.delay_ps);
+        prop_assert!(big.area_um2 >= small.area_um2);
+    }
+
+    #[test]
+    fn cost_fields_consistent(w in 8u32..200, c in 3u64..) {
+        let tech = TechParams::default();
+        let cost = ConstMultiplier::new(w, &U320::from(c)).cost(&tech);
+        prop_assert!(cost.delay_ps > 0.0);
+        prop_assert!(cost.cells > 0);
+        // Area is cells × cell area by construction.
+        prop_assert!((cost.area_um2 - cost.cells as f64 * tech.cell_area_um2).abs() < 1e-6);
+        prop_assert!(cost.power_mw > 0.0);
+    }
+}
+
+#[test]
+fn table5_is_deterministic() {
+    let tech = TechParams::default();
+    let a = muse_hw::table5(&tech);
+    let b = muse_hw::table5(&tech);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.encoder.cells, y.encoder.cells);
+        assert_eq!(x.corrector.delay_ps, y.corrector.delay_ps);
+    }
+}
+
+#[test]
+fn faster_clock_means_more_cycles() {
+    let slow = TechParams { clock_ghz: 1.0, ..TechParams::default() };
+    let fast = TechParams { clock_ghz: 4.8, ..TechParams::default() };
+    let code = muse_core::presets::muse_144_132();
+    let hw_slow = muse_hw::muse_hardware(&code, &slow);
+    let hw_fast = muse_hw::muse_hardware(&code, &fast);
+    assert!(hw_fast.encode_cycles >= hw_slow.encode_cycles);
+}

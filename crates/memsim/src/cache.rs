@@ -1,0 +1,296 @@
+//! Set-associative write-back, write-allocate cache with LRU replacement.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// The line was present.
+    Hit,
+    /// The line was filled; a dirty victim (line-aligned address) may need
+    /// writing back.
+    Miss {
+        /// Dirty victim evicted by the fill, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl CacheAccess {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Self::Hit)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1].
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A single cache level.
+///
+/// # Examples
+///
+/// ```
+/// use muse_memsim::{Cache, CacheAccess};
+///
+/// let mut l1 = Cache::new("L1D", 32 * 1024, 8, 64, 4);
+/// assert!(matches!(l1.access(0x1000, false), CacheAccess::Miss { .. }));
+/// assert!(l1.access(0x1000, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    sets: Vec<Vec<Line>>,
+    set_bits: u32,
+    line_bits: u32,
+    latency: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines; `latency` is the hit latency in CPU cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two and consistent.
+    pub fn new(name: &'static str, size_bytes: u64, ways: usize, line_bytes: u64, latency: u64) -> Self {
+        assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+        let n_lines = size_bytes / line_bytes;
+        assert!((n_lines as usize).is_multiple_of(ways), "lines not divisible by ways");
+        let n_sets = n_lines as usize / ways;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            name,
+            sets: vec![vec![Line::default(); ways]; n_sets],
+            set_bits: n_sets.trailing_zeros(),
+            line_bits: line_bytes.trailing_zeros(),
+            latency,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Hit latency in CPU cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (write-allocate) and a
+    /// dirty victim may be returned for write-back.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        let line_addr = addr >> self.line_bits;
+        let set_idx = (line_addr & ((1 << self.set_bits) - 1)) as usize;
+        let tag = line_addr >> self.set_bits;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.tick;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return CacheAccess::Hit;
+        }
+        self.stats.misses += 1;
+        // Victim: invalid way first, else LRU.
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("nonzero ways")
+            });
+        let victim = set[victim_idx];
+        let writeback = (victim.valid && victim.dirty).then(|| {
+            self.stats.writebacks += 1;
+            ((victim.tag << self.set_bits) | set_idx as u64) << self.line_bits
+        });
+        set[victim_idx] = Line { tag, valid: true, dirty: is_write, last_use: self.tick };
+        CacheAccess::Miss { writeback }
+    }
+
+    /// Whether `addr` is currently resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr >> self.line_bits;
+        let set_idx = (line_addr & ((1 << self.set_bits) - 1)) as usize;
+        let tag = line_addr >> self.set_bits;
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+}
+
+/// A tiny fully-associative metadata cache (the 32-entry, 16 kB tag cache of
+/// Section VII-D).
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    entries: Vec<(u64, u64)>, // (line address, last use)
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl MetadataCache {
+    /// A fully-associative cache of `capacity` metadata lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "metadata cache needs at least one entry");
+        Self { entries: Vec::with_capacity(capacity), capacity, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Looks up (and on miss, fills) the metadata line `line_addr`.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == line_addr) {
+            e.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((line_addr, self.tick));
+        false
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new("t", 4096, 4, 64, 1);
+        assert!(!c.access(0x40, false).is_hit());
+        assert!(c.access(0x40, false).is_hit());
+        assert!(c.access(0x7F, false).is_hit()); // same line
+        assert!(!c.access(0x80, false).is_hit()); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, line 64, size 256 -> 2 sets. Same set: addresses with the
+        // same line-index bit.
+        let mut c = Cache::new("t", 256, 2, 64, 1);
+        let set0 = |i: u64| i * 128; // stride over sets: bit 6 is the set bit
+        assert!(!c.access(set0(0), false).is_hit());
+        assert!(!c.access(set0(1), false).is_hit());
+        // Touch line 0 so line 1 is LRU.
+        assert!(c.access(set0(0), false).is_hit());
+        // Fill a third line: evicts line 1.
+        assert!(!c.access(set0(2), false).is_hit());
+        assert!(c.access(set0(0), false).is_hit());
+        assert!(!c.access(set0(1), false).is_hit());
+    }
+
+    #[test]
+    fn dirty_writeback_address() {
+        let mut c = Cache::new("t", 128, 1, 64, 1); // direct-mapped, 2 sets
+        assert!(!c.access(0x000, true).is_hit());
+        // Same set (set 0): 0x000 and 0x080 collide.
+        match c.access(0x080, false) {
+            CacheAccess::Miss { writeback: Some(victim) } => assert_eq!(victim, 0x000),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction produces no writeback.
+        match c.access(0x100, false) {
+            CacheAccess::Miss { writeback } => assert_eq!(writeback, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = Cache::new("t", 128, 1, 64, 1);
+        c.access(0x000, false);
+        c.access(0x000, true); // dirty via hit
+        match c.access(0x080, false) {
+            CacheAccess::Miss { writeback: Some(_) } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut c = Cache::new("t", 4096, 4, 64, 1);
+        c.access(0x40, false);
+        assert!(c.probe(0x40));
+        assert!(!c.probe(0x4000));
+        assert_eq!(c.stats().hits + c.stats().misses, 1);
+    }
+
+    #[test]
+    fn metadata_cache_lru() {
+        let mut m = MetadataCache::new(2);
+        assert!(!m.access(1));
+        assert!(!m.access(2));
+        assert!(m.access(1)); // 2 is now LRU
+        assert!(!m.access(3)); // evicts 2
+        assert!(m.access(1));
+        assert!(!m.access(2));
+        assert!((m.stats().miss_ratio() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_ratio_empty_is_zero() {
+        let c = Cache::new("t", 4096, 4, 64, 1);
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+    }
+}

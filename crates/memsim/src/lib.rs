@@ -1,0 +1,101 @@
+//! Memory-hierarchy timing and power simulator with ECC and memory-tagging
+//! hooks — the substitute for the paper's gem5 + SPEC 2017 evaluation
+//! (Figures 6 & 7, Table VI; see DESIGN.md §3.1).
+//!
+//! Components:
+//!
+//! * [`Cache`] / [`MetadataCache`] — LRU write-back caches.
+//! * [`Dram`] — DDR4-like banks, row buffers, shared bus, refresh, and
+//!   [`EccLatency`] injection on the memory interface.
+//! * [`System`] — in-order 1-IPC CPU (gem5 `TimingSimpleCPU`-like) wiring
+//!   the levels together, with [`TagStorage`] controlling where memory-
+//!   tagging metadata lives.
+//! * [`Workload`] — deterministic SPEC-2017-shaped access generators.
+//! * [`DramPowerModel`] — IDD-style power reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use muse_memsim::{spec2017_profiles, System, SystemConfig, Workload};
+//!
+//! let mut system = System::new(SystemConfig::default());
+//! let mut workload = Workload::new(spec2017_profiles()[0], 1);
+//! let stats = system.run(&mut workload, 10_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+mod cache;
+mod dram;
+mod power;
+mod system;
+mod trace;
+mod workload;
+
+pub use cache::{Cache, CacheAccess, CacheStats, MetadataCache};
+pub use dram::{Dram, DramConfig, DramStats, EccLatency, PagePolicy};
+pub use power::{DramPowerModel, PowerReport};
+pub use system::{RunStats, System, SystemConfig, TagStorage};
+pub use trace::{ParseTraceError, Trace};
+pub use workload::{spec2017_profiles, MemOp, Workload, WorkloadProfile};
+
+/// SplitMix64: the small deterministic generator used by the workload
+/// streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix::new(9);
+        let mut b = SplitMix::new(9);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_below_in_range() {
+        let mut rng = SplitMix::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let f = rng.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the memory-system model: cache bookkeeping, DRAM
+//! timing monotonicity, and system-level conservation laws.
+
+use muse_memsim::{
+    spec2017_profiles, Cache, CacheAccess, Dram, DramConfig, EccLatency, PagePolicy, System,
+    SystemConfig, TagStorage, Workload,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cache_accounting_conserves(addrs in prop::collection::vec(0u64..1 << 20, 1..300)) {
+        let mut cache = Cache::new("t", 16 * 1024, 4, 64, 1);
+        let mut writebacks = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            if let CacheAccess::Miss { writeback: Some(_) } = cache.access(addr, i % 3 == 0) {
+                writebacks += 1;
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, addrs.len() as u64);
+        prop_assert_eq!(stats.writebacks, writebacks);
+        prop_assert!(stats.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn cache_hit_after_fill_always(addr: u64) {
+        let mut cache = Cache::new("t", 16 * 1024, 4, 64, 1);
+        let _ = cache.access(addr, false);
+        prop_assert!(cache.access(addr, false).is_hit());
+        prop_assert!(cache.probe(addr));
+    }
+
+    #[test]
+    fn dram_time_flows_forward(addrs in prop::collection::vec(0u64..1 << 24, 1..100)) {
+        let mut dram = Dram::new(DramConfig::default(), EccLatency::NONE);
+        let mut now = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let done = if i % 4 == 0 {
+                dram.write(addr, now)
+            } else {
+                dram.read(addr, now)
+            };
+            prop_assert!(done > now, "completion after issue");
+            now = done;
+        }
+        let stats = dram.stats();
+        prop_assert_eq!(stats.operations(), addrs.len() as u64);
+        prop_assert!(stats.row_hits <= stats.operations());
+        prop_assert!(stats.activates <= stats.operations());
+    }
+
+    #[test]
+    fn ecc_latency_is_monotone(extra in 0u64..16) {
+        // More interface latency can never make a run faster.
+        let profile = spec2017_profiles()[4];
+        let run = |ecc: EccLatency| {
+            let mut system = System::new(SystemConfig { ecc, ..SystemConfig::default() });
+            let mut w = Workload::new(profile, 3);
+            system.run(&mut w, 4_000).cycles
+        };
+        let base = run(EccLatency::NONE);
+        let slower = run(EccLatency { encode: extra, correct: extra });
+        prop_assert!(slower >= base);
+    }
+
+    #[test]
+    fn closed_page_never_counts_row_hits(seed: u64) {
+        let config = DramConfig { page_policy: PagePolicy::Closed, ..DramConfig::default() };
+        let mut dram = Dram::new(config, EccLatency::NONE);
+        let mut now = 0;
+        for i in 0..50u64 {
+            now = dram.read(seed.wrapping_add(i * 64) % (1 << 30), now);
+        }
+        prop_assert_eq!(dram.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn metadata_traffic_only_with_disjoint_tags(bench in 0usize..22) {
+        let run = |tagging| {
+            let mut system = System::new(SystemConfig { tagging, ..SystemConfig::default() });
+            let mut w = Workload::new(spec2017_profiles()[bench], 9);
+            system.run(&mut w, 3_000)
+        };
+        prop_assert_eq!(run(TagStorage::None).metadata_dram_reads, 0);
+        prop_assert_eq!(run(TagStorage::InlineEcc).metadata_dram_reads, 0);
+        let disjoint = run(TagStorage::Disjoint { cache_entries: None });
+        prop_assert_eq!(disjoint.metadata_dram_reads, disjoint.llc_misses);
+    }
+
+    #[test]
+    fn instructions_count_includes_gaps(bench in 0usize..22, ops in 100u64..2_000) {
+        let mut system = System::new(SystemConfig::default());
+        let mut w = Workload::new(spec2017_profiles()[bench], 5);
+        let stats = system.run(&mut w, ops);
+        // At least one instruction per memory op; cycles at least 1 per inst.
+        prop_assert!(stats.instructions >= ops);
+        prop_assert!(stats.cycles >= stats.instructions);
+    }
+}

@@ -1,0 +1,153 @@
+//! Static analysis of a constructed code: remainder-space occupancy,
+//! detection headroom, and aliasing structure.
+//!
+//! Section VII-A observes that detection strength comes from *unused*
+//! remainders: a larger multiplier leaves more of the remainder space
+//! unmapped, so more multi-symbol errors land outside the ELC and are
+//! flagged. These utilities quantify that headroom for any code.
+
+use crate::{Decoded, MuseCode, Word};
+
+/// Summary of a code's remainder-space structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemainderProfile {
+    /// The multiplier (remainder space is `[0, m)`).
+    pub multiplier: u64,
+    /// Populated ELC entries (= distinct correctable error values).
+    pub used: usize,
+    /// Unused nonzero remainders — the detection headroom.
+    pub unused: u64,
+    /// `unused / (m − 1)`: the first-order probability that a uniformly
+    /// aliasing multi-symbol error is detected by ELC miss alone.
+    pub headroom: f64,
+}
+
+/// Computes the remainder occupancy profile of a code.
+pub fn remainder_profile(code: &MuseCode) -> RemainderProfile {
+    let m = code.multiplier();
+    let used = code.elc().len();
+    RemainderProfile {
+        multiplier: m,
+        used,
+        unused: (m - 1) - used as u64,
+        headroom: code.elc().unused_remainder_fraction(),
+    }
+}
+
+/// First-order analytic MSED estimate: the probability that a random
+/// multi-symbol error misses the ELC, assuming its remainder is uniform
+/// over `[0, m)`. The Monte-Carlo simulator
+/// ([`muse_faultsim`](https://docs.rs/muse-faultsim)) measures the true
+/// rate; this closed form explains the Table IV trend (larger `m` ⇒ more
+/// headroom ⇒ higher detection).
+pub fn analytic_msed_estimate(code: &MuseCode) -> f64 {
+    100.0 * remainder_profile(code).headroom
+}
+
+/// Exhaustive single-symbol coverage check: decodes every possible
+/// in-model error of every symbol against a fixed payload and confirms
+/// correction. Returns the number of error patterns verified.
+///
+/// This is the code-level proof obligation behind the ChipKill claim; it
+/// is fast enough to run as a test for every preset (≤ a few thousand
+/// patterns).
+pub fn verify_single_symbol_coverage(code: &MuseCode, payload: &Word) -> Result<usize, String> {
+    let cw = code.encode(payload);
+    let mut verified = 0;
+    for ev in crate::enumerate_error_values(code.symbol_map(), code.error_model()) {
+        let corrupted = ev.value.apply_to(&cw);
+        if corrupted.bit_len() > code.n_bits() {
+            // This payload cannot physically produce the error (e.g. a 1→0
+            // flip of a bit that stores 0); skip.
+            continue;
+        }
+        // Only apply physically consistent errors: every +2^i flip needs a
+        // stored 0, every −2^i a stored 1. `apply_to` already encodes the
+        // arithmetic; consistency shows up as the XOR being symbol-confined.
+        let diff = corrupted ^ cw;
+        if !(diff & !*code.symbol_map().mask(ev.symbol)).is_zero() {
+            continue; // carried out of the symbol: not a realizable flip set
+        }
+        if diff.is_zero() {
+            continue;
+        }
+        match code.decode(&corrupted) {
+            Decoded::Corrected { payload: p, symbol, .. } => {
+                if p != *payload {
+                    return Err(format!("error {} miscorrected", ev.value));
+                }
+                if symbol != ev.symbol {
+                    return Err(format!("error {} attributed to wrong symbol", ev.value));
+                }
+                verified += 1;
+            }
+            other => return Err(format!("error {} decoded as {other:?}", ev.value)),
+        }
+    }
+    Ok(verified)
+}
+
+/// The distribution of ELC entries per symbol — shuffled codes spread
+/// their correctable values across symbols evenly.
+pub fn entries_per_symbol(code: &MuseCode) -> Vec<usize> {
+    let mut counts = vec![0usize; code.symbol_map().num_symbols()];
+    for ev in crate::enumerate_error_values(code.symbol_map(), code.error_model()) {
+        counts[ev.symbol] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn profile_of_the_paper_codes() {
+        let p = remainder_profile(&presets::muse_144_132());
+        assert_eq!(p.multiplier, 4065);
+        assert_eq!(p.used, 1080);
+        assert_eq!(p.unused, 4064 - 1080);
+
+        // Larger multiplier, same error count, more headroom.
+        let big = remainder_profile(&presets::muse_144_128());
+        assert_eq!(big.used, 1080);
+        assert!(big.headroom > p.headroom);
+    }
+
+    #[test]
+    fn analytic_estimate_tracks_table4_ordering() {
+        // The analytic estimate reproduces the Table IV ordering
+        // (98.4% vs 73.4% headroom for m = 65519 vs 4065).
+        let small = analytic_msed_estimate(&presets::muse_144_132());
+        let big = analytic_msed_estimate(&presets::muse_144_128());
+        assert!(big > 95.0 && small > 70.0 && big > small);
+    }
+
+    #[test]
+    fn coverage_proof_for_every_preset() {
+        for code in presets::table1() {
+            let payload = Word::mask(code.k_bits()) ^ (Word::from(0xA5u64) << 8);
+            let verified = verify_single_symbol_coverage(&code, &payload)
+                .unwrap_or_else(|e| panic!("{}: {e}", code.name()));
+            assert!(verified > 0, "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn entries_split_evenly_for_uniform_codes() {
+        let counts = entries_per_symbol(&presets::muse_144_132());
+        assert_eq!(counts.len(), 36);
+        assert!(counts.iter().all(|&c| c == 30), "contiguous 4-bit symbols: 30 each");
+
+        let counts = entries_per_symbol(&presets::muse_80_67());
+        assert_eq!(counts.len(), 10);
+        assert!(counts.iter().all(|&c| c == 255), "asym 8-bit symbols: 255 each");
+    }
+
+    #[test]
+    fn hybrid_entries_include_single_bit_extras() {
+        let counts = entries_per_symbol(&presets::muse_80_70());
+        assert_eq!(counts.iter().sum::<usize>(), 380); // 300 + 80 positives
+    }
+}

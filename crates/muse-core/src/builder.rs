@@ -1,0 +1,260 @@
+//! Fluent construction of MUSE codes, with integrated multiplier search —
+//! the "design a code for *your* DIMM" workflow of Section VII-E.
+
+use crate::{
+    find_multipliers, CodeError, Direction, ErrorModel, ErrorTerm, MuseCode, SearchOptions,
+    SymbolMap, SymbolMapError,
+};
+
+/// How codeword bits are assigned to device symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shuffle {
+    /// Symbol `i` holds the contiguous bits `[s·i, s·(i+1))`.
+    #[default]
+    Sequential,
+    /// Bit `j` belongs to symbol `j mod num_symbols` (the Eq. 5 family).
+    Interleaved,
+}
+
+/// Error building a code from a [`CodeBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The requested layout is not a valid partition.
+    Layout(SymbolMapError),
+    /// The search found no multiplier of the requested width.
+    NoMultiplier {
+        /// The redundancy width searched.
+        redundancy_bits: u32,
+    },
+    /// A supplied multiplier failed validation.
+    Code(CodeError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Layout(e) => write!(f, "layout error: {e}"),
+            Self::NoMultiplier { redundancy_bits } => {
+                write!(f, "no valid {redundancy_bits}-bit multiplier exists for this layout")
+            }
+            Self::Code(e) => write!(f, "code error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SymbolMapError> for BuildError {
+    fn from(e: SymbolMapError) -> Self {
+        Self::Layout(e)
+    }
+}
+
+impl From<CodeError> for BuildError {
+    fn from(e: CodeError) -> Self {
+        Self::Code(e)
+    }
+}
+
+/// Builder for [`MuseCode`]s: pick a geometry and error model, then either
+/// supply a known multiplier or let the builder run Algorithm 1.
+///
+/// # Examples
+///
+/// Design a ChipKill code for a hypothetical 72-bit x4 channel:
+///
+/// ```
+/// use muse_core::CodeBuilder;
+///
+/// # fn main() -> Result<(), muse_core::BuildError> {
+/// let code = CodeBuilder::new(72)
+///     .symbol_bits(4)
+///     .redundancy_bits(12)
+///     .build()?;
+/// assert_eq!(code.k_bits(), 60);
+/// assert_eq!(code.class_name(), "C4B");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeBuilder {
+    n_bits: u32,
+    symbol_bits: u32,
+    shuffle: Shuffle,
+    direction: Direction,
+    single_bit: Option<Direction>,
+    redundancy_bits: u32,
+    multiplier: Option<u64>,
+    search: SearchOptions,
+}
+
+impl CodeBuilder {
+    /// Starts a builder for an `n_bits`-wide codeword.
+    ///
+    /// Defaults: 4-bit symbols, sequential assignment, bidirectional
+    /// errors, 12 redundancy bits, multiplier found by search (largest).
+    pub fn new(n_bits: u32) -> Self {
+        Self {
+            n_bits,
+            symbol_bits: 4,
+            shuffle: Shuffle::Sequential,
+            direction: Direction::Bidirectional,
+            single_bit: None,
+            redundancy_bits: 12,
+            multiplier: None,
+            search: SearchOptions::default(),
+        }
+    }
+
+    /// Device (symbol) width in bits.
+    pub fn symbol_bits(mut self, bits: u32) -> Self {
+        self.symbol_bits = bits;
+        self
+    }
+
+    /// Bit-to-symbol assignment.
+    pub fn shuffle(mut self, shuffle: Shuffle) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Symbol-error direction (`Bidirectional` = `B`, `OneToZero` = `A`).
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Additionally cover single-bit errors of the given direction
+    /// (hybrid codes like `C4A_U1B`).
+    pub fn with_single_bit_errors(mut self, direction: Direction) -> Self {
+        self.single_bit = Some(direction);
+        self
+    }
+
+    /// Redundancy budget in bits (the multiplier width to search).
+    pub fn redundancy_bits(mut self, bits: u32) -> Self {
+        self.redundancy_bits = bits;
+        self
+    }
+
+    /// Uses a known multiplier instead of searching.
+    pub fn multiplier(mut self, m: u64) -> Self {
+        self.multiplier = Some(m);
+        self
+    }
+
+    /// Search options (threads, limit) when no multiplier is supplied.
+    pub fn search_options(mut self, options: SearchOptions) -> Self {
+        self.search = options;
+        self
+    }
+
+    /// The symbol map this builder describes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the geometry is not a valid partition.
+    pub fn layout(&self) -> Result<SymbolMap, SymbolMapError> {
+        match self.shuffle {
+            Shuffle::Sequential => SymbolMap::sequential(self.n_bits, self.symbol_bits),
+            Shuffle::Interleaved => {
+                SymbolMap::interleaved(self.n_bits, self.n_bits / self.symbol_bits)
+            }
+        }
+    }
+
+    /// The error model this builder describes.
+    pub fn model(&self) -> ErrorModel {
+        let mut terms = vec![ErrorTerm::Symbol(self.direction)];
+        if let Some(d) = self.single_bit {
+            terms.push(ErrorTerm::SingleBit(d));
+        }
+        ErrorModel::from_terms(terms)
+    }
+
+    /// Builds the code, running the multiplier search when needed (the
+    /// *largest* found multiplier is used, maximizing detection headroom).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid layout, an exhausted search, or an invalid
+    /// supplied multiplier.
+    pub fn build(&self) -> Result<MuseCode, BuildError> {
+        let map = self.layout()?;
+        let model = self.model();
+        let m = match self.multiplier {
+            Some(m) => m,
+            None => *find_multipliers(&map, &model, self.redundancy_bits, self.search)
+                .last()
+                .ok_or(BuildError::NoMultiplier { redundancy_bits: self.redundancy_bits })?,
+        };
+        Ok(MuseCode::new(map, model, m)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_reproduces_presets() {
+        let code = CodeBuilder::new(144).symbol_bits(4).redundancy_bits(12).build().unwrap();
+        assert_eq!(code.multiplier(), 4065); // largest of the 25
+        assert_eq!(code.name(), "MUSE(144,132)");
+
+        let code = CodeBuilder::new(80)
+            .symbol_bits(8)
+            .shuffle(Shuffle::Interleaved)
+            .direction(Direction::OneToZero)
+            .redundancy_bits(13)
+            .build()
+            .unwrap();
+        assert_eq!(code.multiplier(), 5621);
+    }
+
+    #[test]
+    fn builder_with_explicit_multiplier_skips_search() {
+        let code = CodeBuilder::new(80).multiplier(2005).redundancy_bits(11).build().unwrap();
+        assert_eq!(code.name(), "MUSE(80,69)");
+    }
+
+    #[test]
+    fn builder_rejects_exhausted_search() {
+        let err = CodeBuilder::new(144).redundancy_bits(10).build().unwrap_err();
+        assert_eq!(err, BuildError::NoMultiplier { redundancy_bits: 10 });
+    }
+
+    #[test]
+    fn builder_rejects_bad_layout() {
+        assert!(matches!(
+            CodeBuilder::new(80).symbol_bits(3).build(),
+            Err(BuildError::Layout(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_multiplier() {
+        assert!(matches!(
+            CodeBuilder::new(80).multiplier(2007).build(),
+            Err(BuildError::Code(_))
+        ));
+    }
+
+    #[test]
+    fn custom_channel_width() {
+        // A 48-bit x2 channel with 2-bit devices and single-bit coverage.
+        let code = CodeBuilder::new(48)
+            .symbol_bits(2)
+            .direction(Direction::OneToZero)
+            .with_single_bit_errors(Direction::Bidirectional)
+            .redundancy_bits(8)
+            .build()
+            .unwrap();
+        assert_eq!(code.class_name(), "C2A_U1B");
+        let payload = crate::Word::mask(40);
+        let cw = code.encode(&payload);
+        let mut corrupted = cw;
+        corrupted.toggle_bit(17);
+        assert_eq!(code.decode(&corrupted).payload(), Some(payload));
+    }
+}

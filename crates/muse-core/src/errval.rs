@@ -1,0 +1,272 @@
+//! Enumeration of the signed error values a code layout must disambiguate
+//! (paper Sections II–III).
+//!
+//! An error flipping bits `P⁺` from 0→1 and `P⁻` from 1→0 changes the
+//! codeword by `e = Σ_{i∈P⁺} 2^i − Σ_{i∈P⁻} 2^i`. Correction only needs the
+//! *value* `e` (the fix is `codeword − e`), so enumeration deduplicates
+//! distinct flip patterns that produce the same value (e.g. `+2^{a+1} − 2^a`
+//! and `+2^a` inside one contiguous symbol).
+//!
+//! Because every signed power-of-two representation of a value shares its
+//! lowest set bit, a value can only arise within the single symbol owning
+//! that bit — so each distinct value has a well-defined owning symbol.
+
+use std::collections::HashMap;
+
+use muse_wideint::SignedWide;
+
+use crate::{ErrorModel, ErrorTerm, ErrorValueInt, SymbolMap};
+
+/// A distinct error value together with the symbol able to produce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorValue {
+    /// The signed change to the codeword.
+    pub value: ErrorValueInt,
+    /// Index of the owning symbol in the [`SymbolMap`].
+    pub symbol: usize,
+}
+
+/// Enumerates the distinct error values of `model` over `map`.
+///
+/// The result is sorted by magnitude (ascending), then by sign, so it is
+/// deterministic across runs.
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::{enumerate_error_values, Direction, ErrorModel, SymbolMap};
+///
+/// # fn main() -> Result<(), muse_core::SymbolMapError> {
+/// // A contiguous 4-bit symbol has 2·(2^4−1) = 30 distinct values;
+/// // the paper's MUSE(144,132) has 36 such symbols -> 1080 ELC entries.
+/// let map = SymbolMap::sequential(144, 4)?;
+/// let model = ErrorModel::symbol(Direction::Bidirectional);
+/// assert_eq!(enumerate_error_values(&map, &model).len(), 1080);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_error_values(map: &SymbolMap, model: &ErrorModel) -> Vec<ErrorValue> {
+    let mut seen: HashMap<ErrorValueInt, usize> = HashMap::new();
+    for term in model.terms() {
+        match term {
+            ErrorTerm::Symbol(direction) => {
+                for sym in 0..map.num_symbols() {
+                    for value in symbol_error_values(map.bits_of(sym), *direction) {
+                        record(&mut seen, value, sym);
+                    }
+                }
+            }
+            ErrorTerm::SingleBit(direction) => {
+                for bit in 0..map.n_bits() {
+                    let sym = map.symbol_of_bit(bit);
+                    if direction.allows_rising() {
+                        record(&mut seen, SignedWide::from_bit(bit, true), sym);
+                    }
+                    if direction.allows_falling() {
+                        record(&mut seen, SignedWide::from_bit(bit, false), sym);
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<ErrorValue> = seen
+        .into_iter()
+        .map(|(value, symbol)| ErrorValue { value, symbol })
+        .collect();
+    out.sort_by_key(|a| a.value);
+    out
+}
+
+fn record(seen: &mut HashMap<ErrorValueInt, usize>, value: ErrorValueInt, symbol: usize) {
+    let prev = seen.insert(value, symbol);
+    // Disjoint symbols cannot produce the same value (shared lowest set bit),
+    // so any duplicate must come from the same symbol.
+    debug_assert!(prev.is_none() || prev == Some(symbol));
+}
+
+/// All distinct signed error values producible by flips within one symbol.
+///
+/// Bidirectional symbols enumerate every sign assignment over every
+/// non-empty subset of the symbol's bits (up to `3^s − 1` combinations,
+/// fewer distinct values when bits are adjacent); asymmetric directions
+/// enumerate the `2^s − 1` single-sign subsets.
+pub fn symbol_error_values(bits: &[u32], direction: crate::Direction) -> Vec<ErrorValueInt> {
+    let s = bits.len();
+    assert!(s <= 20, "symbol size {s} unreasonably large");
+    let mut out = Vec::new();
+    if direction == crate::Direction::Bidirectional {
+        // Ternary counter: digit 0 = no flip, 1 = rising (+), 2 = falling (−).
+        let mut digits = vec![0u8; s];
+        loop {
+            // Increment base-3.
+            let mut i = 0;
+            loop {
+                if i == s {
+                    return dedup_sorted(out);
+                }
+                digits[i] += 1;
+                if digits[i] < 3 {
+                    break;
+                }
+                digits[i] = 0;
+                i += 1;
+            }
+            let mut value = ErrorValueInt::ZERO;
+            for (d, &bit) in digits.iter().zip(bits) {
+                match d {
+                    1 => value = value + SignedWide::from_bit(bit, true),
+                    2 => value = value + SignedWide::from_bit(bit, false),
+                    _ => {}
+                }
+            }
+            out.push(value);
+        }
+    } else {
+        let rising = direction.allows_rising();
+        for pattern in 1u32..(1 << s) {
+            let mut value = ErrorValueInt::ZERO;
+            for (i, &bit) in bits.iter().enumerate() {
+                if pattern >> i & 1 == 1 {
+                    value = value + SignedWide::from_bit(bit, rising);
+                }
+            }
+            out.push(value);
+        }
+        dedup_sorted(out)
+    }
+}
+
+fn dedup_sorted(mut values: Vec<ErrorValueInt>) -> Vec<ErrorValueInt> {
+    values.sort();
+    values.dedup();
+    values
+}
+
+/// Counts error-value magnitudes per power-of-two bin: entry `b` is the
+/// number of distinct *positive* error values `v` with `⌊log2 v⌋ = b`.
+///
+/// This regenerates the data behind Figure 1(b), which plots the error-value
+/// distribution of MUSE(80,69) with sequential vs shuffled bit assignment
+/// (positive values only, matching the paper's convention).
+pub fn positive_value_histogram(map: &SymbolMap, model: &ErrorModel) -> Vec<u32> {
+    let mut bins = vec![0u32; map.n_bits() as usize];
+    for ev in enumerate_error_values(map, model) {
+        if !ev.value.is_negative() && !ev.value.is_zero() {
+            let bin = (ev.value.magnitude().bit_len() - 1) as usize;
+            bins[bin] += 1;
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    fn values_i128(bits: &[u32], dir: Direction) -> Vec<i128> {
+        symbol_error_values(bits, dir)
+            .iter()
+            .map(|v| v.to_i128().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_symbol_collapses_to_30() {
+        // Paper III-A: a contiguous 4-bit symbol has 2·(2^4−1) = 30 distinct
+        // error values even though there are 3^4−1 = 80 flip patterns.
+        let vals = values_i128(&[0, 1, 2, 3], Direction::Bidirectional);
+        assert_eq!(vals.len(), 30);
+        let expect: Vec<i128> = (-15..=15).filter(|&v| v != 0).collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn offset_symbol_scales_values() {
+        let vals = values_i128(&[4, 5, 6, 7], Direction::Bidirectional);
+        let expect: Vec<i128> = (-15..=15)
+            .filter(|&v| v != 0)
+            .map(|v| v * 16)
+            .collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn spread_symbol_keeps_all_ternary_values() {
+        // Non-adjacent bits -> all 3^s − 1 sign patterns are distinct values.
+        let vals = values_i128(&[0, 10], Direction::Bidirectional);
+        assert_eq!(vals.len(), 8); // 3^2 − 1
+        let expect: Vec<i128> = vec![-1025, -1024, -1023, -1, 1, 1023, 1024, 1025];
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn paper_figure1_toy_example() {
+        // Fig. 1(a): 4-bit codeword, x2 devices. Sequential: symbol {b0,b1}
+        // has positive values 1, 2, 3; shuffled symbol {b0,b3} has 1, 7, 8, 9.
+        let seq = values_i128(&[0, 1], Direction::Bidirectional);
+        let pos: Vec<i128> = seq.into_iter().filter(|v| *v > 0).collect();
+        assert_eq!(pos, vec![1, 2, 3]);
+        let shuf = values_i128(&[0, 3], Direction::Bidirectional);
+        let pos: Vec<i128> = shuf.into_iter().filter(|v| *v > 0).collect();
+        assert_eq!(pos, vec![1, 7, 8, 9]);
+    }
+
+    #[test]
+    fn asymmetric_values_all_negative() {
+        let vals = values_i128(&[0, 1, 2, 3], Direction::OneToZero);
+        assert_eq!(vals.len(), 15);
+        assert!(vals.iter().all(|&v| v < 0));
+        assert_eq!(vals.first(), Some(&-15));
+        assert_eq!(vals.last(), Some(&-1));
+    }
+
+    #[test]
+    fn zero_to_one_values_all_positive() {
+        let vals = values_i128(&[2, 5], Direction::ZeroToOne);
+        assert_eq!(vals, vec![4, 32, 36]);
+    }
+
+    #[test]
+    fn full_code_counts() {
+        let map = SymbolMap::sequential(80, 4).unwrap();
+        let model = ErrorModel::symbol(Direction::Bidirectional);
+        assert_eq!(enumerate_error_values(&map, &model).len(), 20 * 30);
+
+        // Eq.5 shuffle, asymmetric 8-bit symbols: 10 × (2^8 − 1).
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        let model = ErrorModel::symbol(Direction::OneToZero);
+        assert_eq!(enumerate_error_values(&map, &model).len(), 10 * 255);
+    }
+
+    #[test]
+    fn hybrid_count_matches_dedup() {
+        // Eq.6: 20 asymmetric 4-bit symbols (20×15 = 300 negative values) plus
+        // 160 single-bit values, of which the 80 negative ones are duplicates.
+        let map = SymbolMap::eq6_hybrid_80();
+        let model = ErrorModel::hybrid_symbol_plus_single_bit();
+        let values = enumerate_error_values(&map, &model);
+        assert_eq!(values.len(), 300 + 80);
+        let positives = values.iter().filter(|v| !v.value.is_negative()).count();
+        assert_eq!(positives, 80);
+    }
+
+    #[test]
+    fn symbol_attribution_follows_lowest_bit() {
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        let model = ErrorModel::symbol(Direction::Bidirectional);
+        for ev in enumerate_error_values(&map, &model) {
+            let low_bit = ev.value.magnitude().trailing_zeros();
+            assert_eq!(map.symbol_of_bit(low_bit), ev.symbol);
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_positive_count() {
+        let map = SymbolMap::sequential(80, 4).unwrap();
+        let model = ErrorModel::symbol(Direction::Bidirectional);
+        let hist = positive_value_histogram(&map, &model);
+        let total: u32 = hist.iter().sum();
+        assert_eq!(total, 20 * 15); // positive half of 20×30
+    }
+}

@@ -1,0 +1,245 @@
+//! Cache-line-granularity encoding: the memory-controller view.
+//!
+//! Controllers move 64-byte lines, not words: a line is eight 64-bit words,
+//! each stored as one codeword, with the per-word spare bits pooled into a
+//! single line-level metadata field (Section VI-A pools 8 × 5 bits into a
+//! 40-bit hash; Section VII-D stores 16 bits of MTE tags the same way).
+
+use std::fmt;
+
+use crate::{Decoded, MuseCode, Word};
+
+/// Words per 64-byte cache line.
+pub const WORDS_PER_LINE: usize = 8;
+
+/// Error from [`LineCodec`] construction or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineCodecError {
+    /// The word code cannot hold a 64-bit data word.
+    PayloadTooNarrow {
+        /// The code's payload width.
+        k_bits: u32,
+    },
+    /// A word of the line was uncorrectable.
+    Uncorrectable {
+        /// Index of the failing word.
+        word: usize,
+    },
+}
+
+impl fmt::Display for LineCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PayloadTooNarrow { k_bits } => {
+                write!(f, "code payload of {k_bits} bits cannot hold a 64-bit word")
+            }
+            Self::Uncorrectable { word } => write!(f, "word {word} uncorrectable"),
+        }
+    }
+}
+
+impl std::error::Error for LineCodecError {}
+
+/// A decoded line: data, pooled metadata, and which devices were corrected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedLine {
+    /// The eight data words.
+    pub data: [u64; WORDS_PER_LINE],
+    /// The pooled line metadata.
+    pub metadata: u64,
+    /// `(word, device)` pairs that needed correction.
+    pub corrections: Vec<(usize, usize)>,
+}
+
+/// Encodes/decodes whole cache lines over a word-level [`MuseCode`].
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::{presets, LineCodec};
+///
+/// # fn main() -> Result<(), muse_core::LineCodecError> {
+/// let codec = LineCodec::new(presets::muse_80_69())?;
+/// assert_eq!(codec.metadata_bits(), 40); // 8 × 5 spare bits pooled
+///
+/// let data = [7u64; 8];
+/// let mut stored = codec.encode_line(&data, 0xABCD);
+/// stored[3].toggle_bit(17); // a fault in word 3
+/// let line = codec.decode_line(&stored)?;
+/// assert_eq!(line.data, data);
+/// assert_eq!(line.metadata, 0xABCD);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineCodec {
+    code: MuseCode,
+}
+
+impl LineCodec {
+    /// Wraps a word code; it must carry at least 64 payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the code's payload is narrower than a 64-bit word.
+    pub fn new(code: MuseCode) -> Result<Self, LineCodecError> {
+        if code.k_bits() < 64 {
+            return Err(LineCodecError::PayloadTooNarrow { k_bits: code.k_bits() });
+        }
+        Ok(Self { code })
+    }
+
+    /// The underlying word code.
+    pub fn code(&self) -> &MuseCode {
+        &self.code
+    }
+
+    /// Pooled metadata capacity per line (8 × the word spare bits, capped
+    /// at 64 for the `u64` interface).
+    pub fn metadata_bits(&self) -> u32 {
+        (self.code.spare_bits() * WORDS_PER_LINE as u32).min(64)
+    }
+
+    /// Encodes eight words plus pooled metadata into eight codewords.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metadata` exceeds [`Self::metadata_bits`].
+    pub fn encode_line(&self, data: &[u64; WORDS_PER_LINE], metadata: u64) -> Vec<Word> {
+        let cap = self.metadata_bits();
+        assert!(
+            cap == 64 || metadata < (1u64 << cap),
+            "metadata exceeds the {cap}-bit line capacity"
+        );
+        let spare = self.code.spare_bits();
+        let mask = if spare >= 64 { u64::MAX } else { (1u64 << spare) - 1 };
+        (0..WORDS_PER_LINE)
+            .map(|i| {
+                let slice = if spare == 0 {
+                    0
+                } else {
+                    metadata.checked_shr(spare * i as u32).unwrap_or(0) & mask
+                };
+                self.code.encode(&self.code.pack_metadata(data[i], slice))
+            })
+            .collect()
+    }
+
+    /// Decodes eight stored codewords back into a line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LineCodecError::Uncorrectable`] on the first word whose
+    /// decode fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored` does not hold exactly eight words.
+    pub fn decode_line(&self, stored: &[Word]) -> Result<DecodedLine, LineCodecError> {
+        assert_eq!(stored.len(), WORDS_PER_LINE, "a line is eight codewords");
+        let spare = self.code.spare_bits();
+        let mut data = [0u64; WORDS_PER_LINE];
+        let mut metadata = 0u64;
+        let mut corrections = Vec::new();
+        for (i, cw) in stored.iter().enumerate() {
+            let payload = match self.code.decode(cw) {
+                Decoded::Detected => return Err(LineCodecError::Uncorrectable { word: i }),
+                Decoded::Clean { payload } => payload,
+                Decoded::Corrected { payload, symbol, .. } => {
+                    corrections.push((i, symbol));
+                    payload
+                }
+            };
+            let (word, meta) = self.code.unpack_metadata(&payload);
+            data[i] = word;
+            if spare > 0 && spare * (i as u32) < 64 {
+                metadata |= meta << (spare * i as u32);
+            }
+        }
+        Ok(DecodedLine { data, metadata, corrections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn codec() -> LineCodec {
+        LineCodec::new(presets::muse_80_69()).unwrap()
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        assert_eq!(codec().metadata_bits(), 40);
+        assert_eq!(LineCodec::new(presets::muse_80_67()).unwrap().metadata_bits(), 24);
+        assert_eq!(LineCodec::new(presets::muse_80_70()).unwrap().metadata_bits(), 48);
+        assert!(matches!(
+            LineCodec::new(crate::CodeBuilder::new(48).redundancy_bits(11).build().unwrap()),
+            Err(LineCodecError::PayloadTooNarrow { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_roundtrip_with_metadata() {
+        let codec = codec();
+        let data = [1, 2, 3, 4, 5, 6, 7, u64::MAX];
+        let meta = 0xAB_CDEF_0123u64; // 40 bits
+        let stored = codec.encode_line(&data, meta);
+        let line = codec.decode_line(&stored).unwrap();
+        assert_eq!(line.data, data);
+        assert_eq!(line.metadata, meta);
+        assert!(line.corrections.is_empty());
+    }
+
+    #[test]
+    fn corrections_reported_per_word() {
+        let codec = codec();
+        let data = [9u64; 8];
+        let mut stored = codec.encode_line(&data, 0x1F);
+        stored[2] = stored[2] ^ *codec.code().symbol_map().mask(5);
+        stored[6] = stored[6] ^ *codec.code().symbol_map().mask(0);
+        let line = codec.decode_line(&stored).unwrap();
+        assert_eq!(line.data, data);
+        assert_eq!(line.metadata, 0x1F);
+        assert_eq!(line.corrections, vec![(2, 5), (6, 0)]);
+    }
+
+    #[test]
+    fn uncorrectable_word_reported() {
+        let codec = codec();
+        let mut stored = codec.encode_line(&[0u64; 8], 0);
+        stored[4] = stored[4]
+            ^ *codec.code().symbol_map().mask(1)
+            ^ *codec.code().symbol_map().mask(8);
+        match codec.decode_line(&stored) {
+            Err(LineCodecError::Uncorrectable { word: 4 }) => {}
+            other => {
+                // A miscorrection is also possible for 2-device errors; it
+                // must at least not return the original data silently.
+                let line = other.expect("either uncorrectable or miscorrected");
+                assert_ne!(line.data, [0u64; 8]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata exceeds")]
+    fn oversized_metadata_panics() {
+        let _ = codec().encode_line(&[0u64; 8], 1 << 41);
+    }
+
+    #[test]
+    fn mte_tags_fit_with_room_for_hash() {
+        // Section VII-D: 16 tag bits per line; MUSE(80,69) pools 40 —
+        // tags plus a 24-bit integrity hash fit together.
+        let codec = codec();
+        let tags = 0xBEEFu64;
+        let hash = 0x123456u64;
+        let meta = tags | (hash << 16);
+        let stored = codec.encode_line(&[42u64; 8], meta);
+        let line = codec.decode_line(&stored).unwrap();
+        assert_eq!(line.metadata & 0xFFFF, tags);
+        assert_eq!(line.metadata >> 16, hash);
+    }
+}

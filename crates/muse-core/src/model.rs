@@ -1,0 +1,181 @@
+//! Error models and the paper's PST naming convention (Section IV).
+//!
+//! A code is named `PST`: `P` is the constraint form (`C` constrained to a
+//! symbol, `U` unconstrained), `S` the error size in bits, and `T` the type
+//! (`B` bidirectional flips, `A` asymmetrical flips). Hybrid codes list
+//! several terms, e.g. `C4A_U1B` covers symbol-confined 4-bit asymmetric
+//! errors *and* any single-bit bidirectional error.
+
+use std::fmt;
+
+/// Which bit-flip directions an error class may produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Both 0→1 and 1→0 flips (`B` in the naming convention).
+    Bidirectional,
+    /// Only 0→1 flips (error values are positive).
+    ZeroToOne,
+    /// Only 1→0 flips (error values are negative); the DRAM retention /
+    /// refresh error model (`A` in the naming convention).
+    OneToZero,
+}
+
+impl Direction {
+    /// Whether a 0→1 flip (positive error contribution) is allowed.
+    pub fn allows_rising(self) -> bool {
+        matches!(self, Self::Bidirectional | Self::ZeroToOne)
+    }
+
+    /// Whether a 1→0 flip (negative error contribution) is allowed.
+    pub fn allows_falling(self) -> bool {
+        matches!(self, Self::Bidirectional | Self::OneToZero)
+    }
+
+    /// The `B`/`A` suffix of the naming convention.
+    pub fn suffix(self) -> char {
+        match self {
+            Self::Bidirectional => 'B',
+            Self::ZeroToOne | Self::OneToZero => 'A',
+        }
+    }
+}
+
+/// One class of errors the code must correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorTerm {
+    /// Any combination of flips confined to a single symbol (`C<s>`).
+    Symbol(Direction),
+    /// A single flipped bit anywhere in the codeword (`U1`).
+    SingleBit(Direction),
+}
+
+/// The set of error classes a code corrects (one or more [`ErrorTerm`]s).
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::{Direction, ErrorModel};
+///
+/// let chipkill = ErrorModel::symbol(Direction::Bidirectional);
+/// assert_eq!(chipkill.name(4), "C4B");
+///
+/// let hybrid = ErrorModel::hybrid_symbol_plus_single_bit();
+/// assert_eq!(hybrid.name(4), "C4A_U1B");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ErrorModel {
+    terms: Vec<ErrorTerm>,
+}
+
+impl ErrorModel {
+    /// Symbol-confined errors with the given direction
+    /// (`C<s>B` / `C<s>A`).
+    pub fn symbol(direction: Direction) -> Self {
+        Self { terms: vec![ErrorTerm::Symbol(direction)] }
+    }
+
+    /// The paper's hybrid model for MUSE(80,70): asymmetric (1→0)
+    /// symbol-confined errors plus bidirectional single-bit errors
+    /// (`C<s>A_U1B`).
+    pub fn hybrid_symbol_plus_single_bit() -> Self {
+        Self {
+            terms: vec![
+                ErrorTerm::Symbol(Direction::OneToZero),
+                ErrorTerm::SingleBit(Direction::Bidirectional),
+            ],
+        }
+    }
+
+    /// A custom combination of terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn from_terms(terms: Vec<ErrorTerm>) -> Self {
+        assert!(!terms.is_empty(), "an error model needs at least one term");
+        Self { terms }
+    }
+
+    /// The error terms, in declaration order.
+    pub fn terms(&self) -> &[ErrorTerm] {
+        &self.terms
+    }
+
+    /// The `PST` name given the symbol size in bits, e.g. `C4B` or
+    /// `C4A_U1B`.
+    pub fn name(&self, symbol_bits: u32) -> String {
+        let parts: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                ErrorTerm::Symbol(d) => format!("C{symbol_bits}{}", d.suffix()),
+                ErrorTerm::SingleBit(d) => format!("U1{}", d.suffix()),
+            })
+            .collect();
+        parts.join("_")
+    }
+}
+
+impl fmt::Display for ErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                ErrorTerm::Symbol(d) => format!("C?{}", d.suffix()),
+                ErrorTerm::SingleBit(d) => format!("U1{}", d.suffix()),
+            })
+            .collect();
+        write!(f, "{}", parts.join("_"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flags() {
+        assert!(Direction::Bidirectional.allows_rising());
+        assert!(Direction::Bidirectional.allows_falling());
+        assert!(Direction::ZeroToOne.allows_rising());
+        assert!(!Direction::ZeroToOne.allows_falling());
+        assert!(!Direction::OneToZero.allows_rising());
+        assert!(Direction::OneToZero.allows_falling());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(ErrorModel::symbol(Direction::Bidirectional).name(4), "C4B");
+        assert_eq!(ErrorModel::symbol(Direction::OneToZero).name(8), "C8A");
+        assert_eq!(ErrorModel::hybrid_symbol_plus_single_bit().name(4), "C4A_U1B");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_model_rejected() {
+        let _ = ErrorModel::from_terms(vec![]);
+    }
+
+    #[test]
+    fn zero_to_one_also_names_a() {
+        assert_eq!(ErrorModel::symbol(Direction::ZeroToOne).name(4), "C4A");
+        assert_eq!(Direction::ZeroToOne.suffix(), 'A');
+    }
+
+    #[test]
+    fn display_elides_symbol_size() {
+        let model = ErrorModel::hybrid_symbol_plus_single_bit();
+        assert_eq!(model.to_string(), "C?A_U1B");
+        assert_eq!(model.terms().len(), 2);
+    }
+
+    #[test]
+    fn custom_terms_compose() {
+        let model = ErrorModel::from_terms(vec![
+            ErrorTerm::Symbol(Direction::Bidirectional),
+            ErrorTerm::SingleBit(Direction::OneToZero),
+        ]);
+        assert_eq!(model.name(8), "C8B_U1A");
+    }
+}

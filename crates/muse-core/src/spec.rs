@@ -1,0 +1,251 @@
+//! Portable text serialization of a code specification — the handoff
+//! artifact between the search tooling and a hardware-generation flow.
+//!
+//! The format is line-oriented and versioned:
+//!
+//! ```text
+//! muse-code v1
+//! n 80
+//! multiplier 2005
+//! model C4B
+//! symbol 0: 0 1 2 3
+//! symbol 1: 4 5 6 7
+//! ...
+//! ```
+//!
+//! Loading re-validates everything (the multiplier is re-checked against
+//! the layout), so a tampered or stale spec cannot produce a miscorrecting
+//! code.
+
+use std::fmt;
+
+use crate::{BuildError, Direction, ErrorModel, ErrorTerm, MuseCode, SymbolMap};
+
+/// Error parsing a code spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line number (0 for structural problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn spec_err(line: usize, message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError { line, message: message.into() }
+}
+
+/// Serializes a code to the portable text format.
+pub fn to_spec_string(code: &MuseCode) -> String {
+    let mut out = String::from("muse-code v1\n");
+    out.push_str(&format!("n {}\n", code.n_bits()));
+    out.push_str(&format!("multiplier {}\n", code.multiplier()));
+    out.push_str(&format!("model {}\n", code.class_name()));
+    for sym in 0..code.symbol_map().num_symbols() {
+        let bits: Vec<String> =
+            code.symbol_map().bits_of(sym).iter().map(|b| b.to_string()).collect();
+        out.push_str(&format!("symbol {sym}: {}\n", bits.join(" ")));
+    }
+    out
+}
+
+/// Parses and fully re-validates a code spec.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] for malformed text and propagates layout /
+/// multiplier validation failures (wrapped in the error message).
+pub fn from_spec_string(text: &str) -> Result<MuseCode, ParseSpecError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (line, header) = lines.next().ok_or_else(|| spec_err(0, "empty spec"))?;
+    if header != "muse-code v1" {
+        return Err(spec_err(line, format!("unknown header {header:?}")));
+    }
+    let mut n_bits: Option<u32> = None;
+    let mut multiplier: Option<u64> = None;
+    let mut model: Option<ErrorModel> = None;
+    let mut symbols: Vec<(usize, Vec<u32>)> = Vec::new();
+
+    for (line, content) in lines {
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = content.split_once(' ').unwrap_or((content, ""));
+        match key {
+            "n" => {
+                n_bits =
+                    Some(rest.trim().parse().map_err(|e| spec_err(line, format!("bad n: {e}")))?)
+            }
+            "multiplier" => {
+                multiplier = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|e| spec_err(line, format!("bad multiplier: {e}")))?,
+                )
+            }
+            "model" => model = Some(parse_model(line, rest.trim())?),
+            "symbol" => {
+                let (idx_part, bits_part) = rest
+                    .split_once(':')
+                    .ok_or_else(|| spec_err(line, "symbol line needs `index: bits`"))?;
+                let idx: usize = idx_part
+                    .trim()
+                    .parse()
+                    .map_err(|e| spec_err(line, format!("bad symbol index: {e}")))?;
+                let bits: Result<Vec<u32>, _> =
+                    bits_part.split_whitespace().map(str::parse).collect();
+                let bits = bits.map_err(|e| spec_err(line, format!("bad bit list: {e}")))?;
+                symbols.push((idx, bits));
+            }
+            other => return Err(spec_err(line, format!("unknown key {other:?}"))),
+        }
+    }
+
+    let n_bits = n_bits.ok_or_else(|| spec_err(0, "missing `n`"))?;
+    let multiplier = multiplier.ok_or_else(|| spec_err(0, "missing `multiplier`"))?;
+    let model = model.ok_or_else(|| spec_err(0, "missing `model`"))?;
+    symbols.sort_by_key(|&(idx, _)| idx);
+    for (expect, &(idx, _)) in symbols.iter().enumerate() {
+        if idx != expect {
+            return Err(spec_err(0, format!("symbol indices not contiguous at {idx}")));
+        }
+    }
+    let groups: Vec<Vec<u32>> = symbols.into_iter().map(|(_, bits)| bits).collect();
+    let map = SymbolMap::from_groups(n_bits, groups)
+        .map_err(|e| spec_err(0, format!("invalid layout: {e}")))?;
+    MuseCode::new(map, model, multiplier)
+        .map_err(|e| spec_err(0, format!("invalid code: {e}")))
+}
+
+/// Parses a PST model name like `C4B`, `C8A`, or `C4A_U1B`.
+fn parse_model(line: usize, name: &str) -> Result<ErrorModel, ParseSpecError> {
+    let mut terms = Vec::new();
+    for part in name.split('_') {
+        let term = if let Some(rest) = part.strip_prefix('C') {
+            let dir = parse_direction(line, rest)?;
+            ErrorTerm::Symbol(dir)
+        } else if let Some(rest) = part.strip_prefix("U1") {
+            let dir = match rest {
+                "B" => Direction::Bidirectional,
+                "A" => Direction::OneToZero,
+                other => return Err(spec_err(line, format!("bad U1 suffix {other:?}"))),
+            };
+            ErrorTerm::SingleBit(dir)
+        } else {
+            return Err(spec_err(line, format!("unknown model term {part:?}")));
+        };
+        terms.push(term);
+    }
+    if terms.is_empty() {
+        return Err(spec_err(line, "empty model"));
+    }
+    Ok(ErrorModel::from_terms(terms))
+}
+
+fn parse_direction(line: usize, sized: &str) -> Result<Direction, ParseSpecError> {
+    // `C<s><B|A>`: the size digits are implied by the layout, only the
+    // suffix matters here.
+    match sized.chars().last() {
+        Some('B') => Ok(Direction::Bidirectional),
+        Some('A') => Ok(Direction::OneToZero),
+        other => Err(spec_err(line, format!("bad model suffix {other:?}"))),
+    }
+}
+
+impl MuseCode {
+    /// Serializes this code to the portable spec format (see the
+    /// [`spec`](crate::spec) module docs).
+    pub fn to_spec_string(&self) -> String {
+        to_spec_string(self)
+    }
+
+    /// Parses and re-validates a spec produced by
+    /// [`Self::to_spec_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSpecError`] for malformed or invalid specs.
+    pub fn from_spec_string(text: &str) -> Result<Self, ParseSpecError> {
+        from_spec_string(text)
+    }
+}
+
+impl From<BuildError> for ParseSpecError {
+    fn from(e: BuildError) -> Self {
+        spec_err(0, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn roundtrip_every_preset() {
+        for code in presets::table1().into_iter().chain([presets::muse_268_256()]) {
+            let spec = code.to_spec_string();
+            let loaded = MuseCode::from_spec_string(&spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", code.name()));
+            assert_eq!(loaded.name(), code.name());
+            assert_eq!(loaded.multiplier(), code.multiplier());
+            assert_eq!(loaded.symbol_map(), code.symbol_map());
+            assert_eq!(loaded.class_name(), code.class_name());
+            // Functional equivalence on a probe word.
+            let payload = crate::Word::mask(code.k_bits());
+            assert_eq!(loaded.encode(&payload), code.encode(&payload));
+        }
+    }
+
+    #[test]
+    fn spec_text_shape() {
+        let spec = presets::muse_80_69().to_spec_string();
+        assert!(spec.starts_with("muse-code v1\n"));
+        assert!(spec.contains("\nn 80\n"));
+        assert!(spec.contains("\nmultiplier 2005\n"));
+        assert!(spec.contains("\nmodel C4B\n"));
+        assert!(spec.contains("\nsymbol 19: 76 77 78 79\n"));
+    }
+
+    #[test]
+    fn tampered_multiplier_rejected() {
+        let spec = presets::muse_80_69().to_spec_string().replace("2005", "2007");
+        let e = MuseCode::from_spec_string(&spec).unwrap_err();
+        assert!(e.message.contains("invalid code"), "{e}");
+    }
+
+    #[test]
+    fn malformed_specs_rejected_with_line_numbers() {
+        assert!(MuseCode::from_spec_string("").is_err());
+        assert!(MuseCode::from_spec_string("other v9\n").is_err());
+        let e = MuseCode::from_spec_string("muse-code v1\nn abc\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = MuseCode::from_spec_string("muse-code v1\nn 80\nwat 3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        // Missing fields.
+        let e = MuseCode::from_spec_string("muse-code v1\nn 80\n").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let mut spec = presets::muse_80_70().to_spec_string();
+        spec.push_str("\n# trailing comment\n\n");
+        let loaded = MuseCode::from_spec_string(&spec).unwrap();
+        assert_eq!(loaded.class_name(), "C4A_U1B");
+    }
+
+    #[test]
+    fn non_contiguous_symbols_rejected() {
+        let spec = "muse-code v1\nn 8\nmultiplier 23\nmodel C4B\nsymbol 0: 0 1 2 3\nsymbol 2: 4 5 6 7\n";
+        let e = MuseCode::from_spec_string(spec).unwrap_err();
+        assert!(e.message.contains("contiguous"));
+    }
+}

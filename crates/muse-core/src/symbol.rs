@@ -1,0 +1,352 @@
+//! Bit-to-symbol assignment ("shuffling", paper Section III-B).
+//!
+//! A *symbol* is the group of codeword bits written to one DRAM device. With
+//! the traditional *sequential* assignment, symbol `i` holds the contiguous
+//! bits `[s·i, s·(i+1))`. *Shuffling* re-routes the wires between the memory
+//! controller and the DRAM interface so that a device holds scattered bit
+//! positions, which changes the numerical error values a device failure can
+//! produce and lets small multipliers disambiguate them.
+
+use std::fmt;
+
+use crate::Word;
+
+/// Error constructing a [`SymbolMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolMapError {
+    /// A bit position is out of the codeword range.
+    BitOutOfRange {
+        /// The offending bit position.
+        bit: u32,
+        /// The codeword width.
+        n_bits: u32,
+    },
+    /// A bit position appears in more than one symbol (or twice in one).
+    DuplicateBit(u32),
+    /// Some codeword bit belongs to no symbol.
+    UncoveredBit(u32),
+    /// The codeword length is not divisible by the symbol size.
+    UnevenSymbols {
+        /// The codeword width.
+        n_bits: u32,
+        /// The requested symbol width (or symbol count for interleaving).
+        symbol_bits: u32,
+    },
+    /// The codeword exceeds the fixed word width.
+    TooWide {
+        /// The requested codeword width.
+        n_bits: u32,
+    },
+}
+
+impl fmt::Display for SymbolMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BitOutOfRange { bit, n_bits } => {
+                write!(f, "bit {bit} out of range for {n_bits}-bit codeword")
+            }
+            Self::DuplicateBit(bit) => write!(f, "bit {bit} assigned to more than one symbol"),
+            Self::UncoveredBit(bit) => write!(f, "bit {bit} not assigned to any symbol"),
+            Self::UnevenSymbols { n_bits, symbol_bits } => {
+                write!(f, "{n_bits}-bit codeword not divisible into {symbol_bits}-bit symbols")
+            }
+            Self::TooWide { n_bits } => {
+                write!(f, "{n_bits}-bit codeword exceeds the {} bit word width", Word::BITS)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolMapError {}
+
+/// A partition of the `n` codeword bits into symbols (one symbol per DRAM
+/// device).
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::SymbolMap;
+///
+/// # fn main() -> Result<(), muse_core::SymbolMapError> {
+/// // DDR4 x4 layout: 144 bits over 36 devices, 4 bits each.
+/// let map = SymbolMap::sequential(144, 4)?;
+/// assert_eq!(map.num_symbols(), 36);
+/// assert_eq!(map.symbol_of_bit(7), 1);
+///
+/// // Paper Eq. 5: ten 8-bit symbols, bit i belongs to symbol i mod 10.
+/// let shuffled = SymbolMap::interleaved(80, 10)?;
+/// assert_eq!(shuffled.bits_of(0), &[0, 10, 20, 30, 40, 50, 60, 70]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolMap {
+    n_bits: u32,
+    symbols: Vec<Vec<u32>>,
+    masks: Vec<Word>,
+    bit_to_symbol: Vec<u32>,
+}
+
+impl SymbolMap {
+    /// Sequential assignment: symbol `i` holds bits `[s·i, s·(i+1))`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n_bits` is not a multiple of `symbol_bits` or exceeds the
+    /// word width.
+    pub fn sequential(n_bits: u32, symbol_bits: u32) -> Result<Self, SymbolMapError> {
+        if symbol_bits == 0 || !n_bits.is_multiple_of(symbol_bits) {
+            return Err(SymbolMapError::UnevenSymbols { n_bits, symbol_bits });
+        }
+        let groups = (0..n_bits / symbol_bits)
+            .map(|i| (i * symbol_bits..(i + 1) * symbol_bits).collect())
+            .collect();
+        Self::from_groups(n_bits, groups)
+    }
+
+    /// Interleaved ("shuffled") assignment with `num_symbols` symbols:
+    /// bit `j` belongs to symbol `j mod num_symbols`.
+    ///
+    /// With `num_symbols = 10` over 80 bits this is exactly the paper's
+    /// Eq. 5 shuffle for MUSE(80,67).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n_bits` is not a multiple of `num_symbols`.
+    pub fn interleaved(n_bits: u32, num_symbols: u32) -> Result<Self, SymbolMapError> {
+        if num_symbols == 0 || !n_bits.is_multiple_of(num_symbols) {
+            return Err(SymbolMapError::UnevenSymbols { n_bits, symbol_bits: num_symbols });
+        }
+        let groups = (0..num_symbols)
+            .map(|i| (0..n_bits / num_symbols).map(|k| k * num_symbols + i).collect())
+            .collect();
+        Self::from_groups(n_bits, groups)
+    }
+
+    /// The paper's Eq. 6 shuffle for MUSE(80,70): twenty 4-bit symbols where
+    /// `S_{2i} = [b_i, b_{10+i}, b_{20+i}, b_{30+i}]` and
+    /// `S_{2i+1} = [b_{40+i}, b_{50+i}, b_{60+i}, b_{70+i}]` for `i ∈ [0, 10)`.
+    pub fn eq6_hybrid_80() -> Self {
+        let mut groups = Vec::with_capacity(20);
+        for i in 0..10u32 {
+            groups.push(vec![i, 10 + i, 20 + i, 30 + i]);
+            groups.push(vec![40 + i, 50 + i, 60 + i, 70 + i]);
+        }
+        Self::from_groups(80, groups).expect("eq6 shuffle is a valid partition")
+    }
+
+    /// Builds a map from explicit bit groups.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `groups` is an exact partition of `[0, n_bits)`.
+    pub fn from_groups(n_bits: u32, groups: Vec<Vec<u32>>) -> Result<Self, SymbolMapError> {
+        if n_bits > Word::BITS {
+            return Err(SymbolMapError::TooWide { n_bits });
+        }
+        let mut bit_to_symbol = vec![u32::MAX; n_bits as usize];
+        for (sym, bits) in groups.iter().enumerate() {
+            for &bit in bits {
+                if bit >= n_bits {
+                    return Err(SymbolMapError::BitOutOfRange { bit, n_bits });
+                }
+                if bit_to_symbol[bit as usize] != u32::MAX {
+                    return Err(SymbolMapError::DuplicateBit(bit));
+                }
+                bit_to_symbol[bit as usize] = sym as u32;
+            }
+        }
+        if let Some(bit) = bit_to_symbol.iter().position(|&s| s == u32::MAX) {
+            return Err(SymbolMapError::UncoveredBit(bit as u32));
+        }
+        let masks = groups
+            .iter()
+            .map(|bits| {
+                let mut mask = Word::ZERO;
+                for &bit in bits {
+                    mask.set_bit(bit, true);
+                }
+                mask
+            })
+            .collect();
+        Ok(Self { n_bits, symbols: groups, masks, bit_to_symbol })
+    }
+
+    /// Codeword length in bits.
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// Number of symbols (devices).
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The bit positions held by symbol `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_symbols()`.
+    pub fn bits_of(&self, i: usize) -> &[u32] {
+        &self.symbols[i]
+    }
+
+    /// Bitmask of symbol `i`'s positions in the logical codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_symbols()`.
+    pub fn mask(&self, i: usize) -> &Word {
+        &self.masks[i]
+    }
+
+    /// The symbol owning bit `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= n_bits()`.
+    pub fn symbol_of_bit(&self, pos: u32) -> usize {
+        self.bit_to_symbol[pos as usize] as usize
+    }
+
+    /// Whether every symbol holds a contiguous, aligned run of bits
+    /// (i.e. the identity shuffle).
+    pub fn is_sequential(&self) -> bool {
+        self.symbols.iter().enumerate().all(|(i, bits)| {
+            bits.iter()
+                .enumerate()
+                .all(|(j, &b)| b == i as u32 * bits.len() as u32 + j as u32)
+        })
+    }
+
+    /// Routes a logical codeword to the storage (wire) layout: device `d`
+    /// receives the bits of symbol `d`, packed in declaration order.
+    ///
+    /// For a sequential map this is the identity.
+    pub fn shuffle_to_storage(&self, logical: &Word) -> Word {
+        let mut stored = Word::ZERO;
+        let mut out_pos = 0;
+        for bits in &self.symbols {
+            for &bit in bits {
+                if logical.bit(bit) {
+                    stored.set_bit(out_pos, true);
+                }
+                out_pos += 1;
+            }
+        }
+        stored
+    }
+
+    /// Inverse of [`Self::shuffle_to_storage`].
+    pub fn unshuffle_from_storage(&self, stored: &Word) -> Word {
+        let mut logical = Word::ZERO;
+        let mut in_pos = 0;
+        for bits in &self.symbols {
+            for &bit in bits {
+                if stored.bit(in_pos) {
+                    logical.set_bit(bit, true);
+                }
+                in_pos += 1;
+            }
+        }
+        logical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_layout() {
+        let map = SymbolMap::sequential(144, 4).unwrap();
+        assert_eq!(map.num_symbols(), 36);
+        assert_eq!(map.bits_of(0), &[0, 1, 2, 3]);
+        assert_eq!(map.bits_of(35), &[140, 141, 142, 143]);
+        assert!(map.is_sequential());
+        assert_eq!(map.symbol_of_bit(143), 35);
+        assert_eq!(map.mask(1).to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn interleaved_eq5_layout() {
+        // Paper Eq. 5: S_i = [b_i, b_{10+i}, ..., b_{70+i}]
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        assert_eq!(map.num_symbols(), 10);
+        for i in 0..10u32 {
+            let expect: Vec<u32> = (0..8).map(|k| 10 * k + i).collect();
+            assert_eq!(map.bits_of(i as usize), expect.as_slice());
+        }
+        assert!(!map.is_sequential());
+    }
+
+    #[test]
+    fn eq6_layout() {
+        let map = SymbolMap::eq6_hybrid_80();
+        assert_eq!(map.num_symbols(), 20);
+        assert_eq!(map.bits_of(0), &[0, 10, 20, 30]);
+        assert_eq!(map.bits_of(1), &[40, 50, 60, 70]);
+        assert_eq!(map.bits_of(2), &[1, 11, 21, 31]);
+        assert_eq!(map.bits_of(19), &[49, 59, 69, 79]);
+        assert_eq!(map.symbol_of_bit(79), 19);
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        assert!(matches!(
+            SymbolMap::sequential(80, 3),
+            Err(SymbolMapError::UnevenSymbols { .. })
+        ));
+        assert!(matches!(
+            SymbolMap::from_groups(8, vec![vec![0, 1], vec![1, 2]]),
+            Err(SymbolMapError::DuplicateBit(1))
+        ));
+        assert!(matches!(
+            SymbolMap::from_groups(8, vec![vec![0, 1, 2, 3], vec![4, 5, 6]]),
+            Err(SymbolMapError::UncoveredBit(7))
+        ));
+        assert!(matches!(
+            SymbolMap::from_groups(4, vec![vec![0, 1, 2, 9]]),
+            Err(SymbolMapError::BitOutOfRange { bit: 9, .. })
+        ));
+        assert!(matches!(
+            SymbolMap::sequential(400, 4),
+            Err(SymbolMapError::TooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_roundtrip_identity_for_sequential() {
+        let map = SymbolMap::sequential(80, 4).unwrap();
+        let word = Word::from(0xDEAD_BEEF_CAFE_u64);
+        assert_eq!(map.shuffle_to_storage(&word), word);
+        assert_eq!(map.unshuffle_from_storage(&word), word);
+    }
+
+    #[test]
+    fn storage_roundtrip_shuffled() {
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        let mut word = Word::ZERO;
+        for i in [0u32, 3, 17, 42, 79] {
+            word.set_bit(i, true);
+        }
+        let stored = map.shuffle_to_storage(&word);
+        assert_ne!(stored, word);
+        assert_eq!(map.unshuffle_from_storage(&stored), word);
+        // Bit 0 of the logical word lands at storage bit 0 (symbol 0, first slot);
+        // bit 10 lands at storage bit 1.
+        let mut one = Word::ZERO;
+        one.set_bit(10, true);
+        assert_eq!(map.shuffle_to_storage(&one), Word::from(2u64));
+    }
+
+    #[test]
+    fn storage_view_groups_device_bits() {
+        // After shuffling, storage bits [8i, 8i+8) all come from symbol i:
+        // corrupting them corresponds to a single-device failure.
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        let stored_mask = Word::mask(8); // device 0 in storage layout
+        let logical = map.unshuffle_from_storage(&stored_mask);
+        assert_eq!(&logical, map.mask(0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests for the MUSE code family: roundtrips, correction
+//! guarantees, and detection invariants over randomly drawn payloads, error
+//! patterns, and layouts.
+
+use muse_core::{
+    presets, Decoded, MuseCode, SymbolMap, Word,
+};
+use proptest::prelude::*;
+
+fn word_bits(n: u32) -> impl Strategy<Value = Word> {
+    prop::array::uniform5(any::<u64>())
+        .prop_map(move |limbs| Word::from_limbs(limbs) & Word::mask(n))
+}
+
+/// Strategy: one of the paper's preset codes.
+fn preset_code() -> impl Strategy<Value = MuseCode> {
+    prop_oneof![
+        Just(presets::muse_144_132()),
+        Just(presets::muse_80_69()),
+        Just(presets::muse_80_67()),
+        Just(presets::muse_80_70()),
+        Just(presets::muse_268_256()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_roundtrip(code in preset_code(), raw in word_bits(320)) {
+        let payload = raw & Word::mask(code.k_bits());
+        let cw = code.encode(&payload);
+        prop_assert_eq!(cw.rem_u64(code.multiplier()), 0);
+        prop_assert_eq!(code.payload_of(&cw), payload);
+        match code.decode(&cw) {
+            Decoded::Clean { payload: p } => prop_assert_eq!(p, payload),
+            other => prop_assert!(false, "clean word decoded as {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bidirectional_codes_correct_any_device_error(
+        raw in word_bits(320),
+        sym_seed: usize,
+        pattern_seed: u64,
+    ) {
+        for code in [presets::muse_144_132(), presets::muse_80_69(), presets::muse_268_256()] {
+            let payload = raw & Word::mask(code.k_bits());
+            let cw = code.encode(&payload);
+            let sym = sym_seed % code.symbol_map().num_symbols();
+            let bits = code.symbol_map().bits_of(sym);
+            let pattern = 1 + (pattern_seed % ((1 << bits.len()) - 1));
+            let mut corrupted = cw;
+            for (i, &bit) in bits.iter().enumerate() {
+                if pattern >> i & 1 == 1 {
+                    corrupted.toggle_bit(bit);
+                }
+            }
+            match code.decode(&corrupted) {
+                Decoded::Corrected { payload: p, symbol, .. } => {
+                    prop_assert_eq!(p, payload);
+                    prop_assert_eq!(symbol, sym);
+                }
+                other => prop_assert!(false, "{}: {:?}", code.name(), other),
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_code_corrects_retention_errors(
+        raw in word_bits(320),
+        sym_seed: usize,
+        pattern_seed: u64,
+    ) {
+        // MUSE(80,67): only 1→0 flips are in-model. Clear a random subset of
+        // the stored 1-bits of one device.
+        let code = presets::muse_80_67();
+        let payload = raw & Word::mask(code.k_bits());
+        let cw = code.encode(&payload);
+        let sym = sym_seed % code.symbol_map().num_symbols();
+        let bits = code.symbol_map().bits_of(sym);
+        let mut corrupted = cw;
+        let mut flipped_any = false;
+        for (i, &bit) in bits.iter().enumerate() {
+            if pattern_seed >> i & 1 == 1 && cw.bit(bit) {
+                corrupted.set_bit(bit, false);
+                flipped_any = true;
+            }
+        }
+        if flipped_any {
+            match code.decode(&corrupted) {
+                Decoded::Corrected { payload: p, symbol, .. } => {
+                    prop_assert_eq!(p, payload);
+                    prop_assert_eq!(symbol, sym);
+                }
+                other => prop_assert!(false, "{:?}", other),
+            }
+        } else {
+            prop_assert_eq!(code.decode(&corrupted).payload(), Some(payload));
+        }
+    }
+
+    #[test]
+    fn hybrid_code_corrects_single_bit_both_ways(
+        raw in word_bits(320),
+        bit in 0u32..80,
+    ) {
+        let code = presets::muse_80_70();
+        let payload = raw & Word::mask(code.k_bits());
+        let cw = code.encode(&payload);
+        let mut corrupted = cw;
+        corrupted.toggle_bit(bit); // either direction, anywhere
+        prop_assert_eq!(code.decode(&corrupted).payload(), Some(payload));
+    }
+
+    #[test]
+    fn decode_never_accepts_beyond_model_as_clean(
+        raw in word_bits(320),
+        sym_a: usize,
+        sym_b: usize,
+        pat_a in 1u64..16,
+        pat_b in 1u64..16,
+    ) {
+        // Two-device bidirectional corruption on the ChipKill codes: decode
+        // may miscorrect (Table IV quantifies how often) but must never
+        // return Clean, and a miscorrection must never resurrect the payload.
+        for code in [presets::muse_144_132(), presets::muse_80_69()] {
+            let payload = raw & Word::mask(code.k_bits());
+            let cw = code.encode(&payload);
+            let n_sym = code.symbol_map().num_symbols();
+            let (a, b) = (sym_a % n_sym, sym_b % n_sym);
+            if a == b {
+                continue;
+            }
+            let mut corrupted = cw;
+            for (i, &bit) in code.symbol_map().bits_of(a).iter().enumerate() {
+                if pat_a >> i & 1 == 1 {
+                    corrupted.toggle_bit(bit);
+                }
+            }
+            for (i, &bit) in code.symbol_map().bits_of(b).iter().enumerate() {
+                if pat_b >> i & 1 == 1 {
+                    corrupted.toggle_bit(bit);
+                }
+            }
+            match code.decode(&corrupted) {
+                Decoded::Clean { .. } => prop_assert!(false, "double error decoded clean"),
+                Decoded::Corrected { payload: p, .. } => prop_assert_ne!(p, payload),
+                Decoded::Detected => {}
+            }
+        }
+    }
+
+    #[test]
+    fn storage_shuffle_roundtrip(raw in word_bits(80)) {
+        for map in [
+            SymbolMap::sequential(80, 4).unwrap(),
+            SymbolMap::interleaved(80, 10).unwrap(),
+            SymbolMap::eq6_hybrid_80(),
+        ] {
+            let stored = map.shuffle_to_storage(&raw);
+            prop_assert_eq!(map.unshuffle_from_storage(&stored), raw);
+            prop_assert_eq!(stored.count_ones(), raw.count_ones());
+        }
+    }
+
+    #[test]
+    fn metadata_survives_device_failure(data: u64, meta in 0u64..32, sym in 0usize..20) {
+        let code = presets::muse_80_69();
+        let payload = code.pack_metadata(data, meta);
+        let cw = code.encode(&payload);
+        let corrupted = cw ^ *code.symbol_map().mask(sym);
+        let recovered = code.decode(&corrupted).payload().expect("chipkill");
+        prop_assert_eq!(code.unpack_metadata(&recovered), (data, meta));
+    }
+
+    #[test]
+    fn line_codec_roundtrip(data: [u64; 8], meta_seed: u64, fault_word in 0usize..8, fault_dev in 0usize..20) {
+        let codec = muse_core::LineCodec::new(presets::muse_80_69()).unwrap();
+        let meta = meta_seed & ((1 << 40) - 1);
+        let mut stored = codec.encode_line(&data, meta);
+        stored[fault_word] = stored[fault_word]
+            ^ *codec.code().symbol_map().mask(fault_dev);
+        let line = codec.decode_line(&stored).unwrap();
+        prop_assert_eq!(line.data, data);
+        prop_assert_eq!(line.metadata, meta);
+        prop_assert_eq!(line.corrections.as_slice(), &[(fault_word, fault_dev)]);
+    }
+
+    #[test]
+    fn spec_roundtrip_random_probe(code in preset_code(), raw in word_bits(320)) {
+        let loaded = muse_core::MuseCode::from_spec_string(&code.to_spec_string()).unwrap();
+        let payload = raw & Word::mask(code.k_bits());
+        prop_assert_eq!(loaded.encode(&payload), code.encode(&payload));
+    }
+
+    #[test]
+    fn fastmod_agrees_with_division(raw in word_bits(320)) {
+        for code in [presets::muse_144_132(), presets::muse_80_69(), presets::muse_268_256()] {
+            let x = raw & Word::mask(code.n_bits());
+            prop_assert_eq!(code.remainder(&x), x.rem_u64(code.multiplier()));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Reed-Solomon baseline codes (the paper's comparator in Tables IV & V and
+//! Figures 6 & 7).
+//!
+//! Two layers are provided:
+//!
+//! * [`RsCode`] — a classic systematic Reed-Solomon code over GF(2^s) with
+//!   `2t` parity symbols and a PGZ decoder correcting up to `t ∈ {1, 2}`
+//!   symbol errors (single-symbol correction is what commercial ChipKill
+//!   uses; `t = 2` covers IBM-style double-device tolerance).
+//! * [`RsMemoryCode`] — the memory-channel view: an `n_bits`-wide codeword
+//!   (e.g. 144 or 80 bits) carved into `s`-bit symbols, with a possibly
+//!   partial top symbol when `s ∤ n_bits` (exactly the misalignment the
+//!   paper exploits to show 5/6/7-bit-symbol RS codes lose ChipKill).
+
+mod memory;
+mod rs;
+
+pub use memory::{RsMemoryCode, RsMemoryDecoded};
+pub use rs::{RsCode, RsDecoded, RsError};

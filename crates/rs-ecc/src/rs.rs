@@ -1,0 +1,563 @@
+//! Symbol-domain Reed-Solomon code with a PGZ decoder.
+
+use std::fmt;
+
+use muse_gf::{Gf, GfError};
+
+/// Error constructing an [`RsCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Underlying field construction failed.
+    Field(GfError),
+    /// `n` exceeds the field's maximum codeword length `2^s − 1`.
+    TooLong {
+        /// Requested codeword length in symbols.
+        n: usize,
+        /// The field's maximum length.
+        max: usize,
+    },
+    /// `k ≥ n`, or the redundancy is not `2t` for `t ∈ {1, 2}`.
+    BadGeometry {
+        /// Requested codeword length in symbols.
+        n: usize,
+        /// Requested data length in symbols.
+        k: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Field(e) => write!(f, "field error: {e}"),
+            Self::TooLong { n, max } => write!(f, "codeword length {n} exceeds field max {max}"),
+            Self::BadGeometry { n, k } => write!(f, "unsupported RS geometry ({n},{k})"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+impl From<GfError> for RsError {
+    fn from(e: GfError) -> Self {
+        Self::Field(e)
+    }
+}
+
+/// Outcome of Reed-Solomon decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsDecoded {
+    /// All syndromes were zero.
+    Clean {
+        /// The recovered data symbols.
+        data: Vec<u16>,
+    },
+    /// Errors were located and corrected.
+    Corrected {
+        /// The recovered data symbols.
+        data: Vec<u16>,
+        /// `(position, error value)` pairs, positions in codeword order.
+        errors: Vec<(usize, u16)>,
+    },
+    /// A detected-but-uncorrectable error.
+    Detected,
+}
+
+impl RsDecoded {
+    /// The data, if the word was clean or corrected.
+    pub fn data(&self) -> Option<&[u16]> {
+        match self {
+            Self::Clean { data } | Self::Corrected { data, .. } => Some(data),
+            Self::Detected => None,
+        }
+    }
+}
+
+/// A systematic Reed-Solomon code over GF(2^s).
+///
+/// The codeword vector `c[0..n]` holds the `2t` parity symbols in positions
+/// `0..2t` and data in positions `2t..n` (remainder encoding: the codeword
+/// polynomial is divisible by the generator `g(x) = Π (x − α^i)`,
+/// `i ∈ [0, 2t)`).
+///
+/// # Examples
+///
+/// ```
+/// use muse_rs::{RsCode, RsDecoded};
+///
+/// # fn main() -> Result<(), muse_rs::RsError> {
+/// // RS(18,16) over GF(256): the paper's RS(144,128) ChipKill baseline.
+/// let rs = RsCode::new(8, 18, 16)?;
+/// let data: Vec<u16> = (0..16).map(|i| (i * 17) as u16).collect();
+/// let mut cw = rs.encode(&data);
+/// cw[5] ^= 0xA7; // corrupt one symbol
+/// match rs.decode(&cw) {
+///     RsDecoded::Corrected { data: d, errors } => {
+///         assert_eq!(d, data);
+///         assert_eq!(errors, vec![(5, 0xA7)]);
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RsCode {
+    gf: Gf,
+    n: usize,
+    k: usize,
+    t: usize,
+    generator: Vec<u16>,
+}
+
+impl RsCode {
+    /// Builds an RS code with `n` total and `k` data symbols over GF(2^s).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the geometry is unsupported: `n − k` must be `2` or `4`
+    /// (single- or double-symbol correction), and `n ≤ 2^s − 1`.
+    pub fn new(symbol_bits: u32, n: usize, k: usize) -> Result<Self, RsError> {
+        let gf = Gf::new(symbol_bits)?;
+        let max = gf.size() as usize - 1;
+        if n > max {
+            return Err(RsError::TooLong { n, max });
+        }
+        if k >= n || !matches!(n - k, 2 | 4) {
+            return Err(RsError::BadGeometry { n, k });
+        }
+        let t = (n - k) / 2;
+        // g(x) = Π_{i=0}^{2t-1} (x − α^i)
+        let mut generator = vec![1u16];
+        for i in 0..2 * t {
+            generator = gf.poly_mul(&generator, &[gf.alpha_pow(i as i64), 1]);
+        }
+        Ok(Self { gf, n, k, t, generator })
+    }
+
+    /// Total symbols `n`.
+    pub fn n_symbols(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols `k`.
+    pub fn k_symbols(&self) -> usize {
+        self.k
+    }
+
+    /// Correctable symbol count `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf {
+        &self.gf
+    }
+
+    /// The generator polynomial, low-degree coefficient first.
+    pub fn generator(&self) -> &[u16] {
+        &self.generator
+    }
+
+    /// Encodes `k` data symbols into an `n`-symbol codeword
+    /// (parity in positions `0..2t`, data above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k` or a symbol exceeds the field.
+    pub fn encode(&self, data: &[u16]) -> Vec<u16> {
+        assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
+        for &d in data {
+            assert!((d as u32) < self.gf.size(), "symbol {d:#x} outside the field");
+        }
+        let r = 2 * self.t;
+        let mut cw = vec![0u16; self.n];
+        cw[r..].copy_from_slice(data);
+        // Long division of data·x^r by g(x); the remainder is the parity.
+        let mut rem = vec![0u16; r];
+        for &d in data.iter().rev() {
+            let feedback = self.gf.add(d, rem[r - 1]);
+            for j in (1..r).rev() {
+                rem[j] = self.gf.add(rem[j - 1], self.gf.mul(feedback, self.generator[j]));
+            }
+            rem[0] = self.gf.mul(feedback, self.generator[0]);
+        }
+        cw[..r].copy_from_slice(&rem);
+        cw
+    }
+
+    /// Computes the `2t` syndromes `S_l = c(α^l)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`.
+    pub fn syndromes(&self, cw: &[u16]) -> Vec<u16> {
+        assert_eq!(cw.len(), self.n, "expected {} codeword symbols", self.n);
+        (0..2 * self.t)
+            .map(|l| {
+                let mut acc = 0u16;
+                for &c in cw.iter().rev() {
+                    acc = self.gf.add(self.gf.mul(acc, self.gf.alpha_pow(l as i64)), c);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Decodes a (possibly corrupted) codeword via the
+    /// Peterson–Gorenstein–Zierler procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`.
+    pub fn decode(&self, cw: &[u16]) -> RsDecoded {
+        let synd = self.syndromes(cw);
+        if synd.iter().all(|&s| s == 0) {
+            return RsDecoded::Clean { data: cw[2 * self.t..].to_vec() };
+        }
+        let errors = match self.t {
+            1 => self.locate_t1(&synd),
+            2 => self.locate_t2(&synd),
+            _ => unreachable!("t is validated to 1 or 2"),
+        };
+        let Some(errors) = errors else {
+            return RsDecoded::Detected;
+        };
+        let mut fixed = cw.to_vec();
+        for &(pos, val) in &errors {
+            fixed[pos] ^= val;
+        }
+        debug_assert!(self.syndromes(&fixed).iter().all(|&s| s == 0));
+        RsDecoded::Corrected { data: fixed[2 * self.t..].to_vec(), errors }
+    }
+
+    fn locate_t1(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+        let (s0, s1) = (synd[0], synd[1]);
+        if s0 == 0 || s1 == 0 {
+            // A true single error e at position j has S0 = e ≠ 0 and
+            // S1 = e·α^j ≠ 0; anything else is uncorrectable.
+            return None;
+        }
+        let pos = self.gf.log(self.gf.div(s1, s0)).expect("nonzero ratio") as usize;
+        if pos >= self.n {
+            return None;
+        }
+        Some(vec![(pos, s0)])
+    }
+
+    /// Erasure decoding: corrects up to `2t` symbol errors at *known*
+    /// positions (a code with `2t` parity symbols corrects twice as many
+    /// erasures as errors — the permanent-chip-failure mode).
+    ///
+    /// Solves the Vandermonde system `Σ e_i·α^(l·p_i) = S_l` for the erased
+    /// magnitudes by Gaussian elimination over GF(2^s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`, positions are out of range or duplicated,
+    /// or more than `2t` positions are given.
+    pub fn decode_erasures(&self, cw: &[u16], positions: &[usize]) -> Option<Vec<u16>> {
+        assert_eq!(cw.len(), self.n, "expected {} codeword symbols", self.n);
+        assert!(positions.len() <= 2 * self.t, "more erasures than parity symbols");
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(p < self.n, "erasure position {p} out of range");
+            assert!(!positions[..i].contains(&p), "duplicate erasure position {p}");
+        }
+        let synd = self.syndromes(cw);
+        if positions.is_empty() {
+            return synd.iter().all(|&s| s == 0).then(|| cw[2 * self.t..].to_vec());
+        }
+        let gf = &self.gf;
+        let k = positions.len();
+        // Build the augmented matrix [α^(l·p_i) | S_l], l = 0..k.
+        let mut mat: Vec<Vec<u16>> = (0..k)
+            .map(|l| {
+                let mut row: Vec<u16> = positions
+                    .iter()
+                    .map(|&p| gf.alpha_pow((l * p) as i64))
+                    .collect();
+                row.push(synd[l]);
+                row
+            })
+            .collect();
+        // Gaussian elimination.
+        for col in 0..k {
+            let pivot = (col..k).find(|&r| mat[r][col] != 0)?;
+            mat.swap(col, pivot);
+            let inv = gf.inv(mat[col][col]);
+            for v in mat[col].iter_mut() {
+                *v = gf.mul(*v, inv);
+            }
+            for r in 0..k {
+                if r != col && mat[r][col] != 0 {
+                    let factor = mat[r][col];
+                    let pivot_row = mat[col].clone();
+                    for (cell, &p) in mat[r].iter_mut().zip(&pivot_row) {
+                        *cell = gf.add(*cell, gf.mul(factor, p));
+                    }
+                }
+            }
+        }
+        let mut fixed = cw.to_vec();
+        for (i, &p) in positions.iter().enumerate() {
+            fixed[p] ^= mat[i][k];
+        }
+        // The solution must also satisfy any remaining syndromes.
+        if self.syndromes(&fixed).iter().any(|&s| s != 0) {
+            return None;
+        }
+        Some(fixed[2 * self.t..].to_vec())
+    }
+
+    fn locate_t2(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+        let gf = &self.gf;
+        let (s0, s1, s2, s3) = (synd[0], synd[1], synd[2], synd[3]);
+        // ν = 2: solve [S0 S1; S1 S2]·[σ2 σ1]ᵀ = [S2 S3]ᵀ.
+        let det = gf.add(gf.mul(s0, s2), gf.mul(s1, s1));
+        if det != 0 {
+            let sigma1 = gf.div(gf.add(gf.mul(s0, s3), gf.mul(s1, s2)), det);
+            let sigma2 = gf.div(gf.add(gf.mul(s1, s3), gf.mul(s2, s2)), det);
+            // Λ(x) = 1 + σ1·x + σ2·x²; roots at X_i⁻¹ = α^{-pos}.
+            let mut positions = Vec::new();
+            for pos in 0..self.n {
+                let x = gf.alpha_pow(-(pos as i64));
+                let v = gf.add(gf.add(1, gf.mul(sigma1, x)), gf.mul(sigma2, gf.mul(x, x)));
+                if v == 0 {
+                    positions.push(pos);
+                }
+            }
+            if positions.len() != 2 {
+                return None;
+            }
+            let (x1, x2) = (
+                gf.alpha_pow(positions[0] as i64),
+                gf.alpha_pow(positions[1] as i64),
+            );
+            // e1 + e2 = S0; e1·X1 + e2·X2 = S1.
+            let e1 = gf.div(gf.add(s1, gf.mul(s0, x2)), gf.add(x1, x2));
+            let e2 = gf.add(s0, e1);
+            if e1 == 0 || e2 == 0 {
+                return None;
+            }
+            return Some(vec![(positions[0], e1), (positions[1], e2)]);
+        }
+        // ν = 1: S_l = e·α^{l·pos} for all four syndromes.
+        if s0 == 0 {
+            return None;
+        }
+        let ratio = gf.div(s1, s0);
+        let pos = gf.log(ratio)? as usize;
+        if pos >= self.n {
+            return None;
+        }
+        if gf.mul(s1, ratio) != s2 || gf.mul(s2, ratio) != s3 {
+            return None;
+        }
+        Some(vec![(pos, s0)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs_18_16() -> RsCode {
+        RsCode::new(8, 18, 16).unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(matches!(
+            RsCode::new(4, 20, 18),
+            Err(RsError::TooLong { n: 20, max: 15 })
+        ));
+        assert!(matches!(RsCode::new(8, 18, 15), Err(RsError::BadGeometry { .. })));
+        assert!(matches!(RsCode::new(8, 18, 18), Err(RsError::BadGeometry { .. })));
+        assert!(RsCode::new(8, 18, 14).is_ok()); // t = 2
+    }
+
+    #[test]
+    fn generator_has_expected_roots() {
+        let rs = rs_18_16();
+        let gf = rs.field();
+        for i in 0..2 {
+            assert_eq!(gf.poly_eval(rs.generator(), gf.alpha_pow(i)), 0);
+        }
+        assert_eq!(rs.generator().len(), 3);
+    }
+
+    #[test]
+    fn encode_is_systematic_and_valid() {
+        let rs = rs_18_16();
+        let data: Vec<u16> = (0..16).map(|i| (i * 13 + 7) as u16 & 0xFF).collect();
+        let cw = rs.encode(&data);
+        assert_eq!(&cw[2..], data.as_slice());
+        assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn clean_decode() {
+        let rs = rs_18_16();
+        let data = vec![0xAB; 16];
+        match rs.decode(&rs.encode(&data)) {
+            RsDecoded::Clean { data: d } => assert_eq!(d, data),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_symbol_error() {
+        let rs = rs_18_16();
+        let data: Vec<u16> = (0..16).map(|i| (i * i) as u16 & 0xFF).collect();
+        let cw = rs.encode(&data);
+        for pos in 0..18 {
+            for val in [1u16, 0x80, 0xFF, 0x5A] {
+                let mut bad = cw.clone();
+                bad[pos] ^= val;
+                match rs.decode(&bad) {
+                    RsDecoded::Corrected { data: d, errors } => {
+                        assert_eq!(d, data, "pos {pos} val {val:#x}");
+                        assert_eq!(errors, vec![(pos, val)]);
+                    }
+                    other => panic!("pos {pos} val {val:#x}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t2_corrects_double_symbol_errors() {
+        let rs = RsCode::new(8, 18, 14).unwrap();
+        let data: Vec<u16> = (0..14).map(|i| (0xE0 + i) as u16).collect();
+        let cw = rs.encode(&data);
+        for (a, b) in [(0usize, 1usize), (3, 17), (5, 9), (16, 17)] {
+            let mut bad = cw.clone();
+            bad[a] ^= 0x3C;
+            bad[b] ^= 0xC3;
+            match rs.decode(&bad) {
+                RsDecoded::Corrected { data: d, mut errors } => {
+                    assert_eq!(d, data, "({a},{b})");
+                    errors.sort_unstable();
+                    assert_eq!(errors, vec![(a, 0x3C), (b, 0xC3)]);
+                }
+                other => panic!("({a},{b}): {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn t2_still_corrects_single_errors() {
+        let rs = RsCode::new(8, 18, 14).unwrap();
+        let data = vec![0x11; 14];
+        let cw = rs.encode(&data);
+        let mut bad = cw.clone();
+        bad[7] ^= 0x42;
+        match rs.decode(&bad) {
+            RsDecoded::Corrected { data: d, errors } => {
+                assert_eq!(d, data);
+                assert_eq!(errors, vec![(7, 0x42)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shortened_code_rejects_out_of_range_locations() {
+        // A heavily shortened code: many locator values point beyond n and
+        // must be flagged Detected rather than miscorrected.
+        let rs = RsCode::new(8, 10, 8).unwrap();
+        let data = vec![0x77; 8];
+        let cw = rs.encode(&data);
+        let mut detected = 0;
+        let mut trials = 0;
+        for a in 0..10usize {
+            for b in (a + 1)..10 {
+                let mut bad = cw.clone();
+                bad[a] ^= 0x0F;
+                bad[b] ^= 0xF0;
+                trials += 1;
+                match rs.decode(&bad) {
+                    RsDecoded::Clean { .. } => panic!("double error read clean"),
+                    RsDecoded::Detected => detected += 1,
+                    RsDecoded::Corrected { data: d, .. } => assert_ne!(d, data),
+                }
+            }
+        }
+        assert!(trials > 0 && detected > 0);
+    }
+
+    #[test]
+    fn gf16_chipkill_geometry() {
+        // RS over GF(16) is limited to 15 symbols: exactly why 4-bit-symbol
+        // RS cannot cover a 144-bit (36-nibble) channel (Section VII-A).
+        assert!(matches!(
+            RsCode::new(4, 36, 34),
+            Err(RsError::TooLong { n: 36, max: 15 })
+        ));
+        let rs = RsCode::new(4, 15, 13).unwrap();
+        let data: Vec<u16> = (0..13).map(|i| i as u16 & 0xF).collect();
+        let cw = rs.encode(&data);
+        let mut bad = cw.clone();
+        bad[14] ^= 0x9;
+        assert_eq!(rs.decode(&bad).data(), Some(data.as_slice()));
+    }
+
+    #[test]
+    fn erasure_decoding_doubles_correction_power() {
+        // A t=1 code (2 parity symbols) corrects TWO erased symbols.
+        let rs = rs_18_16();
+        let data: Vec<u16> = (0..16).map(|i| (i * 31 + 5) as u16 & 0xFF).collect();
+        let cw = rs.encode(&data);
+        for (a, b) in [(0usize, 1usize), (2, 17), (9, 10), (16, 17)] {
+            let mut bad = cw.clone();
+            bad[a] ^= 0xDE;
+            bad[b] ^= 0xAD;
+            assert_eq!(rs.decode_erasures(&bad, &[a, b]), Some(data.clone()), "({a},{b})");
+        }
+        // Also with only one of the two actually corrupted.
+        let mut bad = cw.clone();
+        bad[7] ^= 0x42;
+        assert_eq!(rs.decode_erasures(&bad, &[7, 8]), Some(data.clone()));
+        // And with none corrupted.
+        assert_eq!(rs.decode_erasures(&cw, &[3, 4]), Some(data.clone()));
+        assert_eq!(rs.decode_erasures(&cw, &[]), Some(data));
+    }
+
+    #[test]
+    fn erasure_decoding_rejects_extra_errors() {
+        // An error OUTSIDE the erased set leaves residual syndromes... for a
+        // t=1 code both syndromes are consumed by two erasures, so instead
+        // test with a t=2 code: 4 syndromes, 2 erasures, 1 extra error.
+        let rs = RsCode::new(8, 18, 14).unwrap();
+        let data = vec![0x21u16; 14];
+        let cw = rs.encode(&data);
+        let mut bad = cw.clone();
+        bad[3] ^= 0x11;
+        bad[4] ^= 0x22;
+        bad[10] ^= 0x33; // not in the erased set
+        assert_eq!(rs.decode_erasures(&bad, &[3, 4]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more erasures than parity")]
+    fn too_many_erasures_panics() {
+        let rs = rs_18_16();
+        let cw = rs.encode(&[0u16; 16]);
+        let _ = rs.decode_erasures(&cw, &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate erasure")]
+    fn duplicate_erasures_panic() {
+        let rs = rs_18_16();
+        let cw = rs.encode(&[0u16; 16]);
+        let _ = rs.decode_erasures(&cw, &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the field")]
+    fn oversized_symbol_panics() {
+        let rs = RsCode::new(4, 15, 13).unwrap();
+        let _ = rs.encode(&[0x1F; 13]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the Reed-Solomon codes: roundtrips, correction
+//! guarantees within `t`, erasure recovery, and detection invariants.
+
+use muse_rs::{RsCode, RsDecoded, RsMemoryCode, RsMemoryDecoded};
+use muse_wideint::U320;
+use proptest::prelude::*;
+
+fn rs_geometry() -> impl Strategy<Value = (u32, usize, usize)> {
+    // (symbol bits, n, t): shortened geometries across field widths.
+    prop_oneof![
+        Just((8u32, 18usize, 1usize)),
+        Just((8, 10, 1)),
+        Just((8, 18, 2)),
+        Just((6, 24, 1)),
+        Just((5, 29, 1)),
+        Just((4, 15, 1)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip((s, n, t) in rs_geometry(), seed: u64) {
+        let rs = RsCode::new(s, n, n - 2 * t).expect("geometry");
+        let mask = (1u16 << s) - 1;
+        let data: Vec<u16> = (0..rs.k_symbols())
+            .map(|i| (seed.rotate_left(i as u32) as u16) & mask)
+            .collect();
+        let cw = rs.encode(&data);
+        prop_assert!(rs.syndromes(&cw).iter().all(|&x| x == 0));
+        let decoded = rs.decode(&cw);
+        prop_assert_eq!(decoded.data(), Some(data.as_slice()));
+    }
+
+    #[test]
+    fn corrects_within_t((s, n, t) in rs_geometry(), seed: u64, pos_seed: usize, val_seed: u16) {
+        let rs = RsCode::new(s, n, n - 2 * t).expect("geometry");
+        let mask = (1u16 << s) - 1;
+        let data: Vec<u16> = (0..rs.k_symbols())
+            .map(|i| (seed.wrapping_mul(i as u64 + 3) as u16) & mask)
+            .collect();
+        let mut cw = rs.encode(&data);
+        // t distinct corruptions.
+        let mut positions = Vec::new();
+        for i in 0..t {
+            let mut p = (pos_seed + i * 7) % n;
+            while positions.contains(&p) {
+                p = (p + 1) % n;
+            }
+            positions.push(p);
+            let v = ((val_seed >> i) & mask).max(1);
+            cw[p] ^= v;
+        }
+        match rs.decode(&cw) {
+            RsDecoded::Corrected { data: d, errors } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(errors.len(), positions.len());
+            }
+            RsDecoded::Clean { .. } => prop_assert!(false, "corruption read as clean"),
+            RsDecoded::Detected => prop_assert!(false, "within-t error must correct"),
+        }
+    }
+
+    #[test]
+    fn erasures_recover_up_to_2t((s, n, t) in rs_geometry(), seed: u64, pos_seed: usize) {
+        let rs = RsCode::new(s, n, n - 2 * t).expect("geometry");
+        let mask = (1u16 << s) - 1;
+        let data: Vec<u16> = (0..rs.k_symbols())
+            .map(|i| (seed.wrapping_add(i as u64 * 11) as u16) & mask)
+            .collect();
+        let mut cw = rs.encode(&data);
+        let mut positions = Vec::new();
+        for i in 0..2 * t {
+            let mut p = (pos_seed + i * 5) % n;
+            while positions.contains(&p) {
+                p = (p + 1) % n;
+            }
+            positions.push(p);
+            cw[p] = (cw[p] ^ (0x15 + i as u16)) & mask; // arbitrary garbage
+        }
+        prop_assert_eq!(rs.decode_erasures(&cw, &positions), Some(data));
+    }
+
+    #[test]
+    fn memory_code_roundtrip_and_chipkill(seed: u64, sym_seed: usize, val_seed in 1u64..256) {
+        let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
+        let payload = U320::from_limbs([seed, seed.rotate_left(17), 0, 0, 0]) & U320::mask(128);
+        let cw = code.encode(&payload);
+        prop_assert_eq!(code.payload_of(&cw), payload);
+        // Any single full-symbol corruption corrects.
+        let sym = (sym_seed % 18) as u32;
+        let corrupted = cw ^ (U320::from(val_seed) << (8 * sym));
+        match code.decode(&corrupted) {
+            RsMemoryDecoded::Corrected { payload: p, .. } => prop_assert_eq!(p, payload),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    #[test]
+    fn double_symbol_never_clean(seed: u64, a in 0usize..18, b in 0usize..18) {
+        prop_assume!(a != b);
+        let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
+        let payload = U320::from(seed) & U320::mask(128);
+        let cw = code.encode(&payload);
+        let corrupted = cw
+            ^ (U320::from(0x5Au64) << (8 * a as u32))
+            ^ (U320::from(0xA5u64) << (8 * b as u32));
+        match code.decode(&corrupted) {
+            RsMemoryDecoded::Clean { .. } => prop_assert!(false, "double error read clean"),
+            RsMemoryDecoded::Corrected { payload: p, .. } => prop_assert_ne!(p, payload),
+            RsMemoryDecoded::Detected => {}
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Linear binary SEC / SEC-DED codes: the on-die-ECC substrate for the
+//! MUSE co-design extension.
+//!
+//! Two constructions:
+//!
+//! * [`SecDed::hsiao`] — Hsiao's odd-weight-column SEC-DED codes (1970),
+//!   the de-facto standard for (72,64) DIMM ECC: every parity-check column
+//!   has odd weight, so any double error yields an even-weight (hence
+//!   nonzero, non-column) syndrome and is always *detected*.
+//! * [`SecDed::hamming_sec`] — plain Hamming single-error-correcting codes
+//!   without the double-error guarantee, the shape of DDR5 on-die ECC
+//!   (e.g. (136,128): 8 check bits inside the DRAM die).
+//!
+//! The paper's related work positions these as the codes MUSE competes
+//! with (Hsiao) and composes with (on-die SEC, "an interesting topic for
+//! future work" — exercised by the `ondie` experiment binary).
+//!
+//! # Examples
+//!
+//! ```
+//! use muse_secded::SecDed;
+//! use muse_wideint::U320;
+//!
+//! # fn main() -> Result<(), muse_secded::SecDedError> {
+//! let code = SecDed::hsiao(72, 64)?; // the classic DIMM code
+//! let cw = code.encode(&U320::from(0xDEAD_BEEFu64));
+//! let mut bad = cw;
+//! bad.toggle_bit(17);
+//! assert_eq!(code.decode(&bad).data(), Some(U320::from(0xDEAD_BEEFu64)));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use muse_wideint::U320;
+
+/// Codeword carrier shared with the rest of the workspace.
+pub type Word = U320;
+
+/// Error constructing a [`SecDed`] code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecDedError {
+    /// `n - k` check bits cannot address `n` codeword bits.
+    TooFewCheckBits {
+        /// Codeword length in bits.
+        n: u32,
+        /// Data length in bits.
+        k: u32,
+    },
+    /// Parameters out of supported range (n ≤ 256, k < n).
+    BadGeometry {
+        /// Codeword length in bits.
+        n: u32,
+        /// Data length in bits.
+        k: u32,
+    },
+    /// Not enough distinct odd-weight columns for a Hsiao code.
+    OddColumnsExhausted {
+        /// Data columns required.
+        needed: u32,
+        /// Odd-weight columns available at this check-bit width.
+        available: u32,
+    },
+}
+
+impl fmt::Display for SecDedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewCheckBits { n, k } => {
+                write!(f, "{} check bits cannot address {n} positions", n - k)
+            }
+            Self::BadGeometry { n, k } => write!(f, "unsupported geometry ({n},{k})"),
+            Self::OddColumnsExhausted { needed, available } => {
+                write!(f, "need {needed} odd-weight columns, only {available} exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecDedError {}
+
+/// Outcome of decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecDecoded {
+    /// Zero syndrome.
+    Clean {
+        /// The recovered data.
+        data: Word,
+    },
+    /// One bit corrected.
+    Corrected {
+        /// The recovered data.
+        data: Word,
+        /// Codeword bit position that was flipped back.
+        bit: u32,
+    },
+    /// Detected-uncorrectable (even-weight or unmapped syndrome).
+    Detected,
+}
+
+impl SecDecoded {
+    /// The data, if clean or corrected.
+    pub fn data(&self) -> Option<Word> {
+        match self {
+            Self::Clean { data } | Self::Corrected { data, .. } => Some(*data),
+            Self::Detected => None,
+        }
+    }
+}
+
+/// A systematic single-error-correcting binary code defined by its
+/// parity-check columns (data bits in positions `[r, n)`, check bits in
+/// `[0, r)` with identity columns).
+#[derive(Debug, Clone)]
+pub struct SecDed {
+    n: u32,
+    k: u32,
+    columns: Vec<u32>, // H column per codeword bit, length n
+    syndrome_to_bit: Vec<u32>,
+    ded: bool,
+}
+
+impl SecDed {
+    /// Builds a Hsiao odd-weight-column SEC-DED code.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the geometry is unsupported or there are not enough
+    /// distinct odd-weight columns (e.g. (72,64) needs 64 of the 56+56
+    /// weight-3/5 columns — fine; (136,128) is *not* constructible with 8
+    /// check bits and odd columns).
+    pub fn hsiao(n: u32, k: u32) -> Result<Self, SecDedError> {
+        let r = Self::check_geometry(n, k)?;
+        // Data columns: odd weight ≥ 3, ascending weight then value —
+        // the classic minimum-total-weight choice balancing XOR trees.
+        let mut data_columns = Vec::with_capacity(k as usize);
+        'outer: for weight in (3..=r).step_by(2) {
+            for value in 1u32..(1 << r) {
+                if value.count_ones() == weight {
+                    data_columns.push(value);
+                    if data_columns.len() == k as usize {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if data_columns.len() < k as usize {
+            return Err(SecDedError::OddColumnsExhausted {
+                needed: k,
+                available: data_columns.len() as u32,
+            });
+        }
+        Ok(Self::from_columns(n, k, data_columns, true))
+    }
+
+    /// Builds a plain Hamming SEC code (no double-error-detection
+    /// guarantee) — the DDR5 on-die shape, e.g. `hamming_sec(136, 128)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `2^(n−k) − 1 < n` or the geometry is out of range.
+    pub fn hamming_sec(n: u32, k: u32) -> Result<Self, SecDedError> {
+        let r = Self::check_geometry(n, k)?;
+        // Data columns: any distinct non-identity values.
+        let mut data_columns = Vec::with_capacity(k as usize);
+        for value in 1u32..(1 << r) {
+            if value.count_ones() >= 2 {
+                data_columns.push(value);
+                if data_columns.len() == k as usize {
+                    break;
+                }
+            }
+        }
+        if data_columns.len() < k as usize {
+            return Err(SecDedError::TooFewCheckBits { n, k });
+        }
+        Ok(Self::from_columns(n, k, data_columns, false))
+    }
+
+    fn check_geometry(n: u32, k: u32) -> Result<u32, SecDedError> {
+        if n > 256 || k == 0 || k >= n {
+            return Err(SecDedError::BadGeometry { n, k });
+        }
+        let r = n - k;
+        if r >= 31 || (1u64 << r) - 1 < n as u64 {
+            return Err(SecDedError::TooFewCheckBits { n, k });
+        }
+        Ok(r)
+    }
+
+    fn from_columns(n: u32, k: u32, data_columns: Vec<u32>, ded: bool) -> Self {
+        let r = n - k;
+        let mut columns = Vec::with_capacity(n as usize);
+        for i in 0..r {
+            columns.push(1 << i); // identity columns for the check bits
+        }
+        columns.extend(data_columns);
+        let mut syndrome_to_bit = vec![u32::MAX; 1 << r];
+        for (bit, &col) in columns.iter().enumerate() {
+            debug_assert_eq!(syndrome_to_bit[col as usize], u32::MAX, "duplicate column");
+            syndrome_to_bit[col as usize] = bit as u32;
+        }
+        Self { n, k, columns, syndrome_to_bit, ded }
+    }
+
+    /// Codeword length in bits.
+    pub fn n_bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Data length in bits.
+    pub fn k_bits(&self) -> u32 {
+        self.k
+    }
+
+    /// Check bits `r = n − k`.
+    pub fn r_bits(&self) -> u32 {
+        self.n - self.k
+    }
+
+    /// Whether the code guarantees double-error detection (odd-weight
+    /// columns).
+    pub fn is_ded(&self) -> bool {
+        self.ded
+    }
+
+    /// The parity-check column of codeword bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn column(&self, i: u32) -> u32 {
+        self.columns[i as usize]
+    }
+
+    /// Computes the syndrome of a codeword.
+    pub fn syndrome(&self, cw: &Word) -> u32 {
+        let mut s = 0u32;
+        for (bit, &col) in self.columns.iter().enumerate() {
+            if cw.bit(bit as u32) {
+                s ^= col;
+            }
+        }
+        s
+    }
+
+    /// Encodes `k` data bits into an `n`-bit codeword (data in the high
+    /// bits, check bits low).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data exceeds `k` bits.
+    pub fn encode(&self, data: &Word) -> Word {
+        assert!(data.bit_len() <= self.k, "data wider than {} bits", self.k);
+        let r = self.r_bits();
+        let mut cw = *data << r;
+        // Check bits: syndrome of the data part (identity columns solve
+        // each check bit independently).
+        let s = self.syndrome(&cw);
+        cw = cw | Word::from(s as u64);
+        debug_assert_eq!(self.syndrome(&cw), 0);
+        cw
+    }
+
+    /// Decodes, correcting one flipped bit.
+    pub fn decode(&self, cw: &Word) -> SecDecoded {
+        let s = self.syndrome(cw);
+        if s == 0 {
+            return SecDecoded::Clean { data: *cw >> self.r_bits() };
+        }
+        if self.ded && s.count_ones().is_multiple_of(2) {
+            return SecDecoded::Detected; // even syndrome = double error
+        }
+        let bit = self.syndrome_to_bit[s as usize];
+        if bit == u32::MAX {
+            return SecDecoded::Detected;
+        }
+        let mut fixed = *cw;
+        fixed.toggle_bit(bit);
+        SecDecoded::Corrected { data: fixed >> self.r_bits(), bit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hsiao_72_64() -> SecDed {
+        SecDed::hsiao(72, 64).expect("classic geometry")
+    }
+
+    #[test]
+    fn geometry_validation() {
+        // (72,65) leaves 7 check bits: only 57 odd-weight-≥3 columns exist.
+        assert!(matches!(
+            SecDed::hsiao(72, 65),
+            Err(SecDedError::OddColumnsExhausted { available: 57, .. })
+        ));
+        assert!(matches!(
+            SecDed::hamming_sec(300, 128),
+            Err(SecDedError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            SecDed::hamming_sec(20, 16),
+            Err(SecDedError::TooFewCheckBits { .. })
+        ));
+        assert!(SecDed::hamming_sec(136, 128).is_ok());
+        // Hsiao cannot reach (136,128): only 120 odd columns of 8 bits
+        // with weight >= 3 exist (56 + 56 + 8).
+        assert!(matches!(
+            SecDed::hsiao(136, 128),
+            Err(SecDedError::OddColumnsExhausted { available: 120, .. })
+        ));
+    }
+
+    #[test]
+    fn hsiao_columns_are_odd_and_distinct() {
+        let code = hsiao_72_64();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..72 {
+            let col = code.column(i);
+            assert_eq!(col.count_ones() % 2, 1, "bit {i}");
+            assert!(seen.insert(col), "duplicate column at bit {i}");
+        }
+        assert!(code.is_ded());
+    }
+
+    #[test]
+    fn roundtrip_and_single_error_correction_exhaustive() {
+        let code = hsiao_72_64();
+        let data = Word::from(0x0123_4567_89AB_CDEFu64);
+        let cw = code.encode(&data);
+        assert_eq!(code.decode(&cw), SecDecoded::Clean { data });
+        for bit in 0..72 {
+            let mut bad = cw;
+            bad.toggle_bit(bit);
+            match code.decode(&bad) {
+                SecDecoded::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "bit {bit}");
+                    assert_eq!(b, bit);
+                }
+                other => panic!("bit {bit}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hsiao_detects_every_double_error() {
+        let code = hsiao_72_64();
+        let data = Word::from(0xFFFF_0000_FF00_00FFu64);
+        let cw = code.encode(&data);
+        for a in 0..72 {
+            for b in (a + 1)..72 {
+                let mut bad = cw;
+                bad.toggle_bit(a);
+                bad.toggle_bit(b);
+                assert_eq!(code.decode(&bad), SecDecoded::Detected, "bits ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_sec_corrects_singles_but_miscorrects_doubles() {
+        let code = SecDed::hamming_sec(136, 128).unwrap();
+        assert!(!code.is_ded());
+        let data = Word::mask(128) ^ (Word::from(0xAAu64) << 40);
+        let cw = code.encode(&data);
+        for bit in (0..136).step_by(7) {
+            let mut bad = cw;
+            bad.toggle_bit(bit);
+            assert_eq!(code.decode(&bad).data(), Some(data), "bit {bit}");
+        }
+        // Some double error must miscorrect (no DED guarantee).
+        let mut miscorrections = 0;
+        for a in 0..20 {
+            let mut bad = cw;
+            bad.toggle_bit(a);
+            bad.toggle_bit(a + 50);
+            match code.decode(&bad) {
+                SecDecoded::Corrected { data: d, .. } if d != data => miscorrections += 1,
+                SecDecoded::Clean { .. } => panic!("double error read clean"),
+                _ => {}
+            }
+        }
+        assert!(miscorrections > 0, "Hamming SEC has no double-error guarantee");
+    }
+
+    #[test]
+    fn check_bits_occupy_low_positions() {
+        let code = hsiao_72_64();
+        assert_eq!(code.r_bits(), 8);
+        let cw = code.encode(&Word::from(1u64));
+        // Data bit 0 lands at codeword bit 8.
+        assert!(cw.bit(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "data wider")]
+    fn oversized_data_panics() {
+        let _ = hsiao_72_64().encode(&Word::mask(65));
+    }
+}

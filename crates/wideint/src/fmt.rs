@@ -1,0 +1,116 @@
+//! `Display`/`Debug`/numeric formatting for the wide integer types.
+
+use core::fmt;
+
+use crate::{SignedWide, WideUint};
+
+impl<const L: usize> fmt::Display for WideUint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl<const L: usize> fmt::Debug for WideUint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WideUint<{L}>({self:#x})")
+    }
+}
+
+impl<const L: usize> fmt::LowerHex for WideUint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        let mut started = false;
+        for &limb in self.limbs.iter().rev() {
+            if started {
+                s.push_str(&format!("{limb:016x}"));
+            } else if limb != 0 {
+                s.push_str(&format!("{limb:x}"));
+                started = true;
+            }
+        }
+        if !started {
+            s.push('0');
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl<const L: usize> fmt::UpperHex for WideUint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:x}").to_uppercase();
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl<const L: usize> fmt::Binary for WideUint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        let mut started = false;
+        for &limb in self.limbs.iter().rev() {
+            if started {
+                s.push_str(&format!("{limb:064b}"));
+            } else if limb != 0 {
+                s.push_str(&format!("{limb:b}"));
+                started = true;
+            }
+        }
+        if !started {
+            s.push('0');
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+impl<const L: usize> fmt::Display for SignedWide<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(!self.is_negative(), "", &self.magnitude().to_decimal_string())
+    }
+}
+
+impl<const L: usize> fmt::Debug for SignedWide<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignedWide<{L}>({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{I320, U320};
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(U320::from(4065u64).to_string(), "4065");
+        assert_eq!(format!("{}", U320::pow2(87).div_rem_u64(2005).0 + U320::ONE),
+            "77178306688614730355307");
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        let x = U320::from(0xABCDu64);
+        assert_eq!(format!("{x:x}"), "abcd");
+        assert_eq!(format!("{x:#x}"), "0xabcd");
+        assert_eq!(format!("{x:X}"), "ABCD");
+        assert_eq!(format!("{x:b}"), "1010101111001101");
+        assert_eq!(format!("{:x}", U320::ZERO), "0");
+        assert_eq!(format!("{:b}", U320::ZERO), "0");
+    }
+
+    #[test]
+    fn hex_multi_limb_padding() {
+        let x = U320::pow2(64) + U320::ONE;
+        assert_eq!(format!("{x:x}"), "10000000000000001");
+    }
+
+    #[test]
+    fn signed_display() {
+        assert_eq!(I320::from(-42).to_string(), "-42");
+        assert_eq!(I320::from(42).to_string(), "42");
+        assert_eq!(I320::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", U320::ZERO).is_empty());
+        assert!(!format!("{:?}", I320::ZERO).is_empty());
+    }
+}

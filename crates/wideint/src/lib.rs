@@ -1,0 +1,43 @@
+//! Fixed-width wide integers used throughout the MUSE ECC reproduction.
+//!
+//! Codewords in the paper are 80–268 bits and the Lemire fast-modulo inverse
+//! constants are up to ~157 bits, with intermediate products up to ~600 bits,
+//! so `u128` is insufficient. [`WideUint`] is a little-endian array of `u64`
+//! limbs with value semantics (`Copy`), full arithmetic, shifting, bit
+//! manipulation, and radix-10/16 conversion. [`SignedWide`] is a
+//! sign-magnitude wrapper used for error values, which are signed sums of
+//! powers of two.
+//!
+//! # Examples
+//!
+//! ```
+//! use muse_wideint::U320;
+//!
+//! let m = U320::from(4065u64);
+//! let x = U320::from(123_456_789u64);
+//! let (q, r) = x.div_rem_u64(4065);
+//! assert_eq!(q * m + U320::from(r), x);
+//! ```
+
+mod fmt;
+mod parse;
+mod signed;
+mod uint;
+
+pub use parse::ParseWideUintError;
+pub use signed::SignedWide;
+pub use uint::{TryFromWideUintError, WideUint};
+
+/// 128-bit wide integer (2 limbs); mostly used in tests against `u128`.
+pub type U128 = WideUint<2>;
+/// 192-bit wide integer (3 limbs).
+pub type U192 = WideUint<3>;
+/// 320-bit wide integer (5 limbs): the default codeword/constant carrier.
+///
+/// Large enough for the 268-bit PIM codeword and every Table III inverse.
+pub type U320 = WideUint<5>;
+/// 640-bit wide integer (10 limbs): holds any `U320 × U320` product.
+pub type U640 = WideUint<10>;
+
+/// Signed 320-bit value: the default error-value carrier.
+pub type I320 = SignedWide<5>;

@@ -1,0 +1,202 @@
+//! Radix conversion for [`WideUint`].
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::WideUint;
+
+/// Error parsing a [`WideUint`] from a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseWideUintError {
+    /// The input was empty.
+    Empty,
+    /// A character was not a digit of the requested radix.
+    InvalidDigit(char),
+    /// The value does not fit in the fixed width.
+    Overflow,
+}
+
+impl fmt::Display for ParseWideUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot parse integer from empty string"),
+            Self::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+            Self::Overflow => write!(f, "integer literal too large for the fixed width"),
+        }
+    }
+}
+
+impl std::error::Error for ParseWideUintError {}
+
+impl<const L: usize> WideUint<L> {
+    /// Parses a value from `s` in the given radix (2, 10, or 16).
+    ///
+    /// Underscores are accepted as digit separators. A `0x`/`0b` prefix is
+    /// accepted when it matches the radix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWideUintError`] for empty input, foreign characters, or
+    /// values exceeding the fixed width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is not 2, 10, or 16.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_wideint::U320;
+    ///
+    /// # fn main() -> Result<(), muse_wideint::ParseWideUintError> {
+    /// let inverse = U320::from_str_radix(
+    ///     "22470812382086453231913973442747278899998963", 10)?;
+    /// assert_eq!(inverse.bit_len(), 145);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Self, ParseWideUintError> {
+        assert!(
+            matches!(radix, 2 | 10 | 16),
+            "unsupported radix {radix} (expected 2, 10, or 16)"
+        );
+        let s = match radix {
+            16 => s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s),
+            2 => s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")).unwrap_or(s),
+            _ => s,
+        };
+        let mut out = Self::ZERO;
+        let mut any = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let digit = c
+                .to_digit(radix)
+                .ok_or(ParseWideUintError::InvalidDigit(c))?;
+            any = true;
+            let (scaled, carry) = out.overflowing_mul_u64(radix as u64);
+            if carry != 0 {
+                return Err(ParseWideUintError::Overflow);
+            }
+            out = scaled
+                .checked_add(&Self::from_u64(digit as u64))
+                .ok_or(ParseWideUintError::Overflow)?;
+        }
+        if !any {
+            return Err(ParseWideUintError::Empty);
+        }
+        Ok(out)
+    }
+
+    /// Formats the value in decimal.
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = *self;
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.last().expect("nonzero value has chunks").to_string();
+        for &chunk in chunks.iter().rev().skip(1) {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        out
+    }
+}
+
+impl<const L: usize> FromStr for WideUint<L> {
+    type Err = ParseWideUintError;
+
+    /// Parses a decimal literal (or hex with an explicit `0x` prefix).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            Self::from_str_radix(s, 16)
+        } else {
+            Self::from_str_radix(s, 10)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::U320;
+
+    #[test]
+    fn parse_decimal() {
+        let x: U320 = "123456789012345678901234567890".parse().unwrap();
+        assert_eq!(x.to_decimal_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn parse_hex_and_binary() {
+        assert_eq!(
+            U320::from_str_radix("0xff", 16).unwrap().to_u64(),
+            Some(255)
+        );
+        assert_eq!(
+            U320::from_str_radix("0b1011", 2).unwrap().to_u64(),
+            Some(11)
+        );
+        assert_eq!(
+            U320::from_str_radix("dead_beef", 16).unwrap().to_u64(),
+            Some(0xDEAD_BEEF)
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            U320::from_str_radix("", 10),
+            Err(ParseWideUintError::Empty)
+        );
+        assert_eq!(
+            U320::from_str_radix("12a", 10),
+            Err(ParseWideUintError::InvalidDigit('a'))
+        );
+        assert_eq!(
+            U320::from_str_radix("_", 10),
+            Err(ParseWideUintError::Empty)
+        );
+        // 2^320 needs 97 decimal digits; a 100-digit number must overflow.
+        let too_big = "9".repeat(100);
+        assert_eq!(
+            U320::from_str_radix(&too_big, 10),
+            Err(ParseWideUintError::Overflow)
+        );
+    }
+
+    #[test]
+    fn table3_constants_roundtrip() {
+        // The four inverse values of Table III must survive parse/print.
+        for s in [
+            "22470812382086453231913973442747278899998963",
+            "77178306688614730355307",
+            "1761878725188230243585305",
+            "753922070210341214920295",
+        ] {
+            let x: U320 = s.parse().unwrap();
+            assert_eq!(x.to_decimal_string(), s);
+        }
+    }
+
+    #[test]
+    fn zero_roundtrip() {
+        assert_eq!(U320::ZERO.to_decimal_string(), "0");
+        assert_eq!("0".parse::<U320>().unwrap(), U320::ZERO);
+    }
+
+    #[test]
+    fn decimal_chunk_padding() {
+        // A value whose low chunk has leading zeros exercises the padding.
+        let x = U320::pow2(64); // 18446744073709551616
+        assert_eq!(x.to_decimal_string(), "18446744073709551616");
+    }
+}

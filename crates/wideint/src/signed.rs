@@ -1,0 +1,274 @@
+//! Sign-magnitude signed wide integers.
+
+use core::cmp::Ordering;
+use core::ops::{Add, Neg, Sub};
+
+use crate::WideUint;
+
+/// A signed value stored as sign + magnitude, used for ECC error values
+/// (`e = Σ ±2^i`).
+///
+/// Zero is canonical: its sign is always positive, so `Eq`/`Hash` behave as
+/// expected.
+///
+/// # Examples
+///
+/// ```
+/// use muse_wideint::{SignedWide, WideUint};
+///
+/// type I = SignedWide<5>;
+/// let a = I::from_bit(3, true);  // +8  (a 0->1 flip of bit 3)
+/// let b = I::from_bit(1, false); // -2  (a 1->0 flip of bit 1)
+/// assert_eq!((a + b).to_i128(), Some(6));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SignedWide<const L: usize> {
+    magnitude: WideUint<L>,
+    negative: bool,
+}
+
+impl<const L: usize> SignedWide<L> {
+    /// The value `0`.
+    pub const ZERO: Self = Self {
+        magnitude: WideUint::ZERO,
+        negative: false,
+    };
+
+    /// Creates a value from a magnitude and sign, normalizing zero.
+    pub fn new(magnitude: WideUint<L>, negative: bool) -> Self {
+        Self {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// The signed value of a single bit flip at position `i`:
+    /// `+2^i` for a 0→1 flip (`rising = true`), `-2^i` for a 1→0 flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WideUint::<L>::BITS`.
+    pub fn from_bit(i: u32, rising: bool) -> Self {
+        Self::new(WideUint::pow2(i), !rising)
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &WideUint<L> {
+        &self.magnitude
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Mathematical remainder in `[0, m)` (i.e. `((self mod m) + m) mod m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn rem_euclid_u64(&self, m: u64) -> u64 {
+        let r = self.magnitude.rem_u64(m);
+        if self.negative && r != 0 {
+            m - r
+        } else {
+            r
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.magnitude.to_u128()?;
+        if self.negative {
+            if mag > i128::MAX as u128 + 1 {
+                None
+            } else if mag == i128::MAX as u128 + 1 {
+                Some(i128::MIN)
+            } else {
+                Some(-(mag as i128))
+            }
+        } else if mag > i128::MAX as u128 {
+            None
+        } else {
+            Some(mag as i128)
+        }
+    }
+
+    /// Applies this value as an additive error to `word`, wrapping modulo
+    /// `2^BITS`: returns `word + self`.
+    pub fn apply_to(&self, word: &WideUint<L>) -> WideUint<L> {
+        if self.negative {
+            word.wrapping_sub(&self.magnitude)
+        } else {
+            word.wrapping_add(&self.magnitude)
+        }
+    }
+
+    /// Removes this value from `word` (inverse of [`Self::apply_to`]):
+    /// returns `word - self`.
+    pub fn unapply_from(&self, word: &WideUint<L>) -> WideUint<L> {
+        if self.negative {
+            word.wrapping_add(&self.magnitude)
+        } else {
+            word.wrapping_sub(&self.magnitude)
+        }
+    }
+}
+
+impl<const L: usize> From<i64> for SignedWide<L> {
+    fn from(v: i64) -> Self {
+        Self::new(WideUint::from(v.unsigned_abs()), v < 0)
+    }
+}
+
+impl<const L: usize> Neg for SignedWide<L> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(self.magnitude, !self.negative)
+    }
+}
+
+impl<const L: usize> Add for SignedWide<L> {
+    type Output = Self;
+
+    /// # Panics
+    ///
+    /// Panics if the magnitude overflows the fixed width.
+    fn add(self, rhs: Self) -> Self {
+        if self.negative == rhs.negative {
+            Self::new(
+                self.magnitude
+                    .checked_add(&rhs.magnitude)
+                    .expect("SignedWide add overflow"),
+                self.negative,
+            )
+        } else {
+            match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => Self::ZERO,
+                Ordering::Greater => Self::new(
+                    self.magnitude.wrapping_sub(&rhs.magnitude),
+                    self.negative,
+                ),
+                Ordering::Less => Self::new(
+                    rhs.magnitude.wrapping_sub(&self.magnitude),
+                    rhs.negative,
+                ),
+            }
+        }
+    }
+}
+
+impl<const L: usize> Sub for SignedWide<L> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl<const L: usize> Ord for SignedWide<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl<const L: usize> PartialOrd for SignedWide<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{I320, U320};
+
+    #[test]
+    fn zero_is_canonical() {
+        let z1 = I320::new(U320::ZERO, true);
+        let z2 = I320::ZERO;
+        assert_eq!(z1, z2);
+        assert!(!z1.is_negative());
+    }
+
+    #[test]
+    fn from_bit_signs() {
+        assert_eq!(I320::from_bit(4, true).to_i128(), Some(16));
+        assert_eq!(I320::from_bit(4, false).to_i128(), Some(-16));
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        let a = I320::from(100);
+        let b = I320::from(-30);
+        assert_eq!((a + b).to_i128(), Some(70));
+        assert_eq!((b + a).to_i128(), Some(70));
+        assert_eq!((a + (-a)).to_i128(), Some(0));
+        assert_eq!((b + b).to_i128(), Some(-60));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = I320::from(5);
+        let b = I320::from(9);
+        assert_eq!((a - b).to_i128(), Some(-4));
+        assert_eq!((-(a - b)).to_i128(), Some(4));
+    }
+
+    #[test]
+    fn rem_euclid() {
+        assert_eq!(I320::from(-2).rem_euclid_u64(4065), 4063);
+        assert_eq!(I320::from(2).rem_euclid_u64(4065), 2);
+        assert_eq!(I320::from(-4065).rem_euclid_u64(4065), 0);
+        assert_eq!(I320::ZERO.rem_euclid_u64(7), 0);
+    }
+
+    #[test]
+    fn apply_roundtrip() {
+        let w = U320::from(0b1111_0011u64); // 243, the paper's Section II example
+        let e = I320::from(-2); // bit 1 flips 1 -> 0
+        let corrupted = e.apply_to(&w);
+        assert_eq!(corrupted.to_u64(), Some(241));
+        assert_eq!(e.unapply_from(&corrupted), w);
+    }
+
+    #[test]
+    fn apply_positive_error() {
+        let w = U320::from(972u64);
+        let e = I320::from(2);
+        assert_eq!(e.apply_to(&w).to_u64(), Some(974));
+    }
+
+    #[test]
+    fn ordering() {
+        let vals = [-10i64, -1, 0, 1, 10];
+        for (i, &a) in vals.iter().enumerate() {
+            for (j, &b) in vals.iter().enumerate() {
+                assert_eq!(
+                    I320::from(a).cmp(&I320::from(b)),
+                    i.cmp(&j),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i128_bounds() {
+        let big = I320::new(U320::pow2(200), true);
+        assert_eq!(big.to_i128(), None);
+        assert_eq!(
+            I320::new(U320::pow2(127), true).to_i128(),
+            Some(i128::MIN)
+        );
+    }
+}

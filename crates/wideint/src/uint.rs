@@ -1,0 +1,790 @@
+//! The [`WideUint`] fixed-width unsigned integer.
+
+use core::cmp::Ordering;
+use core::ops::{Add, BitAnd, BitOr, BitXor, Mul, Not, Shl, Shr, Sub};
+
+/// A fixed-width unsigned integer of `L × 64` bits, stored as little-endian
+/// `u64` limbs.
+///
+/// Arithmetic follows the conventions of the primitive unsigned integers:
+/// the `Add`/`Sub`/`Mul` operators panic on overflow (in all build profiles),
+/// while `wrapping_*`, `checked_*`, and `overflowing_*` methods provide the
+/// usual explicit alternatives.
+///
+/// # Examples
+///
+/// ```
+/// use muse_wideint::WideUint;
+///
+/// let a: WideUint<4> = WideUint::from(7u64);
+/// let b = a << 130; // beyond u128 range
+/// assert_eq!(b >> 130, a);
+/// assert_eq!(b.bit_len(), 133);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideUint<const L: usize> {
+    pub(crate) limbs: [u64; L],
+}
+
+impl<const L: usize> Default for WideUint<L> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const L: usize> WideUint<L> {
+    /// The value `0`.
+    pub const ZERO: Self = Self { limbs: [0; L] };
+
+    /// The value `1`.
+    pub const ONE: Self = {
+        let mut limbs = [0; L];
+        limbs[0] = 1;
+        Self { limbs }
+    };
+
+    /// The largest representable value (all bits set).
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; L],
+    };
+
+    /// Total number of bits in the representation.
+    pub const BITS: u32 = 64 * L as u32;
+
+    /// Creates a value from raw little-endian limbs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_wideint::WideUint;
+    /// let x = WideUint::from_limbs([3, 1]);
+    /// assert_eq!(x, (WideUint::<2>::ONE << 64) | WideUint::from(3u64));
+    /// ```
+    pub const fn from_limbs(limbs: [u64; L]) -> Self {
+        Self { limbs }
+    }
+
+    /// Returns the raw little-endian limbs.
+    pub const fn to_limbs(self) -> [u64; L] {
+        self.limbs
+    }
+
+    /// Returns `2^i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BITS`.
+    pub fn pow2(i: u32) -> Self {
+        assert!(i < Self::BITS, "pow2 exponent {i} out of range");
+        let mut out = Self::ZERO;
+        out.limbs[(i / 64) as usize] = 1u64 << (i % 64);
+        out
+    }
+
+    /// Returns a mask with the low `n` bits set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Self::BITS`.
+    pub fn mask(n: u32) -> Self {
+        assert!(n <= Self::BITS, "mask width {n} out of range");
+        if n == Self::BITS {
+            return Self::MAX;
+        }
+        let mut out = Self::ZERO;
+        let full = (n / 64) as usize;
+        for limb in out.limbs.iter_mut().take(full) {
+            *limb = u64::MAX;
+        }
+        if !n.is_multiple_of(64) {
+            out.limbs[full] = (1u64 << (n % 64)) - 1;
+        }
+        out
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Value of bit `i` (`false` when out of range).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= Self::BITS {
+            return false;
+        }
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BITS`.
+    pub fn set_bit(&mut self, i: u32, value: bool) {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        let limb = &mut self.limbs[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BITS`.
+    pub fn toggle_bit(&mut self, i: u32) {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        self.limbs[(i / 64) as usize] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Number of leading zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        let mut zeros = 0;
+        for &limb in self.limbs.iter().rev() {
+            if limb == 0 {
+                zeros += 64;
+            } else {
+                return zeros + limb.leading_zeros();
+            }
+        }
+        zeros
+    }
+
+    /// Number of trailing zero bits (`Self::BITS` for zero).
+    pub fn trailing_zeros(&self) -> u32 {
+        let mut zeros = 0;
+        for &limb in self.limbs.iter() {
+            if limb == 0 {
+                zeros += 64;
+            } else {
+                return zeros + limb.trailing_zeros();
+            }
+        }
+        zeros
+    }
+
+    /// Position of the highest set bit plus one (`0` for zero).
+    pub fn bit_len(&self) -> u32 {
+        Self::BITS - self.leading_zeros()
+    }
+
+    /// Addition reporting overflow.
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = Self::ZERO;
+        let mut carry = false;
+        for i in 0..L {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out.limbs[i] = s2;
+            carry = c1 | c2;
+        }
+        (out, carry)
+    }
+
+    /// Subtraction reporting borrow.
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = Self::ZERO;
+        let mut borrow = false;
+        for i in 0..L {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out.limbs[i] = d2;
+            borrow = b1 | b2;
+        }
+        (out, borrow)
+    }
+
+    /// Wrapping (modulo `2^BITS`) addition.
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping (modulo `2^BITS`) subtraction.
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition (`None` on overflow).
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction (`None` on underflow).
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full-width multiplication: returns `(low, high)` halves of the
+    /// `2 × BITS`-bit product.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_wideint::U128;
+    /// let a = U128::from(u64::MAX);
+    /// let (lo, hi) = a.widening_mul(&a);
+    /// assert_eq!(lo.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    /// assert!(hi.is_zero());
+    /// ```
+    pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
+        let mut lo = Self::ZERO;
+        let mut hi = Self::ZERO;
+        for i in 0..L {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for j in 0..L {
+                let pos = i + j;
+                let p = self.limbs[i] as u128 * rhs.limbs[j] as u128;
+                let cur = Self::get2(&lo, &hi, pos) as u128 + (p & 0xFFFF_FFFF_FFFF_FFFF) + carry as u128;
+                Self::set2(&mut lo, &mut hi, pos, cur as u64);
+                carry = ((p >> 64) + (cur >> 64)) as u64;
+            }
+            // Propagate the final carry into limb i + L.
+            let mut pos = i + L;
+            while carry != 0 && pos < 2 * L {
+                let cur = Self::get2(&lo, &hi, pos) as u128 + carry as u128;
+                Self::set2(&mut lo, &mut hi, pos, cur as u64);
+                carry = (cur >> 64) as u64;
+                pos += 1;
+            }
+        }
+        (lo, hi)
+    }
+
+    fn get2(lo: &Self, hi: &Self, pos: usize) -> u64 {
+        if pos < L {
+            lo.limbs[pos]
+        } else {
+            hi.limbs[pos - L]
+        }
+    }
+
+    fn set2(lo: &mut Self, hi: &mut Self, pos: usize, v: u64) {
+        if pos < L {
+            lo.limbs[pos] = v;
+        } else {
+            hi.limbs[pos - L] = v;
+        }
+    }
+
+    /// Wrapping multiplication (low half of the full product).
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Checked multiplication (`None` if the product overflows).
+    pub fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Multiplies by a single 64-bit limb, reporting the carried-out limb.
+    pub fn overflowing_mul_u64(&self, rhs: u64) -> (Self, u64) {
+        let mut out = Self::ZERO;
+        let mut carry: u64 = 0;
+        for i in 0..L {
+            let p = self.limbs[i] as u128 * rhs as u128 + carry as u128;
+            out.limbs[i] = p as u64;
+            carry = (p >> 64) as u64;
+        }
+        (out, carry)
+    }
+
+    /// Shift left; bits shifted past the top are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Self::BITS` (like primitive shifts).
+    pub fn shl(&self, n: u32) -> Self {
+        assert!(n < Self::BITS, "shift amount {n} out of range");
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = Self::ZERO;
+        for i in (limb_shift..L).rev() {
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift != 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Shift right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Self::BITS` (like primitive shifts).
+    pub fn shr(&self, n: u32) -> Self {
+        assert!(n < Self::BITS, "shift amount {n} out of range");
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = Self::ZERO;
+        for i in 0..L - limb_shift {
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift != 0 && i + limb_shift + 1 < L {
+                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Quotient and remainder of division by a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_wideint::U320;
+    /// let x = U320::pow2(156);
+    /// let (q, r) = x.div_rem_u64(4065);
+    /// assert_eq!(
+    ///     q.to_string(),
+    ///     "22470812382086453231913973442747278899998962"
+    /// );
+    /// assert_eq!(r, 3406);
+    /// ```
+    pub fn div_rem_u64(&self, rhs: u64) -> (Self, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut out = Self::ZERO;
+        let mut rem: u64 = 0;
+        for i in (0..L).rev() {
+            let cur = ((rem as u128) << 64) | self.limbs[i] as u128;
+            out.limbs[i] = (cur / rhs as u128) as u64;
+            rem = (cur % rhs as u128) as u64;
+        }
+        (out, rem)
+    }
+
+    /// Remainder of division by a `u64` (Horner over limbs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs == 0`.
+    pub fn rem_u64(&self, rhs: u64) -> u64 {
+        assert!(rhs != 0, "division by zero");
+        let mut rem: u64 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((((rem as u128) << 64) | limb as u128) % rhs as u128) as u64;
+        }
+        rem
+    }
+
+    /// Quotient and remainder of division by another wide integer
+    /// (simple shift-subtract long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (Self::ZERO, *self);
+        }
+        if let Some(small) = rhs.to_u64() {
+            let (q, r) = self.div_rem_u64(small);
+            return (q, Self::from_u64(r));
+        }
+        let mut quotient = Self::ZERO;
+        let mut remainder = Self::ZERO;
+        for i in (0..self.bit_len()).rev() {
+            remainder = remainder.shl(1);
+            if self.bit(i) {
+                remainder.limbs[0] |= 1;
+            }
+            if remainder >= *rhs {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient.set_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Converts from `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0; L];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().all(|&l| l == 0) {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if L >= 2 && self.limbs[2..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let hi = if L >= 2 { self.limbs[1] } else { 0 };
+        Some(((hi as u128) << 64) | self.limbs[0] as u128)
+    }
+
+    /// Re-sizes into a different limb count, returning `None` if the value
+    /// does not fit in the target width.
+    pub fn resize<const M: usize>(&self) -> Option<WideUint<M>> {
+        let mut out = WideUint::<M>::ZERO;
+        for i in 0..L {
+            if i < M {
+                out.limbs[i] = self.limbs[i];
+            } else if self.limbs[i] != 0 {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<const L: usize> Ord for WideUint<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..L).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const L: usize> PartialOrd for WideUint<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> From<u64> for WideUint<L> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl<const L: usize> From<u32> for WideUint<L> {
+    fn from(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+/// Error converting a [`WideUint`] into a narrower primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryFromWideUintError(pub(crate) ());
+
+impl core::fmt::Display for TryFromWideUintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wide integer too large for the target type")
+    }
+}
+
+impl std::error::Error for TryFromWideUintError {}
+
+impl<const L: usize> TryFrom<WideUint<L>> for u64 {
+    type Error = TryFromWideUintError;
+
+    fn try_from(v: WideUint<L>) -> Result<Self, Self::Error> {
+        v.to_u64().ok_or(TryFromWideUintError(()))
+    }
+}
+
+impl<const L: usize> TryFrom<WideUint<L>> for u128 {
+    type Error = TryFromWideUintError;
+
+    fn try_from(v: WideUint<L>) -> Result<Self, Self::Error> {
+        v.to_u128().ok_or(TryFromWideUintError(()))
+    }
+}
+
+impl<const L: usize> From<u128> for WideUint<L> {
+    /// # Panics
+    ///
+    /// Panics if `L < 2` and the value does not fit.
+    fn from(v: u128) -> Self {
+        let mut out = Self::ZERO;
+        out.limbs[0] = v as u64;
+        let hi = (v >> 64) as u64;
+        if hi != 0 {
+            assert!(L >= 2, "u128 value does not fit in one limb");
+            out.limbs[1] = hi;
+        }
+        out
+    }
+}
+
+impl<const L: usize> Add for WideUint<L> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(&rhs).expect("WideUint add overflow")
+    }
+}
+
+impl<const L: usize> Sub for WideUint<L> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.checked_sub(&rhs).expect("WideUint sub underflow")
+    }
+}
+
+impl<const L: usize> Mul for WideUint<L> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul(&rhs).expect("WideUint mul overflow")
+    }
+}
+
+impl<const L: usize> Shl<u32> for WideUint<L> {
+    type Output = Self;
+    fn shl(self, n: u32) -> Self {
+        WideUint::shl(&self, n)
+    }
+}
+
+impl<const L: usize> Shr<u32> for WideUint<L> {
+    type Output = Self;
+    fn shr(self, n: u32) -> Self {
+        WideUint::shr(&self, n)
+    }
+}
+
+impl<const L: usize> BitAnd for WideUint<L> {
+    type Output = Self;
+    fn bitand(mut self, rhs: Self) -> Self {
+        for i in 0..L {
+            self.limbs[i] &= rhs.limbs[i];
+        }
+        self
+    }
+}
+
+impl<const L: usize> BitOr for WideUint<L> {
+    type Output = Self;
+    fn bitor(mut self, rhs: Self) -> Self {
+        for i in 0..L {
+            self.limbs[i] |= rhs.limbs[i];
+        }
+        self
+    }
+}
+
+impl<const L: usize> BitXor for WideUint<L> {
+    type Output = Self;
+    fn bitxor(mut self, rhs: Self) -> Self {
+        for i in 0..L {
+            self.limbs[i] ^= rhs.limbs[i];
+        }
+        self
+    }
+}
+
+impl<const L: usize> Not for WideUint<L> {
+    type Output = Self;
+    fn not(mut self) -> Self {
+        for limb in self.limbs.iter_mut() {
+            *limb = !*limb;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{U128, U320};
+
+    #[test]
+    fn constants() {
+        assert!(U320::ZERO.is_zero());
+        assert_eq!(U320::ONE.to_u64(), Some(1));
+        assert_eq!(U320::MAX.count_ones(), 320);
+        assert_eq!(U320::BITS, 320);
+    }
+
+    #[test]
+    fn pow2_and_mask() {
+        assert_eq!(U320::pow2(0), U320::ONE);
+        assert_eq!(U320::pow2(200).bit_len(), 201);
+        assert_eq!(U320::mask(0), U320::ZERO);
+        assert_eq!(U320::mask(64).to_u128(), Some(u64::MAX as u128));
+        assert_eq!(U320::mask(320), U320::MAX);
+        assert_eq!(U320::mask(80).count_ones(), 80);
+    }
+
+    #[test]
+    fn bit_manipulation() {
+        let mut x = U320::ZERO;
+        x.set_bit(131, true);
+        assert!(x.bit(131));
+        assert_eq!(x, U320::pow2(131));
+        x.toggle_bit(131);
+        assert!(x.is_zero());
+        assert!(!U320::ONE.bit(1000)); // out of range reads as false
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U320::from(0xDEAD_BEEF_u64);
+        let b = U320::pow2(255);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
+    }
+
+    #[test]
+    fn overflow_reported() {
+        assert!(U320::MAX.checked_add(&U320::ONE).is_none());
+        assert!(U320::ZERO.checked_sub(&U320::ONE).is_none());
+        assert_eq!(U320::MAX.wrapping_add(&U320::ONE), U320::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "add overflow")]
+    fn add_panics_on_overflow() {
+        let _ = U320::MAX + U320::ONE;
+    }
+
+    #[test]
+    fn widening_mul_matches_u128() {
+        let a = U128::from(u64::MAX as u128);
+        let b = U128::from(12345u64);
+        let (lo, _hi) = a.widening_mul(&b);
+        assert_eq!(lo.to_u128(), Some(u64::MAX as u128 * 12345));
+    }
+
+    #[test]
+    fn widening_mul_high_half() {
+        // (2^100)^2 = 2^200
+        let a = U320::pow2(100);
+        let (lo, hi) = a.widening_mul(&a);
+        assert_eq!(lo, U320::pow2(200));
+        assert!(hi.is_zero());
+        // (2^200)^2 = 2^400 -> bit 80 of the high half
+        let b = U320::pow2(200);
+        let (lo, hi) = b.widening_mul(&b);
+        assert!(lo.is_zero());
+        assert_eq!(hi, U320::pow2(80));
+    }
+
+    #[test]
+    fn mul_u64_carry() {
+        let a = U128::from(u64::MAX);
+        let (lo, carry) = a.overflowing_mul_u64(u64::MAX);
+        let expect = u64::MAX as u128 * u64::MAX as u128;
+        assert_eq!(lo.to_u128(), Some(expect));
+        assert_eq!(carry, 0);
+        let b = U128::MAX;
+        let (_, carry) = b.overflowing_mul_u64(2);
+        assert_eq!(carry, 1);
+    }
+
+    #[test]
+    fn shifts() {
+        let x = U320::from(0b1011u64);
+        assert_eq!(x.shl(70).shr(70), x);
+        assert_eq!(x.shl(1).to_u64(), Some(0b10110));
+        // Bits shifted past the top are discarded.
+        assert_eq!(U320::pow2(319).shl(1), U320::ZERO);
+    }
+
+    #[test]
+    fn div_rem_u64_basics() {
+        let x = U320::from(1_000_003u64);
+        let (q, r) = x.div_rem_u64(4065);
+        assert_eq!(q.to_u64(), Some(1_000_003 / 4065));
+        assert_eq!(r, 1_000_003 % 4065);
+        assert_eq!(x.rem_u64(4065), r);
+    }
+
+    #[test]
+    fn div_rem_wide() {
+        let x = U320::pow2(300) + U320::from(987654321u64);
+        let d = U320::pow2(100) + U320::from(17u64);
+        let (q, r) = x.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q * d + r, x);
+    }
+
+    #[test]
+    fn div_rem_small_divisor_fallback() {
+        let x = U320::pow2(250);
+        let (q, r) = x.div_rem(&U320::from(4065u64));
+        let (q2, r2) = x.div_rem_u64(4065);
+        assert_eq!(q, q2);
+        assert_eq!(r.to_u64(), Some(r2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U320::pow2(200) > U320::pow2(199));
+        assert!(U320::from(5u64) < U320::from(6u64));
+        assert_eq!(U320::from(5u64).cmp(&U320::from(5u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(U320::from(7u32).to_u64(), Some(7));
+        assert_eq!(U320::pow2(64).to_u64(), None);
+        assert_eq!(U320::pow2(127).to_u128(), Some(1u128 << 127));
+        assert_eq!(U320::pow2(128).to_u128(), None);
+        let x = U320::pow2(150);
+        let y: Option<crate::U192> = x.resize();
+        assert_eq!(y.unwrap().bit_len(), 151);
+        let z: Option<U128> = x.resize();
+        assert!(z.is_none());
+    }
+
+    #[test]
+    fn try_from_conversions() {
+        assert_eq!(u64::try_from(U320::from(7u64)), Ok(7));
+        assert!(u64::try_from(U320::pow2(64)).is_err());
+        assert_eq!(u128::try_from(U320::pow2(100)), Ok(1u128 << 100));
+        assert!(u128::try_from(U320::pow2(128)).is_err());
+        let e = u64::try_from(U320::MAX).unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn leading_trailing() {
+        assert_eq!(U320::ZERO.leading_zeros(), 320);
+        assert_eq!(U320::ZERO.trailing_zeros(), 320);
+        assert_eq!(U320::pow2(131).trailing_zeros(), 131);
+        assert_eq!(U320::pow2(131).leading_zeros(), 320 - 132);
+        assert_eq!(U320::ZERO.bit_len(), 0);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = U320::mask(100);
+        let b = U320::mask(50);
+        assert_eq!(a & b, b);
+        assert_eq!(a | b, a);
+        assert_eq!((a ^ b).count_ones(), 50);
+        assert_eq!(!U320::ZERO, U320::MAX);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests: `WideUint<2>` against `u128` as a reference model, plus
+//! width-independent algebraic laws on `WideUint<5>`.
+
+use muse_wideint::{SignedWide, U128, U320};
+use proptest::prelude::*;
+
+fn to_u128(x: U128) -> u128 {
+    x.to_u128().expect("U128 always fits u128")
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a: u128, b: u128) {
+        let (wide, overflow) = U128::from(a).overflowing_add(&U128::from(b));
+        let (reference, ref_overflow) = a.overflowing_add(b);
+        prop_assert_eq!(to_u128(wide), reference);
+        prop_assert_eq!(overflow, ref_overflow);
+    }
+
+    #[test]
+    fn sub_matches_u128(a: u128, b: u128) {
+        let (wide, borrow) = U128::from(a).overflowing_sub(&U128::from(b));
+        let (reference, ref_borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(to_u128(wide), reference);
+        prop_assert_eq!(borrow, ref_borrow);
+    }
+
+    #[test]
+    fn mul_matches_u128(a: u128, b: u128) {
+        let wide = U128::from(a).wrapping_mul(&U128::from(b));
+        prop_assert_eq!(to_u128(wide), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn widening_mul_matches_u64_squares(a: u64, b: u64) {
+        let (lo, hi) = U128::from(a).widening_mul(&U128::from(b));
+        prop_assert_eq!(to_u128(lo), a as u128 * b as u128);
+        prop_assert!(hi.is_zero());
+    }
+
+    #[test]
+    fn shifts_match_u128(a: u128, n in 0u32..128) {
+        prop_assert_eq!(to_u128(U128::from(a) << n), a << n);
+        prop_assert_eq!(to_u128(U128::from(a) >> n), a >> n);
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a: u128, b in 1u64..) {
+        let (q, r) = U128::from(a).div_rem_u64(b);
+        prop_assert_eq!(to_u128(q), a / b as u128);
+        prop_assert_eq!(r as u128, a % b as u128);
+        prop_assert_eq!(U128::from(a).rem_u64(b) as u128, a % b as u128);
+    }
+
+    #[test]
+    fn cmp_matches_u128(a: u128, b: u128) {
+        prop_assert_eq!(U128::from(a).cmp(&U128::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn bitops_match_u128(a: u128, b: u128) {
+        prop_assert_eq!(to_u128(U128::from(a) & U128::from(b)), a & b);
+        prop_assert_eq!(to_u128(U128::from(a) | U128::from(b)), a | b);
+        prop_assert_eq!(to_u128(U128::from(a) ^ U128::from(b)), a ^ b);
+        prop_assert_eq!(to_u128(!U128::from(a)), !a);
+    }
+
+    #[test]
+    fn bit_len_counts(a: u128) {
+        prop_assert_eq!(U128::from(a).bit_len(), 128 - a.leading_zeros());
+        prop_assert_eq!(U128::from(a).count_ones(), a.count_ones());
+    }
+
+    #[test]
+    fn decimal_roundtrip(a: u128) {
+        let x = U128::from(a);
+        let s = x.to_decimal_string();
+        prop_assert_eq!(s.parse::<U128>().unwrap(), x);
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn hex_roundtrip(limbs: [u64; 5]) {
+        let x = U320::from_limbs(limbs);
+        let s = format!("{x:x}");
+        prop_assert_eq!(U320::from_str_radix(&s, 16).unwrap(), x);
+    }
+
+    // --- Width-independent laws on 320-bit values ---
+
+    #[test]
+    fn add_commutes_320(a: [u64; 5], b: [u64; 5]) {
+        let (a, b) = (U320::from_limbs(a), U320::from_limbs(b));
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn mul_distributes_320(a: [u64; 5], b: [u64; 5], c: [u64; 5]) {
+        let (a, b, c) = (U320::from_limbs(a), U320::from_limbs(b), U320::from_limbs(c));
+        let left = a.wrapping_mul(&b.wrapping_add(&c));
+        let right = a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn div_rem_reconstructs_320(a: [u64; 5], b: [u64; 5]) {
+        let (a, b) = (U320::from_limbs(a), U320::from_limbs(b));
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(&b).wrapping_add(&r), a);
+    }
+
+    #[test]
+    fn widening_mul_shift_consistency(a: [u64; 5], k in 0u32..320) {
+        // a * 2^k == (a << k) when no overflow occurs.
+        let a = U320::from_limbs(a);
+        let (lo, hi) = a.widening_mul(&U320::pow2(k));
+        if hi.is_zero() {
+            prop_assert_eq!(lo, a << k);
+        } else {
+            // Overflow must be consistent with bit length.
+            prop_assert!(a.bit_len() + k > 320);
+        }
+    }
+
+    #[test]
+    fn signed_add_matches_i128(a in -(1i128 << 100)..(1i128 << 100),
+                               b in -(1i128 << 100)..(1i128 << 100)) {
+        let sa = signed_from_i128(a);
+        let sb = signed_from_i128(b);
+        prop_assert_eq!((sa + sb).to_i128(), Some(a + b));
+        prop_assert_eq!((sa - sb).to_i128(), Some(a - b));
+    }
+
+    #[test]
+    fn signed_rem_euclid_matches(a in -(1i128 << 100)..(1i128 << 100), m in 1u64..1 << 40) {
+        let sa = signed_from_i128(a);
+        prop_assert_eq!(sa.rem_euclid_u64(m) as i128, a.rem_euclid(m as i128));
+    }
+
+    #[test]
+    fn signed_apply_unapply(word: [u64; 5], e in -(1i128 << 90)..(1i128 << 90)) {
+        let w = U320::from_limbs(word);
+        let se = signed_from_i128(e);
+        prop_assert_eq!(se.unapply_from(&se.apply_to(&w)), w);
+    }
+}
+
+fn signed_from_i128(v: i128) -> SignedWide<5> {
+    SignedWide::new(U320::from(v.unsigned_abs()), v < 0)
+}

@@ -1,0 +1,72 @@
+//! Memory tagging (ARM-MTE-like) co-designed with MUSE ECC — the paper's
+//! Section VII-D case study, end to end.
+//!
+//! Compares three systems on the same workload:
+//! 1. tags inline in MUSE spare bits (no extra traffic),
+//! 2. tags in a disjoint region (extra DRAM read per LLC miss),
+//! 3. disjoint tags with a 32-entry metadata cache.
+//!
+//! ```sh
+//! cargo run --release --example memory_tagging
+//! ```
+
+use muse::core::presets;
+use muse::memsim::{
+    spec2017_profiles, DramPowerModel, EccLatency, System, SystemConfig, TagStorage, Workload,
+};
+
+fn main() {
+    // Functional view: a tagged load checks the pointer's tag against the
+    // memory tag stored in the ECC spare bits.
+    let code = presets::muse_80_69();
+    let payload = code.pack_metadata(0xCAFE_F00D, 0b0111);
+    let stored = code.encode(&payload);
+    let (_, tag) = code.unpack_metadata(&code.decode(&stored).payload().expect("clean"));
+    assert_eq!(tag, 0b0111);
+    println!("tag check through the ECC payload: pointer tag 0b0111 matches memory tag ✓\n");
+
+    // Performance view: run one memory-heavy benchmark under all three
+    // metadata placements.
+    let profile = spec2017_profiles()[4]; // 507.cactuBSSN_r
+    let ecc = EccLatency { encode: 4, correct: 0 };
+    let run = |tagging| {
+        let config = SystemConfig {
+            ecc,
+            tagging,
+            l2_bytes: 128 * 1024,
+            l3_bytes: 1024 * 1024,
+            ..SystemConfig::default()
+        };
+        let mut system = System::new(config);
+        let mut workload = Workload::new(profile, 7);
+        let warm = system.run(&mut workload, 60_000);
+        system.run(&mut workload, 120_000).since(&warm)
+    };
+
+    let inline = run(TagStorage::InlineEcc);
+    let cached = run(TagStorage::Disjoint { cache_entries: Some(32) });
+    let uncached = run(TagStorage::Disjoint { cache_entries: None });
+
+    let power = DramPowerModel::default();
+    println!("benchmark: {} (LLC MPKI {:.1})", profile.name, inline.llc_mpki());
+    println!("{:<22} {:>10} {:>12} {:>12} {:>10}", "system", "cycles", "DRAM rd+wr", "meta reads", "DRAM mW");
+    for (name, stats) in [
+        ("tags in MUSE spare bits", &inline),
+        ("disjoint + 32e cache", &cached),
+        ("disjoint, uncached", &uncached),
+    ] {
+        let mw = power.report(&stats.dram, stats.cycles, 3.4, 0.0).dram_mw();
+        println!(
+            "{name:<22} {:>10} {:>12} {:>12} {:>10.0}",
+            stats.cycles,
+            stats.dram.operations(),
+            stats.metadata_dram_reads,
+            mw
+        );
+    }
+    assert_eq!(inline.metadata_dram_reads, 0);
+    assert!(cached.metadata_dram_reads < uncached.metadata_dram_reads);
+    assert!(inline.dram.operations() < cached.dram.operations());
+    println!("\nInline tags keep ChipKill protection with zero metadata traffic —");
+    println!("the co-design benefit the paper quantifies in Figure 7 and Table VI.");
+}

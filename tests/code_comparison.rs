@@ -1,0 +1,124 @@
+//! MUSE vs Reed-Solomon comparison invariants — the paper's qualitative
+//! claims as executable checks.
+
+use muse::core::{presets, Word};
+use muse::faultsim::{muse_msed, rs_msed, MsedConfig, RsDetectMode};
+use muse::rs::{RsMemoryCode, RsMemoryDecoded};
+
+#[test]
+fn muse_saves_check_bits_vs_rs_at_chipkill() {
+    // Headline: ChipKill with ~30% fewer check bits.
+    let muse = presets::muse_144_132();
+    let rs = RsMemoryCode::new(8, 144, 1).unwrap();
+    assert_eq!(muse.r_bits(), 12);
+    assert_eq!(rs.parity_bits(), 16);
+    assert!(muse.r_bits() + 4 <= rs.parity_bits(), "at least four fewer bits");
+    // And on DDR5: 11 vs 16.
+    let muse5 = presets::muse_80_69();
+    let rs5 = RsMemoryCode::new(8, 80, 1).unwrap();
+    assert_eq!(muse5.r_bits(), 11);
+    assert_eq!(rs5.parity_bits(), 16);
+}
+
+#[test]
+fn rs_with_spare_bits_loses_chipkill_muse_does_not() {
+    // Section VII-A: an RS code shrunk to save bits (5-bit symbols) can no
+    // longer correct an arbitrary x4 device failure, because a device can
+    // span two symbols. MUSE at the same spare-bit budget still corrects
+    // every device failure.
+    let rs = RsMemoryCode::new(5, 144, 1).unwrap();
+    assert_eq!(rs.data_bits(), 134); // 6 bits saved vs RS(144,128)
+    let payload = Word::from(0x1234_5678_9ABC_DEF0u64);
+    let cw = rs.encode(&payload);
+    let mut rs_failures = 0;
+    for dev in 0..36u32 {
+        let corrupted = cw ^ (Word::from(0xFu64) << (4 * dev));
+        if rs.decode(&corrupted).payload() != Some(payload) {
+            rs_failures += 1;
+        }
+    }
+    assert!(rs_failures > 0, "some device failure must defeat the misaligned RS code");
+
+    let muse = presets::muse_144_132(); // 4 bits saved, still ChipKill
+    let mcw = muse.encode(&payload);
+    for dev in 0..36 {
+        let corrupted = mcw ^ *muse.symbol_map().mask(dev);
+        assert_eq!(muse.decode(&corrupted).payload(), Some(payload), "device {dev}");
+    }
+}
+
+#[test]
+fn detection_degrades_gracefully_for_muse_sharply_for_rs() {
+    // The Table IV trend, asserted as orderings rather than exact rates.
+    let config = MsedConfig { trials: 3_000, ..MsedConfig::default() };
+    let muse_16 = muse_msed(&presets::muse_144_128(), config);
+    let muse_12 = muse_msed(&presets::muse_144_132(), config);
+    assert!(muse_16.detection_rate() > muse_12.detection_rate());
+    assert!(muse_12.detection_rate() > 80.0);
+
+    let rs8 = rs_msed(&RsMemoryCode::new(8, 144, 1).unwrap(), 4, RsDetectMode::DeviceConfined, config);
+    let rs5 = rs_msed(&RsMemoryCode::new(5, 144, 1).unwrap(), 4, RsDetectMode::DeviceConfined, config);
+    assert!(rs8.detection_rate() > rs5.detection_rate() + 20.0, "RS collapses with small symbols");
+    // MUSE at 12 bits of redundancy beats RS at 10 bits (extra 4 vs 6).
+    assert!(muse_12.detection_rate() > rs5.detection_rate());
+}
+
+#[test]
+fn both_families_never_accept_double_device_errors_as_clean() {
+    // For a bidirectional MUSE code, a *two-symbol* error can never alias to
+    // remainder zero: the value set is closed under negation, so
+    // e1 ≡ −e2 (mod m) would violate the injectivity the multiplier was
+    // searched for. RS likewise never reads two corrupted symbols as clean.
+    let muse = presets::muse_80_69();
+    let payload = Word::from(0xABCD_EF01_2345u64);
+    let mcw = muse.encode(&payload);
+    for a in 0..20usize {
+        for b in (a + 1)..20 {
+            // Two x4 devices fail (MUSE symbols are the devices).
+            let pattern = *muse.symbol_map().mask(a) ^ *muse.symbol_map().mask(b);
+            if let muse::core::Decoded::Clean { .. } = muse.decode(&(mcw ^ pattern)) {
+                panic!("muse clean on double error ({a},{b})");
+            }
+        }
+    }
+    let rs = RsMemoryCode::new(8, 80, 1).unwrap();
+    let rcw = rs.encode(&payload);
+    for a in 0..10u32 {
+        for b in (a + 1)..10 {
+            // Two x8 devices (= RS symbols) fail.
+            let pattern = (Word::from(0x5Au64) << (8 * a)) ^ (Word::from(0xC3u64) << (8 * b));
+            if let RsMemoryDecoded::Clean { .. } = rs.decode(&(rcw ^ pattern)) {
+                panic!("rs clean on double error ({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn spare_bit_accounting_matches_table_iv_columns() {
+    // extra bits = 16 − redundancy for the 144-bit codeword family.
+    assert_eq!(16 - presets::muse_144_128().r_bits(), 0);
+    assert_eq!(16 - presets::muse_144_132().r_bits(), 4);
+    for (s, extra) in [(8u32, 0u32), (7, 2), (6, 4), (5, 6)] {
+        let rs = RsMemoryCode::new(s, 144, 1).unwrap();
+        assert_eq!(16 - rs.parity_bits(), extra, "s={s}");
+        assert_eq!(rs.data_bits() - 128, extra, "s={s}");
+    }
+}
+
+#[test]
+fn muse_flexibility_single_bit_granularity() {
+    // Section VII-E: MUSE's data/redundancy split moves in 1-bit steps with
+    // the multiplier width; RS only moves in 2-symbol steps.
+    use muse::core::{find_multipliers, Direction, ErrorModel, SearchOptions, SymbolMap};
+    let map = SymbolMap::sequential(144, 4).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    let mut widths = Vec::new();
+    for p in 12..=16 {
+        let found = find_multipliers(&map, &model, p, SearchOptions { threads: 0, limit: 1 });
+        if !found.is_empty() {
+            widths.push(p);
+        }
+    }
+    assert_eq!(widths, vec![12, 13, 14, 15, 16], "every 1-bit step has a code");
+}

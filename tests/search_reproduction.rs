@@ -1,0 +1,87 @@
+//! Reproduction of the paper's published multiplier-search results
+//! (Table I and Appendix F) as regression tests.
+
+use muse::core::{
+    find_multipliers, validate_multiplier, Direction, ErrorModel, SearchOptions, SymbolMap,
+};
+
+#[test]
+fn appendix_f_full_144b_12bit_list() {
+    // The artifact's complete list of 25 multipliers, ending at 4065.
+    let map = SymbolMap::sequential(144, 4).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    let found = find_multipliers(&map, &model, 12, SearchOptions::default());
+    assert_eq!(
+        found,
+        vec![
+            2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469, 3505, 3523,
+            3531, 3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995, 4017, 4043, 4065,
+        ]
+    );
+}
+
+#[test]
+fn pim_multiplier_3621_also_works_at_268_bits() {
+    // Section VI-B's MUSE(268,256): note 3621 already appears in the 144-bit
+    // list; it remains collision-free out to 67 symbols.
+    let map = SymbolMap::sequential(268, 4).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    assert_eq!(validate_multiplier(&map, &model, 3621), Ok(()));
+    // But not every 144-bit multiplier survives the extension.
+    let survivors: Vec<u64> = [2397u64, 2883, 2967, 4043, 4065]
+        .into_iter()
+        .filter(|&m| validate_multiplier(&map, &model, m).is_ok())
+        .collect();
+    assert!(survivors.contains(&3621) || validate_multiplier(&map, &model, 3621).is_ok());
+}
+
+#[test]
+fn double_device_recovery_via_erasures() {
+    // Section IV: "we can recover two consecutive device-failures" with
+    // MUSE(80,69). For *permanent* chip failures the locations are known,
+    // so this is erasure decoding — and uniqueness is guaranteed because a
+    // contiguous device pair's error values are Δ·2^(4i) with |Δ| ≤ 255,
+    // never divisible by the odd m = 2005.
+    let code = muse::core::presets::muse_80_69();
+    let payload = muse::core::Word::from(0x1122_3344_5566_7788u64);
+    let cw = code.encode(&payload);
+    for first in 0..19usize {
+        // Both devices of the adjacent pair return garbage.
+        let corrupted =
+            cw ^ *code.symbol_map().mask(first) ^ *code.symbol_map().mask(first + 1);
+        let recovered = code.recover_erasures(&corrupted, &[first, first + 1]);
+        assert_eq!(recovered, Some(payload), "pair ({first},{})", first + 1);
+    }
+    // A bidirectional 8-bit-symbol code over 80 bits does NOT exist within
+    // 16 redundancy bits — which is why the double-failure capability comes
+    // from erasure decoding rather than a dedicated C8B code.
+    let map = SymbolMap::sequential(80, 8).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    for p in [15u32, 16] {
+        assert!(
+            find_multipliers(&map, &model, p, SearchOptions { threads: 0, limit: 1 }).is_empty(),
+            "p={p}"
+        );
+    }
+}
+
+#[test]
+fn no_10bit_multiplier_for_144b() {
+    // The Ø cell of Table IV at extra = 6.
+    let map = SymbolMap::sequential(144, 4).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    assert!(find_multipliers(&map, &model, 10, SearchOptions::default()).is_empty());
+}
+
+#[test]
+fn largest_16bit_multiplier_is_65519() {
+    // Section VII-A mentions m = 65519 for MUSE(144,128); confirm it is the
+    // *largest* valid 16-bit multiplier without searching the whole space
+    // serially (validate the top of the range).
+    let map = SymbolMap::sequential(144, 4).unwrap();
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    assert_eq!(validate_multiplier(&map, &model, 65519), Ok(()));
+    for m in (65521..=65535u64).step_by(2) {
+        assert!(validate_multiplier(&map, &model, m).is_err(), "m={m}");
+    }
+}

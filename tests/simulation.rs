@@ -1,0 +1,117 @@
+//! Cross-crate simulation invariants: the memory-system study and the
+//! hardware model must tell the same story the paper tells.
+
+use muse::hw::{muse_hardware, rs_hardware, TechParams};
+use muse::memsim::{
+    spec2017_profiles, EccLatency, System, SystemConfig, TagStorage, Workload,
+};
+use muse::rs::RsMemoryCode;
+
+fn run(config: SystemConfig, bench: usize, ops: u64) -> muse::memsim::RunStats {
+    let mut system = System::new(config);
+    let mut workload = Workload::new(spec2017_profiles()[bench], 0x51);
+    let warm = system.run(&mut workload, ops / 2);
+    system.run(&mut workload, ops).since(&warm)
+}
+
+fn study_config() -> SystemConfig {
+    SystemConfig { l2_bytes: 128 * 1024, l3_bytes: 1024 * 1024, ..SystemConfig::default() }
+}
+
+#[test]
+fn hardware_latencies_feed_the_simulator_consistently() {
+    let tech = TechParams::default();
+    let muse_hw = muse_hardware(&muse::core::presets::muse_144_132(), &tech);
+    let rs_hw = rs_hardware(&RsMemoryCode::new(8, 144, 1).unwrap(), &tech);
+    // The gem5-latency columns of Table V: MUSE 3 cycles / RS 1 at 2.4 GHz.
+    assert_eq!(muse_hw.encode_cycles, 3);
+    assert_eq!(rs_hw.encode_cycles, 1);
+    assert_eq!(muse_hw.decode_cycles, 0);
+    assert_eq!(rs_hw.decode_cycles, 0);
+}
+
+#[test]
+fn figure6_claim_ecc_is_nearly_free() {
+    // On a bandwidth-heavy benchmark, write-path encoding latency costs
+    // well under 1%.
+    let base = run(study_config(), 8, 60_000);
+    let muse = run(
+        SystemConfig { ecc: EccLatency { encode: 4, correct: 0 }, ..study_config() },
+        8,
+        60_000,
+    );
+    let slowdown = (muse.cycles as f64 / muse.instructions as f64)
+        / (base.cycles as f64 / base.instructions as f64);
+    assert!(slowdown < 1.01, "slowdown {slowdown}");
+}
+
+#[test]
+fn figure7_claim_inline_tags_beat_disjoint_tags() {
+    // Traffic, latency, and metadata counters all order the three systems
+    // the way Figure 7 does.
+    for bench in [3usize, 8, 20] {
+        let inline = run(
+            SystemConfig { tagging: TagStorage::InlineEcc, ..study_config() },
+            bench,
+            60_000,
+        );
+        let cached = run(
+            SystemConfig {
+                tagging: TagStorage::Disjoint { cache_entries: Some(32) },
+                ..study_config()
+            },
+            bench,
+            60_000,
+        );
+        let uncached = run(
+            SystemConfig {
+                tagging: TagStorage::Disjoint { cache_entries: None },
+                ..study_config()
+            },
+            bench,
+            60_000,
+        );
+        let per_inst =
+            |s: &muse::memsim::RunStats| s.dram.operations() as f64 / s.instructions as f64;
+        assert!(per_inst(&inline) <= per_inst(&cached), "bench {bench}");
+        assert!(per_inst(&cached) <= per_inst(&uncached), "bench {bench}");
+        assert_eq!(inline.metadata_dram_reads, 0);
+        assert_eq!(uncached.metadata_dram_reads, uncached.llc_misses);
+        assert!(cached.metadata_dram_reads <= uncached.metadata_dram_reads);
+    }
+}
+
+#[test]
+fn booth_claim_from_section_v() {
+    // 73 partial products, 23 zero, for the MUSE(144,132) inverse — and the
+    // elimination saves one Wallace level.
+    use muse::hw::{wallace_levels, BoothEncoding};
+    let fm = muse::core::FastMod::minimal(4065, 144).unwrap();
+    let booth = BoothEncoding::of(fm.inverse());
+    assert_eq!(booth.partial_products(), 73);
+    assert_eq!(booth.zero_partial_products(), 23);
+    assert_eq!(
+        wallace_levels(booth.partial_products()) - 1,
+        wallace_levels(booth.nonzero_partial_products())
+    );
+}
+
+#[test]
+fn all_benchmarks_complete_under_every_config() {
+    // Smoke: every profile runs under every tagging/ECC combination.
+    let (muse_ecc, rs_ecc) = (
+        EccLatency { encode: 4, correct: 4 },
+        EccLatency { encode: 1, correct: 2 },
+    );
+    for (i, profile) in spec2017_profiles().into_iter().enumerate().take(6) {
+        for (ecc, tagging) in [
+            (EccLatency::NONE, TagStorage::None),
+            (muse_ecc, TagStorage::InlineEcc),
+            (rs_ecc, TagStorage::Disjoint { cache_entries: Some(32) }),
+        ] {
+            let stats = run(SystemConfig { ecc, tagging, ..study_config() }, i, 8_000);
+            assert!(stats.cycles > 0 && stats.instructions > 0, "{}", profile.name);
+            assert!(stats.ipc() > 0.01 && stats.ipc() <= 1.0, "{}", profile.name);
+        }
+    }
+}
