@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use muse_core::{
-    enumerate_error_values, validate_multiplier_over, Direction, ErrorModel, FastMod,
-    SymbolMap, Word,
+    enumerate_error_values, validate_multiplier_over, Direction, ErrorModel, FastMod, SymbolMap,
+    Word,
 };
 use std::hint::black_box;
 

@@ -16,7 +16,10 @@ fn msed(c: &mut Criterion) {
         b.iter(|| {
             black_box(muse_msed(
                 &code,
-                MsedConfig { trials: 500, ..MsedConfig::default() },
+                MsedConfig {
+                    trials: 500,
+                    ..MsedConfig::default()
+                },
             ))
         })
     });
@@ -39,7 +42,10 @@ fn memsim(c: &mut Criterion) {
 
 fn retention(c: &mut Criterion) {
     let code = presets::muse_80_67();
-    let model = RetentionModel { weak_fraction: 1e-3, ..RetentionModel::default() };
+    let model = RetentionModel {
+        weak_fraction: 1e-3,
+        ..RetentionModel::default()
+    };
     let mut group = c.benchmark_group("retention");
     group.sample_size(20);
     group.bench_function("muse_80_67/500_words", |b| {

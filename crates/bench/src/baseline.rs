@@ -1,0 +1,88 @@
+//! The pre-engine reference implementation of the MSED simulator: one
+//! serial RNG stream, a full wide-word encode and decode per trial.
+//!
+//! Kept as the performance baseline the parallel residue-space engine is
+//! measured against (`benches/faultsim_engine.rs`, `bin/bench_faultsim`),
+//! and as an independent statistical cross-check: its detection-rate
+//! estimates must agree with the fast path within Monte-Carlo error.
+
+use muse_core::{Decoded, MuseCode};
+use muse_faultsim::{random_payload, MsedConfig, MsedStats, Outcome, Rng};
+
+/// Serial wide-path MSED estimation (the seed implementation of
+/// `muse_msed`). `config.threads` is ignored — this path is single-threaded
+/// by construction.
+pub fn naive_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
+    let mut rng = Rng::seeded(config.seed);
+    let mut stats = MsedStats::default();
+    let n_sym = code.symbol_map().num_symbols();
+    for _ in 0..config.trials {
+        let payload = random_payload(&mut rng, code.k_bits());
+        let cw = code.encode(&payload);
+        let mut corrupted = cw;
+        for sym in rng.choose_k(n_sym, config.failing_devices) {
+            let pattern = rng.nonzero_below(1 << code.symbol_map().bits_of(sym).len());
+            code.symbol_map()
+                .apply_xor_pattern(&mut corrupted, sym, pattern);
+        }
+        let outcome = match code.decode(&corrupted) {
+            Decoded::Detected => Outcome::Detected,
+            Decoded::Clean { .. } => Outcome::Silent,
+            Decoded::Corrected { payload: p, .. } => {
+                if p == payload {
+                    Outcome::Corrected
+                } else {
+                    Outcome::Miscorrected
+                }
+            }
+        };
+        match outcome {
+            Outcome::Detected => stats.detected += 1,
+            Outcome::Corrected => stats.corrected += 1,
+            Outcome::Miscorrected => stats.miscorrected += 1,
+            Outcome::Silent => stats.silent += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::presets;
+    use muse_faultsim::muse_msed;
+
+    #[test]
+    fn naive_and_fast_estimates_agree_statistically() {
+        // Different RNG streams, same distribution: the two estimators must
+        // land within Monte-Carlo error of each other.
+        let code = presets::muse_144_132();
+        let config = MsedConfig {
+            trials: 4_000,
+            ..MsedConfig::default()
+        };
+        let naive = naive_msed(&code, config);
+        let fast = muse_msed(&code, config);
+        assert_eq!(naive.total(), fast.total());
+        let delta = (naive.detection_rate() - fast.detection_rate()).abs();
+        assert!(
+            delta < 3.0,
+            "naive {} vs fast {}",
+            naive.detection_rate(),
+            fast.detection_rate()
+        );
+    }
+
+    #[test]
+    fn naive_single_device_all_corrected() {
+        let stats = naive_msed(
+            &presets::muse_80_69(),
+            MsedConfig {
+                failing_devices: 1,
+                trials: 200,
+                ..MsedConfig::default()
+            },
+        );
+        assert_eq!(stats.corrected, 200);
+    }
+}

@@ -6,9 +6,7 @@
 //! 4. DRAM open- vs closed-page policy under the Figure 6 workloads.
 
 use muse_bench::{measure, print_table, study_config};
-use muse_core::{
-    find_multipliers, Direction, ErrorModel, FastMod, SearchOptions, SymbolMap,
-};
+use muse_core::{find_multipliers, Direction, ErrorModel, FastMod, SearchOptions, SymbolMap};
 use muse_hw::{wallace_levels, BoothEncoding, ConstMultiplier, TechParams};
 use muse_memsim::{spec2017_profiles, DramConfig, PagePolicy, SystemConfig};
 
@@ -123,14 +121,20 @@ fn prefetching() {
         let off = measure(profile, study_config(), 60_000);
         let on = measure(
             profile,
-            SystemConfig { prefetch_next_line: true, ..study_config() },
+            SystemConfig {
+                prefetch_next_line: true,
+                ..study_config()
+            },
             60_000,
         );
         rows.push(vec![
             profile.name.to_string(),
             format!("{:.1}", off.llc_mpki()),
             format!("{:.1}", on.llc_mpki()),
-            format!("{:+.1}%", 100.0 * (on.cycles as f64 / off.cycles as f64 - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (on.cycles as f64 / off.cycles as f64 - 1.0)
+            ),
         ]);
     }
     print_table(
@@ -149,7 +153,10 @@ fn page_policy() {
         let closed = measure(
             profile,
             SystemConfig {
-                dram: DramConfig { page_policy: PagePolicy::Closed, ..DramConfig::default() },
+                dram: DramConfig {
+                    page_policy: PagePolicy::Closed,
+                    ..DramConfig::default()
+                },
                 ..study_config()
             },
             60_000,
@@ -167,7 +174,13 @@ fn page_policy() {
     }
     print_table(
         "Ablation 4: open vs closed page policy",
-        &["benchmark", "IPC open", "IPC closed", "row-hit % (open)", "closed-page slowdown"],
+        &[
+            "benchmark",
+            "IPC open",
+            "IPC closed",
+            "row-hit % (open)",
+            "closed-page slowdown",
+        ],
         &rows,
     );
 }

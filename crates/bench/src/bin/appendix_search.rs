@@ -18,18 +18,28 @@ fn main() {
     let opts = SearchOptions::default();
 
     // 144-bit codewords, 12-bit redundancy, 4-bit symbols.
-    let found = find_multipliers(&SymbolMap::sequential(144, 4).expect("layout"), &bidir, 12, opts);
+    let found = find_multipliers(
+        &SymbolMap::sequential(144, 4).expect("layout"),
+        &bidir,
+        12,
+        opts,
+    );
     check(
         "144b / 12-bit / 4-bit symbols",
         &found,
         &[
-            2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469, 3505, 3523,
-            3531, 3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995, 4017, 4043, 4065,
+            2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469, 3505, 3523, 3531,
+            3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995, 4017, 4043, 4065,
         ],
     );
 
     // 80-bit codewords, 11-bit redundancy, 4-bit symbols.
-    let found = find_multipliers(&SymbolMap::sequential(80, 4).expect("layout"), &bidir, 11, opts);
+    let found = find_multipliers(
+        &SymbolMap::sequential(80, 4).expect("layout"),
+        &bidir,
+        11,
+        opts,
+    );
     check(
         "80b / 11-bit / 4-bit symbols",
         &found,
@@ -37,16 +47,43 @@ fn main() {
     );
 
     // 80-bit codewords, 13-bit redundancy, asymmetric 8-bit symbols, Eq. 5.
-    let found = find_multipliers(&SymbolMap::interleaved(80, 10).expect("layout"), &asym, 13, opts);
-    check("80b / 13-bit / asym 8-bit symbols / shuffled", &found, &[5621]);
+    let found = find_multipliers(
+        &SymbolMap::interleaved(80, 10).expect("layout"),
+        &asym,
+        13,
+        opts,
+    );
+    check(
+        "80b / 13-bit / asym 8-bit symbols / shuffled",
+        &found,
+        &[5621],
+    );
 
     // 80-bit codewords, 10-bit redundancy, hybrid, Eq. 6.
     let found = find_multipliers(&SymbolMap::eq6_hybrid_80(), &hybrid, 10, opts);
     check("80b / 10-bit / C4A_U1B / shuffled", &found, &[821]);
 
     // Appendix G: without shuffling those searches come up empty.
-    let none = find_multipliers(&SymbolMap::sequential(80, 8).expect("layout"), &asym, 13, opts);
-    check("80b / 13-bit / asym 8-bit / NO shuffle (expect none)", &none, &[]);
-    let none = find_multipliers(&SymbolMap::sequential(80, 4).expect("layout"), &hybrid, 10, opts);
-    check("80b / 10-bit / hybrid / NO shuffle (expect none)", &none, &[]);
+    let none = find_multipliers(
+        &SymbolMap::sequential(80, 8).expect("layout"),
+        &asym,
+        13,
+        opts,
+    );
+    check(
+        "80b / 13-bit / asym 8-bit / NO shuffle (expect none)",
+        &none,
+        &[],
+    );
+    let none = find_multipliers(
+        &SymbolMap::sequential(80, 4).expect("layout"),
+        &hybrid,
+        10,
+        opts,
+    );
+    check(
+        "80b / 10-bit / hybrid / NO shuffle (expect none)",
+        &none,
+        &[],
+    );
 }

@@ -1,0 +1,245 @@
+//! Machine-readable fault-simulation performance snapshot.
+//!
+//! Measures trials/second for every simulator at one worker and at all
+//! workers, plus the pre-engine naive MSED baseline, and writes
+//! `BENCH_faultsim.json` to the current directory so later PRs can compare
+//! against a recorded trajectory.
+//!
+//! Usage: `cargo run --release --bin bench_faultsim [trials]`
+
+use std::time::Instant;
+
+use muse_bench::naive_msed;
+use muse_core::presets;
+use muse_faultsim::{
+    measure_mode_threaded, muse_msed, rs_msed, simulate_attacks_threaded,
+    simulate_retention_threaded, simulate_scrubbing_threaded, simulate_stack_threaded, FailureMode,
+    LineHasher, MsedConfig, RetentionModel, RsDetectMode, ScrubConfig, Stack,
+};
+use muse_rs::RsMemoryCode;
+
+/// Best-of-3 wall-clock seconds for one run.
+fn measure(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Row {
+    name: &'static str,
+    trials: u64,
+    secs_one: f64,
+    secs_all: f64,
+}
+
+impl Row {
+    fn rate(trials: u64, secs: f64) -> f64 {
+        trials as f64 / secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"trials\": {}, ",
+                "\"one_thread\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}, ",
+                "\"all_threads\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}}}"
+            ),
+            self.name,
+            self.trials,
+            self.secs_one,
+            Self::rate(self.trials, self.secs_one),
+            self.secs_all,
+            Self::rate(self.trials, self.secs_all),
+        )
+    }
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let muse = presets::muse_144_132();
+    let muse_asym = presets::muse_80_67();
+    let muse80 = presets::muse_80_69();
+    let rs = RsMemoryCode::new(8, 144, 1).expect("geometry");
+    let hasher = LineHasher::new(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210);
+
+    let msed_cfg = |threads| MsedConfig {
+        trials,
+        threads,
+        ..MsedConfig::default()
+    };
+    let retention_model = RetentionModel {
+        weak_fraction: 1e-3,
+        ..RetentionModel::default()
+    };
+    let line_trials = trials / 10; // rowhammer episodes are ~8 codewords each
+    let scrub_cfg = |_| ScrubConfig {
+        device_fit: 2e6,
+        words: trials / 20,
+        horizon_hours: 10_000.0,
+        ..ScrubConfig::default()
+    };
+
+    let naive_secs = measure(|| {
+        std::hint::black_box(naive_msed(&muse, msed_cfg(1)));
+    });
+    let mut rows = vec![Row {
+        name: "msed_naive_wide_serial",
+        trials,
+        secs_one: naive_secs,
+        secs_all: naive_secs,
+    }];
+
+    let mut push = |name: &'static str, n: u64, one: f64, all: f64| {
+        rows.push(Row {
+            name,
+            trials: n,
+            secs_one: one,
+            secs_all: all,
+        });
+    };
+
+    let one = measure(|| {
+        std::hint::black_box(muse_msed(&muse, msed_cfg(1)));
+    });
+    let all = measure(|| {
+        std::hint::black_box(muse_msed(&muse, msed_cfg(0)));
+    });
+    push("msed_muse_144_132", trials, one, all);
+
+    let one = measure(|| {
+        std::hint::black_box(rs_msed(&rs, 4, RsDetectMode::DeviceConfined, msed_cfg(1)));
+    });
+    let all = measure(|| {
+        std::hint::black_box(rs_msed(&rs, 4, RsDetectMode::DeviceConfined, msed_cfg(0)));
+    });
+    push("msed_rs_144_128", trials, one, all);
+
+    let one = measure(|| {
+        std::hint::black_box(simulate_retention_threaded(
+            &muse_asym,
+            &retention_model,
+            1024.0,
+            trials,
+            1,
+            1,
+        ));
+    });
+    let all = measure(|| {
+        std::hint::black_box(simulate_retention_threaded(
+            &muse_asym,
+            &retention_model,
+            1024.0,
+            trials,
+            1,
+            0,
+        ));
+    });
+    push("retention_muse_80_67", trials, one, all);
+
+    let one = measure(|| {
+        std::hint::black_box(simulate_attacks_threaded(
+            &muse80,
+            &hasher,
+            8,
+            line_trials,
+            9,
+            1,
+        ));
+    });
+    let all = measure(|| {
+        std::hint::black_box(simulate_attacks_threaded(
+            &muse80,
+            &hasher,
+            8,
+            line_trials,
+            9,
+            0,
+        ));
+    });
+    push("rowhammer_muse_80_69", line_trials, one, all);
+
+    let ondie_words = trials / 40; // each word simulates 36 on-die devices
+    let ondie = |threads| {
+        measure(|| {
+            std::hint::black_box(simulate_stack_threaded(
+                Stack::Stacked,
+                Some(&muse),
+                1e-3,
+                ondie_words,
+                3,
+                threads,
+            ));
+        })
+    };
+    push("ondie_stacked_144_132", ondie_words, ondie(1), ondie(0));
+
+    let scrub = |threads| {
+        measure(|| {
+            std::hint::black_box(simulate_scrubbing_threaded(
+                &muse80,
+                &scrub_cfg(()),
+                threads,
+            ));
+        })
+    };
+    push("scrub_muse_80_69", scrub_cfg(()).words, scrub(1), scrub(0));
+
+    let fit = |threads| {
+        measure(|| {
+            std::hint::black_box(measure_mode_threaded(
+                &muse,
+                FailureMode::TwoDevices,
+                trials,
+                17,
+                threads,
+            ));
+        })
+    };
+    push("fit_two_devices_144_132", trials, fit(1), fit(0));
+
+    let engine_row = &rows[1];
+    let speedup_one = naive_secs / engine_row.secs_one;
+    let speedup_all = naive_secs / engine_row.secs_all;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"faultsim-bench/v1\",\n");
+    json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    json.push_str(&format!("  \"trials\": {trials},\n"));
+    json.push_str(&format!(
+        "  \"msed_speedup_vs_naive\": {{\"one_thread\": {speedup_one:.2}, \"all_threads\": {speedup_all:.2}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    let body: Vec<String> = rows.iter().map(Row::json).collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write("BENCH_faultsim.json", &json).expect("write BENCH_faultsim.json");
+
+    println!("wrote BENCH_faultsim.json ({threads_available} CPUs)\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>10}",
+        "simulator", "1-thread/s", "all-threads/s", "trials"
+    );
+    for row in &rows {
+        println!(
+            "{:<26} {:>14.0} {:>14.0} {:>10}",
+            row.name,
+            Row::rate(row.trials, row.secs_one),
+            Row::rate(row.trials, row.secs_all),
+            row.trials
+        );
+    }
+    println!(
+        "\nmuse_msed vs naive wide loop: {speedup_one:.2}x (1 thread), {speedup_all:.2}x ({threads_available} threads)"
+    );
+}

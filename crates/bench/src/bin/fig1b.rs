@@ -12,11 +12,19 @@ fn main() {
 
     let seq_hist = positive_value_histogram(&sequential, &model);
     let shuf_hist = positive_value_histogram(&shuffled, &model);
-    let max = shuf_hist.iter().chain(&seq_hist).copied().max().unwrap_or(1) as f64;
+    let max = shuf_hist
+        .iter()
+        .chain(&seq_hist)
+        .copied()
+        .max()
+        .unwrap_or(1) as f64;
 
     println!("Figure 1(b): positive error values per log2 bin, MUSE(80,69) layout");
     println!("(paper: shuffling yields more values, more uniformly spread)\n");
-    println!("{:>4}  {:>10} {:<28} {:>10} {:<28}", "bin", "sequential", "", "shuffled", "");
+    println!(
+        "{:>4}  {:>10} {:<28} {:>10} {:<28}",
+        "bin", "sequential", "", "shuffled", ""
+    );
     for (i, (&s, &h)) in seq_hist.iter().zip(&shuf_hist).enumerate() {
         if s == 0 && h == 0 {
             continue;

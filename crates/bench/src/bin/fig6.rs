@@ -24,7 +24,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 6: slowdown normalized to no-ECC baseline",
-        &["benchmark", "MUSE", "RS", "MUSE always-corr", "RS always-corr"],
+        &[
+            "benchmark",
+            "MUSE",
+            "RS",
+            "MUSE always-corr",
+            "RS always-corr",
+        ],
         &table,
     );
 

@@ -48,7 +48,9 @@ fn main() {
         mean(rows.iter().map(|r| r.ops_base)),
         mean(rows.iter().map(|r| r.ops_cached)),
     );
-    println!("Paper averages: power +1.7% (base) / +0.72% (cached); ops +67% (base) / +12% (cached).");
+    println!(
+        "Paper averages: power +1.7% (base) / +0.72% (cached); ops +67% (base) / +12% (cached)."
+    );
 
     print_table(
         "Table VI: power consumption summary (mW)",

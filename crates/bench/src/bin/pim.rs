@@ -15,7 +15,10 @@ fn main() {
         code.r_bits(),
         code.k_bits()
     );
-    println!("storage advantage: {:.1}x fewer redundancy bits\n", 32.0 / code.r_bits() as f64);
+    println!(
+        "storage advantage: {:.1}x fewer redundancy bits\n",
+        32.0 / code.r_bits() as f64
+    );
     assert_eq!(code.r_bits(), 12);
 
     // Storage protection: survive a whole-device failure on a 256-bit word.
@@ -32,7 +35,9 @@ fn main() {
     let an = |x: u64| Word::from(x).wrapping_mul(&Word::from(m));
     let (a, b, c) = (123_456u64, 789_012u64, 555u64);
     // MAC: acc = a*b + c, computed entirely on encoded operands.
-    let acc = an(a).wrapping_mul(&an(b)).wrapping_add(&an(c).wrapping_mul(&Word::from(m)));
+    let acc = an(a)
+        .wrapping_mul(&an(b))
+        .wrapping_add(&an(c).wrapping_mul(&Word::from(m)));
     assert_eq!(acc.rem_u64(m), 0, "fault-free MAC preserves the residue");
     let expected = Word::from(a as u128 * b as u128 + c as u128)
         .wrapping_mul(&Word::from(m))

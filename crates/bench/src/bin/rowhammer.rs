@@ -26,7 +26,13 @@ fn main() {
     }
     print_table(
         &format!("Rowhammer campaigns ({trials} blind attacks per row)"),
-        &["flips", "blocked by ECC", "blocked by hash", "harmless", "SUCCESSFUL"],
+        &[
+            "flips",
+            "blocked by ECC",
+            "blocked by hash",
+            "harmless",
+            "SUCCESSFUL",
+        ],
         &rows,
     );
     println!("\nPaper: a blind attacker defeats the 40-bit hash with probability 2^-40");

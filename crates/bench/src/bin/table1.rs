@@ -54,13 +54,20 @@ fn main() {
             shuffle.to_string(),
             paper_m.to_string(),
             ours.map_or("(none)".into(), |m| m.to_string()),
-            if ours == Some(paper_m) { "MATCH" } else { "DIFFER" }.to_string(),
+            if ours == Some(paper_m) {
+                "MATCH"
+            } else {
+                "DIFFER"
+            }
+            .to_string(),
             found.len().to_string(),
         ]);
     }
     print_table(
         "Table I: MUSE code design parameters (multiplier = largest found)",
-        &["code", "type", "shuffle", "paper m", "found m", "verdict", "#found"],
+        &[
+            "code", "type", "shuffle", "paper m", "found m", "verdict", "#found",
+        ],
         &rows,
     );
 }

@@ -6,7 +6,12 @@ use muse_core::FastMod;
 
 fn main() {
     let paper: &[(u64, u32, &str, u32)] = &[
-        (4065, 144, "22470812382086453231913973442747278899998963", 156),
+        (
+            4065,
+            144,
+            "22470812382086453231913973442747278899998963",
+            156,
+        ),
         (2005, 80, "77178306688614730355307", 87),
         (5621, 80, "1761878725188230243585305", 93),
         (821, 80, "753922070210341214920295", 89),

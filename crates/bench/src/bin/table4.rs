@@ -7,15 +7,21 @@
 //! (10 000 double-device errors, like the paper).
 
 use muse_bench::print_table;
-use muse_core::{
-    find_multipliers, Direction, ErrorModel, MuseCode, SearchOptions, SymbolMap,
-};
+use muse_core::{find_multipliers, Direction, ErrorModel, MuseCode, SearchOptions, SymbolMap};
 use muse_faultsim::{muse_msed, rs_msed, MsedConfig, RsDetectMode};
 use muse_rs::RsMemoryCode;
 
 fn main() {
     let config = MsedConfig::default(); // 10 000 trials, 2 failing devices
-    let paper_rs = [Some(99.36), None, Some(95.55), None, Some(86.79), None, Some(53.96)];
+    let paper_rs = [
+        Some(99.36),
+        None,
+        Some(95.55),
+        None,
+        Some(86.79),
+        None,
+        Some(53.96),
+    ];
     let paper_muse = [
         Some(99.17),
         Some(98.35),
@@ -38,12 +44,24 @@ fn main() {
             paper_rs[extra as usize].map_or("Ø".into(), |v| format!("{v:.2}")),
             format!("{:.2}", confined.detection_rate()),
             format!("{:.2}", plain.detection_rate()),
-            if s == 8 { "chipkill" } else { "NOT practical (symbol spans devices)" }.to_string(),
+            if s == 8 {
+                "chipkill"
+            } else {
+                "NOT practical (symbol spans devices)"
+            }
+            .to_string(),
         ]);
     }
     print_table(
         "Table IV (RS rows): MSED % for 2-device errors, 144-bit codeword",
-        &["extra", "code", "paper", "device-confined", "symbol-only", "note"],
+        &[
+            "extra",
+            "code",
+            "paper",
+            "device-confined",
+            "symbol-only",
+            "note",
+        ],
         &rs_rows,
     );
 
@@ -101,7 +119,11 @@ fn main() {
         "6".into(),
         "MUSE r=10".into(),
         "Ø".into(),
-        if found80.is_empty() { "Ø (no multiplier)".into() } else { format!("{found80:?}") },
+        if found80.is_empty() {
+            "Ø (no multiplier)".into()
+        } else {
+            format!("{found80:?}")
+        },
         String::new(),
         String::new(),
     ]);

@@ -23,7 +23,10 @@ pub fn study_latencies(cpu_ghz: f64) -> (EccLatency, EccLatency) {
     let tech = TechParams::default();
     let muse = muse_hardware(&muse_core::presets::muse_144_132(), &tech);
     let rs = rs_hardware(&RsMemoryCode::new(8, 144, 1).expect("RS(144,128)"), &tech);
-    (ecc_latency_cpu(&muse, cpu_ghz), ecc_latency_cpu(&rs, cpu_ghz))
+    (
+        ecc_latency_cpu(&muse, cpu_ghz),
+        ecc_latency_cpu(&rs, cpu_ghz),
+    )
 }
 
 /// The hierarchy used by the performance studies: the paper's latencies,
@@ -67,8 +70,14 @@ pub fn figure6(mem_ops: u64) -> Vec<Fig6Row> {
     let (muse_lat, rs_lat) = study_latencies(3.4);
     let configs = [
         EccLatency::NONE,
-        EccLatency { correct: 0, ..muse_lat },
-        EccLatency { correct: 0, ..rs_lat },
+        EccLatency {
+            correct: 0,
+            ..muse_lat
+        },
+        EccLatency {
+            correct: 0,
+            ..rs_lat
+        },
         muse_lat,
         rs_lat,
     ];
@@ -77,7 +86,17 @@ pub fn figure6(mem_ops: u64) -> Vec<Fig6Row> {
         .map(|profile| {
             let cycles: Vec<u64> = configs
                 .iter()
-                .map(|&ecc| measure(profile, SystemConfig { ecc, ..study_config() }, mem_ops).cycles)
+                .map(|&ecc| {
+                    measure(
+                        profile,
+                        SystemConfig {
+                            ecc,
+                            ..study_config()
+                        },
+                        mem_ops,
+                    )
+                    .cycles
+                })
                 .collect();
             let base = cycles[0] as f64;
             Fig6Row {
@@ -133,7 +152,11 @@ pub fn figure7(mem_ops: u64) -> (Vec<Fig7Row>, Table6) {
     let rs_ecc_mw = 2.0 * (rs_hw.encoder.power_mw + rs_hw.corrector.power_mw);
 
     let power_model = DramPowerModel::default();
-    let mk_config = |ecc, tagging| SystemConfig { ecc, tagging, ..study_config() };
+    let mk_config = |ecc, tagging| SystemConfig {
+        ecc,
+        tagging,
+        ..study_config()
+    };
 
     let mut rows = Vec::new();
     let mut totals = [[0.0f64; 2]; 3]; // [config][dram_mw, cycles-weight]
@@ -142,12 +165,22 @@ pub fn figure7(mem_ops: u64) -> (Vec<Fig7Row>, Table6) {
         let muse = measure(profile, mk_config(muse_lat, TagStorage::InlineEcc), mem_ops);
         let cached = measure(
             profile,
-            mk_config(rs_lat, TagStorage::Disjoint { cache_entries: Some(32) }),
+            mk_config(
+                rs_lat,
+                TagStorage::Disjoint {
+                    cache_entries: Some(32),
+                },
+            ),
             mem_ops,
         );
         let uncached = measure(
             profile,
-            mk_config(rs_lat, TagStorage::Disjoint { cache_entries: None }),
+            mk_config(
+                rs_lat,
+                TagStorage::Disjoint {
+                    cache_entries: None,
+                },
+            ),
             mem_ops,
         );
         let power = |s: &RunStats, ecc_mw: f64| {
@@ -175,9 +208,21 @@ pub fn figure7(mem_ops: u64) -> (Vec<Fig7Row>, Table6) {
         count += 1.0;
     }
     let table6 = Table6 {
-        muse: (totals[0][0] / count, muse_ecc_mw, totals[0][0] / count + muse_ecc_mw),
-        cached: (totals[1][0] / count, rs_ecc_mw, totals[1][0] / count + rs_ecc_mw),
-        uncached: (totals[2][0] / count, rs_ecc_mw, totals[2][0] / count + rs_ecc_mw),
+        muse: (
+            totals[0][0] / count,
+            muse_ecc_mw,
+            totals[0][0] / count + muse_ecc_mw,
+        ),
+        cached: (
+            totals[1][0] / count,
+            rs_ecc_mw,
+            totals[1][0] / count + rs_ecc_mw,
+        ),
+        uncached: (
+            totals[2][0] / count,
+            rs_ecc_mw,
+            totals[2][0] / count + rs_ecc_mw,
+        ),
     };
     (rows, table6)
 }
@@ -210,7 +255,11 @@ mod tests {
     fn latency_derivation() {
         let (muse, rs) = study_latencies(3.4);
         // MUSE: ~1.1-1.6 ns encode → 4-6 CPU cycles at 3.4 GHz; RS ≈ 1.
-        assert!((3..=6).contains(&muse.encode), "muse encode {}", muse.encode);
+        assert!(
+            (3..=6).contains(&muse.encode),
+            "muse encode {}",
+            muse.encode
+        );
         assert!(muse.correct >= muse.encode);
         assert!(rs.encode <= 2, "rs encode {}", rs.encode);
         assert!(rs.correct < muse.correct);
@@ -232,7 +281,10 @@ mod tests {
         let base = measure(profile, SystemConfig::default(), 20_000);
         let ecc = measure(
             profile,
-            SystemConfig { ecc: muse_lat, ..SystemConfig::default() },
+            SystemConfig {
+                ecc: muse_lat,
+                ..SystemConfig::default()
+            },
             20_000,
         );
         let slowdown = (ecc.cycles as f64 / ecc.instructions as f64)
@@ -247,14 +299,20 @@ mod tests {
         let profile = spec2017_profiles()[4]; // cactuBSSN
         let muse = measure(
             profile,
-            SystemConfig { ecc: muse_lat, tagging: TagStorage::InlineEcc, ..SystemConfig::default() },
+            SystemConfig {
+                ecc: muse_lat,
+                tagging: TagStorage::InlineEcc,
+                ..SystemConfig::default()
+            },
             20_000,
         );
         let uncached = measure(
             profile,
             SystemConfig {
                 ecc: rs_lat,
-                tagging: TagStorage::Disjoint { cache_entries: None },
+                tagging: TagStorage::Disjoint {
+                    cache_entries: None,
+                },
                 ..SystemConfig::default()
             },
             20_000,

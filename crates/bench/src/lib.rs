@@ -21,8 +21,10 @@
 //! | `ondie` | extension — on-die SEC × rank MUSE co-design |
 //! | `repro_all` | Everything above in sequence |
 
+pub mod baseline;
 pub mod experiments;
 pub mod format;
 
+pub use baseline::naive_msed;
 pub use experiments::*;
 pub use format::{bar, print_table};

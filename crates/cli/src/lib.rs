@@ -8,16 +8,14 @@
 //! * `decode <preset> <hex-codeword>` — decode/correct a codeword.
 //! * `search --bits N [--symbol S] [--redundancy R] [--interleaved]
 //!   [--asym] [--single-bit] [--limit K]` — run Algorithm 1.
-//! * `msed <preset> [--trials N] [--devices K]` — Monte-Carlo detection
-//!   rate.
+//! * `msed <preset> [--trials N] [--devices K] [--threads T]` —
+//!   Monte-Carlo detection rate (parallel; bit-identical at any `T`).
 //!
 //! The command layer is a plain function from parsed arguments to a
 //! [`String`], so every path is unit-testable without spawning processes.
 
 use muse_core::analysis::remainder_profile;
-use muse_core::{
-    presets, CodeBuilder, Decoded, MuseCode, SearchOptions, Shuffle, Word,
-};
+use muse_core::{presets, CodeBuilder, Decoded, MuseCode, SearchOptions, Shuffle, Word};
 use muse_faultsim::{muse_msed, MsedConfig};
 
 /// Error surfaced to the CLI user.
@@ -47,7 +45,7 @@ USAGE:
   muse-tool decode <preset> <hex-codeword>
   muse-tool search --bits <n> [--symbol <s>] [--redundancy <r>]
                    [--interleaved] [--asym] [--single-bit] [--limit <k>]
-  muse-tool msed <preset> [--trials <n>] [--devices <k>]
+  muse-tool msed <preset> [--trials <n>] [--devices <k>] [--threads <t>]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
   muse-tool spec <preset>
 
@@ -62,7 +60,9 @@ pub fn preset(name: &str) -> Result<MuseCode, CliError> {
         "muse80_70" => Ok(presets::muse_80_70()),
         "muse268_256" => Ok(presets::muse_268_256()),
         "muse144_128" => Ok(presets::muse_144_128()),
-        other => Err(err(format!("unknown preset {other:?}; try `muse-tool presets`"))),
+        other => Err(err(format!(
+            "unknown preset {other:?}; try `muse-tool presets`"
+        ))),
     }
 }
 
@@ -108,11 +108,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let data = parse_hex(it.next().ok_or_else(|| err("encode needs hex data"))?)?;
             let rest: Vec<&str> = it.collect();
             let meta = match flag_value(&rest, "--meta")? {
-                Some(v) => parse_hex(v)?.to_u64().ok_or_else(|| err("metadata too wide"))?,
+                Some(v) => parse_hex(v)?
+                    .to_u64()
+                    .ok_or_else(|| err("metadata too wide"))?,
                 None => 0,
             };
             let payload = if meta != 0 || code.spare_bits() > 0 && data.bit_len() <= 64 {
-                let d = data.to_u64().ok_or_else(|| err("data wider than 64 bits; omit --meta and pass a full payload"))?;
+                let d = data.to_u64().ok_or_else(|| {
+                    err("data wider than 64 bits; omit --meta and pass a full payload")
+                })?;
                 code.pack_metadata(d, meta)
             } else {
                 data
@@ -124,13 +128,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("decode") => {
             let code = preset(it.next().ok_or_else(|| err("decode needs a preset"))?)?;
-            let cw = parse_hex(it.next().ok_or_else(|| err("decode needs a hex codeword"))?)?;
+            let cw = parse_hex(
+                it.next()
+                    .ok_or_else(|| err("decode needs a hex codeword"))?,
+            )?;
             if cw.bit_len() > code.n_bits() {
                 return Err(err(format!("codeword exceeds {} bits", code.n_bits())));
             }
             Ok(match code.decode(&cw) {
                 Decoded::Clean { payload } => format!("clean: payload {payload:#x}"),
-                Decoded::Corrected { payload, symbol, error } => {
+                Decoded::Corrected {
+                    payload,
+                    symbol,
+                    error,
+                } => {
                     format!("corrected device {symbol} (error {error}): payload {payload:#x}")
                 }
                 Decoded::Detected => "UNCORRECTABLE: multi-device error detected".to_string(),
@@ -179,11 +190,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("verilog") => {
             let code = preset(it.next().ok_or_else(|| err("verilog needs a preset"))?)?;
             let rest: Vec<&str> = it.collect();
-            let name = code.name().replace(['(', ')'], "_").replace(',', "_").to_lowercase();
+            let name = code
+                .name()
+                .replace(['(', ')'], "_")
+                .replace(',', "_")
+                .to_lowercase();
             if has_flag(&rest, "--syndrome-only") {
                 Ok(muse_hw::emit_remainder_module(&code, &format!("{name}rem")))
             } else if has_flag(&rest, "--corrector") {
-                Ok(muse_hw::emit_corrector_module(&code, &format!("{name}corr")))
+                Ok(muse_hw::emit_corrector_module(
+                    &code,
+                    &format!("{name}corr"),
+                ))
             } else {
                 Ok(muse_hw::emit_encoder_module(&code, &format!("{name}enc")))
             }
@@ -197,9 +215,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let rest: Vec<&str> = it.collect();
             let trials: u64 = parse_or(&rest, "--trials", 10_000)?;
             let devices: usize = parse_or(&rest, "--devices", 2)?;
+            let threads: usize = parse_or(&rest, "--threads", 0)?;
             let stats = muse_msed(
                 &code,
-                MsedConfig { trials, failing_devices: devices, ..MsedConfig::default() },
+                MsedConfig {
+                    trials,
+                    failing_devices: devices,
+                    threads,
+                    ..MsedConfig::default()
+                },
             );
             Ok(format!(
                 "{}: {:.2}% of {} {}-device errors detected ({} miscorrected, {} silent)",
@@ -216,7 +240,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn parse_hex(s: &str) -> Result<Word, CliError> {
-    let trimmed = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    let trimmed = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
     Word::from_str_radix(trimmed, 16).map_err(|e| err(format!("bad hex {s:?}: {e}")))
 }
 
@@ -237,13 +264,16 @@ fn has_flag(rest: &[&str], flag: &str) -> bool {
 
 fn require_parsed<T: std::str::FromStr>(rest: &[&str], flag: &str) -> Result<T, CliError> {
     let v = flag_value(rest, flag)?.ok_or_else(|| err(format!("{flag} is required")))?;
-    v.parse().map_err(|_| err(format!("{flag}: cannot parse {v:?}")))
+    v.parse()
+        .map_err(|_| err(format!("{flag}: cannot parse {v:?}")))
 }
 
 fn parse_or<T: std::str::FromStr>(rest: &[&str], flag: &str, default: T) -> Result<T, CliError> {
     match flag_value(rest, flag)? {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| err(format!("{flag}: cannot parse {v:?}"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("{flag}: cannot parse {v:?}"))),
     }
 }
 

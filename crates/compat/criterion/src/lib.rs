@@ -1,0 +1,293 @@
+//! Offline shim for the [criterion](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real crates.io `criterion` cannot be vendored. This crate implements the
+//! small API subset the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, and `black_box` — with a simple
+//! wall-clock measurement loop that prints a `name  time: [..]` line per
+//! benchmark, mimicking criterion's output shape.
+//!
+//! Measurements are median-of-samples over an adaptively chosen iteration
+//! count; there is no statistical analysis, HTML report, or plotting. When
+//! the workspace gains registry access this crate can be deleted and the
+//! workspace dependency re-pointed at crates.io without touching any bench
+//! source.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (shim: only controls batch len).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: per-iteration setup, batches of one.
+    SmallInput,
+    /// Large inputs: identical behaviour in the shim.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Top-level harness state: sampling configuration plus a name filter taken
+/// from the command line (`cargo bench -- <substring>`).
+pub struct Criterion {
+    sample_count: usize,
+    target_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with flags like `--bench`;
+        // the first free argument is a substring filter, as in criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_count: 10,
+            target_time: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_count;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            target_time: self.target_time,
+            samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    target_time: Duration,
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count that fills the target
+    /// sample time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: find how many iterations fit a sample.
+        let mut iters: u64 = 1;
+        let per_sample = self.target_time.as_secs_f64() / self.samples as f64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= per_sample.min(0.05) || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` value per batch; the setup
+    /// cost is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_sample = self.target_time.as_secs_f64() / self.samples as f64;
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= per_sample.min(0.05) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.per_iter.is_empty() {
+            println!("{id:<50} (no measurement)");
+            return;
+        }
+        self.per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let lo = self.per_iter[0];
+        let hi = self.per_iter[self.per_iter.len() - 1];
+        let median = self.per_iter[self.per_iter.len() / 2];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+    }
+}
+
+/// Formats seconds the way criterion does (ns/µs/ms/s with 4 significant
+/// digits).
+fn fmt_time(secs: f64) -> String {
+    let (value, unit) = if secs < 1e-6 {
+        (secs * 1e9, "ns")
+    } else if secs < 1e-3 {
+        (secs * 1e6, "µs")
+    } else if secs < 1.0 {
+        (secs * 1e3, "ms")
+    } else {
+        (secs, "s")
+    };
+    format!("{value:.4} {unit}")
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+        assert_eq!(fmt_time(3.25e-6), "3.2500 µs");
+        assert_eq!(fmt_time(1.5e-3), "1.5000 ms");
+        assert_eq!(fmt_time(2.0), "2.0000 s");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_time: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut runs = 0u64;
+        c.bench_function("shim/smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_count: 2,
+            target_time: Duration::from_millis(1),
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes/match-me", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,40 @@
+//! `prop::array` — fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An array of `N` independently drawn values.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+/// Five independent draws of `strategy`.
+pub fn uniform5<S: Strategy>(strategy: S) -> UniformArray<S, 5> {
+    UniformArray(strategy)
+}
+
+/// Eight independent draws of `strategy`.
+pub fn uniform8<S: Strategy>(strategy: S) -> UniformArray<S, 8> {
+    UniformArray(strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_draw_independently() {
+        let mut rng = TestRng::deterministic("array");
+        let a = uniform5(0u64..1_000_000).generate(&mut rng);
+        let b = uniform5(0u64..1_000_000).generate(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.iter().all(|&x| x < 1_000_000));
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline shim for the [proptest](https://docs.rs/proptest) property-testing
+//! framework.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real crates.io `proptest` cannot be vendored. This crate implements the
+//! subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with both `name: Type` and `pattern in strategy`
+//!   argument forms, plus `#![proptest_config(..)]`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`];
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`, integer-range strategies, [`Just`](strategy::Just),
+//!   tuples, [`prop_oneof!`], `prop::collection::vec`, and
+//!   `prop::array::uniform5`;
+//! * [`any`](arbitrary::any) over the primitive integers, `bool`, and
+//!   fixed-size arrays.
+//!
+//! Semantic differences from real proptest: generation is plain Monte-Carlo
+//! (no shrinking on failure), assertion failures panic immediately, and each
+//! test's RNG is seeded deterministically from the test's module path so
+//! failures reproduce across runs. Case count defaults to 64 and can be
+//! overridden with the `PROPTEST_CASES` environment variable or
+//! `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate layout (`prop::collection::vec`,
+/// `prop::array::uniform5`).
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; the shim
+/// has no shrinking phase to report to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly among several same-valued
+/// strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Declares property-test functions. Supports the two argument forms of the
+/// real macro (`name: Type` ⇒ `any::<Type>()`, and `pattern in strategy`)
+/// and an optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..config.cases {
+                $crate::__proptest_case!(rng, $body, $($args)*);
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_case!($rng, $body, $($($rest)*)?)
+    }};
+    ($rng:ident, $body:block, $pat:pat in $strategy:expr $(, $($rest:tt)*)?) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_case!($rng, $body, $($($rest)*)?)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn typed_args_generate(a: u64, b: [u64; 5], flag: bool) {
+            let _ = (a, b, flag);
+        }
+
+        #[test]
+        fn ranges_respected(x in 10u32..20, y in -5i64..5, z in 1u64..) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn mapped_strategy(e in evens()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(3), Just(5)]) {
+            prop_assert!(v == 1 || v == 3 || v == 5);
+            prop_assert_ne!(v, 2);
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            (len_src, items) in (2usize..6, prop::collection::vec(0u16..100, 3..8)),
+        ) {
+            prop_assert!((2..6).contains(&len_src));
+            prop_assert!((3..8).contains(&items.len()));
+            prop_assert!(items.iter().all(|&i| i < 100));
+        }
+
+        #[test]
+        fn flat_map_chains(v in (2u32..6).prop_flat_map(|n| prop::collection::vec(Just(n), 1..4))) {
+            prop_assert!(!v.is_empty());
+            let first = v[0];
+            prop_assert!(v.iter().all(|&x| x == first));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::test_runner::TestRng::deterministic("some::test");
+        let mut b = crate::test_runner::TestRng::deterministic("some::test");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::test_runner::TestRng::deterministic("other::test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

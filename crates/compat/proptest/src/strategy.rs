@@ -1,0 +1,257 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains into a value-dependent second strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds from at least one option.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below_u128(self.options.len() as u128) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty => $ut:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $ut).wrapping_sub(self.start as $ut);
+                let offset = rng.below_u128(span as u128) as $ut;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span =
+                    (*self.end() as $ut).wrapping_sub(*self.start() as $ut) as u128 + 1;
+                let bound = if span > <$ut>::MAX as u128 { 0 } else { span };
+                let offset = rng.below_u128(bound) as $ut;
+                self.start().wrapping_add(offset as $t)
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as $ut).wrapping_sub(self.start as $ut) as u128 + 1;
+                let bound = if span > <$ut>::MAX as u128 { 0 } else { span };
+                let offset = rng.below_u128(bound) as $ut;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_cover_and_stay_in_bounds() {
+        let mut rng = rng();
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[(2u32..10).generate(&mut rng) as usize - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all range values reachable");
+        for _ in 0..200 {
+            let v = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let w = (100u64..).generate(&mut rng);
+            assert!(w >= 100);
+            let x = (-(1i128 << 100)..(1i128 << 100)).generate(&mut rng);
+            assert!(x.unsigned_abs() <= 1u128 << 100);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng();
+        let doubled = (1u64..50).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+        let dependent = (1u32..4).prop_flat_map(|n| (0u32..n).prop_map(move |x| (n, x)));
+        for _ in 0..100 {
+            let (n, x) = dependent.generate(&mut rng);
+            assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_option() {
+        let mut rng = rng();
+        let union = Union::new(vec![
+            Box::new(Just(1u8)) as Box<dyn Strategy<Value = u8>>,
+            Box::new(Just(2)),
+            Box::new(Just(3)),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[union.generate(&mut rng) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng();
+        let (a, b, c) = (0u8..4, Just("x"), 5usize..6).generate(&mut rng);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+        assert_eq!(c, 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Test configuration and the deterministic generator behind the shim.
+
+/// Per-`proptest!` configuration (only the case count is modelled).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable with the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// SplitMix64-based deterministic generator. Each test seeds one from its
+/// module path, so a failing case reproduces on every run without recording
+/// seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a hash of the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: hash }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 128 uniformly random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)`; `bound == 0` means the full u128
+    /// domain.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return self.next_u128();
+        }
+        if let Ok(small) = u64::try_from(bound) {
+            // Multiply-shift keeps the common 64-bit case division-free.
+            let x = self.next_u64();
+            return (x as u128 * small as u128) >> 64;
+        }
+        self.next_u128() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_with_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..1000 {
+            assert!(rng.below_u128(10) < 10);
+            let wide = rng.below_u128(u64::MAX as u128 + 5);
+            assert!(wide < u64::MAX as u128 + 5);
+        }
+    }
+}

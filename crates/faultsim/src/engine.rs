@@ -1,0 +1,196 @@
+//! The shared Monte-Carlo execution engine: batched trials over scoped
+//! worker threads with counter-based per-trial RNG streams.
+//!
+//! # Determinism contract
+//!
+//! Every trial `i` of a run seeded with `s` draws randomness exclusively
+//! from [`Rng::for_trial`]`(s, i)` — a pure function of `(s, i)`. Trial
+//! outcomes therefore do not depend on which worker executes them or in
+//! what order, and per-worker tallies are merged in ascending trial-range
+//! order. A simulation produces **bit-identical results at any thread
+//! count**, including `threads = 1`; `faultsim/tests/determinism.rs` pins
+//! this property for every simulator.
+//!
+//! This generalizes the chunked `std::thread::scope` pattern proven in
+//! `muse-core`'s multiplier search to stateful Monte-Carlo loops: workers
+//! own a scratch value (built per worker by `init`) and a local tally, and
+//! the engine merges the tallies at join time.
+
+use crate::Rng;
+
+/// A mergeable accumulation of trial outcomes.
+pub trait Tally: Default + Send {
+    /// Folds another tally (from a later trial range) into this one.
+    fn merge(&mut self, other: Self);
+}
+
+/// Trial scheduler: splits `trials` across scoped worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimEngine {
+    threads: usize,
+}
+
+impl Default for SimEngine {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SimEngine {
+    /// An engine with a fixed worker count (`0` ⇒ one per available CPU).
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// Runs `trials` scratchless trials and merges their tallies.
+    pub fn run<T, F>(&self, seed: u64, trials: u64, trial: F) -> T
+    where
+        T: Tally,
+        F: Fn(u64, &mut Rng, &mut T) + Sync,
+    {
+        self.run_with(
+            seed,
+            trials,
+            || (),
+            |i, rng, (), tally| trial(i, rng, tally),
+        )
+    }
+
+    /// Runs `trials` trials with per-worker scratch state and merges their
+    /// tallies.
+    ///
+    /// `init` builds one scratch value per worker (reused across that
+    /// worker's trials — allocate buffers here, not per trial); `trial`
+    /// receives the global trial index, the trial's private RNG stream, the
+    /// scratch, and the worker-local tally.
+    pub fn run_with<T, S, I, F>(&self, seed: u64, trials: u64, init: I, trial: F) -> T
+    where
+        T: Tally,
+        I: Fn() -> S + Sync,
+        F: Fn(u64, &mut Rng, &mut S, &mut T) + Sync,
+    {
+        let run_range = |lo: u64, hi: u64| -> T {
+            let mut scratch = init();
+            let mut tally = T::default();
+            for i in lo..hi {
+                let mut rng = Rng::for_trial(seed, i);
+                trial(i, &mut rng, &mut scratch, &mut tally);
+            }
+            tally
+        };
+
+        let threads = self.threads().min(trials.max(1) as usize);
+        // Below this, thread spawn overhead outweighs the work split.
+        if threads <= 1 || trials < 256 {
+            return run_range(0, trials);
+        }
+        let chunk = trials.div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|w| {
+                    let run_range = &run_range;
+                    let lo = w * chunk;
+                    let hi = (lo + chunk).min(trials);
+                    scope.spawn(move || run_range(lo, hi))
+                })
+                .collect();
+            let mut total = T::default();
+            for handle in handles {
+                total.merge(handle.join().expect("simulation worker panicked"));
+            }
+            total
+        })
+    }
+}
+
+impl Tally for u64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl<A: Tally, B: Tally> Tally for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let run = |threads| {
+            SimEngine::new(threads).run::<u64, _>(99, 10_000, |_, rng, acc| {
+                *acc += rng.below(1000);
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(7));
+        assert_eq!(serial, run(0));
+    }
+
+    #[test]
+    fn trial_index_streams_are_independent_of_chunking() {
+        // Sum of f(i, rng_i) must equal the serial fold in index order.
+        let expected: u64 = (0..5_000u64)
+            .map(|i| Rng::for_trial(5, i).below(i + 1))
+            .sum();
+        let engine = SimEngine::new(3);
+        let measured = engine.run::<u64, _>(5, 5_000, |i, rng, acc| {
+            *acc += rng.below(i + 1);
+        });
+        assert_eq!(measured, expected);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // The scratch buffer must not be rebuilt per trial: count inits.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let engine = SimEngine::new(2);
+        let total: u64 = engine.run_with(
+            1,
+            4_096,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::with_capacity(16)
+            },
+            |_, _, scratch, acc: &mut u64| {
+                scratch.clear();
+                scratch.push(1);
+                *acc += scratch.len() as u64;
+            },
+        );
+        assert_eq!(total, 4_096);
+        assert_eq!(inits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn small_runs_stay_serial() {
+        // Fewer trials than the parallel threshold: still correct.
+        let engine = SimEngine::new(8);
+        let total = engine.run::<u64, _>(3, 10, |_, _, acc| *acc += 1);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let engine = SimEngine::default();
+        assert_eq!(engine.run::<u64, _>(1, 0, |_, _, acc| *acc += 1), 0);
+        assert!(engine.threads() >= 1);
+    }
+}

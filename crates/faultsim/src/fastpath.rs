@@ -1,0 +1,269 @@
+//! Internal residue-space trial machinery shared by the kernel-accelerated
+//! simulators (`msed`, `retention`, `fit`).
+//!
+//! A trial never materializes a codeword: the payload lives as a few raw
+//! limbs, symbol contents are gathered lazily (usually one shift-and-mask;
+//! the check value `X` is folded — division-free — only when a touched
+//! symbol owns check bits), and the injected corruption is a short list of
+//! `(symbol, xor-pattern)` pairs whose syndrome is accumulated with table
+//! lookups. See [`SyndromeKernel`](muse_core::SyndromeKernel) for the
+//! tables.
+
+use muse_core::{FastDecode, MuseCode, SyndromeKernel};
+
+use crate::Rng;
+
+/// Per-worker scratch for residue-space trials: one payload draw plus a
+/// lazily-filled content cache.
+pub(crate) struct CodewordScratch {
+    payload: [u64; 5],
+    /// Per-limb masks of the `k`-bit payload region.
+    limb_masks: [u64; 5],
+    /// Limbs the payload actually occupies (the rest stay zero).
+    limbs: usize,
+    contents: Vec<u16>,
+    stamps: Vec<u64>,
+    generation: u64,
+    check_value: Option<u64>,
+    /// The injected corruption of the current trial. Invariant: at most
+    /// one entry per symbol (merge multiple fault mechanisms into one XOR
+    /// pattern before pushing) — [`Self::syndrome`] and [`classify`] treat
+    /// each entry's pattern as the symbol's *total* flip.
+    pub injected: Vec<(usize, u16)>,
+}
+
+impl CodewordScratch {
+    pub fn new(code: &MuseCode, kernel: &SyndromeKernel) -> Self {
+        let k = code.k_bits();
+        let limb_masks = std::array::from_fn(|i| {
+            let lo = i as u32 * 64;
+            if k >= lo + 64 {
+                u64::MAX
+            } else if k <= lo {
+                0
+            } else {
+                (1u64 << (k - lo)) - 1
+            }
+        });
+        let n_sym = code.symbol_map().num_symbols();
+        Self {
+            payload: [0; 5],
+            limb_masks,
+            limbs: kernel.payload_limbs(),
+            contents: vec![0; n_sym],
+            stamps: vec![u64::MAX; n_sym],
+            generation: 0,
+            check_value: None,
+            injected: Vec::with_capacity(8),
+        }
+    }
+
+    /// Starts a trial: draws a fresh uniform `k`-bit payload and invalidates
+    /// the content cache.
+    #[inline]
+    pub fn begin_trial(&mut self, rng: &mut Rng) {
+        for i in 0..self.limbs {
+            self.payload[i] = rng.next_u64() & self.limb_masks[i];
+        }
+        self.generation = self.generation.wrapping_add(1);
+        self.check_value = None;
+        self.injected.clear();
+    }
+
+    /// The payload limbs of the current trial.
+    #[cfg(test)]
+    pub fn payload(&self) -> &[u64; 5] {
+        &self.payload
+    }
+
+    /// The original (pre-corruption) content of `sym` in the encoded word,
+    /// computed on first use per trial.
+    #[inline]
+    pub fn content(&mut self, kernel: &SyndromeKernel, sym: usize) -> u16 {
+        if self.stamps[sym] != self.generation {
+            let x = if kernel.needs_check_value(sym) {
+                *self
+                    .check_value
+                    .get_or_insert_with(|| kernel.check_value(&self.payload))
+            } else {
+                0
+            };
+            self.contents[sym] = kernel.encoded_content(sym, &self.payload, x);
+            self.stamps[sym] = self.generation;
+        }
+        self.contents[sym]
+    }
+
+    /// Syndrome of the current trial's injected corruption.
+    #[inline]
+    pub fn syndrome(&mut self, kernel: &SyndromeKernel) -> u64 {
+        debug_assert!(
+            self.injected
+                .iter()
+                .enumerate()
+                .all(|(i, &(s, _))| self.injected[..i].iter().all(|&(t, _)| t != s)),
+            "injected symbols must be unique; XOR-merge patterns per symbol"
+        );
+        let mut rem = 0;
+        for idx in 0..self.injected.len() {
+            let (sym, pattern) = self.injected[idx];
+            let content = self.content(kernel, sym);
+            rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
+        }
+        rem
+    }
+}
+
+/// Exact decode outcome of one corrupted word, in residue space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TrialOutcome {
+    /// Zero syndrome and the corruption never left the check bits: the word
+    /// reads back correct.
+    CleanIntact,
+    /// Zero syndrome but payload bits flipped — a truly silent corruption.
+    CleanCorrupted,
+    /// Flagged detected-but-uncorrectable.
+    Detected,
+    /// Corrected back to the original payload.
+    CorrectedRight,
+    /// "Corrected" into wrong data.
+    Miscorrected,
+}
+
+/// Classifies the current trial, reproducing the wide decoder bit-for-bit
+/// (cross-validated by `tests/syndrome_equivalence.rs` in `muse-core` and
+/// the in-module test below).
+#[inline]
+pub(crate) fn classify(kernel: &SyndromeKernel, scratch: &mut CodewordScratch) -> TrialOutcome {
+    let rem = scratch.syndrome(kernel);
+    if rem == 0 {
+        let intact = scratch
+            .injected
+            .iter()
+            .all(|&(s, p)| p & kernel.payload_mask(s) == 0);
+        return if intact {
+            TrialOutcome::CleanIntact
+        } else {
+            TrialOutcome::CleanCorrupted
+        };
+    }
+    match kernel.classify(rem) {
+        FastDecode::Clean => unreachable!("nonzero remainder"),
+        FastDecode::Detected => TrialOutcome::Detected,
+        FastDecode::Correct { symbol } => {
+            let original = scratch.content(kernel, symbol);
+            let injected_pattern = scratch
+                .injected
+                .iter()
+                .find(|&&(s, _)| s == symbol)
+                .map_or(0, |&(_, p)| p);
+            match kernel.correct(rem, original ^ injected_pattern) {
+                None => TrialOutcome::Detected,
+                Some(corrected) => {
+                    let payload_restored = (corrected ^ original) & kernel.payload_mask(symbol)
+                        == 0
+                        && scratch
+                            .injected
+                            .iter()
+                            .all(|&(s, p)| s == symbol || p & kernel.payload_mask(s) == 0);
+                    if payload_restored {
+                        TrialOutcome::CorrectedRight
+                    } else {
+                        TrialOutcome::Miscorrected
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Draws `k` distinct symbols with a fresh nonzero corruption pattern each,
+/// appending them to the scratch's injection list.
+#[inline]
+pub(crate) fn inject_random_symbols(
+    kernel: &SyndromeKernel,
+    scratch: &mut CodewordScratch,
+    rng: &mut Rng,
+    k: usize,
+) {
+    let n = kernel.num_symbols();
+    assert!(k <= n, "cannot corrupt {k} of {n} devices");
+    while scratch.injected.len() < k {
+        let sym = rng.below(n as u64) as usize;
+        if scratch.injected.iter().any(|&(s, _)| s == sym) {
+            continue;
+        }
+        let pattern = rng.nonzero_below(1 << kernel.symbol_bits(sym)) as u16;
+        scratch.injected.push((sym, pattern));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::{presets, Decoded, Word};
+
+    /// Reference reconstruction: applies the injected patterns to the wide
+    /// codeword and compares the fast classification with the wide decode.
+    #[test]
+    fn classification_matches_wide_decoder() {
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_80_69(),
+            presets::muse_80_67(),
+        ] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let mut scratch = CodewordScratch::new(&code, kernel);
+            let mut rng = Rng::seeded(0xC0DE);
+            for trial in 0..400 {
+                scratch.begin_trial(&mut rng);
+                let k = 1 + (trial % 3) as usize;
+                inject_random_symbols(kernel, &mut scratch, &mut rng, k);
+
+                let payload = Word::from_limbs(*scratch.payload());
+                let cw = code.encode(&payload);
+                let mut corrupted = cw;
+                for &(sym, pattern) in &scratch.injected {
+                    code.symbol_map()
+                        .apply_xor_pattern(&mut corrupted, sym, pattern as u64);
+                }
+                let fast = classify(kernel, &mut scratch);
+                let wide = code.decode(&corrupted);
+                match (fast, wide) {
+                    (TrialOutcome::CleanIntact, Decoded::Clean { payload: p }) => {
+                        assert_eq!(p, payload)
+                    }
+                    (TrialOutcome::CleanCorrupted, Decoded::Clean { payload: p }) => {
+                        assert_ne!(p, payload)
+                    }
+                    (TrialOutcome::Detected, Decoded::Detected) => {}
+                    (TrialOutcome::CorrectedRight, Decoded::Corrected { payload: p, .. }) => {
+                        assert_eq!(p, payload)
+                    }
+                    (TrialOutcome::Miscorrected, Decoded::Corrected { payload: p, .. }) => {
+                        assert_ne!(p, payload)
+                    }
+                    (fast, wide) => {
+                        panic!(
+                            "{}: trial {trial}: fast {fast:?} vs wide {wide:?}",
+                            code.name()
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_draw_respects_k_bits() {
+        let code = presets::muse_80_69(); // k = 69: one full limb + 5 bits
+        let kernel = code.kernel().expect("presets support the kernel");
+        let mut scratch = CodewordScratch::new(&code, kernel);
+        let mut rng = Rng::seeded(3);
+        for _ in 0..50 {
+            scratch.begin_trial(&mut rng);
+            let p = Word::from_limbs(*scratch.payload());
+            assert!(p.bit_len() <= 69);
+        }
+    }
+}

@@ -10,9 +10,10 @@
 //! errors, and the projection combines them into DIMM-level rates of
 //! detected-uncorrectable errors (DUE) and silent data corruptions (SDC).
 
-use muse_core::{Decoded, MuseCode};
+use muse_core::MuseCode;
 
-use crate::{random_payload, Rng};
+use crate::engine::{SimEngine, Tally};
+use crate::fastpath::{classify, inject_random_symbols, CodewordScratch, TrialOutcome};
 
 /// A DRAM device failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +46,12 @@ impl FailureMode {
 
     /// All modes.
     pub fn all() -> [FailureMode; 4] {
-        [Self::SingleBit, Self::SingleDeviceMultiBit, Self::WholeDevice, Self::TwoDevices]
+        [
+            Self::SingleBit,
+            Self::SingleDeviceMultiBit,
+            Self::WholeDevice,
+            Self::TwoDevices,
+        ]
     }
 }
 
@@ -62,67 +68,144 @@ pub struct ModeOutcome {
     pub p_sdc: f64,
 }
 
-/// Monte-Carlo per-mode outcome measurement for a MUSE code.
-pub fn measure_mode(code: &MuseCode, mode: FailureMode, trials: u64, seed: u64) -> ModeOutcome {
-    let mut rng = Rng::seeded(seed ^ 0xF17);
-    let n_sym = code.symbol_map().num_symbols();
-    let mut correct = 0u64;
-    let mut due = 0u64;
-    let mut sdc = 0u64;
-    for _ in 0..trials {
-        let payload = random_payload(&mut rng, code.k_bits());
-        let cw = code.encode(&payload);
-        let mut corrupted = cw;
-        match mode {
-            FailureMode::SingleBit => {
-                let sym = rng.below(n_sym as u64) as usize;
-                let bits = code.symbol_map().bits_of(sym);
-                corrupted.toggle_bit(bits[rng.below(bits.len() as u64) as usize]);
-            }
-            FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
-                let sym = rng.below(n_sym as u64) as usize;
-                let bits = code.symbol_map().bits_of(sym);
-                let pattern = if mode == FailureMode::WholeDevice {
-                    rng.nonzero_below(1 << bits.len())
-                } else {
-                    // 2..all bits of the device
-                    rng.nonzero_below((1 << bits.len()) - 1) + 1
-                };
-                for (i, &bit) in bits.iter().enumerate() {
-                    if pattern >> i & 1 == 1 {
-                        corrupted.toggle_bit(bit);
-                    }
-                }
-            }
-            FailureMode::TwoDevices => {
-                for sym in rng.choose_k(n_sym, 2) {
-                    let bits = code.symbol_map().bits_of(sym);
-                    let pattern = rng.nonzero_below(1 << bits.len());
-                    for (i, &bit) in bits.iter().enumerate() {
-                        if pattern >> i & 1 == 1 {
-                            corrupted.toggle_bit(bit);
-                        }
-                    }
-                }
-            }
-        }
-        match code.decode(&corrupted) {
-            Decoded::Detected => due += 1,
-            Decoded::Clean { payload: p } | Decoded::Corrected { payload: p, .. } => {
-                if p == payload {
-                    correct += 1;
-                } else {
-                    sdc += 1;
-                }
-            }
-        }
+/// Internal tally for one mode measurement.
+#[derive(Debug, Clone, Copy, Default)]
+struct ModeTally {
+    correct: u64,
+    due: u64,
+    sdc: u64,
+}
+
+impl Tally for ModeTally {
+    fn merge(&mut self, other: Self) {
+        self.correct += other.correct;
+        self.due += other.due;
+        self.sdc += other.sdc;
     }
+}
+
+/// Monte-Carlo per-mode outcome measurement for a MUSE code.
+///
+/// Trials run in residue space on the [`SimEngine`] (one worker per CPU);
+/// results are bit-identical at any thread count.
+pub fn measure_mode(code: &MuseCode, mode: FailureMode, trials: u64, seed: u64) -> ModeOutcome {
+    measure_mode_threaded(code, mode, trials, seed, 0)
+}
+
+/// [`measure_mode`] with an explicit worker count (0 ⇒ all CPUs).
+pub fn measure_mode_threaded(
+    code: &MuseCode,
+    mode: FailureMode,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> ModeOutcome {
+    let Some(kernel) = code.kernel() else {
+        return measure_mode_wide(code, mode, trials, seed, threads);
+    };
+    let n_sym = kernel.num_symbols();
+    let tally: ModeTally = SimEngine::new(threads).run_with(
+        seed ^ 0xF17,
+        trials,
+        || CodewordScratch::new(code, kernel),
+        |_, rng, scratch, tally: &mut ModeTally| {
+            scratch.begin_trial(rng);
+            match mode {
+                FailureMode::SingleBit => {
+                    let sym = rng.below(n_sym as u64) as usize;
+                    let bit = rng.below(kernel.symbol_bits(sym) as u64) as u16;
+                    scratch.injected.push((sym, 1 << bit));
+                }
+                FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
+                    let sym = rng.below(n_sym as u64) as usize;
+                    let all = 1u64 << kernel.symbol_bits(sym);
+                    let pattern = if mode == FailureMode::WholeDevice {
+                        rng.nonzero_below(all)
+                    } else {
+                        // Pattern *value* in [2, 2^w): excludes only the
+                        // lowest single-bit flip, matching the seed's
+                        // sampling (some single-bit patterns remain).
+                        rng.nonzero_below(all - 1) + 1
+                    };
+                    scratch.injected.push((sym, pattern as u16));
+                }
+                FailureMode::TwoDevices => {
+                    inject_random_symbols(kernel, scratch, rng, 2);
+                }
+            }
+            match classify(kernel, scratch) {
+                TrialOutcome::Detected => tally.due += 1,
+                TrialOutcome::CleanIntact | TrialOutcome::CorrectedRight => tally.correct += 1,
+                TrialOutcome::CleanCorrupted | TrialOutcome::Miscorrected => tally.sdc += 1,
+            }
+        },
+    );
     let t = trials as f64;
     ModeOutcome {
         mode,
-        p_correct: correct as f64 / t,
-        p_due: due as f64 / t,
-        p_sdc: sdc as f64 / t,
+        p_correct: tally.correct as f64 / t,
+        p_due: tally.due as f64 / t,
+        p_sdc: tally.sdc as f64 / t,
+    }
+}
+
+/// Wide-path `measure_mode` for layouts outside the kernel's tabulation
+/// limits (still engine-parallel).
+fn measure_mode_wide(
+    code: &MuseCode,
+    mode: FailureMode,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> ModeOutcome {
+    let map = code.symbol_map();
+    let n_sym = map.num_symbols();
+    let tally: ModeTally =
+        SimEngine::new(threads).run(seed ^ 0xF17, trials, |_, rng, tally: &mut ModeTally| {
+            let payload = crate::random_payload(rng, code.k_bits());
+            let cw = code.encode(&payload);
+            let mut corrupted = cw;
+            match mode {
+                FailureMode::SingleBit => {
+                    let sym = rng.below(n_sym as u64) as usize;
+                    let bit = rng.below(map.bits_of(sym).len() as u64);
+                    map.apply_xor_pattern(&mut corrupted, sym, 1 << bit);
+                }
+                FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
+                    let sym = rng.below(n_sym as u64) as usize;
+                    let all = 1u64 << map.bits_of(sym).len();
+                    let pattern = if mode == FailureMode::WholeDevice {
+                        rng.nonzero_below(all)
+                    } else {
+                        rng.nonzero_below(all - 1) + 1
+                    };
+                    map.apply_xor_pattern(&mut corrupted, sym, pattern);
+                }
+                FailureMode::TwoDevices => {
+                    for sym in rng.choose_k(n_sym, 2) {
+                        let pattern = rng.nonzero_below(1 << map.bits_of(sym).len());
+                        map.apply_xor_pattern(&mut corrupted, sym, pattern);
+                    }
+                }
+            }
+            match code.decode(&corrupted) {
+                muse_core::Decoded::Detected => tally.due += 1,
+                muse_core::Decoded::Clean { payload: p }
+                | muse_core::Decoded::Corrected { payload: p, .. } => {
+                    if p == payload {
+                        tally.correct += 1;
+                    } else {
+                        tally.sdc += 1;
+                    }
+                }
+            }
+        });
+    let t = trials as f64;
+    ModeOutcome {
+        mode,
+        p_correct: tally.correct as f64 / t,
+        p_due: tally.due as f64 / t,
+        p_sdc: tally.sdc as f64 / t,
     }
 }
 
@@ -150,7 +233,11 @@ pub fn project_fit(code: &MuseCode, devices: u32, trials: u64, seed: u64) -> Fit
         sdc_fit += rate * outcome.p_sdc;
         outcomes.push(outcome);
     }
-    FitProjection { outcomes, due_fit, sdc_fit }
+    FitProjection {
+        outcomes,
+        due_fit,
+        sdc_fit,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +274,10 @@ mod tests {
         // A ChipKill code's DUE/SDC FIT comes only from the overlap mode.
         let proj = project_fit(&presets::muse_144_132(), 36, 800, 17);
         assert!(proj.due_fit > 0.0);
-        assert!(proj.due_fit < 36.0 * 0.05 * 1.01, "bounded by the overlap rate");
+        assert!(
+            proj.due_fit < 36.0 * 0.05 * 1.01,
+            "bounded by the overlap rate"
+        );
         assert!(proj.sdc_fit < proj.due_fit);
         assert_eq!(proj.outcomes.len(), 4);
     }
@@ -196,6 +286,9 @@ mod tests {
     fn stronger_code_has_lower_sdc_fit() {
         let weak = project_fit(&presets::muse_144_132(), 36, 2_000, 23);
         let strong = project_fit(&presets::muse_144_128(), 36, 2_000, 23);
-        assert!(strong.sdc_fit < weak.sdc_fit, "m=65519 detects more than m=4065");
+        assert!(
+            strong.sdc_fit < weak.sdc_fit,
+            "m=65519 detects more than m=4065"
+        );
     }
 }

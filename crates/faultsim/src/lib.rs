@@ -1,15 +1,36 @@
-//! Monte-Carlo fault injection for MUSE and Reed-Solomon memory codes.
+//! Parallel Monte-Carlo fault injection for MUSE and Reed-Solomon memory
+//! codes.
 //!
-//! Four pieces:
+//! # Architecture
 //!
-//! * [`Rng`] — a deterministic in-tree xoshiro256++ so every experiment is
-//!   reproducible bit-for-bit.
+//! All simulators run on a shared two-layer engine:
+//!
+//! 1. **[`SimEngine`] — batched parallel trial execution.** A run's
+//!    `trials` are split into contiguous ranges over scoped worker threads.
+//!    Trial `i` draws randomness exclusively from the counter-based stream
+//!    [`Rng::for_trial`]`(seed, i)`, so outcomes are a pure function of
+//!    `(seed, i)` and per-worker tallies merge associatively — **results
+//!    are bit-identical at any thread count** (the determinism contract,
+//!    pinned by `tests/determinism.rs`).
+//! 2. **Incremental residue syndromes.** The MUSE-code simulators never
+//!    build a 320-bit codeword per trial: `muse-core` precomputes
+//!    per-symbol residue tables and fast-ELC content transitions
+//!    ([`muse_core::SyndromeKernel`]) at code construction, so a trial is a
+//!    payload draw, a few table lookups, and small modular adds. The wide
+//!    encode/decode path survives as the reference implementation and is
+//!    cross-validated against the kernel by property tests.
+//!
+//! # Simulators
+//!
 //! * [`muse_msed`] / [`rs_msed`] — the multi-symbol error detection (MSED)
 //!   simulator behind the paper's Table IV.
-//! * [`simulate_attacks`] — the Section VI-A case study: 40-bit line hashes in
-//!   MUSE spare bits vs blind bit-flip attacks.
-//! * [`simulate_retention`] — the Section III-C asymmetric (1→0) retention-error
-//!   model and refresh-interval sweeps.
+//! * [`simulate_attacks`] — the Section VI-A case study: 40-bit line hashes
+//!   in MUSE spare bits vs blind bit-flip attacks.
+//! * [`simulate_retention`] — the Section III-C asymmetric (1→0)
+//!   retention-error model and refresh-interval sweeps.
+//! * [`simulate_stack`] — on-die SEC × rank-level MUSE co-design.
+//! * [`simulate_scrubbing`] — patrol-scrub interval studies.
+//! * [`measure_mode`] / [`project_fit`] — field FIT-rate projection.
 //!
 //! # Examples
 //!
@@ -23,28 +44,41 @@
 //!     ..MsedConfig::default()
 //! });
 //! println!("MSED = {:.2}%", stats.detection_rate()); // paper: 86.71%
+//!
+//! // The same run is reproducible at any worker count:
+//! let serial = muse_msed(&presets::muse_144_132(), MsedConfig {
+//!     trials: 1_000, threads: 1, ..MsedConfig::default()
+//! });
+//! assert_eq!(stats, serial);
 //! ```
 
+mod engine;
+mod fastpath;
 mod fit;
 mod msed;
 mod ondie;
 mod retention;
 mod rng;
-mod scrub;
 mod rowhammer;
+mod scrub;
 
-pub use fit::{measure_mode, project_fit, FailureMode, FitProjection, ModeOutcome};
-pub use ondie::{simulate_stack, OndieStats, Stack};
-pub use msed::{
-    muse_msed, random_payload, rs_msed, MsedConfig, MsedStats, Outcome, RsDetectMode,
+pub use engine::{SimEngine, Tally};
+pub use fit::{
+    measure_mode, measure_mode_threaded, project_fit, FailureMode, FitProjection, ModeOutcome,
 };
+pub use msed::{muse_msed, random_payload, rs_msed, MsedConfig, MsedStats, Outcome, RsDetectMode};
+pub use ondie::{simulate_stack, simulate_stack_threaded, OndieStats, Stack};
 pub use retention::{
     analytic_uncorrectable_probability, relative_refresh_power, simulate_retention,
-    sweep_refresh_intervals, RetentionModel, RetentionStats, SweepPoint,
+    simulate_retention_threaded, sweep_refresh_intervals, RetentionModel, RetentionStats,
+    SweepPoint,
 };
 pub use rng::Rng;
-pub use scrub::{analytic_overlap_probability, simulate_scrubbing, ScrubConfig, ScrubStats};
 pub use rowhammer::{
-    simulate_attacks, AttackStats, HashedLine, LineError, LineHasher, HASH_BITS,
-    WORDS_PER_LINE,
+    simulate_attacks, simulate_attacks_threaded, AttackStats, HashedLine, LineError, LineHasher,
+    HASH_BITS, WORDS_PER_LINE,
+};
+pub use scrub::{
+    analytic_overlap_probability, simulate_scrubbing, simulate_scrubbing_threaded, ScrubConfig,
+    ScrubStats,
 };

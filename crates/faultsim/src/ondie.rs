@@ -19,7 +19,8 @@
 use muse_core::{Decoded, MuseCode};
 use muse_secded::{SecDecoded, SecDed, Word};
 
-use crate::{random_payload, Rng};
+use crate::engine::{SimEngine, Tally};
+use crate::random_payload;
 
 /// Which protections are stacked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +63,23 @@ impl OndieStats {
     }
 }
 
+impl Tally for OndieStats {
+    fn merge(&mut self, other: Self) {
+        self.intact += other.intact;
+        self.due += other.due;
+        self.sdc += other.sdc;
+    }
+}
+
 /// Simulates `words` rank-level reads at per-cell fault probability
 /// `cell_p`, with the given protection stack.
 ///
 /// The rank code's devices each contribute their symbol bits from an
 /// independent on-die word; faults hit the full on-die word, and the
 /// rank-visible bits inherit whatever the on-die decode leaves behind.
+///
+/// Words run batched on the [`SimEngine`] (one worker per CPU); results are
+/// bit-identical at any thread count.
 ///
 /// # Panics
 ///
@@ -79,23 +91,38 @@ pub fn simulate_stack(
     words: u64,
     seed: u64,
 ) -> OndieStats {
+    simulate_stack_threaded(stack, rank_code, cell_p, words, seed, 0)
+}
+
+/// [`simulate_stack`] with an explicit worker count (0 ⇒ all CPUs).
+pub fn simulate_stack_threaded(
+    stack: Stack,
+    rank_code: Option<&MuseCode>,
+    cell_p: f64,
+    words: u64,
+    seed: u64,
+    threads: usize,
+) -> OndieStats {
     let ondie = SecDed::hamming_sec(136, 128).expect("DDR5 on-die geometry");
-    let mut rng = Rng::seeded(seed ^ 0x0D1E);
-    let mut stats = OndieStats::default();
     let code = rank_code.filter(|_| matches!(stack, Stack::RankOnly | Stack::Stacked));
     if matches!(stack, Stack::RankOnly | Stack::Stacked) {
         assert!(code.is_some(), "stack {stack:?} needs a rank code");
     }
 
-    for _ in 0..words {
+    SimEngine::new(threads).run(seed ^ 0x0D1E, words, |_, rng, stats: &mut OndieStats| {
         // Rank-level payload and codeword (or raw data when no rank code).
         let (payload, rank_word, n_bits, map) = match code {
             Some(c) => {
-                let payload = random_payload(&mut rng, c.k_bits());
-                (payload, c.encode(&payload), c.n_bits(), Some(c.symbol_map()))
+                let payload = random_payload(rng, c.k_bits());
+                (
+                    payload,
+                    c.encode(&payload),
+                    c.n_bits(),
+                    Some(c.symbol_map()),
+                )
             }
             None => {
-                let data = random_payload(&mut rng, 64);
+                let data = random_payload(rng, 64);
                 (data, data, 64, None)
             }
         };
@@ -111,7 +138,7 @@ pub fn simulate_stack(
             };
             // Build the on-die word: our bits at offset 0..s, the rest of
             // the 128 data bits random (other rank words' data).
-            let mut ondie_data = random_payload(&mut rng, 128);
+            let mut ondie_data = random_payload(rng, 128);
             for (i, &bit) in bits.iter().enumerate() {
                 ondie_data.set_bit(i as u32, rank_word.bit(bit));
             }
@@ -163,8 +190,7 @@ pub fn simulate_stack(
                 }
             }
         }
-    }
-    stats
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +211,10 @@ mod tests {
     fn ondie_alone_reduces_but_does_not_eliminate_sdc() {
         let none = simulate_stack(Stack::None, None, P, 1_500, 2);
         let ondie = simulate_stack(Stack::OnDieOnly, None, P, 1_500, 2);
-        assert!(ondie.sdc < none.sdc, "on-die SEC heals most single-cell faults");
+        assert!(
+            ondie.sdc < none.sdc,
+            "on-die SEC heals most single-cell faults"
+        );
         assert!(ondie.sdc > 0, "double faults still leak (or miscorrect)");
     }
 
@@ -195,7 +224,10 @@ mod tests {
         let rank = simulate_stack(Stack::RankOnly, Some(&code), P, 1_000, 3);
         let stacked = simulate_stack(Stack::Stacked, Some(&code), P, 1_000, 3);
         assert!(stacked.sdc <= rank.sdc);
-        assert!(stacked.due <= rank.due, "on-die pre-correction removes rank DUEs");
+        assert!(
+            stacked.due <= rank.due,
+            "on-die pre-correction removes rank DUEs"
+        );
         assert!(stacked.intact >= rank.intact);
     }
 
@@ -209,13 +241,21 @@ mod tests {
         let stacked = simulate_stack(Stack::Stacked, Some(&code), 1e-3, 1_200, 4);
         let intact_rate = stacked.intact as f64 / stacked.total() as f64;
         assert!(intact_rate > 0.9, "stack survives: {stacked:?}");
-        assert!(stacked.sdc * 50 < stacked.total(), "SDC stays rare: {stacked:?}");
+        assert!(
+            stacked.sdc * 50 < stacked.total(),
+            "SDC stays rare: {stacked:?}"
+        );
     }
 
     #[test]
     fn zero_fault_rate_is_perfect() {
         let code = presets::muse_144_132();
-        for stack in [Stack::None, Stack::OnDieOnly, Stack::RankOnly, Stack::Stacked] {
+        for stack in [
+            Stack::None,
+            Stack::OnDieOnly,
+            Stack::RankOnly,
+            Stack::Stacked,
+        ] {
             let rank = matches!(stack, Stack::RankOnly | Stack::Stacked).then_some(&code);
             let stats = simulate_stack(stack, rank, 0.0, 100, 5);
             assert_eq!(stats.intact, 100, "{stack:?}");

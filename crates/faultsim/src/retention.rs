@@ -9,9 +9,10 @@
 //! any such pattern confined to one device, letting the system hold the
 //! same reliability at a longer refresh interval.
 
-use muse_core::{Decoded, MuseCode};
+use muse_core::MuseCode;
 
-use crate::Rng;
+use crate::engine::{SimEngine, Tally};
+use crate::fastpath::{classify, CodewordScratch, TrialOutcome};
 
 /// Per-cell retention-failure model.
 ///
@@ -32,7 +33,11 @@ pub struct RetentionModel {
 
 impl Default for RetentionModel {
     fn default() -> Self {
-        Self { weak_fraction: 1e-4, nominal_ms: 64.0, tau_ms: 512.0 }
+        Self {
+            weak_fraction: 1e-4,
+            nominal_ms: 64.0,
+            tau_ms: 512.0,
+        }
     }
 }
 
@@ -62,7 +67,10 @@ pub struct RetentionStats {
 impl RetentionStats {
     /// Total words simulated.
     pub fn total(&self) -> u64 {
-        self.clean + self.corrected + self.uncorrectable + self.miscorrected
+        self.clean
+            + self.corrected
+            + self.uncorrectable
+            + self.miscorrected
             + self.silent_corruptions
     }
 
@@ -80,9 +88,23 @@ impl RetentionStats {
     }
 }
 
+impl Tally for RetentionStats {
+    fn merge(&mut self, other: Self) {
+        self.clean += other.clean;
+        self.corrected += other.corrected;
+        self.uncorrectable += other.uncorrectable;
+        self.miscorrected += other.miscorrected;
+        self.silent_corruptions += other.silent_corruptions;
+    }
+}
+
 /// Simulates `words` stored words at refresh interval `t_ms`: every stored
 /// 1-bit independently discharges with the model's probability; each word is
 /// then decoded.
+///
+/// Runs on the [`SimEngine`] (one worker per CPU) with residue-space
+/// decoding — see [`simulate_retention_threaded`] for explicit thread
+/// control. Results are bit-identical at any thread count.
 pub fn simulate_retention(
     code: &MuseCode,
     model: &RetentionModel,
@@ -90,45 +112,93 @@ pub fn simulate_retention(
     words: u64,
     seed: u64,
 ) -> RetentionStats {
+    simulate_retention_threaded(code, model, t_ms, words, seed, 0)
+}
+
+/// [`simulate_retention`] with an explicit worker count (0 ⇒ all CPUs).
+pub fn simulate_retention_threaded(
+    code: &MuseCode,
+    model: &RetentionModel,
+    t_ms: f64,
+    words: u64,
+    seed: u64,
+    threads: usize,
+) -> RetentionStats {
     let p = model.cell_failure_probability(t_ms);
-    let mut rng = Rng::seeded(seed);
-    let mut stats = RetentionStats::default();
-    for _ in 0..words {
-        let payload = crate::random_payload(&mut rng, code.k_bits());
-        let stored = code.encode(&payload);
-        let mut leaked = stored;
-        let mut any = false;
-        for bit in 0..code.n_bits() {
-            if stored.bit(bit) && rng.chance(p) {
-                leaked.set_bit(bit, false);
-                any = true;
-            }
-        }
-        if !any {
-            stats.clean += 1;
-            continue;
-        }
-        match code.decode(&leaked) {
-            Decoded::Clean { payload: read } => {
-                // A nonzero flip pattern aliasing to remainder 0 would be a
-                // silent corruption.
-                if read == payload {
-                    stats.clean += 1;
-                } else {
-                    stats.silent_corruptions += 1;
+    let engine = SimEngine::new(threads);
+    let Some(kernel) = code.kernel() else {
+        // Layout outside the kernel's tabulation limits: wide-word trials,
+        // still engine-parallel.
+        return engine.run(seed, words, |_, rng, stats: &mut RetentionStats| {
+            let payload = crate::random_payload(rng, code.k_bits());
+            let stored = code.encode(&payload);
+            let mut leaked = stored;
+            let mut any = false;
+            for bit in 0..code.n_bits() {
+                if stored.bit(bit) && rng.chance(p) {
+                    leaked.set_bit(bit, false);
+                    any = true;
                 }
             }
-            Decoded::Corrected { payload: read, .. } => {
-                if read == payload {
-                    stats.corrected += 1;
-                } else {
-                    stats.miscorrected += 1;
+            if !any {
+                stats.clean += 1;
+                return;
+            }
+            match code.decode(&leaked) {
+                muse_core::Decoded::Clean { payload: read } => {
+                    if read == payload {
+                        stats.clean += 1;
+                    } else {
+                        stats.silent_corruptions += 1;
+                    }
+                }
+                muse_core::Decoded::Corrected { payload: read, .. } => {
+                    if read == payload {
+                        stats.corrected += 1;
+                    } else {
+                        stats.miscorrected += 1;
+                    }
+                }
+                muse_core::Decoded::Detected => stats.uncorrectable += 1,
+            }
+        });
+    };
+    engine.run_with(
+        seed,
+        words,
+        || CodewordScratch::new(code, kernel),
+        |_, rng, scratch, stats: &mut RetentionStats| {
+            scratch.begin_trial(rng);
+            // Leak stored 1-bits symbol by symbol: a leaked bit is a 1→0
+            // flip, i.e. an XOR pattern confined to the symbol's set bits.
+            for sym in 0..kernel.num_symbols() {
+                let content = scratch.content(kernel, sym);
+                let mut pattern = 0u16;
+                for i in 0..kernel.symbol_bits(sym) {
+                    if content >> i & 1 == 1 && rng.chance(p) {
+                        pattern |= 1 << i;
+                    }
+                }
+                if pattern != 0 {
+                    scratch.injected.push((sym, pattern));
                 }
             }
-            Decoded::Detected => stats.uncorrectable += 1,
-        }
-    }
-    stats
+            if scratch.injected.is_empty() {
+                stats.clean += 1;
+                return;
+            }
+            match classify(kernel, scratch) {
+                // Flips confined to check bits read back as the right
+                // payload; a nonzero pattern aliasing to remainder 0 over
+                // payload bits is a silent corruption.
+                TrialOutcome::CleanIntact => stats.clean += 1,
+                TrialOutcome::CleanCorrupted => stats.silent_corruptions += 1,
+                TrialOutcome::CorrectedRight => stats.corrected += 1,
+                TrialOutcome::Miscorrected => stats.miscorrected += 1,
+                TrialOutcome::Detected => stats.uncorrectable += 1,
+            }
+        },
+    )
 }
 
 /// Relative refresh power at interval `t_ms` versus the nominal interval
@@ -197,9 +267,7 @@ mod tests {
         assert_eq!(m.cell_failure_probability(32.0), 0.0);
         assert!(m.cell_failure_probability(256.0) > 0.0);
         // Monotone in t.
-        assert!(
-            m.cell_failure_probability(512.0) > m.cell_failure_probability(128.0)
-        );
+        assert!(m.cell_failure_probability(512.0) > m.cell_failure_probability(128.0));
         // Bounded by the weak fraction.
         assert!(m.cell_failure_probability(1e9) <= m.weak_fraction * 1.0001);
     }
@@ -218,7 +286,10 @@ mod tests {
         // asymmetric code corrects all single-device patterns and never
         // corrupts silently.
         let code = presets::muse_80_67();
-        let model = RetentionModel { weak_fraction: 2e-3, ..RetentionModel::default() };
+        let model = RetentionModel {
+            weak_fraction: 2e-3,
+            ..RetentionModel::default()
+        };
         let stats = simulate_retention(&code, &model, 2048.0, 2_000, 7);
         assert!(stats.corrected > 50, "expected many corrected words");
         // Single-device losses always heal; only the rare multi-device
@@ -231,8 +302,7 @@ mod tests {
     fn sweep_is_monotone_in_power() {
         let code = presets::muse_80_67();
         let model = RetentionModel::default();
-        let points =
-            sweep_refresh_intervals(&code, &model, &[64.0, 128.0, 256.0, 512.0], 100, 11);
+        let points = sweep_refresh_intervals(&code, &model, &[64.0, 128.0, 256.0, 512.0], 100, 11);
         assert_eq!(points.len(), 4);
         for pair in points.windows(2) {
             assert!(pair[1].refresh_power < pair[0].refresh_power);
@@ -244,7 +314,10 @@ mod tests {
     #[test]
     fn analytic_matches_simulation_order_of_magnitude() {
         let code = presets::muse_80_67();
-        let model = RetentionModel { weak_fraction: 5e-3, ..RetentionModel::default() };
+        let model = RetentionModel {
+            weak_fraction: 5e-3,
+            ..RetentionModel::default()
+        };
         let t = 4096.0;
         let cell_p = model.cell_failure_probability(t);
         let analytic = analytic_uncorrectable_probability(&code, cell_p);

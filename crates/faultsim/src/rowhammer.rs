@@ -11,7 +11,7 @@
 
 use muse_core::{Decoded, MuseCode, Word};
 
-use crate::Rng;
+use crate::engine::{SimEngine, Tally};
 
 /// Words per cache line (64 bytes / 8-byte words).
 pub const WORDS_PER_LINE: usize = 8;
@@ -203,9 +203,22 @@ impl AttackStats {
     }
 }
 
+impl Tally for AttackStats {
+    fn merge(&mut self, other: Self) {
+        self.blocked_by_ecc += other.blocked_by_ecc;
+        self.blocked_by_hash += other.blocked_by_hash;
+        self.successful += other.successful;
+        self.harmless += other.harmless;
+    }
+}
+
 /// Simulates `trials` Rowhammer episodes: each flips `flips` random stored
 /// bits across a hashed line (the attacker cannot target the hash slices
 /// separately — they live inside the same codewords).
+///
+/// Episodes run batched on the [`SimEngine`] (one worker per CPU); results
+/// are bit-identical at any thread count — see
+/// [`simulate_attacks_threaded`].
 pub fn simulate_attacks(
     code: &MuseCode,
     hasher: &LineHasher,
@@ -213,10 +226,20 @@ pub fn simulate_attacks(
     trials: u64,
     seed: u64,
 ) -> AttackStats {
-    let mut rng = Rng::seeded(seed);
-    let mut stats = AttackStats::default();
+    simulate_attacks_threaded(code, hasher, flips, trials, seed, 0)
+}
+
+/// [`simulate_attacks`] with an explicit worker count (0 ⇒ all CPUs).
+pub fn simulate_attacks_threaded(
+    code: &MuseCode,
+    hasher: &LineHasher,
+    flips: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> AttackStats {
     let n_bits = code.n_bits();
-    for _ in 0..trials {
+    SimEngine::new(threads).run(seed, trials, |_, rng, stats: &mut AttackStats| {
         let mut data = [0u64; WORDS_PER_LINE];
         for d in &mut data {
             *d = rng.next_u64();
@@ -233,8 +256,7 @@ pub fn simulate_attacks(
             Ok(read) if read == data => stats.harmless += 1,
             Ok(_) => stats.successful += 1,
         }
-    }
-    stats
+    })
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use muse_core::MuseCode;
 
-use crate::Rng;
+use crate::engine::{SimEngine, Tally};
 
 /// Parameters of a scrubbing study.
 #[derive(Debug, Clone, Copy)]
@@ -52,33 +52,53 @@ pub struct ScrubStats {
     pub scrubbed_faults: u64,
 }
 
+impl Tally for ScrubStats {
+    fn merge(&mut self, other: Self) {
+        self.overlap_failures += other.overlap_failures;
+        self.scrubbed_faults += other.scrubbed_faults;
+    }
+}
+
 /// Simulates fault accumulation under periodic scrubbing.
 ///
 /// Faults are transient (scrub-repairable); the code's ChipKill correction
 /// masks any single faulty device between scrubs, so only same-interval
 /// overlaps count as failures.
+///
+/// Each word's full timeline is one engine trial, batched across workers
+/// (bit-identical results at any thread count).
 pub fn simulate_scrubbing(code: &MuseCode, config: &ScrubConfig) -> ScrubStats {
-    let mut rng = Rng::seeded(config.seed);
+    simulate_scrubbing_threaded(code, config, 0)
+}
+
+/// [`simulate_scrubbing`] with an explicit worker count (0 ⇒ all CPUs).
+pub fn simulate_scrubbing_threaded(
+    code: &MuseCode,
+    config: &ScrubConfig,
+    threads: usize,
+) -> ScrubStats {
     let devices = code.symbol_map().num_symbols();
     let p_fault = (config.device_fit * config.scrub_interval_hours / 1e9).min(1.0);
     let intervals = (config.horizon_hours / config.scrub_interval_hours).ceil() as u64;
-    let mut stats = ScrubStats::default();
-    for _ in 0..config.words {
-        for _ in 0..intervals {
-            let mut faulty = 0u32;
-            for _ in 0..devices {
-                if rng.chance(p_fault) {
-                    faulty += 1;
+    SimEngine::new(threads).run(
+        config.seed,
+        config.words,
+        |_, rng, stats: &mut ScrubStats| {
+            for _ in 0..intervals {
+                let mut faulty = 0u32;
+                for _ in 0..devices {
+                    if rng.chance(p_fault) {
+                        faulty += 1;
+                    }
+                }
+                match faulty {
+                    0 => {}
+                    1 => stats.scrubbed_faults += 1,
+                    _ => stats.overlap_failures += 1,
                 }
             }
-            match faulty {
-                0 => {}
-                1 => stats.scrubbed_faults += 1,
-                _ => stats.overlap_failures += 1,
-            }
-        }
-    }
-    stats
+        },
+    )
 }
 
 /// Closed-form expectation of overlap failures for cross-checking the
@@ -106,11 +126,17 @@ mod tests {
         };
         let slow = simulate_scrubbing(
             &code,
-            &ScrubConfig { scrub_interval_hours: 100.0, ..base },
+            &ScrubConfig {
+                scrub_interval_hours: 100.0,
+                ..base
+            },
         );
         let fast = simulate_scrubbing(
             &code,
-            &ScrubConfig { scrub_interval_hours: 10.0, ..base },
+            &ScrubConfig {
+                scrub_interval_hours: 10.0,
+                ..base
+            },
         );
         assert!(
             fast.overlap_failures < slow.overlap_failures,
@@ -150,7 +176,10 @@ mod tests {
         let code = presets::muse_80_69();
         let stats = simulate_scrubbing(
             &code,
-            &ScrubConfig { words: 1_000, ..ScrubConfig::default() },
+            &ScrubConfig {
+                words: 1_000,
+                ..ScrubConfig::default()
+            },
         );
         assert_eq!(stats.overlap_failures, 0);
     }

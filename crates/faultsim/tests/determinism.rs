@@ -1,0 +1,147 @@
+//! The engine's determinism contract: every simulator produces
+//! bit-identical tallies at any worker count, because trial `i` draws
+//! randomness exclusively from the counter-based stream
+//! `Rng::for_trial(seed, i)`.
+
+use muse_core::presets;
+use muse_faultsim::{
+    muse_msed, rs_msed, simulate_attacks_threaded, simulate_retention_threaded, LineHasher,
+    MsedConfig, RetentionModel, RsDetectMode,
+};
+use muse_rs::RsMemoryCode;
+
+#[test]
+fn msed_identical_across_thread_counts() {
+    let code = presets::muse_144_132();
+    let config = |threads| MsedConfig {
+        trials: 3_000,
+        threads,
+        ..MsedConfig::default()
+    };
+    let serial = muse_msed(&code, config(1));
+    assert_eq!(serial.total(), 3_000);
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            serial,
+            muse_msed(&code, config(threads)),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn msed_identical_with_auto_threads() {
+    let code = presets::muse_80_69();
+    let serial = muse_msed(
+        &code,
+        MsedConfig {
+            trials: 2_000,
+            threads: 1,
+            ..MsedConfig::default()
+        },
+    );
+    let auto = muse_msed(
+        &code,
+        MsedConfig {
+            trials: 2_000,
+            threads: 0,
+            ..MsedConfig::default()
+        },
+    );
+    assert_eq!(serial, auto);
+}
+
+#[test]
+fn rs_msed_identical_across_thread_counts() {
+    let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
+    let config = |threads| MsedConfig {
+        trials: 1_000,
+        threads,
+        ..MsedConfig::default()
+    };
+    let serial = rs_msed(&code, 4, RsDetectMode::DeviceConfined, config(1));
+    let parallel = rs_msed(&code, 4, RsDetectMode::DeviceConfined, config(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn retention_identical_across_thread_counts() {
+    let code = presets::muse_80_67();
+    let model = RetentionModel {
+        weak_fraction: 2e-3,
+        ..RetentionModel::default()
+    };
+    let run = |threads| simulate_retention_threaded(&code, &model, 2048.0, 3_000, 7, threads);
+    let serial = run(1);
+    assert!(serial.corrected > 0, "exercise the correction path");
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            (serial.clean, serial.corrected, serial.uncorrectable),
+            (parallel.clean, parallel.corrected, parallel.uncorrectable),
+            "threads={threads}"
+        );
+        assert_eq!(serial.miscorrected, parallel.miscorrected);
+        assert_eq!(serial.silent_corruptions, parallel.silent_corruptions);
+    }
+}
+
+#[test]
+fn rowhammer_identical_across_thread_counts() {
+    let code = presets::muse_80_69();
+    let hasher = LineHasher::new(0x5117, 0x1d3a);
+    let run = |threads| simulate_attacks_threaded(&code, &hasher, 8, 1_500, 99, threads);
+    let serial = run(1);
+    assert_eq!(serial.total(), 1_500);
+    for threads in [3, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.blocked_by_ecc, parallel.blocked_by_ecc,
+            "threads={threads}"
+        );
+        assert_eq!(serial.blocked_by_hash, parallel.blocked_by_hash);
+        assert_eq!(serial.harmless, parallel.harmless);
+        assert_eq!(serial.successful, parallel.successful);
+    }
+}
+
+#[test]
+fn kernel_less_fallback_is_deterministic_and_consistent() {
+    // Codes outside the kernel's tabulation limits run wide-word trials on
+    // the same engine: still bit-identical across thread counts, and
+    // statistically consistent with the kernel path.
+    let mut code = presets::muse_144_132();
+    let fast = muse_msed(
+        &code,
+        MsedConfig {
+            trials: 4_000,
+            ..MsedConfig::default()
+        },
+    );
+    code.disable_syndrome_kernel();
+    assert!(code.kernel().is_none());
+    let config = |threads| MsedConfig {
+        trials: 4_000,
+        threads,
+        ..MsedConfig::default()
+    };
+    let serial = muse_msed(&code, config(1));
+    assert_eq!(serial, muse_msed(&code, config(4)));
+    assert_eq!(serial.total(), 4_000);
+    assert!(
+        (serial.detection_rate() - fast.detection_rate()).abs() < 3.0,
+        "wide {} vs kernel {}",
+        serial.detection_rate(),
+        fast.detection_rate()
+    );
+
+    let model = RetentionModel {
+        weak_fraction: 2e-3,
+        ..RetentionModel::default()
+    };
+    let retention_serial = simulate_retention_threaded(&code, &model, 2048.0, 2_000, 7, 1);
+    let retention_parallel = simulate_retention_threaded(&code, &model, 2048.0, 2_000, 7, 4);
+    assert_eq!(retention_serial.total(), retention_parallel.total());
+    assert_eq!(retention_serial.clean, retention_parallel.clean);
+    assert_eq!(retention_serial.corrected, retention_parallel.corrected);
+}

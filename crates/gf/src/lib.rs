@@ -125,7 +125,13 @@ impl Gf {
         for i in 0..size as usize - 1 {
             exp[i + size as usize - 1] = exp[i];
         }
-        Ok(Self { width, size, poly, exp, log })
+        Ok(Self {
+            width,
+            size,
+            poly,
+            exp,
+            log,
+        })
     }
 
     /// Field width `s` in bits.
@@ -175,8 +181,7 @@ impl Gf {
             return 0;
         }
         let order = self.size as usize - 1;
-        let diff =
-            (self.log[a as usize] as usize + order - self.log[b as usize] as usize) % order;
+        let diff = (self.log[a as usize] as usize + order - self.log[b as usize] as usize) % order;
         self.exp[diff]
     }
 
@@ -296,10 +301,7 @@ mod tests {
                 assert_eq!(gf.mul(a, b), gf.mul(b, a));
                 for c in 0..n {
                     assert_eq!(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
-                    assert_eq!(
-                        gf.mul(a, gf.add(b, c)),
-                        gf.add(gf.mul(a, b), gf.mul(a, c))
-                    );
+                    assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
                 }
             }
         }

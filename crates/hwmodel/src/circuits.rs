@@ -125,14 +125,21 @@ impl FastModuloUnit {
 
     /// Serial composition of the two multiplies.
     pub fn cost(&self, tech: &TechParams) -> CircuitCost {
-        self.mul_inverse.cost(tech).then(self.mul_modulus.cost(tech))
+        self.mul_inverse
+            .cost(tech)
+            .then(self.mul_modulus.cost(tech))
     }
 }
 
 /// The Error Lookup Circuit as a match-line CAM: `entries` rows of
 /// `tag_bits` compare + `payload_bits` readout (Section V-A sizes each
 /// MUSE(144,132) row at 157 bits: 12 remainder + 144 value + sign).
-pub fn elc_cam_cost(entries: usize, tag_bits: u32, payload_bits: u32, tech: &TechParams) -> CircuitCost {
+pub fn elc_cam_cost(
+    entries: usize,
+    tag_bits: u32,
+    payload_bits: u32,
+    tech: &TechParams,
+) -> CircuitCost {
     // Compare tree per row (XNOR + AND reduce) with the constant payload
     // folded into shared read-out logic (it synthesizes to ROM-like planes,
     // not per-row flops).

@@ -3,7 +3,9 @@
 use muse_core::MuseCode;
 use muse_rs::RsMemoryCode;
 
-use crate::{adder_cost, elc_cam_cost, gf_lut_cost, xor_tree_cost, CircuitCost, FastModuloUnit, TechParams};
+use crate::{
+    adder_cost, elc_cam_cost, gf_lut_cost, xor_tree_cost, CircuitCost, FastModuloUnit, TechParams,
+};
 
 /// One Table V row: a code with its encoder and corrector costs.
 #[derive(Debug, Clone)]
@@ -79,7 +81,9 @@ pub fn rs_corrector(code: &RsMemoryCode, tech: &TechParams) -> CircuitCost {
     let syndromes = xor_tree_cost(code.parity_bits(), code.n_bits() as f64 / 2.0, tech);
     // PGZ over LUTs: log(S0), log(S1), subtract, antilog, position bound
     // check, then the correcting XOR. Two log tables + one antilog.
-    let luts = gf_lut_cost(s, tech).then(gf_lut_cost(s, tech)).alongside(gf_lut_cost(s, tech));
+    let luts = gf_lut_cost(s, tech)
+        .then(gf_lut_cost(s, tech))
+        .alongside(gf_lut_cost(s, tech));
     let locate = adder_cost(s, tech); // log-domain subtract mod 2^s−1
     let fixup = xor_tree_cost(s, 2.0, tech);
     syndromes.then(luts).then(locate).then(fixup)
@@ -144,8 +148,16 @@ mod tests {
         let cost = muse_encoder(&presets::muse_144_132(), &tech());
         let ns = cost.delay_ns();
         assert!((0.7..1.7).contains(&ns), "latency {ns} ns");
-        assert!((15_000..70_000).contains(&cost.cells), "{} cells", cost.cells);
-        assert!((5_000.0..25_000.0).contains(&cost.area_um2), "{} um2", cost.area_um2);
+        assert!(
+            (15_000..70_000).contains(&cost.cells),
+            "{} cells",
+            cost.cells
+        );
+        assert!(
+            (5_000.0..25_000.0).contains(&cost.area_um2),
+            "{} um2",
+            cost.area_um2
+        );
     }
 
     #[test]

@@ -121,8 +121,18 @@ mod tests {
 
     #[test]
     fn composition() {
-        let a = CircuitCost { delay_ps: 100.0, cells: 10, area_um2: 3.3, power_mw: 0.1 };
-        let b = CircuitCost { delay_ps: 50.0, cells: 5, area_um2: 1.65, power_mw: 0.05 };
+        let a = CircuitCost {
+            delay_ps: 100.0,
+            cells: 10,
+            area_um2: 3.3,
+            power_mw: 0.1,
+        };
+        let b = CircuitCost {
+            delay_ps: 50.0,
+            cells: 5,
+            area_um2: 1.65,
+            power_mw: 0.05,
+        };
         let seq = a.then(b);
         assert_eq!(seq.delay_ps, 150.0);
         assert_eq!(seq.cells, 15);

@@ -2,9 +2,7 @@
 //! must behave monotonically and consistently or Table V comparisons are
 //! meaningless.
 
-use muse_hw::{
-    wallace_levels, BoothEncoding, ConstMultiplier, TechParams,
-};
+use muse_hw::{wallace_levels, BoothEncoding, ConstMultiplier, TechParams};
 use muse_wideint::U320;
 use proptest::prelude::*;
 
@@ -71,8 +69,14 @@ fn table5_is_deterministic() {
 
 #[test]
 fn faster_clock_means_more_cycles() {
-    let slow = TechParams { clock_ghz: 1.0, ..TechParams::default() };
-    let fast = TechParams { clock_ghz: 4.8, ..TechParams::default() };
+    let slow = TechParams {
+        clock_ghz: 1.0,
+        ..TechParams::default()
+    };
+    let fast = TechParams {
+        clock_ghz: 4.8,
+        ..TechParams::default()
+    };
     let code = muse_core::presets::muse_144_132();
     let hw_slow = muse_hw::muse_hardware(&code, &slow);
     let hw_fast = muse_hw::muse_hardware(&code, &fast);

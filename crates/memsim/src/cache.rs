@@ -80,10 +80,19 @@ impl Cache {
     /// # Panics
     ///
     /// Panics unless sizes are powers of two and consistent.
-    pub fn new(name: &'static str, size_bytes: u64, ways: usize, line_bytes: u64, latency: u64) -> Self {
+    pub fn new(
+        name: &'static str,
+        size_bytes: u64,
+        ways: usize,
+        line_bytes: u64,
+        latency: u64,
+    ) -> Self {
         assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
         let n_lines = size_bytes / line_bytes;
-        assert!((n_lines as usize).is_multiple_of(ways), "lines not divisible by ways");
+        assert!(
+            (n_lines as usize).is_multiple_of(ways),
+            "lines not divisible by ways"
+        );
         let n_sets = n_lines as usize / ways;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Self {
@@ -129,22 +138,24 @@ impl Cache {
         }
         self.stats.misses += 1;
         // Victim: invalid way first, else LRU.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("nonzero ways")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("nonzero ways")
+        });
         let victim = set[victim_idx];
         let writeback = (victim.valid && victim.dirty).then(|| {
             self.stats.writebacks += 1;
             ((victim.tag << self.set_bits) | set_idx as u64) << self.line_bits
         });
-        set[victim_idx] = Line { tag, valid: true, dirty: is_write, last_use: self.tick };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_use: self.tick,
+        };
         CacheAccess::Miss { writeback }
     }
 
@@ -175,7 +186,12 @@ impl MetadataCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "metadata cache needs at least one entry");
-        Self { entries: Vec::with_capacity(capacity), capacity, tick: 0, stats: CacheStats::default() }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Looks up (and on miss, fills) the metadata line `line_addr`.
@@ -245,7 +261,9 @@ mod tests {
         assert!(!c.access(0x000, true).is_hit());
         // Same set (set 0): 0x000 and 0x080 collide.
         match c.access(0x080, false) {
-            CacheAccess::Miss { writeback: Some(victim) } => assert_eq!(victim, 0x000),
+            CacheAccess::Miss {
+                writeback: Some(victim),
+            } => assert_eq!(victim, 0x000),
             other => panic!("{other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);

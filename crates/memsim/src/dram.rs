@@ -74,7 +74,10 @@ pub struct EccLatency {
 
 impl EccLatency {
     /// No ECC on the interface.
-    pub const NONE: Self = Self { encode: 0, correct: 0 };
+    pub const NONE: Self = Self {
+        encode: 0,
+        correct: 0,
+    };
 }
 
 /// Operation counters.
@@ -150,7 +153,10 @@ impl Dram {
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
         let row_addr = addr / self.config.row_bytes;
-        ((row_addr % self.config.banks as u64) as usize, row_addr / self.config.banks as u64)
+        (
+            (row_addr % self.config.banks as u64) as usize,
+            row_addr / self.config.banks as u64,
+        )
     }
 
     /// Applies pending refreshes up to `now`, returning the time the channel
@@ -226,7 +232,10 @@ mod tests {
 
     #[test]
     fn closed_page_never_hits_or_conflicts() {
-        let config = DramConfig { page_policy: PagePolicy::Closed, ..DramConfig::default() };
+        let config = DramConfig {
+            page_policy: PagePolicy::Closed,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(config, EccLatency::NONE);
         let c = d.config;
         let first = d.read(0, 0);
@@ -283,7 +292,13 @@ mod tests {
     #[test]
     fn ecc_latency_applies() {
         let mut plain = dram();
-        let mut ecc = Dram::new(DramConfig::default(), EccLatency { encode: 4, correct: 3 });
+        let mut ecc = Dram::new(
+            DramConfig::default(),
+            EccLatency {
+                encode: 4,
+                correct: 3,
+            },
+        );
         let r0 = plain.read(0, 0);
         let r1 = ecc.read(0, 0);
         assert_eq!(r1 - r0, 3);

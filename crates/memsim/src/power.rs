@@ -65,13 +65,7 @@ impl DramPowerModel {
     /// # Panics
     ///
     /// Panics if `cycles` is zero.
-    pub fn report(
-        &self,
-        stats: &DramStats,
-        cycles: u64,
-        cpu_ghz: f64,
-        ecc_mw: f64,
-    ) -> PowerReport {
+    pub fn report(&self, stats: &DramStats, cycles: u64, cpu_ghz: f64, ecc_mw: f64) -> PowerReport {
         assert!(cycles > 0, "cannot compute power over zero time");
         let seconds = cycles as f64 / (cpu_ghz * 1e9);
         let dynamic_nj = stats.activates as f64 * self.act_nj
@@ -100,8 +94,16 @@ mod tests {
     #[test]
     fn more_traffic_more_power() {
         let model = DramPowerModel::default();
-        let light = DramStats { reads: 1_000, activates: 500, ..Default::default() };
-        let heavy = DramStats { reads: 100_000, activates: 50_000, ..Default::default() };
+        let light = DramStats {
+            reads: 1_000,
+            activates: 500,
+            ..Default::default()
+        };
+        let heavy = DramStats {
+            reads: 100_000,
+            activates: 50_000,
+            ..Default::default()
+        };
         let p_light = model.report(&light, 10_000_000, 3.4, 0.0);
         let p_heavy = model.report(&heavy, 10_000_000, 3.4, 0.0);
         assert!(p_heavy.dram_mw() > p_light.dram_mw());
@@ -129,7 +131,10 @@ mod tests {
     #[test]
     fn ecc_power_adds_to_total() {
         let model = DramPowerModel::default();
-        let stats = DramStats { reads: 10, ..Default::default() };
+        let stats = DramStats {
+            reads: 10,
+            ..Default::default()
+        };
         let a = model.report(&stats, 1000, 3.4, 0.0);
         let b = model.report(&stats, 1000, 3.4, 28.0);
         assert!((b.total_mw() - a.total_mw() - 28.0).abs() < 1e-9);

@@ -154,7 +154,9 @@ impl System {
     pub fn new(config: SystemConfig) -> Self {
         let line = config.line_bytes;
         let meta_cache = match config.tagging {
-            TagStorage::Disjoint { cache_entries: Some(n) } => Some(MetadataCache::new(n)),
+            TagStorage::Disjoint {
+                cache_entries: Some(n),
+            } => Some(MetadataCache::new(n)),
             _ => None,
         };
         Self {
@@ -326,7 +328,10 @@ mod tests {
     fn streaming_workload_hits_dram_hard() {
         // 519.lbm_r: large streaming footprint (small L3 so the run fills
         // it and produces dirty evictions).
-        let config = SystemConfig { l3_bytes: 1024 * 1024, ..SystemConfig::default() };
+        let config = SystemConfig {
+            l3_bytes: 1024 * 1024,
+            ..SystemConfig::default()
+        };
         let mut system = System::new(config);
         let mut workload = Workload::new(spec2017_profiles()[8], 42);
         let warm = system.run(&mut workload, 40_000);
@@ -343,7 +348,10 @@ mod tests {
         let base = small_run(SystemConfig::default(), 8, 30_000);
         let ecc = small_run(
             SystemConfig {
-                ecc: EccLatency { encode: 4, correct: 0 },
+                ecc: EccLatency {
+                    encode: 4,
+                    correct: 0,
+                },
                 ..SystemConfig::default()
             },
             8,
@@ -358,7 +366,10 @@ mod tests {
         let base = small_run(SystemConfig::default(), 8, 30_000);
         let corr = small_run(
             SystemConfig {
-                ecc: EccLatency { encode: 4, correct: 4 },
+                ecc: EccLatency {
+                    encode: 4,
+                    correct: 4,
+                },
                 ..SystemConfig::default()
             },
             8,
@@ -371,13 +382,18 @@ mod tests {
     #[test]
     fn disjoint_tags_add_metadata_traffic() {
         let inline = small_run(
-            SystemConfig { tagging: TagStorage::InlineEcc, ..SystemConfig::default() },
+            SystemConfig {
+                tagging: TagStorage::InlineEcc,
+                ..SystemConfig::default()
+            },
             8,
             30_000,
         );
         let disjoint = small_run(
             SystemConfig {
-                tagging: TagStorage::Disjoint { cache_entries: None },
+                tagging: TagStorage::Disjoint {
+                    cache_entries: None,
+                },
                 ..SystemConfig::default()
             },
             8,
@@ -386,7 +402,10 @@ mod tests {
         assert_eq!(inline.metadata_dram_reads, 0);
         assert_eq!(disjoint.metadata_dram_reads, disjoint.llc_misses);
         assert!(disjoint.dram.reads > inline.dram.reads);
-        assert!(disjoint.cycles > inline.cycles, "contention slows the demand path");
+        assert!(
+            disjoint.cycles > inline.cycles,
+            "contention slows the demand path"
+        );
     }
 
     #[test]
@@ -396,7 +415,9 @@ mod tests {
         // 67% -> 12% reduction).
         let cached = small_run(
             SystemConfig {
-                tagging: TagStorage::Disjoint { cache_entries: Some(32) },
+                tagging: TagStorage::Disjoint {
+                    cache_entries: Some(32),
+                },
                 ..SystemConfig::default()
             },
             8,
@@ -410,11 +431,22 @@ mod tests {
     fn metadata_orderings_match_figure7() {
         // rd+wr traffic: MUSE (inline) < cached MT < uncached MT.
         let mk = |tagging| {
-            small_run(SystemConfig { tagging, ..SystemConfig::default() }, 4, 25_000)
+            small_run(
+                SystemConfig {
+                    tagging,
+                    ..SystemConfig::default()
+                },
+                4,
+                25_000,
+            )
         };
         let inline = mk(TagStorage::InlineEcc);
-        let cached = mk(TagStorage::Disjoint { cache_entries: Some(32) });
-        let uncached = mk(TagStorage::Disjoint { cache_entries: None });
+        let cached = mk(TagStorage::Disjoint {
+            cache_entries: Some(32),
+        });
+        let uncached = mk(TagStorage::Disjoint {
+            cache_entries: None,
+        });
         let ops = |s: &RunStats| s.dram.operations();
         assert!(ops(&inline) < ops(&cached));
         assert!(ops(&cached) < ops(&uncached));
@@ -424,10 +456,15 @@ mod tests {
     fn prefetch_helps_streaming() {
         // 519.lbm_r streams: the next-line prefetcher converts most demand
         // misses into LLC hits.
-        let base_cfg = SystemConfig { l3_bytes: 1024 * 1024, ..SystemConfig::default() };
+        let base_cfg = SystemConfig {
+            l3_bytes: 1024 * 1024,
+            ..SystemConfig::default()
+        };
         let run = |prefetch| {
-            let mut system =
-                System::new(SystemConfig { prefetch_next_line: prefetch, ..base_cfg });
+            let mut system = System::new(SystemConfig {
+                prefetch_next_line: prefetch,
+                ..base_cfg
+            });
             let mut w = Workload::new(spec2017_profiles()[8], 42);
             let warm = system.run(&mut w, 30_000);
             system.run(&mut w, 30_000).since(&warm)
@@ -437,7 +474,10 @@ mod tests {
         assert_eq!(off.prefetches, 0);
         assert!(on.prefetches > 0);
         assert!(on.llc_misses < off.llc_misses, "prefetch absorbs misses");
-        assert!(on.cycles < off.cycles, "and saves time on a streaming workload");
+        assert!(
+            on.cycles < off.cycles,
+            "and saves time on a streaming workload"
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Trace {
                     message: format!("unexpected trailing token {extra:?}"),
                 });
             }
-            ops.push(MemOp { addr, is_write, gap_insts });
+            ops.push(MemOp {
+                addr,
+                is_write,
+                gap_insts,
+            });
         }
         Ok(Self { ops })
     }
@@ -159,7 +163,14 @@ mod tests {
     fn comments_defaults_and_case() {
         let trace = Trace::parse("# header\n\nr 0xABC # inline comment\nw 0xDEF\n").unwrap();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace.ops()[0], MemOp { addr: 0xABC, is_write: false, gap_insts: 2 });
+        assert_eq!(
+            trace.ops()[0],
+            MemOp {
+                addr: 0xABC,
+                is_write: false,
+                gap_insts: 2
+            }
+        );
         assert!(trace.ops()[1].is_write);
     }
 
@@ -169,9 +180,18 @@ mod tests {
         assert_eq!(e.line, 2);
         assert!(e.message.contains("expected R or W"));
         assert_eq!(Trace::parse("R\n").unwrap_err().line, 1);
-        assert!(Trace::parse("R zz").unwrap_err().message.contains("bad address"));
-        assert!(Trace::parse("R 0x1 2 3").unwrap_err().message.contains("trailing"));
-        assert!(Trace::parse("W 0x1 x").unwrap_err().message.contains("bad gap"));
+        assert!(Trace::parse("R zz")
+            .unwrap_err()
+            .message
+            .contains("bad address"));
+        assert!(Trace::parse("R 0x1 2 3")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(Trace::parse("W 0x1 x")
+            .unwrap_err()
+            .message
+            .contains("bad gap"));
     }
 
     #[test]

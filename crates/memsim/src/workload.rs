@@ -84,7 +84,11 @@ impl Workload {
             self.rng.below(p.footprint_lines)
         };
         let is_write = self.rng.f64() < p.write_fraction;
-        MemOp { addr: self.base + line * 64, is_write, gap_insts }
+        MemOp {
+            addr: self.base + line * 64,
+            is_write,
+            gap_insts,
+        }
     }
 }
 
@@ -105,7 +109,15 @@ pub fn spec2017_profiles() -> Vec<WorkloadProfile> {
         profile("502.gcc_r", 0.38, 0.30, 60 * MB, 0.90, 200 * KB, 0.60),
         profile("503.bwaves_r", 0.42, 0.20, 180 * MB, 0.55, 100 * KB, 0.85),
         profile("505.mcf_r", 0.40, 0.25, 300 * MB, 0.55, 64 * KB, 0.10),
-        profile("507.cactuBSSN_r", 0.40, 0.25, 160 * MB, 0.70, 120 * KB, 0.70),
+        profile(
+            "507.cactuBSSN_r",
+            0.40,
+            0.25,
+            160 * MB,
+            0.70,
+            120 * KB,
+            0.70,
+        ),
         profile("508.namd_r", 0.36, 0.20, 48 * MB, 0.97, 150 * KB, 0.70),
         profile("510.parest_r", 0.38, 0.22, 120 * MB, 0.82, 140 * KB, 0.70),
         profile("511.povray_r", 0.34, 0.30, 8 * MB, 0.995, 100 * KB, 0.50),
@@ -198,7 +210,10 @@ mod tests {
         let mut w = Workload::new(p, 3);
         let writes = (0..20_000).filter(|_| w.next_op().is_write).count();
         let frac = writes as f64 / 20_000.0;
-        assert!((frac - p.write_fraction).abs() < 0.02, "write fraction {frac}");
+        assert!(
+            (frac - p.write_fraction).abs() < 0.02,
+            "write fraction {frac}"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub fn verify_single_symbol_coverage(code: &MuseCode, payload: &Word) -> Result<
             continue;
         }
         match code.decode(&corrupted) {
-            Decoded::Corrected { payload: p, symbol, .. } => {
+            Decoded::Corrected {
+                payload: p, symbol, ..
+            } => {
                 if p != *payload {
                     return Err(format!("error {} miscorrected", ev.value));
                 }
@@ -138,11 +140,17 @@ mod tests {
     fn entries_split_evenly_for_uniform_codes() {
         let counts = entries_per_symbol(&presets::muse_144_132());
         assert_eq!(counts.len(), 36);
-        assert!(counts.iter().all(|&c| c == 30), "contiguous 4-bit symbols: 30 each");
+        assert!(
+            counts.iter().all(|&c| c == 30),
+            "contiguous 4-bit symbols: 30 each"
+        );
 
         let counts = entries_per_symbol(&presets::muse_80_67());
         assert_eq!(counts.len(), 10);
-        assert!(counts.iter().all(|&c| c == 255), "asym 8-bit symbols: 255 each");
+        assert!(
+            counts.iter().all(|&c| c == 255),
+            "asym 8-bit symbols: 255 each"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl std::fmt::Display for BuildError {
         match self {
             Self::Layout(e) => write!(f, "layout error: {e}"),
             Self::NoMultiplier { redundancy_bits } => {
-                write!(f, "no valid {redundancy_bits}-bit multiplier exists for this layout")
+                write!(
+                    f,
+                    "no valid {redundancy_bits}-bit multiplier exists for this layout"
+                )
             }
             Self::Code(e) => write!(f, "code error: {e}"),
         }
@@ -186,7 +189,9 @@ impl CodeBuilder {
             Some(m) => m,
             None => *find_multipliers(&map, &model, self.redundancy_bits, self.search)
                 .last()
-                .ok_or(BuildError::NoMultiplier { redundancy_bits: self.redundancy_bits })?,
+                .ok_or(BuildError::NoMultiplier {
+                    redundancy_bits: self.redundancy_bits,
+                })?,
         };
         Ok(MuseCode::new(map, model, m)?)
     }
@@ -198,7 +203,11 @@ mod tests {
 
     #[test]
     fn builder_reproduces_presets() {
-        let code = CodeBuilder::new(144).symbol_bits(4).redundancy_bits(12).build().unwrap();
+        let code = CodeBuilder::new(144)
+            .symbol_bits(4)
+            .redundancy_bits(12)
+            .build()
+            .unwrap();
         assert_eq!(code.multiplier(), 4065); // largest of the 25
         assert_eq!(code.name(), "MUSE(144,132)");
 
@@ -214,14 +223,26 @@ mod tests {
 
     #[test]
     fn builder_with_explicit_multiplier_skips_search() {
-        let code = CodeBuilder::new(80).multiplier(2005).redundancy_bits(11).build().unwrap();
+        let code = CodeBuilder::new(80)
+            .multiplier(2005)
+            .redundancy_bits(11)
+            .build()
+            .unwrap();
         assert_eq!(code.name(), "MUSE(80,69)");
     }
 
     #[test]
     fn builder_rejects_exhausted_search() {
-        let err = CodeBuilder::new(144).redundancy_bits(10).build().unwrap_err();
-        assert_eq!(err, BuildError::NoMultiplier { redundancy_bits: 10 });
+        let err = CodeBuilder::new(144)
+            .redundancy_bits(10)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::NoMultiplier {
+                redundancy_bits: 10
+            }
+        );
     }
 
     #[test]

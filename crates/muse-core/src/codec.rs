@@ -13,8 +13,8 @@
 use std::fmt;
 
 use crate::{
-    ErrorLookup, ErrorModel, ErrorValueInt, FastMod, FastModError, MultiplierRejection,
-    SymbolMap, Word,
+    ErrorLookup, ErrorModel, ErrorValueInt, FastMod, FastModError, MultiplierRejection, SymbolMap,
+    SyndromeKernel, Word,
 };
 
 /// Error constructing a [`MuseCode`].
@@ -38,7 +38,10 @@ impl fmt::Display for CodeError {
         match self {
             Self::InvalidMultiplier(r) => write!(f, "invalid multiplier: {r}"),
             Self::RedundancyTooLarge { n_bits, redundancy } => {
-                write!(f, "redundancy {redundancy} leaves no data bits in {n_bits}-bit codeword")
+                write!(
+                    f,
+                    "redundancy {redundancy} leaves no data bits in {n_bits}-bit codeword"
+                )
             }
             Self::FastMod(e) => write!(f, "fast-modulo derivation failed: {e}"),
         }
@@ -125,6 +128,7 @@ pub struct MuseCode {
     model: ErrorModel,
     elc: ErrorLookup,
     fastmod: FastMod,
+    kernel: Option<SyndromeKernel>,
 }
 
 impl MuseCode {
@@ -141,13 +145,29 @@ impl MuseCode {
         let n_bits = map.n_bits();
         let r_bits = 64 - m.leading_zeros();
         if r_bits >= n_bits {
-            return Err(CodeError::RedundancyTooLarge { n_bits, redundancy: r_bits });
+            return Err(CodeError::RedundancyTooLarge {
+                n_bits,
+                redundancy: r_bits,
+            });
         }
         let elc = ErrorLookup::build(&map, &model, m)?;
         let fastmod = FastMod::minimal(m, n_bits)?;
+        let kernel =
+            SyndromeKernel::supports(&map, m).then(|| SyndromeKernel::build(&map, &elc, m, r_bits));
         let k_bits = n_bits - r_bits;
         let name = format!("MUSE({n_bits},{k_bits})");
-        Ok(Self { name, n_bits, k_bits, r_bits, m, map, model, elc, fastmod })
+        Ok(Self {
+            name,
+            n_bits,
+            k_bits,
+            r_bits,
+            m,
+            map,
+            model,
+            elc,
+            fastmod,
+            kernel,
+        })
     }
 
     /// `MUSE(n,k)` display name.
@@ -197,6 +217,28 @@ impl MuseCode {
         &self.elc
     }
 
+    /// The incremental residue-syndrome kernel precomputed for this code
+    /// (per-symbol residue tables + fast ELC transitions). This is the
+    /// simulators' hot path: see [`SyndromeKernel`].
+    ///
+    /// `None` when the layout is outside the kernel's tabulation limits
+    /// ([`SyndromeKernel::supports`]); such codes still encode and decode
+    /// through the wide path, and the simulators fall back to wide-word
+    /// trials.
+    pub fn kernel(&self) -> Option<&SyndromeKernel> {
+        self.kernel.as_ref()
+    }
+
+    /// Drops the precomputed kernel, forcing the simulators onto their
+    /// wide-word fallback path.
+    ///
+    /// A test/benchmark hook (used to exercise and time the fallback); not
+    /// useful in production.
+    #[doc(hidden)]
+    pub fn disable_syndrome_kernel(&mut self) {
+        self.kernel = None;
+    }
+
     /// The PST classification name, e.g. `C4B` (Section IV).
     pub fn class_name(&self) -> String {
         let bits = self.map.bits_of(0).len() as u32;
@@ -229,7 +271,9 @@ impl MuseCode {
     pub fn decode(&self, codeword: &Word) -> Decoded {
         let rem = self.remainder(codeword);
         if rem == 0 {
-            return Decoded::Clean { payload: *codeword >> self.r_bits };
+            return Decoded::Clean {
+                payload: *codeword >> self.r_bits,
+            };
         }
         let Some(entry) = self.elc.lookup(rem) else {
             return Decoded::Detected; // no matching remainder (Fig. 4, method 1)
@@ -309,7 +353,10 @@ impl MuseCode {
     ///
     /// Panics if `k < 64` or the metadata exceeds the spare bits.
     pub fn pack_metadata(&self, data: u64, metadata: u64) -> Word {
-        assert!(self.k_bits >= 64, "payload too narrow for a 64-bit data word");
+        assert!(
+            self.k_bits >= 64,
+            "payload too narrow for a 64-bit data word"
+        );
         assert!(
             metadata == 0 || 64 - metadata.leading_zeros() <= self.spare_bits(),
             "metadata wider than the {} spare bits",
@@ -385,7 +432,9 @@ mod tests {
                     }
                 }
                 match code.decode(&corrupted) {
-                    Decoded::Corrected { payload: p, symbol, .. } => {
+                    Decoded::Corrected {
+                        payload: p, symbol, ..
+                    } => {
                         assert_eq!(p, payload, "sym {sym} pattern {pattern:04b}");
                         assert_eq!(symbol, sym);
                     }
@@ -508,6 +557,9 @@ mod tests {
             }
         }
         assert_eq!(detected + miscorrected, total);
-        assert!(detected * 2 > total, "most double-device errors are detected");
+        assert!(
+            detected * 2 > total,
+            "most double-device errors are detected"
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! CAM; in software a dense table indexed by remainder.
 
 use crate::{
-    enumerate_error_values, ErrorModel, ErrorValue, ErrorValueInt, MultiplierRejection,
-    SymbolMap,
+    enumerate_error_values, ErrorModel, ErrorValue, ErrorValueInt, MultiplierRejection, SymbolMap,
 };
 
 /// One ELC entry: the error value to subtract and the symbol it is confined
@@ -51,11 +50,7 @@ impl ErrorLookup {
     ///
     /// Returns a [`MultiplierRejection`] if `m` is not a valid multiplier
     /// for the layout.
-    pub fn build(
-        map: &SymbolMap,
-        model: &ErrorModel,
-        m: u64,
-    ) -> Result<Self, MultiplierRejection> {
+    pub fn build(map: &SymbolMap, model: &ErrorModel, m: u64) -> Result<Self, MultiplierRejection> {
         Self::from_values(&enumerate_error_values(map, model), m)
     }
 
@@ -64,10 +59,7 @@ impl ErrorLookup {
     /// # Errors
     ///
     /// Returns a [`MultiplierRejection`] if `m` is not valid over `values`.
-    pub fn from_values(
-        values: &[ErrorValue],
-        m: u64,
-    ) -> Result<Self, MultiplierRejection> {
+    pub fn from_values(values: &[ErrorValue], m: u64) -> Result<Self, MultiplierRejection> {
         let mut table: Vec<Option<CorrectionEntry>> = vec![None; m as usize];
         let mut first_idx: Vec<u32> = vec![u32::MAX; m as usize];
         for (idx, ev) in values.iter().enumerate() {
@@ -87,7 +79,11 @@ impl ErrorLookup {
             });
             first_idx[rem as usize] = idx as u32;
         }
-        Ok(Self { m, table, entries: values.len() })
+        Ok(Self {
+            m,
+            table,
+            entries: values.len(),
+        })
     }
 
     /// The multiplier this lookup was built for.

@@ -184,10 +184,7 @@ mod tests {
     #[test]
     fn offset_symbol_scales_values() {
         let vals = values_i128(&[4, 5, 6, 7], Direction::Bidirectional);
-        let expect: Vec<i128> = (-15..=15)
-            .filter(|&v| v != 0)
-            .map(|v| v * 16)
-            .collect();
+        let expect: Vec<i128> = (-15..=15).filter(|&v| v != 0).map(|v| v * 16).collect();
         assert_eq!(vals, expect);
     }
 

@@ -95,7 +95,12 @@ impl FastMod {
             let n_mask = U320::mask(n_bits);
             let (lhs, overflow) = n_mask.overflowing_mul_u64(excess);
             if overflow == 0 && lhs < pow {
-                return Ok(Self { m, shift, inverse, n_bits });
+                return Ok(Self {
+                    m,
+                    shift,
+                    inverse,
+                    n_bits,
+                });
             }
         }
         Err(FastModError::NoValidShift)
@@ -169,7 +174,12 @@ mod tests {
 
     /// Table III of the paper: multiplier, inverse value, shift.
     const TABLE3: &[(u64, &str, u32, u32)] = &[
-        (4065, "22470812382086453231913973442747278899998963", 156, 144),
+        (
+            4065,
+            "22470812382086453231913973442747278899998963",
+            156,
+            144,
+        ),
         (2005, "77178306688614730355307", 87, 80),
         (5621, "1761878725188230243585305", 93, 80),
         (821, "753922070210341214920295", 89, 80),

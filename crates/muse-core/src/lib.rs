@@ -50,20 +50,24 @@ pub mod presets;
 mod search;
 pub mod spec;
 mod symbol;
+mod syndrome;
 
 pub use builder::{BuildError, CodeBuilder, Shuffle};
 pub use codec::{CodeError, Decoded, MuseCode};
 pub use elc::{CorrectionEntry, ErrorLookup};
-pub use errval::{enumerate_error_values, positive_value_histogram, symbol_error_values, ErrorValue};
+pub use errval::{
+    enumerate_error_values, positive_value_histogram, symbol_error_values, ErrorValue,
+};
 pub use fastmod::{FastMod, FastModError};
 pub use line::{DecodedLine, LineCodec, LineCodecError, WORDS_PER_LINE};
 pub use model::{Direction, ErrorModel, ErrorTerm};
-pub use spec::ParseSpecError;
 pub use search::{
     find_multipliers, validate_multiplier, validate_multiplier_over, MultiplierRejection,
-    SearchOptions,
+    MultiplierValidator, SearchOptions,
 };
+pub use spec::ParseSpecError;
 pub use symbol::{SymbolMap, SymbolMapError};
+pub use syndrome::{FastDecode, SyndromeKernel};
 
 /// The codeword carrier: 320 bits covers every code in the paper (the widest
 /// is the 268-bit PIM codeword).

@@ -84,7 +84,9 @@ impl LineCodec {
     /// Fails when the code's payload is narrower than a 64-bit word.
     pub fn new(code: MuseCode) -> Result<Self, LineCodecError> {
         if code.k_bits() < 64 {
-            return Err(LineCodecError::PayloadTooNarrow { k_bits: code.k_bits() });
+            return Err(LineCodecError::PayloadTooNarrow {
+                k_bits: code.k_bits(),
+            });
         }
         Ok(Self { code })
     }
@@ -112,7 +114,11 @@ impl LineCodec {
             "metadata exceeds the {cap}-bit line capacity"
         );
         let spare = self.code.spare_bits();
-        let mask = if spare >= 64 { u64::MAX } else { (1u64 << spare) - 1 };
+        let mask = if spare >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << spare) - 1
+        };
         (0..WORDS_PER_LINE)
             .map(|i| {
                 let slice = if spare == 0 {
@@ -145,7 +151,9 @@ impl LineCodec {
             let payload = match self.code.decode(cw) {
                 Decoded::Detected => return Err(LineCodecError::Uncorrectable { word: i }),
                 Decoded::Clean { payload } => payload,
-                Decoded::Corrected { payload, symbol, .. } => {
+                Decoded::Corrected {
+                    payload, symbol, ..
+                } => {
                     corrections.push((i, symbol));
                     payload
                 }
@@ -156,7 +164,11 @@ impl LineCodec {
                 metadata |= meta << (spare * i as u32);
             }
         }
-        Ok(DecodedLine { data, metadata, corrections })
+        Ok(DecodedLine {
+            data,
+            metadata,
+            corrections,
+        })
     }
 }
 
@@ -172,10 +184,25 @@ mod tests {
     #[test]
     fn capacity_accounting() {
         assert_eq!(codec().metadata_bits(), 40);
-        assert_eq!(LineCodec::new(presets::muse_80_67()).unwrap().metadata_bits(), 24);
-        assert_eq!(LineCodec::new(presets::muse_80_70()).unwrap().metadata_bits(), 48);
+        assert_eq!(
+            LineCodec::new(presets::muse_80_67())
+                .unwrap()
+                .metadata_bits(),
+            24
+        );
+        assert_eq!(
+            LineCodec::new(presets::muse_80_70())
+                .unwrap()
+                .metadata_bits(),
+            48
+        );
         assert!(matches!(
-            LineCodec::new(crate::CodeBuilder::new(48).redundancy_bits(11).build().unwrap()),
+            LineCodec::new(
+                crate::CodeBuilder::new(48)
+                    .redundancy_bits(11)
+                    .build()
+                    .unwrap()
+            ),
             Err(LineCodecError::PayloadTooNarrow { .. })
         ));
     }
@@ -209,9 +236,8 @@ mod tests {
     fn uncorrectable_word_reported() {
         let codec = codec();
         let mut stored = codec.encode_line(&[0u64; 8], 0);
-        stored[4] = stored[4]
-            ^ *codec.code().symbol_map().mask(1)
-            ^ *codec.code().symbol_map().mask(8);
+        stored[4] =
+            stored[4] ^ *codec.code().symbol_map().mask(1) ^ *codec.code().symbol_map().mask(8);
         match codec.decode_line(&stored) {
             Err(LineCodecError::Uncorrectable { word: 4 }) => {}
             other => {

@@ -71,7 +71,9 @@ impl ErrorModel {
     /// Symbol-confined errors with the given direction
     /// (`C<s>B` / `C<s>A`).
     pub fn symbol(direction: Direction) -> Self {
-        Self { terms: vec![ErrorTerm::Symbol(direction)] }
+        Self {
+            terms: vec![ErrorTerm::Symbol(direction)],
+        }
     }
 
     /// The paper's hybrid model for MUSE(80,70): asymmetric (1→0)
@@ -148,7 +150,10 @@ mod tests {
     fn paper_names() {
         assert_eq!(ErrorModel::symbol(Direction::Bidirectional).name(4), "C4B");
         assert_eq!(ErrorModel::symbol(Direction::OneToZero).name(8), "C8A");
-        assert_eq!(ErrorModel::hybrid_symbol_plus_single_bit().name(4), "C4A_U1B");
+        assert_eq!(
+            ErrorModel::hybrid_symbol_plus_single_bit().name(4),
+            "C4A_U1B"
+        );
     }
 
     #[test]

@@ -67,11 +67,7 @@ fn bidirectional() -> ErrorModel {
     ErrorModel::symbol(Direction::Bidirectional)
 }
 
-fn build(
-    map: Result<SymbolMap, crate::SymbolMapError>,
-    model: ErrorModel,
-    m: u64,
-) -> MuseCode {
+fn build(map: Result<SymbolMap, crate::SymbolMapError>, model: ErrorModel, m: u64) -> MuseCode {
     MuseCode::new(map.expect("preset layout is valid"), model, m)
         .expect("preset multiplier is valid")
 }

@@ -42,31 +42,113 @@ impl fmt::Display for MultiplierRejection {
 
 impl std::error::Error for MultiplierRejection {}
 
+/// Generation-stamped remainder-ownership scratch, reused across the
+/// thousands of candidates a search checks: no per-candidate allocation and
+/// no O(m) refill — beginning a new candidate just bumps a generation
+/// counter.
+#[derive(Debug, Clone, Default)]
+struct StampedOwner {
+    owner: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl StampedOwner {
+    /// Prepares for a candidate with modulus `m`.
+    fn begin(&mut self, m: u64) {
+        let m = m as usize;
+        if self.owner.len() < m {
+            self.owner.resize(m, 0);
+            self.stamp.resize(m, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: old stamps could alias; clear once per 2^32.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Claims `rem` for value `idx`; returns the previous claimant of this
+    /// candidate, if any.
+    #[inline]
+    fn claim(&mut self, rem: usize, idx: u32) -> Option<u32> {
+        if self.stamp[rem] == self.generation {
+            return Some(self.owner[rem]);
+        }
+        self.stamp[rem] = self.generation;
+        self.owner[rem] = idx;
+        None
+    }
+}
+
+/// Reusable multiplier validator: owns the remainder scratch so checking
+/// many candidates against the same (or different) value lists allocates
+/// nothing after the first call.
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::{
+///     enumerate_error_values, Direction, ErrorModel, MultiplierValidator, SymbolMap,
+/// };
+///
+/// # fn main() -> Result<(), muse_core::SymbolMapError> {
+/// let map = SymbolMap::sequential(80, 4)?;
+/// let values = enumerate_error_values(&map, &ErrorModel::symbol(Direction::Bidirectional));
+/// let mut validator = MultiplierValidator::new();
+/// let valid: Vec<u64> = (1025..2048u64)
+///     .step_by(2)
+///     .filter(|&m| validator.validate(&values, m).is_ok())
+///     .collect();
+/// assert_eq!(valid, vec![1491, 1721, 1763, 1833, 1875, 1899, 1955, 2005]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiplierValidator {
+    scratch: StampedOwner,
+}
+
+impl MultiplierValidator {
+    /// An empty validator (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks one multiplier against a pre-enumerated error-value list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MultiplierRejection`] encountered.
+    pub fn validate(&mut self, values: &[ErrorValue], m: u64) -> Result<(), MultiplierRejection> {
+        self.scratch.begin(m);
+        for (idx, ev) in values.iter().enumerate() {
+            let rem = ev.value.rem_euclid_u64(m);
+            if rem == 0 {
+                return Err(MultiplierRejection::ZeroRemainder { value_index: idx });
+            }
+            if let Some(first) = self.scratch.claim(rem as usize, idx as u32) {
+                return Err(MultiplierRejection::Collision {
+                    first: first as usize,
+                    second: idx,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Checks a single multiplier against a pre-enumerated error-value list.
+///
+/// For repeated checks, hold a [`MultiplierValidator`] instead — this
+/// convenience wrapper sets up fresh scratch per call.
 ///
 /// # Errors
 ///
 /// Returns the first [`MultiplierRejection`] encountered.
-pub fn validate_multiplier_over(
-    values: &[ErrorValue],
-    m: u64,
-) -> Result<(), MultiplierRejection> {
-    let mut owner: Vec<u32> = vec![u32::MAX; m as usize];
-    for (idx, ev) in values.iter().enumerate() {
-        let rem = ev.value.rem_euclid_u64(m);
-        if rem == 0 {
-            return Err(MultiplierRejection::ZeroRemainder { value_index: idx });
-        }
-        let slot = &mut owner[rem as usize];
-        if *slot != u32::MAX {
-            return Err(MultiplierRejection::Collision {
-                first: *slot as usize,
-                second: idx,
-            });
-        }
-        *slot = idx as u32;
-    }
-    Ok(())
+pub fn validate_multiplier_over(values: &[ErrorValue], m: u64) -> Result<(), MultiplierRejection> {
+    MultiplierValidator::new().validate(values, m)
 }
 
 /// Checks whether `m` is a valid multiplier for the layout.
@@ -99,15 +181,13 @@ pub fn validate_multiplier(
 }
 
 /// Options for [`find_multipliers`].
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SearchOptions {
     /// Worker threads (0 ⇒ one per available CPU).
     pub threads: usize,
     /// Stop after this many valid multipliers (0 ⇒ exhaustive).
     pub limit: usize,
 }
-
 
 /// Exhaustively searches the odd `p`-bit multipliers `[2^(p−1)+1, 2^p−1]`
 /// for values that give every error value a unique nonzero remainder
@@ -141,7 +221,10 @@ pub fn find_multipliers(
     p: u32,
     options: SearchOptions,
 ) -> Vec<u64> {
-    assert!(p > 0 && p <= 30, "multiplier width {p} out of the practical range");
+    assert!(
+        p > 0 && p <= 30,
+        "multiplier width {p} out of the practical range"
+    );
     let values = enumerate_error_values(map, model);
     let lo = (1u64 << (p - 1)) + 1;
     let hi = (1u64 << p) - 1;
@@ -193,14 +276,13 @@ fn scan(values: &[ErrorValue], candidates: &[u64]) -> Vec<u64> {
         })
         .collect();
     let mut pow = vec![0u64; n_bits as usize + 1];
-    let mut owner: Vec<u32> = Vec::new();
+    let mut owner = StampedOwner::default();
     for &m in candidates {
         pow[0] = 1 % m;
         for i in 1..pow.len() {
             pow[i] = pow[i - 1] * 2 % m;
         }
-        owner.clear();
-        owner.resize(m as usize, u32::MAX);
+        owner.begin(m);
         let mut ok = true;
         for (idx, (bits, negative)) in decomposed.iter().enumerate() {
             let mut rem: u64 = 0;
@@ -217,12 +299,10 @@ fn scan(values: &[ErrorValue], candidates: &[u64]) -> Vec<u64> {
                 ok = false;
                 break;
             }
-            let slot = &mut owner[rem as usize];
-            if *slot != u32::MAX {
+            if owner.claim(rem as usize, idx as u32).is_some() {
                 ok = false;
                 break;
             }
-            *slot = idx as u32;
         }
         if ok {
             out.push(m);
@@ -280,7 +360,10 @@ mod tests {
     #[test]
     fn search_limit_and_single_thread() {
         let (map, model) = c4b(80);
-        let opts = SearchOptions { threads: 1, limit: 3 };
+        let opts = SearchOptions {
+            threads: 1,
+            limit: 3,
+        };
         let found = find_multipliers(&map, &model, 11, opts);
         assert_eq!(found, vec![1491, 1721, 1763]);
     }
@@ -305,8 +388,12 @@ mod tests {
         let sequential = SymbolMap::sequential(80, 4).unwrap();
         assert!(find_multipliers(&sequential, &model, 10, SearchOptions::default()).is_empty());
 
-        let found =
-            find_multipliers(&SymbolMap::eq6_hybrid_80(), &model, 10, SearchOptions::default());
+        let found = find_multipliers(
+            &SymbolMap::eq6_hybrid_80(),
+            &model,
+            10,
+            SearchOptions::default(),
+        );
         assert_eq!(found, vec![821]);
     }
 
@@ -314,28 +401,49 @@ mod tests {
     fn rejection_reasons_are_reported() {
         use crate::{ErrorValue, ErrorValueInt};
         // Zero remainder: an error value divisible by m.
-        let divisible = vec![ErrorValue { value: ErrorValueInt::from(3 * 1025), symbol: 0 }];
+        let divisible = vec![ErrorValue {
+            value: ErrorValueInt::from(3 * 1025),
+            symbol: 0,
+        }];
         assert_eq!(
             validate_multiplier_over(&divisible, 1025),
             Err(MultiplierRejection::ZeroRemainder { value_index: 0 })
         );
         // Collision: two values congruent mod m.
         let colliding = vec![
-            ErrorValue { value: ErrorValueInt::from(7), symbol: 0 },
-            ErrorValue { value: ErrorValueInt::from(7 + 1025), symbol: 1 },
+            ErrorValue {
+                value: ErrorValueInt::from(7),
+                symbol: 0,
+            },
+            ErrorValue {
+                value: ErrorValueInt::from(7 + 1025),
+                symbol: 1,
+            },
         ];
         assert_eq!(
             validate_multiplier_over(&colliding, 1025),
-            Err(MultiplierRejection::Collision { first: 0, second: 1 })
+            Err(MultiplierRejection::Collision {
+                first: 0,
+                second: 1
+            })
         );
         // A negative value collides with its positive complement image.
         let signed = vec![
-            ErrorValue { value: ErrorValueInt::from(-3), symbol: 0 },
-            ErrorValue { value: ErrorValueInt::from(1022), symbol: 1 },
+            ErrorValue {
+                value: ErrorValueInt::from(-3),
+                symbol: 0,
+            },
+            ErrorValue {
+                value: ErrorValueInt::from(1022),
+                symbol: 1,
+            },
         ];
         assert_eq!(
             validate_multiplier_over(&signed, 1025),
-            Err(MultiplierRejection::Collision { first: 0, second: 1 })
+            Err(MultiplierRejection::Collision {
+                first: 0,
+                second: 1
+            })
         );
         // For an all-positive-power layout, odd multipliers can never hit a
         // zero remainder (values are Δ·2^i with Δ < m), only collisions:
@@ -343,7 +451,10 @@ mod tests {
         let values = enumerate_error_values(&map, &model);
         for m in (1025u64..2048).step_by(2) {
             if let Err(rejection) = validate_multiplier_over(&values, m) {
-                assert!(matches!(rejection, MultiplierRejection::Collision { .. }), "m={m}");
+                assert!(
+                    matches!(rejection, MultiplierRejection::Collision { .. }),
+                    "m={m}"
+                );
             }
         }
     }
@@ -351,8 +462,24 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let (map, model) = c4b(80);
-        let serial = find_multipliers(&map, &model, 11, SearchOptions { threads: 1, limit: 0 });
-        let parallel = find_multipliers(&map, &model, 11, SearchOptions { threads: 4, limit: 0 });
+        let serial = find_multipliers(
+            &map,
+            &model,
+            11,
+            SearchOptions {
+                threads: 1,
+                limit: 0,
+            },
+        );
+        let parallel = find_multipliers(
+            &map,
+            &model,
+            11,
+            SearchOptions {
+                threads: 4,
+                limit: 0,
+            },
+        );
         assert_eq!(serial, parallel);
     }
 

@@ -39,7 +39,10 @@ impl fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 fn spec_err(line: usize, message: impl Into<String>) -> ParseSpecError {
-    ParseSpecError { line, message: message.into() }
+    ParseSpecError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serializes a code to the portable text format.
@@ -49,8 +52,12 @@ pub fn to_spec_string(code: &MuseCode) -> String {
     out.push_str(&format!("multiplier {}\n", code.multiplier()));
     out.push_str(&format!("model {}\n", code.class_name()));
     for sym in 0..code.symbol_map().num_symbols() {
-        let bits: Vec<String> =
-            code.symbol_map().bits_of(sym).iter().map(|b| b.to_string()).collect();
+        let bits: Vec<String> = code
+            .symbol_map()
+            .bits_of(sym)
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
         out.push_str(&format!("symbol {sym}: {}\n", bits.join(" ")));
     }
     out
@@ -80,8 +87,11 @@ pub fn from_spec_string(text: &str) -> Result<MuseCode, ParseSpecError> {
         let (key, rest) = content.split_once(' ').unwrap_or((content, ""));
         match key {
             "n" => {
-                n_bits =
-                    Some(rest.trim().parse().map_err(|e| spec_err(line, format!("bad n: {e}")))?)
+                n_bits = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|e| spec_err(line, format!("bad n: {e}")))?,
+                )
             }
             "multiplier" => {
                 multiplier = Some(
@@ -114,14 +124,16 @@ pub fn from_spec_string(text: &str) -> Result<MuseCode, ParseSpecError> {
     symbols.sort_by_key(|&(idx, _)| idx);
     for (expect, &(idx, _)) in symbols.iter().enumerate() {
         if idx != expect {
-            return Err(spec_err(0, format!("symbol indices not contiguous at {idx}")));
+            return Err(spec_err(
+                0,
+                format!("symbol indices not contiguous at {idx}"),
+            ));
         }
     }
     let groups: Vec<Vec<u32>> = symbols.into_iter().map(|(_, bits)| bits).collect();
     let map = SymbolMap::from_groups(n_bits, groups)
         .map_err(|e| spec_err(0, format!("invalid layout: {e}")))?;
-    MuseCode::new(map, model, multiplier)
-        .map_err(|e| spec_err(0, format!("invalid code: {e}")))
+    MuseCode::new(map, model, multiplier).map_err(|e| spec_err(0, format!("invalid code: {e}")))
 }
 
 /// Parses a PST model name like `C4B`, `C8A`, or `C4A_U1B`.
@@ -190,7 +202,10 @@ mod tests {
 
     #[test]
     fn roundtrip_every_preset() {
-        for code in presets::table1().into_iter().chain([presets::muse_268_256()]) {
+        for code in presets::table1()
+            .into_iter()
+            .chain([presets::muse_268_256()])
+        {
             let spec = code.to_spec_string();
             let loaded = MuseCode::from_spec_string(&spec)
                 .unwrap_or_else(|e| panic!("{}: {e}", code.name()));
@@ -216,7 +231,9 @@ mod tests {
 
     #[test]
     fn tampered_multiplier_rejected() {
-        let spec = presets::muse_80_69().to_spec_string().replace("2005", "2007");
+        let spec = presets::muse_80_69()
+            .to_spec_string()
+            .replace("2005", "2007");
         let e = MuseCode::from_spec_string(&spec).unwrap_err();
         assert!(e.message.contains("invalid code"), "{e}");
     }
@@ -244,7 +261,8 @@ mod tests {
 
     #[test]
     fn non_contiguous_symbols_rejected() {
-        let spec = "muse-code v1\nn 8\nmultiplier 23\nmodel C4B\nsymbol 0: 0 1 2 3\nsymbol 2: 4 5 6 7\n";
+        let spec =
+            "muse-code v1\nn 8\nmultiplier 23\nmodel C4B\nsymbol 0: 0 1 2 3\nsymbol 2: 4 5 6 7\n";
         let e = MuseCode::from_spec_string(spec).unwrap_err();
         assert!(e.message.contains("contiguous"));
     }

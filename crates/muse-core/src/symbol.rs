@@ -47,11 +47,21 @@ impl fmt::Display for SymbolMapError {
             }
             Self::DuplicateBit(bit) => write!(f, "bit {bit} assigned to more than one symbol"),
             Self::UncoveredBit(bit) => write!(f, "bit {bit} not assigned to any symbol"),
-            Self::UnevenSymbols { n_bits, symbol_bits } => {
-                write!(f, "{n_bits}-bit codeword not divisible into {symbol_bits}-bit symbols")
+            Self::UnevenSymbols {
+                n_bits,
+                symbol_bits,
+            } => {
+                write!(
+                    f,
+                    "{n_bits}-bit codeword not divisible into {symbol_bits}-bit symbols"
+                )
             }
             Self::TooWide { n_bits } => {
-                write!(f, "{n_bits}-bit codeword exceeds the {} bit word width", Word::BITS)
+                write!(
+                    f,
+                    "{n_bits}-bit codeword exceeds the {} bit word width",
+                    Word::BITS
+                )
             }
         }
     }
@@ -96,7 +106,10 @@ impl SymbolMap {
     /// word width.
     pub fn sequential(n_bits: u32, symbol_bits: u32) -> Result<Self, SymbolMapError> {
         if symbol_bits == 0 || !n_bits.is_multiple_of(symbol_bits) {
-            return Err(SymbolMapError::UnevenSymbols { n_bits, symbol_bits });
+            return Err(SymbolMapError::UnevenSymbols {
+                n_bits,
+                symbol_bits,
+            });
         }
         let groups = (0..n_bits / symbol_bits)
             .map(|i| (i * symbol_bits..(i + 1) * symbol_bits).collect())
@@ -115,10 +128,17 @@ impl SymbolMap {
     /// Fails if `n_bits` is not a multiple of `num_symbols`.
     pub fn interleaved(n_bits: u32, num_symbols: u32) -> Result<Self, SymbolMapError> {
         if num_symbols == 0 || !n_bits.is_multiple_of(num_symbols) {
-            return Err(SymbolMapError::UnevenSymbols { n_bits, symbol_bits: num_symbols });
+            return Err(SymbolMapError::UnevenSymbols {
+                n_bits,
+                symbol_bits: num_symbols,
+            });
         }
         let groups = (0..num_symbols)
-            .map(|i| (0..n_bits / num_symbols).map(|k| k * num_symbols + i).collect())
+            .map(|i| {
+                (0..n_bits / num_symbols)
+                    .map(|k| k * num_symbols + i)
+                    .collect()
+            })
             .collect();
         Self::from_groups(n_bits, groups)
     }
@@ -169,7 +189,12 @@ impl SymbolMap {
                 mask
             })
             .collect();
-        Ok(Self { n_bits, symbols: groups, masks, bit_to_symbol })
+        Ok(Self {
+            n_bits,
+            symbols: groups,
+            masks,
+            bit_to_symbol,
+        })
     }
 
     /// Codeword length in bits.
@@ -217,6 +242,21 @@ impl SymbolMap {
                 .enumerate()
                 .all(|(j, &b)| b == i as u32 * bits.len() as u32 + j as u32)
         })
+    }
+
+    /// XORs a symbol-local flip `pattern` (bit `i` of the pattern flips
+    /// the symbol's `i`-th bit position) onto `word` — the canonical way
+    /// the simulators inject a device fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn apply_xor_pattern(&self, word: &mut Word, symbol: usize, pattern: u64) {
+        for (i, &bit) in self.bits_of(symbol).iter().enumerate() {
+            if pattern >> i & 1 == 1 {
+                word.toggle_bit(bit);
+            }
+        }
     }
 
     /// Routes a logical codeword to the storage (wire) layout: device `d`
@@ -313,6 +353,19 @@ mod tests {
             SymbolMap::sequential(400, 4),
             Err(SymbolMapError::TooWide { .. })
         ));
+    }
+
+    #[test]
+    fn apply_xor_pattern_flips_symbol_bits() {
+        let map = SymbolMap::interleaved(80, 10).unwrap();
+        let mut word = Word::ZERO;
+        map.apply_xor_pattern(&mut word, 3, 0b101);
+        // Symbol 3 holds bits {3, 13, 23, ...}; pattern 0b101 flips its
+        // 0th and 2nd positions.
+        assert_eq!(word.count_ones(), 2);
+        assert!(word.bit(3) && word.bit(23));
+        map.apply_xor_pattern(&mut word, 3, 0b101);
+        assert!(word.is_zero(), "applying twice cancels");
     }
 
     #[test]

@@ -1,0 +1,797 @@
+//! Incremental residue-syndrome kernel: decode outcomes without wide words.
+//!
+//! The Monte-Carlo simulators in `muse-faultsim` used to re-encode and fully
+//! decode a 320-bit codeword per trial — a `U320` widening multiply, a wide
+//! Lemire reduction, and a wide correction per sample. This module
+//! precomputes, at [`MuseCode`](crate::MuseCode) construction time, enough
+//! per-symbol structure that a trial runs entirely in small-integer space:
+//!
+//! * **Per-symbol residue tables** — for every symbol `s` and every content
+//!   `x` of its bits, `R_s[x] = (Σ_{i: x_i=1} 2^{B_s[i]}) mod m`, stored as
+//!   one flat array. A freshly encoded codeword has syndrome 0, so after
+//!   XOR-flipping pattern `p` onto a symbol holding content `v`, the
+//!   syndrome moves by `R_s[v ^ p] − R_s[v] (mod m)` — two table lookups
+//!   and a modular add.
+//! * **Fast ELC transitions** — for every ELC remainder entry `(e, s)` and
+//!   every current content `v` of symbol `s`, the table stores the corrected
+//!   content `w` with `expand_s(v) − e = expand_s(w)`, or a sentinel when no
+//!   such content exists. This reproduces the wide decoder's
+//!   overflow/underflow confinement check (Figure 4, method 2) exactly: a
+//!   correction is valid iff the subtraction stays inside the symbol.
+//! * **Check-value folding** — `X = (m − payload·2^r mod m) mod m` from the
+//!   payload limbs with a short Horner fold using a division-free Barrett
+//!   reduction (the same Lemire-style multiply-high trick the hardware
+//!   decoder uses, scaled down to `u64`), so symbol contents of an encoded
+//!   word are available without the encoder's wide multiply. Symbols whose
+//!   bits form one contiguous in-limb run — the common case for sequential
+//!   maps — gather their content with a single shift-and-mask.
+//!
+//! The wide [`MuseCode::decode`](crate::MuseCode::decode) path is kept
+//! unchanged and cross-validated against this kernel by a property test
+//! (`tests/syndrome_equivalence.rs`): for random payloads and corruptions
+//! the two paths agree on every preset code.
+
+use crate::{ErrorLookup, SymbolMap, Word};
+
+/// Sentinel in the transition table: no valid corrected content.
+const NO_TRANSITION: u16 = u16::MAX;
+
+/// Division-free `x mod m` for full-range `u64` inputs (Barrett/Lemire with
+/// a 128-bit magic; exact for any non-power-of-two `m ≥ 3`).
+#[derive(Debug, Clone, Copy)]
+struct Mod64 {
+    m: u64,
+    magic: u128,
+}
+
+impl Mod64 {
+    fn new(m: u64) -> Self {
+        assert!(m >= 3, "modulus {m} too small");
+        // floor(2^128 / m) + 1; when m does not divide 2^128 the integer
+        // division of u128::MAX already floors 2^128 / m. Powers of two
+        // (never valid multipliers in practice) reduce by masking instead.
+        let magic = if m.is_power_of_two() {
+            0
+        } else {
+            u128::MAX / m as u128 + 1
+        };
+        Self { m, magic }
+    }
+
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        if self.magic == 0 {
+            return x & (self.m - 1);
+        }
+        let low = self.magic.wrapping_mul(x as u128);
+        // High 64 bits of the 192-bit product low · m.
+        let a = (low as u64) as u128 * self.m as u128;
+        let b = (low >> 64) * self.m as u128;
+        ((b + (a >> 64)) >> 64) as u64
+    }
+}
+
+/// How a symbol's content is extracted from the payload limbs.
+#[derive(Debug, Clone, Copy)]
+enum Gather {
+    /// All bits form one contiguous run inside a single payload limb:
+    /// `content = (payload[limb] >> shift) & width_mask`.
+    Slice { limb: u8, shift: u8 },
+    /// Anything else (check-region bits, shuffled or limb-straddling
+    /// layouts): gathered bit by bit via the source lists.
+    Mixed,
+}
+
+/// Per-symbol metadata, packed for cache-friendly random access.
+#[derive(Debug, Clone, Copy)]
+struct SymbolMeta {
+    width: u8,
+    gather: Gather,
+    /// Content bits living in the check region (`< r`).
+    check_mask: u16,
+    /// Start of this symbol's block in the flat residue table.
+    residue_offset: u32,
+}
+
+/// One fast-ELC entry: the owning symbol and where its content-transition
+/// block starts in the flat table.
+#[derive(Debug, Clone, Copy)]
+struct FastEntry {
+    symbol: u32,
+    offset: u32,
+}
+
+/// Outcome of a residue-space decode step (mirrors
+/// [`Decoded`](crate::Decoded) without carrying wide payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastDecode {
+    /// Zero syndrome: the word reads out as-is.
+    Clean,
+    /// No ELC entry for this remainder — detected uncorrectable.
+    Detected,
+    /// An ELC entry matched; fetch the named symbol's current content and
+    /// call [`SyndromeKernel::correct`] to finish.
+    Correct {
+        /// Symbol the matched error value is confined to.
+        symbol: usize,
+    },
+}
+
+/// The per-code incremental-syndrome tables. Built once inside
+/// [`MuseCode::new`](crate::MuseCode::new); accessible via
+/// [`MuseCode::kernel`](crate::MuseCode::kernel).
+#[derive(Debug, Clone)]
+pub struct SyndromeKernel {
+    m: u64,
+    mod64: Mod64,
+    /// `2^r mod m`, for the check-value fold.
+    pow_r: u64,
+    /// `2^64 mod m`, for the limb fold.
+    pow_64: u64,
+    /// Number of limbs the `k`-bit payload occupies.
+    payload_limbs: usize,
+    syms: Vec<SymbolMeta>,
+    /// Flat per-symbol residue tables (`R_s[x]` at `residue_offset + x`).
+    residues: Vec<u64>,
+    /// Per-symbol `(content bit, payload bit)` lists for the Mixed gather.
+    payload_sources: Vec<Vec<(u8, u16)>>,
+    /// Per-symbol `(content bit, check bit)` lists for the Mixed gather.
+    check_sources: Vec<Vec<(u8, u8)>>,
+    /// Dense remainder → entry-index + 1 (0 = no entry).
+    elc_entry: Vec<u32>,
+    entries: Vec<FastEntry>,
+    /// Flat per-entry content-transition blocks.
+    transitions: Vec<u16>,
+}
+
+impl SyndromeKernel {
+    /// Whether a layout/multiplier pair is within the kernel's tabulation
+    /// limits: every symbol at most 12 bits wide (contents are tabulated as
+    /// `2^width` entries), every symbol spanning fewer than 120 bit
+    /// positions (per-content arithmetic runs in shifted `u128` space), and
+    /// `m < 2^32` (the check-value fold multiplies two residues in `u64`).
+    ///
+    /// Codes outside these limits still construct and decode through the
+    /// wide path — they just carry no kernel
+    /// ([`MuseCode::kernel`](crate::MuseCode::kernel) returns `None`) and
+    /// the simulators fall back to wide-word trials.
+    pub fn supports(map: &SymbolMap, m: u64) -> bool {
+        m < 1 << 32
+            && (0..map.num_symbols()).all(|s| {
+                let bits = map.bits_of(s);
+                let lo = bits.iter().min().expect("non-empty symbol");
+                let hi = bits.iter().max().expect("non-empty symbol");
+                bits.len() <= 12 && hi - lo < 120
+            })
+    }
+
+    /// Builds the kernel for a validated layout + ELC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::supports`] is false for the layout (callers gate
+    /// on it).
+    pub(crate) fn build(map: &SymbolMap, elc: &ErrorLookup, m: u64, r_bits: u32) -> Self {
+        assert!(
+            m < 1 << 32,
+            "multiplier {m} exceeds the kernel's u64 fold range"
+        );
+        // All per-content arithmetic happens in u128 space shifted down by
+        // each symbol's lowest bit: error values are confined to one
+        // symbol's bit positions, and no symbol spans more than ~80 bits,
+        // so the wide words never need to materialize.
+        struct SymbolSpan {
+            base: u32,
+            expand: Vec<u128>,
+            mask: u128,
+        }
+        let spans: Vec<SymbolSpan> = (0..map.num_symbols())
+            .map(|s| {
+                let bits = map.bits_of(s);
+                assert!(bits.len() <= 12, "symbol too wide to tabulate");
+                let base = *bits.iter().min().expect("non-empty symbol");
+                let top = *bits.iter().max().expect("non-empty symbol");
+                assert!(top - base < 120, "symbol span exceeds the u128 fast path");
+                let expand = (0..1u128 << bits.len())
+                    .map(|content| {
+                        bits.iter().enumerate().fold(0u128, |acc, (i, &bit)| {
+                            acc | ((content >> i & 1) << (bit - base))
+                        })
+                    })
+                    .collect();
+                let mask = bits.iter().fold(0u128, |acc, &bit| acc | 1 << (bit - base));
+                SymbolSpan { base, expand, mask }
+            })
+            .collect();
+        let pow2_mod = |exp: u32| -> u64 {
+            // 2^exp mod m by shifting in ≤32-bit steps (m < 2^32, exp < 320).
+            let mut result: u128 = 1 % m as u128;
+            let mut remaining = exp;
+            while remaining > 0 {
+                let step = remaining.min(32);
+                result = (result << step) % m as u128;
+                remaining -= step;
+            }
+            result as u64
+        };
+
+        let mut syms = Vec::with_capacity(map.num_symbols());
+        let mut residues = Vec::new();
+        let mut payload_sources = Vec::with_capacity(map.num_symbols());
+        let mut check_sources = Vec::with_capacity(map.num_symbols());
+        for (s, span) in spans.iter().enumerate() {
+            let bits = map.bits_of(s);
+            let width = bits.len() as u8;
+            let pow_base = pow2_mod(span.base) as u128;
+            let residue_offset = residues.len() as u32;
+            residues.extend(
+                span.expand
+                    .iter()
+                    .map(|&e| ((e % m as u128) * pow_base % m as u128) as u64),
+            );
+            let mut psrc = Vec::new();
+            let mut csrc = Vec::new();
+            let mut check_mask = 0u16;
+            for (i, &bit) in bits.iter().enumerate() {
+                if bit < r_bits {
+                    csrc.push((i as u8, bit as u8));
+                    check_mask |= 1 << i;
+                } else {
+                    psrc.push((i as u8, (bit - r_bits) as u16));
+                }
+            }
+            // Contiguous ascending run entirely in the payload region of a
+            // single limb ⇒ one shift-and-mask gathers the content.
+            let first = bits[0];
+            let contiguous = bits.iter().enumerate().all(|(i, &b)| b == first + i as u32);
+            let gather = if contiguous && first >= r_bits {
+                let lo = first - r_bits;
+                if lo / 64 == (lo + width as u32 - 1) / 64 {
+                    Gather::Slice {
+                        limb: (lo / 64) as u8,
+                        shift: (lo % 64) as u8,
+                    }
+                } else {
+                    Gather::Mixed
+                }
+            } else {
+                Gather::Mixed
+            };
+            syms.push(SymbolMeta {
+                width,
+                gather,
+                check_mask,
+                residue_offset,
+            });
+            payload_sources.push(psrc);
+            check_sources.push(csrc);
+        }
+
+        let mut elc_entry = vec![0u32; m as usize];
+        let mut entries = Vec::new();
+        let mut transitions = Vec::new();
+        for rem in 1..m {
+            let Some(entry) = elc.lookup(rem) else {
+                continue;
+            };
+            let bits = map.bits_of(entry.symbol);
+            let span = &spans[entry.symbol];
+            // The error value is a sum of ±2^b over this symbol's bits, so
+            // its magnitude shifted down by the span base fits u128.
+            let mag = entry.error.magnitude();
+            debug_assert!(mag.trailing_zeros() >= span.base);
+            let mag128 = (*mag >> span.base).to_u128().expect("error within span");
+            let negative = entry.error.is_negative();
+            let offset = transitions.len() as u32;
+            for content in 0..1usize << bits.len() {
+                // corrected = expand(v) − e; a borrow/carry escaping the
+                // symbol sets bits outside the mask, which is exactly the
+                // wide decoder's confinement rejection (Figure 4, method 2).
+                let corrected = if negative {
+                    span.expand[content].wrapping_add(mag128)
+                } else {
+                    span.expand[content].wrapping_sub(mag128)
+                };
+                transitions.push(if corrected & !span.mask == 0 {
+                    bits.iter().enumerate().fold(0u16, |acc, (i, &bit)| {
+                        acc | ((corrected >> (bit - span.base) & 1) as u16) << i
+                    })
+                } else {
+                    NO_TRANSITION
+                });
+            }
+            entries.push(FastEntry {
+                symbol: entry.symbol as u32,
+                offset,
+            });
+            elc_entry[rem as usize] = entries.len() as u32;
+        }
+
+        let k_bits = map.n_bits() - r_bits;
+        Self {
+            m,
+            mod64: Mod64::new(m),
+            pow_r: pow2_mod(r_bits),
+            pow_64: pow2_mod(64),
+            payload_limbs: k_bits.div_ceil(64) as usize,
+            syms,
+            residues,
+            payload_sources,
+            check_sources,
+            elc_entry,
+            entries,
+            transitions,
+        }
+    }
+
+    /// The code multiplier `m`.
+    pub fn modulus(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Number of limbs the `k`-bit payload occupies (higher limbs of a
+    /// payload array are always zero).
+    pub fn payload_limbs(&self) -> usize {
+        self.payload_limbs
+    }
+
+    /// Width of symbol `sym` in bits.
+    #[inline]
+    pub fn symbol_bits(&self, sym: usize) -> u32 {
+        self.syms[sym].width as u32
+    }
+
+    /// Content bits of `sym` that live in the check region (codeword bits
+    /// `< r`). Flips confined to these bits leave the payload untouched.
+    #[inline]
+    pub fn check_mask(&self, sym: usize) -> u16 {
+        self.syms[sym].check_mask
+    }
+
+    /// Content bits of `sym` that carry payload (codeword bits `≥ r`).
+    #[inline]
+    pub fn payload_mask(&self, sym: usize) -> u16 {
+        !self.syms[sym].check_mask & self.width_mask(sym)
+    }
+
+    /// All-ones mask over `sym`'s content bits.
+    #[inline]
+    pub fn width_mask(&self, sym: usize) -> u16 {
+        ((1u32 << self.syms[sym].width) - 1) as u16
+    }
+
+    /// Whether computing `sym`'s content requires the check value `X`.
+    #[inline]
+    pub fn needs_check_value(&self, sym: usize) -> bool {
+        self.syms[sym].check_mask != 0
+    }
+
+    /// Modular addition in `[0, m)`.
+    #[inline]
+    pub fn add_mod(&self, a: u64, b: u64) -> u64 {
+        let s = a + b;
+        if s >= self.m {
+            s - self.m
+        } else {
+            s
+        }
+    }
+
+    /// The check value `X = (m − payload·2^r mod m) mod m` of the encoded
+    /// codeword, folded from the payload limbs with the division-free
+    /// Barrett reduction (no wide multiply).
+    pub fn check_value(&self, payload: &[u64; 5]) -> u64 {
+        let mut acc: u64 = 0;
+        for &limb in payload[..self.payload_limbs].iter().rev() {
+            // acc·2^64 + limb (mod m); acc and pow_64 are < m < 2^32, so
+            // the product fits u64 alongside the reduced limb.
+            acc = self.mod64.rem(acc * self.pow_64 + self.mod64.rem(limb));
+        }
+        let shifted = self.mod64.rem(acc * self.pow_r);
+        if shifted == 0 {
+            0
+        } else {
+            self.m - shifted
+        }
+    }
+
+    /// The check value `X` implied by the payload-part contents of every
+    /// symbol: `X = (m − Σ_s R_s[vp_s]) mod m` — the unique filling of the
+    /// check bits that makes the codeword divisible by `m`.
+    ///
+    /// Together with [`Self::apply_check_bits`] this is the building block
+    /// for generating codewords directly in content space (no payload
+    /// limbs at all) — the planned next step for the simulator hot path;
+    /// currently exercised by this module's tests only.
+    ///
+    /// `vp` must hold, for each symbol, its content restricted to
+    /// [`Self::payload_mask`] (check-region bits zero).
+    pub fn check_value_of_parts(&self, vp: &[u16]) -> u64 {
+        let t = vp
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (s, &v)| self.add_mod(acc, self.residue(s, v)));
+        if t == 0 {
+            0
+        } else {
+            self.m - t
+        }
+    }
+
+    /// Fills in the check-region bits of `sym`'s content given its
+    /// payload-part `vp` and the check value `x`.
+    #[inline]
+    pub fn apply_check_bits(&self, sym: usize, vp: u16, x: u64) -> u16 {
+        let mut content = vp;
+        for &(i, cbit) in &self.check_sources[sym] {
+            content |= (((x >> cbit) & 1) as u16) << i;
+        }
+        content
+    }
+
+    /// The content of `sym` in the codeword encoding `payload` (limbs of the
+    /// `k`-bit payload) with check value `x` (from [`Self::check_value`];
+    /// pass anything when [`Self::needs_check_value`] is false).
+    #[inline]
+    pub fn encoded_content(&self, sym: usize, payload: &[u64; 5], x: u64) -> u16 {
+        let meta = self.syms[sym];
+        if let Gather::Slice { limb, shift } = meta.gather {
+            return (payload[limb as usize] >> shift) as u16 & ((1u32 << meta.width) - 1) as u16;
+        }
+        let mut content = 0u16;
+        for &(i, pbit) in &self.payload_sources[sym] {
+            content |= (((payload[(pbit >> 6) as usize] >> (pbit & 63)) & 1) as u16) << i;
+        }
+        for &(i, cbit) in &self.check_sources[sym] {
+            content |= (((x >> cbit) & 1) as u16) << i;
+        }
+        content
+    }
+
+    /// Residue of symbol `sym` holding `content`.
+    #[inline]
+    pub fn residue(&self, sym: usize, content: u16) -> u64 {
+        self.residues[self.syms[sym].residue_offset as usize + content as usize]
+    }
+
+    /// Syndrome delta caused by XOR-flipping `pattern` onto symbol `sym`
+    /// currently holding `content`.
+    #[inline]
+    pub fn flip_delta(&self, sym: usize, content: u16, pattern: u16) -> u64 {
+        let offset = self.syms[sym].residue_offset as usize;
+        let after = self.residues[offset + (content ^ pattern) as usize];
+        let before = self.residues[offset + content as usize];
+        self.add_mod(after, self.m - before)
+    }
+
+    /// First decode stage: classify a syndrome.
+    #[inline]
+    pub fn classify(&self, rem: u64) -> FastDecode {
+        if rem == 0 {
+            return FastDecode::Clean;
+        }
+        match self.elc_entry[rem as usize] {
+            0 => FastDecode::Detected,
+            idx => FastDecode::Correct {
+                symbol: self.entries[(idx - 1) as usize].symbol as usize,
+            },
+        }
+    }
+
+    /// Second decode stage: given the matched remainder and the *current*
+    /// content of the matched symbol, the corrected content — or `None` when
+    /// the correction escapes the symbol (detected uncorrectable).
+    #[inline]
+    pub fn correct(&self, rem: u64, content: u16) -> Option<u16> {
+        let idx = self.elc_entry[rem as usize];
+        debug_assert!(idx != 0, "correct() requires a matched remainder");
+        let entry = self.entries[(idx - 1) as usize];
+        match self.transitions[entry.offset as usize + content as usize] {
+            NO_TRANSITION => None,
+            w => Some(w),
+        }
+    }
+
+    /// Symbol contents of an arbitrary wide codeword (reference/test path).
+    pub fn contents_of_word(&self, map: &SymbolMap, word: &Word) -> Vec<u16> {
+        (0..map.num_symbols())
+            .map(|s| {
+                let mut content = 0u16;
+                for (i, &bit) in map.bits_of(s).iter().enumerate() {
+                    if word.bit(bit) {
+                        content |= 1 << i;
+                    }
+                }
+                content
+            })
+            .collect()
+    }
+
+    /// Total syndrome of a full content assignment (0 for any valid
+    /// codeword).
+    pub fn residue_of_contents(&self, contents: &[u16]) -> u64 {
+        contents
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (s, &v)| self.add_mod(acc, self.residue(s, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mod64;
+    use crate::{presets, Decoded, MuseCode, Word};
+
+    fn payload_limbs(code: &MuseCode, raw: [u64; 5]) -> ([u64; 5], Word) {
+        let word = Word::from_limbs(raw) & Word::mask(code.k_bits());
+        (word.to_limbs(), word)
+    }
+
+    #[test]
+    fn supports_matches_tabulation_limits() {
+        use crate::SymbolMap;
+        use crate::SyndromeKernel;
+        // Every preset layout is supported (their kernels exist).
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_80_67(),
+            presets::muse_268_256(),
+        ] {
+            assert!(SyndromeKernel::supports(
+                code.symbol_map(),
+                code.multiplier()
+            ));
+            assert!(code.kernel().is_some(), "{}", code.name());
+        }
+        // 13-bit symbols exceed the content-table width.
+        let wide = SymbolMap::sequential(78, 13).unwrap();
+        assert!(!SyndromeKernel::supports(&wide, 4065));
+        // A symbol spanning bits 0..143 exceeds the u128 span limit.
+        let mut groups: Vec<Vec<u32>> = (0..36).map(|i| (4 * i..4 * i + 4).collect()).collect();
+        groups[0][3] = 143;
+        groups[35][3] = 3;
+        let spread = SymbolMap::from_groups(144, groups).unwrap();
+        assert!(!SyndromeKernel::supports(&spread, 4065));
+        // Multipliers at or beyond 2^32 exceed the u64 fold.
+        let seq = SymbolMap::sequential(144, 4).unwrap();
+        assert!(SyndromeKernel::supports(&seq, 4065));
+        assert!(!SyndromeKernel::supports(&seq, 1 << 32));
+    }
+
+    #[test]
+    fn barrett_reduction_is_exact() {
+        for m in [
+            3u64,
+            821,
+            2005,
+            4065,
+            5621,
+            65519,
+            (1 << 31) - 1,
+            u64::MAX - 58,
+        ] {
+            let reducer = Mod64::new(m);
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..2_000 {
+                assert_eq!(reducer.rem(x), x % m, "x={x} m={m}");
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(1);
+            }
+            for x in [0, 1, m - 1, m, m + 1, u64::MAX, u64::MAX - 1] {
+                assert_eq!(reducer.rem(x), x % m, "x={x} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_value_matches_encoder() {
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_80_69(),
+            presets::muse_80_67(),
+        ] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let (limbs, payload) =
+                payload_limbs(&code, [0xDEAD_BEEF, 0x0123_4567_89AB_CDEF, 0x55AA, 0, 7]);
+            let cw = code.encode(&payload);
+            let x = kernel.check_value(&limbs);
+            assert_eq!(
+                Word::from(x),
+                cw & Word::mask(code.r_bits()),
+                "check bits for {}",
+                code.name()
+            );
+        }
+    }
+
+    #[test]
+    fn check_value_of_parts_matches_fold() {
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_80_67(),
+            presets::muse_80_70(),
+        ] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let (limbs, payload) = payload_limbs(&code, [0xABCD, !0, 0x1234_5678, 0, 0]);
+            let cw = code.encode(&payload);
+            let contents = kernel.contents_of_word(code.symbol_map(), &cw);
+            let parts: Vec<u16> = (0..kernel.num_symbols())
+                .map(|s| contents[s] & kernel.payload_mask(s))
+                .collect();
+            assert_eq!(
+                kernel.check_value_of_parts(&parts),
+                kernel.check_value(&limbs),
+                "{}",
+                code.name()
+            );
+            // And applying the check bits reproduces the full contents.
+            let x = kernel.check_value(&limbs);
+            for s in 0..kernel.num_symbols() {
+                assert_eq!(kernel.apply_check_bits(s, parts[s], x), contents[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_contents_match_wide_word() {
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_80_67(),
+            presets::muse_80_70(),
+        ] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let (limbs, payload) = payload_limbs(&code, [!0, 0x1357_9BDF, !0, 0xFFFF, 1]);
+            let cw = code.encode(&payload);
+            let reference = kernel.contents_of_word(code.symbol_map(), &cw);
+            let x = kernel.check_value(&limbs);
+            for (sym, &expected) in reference.iter().enumerate() {
+                assert_eq!(
+                    kernel.encoded_content(sym, &limbs, x),
+                    expected,
+                    "symbol {sym} of {}",
+                    code.name()
+                );
+            }
+            assert_eq!(kernel.residue_of_contents(&reference), 0);
+        }
+    }
+
+    #[test]
+    fn flip_delta_matches_wide_remainder() {
+        let code = presets::muse_80_69();
+        let kernel = code.kernel().expect("presets support the kernel");
+        let (_, payload) = payload_limbs(&code, [42, 99, 0, 0, 0]);
+        let cw = code.encode(&payload);
+        let contents = kernel.contents_of_word(code.symbol_map(), &cw);
+        for sym in [0usize, 7, 19] {
+            for pattern in 1u16..16 {
+                let mut corrupted = cw;
+                for (i, &bit) in code.symbol_map().bits_of(sym).iter().enumerate() {
+                    if pattern >> i & 1 == 1 {
+                        corrupted.toggle_bit(bit);
+                    }
+                }
+                assert_eq!(
+                    kernel.flip_delta(sym, contents[sym], pattern),
+                    code.remainder(&corrupted),
+                    "sym {sym} pattern {pattern:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_decode_agrees_on_single_device_errors() {
+        for code in [presets::muse_144_132(), presets::muse_80_69()] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let (_, payload) = payload_limbs(&code, [0xFEED_FACE, 3, 0, 0, 0]);
+            let cw = code.encode(&payload);
+            let contents = kernel.contents_of_word(code.symbol_map(), &cw);
+            for (sym, &content) in contents.iter().enumerate() {
+                for pattern in 1u16..1 << kernel.symbol_bits(sym) {
+                    let rem = kernel.flip_delta(sym, content, pattern);
+                    match kernel.classify(rem) {
+                        super::FastDecode::Correct { symbol } => {
+                            assert_eq!(symbol, sym);
+                            let corrupted = contents[sym] ^ pattern;
+                            assert_eq!(
+                                kernel.correct(rem, corrupted),
+                                Some(contents[sym]),
+                                "in-model error must correct back"
+                            );
+                        }
+                        other => {
+                            panic!("{}: sym {sym} pattern {pattern:b}: {other:?}", code.name())
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_decode_matches_wide_on_double_errors() {
+        let code = presets::muse_144_132();
+        let kernel = code.kernel().expect("presets support the kernel");
+        let (_, payload) = payload_limbs(&code, [0x0F1E_2D3C, 0, 0, 0, 0]);
+        let cw = code.encode(&payload);
+        let contents = kernel.contents_of_word(code.symbol_map(), &cw);
+        let mut seen_detected = false;
+        let mut seen_miscorrected = false;
+        for a in 0..code.symbol_map().num_symbols() {
+            for b in a + 1..code.symbol_map().num_symbols() {
+                let (pat_a, pat_b) = (0b0010u16, 0b0101u16);
+                let mut corrupted = cw;
+                for (pat, sym) in [(pat_a, a), (pat_b, b)] {
+                    for (i, &bit) in code.symbol_map().bits_of(sym).iter().enumerate() {
+                        if pat >> i & 1 == 1 {
+                            corrupted.toggle_bit(bit);
+                        }
+                    }
+                }
+                let rem = kernel.add_mod(
+                    kernel.flip_delta(a, contents[a], pat_a),
+                    kernel.flip_delta(b, contents[b], pat_b),
+                );
+                assert_eq!(rem, code.remainder(&corrupted));
+                let wide = code.decode(&corrupted);
+                match kernel.classify(rem) {
+                    super::FastDecode::Clean => {
+                        panic!("double error must not alias to zero here")
+                    }
+                    super::FastDecode::Detected => {
+                        assert_eq!(wide, Decoded::Detected);
+                        seen_detected = true;
+                    }
+                    super::FastDecode::Correct { symbol } => {
+                        let current = if symbol == a {
+                            contents[a] ^ pat_a
+                        } else if symbol == b {
+                            contents[b] ^ pat_b
+                        } else {
+                            contents[symbol]
+                        };
+                        match (kernel.correct(rem, current), wide) {
+                            (None, Decoded::Detected) => seen_detected = true,
+                            (Some(_), Decoded::Corrected { symbol: ws, .. }) => {
+                                assert_eq!(ws, symbol);
+                                seen_miscorrected = true;
+                            }
+                            (fast, wide) => panic!("fast {fast:?} vs wide {wide:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            seen_detected && seen_miscorrected,
+            "both outcomes exercised"
+        );
+    }
+
+    #[test]
+    fn masks_partition_symbol_bits() {
+        for code in [
+            presets::muse_80_69(),
+            presets::muse_80_67(),
+            presets::muse_80_70(),
+        ] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            for sym in 0..kernel.num_symbols() {
+                let full = kernel.width_mask(sym);
+                assert_eq!(kernel.check_mask(sym) | kernel.payload_mask(sym), full);
+                assert_eq!(kernel.check_mask(sym) & kernel.payload_mask(sym), 0);
+                assert_eq!(kernel.needs_check_value(sym), kernel.check_mask(sym) != 0);
+            }
+            // Every check bit is owned by exactly one symbol.
+            let owned: u32 = (0..kernel.num_symbols())
+                .map(|s| kernel.check_mask(s).count_ones())
+                .sum();
+            assert_eq!(owned, code.r_bits());
+        }
+    }
+}

@@ -2,9 +2,7 @@
 //! guarantees, and detection invariants over randomly drawn payloads, error
 //! patterns, and layouts.
 
-use muse_core::{
-    presets, Decoded, MuseCode, SymbolMap, Word,
-};
+use muse_core::{presets, Decoded, MuseCode, SymbolMap, Word};
 use proptest::prelude::*;
 
 fn word_bits(n: u32) -> impl Strategy<Value = Word> {

@@ -1,0 +1,93 @@
+//! Property test: the incremental residue-syndrome fast path agrees with
+//! the wide-word decoder on random corruptions, for every preset code.
+//!
+//! This is the safety net under the simulators' hot path: `muse-faultsim`
+//! classifies trials entirely in residue space, and any divergence from
+//! `MuseCode::decode` would silently skew every Monte-Carlo estimate.
+
+use muse_core::{presets, Decoded, FastDecode, MuseCode, Word};
+use proptest::prelude::*;
+
+fn word_bits(n: u32) -> impl Strategy<Value = Word> {
+    prop::array::uniform5(any::<u64>())
+        .prop_map(move |limbs| Word::from_limbs(limbs) & Word::mask(n))
+}
+
+/// Strategy: every preset code of the paper.
+fn preset_code() -> impl Strategy<Value = MuseCode> {
+    prop_oneof![
+        Just(presets::muse_144_132()),
+        Just(presets::muse_80_69()),
+        Just(presets::muse_80_67()),
+        Just(presets::muse_80_70()),
+        Just(presets::muse_268_256()),
+        Just(presets::muse_144_128()),
+    ]
+}
+
+/// Replaces symbol `sym`'s bits in `word` with `content`.
+fn with_content(code: &MuseCode, word: &Word, sym: usize, content: u16) -> Word {
+    let mut out = *word;
+    for (i, &bit) in code.symbol_map().bits_of(sym).iter().enumerate() {
+        out.set_bit(bit, content >> i & 1 == 1);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_path_matches_wide_decode(code in preset_code(), raw in word_bits(320), noise in word_bits(320)) {
+        // An arbitrary corruption of an arbitrary codeword: any XOR mask
+        // over the n codeword bits (0, 1, or many symbols touched).
+        let payload = raw & Word::mask(code.k_bits());
+        let corrupted = code.encode(&payload) ^ (noise & Word::mask(code.n_bits()));
+        let kernel = code.kernel().expect("presets support the kernel");
+
+        let contents = kernel.contents_of_word(code.symbol_map(), &corrupted);
+        let rem = kernel.residue_of_contents(&contents);
+        prop_assert_eq!(rem, code.remainder(&corrupted), "syndrome mismatch");
+
+        match (kernel.classify(rem), code.decode(&corrupted)) {
+            (FastDecode::Clean, Decoded::Clean { payload: p }) => {
+                prop_assert_eq!(p, code.payload_of(&corrupted));
+            }
+            (FastDecode::Detected, Decoded::Detected) => {}
+            (FastDecode::Correct { symbol }, wide) => {
+                match (kernel.correct(rem, contents[symbol]), wide) {
+                    (None, Decoded::Detected) => {}
+                    (Some(w), Decoded::Corrected { payload: p, symbol: ws, error: _ }) => {
+                        prop_assert_eq!(ws, symbol, "corrected symbol differs");
+                        let rebuilt = with_content(&code, &corrupted, symbol, w);
+                        prop_assert_eq!(code.payload_of(&rebuilt), p, "corrected payload differs");
+                        prop_assert_eq!(code.remainder(&rebuilt), 0, "correction must restore divisibility");
+                    }
+                    (fast, wide) => prop_assert!(false, "{}: fast {:?} vs wide {:?}", code.name(), fast, wide),
+                }
+            }
+            (fast, wide) => prop_assert!(false, "{}: fast {:?} vs wide {:?}", code.name(), fast, wide),
+        }
+    }
+
+    #[test]
+    fn encoded_contents_match_encoder(code in preset_code(), raw in word_bits(320)) {
+        // The simulators derive symbol contents straight from the payload
+        // limbs (check-value fold, no wide multiply); the result must match
+        // bit-gathering from the actually-encoded word.
+        let payload = raw & Word::mask(code.k_bits());
+        let kernel = code.kernel().expect("presets support the kernel");
+        let cw = code.encode(&payload);
+        let reference = kernel.contents_of_word(code.symbol_map(), &cw);
+        let limbs = payload.to_limbs();
+        let x = kernel.check_value(&limbs);
+        for (sym, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(
+                kernel.encoded_content(sym, &limbs, x),
+                expected,
+                "symbol {} of {}", sym, code.name()
+            );
+        }
+        prop_assert_eq!(kernel.residue_of_contents(&reference), 0);
+    }
+}

@@ -137,7 +137,9 @@ impl RsMemoryCode {
             .map(|i| {
                 let lo = i as u32 * self.symbol_bits;
                 let width = self.width_of(i);
-                ((*word >> lo) & Word::mask(width)).to_u64().expect("symbol fits") as u16
+                ((*word >> lo) & Word::mask(width))
+                    .to_u64()
+                    .expect("symbol fits") as u16
             })
             .collect()
     }
@@ -216,9 +218,9 @@ impl RsMemoryCode {
     pub fn decode(&self, codeword: &Word) -> RsMemoryDecoded {
         let symbols = self.to_symbols(codeword);
         match self.rs.decode(&symbols) {
-            RsDecoded::Clean { .. } => {
-                RsMemoryDecoded::Clean { payload: self.payload_of(codeword) }
-            }
+            RsDecoded::Clean { .. } => RsMemoryDecoded::Clean {
+                payload: self.payload_of(codeword),
+            },
             RsDecoded::Detected => RsMemoryDecoded::Detected,
             RsDecoded::Corrected { data, errors } => {
                 // Shortened-code check: the top symbol may only hold
@@ -251,9 +253,12 @@ mod tests {
     #[test]
     fn paper_geometries() {
         // Table IV row: RS over a 144-bit channel with s = 8, 7, 6, 5.
-        for (s, data_bits, n_sym, top) in
-            [(8u32, 128u32, 18usize, 8u32), (7, 130, 21, 4), (6, 132, 24, 6), (5, 134, 29, 4)]
-        {
+        for (s, data_bits, n_sym, top) in [
+            (8u32, 128u32, 18usize, 8u32),
+            (7, 130, 21, 4),
+            (6, 132, 24, 6),
+            (5, 134, 29, 4),
+        ] {
             let rs = RsMemoryCode::new(s, 144, 1).unwrap();
             assert_eq!(rs.data_bits(), data_bits, "s={s}");
             assert_eq!(rs.n_symbols(), n_sym, "s={s}");

@@ -131,7 +131,13 @@ impl RsCode {
         for i in 0..2 * t {
             generator = gf.poly_mul(&generator, &[gf.alpha_pow(i as i64), 1]);
         }
-        Ok(Self { gf, n, k, t, generator })
+        Ok(Self {
+            gf,
+            n,
+            k,
+            t,
+            generator,
+        })
     }
 
     /// Total symbols `n`.
@@ -168,7 +174,10 @@ impl RsCode {
     pub fn encode(&self, data: &[u16]) -> Vec<u16> {
         assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
         for &d in data {
-            assert!((d as u32) < self.gf.size(), "symbol {d:#x} outside the field");
+            assert!(
+                (d as u32) < self.gf.size(),
+                "symbol {d:#x} outside the field"
+            );
         }
         let r = 2 * self.t;
         let mut cw = vec![0u16; self.n];
@@ -178,7 +187,9 @@ impl RsCode {
         for &d in data.iter().rev() {
             let feedback = self.gf.add(d, rem[r - 1]);
             for j in (1..r).rev() {
-                rem[j] = self.gf.add(rem[j - 1], self.gf.mul(feedback, self.generator[j]));
+                rem[j] = self
+                    .gf
+                    .add(rem[j - 1], self.gf.mul(feedback, self.generator[j]));
             }
             rem[0] = self.gf.mul(feedback, self.generator[0]);
         }
@@ -197,7 +208,9 @@ impl RsCode {
             .map(|l| {
                 let mut acc = 0u16;
                 for &c in cw.iter().rev() {
-                    acc = self.gf.add(self.gf.mul(acc, self.gf.alpha_pow(l as i64)), c);
+                    acc = self
+                        .gf
+                        .add(self.gf.mul(acc, self.gf.alpha_pow(l as i64)), c);
                 }
                 acc
             })
@@ -213,7 +226,9 @@ impl RsCode {
     pub fn decode(&self, cw: &[u16]) -> RsDecoded {
         let synd = self.syndromes(cw);
         if synd.iter().all(|&s| s == 0) {
-            return RsDecoded::Clean { data: cw[2 * self.t..].to_vec() };
+            return RsDecoded::Clean {
+                data: cw[2 * self.t..].to_vec(),
+            };
         }
         let errors = match self.t {
             1 => self.locate_t1(&synd),
@@ -228,7 +243,10 @@ impl RsCode {
             fixed[pos] ^= val;
         }
         debug_assert!(self.syndromes(&fixed).iter().all(|&s| s == 0));
-        RsDecoded::Corrected { data: fixed[2 * self.t..].to_vec(), errors }
+        RsDecoded::Corrected {
+            data: fixed[2 * self.t..].to_vec(),
+            errors,
+        }
     }
 
     fn locate_t1(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
@@ -258,14 +276,23 @@ impl RsCode {
     /// or more than `2t` positions are given.
     pub fn decode_erasures(&self, cw: &[u16], positions: &[usize]) -> Option<Vec<u16>> {
         assert_eq!(cw.len(), self.n, "expected {} codeword symbols", self.n);
-        assert!(positions.len() <= 2 * self.t, "more erasures than parity symbols");
+        assert!(
+            positions.len() <= 2 * self.t,
+            "more erasures than parity symbols"
+        );
         for (i, &p) in positions.iter().enumerate() {
             assert!(p < self.n, "erasure position {p} out of range");
-            assert!(!positions[..i].contains(&p), "duplicate erasure position {p}");
+            assert!(
+                !positions[..i].contains(&p),
+                "duplicate erasure position {p}"
+            );
         }
         let synd = self.syndromes(cw);
         if positions.is_empty() {
-            return synd.iter().all(|&s| s == 0).then(|| cw[2 * self.t..].to_vec());
+            return synd
+                .iter()
+                .all(|&s| s == 0)
+                .then(|| cw[2 * self.t..].to_vec());
         }
         let gf = &self.gf;
         let k = positions.len();
@@ -371,8 +398,14 @@ mod tests {
             RsCode::new(4, 20, 18),
             Err(RsError::TooLong { n: 20, max: 15 })
         ));
-        assert!(matches!(RsCode::new(8, 18, 15), Err(RsError::BadGeometry { .. })));
-        assert!(matches!(RsCode::new(8, 18, 18), Err(RsError::BadGeometry { .. })));
+        assert!(matches!(
+            RsCode::new(8, 18, 15),
+            Err(RsError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            RsCode::new(8, 18, 18),
+            Err(RsError::BadGeometry { .. })
+        ));
         assert!(RsCode::new(8, 18, 14).is_ok()); // t = 2
     }
 
@@ -435,7 +468,10 @@ mod tests {
             bad[a] ^= 0x3C;
             bad[b] ^= 0xC3;
             match rs.decode(&bad) {
-                RsDecoded::Corrected { data: d, mut errors } => {
+                RsDecoded::Corrected {
+                    data: d,
+                    mut errors,
+                } => {
                     assert_eq!(d, data, "({a},{b})");
                     errors.sort_unstable();
                     assert_eq!(errors, vec![(a, 0x3C), (b, 0xC3)]);
@@ -512,7 +548,11 @@ mod tests {
             let mut bad = cw.clone();
             bad[a] ^= 0xDE;
             bad[b] ^= 0xAD;
-            assert_eq!(rs.decode_erasures(&bad, &[a, b]), Some(data.clone()), "({a},{b})");
+            assert_eq!(
+                rs.decode_erasures(&bad, &[a, b]),
+                Some(data.clone()),
+                "({a},{b})"
+            );
         }
         // Also with only one of the two actually corrupted.
         let mut bad = cw.clone();

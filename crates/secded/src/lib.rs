@@ -72,7 +72,10 @@ impl fmt::Display for SecDedError {
             }
             Self::BadGeometry { n, k } => write!(f, "unsupported geometry ({n},{k})"),
             Self::OddColumnsExhausted { needed, available } => {
-                write!(f, "need {needed} odd-weight columns, only {available} exist")
+                write!(
+                    f,
+                    "need {needed} odd-weight columns, only {available} exist"
+                )
             }
         }
     }
@@ -201,7 +204,13 @@ impl SecDed {
             debug_assert_eq!(syndrome_to_bit[col as usize], u32::MAX, "duplicate column");
             syndrome_to_bit[col as usize] = bit as u32;
         }
-        Self { n, k, columns, syndrome_to_bit, ded }
+        Self {
+            n,
+            k,
+            columns,
+            syndrome_to_bit,
+            ded,
+        }
     }
 
     /// Codeword length in bits.
@@ -267,7 +276,9 @@ impl SecDed {
     pub fn decode(&self, cw: &Word) -> SecDecoded {
         let s = self.syndrome(cw);
         if s == 0 {
-            return SecDecoded::Clean { data: *cw >> self.r_bits() };
+            return SecDecoded::Clean {
+                data: *cw >> self.r_bits(),
+            };
         }
         if self.ded && s.count_ones().is_multiple_of(2) {
             return SecDecoded::Detected; // even syndrome = double error
@@ -278,7 +289,10 @@ impl SecDed {
         }
         let mut fixed = *cw;
         fixed.toggle_bit(bit);
-        SecDecoded::Corrected { data: fixed >> self.r_bits(), bit }
+        SecDecoded::Corrected {
+            data: fixed >> self.r_bits(),
+            bit,
+        }
     }
 }
 
@@ -383,7 +397,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(miscorrections > 0, "Hamming SEC has no double-error guarantee");
+        assert!(
+            miscorrections > 0,
+            "Hamming SEC has no double-error guarantee"
+        );
     }
 
     #[test]

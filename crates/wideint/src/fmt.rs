@@ -63,7 +63,11 @@ impl<const L: usize> fmt::Binary for WideUint<L> {
 
 impl<const L: usize> fmt::Display for SignedWide<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.pad_integral(!self.is_negative(), "", &self.magnitude().to_decimal_string())
+        f.pad_integral(
+            !self.is_negative(),
+            "",
+            &self.magnitude().to_decimal_string(),
+        )
     }
 }
 
@@ -80,8 +84,10 @@ mod tests {
     #[test]
     fn display_decimal() {
         assert_eq!(U320::from(4065u64).to_string(), "4065");
-        assert_eq!(format!("{}", U320::pow2(87).div_rem_u64(2005).0 + U320::ONE),
-            "77178306688614730355307");
+        assert_eq!(
+            format!("{}", U320::pow2(87).div_rem_u64(2005).0 + U320::ONE),
+            "77178306688614730355307"
+        );
     }
 
     #[test]

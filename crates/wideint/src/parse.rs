@@ -61,8 +61,14 @@ impl<const L: usize> WideUint<L> {
             "unsupported radix {radix} (expected 2, 10, or 16)"
         );
         let s = match radix {
-            16 => s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s),
-            2 => s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")).unwrap_or(s),
+            16 => s
+                .strip_prefix("0x")
+                .or_else(|| s.strip_prefix("0X"))
+                .unwrap_or(s),
+            2 => s
+                .strip_prefix("0b")
+                .or_else(|| s.strip_prefix("0B"))
+                .unwrap_or(s),
             _ => s,
         };
         let mut out = Self::ZERO;
@@ -153,10 +159,7 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(
-            U320::from_str_radix("", 10),
-            Err(ParseWideUintError::Empty)
-        );
+        assert_eq!(U320::from_str_radix("", 10), Err(ParseWideUintError::Empty));
         assert_eq!(
             U320::from_str_radix("12a", 10),
             Err(ParseWideUintError::InvalidDigit('a'))

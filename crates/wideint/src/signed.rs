@@ -150,14 +150,12 @@ impl<const L: usize> Add for SignedWide<L> {
         } else {
             match self.magnitude.cmp(&rhs.magnitude) {
                 Ordering::Equal => Self::ZERO,
-                Ordering::Greater => Self::new(
-                    self.magnitude.wrapping_sub(&rhs.magnitude),
-                    self.negative,
-                ),
-                Ordering::Less => Self::new(
-                    rhs.magnitude.wrapping_sub(&self.magnitude),
-                    rhs.negative,
-                ),
+                Ordering::Greater => {
+                    Self::new(self.magnitude.wrapping_sub(&rhs.magnitude), self.negative)
+                }
+                Ordering::Less => {
+                    Self::new(rhs.magnitude.wrapping_sub(&self.magnitude), rhs.negative)
+                }
             }
         }
     }
@@ -189,7 +187,7 @@ impl<const L: usize> PartialOrd for SignedWide<L> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{I320, U320};
 
     #[test]
@@ -253,11 +251,7 @@ mod tests {
         let vals = [-10i64, -1, 0, 1, 10];
         for (i, &a) in vals.iter().enumerate() {
             for (j, &b) in vals.iter().enumerate() {
-                assert_eq!(
-                    I320::from(a).cmp(&I320::from(b)),
-                    i.cmp(&j),
-                    "{a} vs {b}"
-                );
+                assert_eq!(I320::from(a).cmp(&I320::from(b)), i.cmp(&j), "{a} vs {b}");
             }
         }
     }
@@ -266,9 +260,6 @@ mod tests {
     fn i128_bounds() {
         let big = I320::new(U320::pow2(200), true);
         assert_eq!(big.to_i128(), None);
-        assert_eq!(
-            I320::new(U320::pow2(127), true).to_i128(),
-            Some(i128::MIN)
-        );
+        assert_eq!(I320::new(U320::pow2(127), true).to_i128(), Some(i128::MIN));
     }
 }

@@ -252,7 +252,8 @@ impl<const L: usize> WideUint<L> {
             for j in 0..L {
                 let pos = i + j;
                 let p = self.limbs[i] as u128 * rhs.limbs[j] as u128;
-                let cur = Self::get2(&lo, &hi, pos) as u128 + (p & 0xFFFF_FFFF_FFFF_FFFF) + carry as u128;
+                let cur =
+                    Self::get2(&lo, &hi, pos) as u128 + (p & 0xFFFF_FFFF_FFFF_FFFF) + carry as u128;
                 Self::set2(&mut lo, &mut hi, pos, cur as u64);
                 carry = ((p >> 64) + (cur >> 64)) as u64;
             }

@@ -72,7 +72,10 @@ fn main() {
             "device {dev} failure must correct"
         );
     }
-    println!("verified: all {} device failures correct ✓", code.symbol_map().num_symbols());
+    println!(
+        "verified: all {} device failures correct ✓",
+        code.symbol_map().num_symbols()
+    );
 
     // The Reed-Solomon comparison: 4-bit symbols can't even reach 24
     // devices (GF(16) caps RS at 15 symbols), and 8-bit symbols cost 16

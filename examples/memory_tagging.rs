@@ -28,7 +28,10 @@ fn main() {
     // Performance view: run one memory-heavy benchmark under all three
     // metadata placements.
     let profile = spec2017_profiles()[4]; // 507.cactuBSSN_r
-    let ecc = EccLatency { encode: 4, correct: 0 };
+    let ecc = EccLatency {
+        encode: 4,
+        correct: 0,
+    };
     let run = |tagging| {
         let config = SystemConfig {
             ecc,
@@ -44,12 +47,23 @@ fn main() {
     };
 
     let inline = run(TagStorage::InlineEcc);
-    let cached = run(TagStorage::Disjoint { cache_entries: Some(32) });
-    let uncached = run(TagStorage::Disjoint { cache_entries: None });
+    let cached = run(TagStorage::Disjoint {
+        cache_entries: Some(32),
+    });
+    let uncached = run(TagStorage::Disjoint {
+        cache_entries: None,
+    });
 
     let power = DramPowerModel::default();
-    println!("benchmark: {} (LLC MPKI {:.1})", profile.name, inline.llc_mpki());
-    println!("{:<22} {:>10} {:>12} {:>12} {:>10}", "system", "cycles", "DRAM rd+wr", "meta reads", "DRAM mW");
+    println!(
+        "benchmark: {} (LLC MPKI {:.1})",
+        profile.name,
+        inline.llc_mpki()
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "system", "cycles", "DRAM rd+wr", "meta reads", "DRAM mW"
+    );
     for (name, stats) in [
         ("tags in MUSE spare bits", &inline),
         ("disjoint + 32e cache", &cached),

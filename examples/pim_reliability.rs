@@ -57,7 +57,9 @@ fn main() {
 
     // Compute side: the MAC pipeline runs on AN-coded operands with the
     // same multiplier family.
-    let an = AnCode { m: storage.multiplier() };
+    let an = AnCode {
+        m: storage.multiplier(),
+    };
     let inputs = [(3u64, 40u64), (5, 40), (7, 41), (11, 1)];
     // acc = Σ xi · wi computed as Σ (m·xi)·wi — still a multiple of m.
     let mut acc = Word::ZERO;
@@ -70,7 +72,10 @@ fn main() {
     match an.verify(&acc) {
         Ok(q) => {
             assert_eq!(q.to_u64(), Some(expect));
-            println!("compute: MAC over {} coded operands verified, Σ = {expect} ✓", inputs.len());
+            println!(
+                "compute: MAC over {} coded operands verified, Σ = {expect} ✓",
+                inputs.len()
+            );
         }
         Err(r) => panic!("false alarm, remainder {r}"),
     }

@@ -37,7 +37,11 @@ fn main() {
     // Decode: the nonzero remainder indexes the Error Lookup Circuit, which
     // recovers the exact error value; correction is a single subtraction.
     match code.decode(&corrupted) {
-        Decoded::Corrected { payload, symbol, error } => {
+        Decoded::Corrected {
+            payload,
+            symbol,
+            error,
+        } => {
             let (d, t) = code.unpack_metadata(&payload);
             println!("corrected device {symbol}, error value {error}");
             assert_eq!((d, t), (data, tag));
@@ -59,5 +63,9 @@ fn main() {
     let wide_payload = U320::mask(256);
     let cw = pim.encode(&wide_payload);
     assert_eq!(pim.decode(&cw).payload(), Some(wide_payload));
-    println!("{} round-trips 256-bit HBM2 words with {} check bits.", pim.name(), pim.r_bits());
+    println!(
+        "{} round-trips 256-bit HBM2 words with {} check bits.",
+        pim.name(),
+        pim.r_bits()
+    );
 }

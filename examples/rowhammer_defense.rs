@@ -32,11 +32,14 @@ fn main() {
     // the forgery.
     let mut forged = line.clone();
     let fake = code.encode(&code.pack_metadata(0x4141_4141, 0));
-    forged.xor_word(5, fake ^ code.encode(&code.pack_metadata(secret[5], {
-        // original hash slice of word 5
-        let h = hasher.hash(&secret);
-        (h >> 25) & 0x1F
-    })));
+    forged.xor_word(
+        5,
+        fake ^ code.encode(&code.pack_metadata(secret[5], {
+            // original hash slice of word 5
+            let h = hasher.hash(&secret);
+            (h >> 25) & 0x1F
+        })),
+    );
     match forged.verify(&code, &hasher) {
         Err(LineError::HashMismatch) => println!("valid-codeword forgery: caught by the hash ✓"),
         other => panic!("forgery slipped through: {other:?}"),
@@ -44,14 +47,20 @@ fn main() {
 
     // Attack 3: campaigns of blind multi-bit flips at increasing intensity.
     println!("\nblind flip campaigns (3000 lines each):");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>12}", "flips", "ECC blocked", "hash blocked", "harmless", "SUCCESSFUL");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "flips", "ECC blocked", "hash blocked", "harmless", "SUCCESSFUL"
+    );
     for flips in [2usize, 6, 12, 24, 48] {
         let stats = simulate_attacks(&code, &hasher, flips, 3_000, 0x40_4040);
         println!(
             "{flips:>6} {:>12} {:>12} {:>10} {:>12}",
             stats.blocked_by_ecc, stats.blocked_by_hash, stats.harmless, stats.successful
         );
-        assert_eq!(stats.successful, 0, "2^-40 says a success should never appear here");
+        assert_eq!(
+            stats.successful, 0,
+            "2^-40 says a success should never appear here"
+        );
     }
     println!("\nNo campaign succeeded — matching the paper's 1 − 2⁻⁴⁰ detection bound.");
 }

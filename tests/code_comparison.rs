@@ -12,7 +12,10 @@ fn muse_saves_check_bits_vs_rs_at_chipkill() {
     let rs = RsMemoryCode::new(8, 144, 1).unwrap();
     assert_eq!(muse.r_bits(), 12);
     assert_eq!(rs.parity_bits(), 16);
-    assert!(muse.r_bits() + 4 <= rs.parity_bits(), "at least four fewer bits");
+    assert!(
+        muse.r_bits() + 4 <= rs.parity_bits(),
+        "at least four fewer bits"
+    );
     // And on DDR5: 11 vs 16.
     let muse5 = presets::muse_80_69();
     let rs5 = RsMemoryCode::new(8, 80, 1).unwrap();
@@ -37,28 +40,51 @@ fn rs_with_spare_bits_loses_chipkill_muse_does_not() {
             rs_failures += 1;
         }
     }
-    assert!(rs_failures > 0, "some device failure must defeat the misaligned RS code");
+    assert!(
+        rs_failures > 0,
+        "some device failure must defeat the misaligned RS code"
+    );
 
     let muse = presets::muse_144_132(); // 4 bits saved, still ChipKill
     let mcw = muse.encode(&payload);
     for dev in 0..36 {
         let corrupted = mcw ^ *muse.symbol_map().mask(dev);
-        assert_eq!(muse.decode(&corrupted).payload(), Some(payload), "device {dev}");
+        assert_eq!(
+            muse.decode(&corrupted).payload(),
+            Some(payload),
+            "device {dev}"
+        );
     }
 }
 
 #[test]
 fn detection_degrades_gracefully_for_muse_sharply_for_rs() {
     // The Table IV trend, asserted as orderings rather than exact rates.
-    let config = MsedConfig { trials: 3_000, ..MsedConfig::default() };
+    let config = MsedConfig {
+        trials: 3_000,
+        ..MsedConfig::default()
+    };
     let muse_16 = muse_msed(&presets::muse_144_128(), config);
     let muse_12 = muse_msed(&presets::muse_144_132(), config);
     assert!(muse_16.detection_rate() > muse_12.detection_rate());
     assert!(muse_12.detection_rate() > 80.0);
 
-    let rs8 = rs_msed(&RsMemoryCode::new(8, 144, 1).unwrap(), 4, RsDetectMode::DeviceConfined, config);
-    let rs5 = rs_msed(&RsMemoryCode::new(5, 144, 1).unwrap(), 4, RsDetectMode::DeviceConfined, config);
-    assert!(rs8.detection_rate() > rs5.detection_rate() + 20.0, "RS collapses with small symbols");
+    let rs8 = rs_msed(
+        &RsMemoryCode::new(8, 144, 1).unwrap(),
+        4,
+        RsDetectMode::DeviceConfined,
+        config,
+    );
+    let rs5 = rs_msed(
+        &RsMemoryCode::new(5, 144, 1).unwrap(),
+        4,
+        RsDetectMode::DeviceConfined,
+        config,
+    );
+    assert!(
+        rs8.detection_rate() > rs5.detection_rate() + 20.0,
+        "RS collapses with small symbols"
+    );
     // MUSE at 12 bits of redundancy beats RS at 10 bits (extra 4 vs 6).
     assert!(muse_12.detection_rate() > rs5.detection_rate());
 }
@@ -115,10 +141,22 @@ fn muse_flexibility_single_bit_granularity() {
     let model = ErrorModel::symbol(Direction::Bidirectional);
     let mut widths = Vec::new();
     for p in 12..=16 {
-        let found = find_multipliers(&map, &model, p, SearchOptions { threads: 0, limit: 1 });
+        let found = find_multipliers(
+            &map,
+            &model,
+            p,
+            SearchOptions {
+                threads: 0,
+                limit: 1,
+            },
+        );
         if !found.is_empty() {
             widths.push(p);
         }
     }
-    assert_eq!(widths, vec![12, 13, 14, 15, 16], "every 1-bit step has a code");
+    assert_eq!(
+        widths,
+        vec![12, 13, 14, 15, 16],
+        "every 1-bit step has a code"
+    );
 }

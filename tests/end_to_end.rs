@@ -6,7 +6,12 @@ use muse::faultsim::Rng;
 
 /// Corrupts device `dev` in the *storage* (wire) domain, where each device's
 /// bits are contiguous.
-fn fail_device_in_storage(stored: &Word, code: &muse::core::MuseCode, dev: usize, pattern: u64) -> Word {
+fn fail_device_in_storage(
+    stored: &Word,
+    code: &muse::core::MuseCode,
+    dev: usize,
+    pattern: u64,
+) -> Word {
     let s = code.symbol_map().bits_of(dev).len() as u32;
     *stored ^ (Word::from(pattern) << (dev as u32 * s))
 }
@@ -30,7 +35,9 @@ fn full_storage_roundtrip_with_shuffled_code() {
         let failed = stored ^ (Word::from(drop_mask) << (dev as u32 * 8));
         let received = map.unshuffle_from_storage(&failed);
         match code.decode(&received) {
-            Decoded::Corrected { payload: p, symbol, .. } => {
+            Decoded::Corrected {
+                payload: p, symbol, ..
+            } => {
                 assert_eq!(p, payload);
                 assert_eq!(symbol, dev);
             }
@@ -52,7 +59,11 @@ fn every_device_every_pattern_sequential_code() {
             let failed = fail_device_in_storage(&stored, &code, dev, pattern);
             let received = code.symbol_map().unshuffle_from_storage(&failed);
             let decoded = code.decode(&received);
-            assert_eq!(decoded.payload(), Some(payload), "dev {dev} pattern {pattern}");
+            assert_eq!(
+                decoded.payload(),
+                Some(payload),
+                "dev {dev} pattern {pattern}"
+            );
         }
     }
 }
@@ -60,7 +71,11 @@ fn every_device_every_pattern_sequential_code() {
 #[test]
 fn random_payloads_random_single_device_errors() {
     let mut rng = Rng::seeded(0xE2E);
-    for code in [presets::muse_144_132(), presets::muse_80_69(), presets::muse_268_256()] {
+    for code in [
+        presets::muse_144_132(),
+        presets::muse_80_69(),
+        presets::muse_268_256(),
+    ] {
         for _ in 0..50 {
             let payload = muse::faultsim::random_payload(&mut rng, code.k_bits());
             let cw = code.encode(&payload);
@@ -73,7 +88,12 @@ fn random_payloads_random_single_device_errors() {
                     corrupted.toggle_bit(bit);
                 }
             }
-            assert_eq!(code.decode(&corrupted).payload(), Some(payload), "{}", code.name());
+            assert_eq!(
+                code.decode(&corrupted).payload(),
+                Some(payload),
+                "{}",
+                code.name()
+            );
         }
     }
 }
@@ -87,7 +107,10 @@ fn muse_and_rs_agree_on_the_clean_path() {
     let rs = muse::rs::RsMemoryCode::new(8, 144, 1).unwrap();
     for _ in 0..50 {
         let payload = muse::faultsim::random_payload(&mut rng, 128);
-        assert_eq!(muse.payload_of(&muse.encode(&payload)) & Word::mask(128), payload);
+        assert_eq!(
+            muse.payload_of(&muse.encode(&payload)) & Word::mask(128),
+            payload
+        );
         assert_eq!(rs.payload_of(&rs.encode(&payload)), payload);
     }
 }
@@ -109,14 +132,22 @@ fn hybrid_code_covers_both_declared_classes() {
             }
         }
         if any {
-            assert_eq!(code.decode(&corrupted).payload(), Some(payload), "device {dev}");
+            assert_eq!(
+                code.decode(&corrupted).payload(),
+                Some(payload),
+                "device {dev}"
+            );
         }
     }
     // (b) bidirectional single-bit errors
     for bit in 0..80 {
         let mut corrupted = cw;
         corrupted.toggle_bit(bit);
-        assert_eq!(code.decode(&corrupted).payload(), Some(payload), "bit {bit}");
+        assert_eq!(
+            code.decode(&corrupted).payload(),
+            Some(payload),
+            "bit {bit}"
+        );
     }
 }
 

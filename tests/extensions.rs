@@ -21,7 +21,11 @@ fn line_codec_carries_mte_tags_through_chip_failure() {
     let line = codec.decode_line(&stored).unwrap();
     assert_eq!(line.data, data);
     assert_eq!(line.metadata, tags);
-    assert_eq!(line.corrections.len(), 8, "every word needed one correction");
+    assert_eq!(
+        line.corrections.len(),
+        8,
+        "every word needed one correction"
+    );
 }
 
 #[test]
@@ -69,7 +73,11 @@ fn trace_replay_is_equivalent_to_generated_stream() {
 fn verilog_emission_reflects_the_spec_constants() {
     for code in presets::table1() {
         let v = muse::hw::emit_encoder_module(&code, "dut");
-        assert!(v.contains(&format!("'d{} - rem", code.multiplier())), "{}", code.name());
+        assert!(
+            v.contains(&format!("'d{} - rem", code.multiplier())),
+            "{}",
+            code.name()
+        );
         assert!(
             v.contains(&format!("[{}:0] codeword", code.n_bits() - 1)),
             "{}",

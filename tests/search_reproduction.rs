@@ -14,8 +14,8 @@ fn appendix_f_full_144b_12bit_list() {
     assert_eq!(
         found,
         vec![
-            2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469, 3505, 3523,
-            3531, 3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995, 4017, 4043, 4065,
+            2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469, 3505, 3523, 3531,
+            3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995, 4017, 4043, 4065,
         ]
     );
 }
@@ -47,8 +47,7 @@ fn double_device_recovery_via_erasures() {
     let cw = code.encode(&payload);
     for first in 0..19usize {
         // Both devices of the adjacent pair return garbage.
-        let corrupted =
-            cw ^ *code.symbol_map().mask(first) ^ *code.symbol_map().mask(first + 1);
+        let corrupted = cw ^ *code.symbol_map().mask(first) ^ *code.symbol_map().mask(first + 1);
         let recovered = code.recover_erasures(&corrupted, &[first, first + 1]);
         assert_eq!(recovered, Some(payload), "pair ({first},{})", first + 1);
     }
@@ -59,7 +58,16 @@ fn double_device_recovery_via_erasures() {
     let model = ErrorModel::symbol(Direction::Bidirectional);
     for p in [15u32, 16] {
         assert!(
-            find_multipliers(&map, &model, p, SearchOptions { threads: 0, limit: 1 }).is_empty(),
+            find_multipliers(
+                &map,
+                &model,
+                p,
+                SearchOptions {
+                    threads: 0,
+                    limit: 1
+                }
+            )
+            .is_empty(),
             "p={p}"
         );
     }

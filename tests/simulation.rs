@@ -2,9 +2,7 @@
 //! hardware model must tell the same story the paper tells.
 
 use muse::hw::{muse_hardware, rs_hardware, TechParams};
-use muse::memsim::{
-    spec2017_profiles, EccLatency, System, SystemConfig, TagStorage, Workload,
-};
+use muse::memsim::{spec2017_profiles, EccLatency, System, SystemConfig, TagStorage, Workload};
 use muse::rs::RsMemoryCode;
 
 fn run(config: SystemConfig, bench: usize, ops: u64) -> muse::memsim::RunStats {
@@ -15,7 +13,11 @@ fn run(config: SystemConfig, bench: usize, ops: u64) -> muse::memsim::RunStats {
 }
 
 fn study_config() -> SystemConfig {
-    SystemConfig { l2_bytes: 128 * 1024, l3_bytes: 1024 * 1024, ..SystemConfig::default() }
+    SystemConfig {
+        l2_bytes: 128 * 1024,
+        l3_bytes: 1024 * 1024,
+        ..SystemConfig::default()
+    }
 }
 
 #[test]
@@ -36,7 +38,13 @@ fn figure6_claim_ecc_is_nearly_free() {
     // well under 1%.
     let base = run(study_config(), 8, 60_000);
     let muse = run(
-        SystemConfig { ecc: EccLatency { encode: 4, correct: 0 }, ..study_config() },
+        SystemConfig {
+            ecc: EccLatency {
+                encode: 4,
+                correct: 0,
+            },
+            ..study_config()
+        },
         8,
         60_000,
     );
@@ -51,13 +59,18 @@ fn figure7_claim_inline_tags_beat_disjoint_tags() {
     // the way Figure 7 does.
     for bench in [3usize, 8, 20] {
         let inline = run(
-            SystemConfig { tagging: TagStorage::InlineEcc, ..study_config() },
+            SystemConfig {
+                tagging: TagStorage::InlineEcc,
+                ..study_config()
+            },
             bench,
             60_000,
         );
         let cached = run(
             SystemConfig {
-                tagging: TagStorage::Disjoint { cache_entries: Some(32) },
+                tagging: TagStorage::Disjoint {
+                    cache_entries: Some(32),
+                },
                 ..study_config()
             },
             bench,
@@ -65,7 +78,9 @@ fn figure7_claim_inline_tags_beat_disjoint_tags() {
         );
         let uncached = run(
             SystemConfig {
-                tagging: TagStorage::Disjoint { cache_entries: None },
+                tagging: TagStorage::Disjoint {
+                    cache_entries: None,
+                },
                 ..study_config()
             },
             bench,
@@ -100,17 +115,40 @@ fn booth_claim_from_section_v() {
 fn all_benchmarks_complete_under_every_config() {
     // Smoke: every profile runs under every tagging/ECC combination.
     let (muse_ecc, rs_ecc) = (
-        EccLatency { encode: 4, correct: 4 },
-        EccLatency { encode: 1, correct: 2 },
+        EccLatency {
+            encode: 4,
+            correct: 4,
+        },
+        EccLatency {
+            encode: 1,
+            correct: 2,
+        },
     );
     for (i, profile) in spec2017_profiles().into_iter().enumerate().take(6) {
         for (ecc, tagging) in [
             (EccLatency::NONE, TagStorage::None),
             (muse_ecc, TagStorage::InlineEcc),
-            (rs_ecc, TagStorage::Disjoint { cache_entries: Some(32) }),
+            (
+                rs_ecc,
+                TagStorage::Disjoint {
+                    cache_entries: Some(32),
+                },
+            ),
         ] {
-            let stats = run(SystemConfig { ecc, tagging, ..study_config() }, i, 8_000);
-            assert!(stats.cycles > 0 && stats.instructions > 0, "{}", profile.name);
+            let stats = run(
+                SystemConfig {
+                    ecc,
+                    tagging,
+                    ..study_config()
+                },
+                i,
+                8_000,
+            );
+            assert!(
+                stats.cycles > 0 && stats.instructions > 0,
+                "{}",
+                profile.name
+            );
             assert!(stats.ipc() > 0.01 && stats.ipc() <= 1.0, "{}", profile.name);
         }
     }
