@@ -20,6 +20,37 @@
 //! | `ablation` | extension — design-choice ablations |
 //! | `ondie` | extension — on-die SEC × rank MUSE co-design |
 //! | `repro_all` | Everything above in sequence |
+//!
+//! # The `BENCH_faultsim.json` performance snapshot
+//!
+//! `cargo run --release -p muse-bench --bin bench_faultsim [trials]`
+//! measures every fault simulator and (over)writes `BENCH_faultsim.json`
+//! in the current directory, so each PR's hot-path numbers land next to
+//! the previous baseline. Schema `faultsim-bench/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "faultsim-bench/v1",
+//!   "threads_available": 1,          // CPUs visible to the run
+//!   "trials": 20000,                 // base trial count (CLI arg)
+//!   "msed_speedup_vs_naive": {"one_thread": 4.8, "all_threads": 4.7},
+//!   "results": [
+//!     {
+//!       "name": "msed_muse_144_132", // simulator + code under test
+//!       "trials": 20000,             // this row's trial count (some rows
+//!                                    // scale the base count down because a
+//!                                    // trial covers many words/devices)
+//!       "one_thread":  {"seconds": 0.0008, "trials_per_sec": 26000000},
+//!       "all_threads": {"seconds": 0.0008, "trials_per_sec": 26000000}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Timings are best-of-3 wall-clock; `msed_naive_wide_serial` is the
+//! pre-engine wide-word loop kept as the speedup baseline. Regenerate on a
+//! quiet machine and commit the file when a PR changes simulator
+//! performance.
 
 pub mod baseline;
 pub mod experiments;

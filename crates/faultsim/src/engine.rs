@@ -38,6 +38,13 @@ impl Default for SimEngine {
 }
 
 impl SimEngine {
+    /// Trials per block in [`Self::run_blocked`].
+    ///
+    /// A fixed constant of the determinism contract: block `b` always covers
+    /// trials `[b·TRIAL_BLOCK, (b+1)·TRIAL_BLOCK)` regardless of worker
+    /// count, and draws exclusively from [`Rng::for_block`]`(seed, b)`.
+    pub const TRIAL_BLOCK: u64 = 1024;
+
     /// An engine with a fixed worker count (`0` ⇒ one per available CPU).
     pub fn new(threads: usize) -> Self {
         Self { threads }
@@ -53,6 +60,23 @@ impl SimEngine {
     }
 
     /// Runs `trials` scratchless trials and merges their tallies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_faultsim::SimEngine;
+    ///
+    /// // Estimate P(two dice agree) from 10 000 trials on all CPUs.
+    /// let roll = |_i: u64, rng: &mut muse_faultsim::Rng, hits: &mut u64| {
+    ///     if rng.below(6) == rng.below(6) {
+    ///         *hits += 1;
+    ///     }
+    /// };
+    /// let hits: u64 = SimEngine::default().run(7, 10_000, roll);
+    /// // The determinism contract: bit-identical at any worker count.
+    /// assert_eq!(hits, SimEngine::new(1).run(7, 10_000, roll));
+    /// assert!((hits as f64 / 10_000.0 - 1.0 / 6.0).abs() < 0.02);
+    /// ```
     pub fn run<T, F>(&self, seed: u64, trials: u64, trial: F) -> T
     where
         T: Tally,
@@ -64,6 +88,82 @@ impl SimEngine {
             || (),
             |i, rng, (), tally| trial(i, rng, tally),
         )
+    }
+
+    /// Runs `trials` trials in fixed-size blocks sharing one RNG stream per
+    /// block, and merges the per-block tallies.
+    ///
+    /// This is the engine's *batched-draw* mode: where [`Self::run_with`]
+    /// constructs a fresh [`Rng::for_trial`] state per trial, a blocked run
+    /// constructs one [`Rng::for_block`] stream per [`Self::TRIAL_BLOCK`]
+    /// trials and lets the block body draw from it sequentially (including
+    /// variable-length rejection sampling — consumption may differ per
+    /// trial). Because block boundaries are a fixed constant and workers are
+    /// assigned whole blocks, results remain **bit-identical at any thread
+    /// count**.
+    ///
+    /// `block` receives the global trial-index range of the block, the
+    /// block's private RNG stream, the worker scratch, and the worker-local
+    /// tally; it must process the trials of `range` in ascending order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use muse_faultsim::SimEngine;
+    ///
+    /// let heads: u64 = SimEngine::new(2).run_blocked(
+    ///     7,
+    ///     10_000,
+    ///     || (),
+    ///     |range, rng, (), tally| {
+    ///         for _ in range {
+    ///             *tally += rng.next_u64() & 1;
+    ///         }
+    ///     },
+    /// );
+    /// assert_eq!(heads, SimEngine::new(1).run_blocked(7, 10_000, || (), |range, rng, (), tally: &mut u64| {
+    ///     for _ in range { *tally += rng.next_u64() & 1; }
+    /// }));
+    /// ```
+    pub fn run_blocked<T, S, I, F>(&self, seed: u64, trials: u64, init: I, block: F) -> T
+    where
+        T: Tally,
+        I: Fn() -> S + Sync,
+        F: Fn(std::ops::Range<u64>, &mut Rng, &mut S, &mut T) + Sync,
+    {
+        const B: u64 = SimEngine::TRIAL_BLOCK;
+        let run_blocks = |lo_block: u64, hi_block: u64| -> T {
+            let mut scratch = init();
+            let mut tally = T::default();
+            for b in lo_block..hi_block {
+                let mut rng = Rng::for_block(seed, b);
+                let range = b * B..((b + 1) * B).min(trials);
+                block(range, &mut rng, &mut scratch, &mut tally);
+            }
+            tally
+        };
+
+        let blocks = trials.div_ceil(B);
+        let threads = self.threads().min(blocks.max(1) as usize);
+        if threads <= 1 {
+            return run_blocks(0, blocks);
+        }
+        let chunk = blocks.div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|w| {
+                    let run_blocks = &run_blocks;
+                    let lo = w * chunk;
+                    let hi = (lo + chunk).min(blocks);
+                    scope.spawn(move || run_blocks(lo, hi))
+                })
+                .collect();
+            let mut total = T::default();
+            for handle in handles {
+                total.merge(handle.join().expect("simulation worker panicked"));
+            }
+            total
+        })
     }
 
     /// Runs `trials` trials with per-worker scratch state and merges their
@@ -176,6 +276,67 @@ mod tests {
             },
         );
         assert_eq!(total, 4_096);
+        assert_eq!(inits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn blocked_runs_identical_across_thread_counts() {
+        // Variable per-trial draw consumption (rejection-style) must not
+        // break thread-count invariance: blocks are fixed.
+        let run = |threads| {
+            SimEngine::new(threads).run_blocked::<u64, _, _, _>(
+                42,
+                10_000,
+                || (),
+                |range, rng, (), acc| {
+                    for i in range {
+                        let mut draws = 1 + (i % 3);
+                        while draws > 0 {
+                            *acc += rng.below(100);
+                            draws -= 1;
+                        }
+                    }
+                },
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(5));
+        assert_eq!(serial, run(0));
+    }
+
+    #[test]
+    fn blocked_ranges_cover_all_trials_exactly_once() {
+        let trials = 2 * SimEngine::TRIAL_BLOCK + 137;
+        let count: u64 = SimEngine::new(3).run_blocked(
+            1,
+            trials,
+            || (),
+            |range, _, (), acc: &mut u64| {
+                assert!(range.end <= trials);
+                assert!(range.start < range.end);
+                *acc += range.end - range.start;
+            },
+        );
+        assert_eq!(count, trials);
+        // Zero trials: no blocks at all.
+        let none: u64 = SimEngine::new(3).run_blocked(1, 0, || (), |_, _, (), acc| *acc += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn blocked_scratch_is_reused_within_a_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let total: u64 = SimEngine::new(2).run_blocked(
+            1,
+            4 * SimEngine::TRIAL_BLOCK,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |range, _, (), acc| *acc += range.end - range.start,
+        );
+        assert_eq!(total, 4 * SimEngine::TRIAL_BLOCK);
         assert_eq!(inits.load(Ordering::Relaxed), 2);
     }
 

@@ -1,30 +1,191 @@
-//! Internal residue-space trial machinery shared by the kernel-accelerated
-//! simulators (`msed`, `retention`, `fit`).
+//! Internal content-space trial machinery shared by the kernel-accelerated
+//! simulators (`msed`, `retention`, `fit`, `ondie`).
 //!
-//! A trial never materializes a codeword: the payload lives as a few raw
-//! limbs, symbol contents are gathered lazily (usually one shift-and-mask;
-//! the check value `X` is folded — division-free — only when a touched
-//! symbol owns check bits), and the injected corruption is a short list of
-//! `(symbol, xor-pattern)` pairs whose syndrome is accumulated with table
-//! lookups. See [`SyndromeKernel`](muse_core::SyndromeKernel) for the
-//! tables.
+//! A trial lives entirely in the *content/error-value domain*: instead of
+//! sampling a wide codeword and corrupting it, a trial samples only what it
+//! observes —
+//!
+//! * the **content** of each touched symbol, drawn lazily and uniformly
+//!   over the symbol's width (for a uniform payload, symbol payload bits
+//!   are independent uniform bits);
+//! * the **check value** `X`, drawn lazily and uniformly over `[0, m)` the
+//!   first time a touched symbol owns check-region bits (for a uniform
+//!   `k`-bit payload the true `X = m − payload·2^r mod m` deviates from
+//!   uniform by less than `m/2^k ≤ 2⁻³⁵` in total variation — far below
+//!   Monte-Carlo resolution);
+//! * the injected corruption, a short list of `(symbol, xor-pattern)`
+//!   pairs whose syndrome is accumulated with
+//!   [`SyndromeKernel`](muse_core::SyndromeKernel) table lookups.
+//!
+//! No wide word — and no payload limb — is ever materialized on this path.
+//! [`TrialPlan`] holds the per-configuration sampling constants and
+//! supports columnar replay: whole blocks of symbol/pattern/content draws
+//! are bulk-filled ([`Bounded32::fill`], [`Rng::fill_u64s`]) and consumed
+//! per trial, which removes the serial RNG dependency between consecutive
+//! trials. The in-module property tests reconstruct wide codewords
+//! consistent with each sampled trial and prove the classification matches
+//! the wide decoder, preset by preset.
 
-use muse_core::{FastDecode, MuseCode, SyndromeKernel};
+use muse_core::{FastDecode, SyndromeKernel};
 
+use crate::rng::Bounded32;
 use crate::Rng;
 
-/// Per-worker scratch for residue-space trials: one payload draw plus a
-/// lazily-filled content cache.
+/// Maximum simultaneous device failures the fixed-capacity content-space
+/// trial paths support; experiments beyond this take the wide-word
+/// fallbacks (which accept any `k ≤ n_devices`).
+pub(crate) const MAX_STRIKES: usize = 8;
+
+/// Splits raw `u64` draws into 32-bit halves so two bounded samples usually
+/// cost one generator step.
+#[derive(Default)]
+pub(crate) struct HalfDraws {
+    pending: Option<u32>,
+}
+
+impl HalfDraws {
+    #[inline]
+    pub fn next(&mut self, rng: &mut Rng) -> u32 {
+        match self.pending.take() {
+            Some(half) => half,
+            None => {
+                let raw = rng.next_u64();
+                self.pending = Some((raw >> 32) as u32);
+                raw as u32
+            }
+        }
+    }
+}
+
+/// Precomputed sampling distribution for kernel-path trials: which symbol
+/// to strike, with what nonzero pattern, and what the symbol held — with
+/// every Lemire rejection constant derived once per configuration instead
+/// of per draw.
+pub(crate) struct TrialPlan {
+    /// `picks[i]` samples over `n_sym − i` (distinct-symbol draw `i`).
+    picks: Vec<Bounded32>,
+    /// Per-symbol nonzero-pattern samplers over `2^width − 1`.
+    patterns: Vec<Bounded32>,
+    /// Per-symbol bit-position samplers over `width`.
+    bits: Vec<Bounded32>,
+    /// Check-value sampler over `[0, m)`.
+    x_pick: Bounded32,
+}
+
+impl TrialPlan {
+    /// A plan for trials striking up to `max_k` distinct symbols.
+    pub fn new(kernel: &SyndromeKernel, max_k: usize) -> Self {
+        let n = kernel.num_symbols();
+        assert!(max_k <= n, "cannot corrupt {max_k} of {n} devices");
+        Self {
+            picks: (0..max_k).map(|i| Bounded32::new((n - i) as u32)).collect(),
+            patterns: (0..n)
+                .map(|s| Bounded32::new((1u32 << kernel.symbol_bits(s)) - 1))
+                .collect(),
+            bits: (0..n)
+                .map(|s| Bounded32::new(kernel.symbol_bits(s)))
+                .collect(),
+            x_pick: Bounded32::new(u32::try_from(kernel.modulus()).expect("kernel moduli fit u32")),
+        }
+    }
+
+    /// The check-value sampler (uniform over `[0, m)`).
+    #[inline]
+    pub fn x_pick(&self) -> Bounded32 {
+        self.x_pick
+    }
+
+    /// The sampler for distinct-symbol draw `i` (over `n_sym − i`).
+    #[inline]
+    pub fn pick(&self, i: usize) -> Bounded32 {
+        self.picks[i]
+    }
+
+    /// When every symbol shares one width: the common nonzero-pattern
+    /// sampler (add 1 to its samples), enabling columnar pattern fills.
+    pub fn uniform_pattern(&self) -> Option<Bounded32> {
+        let first = *self.patterns.first()?;
+        self.patterns.iter().all(|p| *p == first).then_some(first)
+    }
+
+    /// Draws one uniformly random symbol index.
+    #[inline]
+    pub fn pick_symbol(&self, rng: &mut Rng, halves: &mut HalfDraws) -> usize {
+        let half = halves.next(rng);
+        self.picks[0].of_half(rng, half) as usize
+    }
+
+    /// Draws a uniformly random nonzero corruption pattern for `sym`.
+    #[inline]
+    pub fn pick_pattern(&self, rng: &mut Rng, halves: &mut HalfDraws, sym: usize) -> u16 {
+        let half = halves.next(rng);
+        1 + self.patterns[sym].of_half(rng, half) as u16
+    }
+
+    /// Draws a uniformly random content-bit index of `sym`.
+    #[inline]
+    pub fn pick_bit(&self, rng: &mut Rng, halves: &mut HalfDraws, sym: usize) -> u32 {
+        let half = halves.next(rng);
+        self.bits[sym].of_half(rng, half)
+    }
+
+    /// Draws `k` distinct symbols with a fresh nonzero corruption pattern
+    /// each, appending them to the scratch's injection list.
+    #[inline]
+    pub fn inject_distinct(&self, scratch: &mut CodewordScratch, rng: &mut Rng, k: usize) {
+        debug_assert!(k <= self.picks.len(), "plan built for fewer strikes");
+        let mut halves = HalfDraws::default();
+        let mut sorted = [0usize; MAX_STRIKES];
+        assert!(
+            k <= MAX_STRIKES,
+            "at most {MAX_STRIKES} simultaneous device failures on the fast path"
+        );
+        for i in 0..k {
+            let half = halves.next(rng);
+            let draw = self.picks[i].of_half(rng, half) as usize;
+            let sym = place_distinct(&mut sorted, i, draw);
+            let pattern = self.pick_pattern(rng, &mut halves, sym);
+            scratch.injected.push((sym, pattern));
+        }
+    }
+}
+
+/// Maps the `i`-th distinct draw `v ∈ [0, n−i)` onto the complement of the
+/// ascending set `chosen[..i]`, inserts it, and returns the chosen index —
+/// direct distinct sampling with no retry loop.
+#[inline]
+pub(crate) fn place_distinct(chosen: &mut [usize; 8], i: usize, mut sym: usize) -> usize {
+    // Shift past the already-chosen indices to land on the v-th unchosen
+    // one; `chosen` stays sorted, so stopping at the first larger entry is
+    // sound.
+    let mut insert = i;
+    for (j, &prev) in chosen[..i].iter().enumerate() {
+        if sym >= prev {
+            sym += 1;
+        } else {
+            insert = j;
+            break;
+        }
+    }
+    let mut j = i;
+    while j > insert {
+        chosen[j] = chosen[j - 1];
+        j -= 1;
+    }
+    chosen[insert] = sym;
+    sym
+}
+
+/// Per-worker scratch for content-space trials: lazily sampled symbol
+/// contents plus the trial's injected corruption.
 pub(crate) struct CodewordScratch {
-    payload: [u64; 5],
-    /// Per-limb masks of the `k`-bit payload region.
-    limb_masks: [u64; 5],
-    /// Limbs the payload actually occupies (the rest stay zero).
-    limbs: usize,
     contents: Vec<u16>,
     stamps: Vec<u64>,
     generation: u64,
-    check_value: Option<u64>,
+    /// The check value `X`, drawn uniformly over `[0, m)` on first use by a
+    /// symbol owning check-region bits.
+    x: Option<u64>,
+    x_pick: Bounded32,
     /// The injected corruption of the current trial. Invariant: at most
     /// one entry per symbol (merge multiple fault mechanisms into one XOR
     /// pattern before pushing) — [`Self::syndrome`] and [`classify`] treat
@@ -33,70 +194,105 @@ pub(crate) struct CodewordScratch {
 }
 
 impl CodewordScratch {
-    pub fn new(code: &MuseCode, kernel: &SyndromeKernel) -> Self {
-        let k = code.k_bits();
-        let limb_masks = std::array::from_fn(|i| {
-            let lo = i as u32 * 64;
-            if k >= lo + 64 {
-                u64::MAX
-            } else if k <= lo {
-                0
-            } else {
-                (1u64 << (k - lo)) - 1
-            }
-        });
-        let n_sym = code.symbol_map().num_symbols();
+    pub fn new(kernel: &SyndromeKernel) -> Self {
+        let n_sym = kernel.num_symbols();
         Self {
-            payload: [0; 5],
-            limb_masks,
-            limbs: kernel.payload_limbs(),
             contents: vec![0; n_sym],
             stamps: vec![u64::MAX; n_sym],
             generation: 0,
-            check_value: None,
+            x: None,
+            x_pick: Bounded32::new(u32::try_from(kernel.modulus()).expect("kernel moduli fit u32")),
             injected: Vec::with_capacity(8),
         }
     }
 
-    /// Starts a trial: draws a fresh uniform `k`-bit payload and invalidates
-    /// the content cache.
+    /// Starts a trial: invalidates the content cache, the check value, and
+    /// the injection list. Nothing is drawn until first observed.
     #[inline]
-    pub fn begin_trial(&mut self, rng: &mut Rng) {
-        for i in 0..self.limbs {
-            self.payload[i] = rng.next_u64() & self.limb_masks[i];
-        }
+    pub fn begin_trial(&mut self) {
         self.generation = self.generation.wrapping_add(1);
-        self.check_value = None;
+        self.x = None;
         self.injected.clear();
     }
 
-    /// The payload limbs of the current trial.
-    #[cfg(test)]
-    pub fn payload(&self) -> &[u64; 5] {
-        &self.payload
+    /// The trial's check value, drawn on first use.
+    #[inline]
+    fn check_value(&mut self, rng: &mut Rng) -> u64 {
+        match self.x {
+            Some(x) => x,
+            None => {
+                let x = self.x_pick.sample(rng) as u64;
+                self.x = Some(x);
+                x
+            }
+        }
     }
 
-    /// The original (pre-corruption) content of `sym` in the encoded word,
-    /// computed on first use per trial.
+    /// The original (pre-corruption) content of `sym` in the stored word,
+    /// sampled on first observation per trial.
     #[inline]
-    pub fn content(&mut self, kernel: &SyndromeKernel, sym: usize) -> u16 {
+    pub fn content(&mut self, kernel: &SyndromeKernel, rng: &mut Rng, sym: usize) -> u16 {
         if self.stamps[sym] != self.generation {
-            let x = if kernel.needs_check_value(sym) {
-                *self
-                    .check_value
-                    .get_or_insert_with(|| kernel.check_value(&self.payload))
+            let raw = rng.next_u64() as u16;
+            return self.supply_content(kernel, rng, sym, raw);
+        }
+        self.contents[sym]
+    }
+
+    /// Like [`Self::content`], but takes the symbol's raw content bits from
+    /// a pre-filled draw column instead of the live stream (`raw` is
+    /// ignored when the content is already cached this trial). Check-region
+    /// bits are filled from the trial's check value.
+    #[inline]
+    pub fn supply_content(
+        &mut self,
+        kernel: &SyndromeKernel,
+        rng: &mut Rng,
+        sym: usize,
+        raw: u16,
+    ) -> u16 {
+        if self.stamps[sym] != self.generation {
+            let content = if kernel.needs_check_value(sym) {
+                let x = self.check_value(rng);
+                kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), x)
             } else {
-                0
+                raw & kernel.width_mask(sym)
             };
-            self.contents[sym] = kernel.encoded_content(sym, &self.payload, x);
+            self.contents[sym] = content;
             self.stamps[sym] = self.generation;
         }
         self.contents[sym]
     }
 
+    /// The contents observed this trial (`None` = never sampled, free) and
+    /// the check value, if one was drawn. Any wide codeword agreeing with
+    /// the observed contents is consistent with the trial.
+    #[cfg(test)]
+    pub fn observed(&self) -> (Vec<Option<u16>>, Option<u64>) {
+        (
+            (0..self.contents.len())
+                .map(|s| (self.stamps[s] == self.generation).then(|| self.contents[s]))
+                .collect(),
+            self.x,
+        )
+    }
+
+    /// Pins every symbol content (and the check value) to those of a real
+    /// codeword, making the trial an exact replay of a wide-word trial.
+    #[cfg(test)]
+    pub fn prefill(&mut self, contents: &[u16], x: u64) {
+        self.generation = self.generation.wrapping_add(1);
+        self.injected.clear();
+        self.x = Some(x);
+        self.contents.copy_from_slice(contents);
+        for stamp in &mut self.stamps {
+            *stamp = self.generation;
+        }
+    }
+
     /// Syndrome of the current trial's injected corruption.
     #[inline]
-    pub fn syndrome(&mut self, kernel: &SyndromeKernel) -> u64 {
+    pub fn syndrome(&mut self, kernel: &SyndromeKernel, rng: &mut Rng) -> u64 {
         debug_assert!(
             self.injected
                 .iter()
@@ -107,10 +303,175 @@ impl CodewordScratch {
         let mut rem = 0;
         for idx in 0..self.injected.len() {
             let (sym, pattern) = self.injected[idx];
-            let content = self.content(kernel, sym);
+            let content = self.content(kernel, rng, sym);
             rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
         }
         rem
+    }
+}
+
+/// Fixed-capacity record of one columnar-replay trial — the MSED hot path.
+///
+/// Unlike [`CodewordScratch`] (whose content cache lives in per-symbol
+/// vectors), an inline trial keeps its strikes in a small fixed array that
+/// stays in registers when the record is a non-escaping local, so
+/// consecutive trials share no memory traffic and the CPU overlaps their
+/// table lookups. Capacity is [`MAX_STRIKES`] simultaneous device
+/// failures; larger experiments take the wide-word path.
+#[derive(Default)]
+pub(crate) struct InlineTrial {
+    /// `(symbol, pattern, content)` per strike.
+    strikes: [(u32, u16, u16); MAX_STRIKES],
+    len: usize,
+    /// Content drawn for a correction target outside the strikes.
+    extra: Option<(u32, u16)>,
+    /// The trial's check value, drawn on first use.
+    x: Option<u64>,
+}
+
+impl InlineTrial {
+    /// The observations of the last trial, in [`CodewordScratch::observed`]
+    /// form, for reference reconstruction.
+    #[cfg(test)]
+    pub fn observed(&self, n_sym: usize) -> (Vec<Option<u16>>, Option<u64>) {
+        let mut observed = vec![None; n_sym];
+        for &(s, _, c) in &self.strikes[..self.len] {
+            observed[s as usize] = Some(c);
+        }
+        if let Some((s, c)) = self.extra {
+            observed[s as usize] = Some(c);
+        }
+        (observed, self.x)
+    }
+
+    /// The strikes of the last trial.
+    #[cfg(test)]
+    pub fn strikes(&self) -> &[(u32, u16, u16)] {
+        &self.strikes[..self.len]
+    }
+}
+
+/// A symbol content assembled from raw uniform bits: payload bits masked to
+/// the symbol width, check-region bits (if any) filled from the trial's
+/// check value, drawn on first use.
+#[inline]
+pub(crate) fn content_from_raw(
+    kernel: &SyndromeKernel,
+    x_pick: Bounded32,
+    rng: &mut Rng,
+    x: &mut Option<u64>,
+    sym: usize,
+    raw: u16,
+) -> u16 {
+    if kernel.needs_check_value(sym) {
+        let xv = match *x {
+            Some(v) => v,
+            None => {
+                let v = x_pick.sample(rng) as u64;
+                *x = Some(v);
+                v
+            }
+        };
+        kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), xv)
+    } else {
+        raw & kernel.width_mask(sym)
+    }
+}
+
+/// Runs one content-space MSED trial from pre-drawn columns: `draws[i]` is
+/// the `i`-th strike's `(distinct-symbol draw, final nonzero pattern, raw
+/// content bits)`. Classification reproduces the wide decoder bit-for-bit
+/// (property-tested below alongside [`classify`]).
+#[inline]
+pub(crate) fn msed_inline_trial(
+    kernel: &SyndromeKernel,
+    x_pick: Bounded32,
+    rng: &mut Rng,
+    trial: &mut InlineTrial,
+    draws: &[(u32, u16, u16)],
+) -> TrialOutcome {
+    assert!(
+        draws.len() <= MAX_STRIKES,
+        "at most {MAX_STRIKES} simultaneous device failures on the fast path"
+    );
+    trial.x = None;
+    trial.extra = None;
+    trial.len = draws.len();
+    let mut chosen = [0usize; MAX_STRIKES];
+    let mut rem = 0u64;
+    for (i, &(sym_draw, pattern, raw)) in draws.iter().enumerate() {
+        let sym = place_distinct(&mut chosen, i, sym_draw as usize);
+        let content = content_from_raw(kernel, x_pick, rng, &mut trial.x, sym, raw);
+        rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
+        trial.strikes[i] = (sym as u32, pattern, content);
+    }
+    let (outcome, extra) = classify_strikes(
+        kernel,
+        x_pick,
+        rng,
+        &trial.strikes[..draws.len()],
+        rem,
+        &mut trial.x,
+    );
+    trial.extra = extra;
+    outcome
+}
+
+/// The classification tail shared by [`msed_inline_trial`] and the
+/// two-phase block loop in `muse_msed`: given a trial's strikes (with their
+/// contents) and accumulated syndrome, the exact decode outcome. Returns
+/// any content freshly sampled for a correction target outside the strikes.
+#[inline]
+pub(crate) fn classify_strikes(
+    kernel: &SyndromeKernel,
+    x_pick: Bounded32,
+    rng: &mut Rng,
+    strikes: &[(u32, u16, u16)],
+    rem: u64,
+    x: &mut Option<u64>,
+) -> (TrialOutcome, Option<(u32, u16)>) {
+    if rem == 0 {
+        let intact = strikes
+            .iter()
+            .all(|&(s, p, _)| p & kernel.payload_mask(s as usize) == 0);
+        return if intact {
+            (TrialOutcome::CleanIntact, None)
+        } else {
+            (TrialOutcome::CleanCorrupted, None)
+        };
+    }
+    match kernel.classify(rem) {
+        FastDecode::Clean => unreachable!("nonzero remainder"),
+        FastDecode::Detected => (TrialOutcome::Detected, None),
+        FastDecode::Correct { symbol } => {
+            let mut extra = None;
+            let (original, injected_pattern) =
+                match strikes.iter().find(|&&(s, _, _)| s as usize == symbol) {
+                    Some(&(_, p, c)) => (c, p),
+                    None => {
+                        let raw = rng.next_u64() as u16;
+                        let c = content_from_raw(kernel, x_pick, rng, x, symbol, raw);
+                        extra = Some((symbol as u32, c));
+                        (c, 0)
+                    }
+                };
+            let outcome = match kernel.correct(rem, original ^ injected_pattern) {
+                None => TrialOutcome::Detected,
+                Some(corrected) => {
+                    let payload_restored = (corrected ^ original) & kernel.payload_mask(symbol)
+                        == 0
+                        && strikes.iter().all(|&(s, p, _)| {
+                            s as usize == symbol || p & kernel.payload_mask(s as usize) == 0
+                        });
+                    if payload_restored {
+                        TrialOutcome::CorrectedRight
+                    } else {
+                        TrialOutcome::Miscorrected
+                    }
+                }
+            };
+            (outcome, extra)
+        }
     }
 }
 
@@ -132,10 +493,26 @@ pub(crate) enum TrialOutcome {
 
 /// Classifies the current trial, reproducing the wide decoder bit-for-bit
 /// (cross-validated by `tests/syndrome_equivalence.rs` in `muse-core` and
-/// the in-module test below).
+/// the in-module property tests below).
 #[inline]
-pub(crate) fn classify(kernel: &SyndromeKernel, scratch: &mut CodewordScratch) -> TrialOutcome {
-    let rem = scratch.syndrome(kernel);
+pub(crate) fn classify(
+    kernel: &SyndromeKernel,
+    scratch: &mut CodewordScratch,
+    rng: &mut Rng,
+) -> TrialOutcome {
+    let rem = scratch.syndrome(kernel, rng);
+    classify_rem(kernel, scratch, rng, rem)
+}
+
+/// [`classify`] with the syndrome already accumulated (the columnar hot
+/// loops fold the syndrome while injecting).
+#[inline]
+pub(crate) fn classify_rem(
+    kernel: &SyndromeKernel,
+    scratch: &mut CodewordScratch,
+    rng: &mut Rng,
+    rem: u64,
+) -> TrialOutcome {
     if rem == 0 {
         let intact = scratch
             .injected
@@ -151,7 +528,7 @@ pub(crate) fn classify(kernel: &SyndromeKernel, scratch: &mut CodewordScratch) -
         FastDecode::Clean => unreachable!("nonzero remainder"),
         FastDecode::Detected => TrialOutcome::Detected,
         FastDecode::Correct { symbol } => {
-            let original = scratch.content(kernel, symbol);
+            let original = scratch.content(kernel, rng, symbol);
             let injected_pattern = scratch
                 .injected
                 .iter()
@@ -177,93 +554,392 @@ pub(crate) fn classify(kernel: &SyndromeKernel, scratch: &mut CodewordScratch) -
     }
 }
 
-/// Draws `k` distinct symbols with a fresh nonzero corruption pattern each,
-/// appending them to the scratch's injection list.
-#[inline]
-pub(crate) fn inject_random_symbols(
-    kernel: &SyndromeKernel,
-    scratch: &mut CodewordScratch,
-    rng: &mut Rng,
-    k: usize,
-) {
-    let n = kernel.num_symbols();
-    assert!(k <= n, "cannot corrupt {k} of {n} devices");
-    while scratch.injected.len() < k {
-        let sym = rng.below(n as u64) as usize;
-        if scratch.injected.iter().any(|&(s, _)| s == sym) {
-            continue;
-        }
-        let pattern = rng.nonzero_below(1 << kernel.symbol_bits(sym)) as u16;
-        scratch.injected.push((sym, pattern));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muse_core::{presets, Decoded, Word};
+    use muse_core::{presets, Decoded, MuseCode, Word};
 
-    /// Reference reconstruction: applies the injected patterns to the wide
-    /// codeword and compares the fast classification with the wide decode.
+    fn preset_codes() -> Vec<MuseCode> {
+        let mut codes = presets::table1();
+        codes.extend([presets::muse_80_67(), presets::muse_80_70()]);
+        codes
+    }
+
+    fn check_outcome(name: &str, trial: usize, fast: TrialOutcome, wide: Decoded, payload: Word) {
+        match (fast, wide) {
+            (TrialOutcome::CleanIntact, Decoded::Clean { payload: p }) => {
+                assert_eq!(p, payload, "{name}: trial {trial}")
+            }
+            (TrialOutcome::CleanCorrupted, Decoded::Clean { payload: p }) => {
+                assert_ne!(p, payload, "{name}: trial {trial}")
+            }
+            (TrialOutcome::Detected, Decoded::Detected) => {}
+            (TrialOutcome::CorrectedRight, Decoded::Corrected { payload: p, .. }) => {
+                assert_eq!(p, payload, "{name}: trial {trial}")
+            }
+            (TrialOutcome::Miscorrected, Decoded::Corrected { payload: p, .. }) => {
+                assert_ne!(p, payload, "{name}: trial {trial}")
+            }
+            (fast, wide) => panic!("{name}: trial {trial}: fast {fast:?} vs wide {wide:?}"),
+        }
+    }
+
+    /// Exact replay: pin the scratch contents to a real encoded codeword
+    /// and verify the content-space classification matches the wide decoder
+    /// for random corruptions — every preset, no sampling approximation.
     #[test]
-    fn classification_matches_wide_decoder() {
-        for code in [
-            presets::muse_144_132(),
-            presets::muse_80_69(),
-            presets::muse_80_67(),
-        ] {
-            let kernel = code.kernel().expect("presets support the kernel");
-            let mut scratch = CodewordScratch::new(&code, kernel);
-            let mut rng = Rng::seeded(0xC0DE);
-            for trial in 0..400 {
-                scratch.begin_trial(&mut rng);
-                let k = 1 + (trial % 3) as usize;
-                inject_random_symbols(kernel, &mut scratch, &mut rng, k);
-
-                let payload = Word::from_limbs(*scratch.payload());
+    fn prefilled_trials_match_wide_decoder() {
+        for code in preset_codes() {
+            let Some(kernel) = code.kernel() else {
+                continue;
+            };
+            let plan = TrialPlan::new(kernel, 3);
+            let mut scratch = CodewordScratch::new(kernel);
+            let mut rng = Rng::seeded(0xFEED);
+            for trial in 0..300 {
+                // A fresh random payload per trial, encoded wide.
+                let mut limbs = [0u64; 5];
+                for limb in &mut limbs {
+                    *limb = rng.next_u64();
+                }
+                let payload = Word::from_limbs(limbs) & Word::mask(code.k_bits());
                 let cw = code.encode(&payload);
+                let contents = kernel.contents_of_word(code.symbol_map(), &cw);
+                let x = (cw & Word::mask(code.r_bits())).to_u64().expect("r ≤ 32");
+                scratch.prefill(&contents, x);
+
+                let k = 1 + (trial % 3);
+                plan.inject_distinct(&mut scratch, &mut rng, k);
+                let fast = classify(kernel, &mut scratch, &mut rng);
+
                 let mut corrupted = cw;
                 for &(sym, pattern) in &scratch.injected {
                     code.symbol_map()
                         .apply_xor_pattern(&mut corrupted, sym, pattern as u64);
                 }
-                let fast = classify(kernel, &mut scratch);
-                let wide = code.decode(&corrupted);
-                match (fast, wide) {
-                    (TrialOutcome::CleanIntact, Decoded::Clean { payload: p }) => {
-                        assert_eq!(p, payload)
+                check_outcome(code.name(), trial, fast, code.decode(&corrupted), payload);
+            }
+        }
+    }
+
+    /// `x^(-1) mod m` for odd `m` (test-side completion math).
+    fn mod_inv_pow2(exp: u32, m: u64) -> u64 {
+        // inv(2) = (m+1)/2 for odd m; inv(2^exp) = inv(2)^exp.
+        assert!(m % 2 == 1, "kernel multipliers are odd");
+        let inv2 = m.div_ceil(2);
+        let mut acc = 1u64 % m;
+        for _ in 0..exp {
+            acc = acc * inv2 % m; // both < m < 2^32: fits u64
+        }
+        acc
+    }
+
+    /// Subset-sum completion: finds unobserved payload bits whose single-bit
+    /// residues sum to `target` (mod m) and sets them in `parts`. Works for
+    /// any layout; `O(m)` per item with early exit once the target is
+    /// reachable.
+    fn complete_by_dp(
+        code: &MuseCode,
+        observed: &[Option<u16>],
+        target: u64,
+        parts: &mut [u16],
+    ) -> bool {
+        let kernel = code.kernel().expect("caller checked");
+        let map = code.symbol_map();
+        let m = kernel.modulus() as usize;
+        // Items: one per payload bit of an unobserved symbol; the residue of
+        // a single content bit is additive, R_s[a | b] = R_s[a] + R_s[b].
+        let items: Vec<(usize, usize, u64)> = (0..kernel.num_symbols())
+            .filter(|&s| observed[s].is_none())
+            .flat_map(|s| {
+                map.bits_of(s)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &bit)| bit >= code.r_bits())
+                    .map(move |(i, _)| (s, i))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(s, i)| (s, i, kernel.residue(s, 1 << i)))
+            .collect();
+        const UNREACHED: u16 = u16::MAX;
+        let mut via: Vec<u16> = vec![UNREACHED; m]; // item that first reached res
+        let mut prev: Vec<u32> = vec![0; m];
+        via[0] = UNREACHED - 1; // reached with no items
+        if target == 0 {
+            return true;
+        }
+        for (item, &(_, _, v)) in items.iter().enumerate() {
+            for res in 0..m as u64 {
+                if via[res as usize] < item as u16
+                    || (via[res as usize] == UNREACHED - 1 && res == 0)
+                {
+                    let next = kernel.add_mod(res, v) as usize;
+                    if via[next] == UNREACHED {
+                        via[next] = item as u16;
+                        prev[next] = res as u32;
                     }
-                    (TrialOutcome::CleanCorrupted, Decoded::Clean { payload: p }) => {
-                        assert_ne!(p, payload)
+                }
+            }
+            if via[target as usize] != UNREACHED {
+                // Backtrack, setting the chosen bits.
+                let mut res = target;
+                while res != 0 {
+                    let item = via[res as usize] as usize;
+                    let (s, i, _) = items[item];
+                    assert_eq!(parts[s] & (1 << i), 0, "item used once");
+                    parts[s] |= 1 << i;
+                    res = prev[res as usize] as u64;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Completes a live-sampled content-space trial into a full wide
+    /// codeword: observed contents are honored verbatim, unobserved symbols
+    /// carry zero payload bits except a contiguous "window" whose value is
+    /// solved (mod m) so the codeword's check value equals the trial's
+    /// sampled `X`. Returns `None` when the layout offers no window clear
+    /// of the observed symbols (possible for shuffled maps).
+    fn reconstruct(code: &MuseCode, observed: &[Option<u16>], x: Option<u64>) -> Option<Word> {
+        let kernel = code.kernel().expect("caller checked");
+        let map = code.symbol_map();
+        let m = kernel.modulus();
+        // Payload parts: observed symbols keep their payload bits.
+        let mut parts: Vec<u16> = (0..kernel.num_symbols())
+            .map(|s| observed[s].unwrap_or(0) & kernel.payload_mask(s))
+            .collect();
+        let x = match x {
+            // No check value sampled: any payload works — use the parts as
+            // they stand and derive X from them.
+            None => kernel.check_value_of_parts(&parts),
+            Some(x) => {
+                // Solve: sum of all payload-part residues ≡ m − X (mod m).
+                let fixed = parts.iter().enumerate().fold(0, |acc, (s, &vp)| {
+                    kernel.add_mod(acc, kernel.residue(s, vp))
+                });
+                let target = (2 * m - x - fixed) % m;
+                // Window: ceil(log2 m) contiguous codeword bits ≥ r whose
+                // owners were all unobserved.
+                let window_len = 64 - (m - 1).leading_zeros();
+                let mut solved = false;
+                'search: for a in code.r_bits()..=(code.n_bits() - window_len) {
+                    for b in a..a + window_len {
+                        if observed[map.symbol_of_bit(b)].is_some() {
+                            continue 'search;
+                        }
                     }
-                    (TrialOutcome::Detected, Decoded::Detected) => {}
-                    (TrialOutcome::CorrectedRight, Decoded::Corrected { payload: p, .. }) => {
-                        assert_eq!(p, payload)
+                    // Q·2^a ≡ target (mod m), Q < m ≤ 2^window_len.
+                    let q = target * mod_inv_pow2(a, m) % m;
+                    for b in a..a + window_len {
+                        if q >> (b - a) & 1 == 1 {
+                            let sym = map.symbol_of_bit(b);
+                            let idx = map
+                                .bits_of(sym)
+                                .iter()
+                                .position(|&bit| bit == b)
+                                .expect("owner");
+                            parts[sym] |= 1 << idx;
+                        }
                     }
-                    (TrialOutcome::Miscorrected, Decoded::Corrected { payload: p, .. }) => {
-                        assert_ne!(p, payload)
-                    }
-                    (fast, wide) => {
-                        panic!(
-                            "{}: trial {trial}: fast {fast:?} vs wide {wide:?}",
-                            code.name()
-                        )
-                    }
+                    solved = true;
+                    break;
+                }
+                // Shuffled maps interleave symbols bit-by-bit, so no
+                // contiguous window is clear of observed symbols: fall back
+                // to a subset-sum DP over single unobserved payload bits.
+                if !solved && !complete_by_dp(code, observed, target, &mut parts) {
+                    return None;
+                }
+                x
+            }
+        };
+        // Assemble the codeword from the parts + X's check bits.
+        let mut word = Word::ZERO;
+        for (sym, &part) in parts.iter().enumerate() {
+            let content = kernel.apply_check_bits(sym, part, x);
+            for (i, &bit) in map.bits_of(sym).iter().enumerate() {
+                if content >> i & 1 == 1 {
+                    word.toggle_bit(bit);
+                }
+            }
+        }
+        assert_eq!(code.remainder(&word), 0, "completion must be a codeword");
+        // Honor the observed contents exactly.
+        let contents = kernel.contents_of_word(map, &word);
+        for (s, &obs) in observed.iter().enumerate() {
+            if let Some(c) = obs {
+                assert_eq!(contents[s], c, "symbol {s} content altered");
+            }
+        }
+        Some(word)
+    }
+
+    /// Live sampling: run content-space trials exactly as the simulators
+    /// do, reconstruct a wide codeword consistent with each trial's
+    /// observations, and verify the wide decoder classifies the same way —
+    /// every preset code.
+    #[test]
+    fn sampled_trials_match_wide_decoder() {
+        for code in preset_codes() {
+            let Some(kernel) = code.kernel() else {
+                continue;
+            };
+            let plan = TrialPlan::new(kernel, 3);
+            let mut scratch = CodewordScratch::new(kernel);
+            let mut rng = Rng::seeded(0xC0DE);
+            let mut reconstructed = 0u32;
+            for trial in 0..400 {
+                scratch.begin_trial();
+                let k = 1 + (trial % 3);
+                plan.inject_distinct(&mut scratch, &mut rng, k);
+                let fast = classify(kernel, &mut scratch, &mut rng);
+
+                let (observed, x) = scratch.observed();
+                let Some(cw) = reconstruct(&code, &observed, x) else {
+                    continue; // no window clear of the observed symbols
+                };
+                reconstructed += 1;
+                let payload = code.payload_of(&cw);
+                assert_eq!(code.encode(&payload), cw, "systematic roundtrip");
+                let mut corrupted = cw;
+                for &(sym, pattern) in &scratch.injected {
+                    code.symbol_map()
+                        .apply_xor_pattern(&mut corrupted, sym, pattern as u64);
+                }
+                check_outcome(code.name(), trial, fast, code.decode(&corrupted), payload);
+            }
+            assert!(
+                reconstructed >= 300,
+                "{}: only {reconstructed}/400 trials reconstructable",
+                code.name()
+            );
+        }
+    }
+
+    /// The inline (columnar-replay) MSED path against the wide decoder:
+    /// same reconstruction as `sampled_trials_match_wide_decoder`, driving
+    /// `msed_inline_trial` the way `muse_msed`'s hot loop does.
+    #[test]
+    fn inline_trials_match_wide_decoder() {
+        for code in preset_codes() {
+            let Some(kernel) = code.kernel() else {
+                continue;
+            };
+            let plan = TrialPlan::new(kernel, 3);
+            let Some(uniform) = plan.uniform_pattern() else {
+                continue;
+            };
+            let mut trial = InlineTrial::default();
+            let mut rng = Rng::seeded(0x1221);
+            let mut reconstructed = 0u32;
+            for t in 0..400 {
+                let k = 1 + (t % 3);
+                let mut draws = [(0u32, 0u16, 0u16); 8];
+                for (i, draw) in draws[..k].iter_mut().enumerate() {
+                    *draw = (
+                        plan.pick(i).sample(&mut rng),
+                        1 + uniform.sample(&mut rng) as u16,
+                        rng.next_u64() as u16,
+                    );
+                }
+                let fast =
+                    msed_inline_trial(kernel, plan.x_pick(), &mut rng, &mut trial, &draws[..k]);
+
+                let (observed, x) = trial.observed(kernel.num_symbols());
+                let Some(cw) = reconstruct(&code, &observed, x) else {
+                    continue;
+                };
+                reconstructed += 1;
+                let payload = code.payload_of(&cw);
+                let mut corrupted = cw;
+                for &(sym, pattern, _) in trial.strikes() {
+                    code.symbol_map().apply_xor_pattern(
+                        &mut corrupted,
+                        sym as usize,
+                        pattern as u64,
+                    );
+                }
+                check_outcome(code.name(), t, fast, code.decode(&corrupted), payload);
+            }
+            assert!(
+                reconstructed >= 300,
+                "{}: only {reconstructed}/400 inline trials reconstructable",
+                code.name()
+            );
+        }
+    }
+
+    #[test]
+    fn inject_distinct_is_uniform_and_distinct() {
+        let code = presets::muse_144_132();
+        let kernel = code.kernel().expect("presets support the kernel");
+        let plan = TrialPlan::new(kernel, 3);
+        let mut scratch = CodewordScratch::new(kernel);
+        let mut rng = Rng::seeded(9);
+        let n = kernel.num_symbols();
+        let mut hits = vec![0u32; n];
+        for _ in 0..4_000 {
+            scratch.begin_trial();
+            plan.inject_distinct(&mut scratch, &mut rng, 3);
+            let mut syms: Vec<usize> = scratch.injected.iter().map(|&(s, _)| s).collect();
+            assert_eq!(syms.len(), 3);
+            for &(s, p) in &scratch.injected {
+                assert!(p != 0 && (p as u32) < (1 << kernel.symbol_bits(s)));
+                hits[s] += 1;
+            }
+            syms.sort_unstable();
+            syms.dedup();
+            assert_eq!(syms.len(), 3, "symbols must be distinct");
+        }
+        // 4000 trials × 3 picks / 36 symbols ≈ 333 expected hits each.
+        for (s, &h) in hits.iter().enumerate() {
+            assert!((200..500).contains(&h), "symbol {s} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn contents_respect_symbol_widths_and_check_bits() {
+        for code in [presets::muse_144_132(), presets::muse_80_69()] {
+            let kernel = code.kernel().expect("presets support the kernel");
+            let mut scratch = CodewordScratch::new(kernel);
+            let mut rng = Rng::seeded(3);
+            for _ in 0..50 {
+                scratch.begin_trial();
+                for sym in 0..kernel.num_symbols() {
+                    let c = scratch.content(kernel, &mut rng, sym);
+                    assert_eq!(c & !kernel.width_mask(sym), 0, "width overflow");
+                }
+                let (_, x) = scratch.observed();
+                let x = x.expect("some symbol owns check bits");
+                assert!(x < kernel.modulus());
+                // Check-region bits must match X exactly.
+                for sym in 0..kernel.num_symbols() {
+                    let c = scratch.contents[sym];
+                    let expect = kernel.apply_check_bits(sym, c & kernel.payload_mask(sym), x);
+                    assert_eq!(c, expect, "check bits of symbol {sym}");
                 }
             }
         }
     }
 
     #[test]
-    fn payload_draw_respects_k_bits() {
-        let code = presets::muse_80_69(); // k = 69: one full limb + 5 bits
+    fn untouched_trials_draw_nothing() {
+        let code = presets::muse_144_132();
         let kernel = code.kernel().expect("presets support the kernel");
-        let mut scratch = CodewordScratch::new(&code, kernel);
-        let mut rng = Rng::seeded(3);
-        for _ in 0..50 {
-            scratch.begin_trial(&mut rng);
-            let p = Word::from_limbs(*scratch.payload());
-            assert!(p.bit_len() <= 69);
-        }
+        let mut scratch = CodewordScratch::new(kernel);
+        scratch.begin_trial();
+        let (observed, x) = scratch.observed();
+        assert!(observed.iter().all(Option::is_none));
+        assert_eq!(x, None, "no check symbol observed ⇒ no X drawn");
+        // Observing a payload-only symbol still leaves X undrawn.
+        let mut rng = Rng::seeded(1);
+        let sym = kernel.num_symbols() - 1;
+        assert!(!kernel.needs_check_value(sym));
+        scratch.content(kernel, &mut rng, sym);
+        let (observed, x) = scratch.observed();
+        assert_eq!(observed.iter().flatten().count(), 1);
+        assert_eq!(x, None);
     }
 }

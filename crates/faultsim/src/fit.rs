@@ -13,7 +13,8 @@
 use muse_core::MuseCode;
 
 use crate::engine::{SimEngine, Tally};
-use crate::fastpath::{classify, inject_random_symbols, CodewordScratch, TrialOutcome};
+use crate::fastpath::{classify, CodewordScratch, HalfDraws, TrialOutcome, TrialPlan};
+use crate::rng::Bounded32;
 
 /// A DRAM device failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,40 +104,47 @@ pub fn measure_mode_threaded(
     let Some(kernel) = code.kernel() else {
         return measure_mode_wide(code, mode, trials, seed, threads);
     };
-    let n_sym = kernel.num_symbols();
-    let tally: ModeTally = SimEngine::new(threads).run_with(
+    let plan = TrialPlan::new(kernel, 2);
+    // Multi-bit mode samples a pattern *value* in [2, 2^w): excludes only
+    // the lowest single-bit flip, matching the seed's sampling (some
+    // single-bit patterns remain).
+    let multibit: Vec<Bounded32> = (0..kernel.num_symbols())
+        .map(|s| Bounded32::new(((1u32 << kernel.symbol_bits(s)) - 2).max(1)))
+        .collect();
+    let tally: ModeTally = SimEngine::new(threads).run_blocked(
         seed ^ 0xF17,
         trials,
-        || CodewordScratch::new(code, kernel),
-        |_, rng, scratch, tally: &mut ModeTally| {
-            scratch.begin_trial(rng);
-            match mode {
-                FailureMode::SingleBit => {
-                    let sym = rng.below(n_sym as u64) as usize;
-                    let bit = rng.below(kernel.symbol_bits(sym) as u64) as u16;
-                    scratch.injected.push((sym, 1 << bit));
+        || CodewordScratch::new(kernel),
+        |range, rng, scratch, tally: &mut ModeTally| {
+            for _ in range {
+                scratch.begin_trial();
+                let mut halves = HalfDraws::default();
+                match mode {
+                    FailureMode::SingleBit => {
+                        let sym = plan.pick_symbol(rng, &mut halves);
+                        let bit = plan.pick_bit(rng, &mut halves, sym) as u16;
+                        scratch.injected.push((sym, 1 << bit));
+                    }
+                    FailureMode::WholeDevice => {
+                        let sym = plan.pick_symbol(rng, &mut halves);
+                        let pattern = plan.pick_pattern(rng, &mut halves, sym);
+                        scratch.injected.push((sym, pattern));
+                    }
+                    FailureMode::SingleDeviceMultiBit => {
+                        let sym = plan.pick_symbol(rng, &mut halves);
+                        let half = halves.next(rng);
+                        let pattern = 2 + multibit[sym].of_half(rng, half) as u16;
+                        scratch.injected.push((sym, pattern));
+                    }
+                    FailureMode::TwoDevices => {
+                        plan.inject_distinct(scratch, rng, 2);
+                    }
                 }
-                FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
-                    let sym = rng.below(n_sym as u64) as usize;
-                    let all = 1u64 << kernel.symbol_bits(sym);
-                    let pattern = if mode == FailureMode::WholeDevice {
-                        rng.nonzero_below(all)
-                    } else {
-                        // Pattern *value* in [2, 2^w): excludes only the
-                        // lowest single-bit flip, matching the seed's
-                        // sampling (some single-bit patterns remain).
-                        rng.nonzero_below(all - 1) + 1
-                    };
-                    scratch.injected.push((sym, pattern as u16));
+                match classify(kernel, scratch, rng) {
+                    TrialOutcome::Detected => tally.due += 1,
+                    TrialOutcome::CleanIntact | TrialOutcome::CorrectedRight => tally.correct += 1,
+                    TrialOutcome::CleanCorrupted | TrialOutcome::Miscorrected => tally.sdc += 1,
                 }
-                FailureMode::TwoDevices => {
-                    inject_random_symbols(kernel, scratch, rng, 2);
-                }
-            }
-            match classify(kernel, scratch) {
-                TrialOutcome::Detected => tally.due += 1,
-                TrialOutcome::CleanIntact | TrialOutcome::CorrectedRight => tally.correct += 1,
-                TrialOutcome::CleanCorrupted | TrialOutcome::Miscorrected => tally.sdc += 1,
             }
         },
     );

@@ -3,22 +3,38 @@
 //!
 //! # Architecture
 //!
-//! All simulators run on a shared two-layer engine:
+//! All simulators run on a shared three-layer engine:
 //!
 //! 1. **[`SimEngine`] — batched parallel trial execution.** A run's
-//!    `trials` are split into contiguous ranges over scoped worker threads.
-//!    Trial `i` draws randomness exclusively from the counter-based stream
-//!    [`Rng::for_trial`]`(seed, i)`, so outcomes are a pure function of
-//!    `(seed, i)` and per-worker tallies merge associatively — **results
-//!    are bit-identical at any thread count** (the determinism contract,
-//!    pinned by `tests/determinism.rs`).
-//! 2. **Incremental residue syndromes.** The MUSE-code simulators never
-//!    build a 320-bit codeword per trial: `muse-core` precomputes
-//!    per-symbol residue tables and fast-ELC content transitions
-//!    ([`muse_core::SyndromeKernel`]) at code construction, so a trial is a
-//!    payload draw, a few table lookups, and small modular adds. The wide
-//!    encode/decode path survives as the reference implementation and is
-//!    cross-validated against the kernel by property tests.
+//!    `trials` are split into contiguous ranges over scoped worker
+//!    threads. In per-trial mode ([`SimEngine::run`]) trial `i` draws
+//!    randomness exclusively from the counter-based stream
+//!    [`Rng::for_trial`]`(seed, i)`; in blocked mode
+//!    ([`SimEngine::run_blocked`]) a fixed 1024-trial block `b` draws from
+//!    [`Rng::for_block`]`(seed, b)`, amortizing generator state across the
+//!    block. Either way, outcomes are a pure function of the seed and the
+//!    fixed trial/block boundaries, and per-worker tallies merge
+//!    associatively — **results are bit-identical at any thread count**
+//!    (the determinism contract, pinned by `tests/determinism.rs`).
+//! 2. **Content-space trial generation.** A trial never materializes a
+//!    codeword — or even a payload: it samples only what it observes. The
+//!    contents of touched symbols are uniform bits; the check value `X` is
+//!    sampled lazily over `[0, m)`; corruption is a short
+//!    `(symbol, xor-pattern)` list. Sampling constants (Lemire rejection
+//!    thresholds via [`Bounded32`], binomial count CDFs via [`CountCdf`])
+//!    are precomputed per configuration, and hot loops bulk-fill whole
+//!    blocks of raw draws ([`Rng::fill_u64s`], [`Bounded32::fill`]) and
+//!    replay them per trial.
+//! 3. **Incremental syndromes.** `muse-core` precomputes per-symbol residue
+//!    tables and fused fast-ELC content transitions
+//!    ([`muse_core::SyndromeKernel`]) at code construction, so classifying
+//!    a MUSE trial is a few table lookups and small modular adds; the
+//!    Reed-Solomon baseline has the matching error-domain GF-syndrome path
+//!    (`muse_rs::RsMemoryCode::error_syndromes`), and the on-die SEC stack
+//!    reduces to flip-position algebra over parity-check columns. Every
+//!    wide encode/decode path survives as the reference implementation and
+//!    is cross-validated against its fast path by property tests that
+//!    reconstruct wide-word trials from the content-space observations.
 //!
 //! # Simulators
 //!
@@ -52,6 +68,8 @@
 //! assert_eq!(stats, serial);
 //! ```
 
+#![deny(missing_docs)]
+
 mod engine;
 mod fastpath;
 mod fit;
@@ -73,7 +91,7 @@ pub use retention::{
     simulate_retention_threaded, sweep_refresh_intervals, RetentionModel, RetentionStats,
     SweepPoint,
 };
-pub use rng::Rng;
+pub use rng::{Bounded32, CountCdf, Rng};
 pub use rowhammer::{
     simulate_attacks, simulate_attacks_threaded, AttackStats, HashedLine, LineError, LineHasher,
     HASH_BITS, WORDS_PER_LINE,

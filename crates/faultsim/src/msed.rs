@@ -15,10 +15,14 @@
 //! `threads` setting.
 
 use muse_core::{Decoded, MuseCode, Word};
-use muse_rs::{RsMemoryCode, RsMemoryDecoded};
+use muse_rs::{RsFastLocate, RsMemoryCode, RsMemoryDecoded};
 
 use crate::engine::{SimEngine, Tally};
-use crate::fastpath::{classify, inject_random_symbols, CodewordScratch, TrialOutcome};
+use crate::fastpath::{
+    self, classify, msed_inline_trial, place_distinct, CodewordScratch, HalfDraws, InlineTrial,
+    TrialOutcome, TrialPlan,
+};
+use crate::rng::Bounded32;
 use crate::Rng;
 
 /// Classification of one injected error.
@@ -129,9 +133,15 @@ impl Default for MsedConfig {
 /// ```
 pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
     let engine = SimEngine::new(config.threads);
-    let Some(kernel) = code.kernel() else {
-        // Layout outside the kernel's tabulation limits: same experiment
-        // through the wide encode/decode path, still engine-parallel.
+    // Content-space paths hold a trial's strikes in fixed-capacity arrays;
+    // larger experiments (k > MAX_STRIKES) run the wide path below.
+    let kernel = code
+        .kernel()
+        .filter(|_| config.failing_devices <= fastpath::MAX_STRIKES);
+    let Some(kernel) = kernel else {
+        // Layout outside the kernel's tabulation limits (or too many
+        // simultaneous strikes): same experiment through the wide
+        // encode/decode path, still engine-parallel.
         return engine.run(
             config.seed,
             config.trials,
@@ -158,22 +168,79 @@ pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
             },
         );
     };
-    engine.run_with(
+    let k = config.failing_devices;
+    let plan = TrialPlan::new(kernel, k);
+    let Some(uniform_pattern) = plan.uniform_pattern() else {
+        // Mixed symbol widths: patterns cannot be column-filled ahead of
+        // the symbol draw, so run the generic content-space path.
+        return engine.run_blocked(
+            config.seed,
+            config.trials,
+            || CodewordScratch::new(kernel),
+            |range, rng, scratch, stats: &mut MsedStats| {
+                for _ in range {
+                    scratch.begin_trial();
+                    plan.inject_distinct(scratch, rng, k);
+                    stats.record(match classify(kernel, scratch, rng) {
+                        TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
+                        TrialOutcome::Detected => Outcome::Detected,
+                        TrialOutcome::CorrectedRight => Outcome::Corrected,
+                        TrialOutcome::Miscorrected => Outcome::Miscorrected,
+                    });
+                }
+            },
+        );
+    };
+    const BLOCK: usize = SimEngine::TRIAL_BLOCK as usize;
+    // Raw content bits: a rejection-free 16-bit-wide bounded fill.
+    let content16 = crate::rng::Bounded32::new(1 << 16);
+    engine.run_blocked(
         config.seed,
         config.trials,
-        || CodewordScratch::new(code, kernel),
-        |_, rng, scratch, stats: &mut MsedStats| {
-            scratch.begin_trial(rng);
-            inject_random_symbols(kernel, scratch, rng, config.failing_devices);
-            stats.record(match classify(kernel, scratch) {
-                // The decoder reads a zero syndrome as "no error": any
-                // corruption landing there passes silently, payload-intact
-                // or not.
-                TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
-                TrialOutcome::Detected => Outcome::Detected,
-                TrialOutcome::CorrectedRight => Outcome::Corrected,
-                TrialOutcome::Miscorrected => Outcome::Miscorrected,
-            });
+        // Per-worker scratch: the columnar draw buffers (symbol, pattern,
+        // content per strike) the block fills are replayed from.
+        || {
+            (
+                vec![0u32; k * BLOCK],
+                vec![0u32; k * BLOCK],
+                vec![0u32; k * BLOCK],
+            )
+        },
+        |range, rng, (sym_col, pat_col, cnt_col), stats: &mut MsedStats| {
+            // Columnar batched draws: one tight rejection-sampling fill per
+            // strike column amortizes the RNG across the whole block, and —
+            // because consecutive trials then share no RNG state — lets the
+            // CPU overlap the table lookups of neighbouring trials.
+            let len = (range.end - range.start) as usize;
+            for i in 0..k {
+                plan.pick(i).fill(rng, &mut sym_col[i * len..(i + 1) * len]);
+            }
+            uniform_pattern.fill(rng, &mut pat_col[..k * len]);
+            content16.fill(rng, &mut cnt_col[..k * len]);
+            let mut draws = [(0u32, 0u16, 0u16); fastpath::MAX_STRIKES];
+            for t in 0..len {
+                for (i, draw) in draws[..k].iter_mut().enumerate() {
+                    *draw = (
+                        sym_col[i * len + t],
+                        1 + pat_col[i * len + t] as u16,
+                        cnt_col[i * len + t] as u16,
+                    );
+                }
+                // A fresh trial record per trial: local and non-escaping,
+                // so its stores stay in registers.
+                let mut trial = InlineTrial::default();
+                stats.record(
+                    match msed_inline_trial(kernel, plan.x_pick(), rng, &mut trial, &draws[..k]) {
+                        // The decoder reads a zero syndrome as "no error":
+                        // any corruption landing there passes silently,
+                        // payload-intact or not.
+                        TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
+                        TrialOutcome::Detected => Outcome::Detected,
+                        TrialOutcome::CorrectedRight => Outcome::Corrected,
+                        TrialOutcome::Miscorrected => Outcome::Miscorrected,
+                    },
+                );
+            }
         },
     )
 }
@@ -194,9 +261,187 @@ pub enum RsDetectMode {
 /// Estimates the MSED rate of a Reed-Solomon memory code against
 /// `device_bits`-wide physical device failures (x4 ⇒ 4).
 ///
-/// The RS decoder has no residue kernel, so trials run the full
-/// encode/decode path — but still batched across the engine's workers.
+/// `t = 1` codes (commercial ChipKill) run in the error-value domain: a
+/// trial folds the device patterns into per-RS-symbol error values,
+/// accumulates the two GF syndromes from the incremental table
+/// ([`RsMemoryCode::error_syndromes`]), and classifies without ever
+/// encoding a codeword — symbol contents are only sampled in the rare
+/// shortened-top-symbol range check. `t = 2` codes fall back to the wide
+/// encode/decode pipeline (still engine-parallel).
 pub fn rs_msed(
+    code: &RsMemoryCode,
+    device_bits: u32,
+    mode: RsDetectMode,
+    config: MsedConfig,
+) -> MsedStats {
+    let n_devices = (code.n_bits() / device_bits) as usize;
+    if code.inner().t() != 1
+        || config.failing_devices > fastpath::MAX_STRIKES
+        || config.failing_devices > n_devices
+    {
+        // t = 2 decodes, or more strikes than the fixed-capacity fast path
+        // holds: the wide pipeline accepts any k ≤ n_devices (and reports
+        // k > n_devices with `choose_k`'s clear panic).
+        return rs_msed_wide(code, device_bits, mode, config);
+    }
+    let ctx = RsFastMsed::new(code, device_bits, mode);
+    let k = config.failing_devices;
+    let picks: Vec<Bounded32> = (0..k)
+        .map(|i| Bounded32::new((ctx.n_devices - i) as u32))
+        .collect();
+    let pattern_pick = Bounded32::new((1u32 << device_bits) - 1);
+    SimEngine::new(config.threads).run_blocked(
+        config.seed,
+        config.trials,
+        || (),
+        |range, rng, (), stats: &mut MsedStats| {
+            for _ in range {
+                let mut halves = HalfDraws::default();
+                let mut chosen = [0usize; fastpath::MAX_STRIKES];
+                let mut strikes = [(0usize, 0u16); fastpath::MAX_STRIKES];
+                for (i, strike) in strikes[..k].iter_mut().enumerate() {
+                    let half = halves.next(rng);
+                    let draw = picks[i].of_half(rng, half) as usize;
+                    let dev = place_distinct(&mut chosen, i, draw);
+                    let half = halves.next(rng);
+                    let pattern = 1 + pattern_pick.of_half(rng, half) as u16;
+                    *strike = (dev, pattern);
+                }
+                stats.record(ctx.classify(rng, &strikes[..k]).0);
+            }
+        },
+    )
+}
+
+/// Error-domain MSED classification context for `t = 1` RS memory codes.
+struct RsFastMsed<'a> {
+    code: &'a RsMemoryCode,
+    device_bits: u32,
+    mode: RsDetectMode,
+    n_devices: usize,
+    /// Per-device `(first RS symbol, bit offset within it)`.
+    splits: Vec<(usize, u32)>,
+    symbol_bits: u32,
+    top: usize,
+    top_mask: u16,
+}
+
+impl<'a> RsFastMsed<'a> {
+    fn new(code: &'a RsMemoryCode, device_bits: u32, mode: RsDetectMode) -> Self {
+        let n_devices = (code.n_bits() / device_bits) as usize;
+        let symbol_bits = code.symbol_bits();
+        Self {
+            code,
+            device_bits,
+            mode,
+            n_devices,
+            splits: (0..n_devices as u32)
+                .map(|dev| {
+                    let base = dev * device_bits;
+                    ((base / symbol_bits) as usize, base % symbol_bits)
+                })
+                .collect(),
+            symbol_bits,
+            top: code.n_symbols() - 1,
+            top_mask: ((1u32 << code.top_symbol_bits()) - 1) as u16,
+        }
+    }
+
+    /// Classifies one trial given its device strikes, reproducing the wide
+    /// `encode → corrupt → decode` classification exactly (property-tested
+    /// against it below). Symbol contents never enter the decision except
+    /// through the shortened-top range check, where the top content is
+    /// sampled uniformly on demand — the sampled value (if any) is returned
+    /// for reference reconstruction.
+    fn classify(&self, rng: &mut Rng, strikes: &[(usize, u16)]) -> (Outcome, Option<u16>) {
+        // Fold device patterns into per-RS-symbol error values (a device
+        // may straddle two symbols; adjacent devices may share one).
+        let mut errors = [(0usize, 0u16); 16];
+        let mut n_errors = 0usize;
+        let push = |errors: &mut [(usize, u16); 16], n: &mut usize, sym: usize, val: u16| {
+            if val == 0 {
+                return;
+            }
+            if let Some(e) = errors[..*n].iter_mut().find(|e| e.0 == sym) {
+                e.1 ^= val;
+            } else {
+                errors[*n] = (sym, val);
+                *n += 1;
+            }
+        };
+        let sym_mask = ((1u32 << self.symbol_bits) - 1) as u16;
+        for &(dev, pattern) in strikes {
+            let (sym, shift) = self.splits[dev];
+            push(
+                &mut errors,
+                &mut n_errors,
+                sym,
+                (pattern << shift) & sym_mask,
+            );
+            if shift + self.device_bits > self.symbol_bits {
+                push(
+                    &mut errors,
+                    &mut n_errors,
+                    sym + 1,
+                    pattern >> (self.symbol_bits - shift),
+                );
+            }
+        }
+        let errors = &errors[..n_errors];
+
+        let synd = self.code.error_syndromes(errors);
+        match self.code.locate_single(synd[0], synd[1]) {
+            RsFastLocate::Clean => (Outcome::Silent, None),
+            RsFastLocate::Detected => (Outcome::Detected, None),
+            RsFastLocate::Correct { symbol, value } => {
+                let mut top_content = None;
+                if symbol == self.top {
+                    // Shortened-code check: sample the top symbol's stored
+                    // content and reject corrections escaping its width.
+                    let original = rng.next_u64() as u16 & self.top_mask;
+                    top_content = Some(original);
+                    let injected = errors
+                        .iter()
+                        .find(|&&(s, _)| s == symbol)
+                        .map_or(0, |&(_, e)| e);
+                    if original ^ injected ^ value > self.top_mask {
+                        return (Outcome::Detected, top_content);
+                    }
+                }
+                // The read is right iff the correction cancels the injected
+                // corruption on every data symbol (positions ≥ 2t = 2).
+                let wrong = errors.iter().any(|&(s, e)| s >= 2 && s != symbol && e != 0)
+                    || (symbol >= 2 && {
+                        let injected = errors
+                            .iter()
+                            .find(|&&(s, _)| s == symbol)
+                            .map_or(0, |&(_, e)| e);
+                        injected ^ value != 0
+                    });
+                let outcome = if !wrong {
+                    Outcome::Corrected
+                } else {
+                    match self.mode {
+                        RsDetectMode::SymbolSyndromes => Outcome::Miscorrected,
+                        RsDetectMode::DeviceConfined => {
+                            if error_confined_to_device(self.code, self.device_bits, symbol, value)
+                            {
+                                Outcome::Miscorrected
+                            } else {
+                                Outcome::Detected
+                            }
+                        }
+                    }
+                };
+                (outcome, top_content)
+            }
+        }
+    }
+}
+
+/// The wide-word reference pipeline for [`rs_msed`]: full encode/decode per
+/// trial. Used for `t = 2` codes and as the property-tested reference.
+fn rs_msed_wide(
     code: &RsMemoryCode,
     device_bits: u32,
     mode: RsDetectMode,
@@ -214,34 +459,51 @@ pub fn rs_msed(
                 let pattern = rng.nonzero_below(1 << device_bits);
                 corrupted = corrupted ^ (Word::from(pattern) << (dev as u32 * device_bits));
             }
-            let outcome = match code.decode(&corrupted) {
-                RsMemoryDecoded::Detected => Outcome::Detected,
-                RsMemoryDecoded::Clean { .. } => Outcome::Silent,
-                RsMemoryDecoded::Corrected {
-                    payload: p,
-                    ref errors,
-                } => {
-                    if p == payload {
-                        Outcome::Corrected
-                    } else {
-                        match mode {
-                            RsDetectMode::SymbolSyndromes => Outcome::Miscorrected,
-                            RsDetectMode::DeviceConfined => {
-                                if errors.iter().all(|&(sym, val)| {
-                                    error_confined_to_device(code, device_bits, sym, val)
-                                }) {
-                                    Outcome::Miscorrected
-                                } else {
-                                    Outcome::Detected
-                                }
-                            }
+            stats.record(classify_rs_wide(
+                code,
+                device_bits,
+                mode,
+                &payload,
+                &corrupted,
+            ));
+        },
+    )
+}
+
+/// Wide-decode outcome classification shared by the reference pipeline and
+/// the equivalence tests.
+fn classify_rs_wide(
+    code: &RsMemoryCode,
+    device_bits: u32,
+    mode: RsDetectMode,
+    payload: &Word,
+    corrupted: &Word,
+) -> Outcome {
+    match code.decode(corrupted) {
+        RsMemoryDecoded::Detected => Outcome::Detected,
+        RsMemoryDecoded::Clean { .. } => Outcome::Silent,
+        RsMemoryDecoded::Corrected {
+            payload: p,
+            ref errors,
+        } => {
+            if p == *payload {
+                Outcome::Corrected
+            } else {
+                match mode {
+                    RsDetectMode::SymbolSyndromes => Outcome::Miscorrected,
+                    RsDetectMode::DeviceConfined => {
+                        if errors.iter().all(|&(sym, val)| {
+                            error_confined_to_device(code, device_bits, sym, val)
+                        }) {
+                            Outcome::Miscorrected
+                        } else {
+                            Outcome::Detected
                         }
                     }
                 }
-            };
-            stats.record(outcome);
-        },
-    )
+            }
+        }
+    }
 }
 
 /// Whether an RS symbol-error value only touches bits of one
@@ -374,6 +636,74 @@ mod tests {
             rs5.detection_rate(),
             rs8.detection_rate()
         );
+    }
+
+    /// The error-domain RS classification against the wide reference: a
+    /// trial's device strikes plus its (lazily sampled) top-symbol content
+    /// fully determine the outcome, so reconstruct a payload consistent
+    /// with the observation, run the real encode → corrupt → decode
+    /// pipeline, and compare — across geometries, shortened tops, and both
+    /// detect modes.
+    #[test]
+    fn rs_fast_classification_matches_wide() {
+        for (sym_bits, device_bits) in [(8u32, 4u32), (5, 4), (8, 8), (6, 4)] {
+            let code = RsMemoryCode::new(sym_bits, 144, 1).unwrap();
+            for mode in [RsDetectMode::SymbolSyndromes, RsDetectMode::DeviceConfined] {
+                let ctx = RsFastMsed::new(&code, device_bits, mode);
+                let mut rng = Rng::seeded(0x5EED ^ sym_bits as u64);
+                for trial in 0..400u64 {
+                    let k = 1 + (trial % 3) as usize;
+                    let mut strikes: Vec<(usize, u16)> = Vec::new();
+                    while strikes.len() < k {
+                        let dev = rng.below(ctx.n_devices as u64) as usize;
+                        if strikes.iter().any(|&(d, _)| d == dev) {
+                            continue;
+                        }
+                        let pattern = rng.nonzero_below(1 << device_bits) as u16;
+                        strikes.push((dev, pattern));
+                    }
+                    let (fast, top_content) = ctx.classify(&mut rng, &strikes);
+
+                    // A payload consistent with the observation: the top
+                    // symbol holds the sampled content (or anything, when
+                    // none was sampled), everything else zero.
+                    let top_offset = code.data_bits() - code.top_symbol_bits();
+                    let payload = Word::from(top_content.unwrap_or(0) as u64) << top_offset;
+                    let cw = code.encode(&payload);
+                    let mut corrupted = cw;
+                    for &(dev, pattern) in &strikes {
+                        corrupted =
+                            corrupted ^ (Word::from(pattern as u64) << (dev as u32 * device_bits));
+                    }
+                    let wide = classify_rs_wide(&code, device_bits, mode, &payload, &corrupted);
+                    assert_eq!(
+                        fast, wide,
+                        "s={sym_bits} db={device_bits} {mode:?} trial {trial}: {strikes:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_failing_devices_take_the_wide_path() {
+        // k beyond the fixed-capacity fast path falls back to wide-word
+        // trials instead of panicking.
+        let config = MsedConfig {
+            failing_devices: 10,
+            trials: 200,
+            seed: 3,
+            threads: 1,
+        };
+        let stats = muse_msed(&presets::muse_144_132(), config);
+        assert_eq!(stats.total(), 200);
+        // ~1080/4065 ≈ 27% of random syndromes alias into the ELC; the
+        // rest are detected.
+        let rate = stats.detection_rate();
+        assert!((60.0..95.0).contains(&rate), "rate {rate}");
+        let rs = RsMemoryCode::new(8, 144, 1).unwrap();
+        let stats = rs_msed(&rs, 4, RsDetectMode::DeviceConfined, config);
+        assert_eq!(stats.total(), 200);
     }
 
     #[test]

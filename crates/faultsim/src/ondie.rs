@@ -15,12 +15,29 @@
 //! into a third bit*, turning 2 bad cells into 3 — still device-confined,
 //! so ChipKill-class rank codes clean it up, while a rank-less system
 //! silently corrupts.
+//!
+//! # Content-space fast path
+//!
+//! Both codes here are **linear**, so a trial's outcome depends only on the
+//! *flip positions*, never on the stored data: the on-die syndrome is the
+//! XOR of the flipped positions' parity-check columns, and the correction
+//! toggles one more position. A fast trial therefore samples, per device,
+//! the flipped-cell *count* from its exact binomial CDF ([`CountCdf`] — one
+//! raw draw, and ~87% of devices sample zero and are skipped), places the
+//! flips, folds the 8-bit on-die syndrome from a 136-entry column table,
+//! and hands the surviving rank-visible XOR pattern to the incremental
+//! MUSE residue kernel. No 136-bit word is ever encoded or decoded; the
+//! wide pipeline survives as the fallback for rank codes without a kernel
+//! and as the property-tested reference.
 
 use muse_core::{Decoded, MuseCode};
 use muse_secded::{SecDecoded, SecDed, Word};
 
 use crate::engine::{SimEngine, Tally};
+use crate::fastpath::{classify, CodewordScratch, TrialOutcome};
 use crate::random_payload;
+use crate::rng::{Bounded32, CountCdf};
+use crate::Rng;
 
 /// Which protections are stacked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +88,95 @@ impl Tally for OndieStats {
     }
 }
 
+/// The flip-position model of one on-die device word: parity-check columns,
+/// the syndrome→position decode map, and the fault-count CDF.
+struct OndieModel {
+    /// `column[b]` of the stored 136-bit word.
+    columns: Vec<u32>,
+    /// Syndrome → stored-bit position (`u32::MAX` = unmapped).
+    syn_to_bit: Vec<u32>,
+    /// Check bits (data bit `i` lives at stored position `i + r`).
+    r: u32,
+    /// Flipped-cell count per stored word.
+    counts: CountCdf,
+    /// Position sampler over the stored word.
+    position: Bounded32,
+}
+
+impl OndieModel {
+    fn new(ondie: &SecDed, cell_p: f64) -> Self {
+        let n = ondie.n_bits();
+        let columns: Vec<u32> = (0..n).map(|b| ondie.column(b)).collect();
+        let mut syn_to_bit = vec![u32::MAX; 1 << ondie.r_bits()];
+        for (bit, &col) in columns.iter().enumerate() {
+            syn_to_bit[col as usize] = bit as u32;
+        }
+        Self {
+            columns,
+            syn_to_bit,
+            r: ondie.r_bits(),
+            counts: CountCdf::binomial(n, cell_p),
+            position: Bounded32::new(n),
+        }
+    }
+
+    /// Samples one device's flip set (bitmask over stored positions) from a
+    /// pre-drawn count raw, or `None` when no cell faulted.
+    #[inline]
+    fn sample_flips(&self, rng: &mut Rng, count_raw: u64) -> Option<[u64; 3]> {
+        let count = self.counts.sample(count_raw);
+        if count == 0 {
+            return None;
+        }
+        let mut flips = [0u64; 3];
+        let mut placed = 0;
+        while placed < count {
+            let pos = self.position.sample(rng) as usize;
+            if flips[pos >> 6] >> (pos & 63) & 1 == 0 {
+                flips[pos >> 6] |= 1 << (pos & 63);
+                placed += 1;
+            }
+        }
+        Some(flips)
+    }
+
+    /// What the on-die decode leaves behind: the residual flip set after
+    /// SEC correction (or the raw flips when the syndrome is zero or
+    /// unmapped — the on-die code has no detection signaling).
+    #[inline]
+    fn residual(&self, mut flips: [u64; 3], ondie_active: bool) -> [u64; 3] {
+        if !ondie_active {
+            return flips;
+        }
+        let mut syndrome = 0u32;
+        for (word, &limb) in flips.iter().enumerate() {
+            let mut bits = limb;
+            while bits != 0 {
+                let pos = word * 64 + bits.trailing_zeros() as usize;
+                syndrome ^= self.columns[pos];
+                bits &= bits - 1;
+            }
+        }
+        if syndrome != 0 {
+            let bit = self.syn_to_bit[syndrome as usize];
+            if bit != u32::MAX {
+                // The "correction" toggles this position: it heals a real
+                // flip or adds a third one (miscorrection).
+                flips[(bit >> 6) as usize] ^= 1 << (bit & 63);
+            }
+        }
+        flips
+    }
+
+    /// The rank-visible XOR pattern of a residual flip set: data bits
+    /// `0..width` live at stored positions `r..r+width`.
+    #[inline]
+    fn visible(&self, residual: [u64; 3], width: u32) -> u16 {
+        debug_assert!(self.r + width <= 64, "visible window fits limb 0");
+        (residual[0] >> self.r) as u16 & ((1u32 << width) - 1) as u16
+    }
+}
+
 /// Simulates `words` rank-level reads at per-cell fault probability
 /// `cell_p`, with the given protection stack.
 ///
@@ -78,8 +184,8 @@ impl Tally for OndieStats {
 /// independent on-die word; faults hit the full on-die word, and the
 /// rank-visible bits inherit whatever the on-die decode leaves behind.
 ///
-/// Words run batched on the [`SimEngine`] (one worker per CPU); results are
-/// bit-identical at any thread count.
+/// Words run batched on the [`SimEngine`]; results are bit-identical at any
+/// thread count.
 ///
 /// # Panics
 ///
@@ -108,8 +214,95 @@ pub fn simulate_stack_threaded(
     if matches!(stack, Stack::RankOnly | Stack::Stacked) {
         assert!(code.is_some(), "stack {stack:?} needs a rank code");
     }
+    let ondie_active = matches!(stack, Stack::OnDieOnly | Stack::Stacked);
+    let model = OndieModel::new(&ondie, cell_p);
+    let engine = SimEngine::new(threads);
+    let seed = seed ^ 0x0D1E;
 
-    SimEngine::new(threads).run(seed ^ 0x0D1E, words, |_, rng, stats: &mut OndieStats| {
+    match code {
+        Some(c) => match c.kernel() {
+            Some(kernel) => {
+                let n_dev = kernel.num_symbols();
+                engine.run_blocked(
+                    seed,
+                    words,
+                    || (CodewordScratch::new(kernel), vec![0u64; n_dev]),
+                    |range, rng, (scratch, count_raws), stats: &mut OndieStats| {
+                        for _ in range {
+                            scratch.begin_trial();
+                            rng.fill_u64s(count_raws);
+                            for (dev, &raw) in count_raws.iter().enumerate() {
+                                let Some(flips) = model.sample_flips(rng, raw) else {
+                                    continue;
+                                };
+                                let residual = model.residual(flips, ondie_active);
+                                let pattern = model.visible(residual, kernel.symbol_bits(dev));
+                                if pattern != 0 {
+                                    scratch.injected.push((dev, pattern));
+                                }
+                            }
+                            if scratch.injected.is_empty() {
+                                stats.intact += 1;
+                                continue;
+                            }
+                            match classify(kernel, scratch, rng) {
+                                TrialOutcome::CleanIntact | TrialOutcome::CorrectedRight => {
+                                    stats.intact += 1
+                                }
+                                TrialOutcome::Detected => stats.due += 1,
+                                TrialOutcome::CleanCorrupted | TrialOutcome::Miscorrected => {
+                                    stats.sdc += 1
+                                }
+                            }
+                        }
+                    },
+                )
+            }
+            None => simulate_stack_wide(stack, code, cell_p, words, seed, threads, &ondie),
+        },
+        None => {
+            // No rank code: 16 devices feed a raw 64-bit word; the read is
+            // silently wrong iff any device leaves a visible residual flip.
+            engine.run_blocked(
+                seed,
+                words,
+                || vec![0u64; 16],
+                |range, rng, count_raws, stats: &mut OndieStats| {
+                    for _ in range {
+                        rng.fill_u64s(count_raws);
+                        let mut corrupted = false;
+                        for &raw in count_raws.iter() {
+                            let Some(flips) = model.sample_flips(rng, raw) else {
+                                continue;
+                            };
+                            let residual = model.residual(flips, ondie_active);
+                            corrupted |= model.visible(residual, 4) != 0;
+                        }
+                        if corrupted {
+                            stats.sdc += 1;
+                        } else {
+                            stats.intact += 1;
+                        }
+                    }
+                },
+            )
+        }
+    }
+}
+
+/// The wide-word reference pipeline: encodes and decodes real on-die words.
+/// Used for rank codes outside the kernel's tabulation limits and as the
+/// cross-validated reference for the flip-position fast path.
+fn simulate_stack_wide(
+    stack: Stack,
+    code: Option<&MuseCode>,
+    cell_p: f64,
+    words: u64,
+    seed: u64,
+    threads: usize,
+    ondie: &SecDed,
+) -> OndieStats {
+    SimEngine::new(threads).run(seed, words, |_, rng, stats: &mut OndieStats| {
         // Rank-level payload and codeword (or raw data when no rank code).
         let (payload, rank_word, n_bits, map) = match code {
             Some(c) => {
@@ -260,5 +453,75 @@ mod tests {
             let stats = simulate_stack(stack, rank, 0.0, 100, 5);
             assert_eq!(stats.intact, 100, "{stack:?}");
         }
+    }
+
+    /// The flip-position device model against the real SECDED pipeline: for
+    /// random flip sets, the residual pattern must equal what encode →
+    /// corrupt → decode leaves on the data bits. The codes are linear, so
+    /// this holds for *any* stored data — exercised with random data words.
+    #[test]
+    fn device_residual_matches_wide_secded() {
+        let ondie = SecDed::hamming_sec(136, 128).expect("geometry");
+        let model = OndieModel::new(&ondie, 0.01);
+        let mut rng = Rng::seeded(0x5EC);
+        for trial in 0..2_000 {
+            let raw = rng.next_u64();
+            let Some(flips) = model.sample_flips(&mut rng, raw) else {
+                continue;
+            };
+            for active in [false, true] {
+                let residual = model.residual(flips, active);
+
+                let data = random_payload(&mut rng, 128);
+                let stored = ondie.encode(&data);
+                let mut faulty = stored;
+                for (word, &limb) in flips.iter().enumerate() {
+                    let mut bits = limb;
+                    while bits != 0 {
+                        let pos = word as u32 * 64 + bits.trailing_zeros();
+                        faulty.toggle_bit(pos);
+                        bits &= bits - 1;
+                    }
+                }
+                let after = if active {
+                    match ondie.decode(&faulty) {
+                        SecDecoded::Clean { data } | SecDecoded::Corrected { data, .. } => data,
+                        SecDecoded::Detected => faulty >> ondie.r_bits(),
+                    }
+                } else {
+                    faulty >> ondie.r_bits()
+                };
+                // Compare all 128 data bits against data ⊕ residual.
+                for i in 0..128u32 {
+                    let pos = i + ondie.r_bits();
+                    let res_bit = residual[(pos >> 6) as usize] >> (pos & 63) & 1 == 1;
+                    assert_eq!(
+                        after.bit(i),
+                        data.bit(i) ^ res_bit,
+                        "trial {trial} active {active} data bit {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fast path vs the wide reference pipeline, statistically: same rates
+    /// within Monte-Carlo tolerance.
+    #[test]
+    fn fast_path_consistent_with_wide_reference() {
+        let mut code = presets::muse_144_132();
+        let fast = simulate_stack(Stack::Stacked, Some(&code), 2e-3, 2_000, 7);
+        code.disable_syndrome_kernel();
+        let wide = simulate_stack(Stack::Stacked, Some(&code), 2e-3, 2_000, 7);
+        assert_eq!(fast.total(), wide.total());
+        let tol = 0.05 * fast.total() as f64;
+        assert!(
+            (fast.intact as f64 - wide.intact as f64).abs() < tol,
+            "fast {fast:?} vs wide {wide:?}"
+        );
+        assert!(
+            (fast.due as f64 - wide.due as f64).abs() < tol,
+            "fast {fast:?} vs wide {wide:?}"
+        );
     }
 }

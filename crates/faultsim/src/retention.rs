@@ -12,7 +12,8 @@
 use muse_core::MuseCode;
 
 use crate::engine::{SimEngine, Tally};
-use crate::fastpath::{classify, CodewordScratch, TrialOutcome};
+use crate::fastpath::{classify, CodewordScratch, HalfDraws, TrialOutcome, TrialPlan};
+use crate::rng::CountCdf;
 
 /// Per-cell retention-failure model.
 ///
@@ -163,39 +164,64 @@ pub fn simulate_retention_threaded(
             }
         });
     };
-    engine.run_with(
+    // Per-symbol *candidate* counts: a cell is a leak candidate with
+    // probability `p` independent of its stored value; only candidates over
+    // stored 1-bits actually flip (`mask & content`). Sampling the count
+    // from its binomial CDF and then placing it costs one raw draw for the
+    // common zero case, instead of `width` Bernoulli draws per symbol —
+    // and symbols without candidates never observe their content, so most
+    // trials draw no payload limbs at all.
+    let n_sym = kernel.num_symbols();
+    let plan = TrialPlan::new(kernel, 1);
+    let max_width = (0..n_sym).map(|s| kernel.symbol_bits(s)).max().unwrap_or(0);
+    let candidate_counts: Vec<CountCdf> =
+        (0..=max_width).map(|w| CountCdf::binomial(w, p)).collect();
+    let widths: Vec<u32> = (0..n_sym).map(|s| kernel.symbol_bits(s)).collect();
+    engine.run_blocked(
         seed,
         words,
-        || CodewordScratch::new(code, kernel),
-        |_, rng, scratch, stats: &mut RetentionStats| {
-            scratch.begin_trial(rng);
-            // Leak stored 1-bits symbol by symbol: a leaked bit is a 1→0
-            // flip, i.e. an XOR pattern confined to the symbol's set bits.
-            for sym in 0..kernel.num_symbols() {
-                let content = scratch.content(kernel, sym);
-                let mut pattern = 0u16;
-                for i in 0..kernel.symbol_bits(sym) {
-                    if content >> i & 1 == 1 && rng.chance(p) {
-                        pattern |= 1 << i;
+        || CodewordScratch::new(kernel),
+        |range, rng, scratch, stats: &mut RetentionStats| {
+            for _ in range {
+                scratch.begin_trial();
+                for sym in 0..n_sym {
+                    let k = candidate_counts[widths[sym] as usize].sample(rng.next_u64());
+                    if k == 0 {
+                        continue;
+                    }
+                    // k distinct candidate positions within the symbol.
+                    let mut halves = HalfDraws::default();
+                    let mut mask = 0u16;
+                    for _ in 0..k {
+                        loop {
+                            let bit = plan.pick_bit(rng, &mut halves, sym);
+                            if mask & (1 << bit) == 0 {
+                                mask |= 1 << bit;
+                                break;
+                            }
+                        }
+                    }
+                    // A leaked bit is a 1→0 flip: candidates only bite on
+                    // stored 1-bits.
+                    let pattern = mask & scratch.content(kernel, rng, sym);
+                    if pattern != 0 {
+                        scratch.injected.push((sym, pattern));
                     }
                 }
-                if pattern != 0 {
-                    scratch.injected.push((sym, pattern));
+                if scratch.injected.is_empty() {
+                    stats.clean += 1;
+                    continue;
                 }
-            }
-            if scratch.injected.is_empty() {
-                stats.clean += 1;
-                return;
-            }
-            match classify(kernel, scratch) {
-                // Flips confined to check bits read back as the right
-                // payload; a nonzero pattern aliasing to remainder 0 over
-                // payload bits is a silent corruption.
-                TrialOutcome::CleanIntact => stats.clean += 1,
-                TrialOutcome::CleanCorrupted => stats.silent_corruptions += 1,
-                TrialOutcome::CorrectedRight => stats.corrected += 1,
-                TrialOutcome::Miscorrected => stats.miscorrected += 1,
-                TrialOutcome::Detected => stats.uncorrectable += 1,
+                match classify(kernel, scratch, rng) {
+                    // Flips confined to check bits read back as the right
+                    // payload; a nonzero pattern aliasing to remainder 0
+                    // over payload bits is a silent corruption.
+                    TrialOutcome::CleanIntact => stats.clean += 1,
+                    TrialOutcome::CleanCorrupted => stats.silent_corruptions += 1,
+                    TrialOutcome::CorrectedRight => stats.corrected += 1,
+                    TrialOutcome::Miscorrected => stats.miscorrected += 1,
+                    TrialOutcome::Detected => stats.uncorrectable += 1,
+                }
             }
         },
     )

@@ -71,6 +71,42 @@ impl Rng {
         }
     }
 
+    /// Counter-based *block* stream derivation: the generator for trial
+    /// block `block` under `seed`.
+    ///
+    /// The blocked engine ([`SimEngine::run_blocked`](crate::SimEngine))
+    /// amortizes one generator across a fixed-size block of trials instead
+    /// of constructing a fresh state per trial. Block boundaries are a
+    /// constant of the determinism contract, so results stay bit-identical
+    /// at any thread count; the stream is domain-separated from both
+    /// [`Self::seeded`] and [`Self::for_trial`] (a blocked simulator and a
+    /// per-trial simulator sharing a seed never correlate).
+    pub fn for_block(seed: u64, block: u64) -> Self {
+        // Salt the trial-index domain with a distinct constant so
+        // for_block(s, b) != for_trial(s, b).
+        Self::for_trial(seed ^ 0xB10C_B10C_B10C_B10C, block)
+    }
+
+    /// Fills `out` with consecutive [`Self::next_u64`] draws.
+    ///
+    /// The batched form keeps the four state words in registers across the
+    /// whole fill instead of spilling per call — use it to draw trial
+    /// blocks of raw randomness in one go.
+    pub fn fill_u64s(&mut self, out: &mut [u64]) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        for slot in out.iter_mut() {
+            *slot = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.state = [s0, s1, s2, s3];
+    }
+
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;
@@ -140,6 +176,225 @@ impl Rng {
         }
         pool.truncate(k);
         pool
+    }
+}
+
+/// Inverse-CDF sampler for a small discrete count distribution, with the
+/// cumulative probabilities quantized to the full `u64` range.
+///
+/// Replaces long runs of per-cell Bernoulli draws with **one** raw draw per
+/// aggregate: instead of asking "did cell `i` fault?" 136 times, sample the
+/// *number* of faulted cells from its exact binomial CDF and then place
+/// that many faults. Build once per configuration (the CDF needs `O(n)`
+/// float work), sample per trial with a handful of compares.
+///
+/// # Examples
+///
+/// ```
+/// use muse_faultsim::{CountCdf, Rng};
+///
+/// let counts = CountCdf::binomial(136, 1e-3);
+/// let mut rng = Rng::seeded(5);
+/// let k = counts.sample(rng.next_u64());
+/// assert!(k <= 136);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountCdf {
+    /// `thresholds[i]` = `P(count ≤ i)` scaled to `2^64` (saturating); a
+    /// raw draw below `thresholds[i]` but not `thresholds[i-1]` samples
+    /// count `i`. Trailing counts of cumulative ≈ 1 are truncated.
+    thresholds: Vec<u64>,
+}
+
+impl CountCdf {
+    /// Builds a sampler from cumulative probabilities
+    /// `cum[i] = P(count ≤ i)` (non-decreasing, in `[0, 1]`). Draws beyond
+    /// the last entry sample `cum.len()` ("more than listed").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cum` is decreasing or leaves `[0, 1]`.
+    pub fn from_cumulative(cum: &[f64]) -> Self {
+        let mut thresholds = Vec::with_capacity(cum.len());
+        let mut prev = 0.0f64;
+        for &c in cum {
+            assert!((0.0..=1.0).contains(&c) && c >= prev, "bad CDF {cum:?}");
+            prev = c;
+            let scaled = (c * 2f64.powi(64)).round();
+            thresholds.push(if scaled >= 2f64.powi(64) {
+                u64::MAX
+            } else {
+                scaled as u64
+            });
+        }
+        Self { thresholds }
+    }
+
+    /// Builds the CDF of `Binomial(n, p)`, truncated once the cumulative
+    /// mass is within `2⁻⁶⁴` of 1 (the truncated tail is unsampleable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn binomial(n: u32, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        if p >= 1.0 {
+            // Degenerate: every cell faults (the odds recurrence would NaN).
+            let mut cum = vec![0.0; n as usize];
+            cum.push(1.0);
+            return Self::from_cumulative(&cum);
+        }
+        let mut cum = Vec::new();
+        // pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p), seeded at (1−p)^n.
+        let mut pmf = (1.0 - p).powi(n as i32);
+        let mut total = pmf;
+        let odds = p / (1.0 - p);
+        for k in 0..=n {
+            cum.push(total.min(1.0));
+            if total >= 1.0 - 2f64.powi(-64) || k == n {
+                break;
+            }
+            pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
+            total += pmf;
+        }
+        Self::from_cumulative(&cum)
+    }
+
+    /// Maps one raw 64-bit draw to a count.
+    #[inline]
+    pub fn sample(&self, raw: u64) -> u32 {
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if raw < t {
+                return i as u32;
+            }
+        }
+        self.thresholds.len() as u32
+    }
+
+    /// `P(count = 0)` in the sampler's quantized arithmetic, as a raw-draw
+    /// threshold (a draw below this samples zero).
+    pub fn zero_threshold(&self) -> u64 {
+        self.thresholds.first().copied().unwrap_or(0)
+    }
+}
+
+/// A uniform integer sampler over `[0, bound)` with its Lemire rejection
+/// constant precomputed.
+///
+/// [`Rng::below`] recomputes `2^64 mod bound` (a 64-bit division) on every
+/// rejection check; a `Bounded32` pays that division once at configuration
+/// time and then draws from 32-bit halves, so one raw `u64` usually yields
+/// two bounded samples. Build these in a trial plan (once per simulator
+/// config), not per trial.
+///
+/// # Examples
+///
+/// ```
+/// use muse_faultsim::{Bounded32, Rng};
+///
+/// let mut rng = Rng::seeded(1);
+/// let device = Bounded32::new(36);
+/// assert!(device.sample(&mut rng) < 36);
+///
+/// let mut batch = [0u32; 100];
+/// device.fill(&mut rng, &mut batch);
+/// assert!(batch.iter().all(|&v| v < 36));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounded32 {
+    bound: u32,
+    threshold: u32,
+}
+
+impl Bounded32 {
+    /// A sampler over `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn new(bound: u32) -> Self {
+        assert!(bound > 0, "empty sampling range");
+        Self {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
+    }
+
+    /// The exclusive upper bound.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Maps one 32-bit half-draw to a sample, or `None` when the draw lands
+    /// in the rejection zone (probability `< bound / 2^32`).
+    #[inline]
+    pub fn map(&self, half: u32) -> Option<u32> {
+        let m = half as u64 * self.bound as u64;
+        if (m as u32) >= self.threshold {
+            Some((m >> 32) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Draws one sample (bias-free; consumes fresh draws on rejection).
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        loop {
+            let raw = rng.next_u64();
+            if let Some(v) = self.map(raw as u32) {
+                return v;
+            }
+            if let Some(v) = self.map((raw >> 32) as u32) {
+                return v;
+            }
+        }
+    }
+
+    /// Maps `half` to a sample, falling back to fresh draws on rejection —
+    /// the building block for packing several bounded samples into one raw
+    /// `u64`.
+    #[inline]
+    pub fn of_half(&self, rng: &mut Rng, half: u32) -> u32 {
+        match self.map(half) {
+            Some(v) => v,
+            None => self.sample(rng),
+        }
+    }
+
+    /// Bounded-batch rejection sampling: fills `out` with independent
+    /// uniform samples, drawing raw `u64`s in blocks (two samples per raw
+    /// draw in the common no-rejection case).
+    pub fn fill(&self, rng: &mut Rng, out: &mut [u32]) {
+        if self.threshold == 0 {
+            // Power-of-two-divisible bound: rejection-free, two samples per
+            // raw draw in a branchless loop.
+            let mut chunks = out.chunks_exact_mut(2);
+            for pair in &mut chunks {
+                let raw = rng.next_u64();
+                pair[0] = ((raw as u32 as u64 * self.bound as u64) >> 32) as u32;
+                pair[1] = (((raw >> 32) * self.bound as u64) >> 32) as u32;
+            }
+            if let [last] = chunks.into_remainder() {
+                *last = ((rng.next_u64() as u32 as u64 * self.bound as u64) >> 32) as u32;
+            }
+            return;
+        }
+        let mut raws = [0u64; 32];
+        let mut slots = out.iter_mut();
+        loop {
+            rng.fill_u64s(&mut raws);
+            for &raw in &raws {
+                for half in [raw as u32, (raw >> 32) as u32] {
+                    if let Some(v) = self.map(half) {
+                        match slots.next() {
+                            Some(slot) => *slot = v,
+                            None => return,
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -226,6 +481,106 @@ mod tests {
             let mut trial0 = Rng::for_trial(seed, 0);
             let mut serial = Rng::seeded(seed);
             assert_ne!(trial0.next_u64(), serial.next_u64(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fill_matches_sequential_draws() {
+        let mut a = Rng::seeded(11);
+        let mut b = Rng::seeded(11);
+        let mut buf = [0u64; 67];
+        a.fill_u64s(&mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, b.next_u64(), "draw {i}");
+        }
+        // And the states stay in sync afterwards.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn block_streams_are_domain_separated() {
+        for seed in [0u64, 7, 0x4D53_4544] {
+            let mut block = Rng::for_block(seed, 3);
+            let mut trial = Rng::for_trial(seed, 3);
+            let mut serial = Rng::seeded(seed);
+            let x = block.next_u64();
+            assert_ne!(x, trial.next_u64(), "seed {seed}");
+            assert_ne!(x, serial.next_u64(), "seed {seed}");
+        }
+        let mut a = Rng::for_block(5, 9);
+        let mut b = Rng::for_block(5, 9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn count_cdf_matches_bernoulli_statistics() {
+        // Binomial(20, 0.3): mean 6, sampled over many draws.
+        let cdf = CountCdf::binomial(20, 0.3);
+        let mut rng = Rng::seeded(77);
+        let mut sum = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = cdf.sample(rng.next_u64());
+            assert!(k <= 20);
+            sum += k as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn count_cdf_edges() {
+        // p = 0: always zero faults; the zero threshold saturates.
+        let zero = CountCdf::binomial(136, 0.0);
+        assert_eq!(zero.sample(0), 0);
+        assert_eq!(zero.sample(u64::MAX - 1), 0);
+        assert_eq!(zero.zero_threshold(), u64::MAX);
+        // p = 1: always n faults.
+        let one = CountCdf::binomial(5, 1.0);
+        assert_eq!(one.sample(0), 5);
+        assert_eq!(one.zero_threshold(), 0);
+        // Explicit three-way split.
+        let tri = CountCdf::from_cumulative(&[0.25, 0.75]);
+        assert_eq!(tri.sample(0), 0);
+        assert_eq!(tri.sample(1 << 63), 1);
+        assert_eq!(tri.sample(u64::MAX), 2);
+    }
+
+    #[test]
+    fn bounded32_range_and_coverage() {
+        let pick = Bounded32::new(10);
+        assert_eq!(pick.bound(), 10);
+        let mut rng = Rng::seeded(21);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[pick.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+        let mut batch = [0u32; 300];
+        pick.fill(&mut rng, &mut batch);
+        assert!(batch.iter().all(|&v| v < 10));
+        let mut seen = [false; 10];
+        for &v in &batch {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "batch covers all residues");
+    }
+
+    #[test]
+    fn bounded32_rejection_threshold_is_exact() {
+        // The precomputed threshold must equal the one `below` derives:
+        // map() accepts exactly when the scaled low half clears it.
+        for bound in [1u32, 2, 3, 15, 16, 35, 36, 1000, u32::MAX] {
+            let pick = Bounded32::new(bound);
+            for half in [0u32, 1, bound - 1, bound, u32::MAX / 2, u32::MAX] {
+                let m = half as u64 * bound as u64;
+                let expected = (m as u32) >= bound.wrapping_neg() % bound;
+                assert_eq!(pick.map(half).is_some(), expected, "b={bound} h={half}");
+                if let Some(v) = pick.map(half) {
+                    assert!(v < bound);
+                    assert_eq!(v, (m >> 32) as u32);
+                }
+            }
         }
     }
 

@@ -1,12 +1,14 @@
 //! The engine's determinism contract: every simulator produces
-//! bit-identical tallies at any worker count, because trial `i` draws
-//! randomness exclusively from the counter-based stream
-//! `Rng::for_trial(seed, i)`.
+//! bit-identical tallies at any worker count, because randomness comes
+//! exclusively from counter-based streams over fixed boundaries —
+//! `Rng::for_trial(seed, i)` for per-trial runs, `Rng::for_block(seed, b)`
+//! for blocked runs.
 
 use muse_core::presets;
 use muse_faultsim::{
-    muse_msed, rs_msed, simulate_attacks_threaded, simulate_retention_threaded, LineHasher,
-    MsedConfig, RetentionModel, RsDetectMode,
+    measure_mode_threaded, muse_msed, rs_msed, simulate_attacks_threaded,
+    simulate_retention_threaded, simulate_scrubbing_threaded, simulate_stack_threaded, FailureMode,
+    LineHasher, MsedConfig, RetentionModel, RsDetectMode, ScrubConfig, Stack,
 };
 use muse_rs::RsMemoryCode;
 
@@ -102,6 +104,68 @@ fn rowhammer_identical_across_thread_counts() {
         assert_eq!(serial.blocked_by_hash, parallel.blocked_by_hash);
         assert_eq!(serial.harmless, parallel.harmless);
         assert_eq!(serial.successful, parallel.successful);
+    }
+}
+
+#[test]
+fn ondie_identical_across_thread_counts() {
+    let code = presets::muse_144_132();
+    let run =
+        |threads| simulate_stack_threaded(Stack::Stacked, Some(&code), 2e-3, 3_000, 5, threads);
+    let serial = run(1);
+    assert_eq!(serial.total(), 3_000);
+    assert!(serial.due + serial.sdc > 0, "exercise failure paths");
+    for threads in [2, 4, 7] {
+        let parallel = run(threads);
+        assert_eq!(
+            (serial.intact, serial.due, serial.sdc),
+            (parallel.intact, parallel.due, parallel.sdc),
+            "threads={threads}"
+        );
+    }
+    // The rank-less fast path too.
+    let serial = simulate_stack_threaded(Stack::OnDieOnly, None, 2e-3, 2_000, 6, 1);
+    let parallel = simulate_stack_threaded(Stack::OnDieOnly, None, 2e-3, 2_000, 6, 4);
+    assert_eq!(
+        (serial.intact, serial.due, serial.sdc),
+        (parallel.intact, parallel.due, parallel.sdc)
+    );
+}
+
+#[test]
+fn scrub_identical_across_thread_counts() {
+    let code = presets::muse_80_69();
+    let config = ScrubConfig {
+        device_fit: 2e6,
+        words: 3_000,
+        horizon_hours: 10_000.0,
+        ..ScrubConfig::default()
+    };
+    let run = |threads| simulate_scrubbing_threaded(&code, &config, threads);
+    let serial = run(1);
+    assert!(serial.scrubbed_faults > 0 && serial.overlap_failures > 0);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            (serial.overlap_failures, serial.scrubbed_faults),
+            (parallel.overlap_failures, parallel.scrubbed_faults),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn fit_identical_across_thread_counts() {
+    let code = presets::muse_144_132();
+    let run = |threads| measure_mode_threaded(&code, FailureMode::TwoDevices, 3_000, 17, threads);
+    let serial = run(1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            (serial.p_correct, serial.p_due, serial.p_sdc),
+            (parallel.p_correct, parallel.p_due, parallel.p_sdc),
+            "threads={threads}"
+        );
     }
 }
 

@@ -7,7 +7,8 @@
 //! and say so in the changelog.
 //!
 //! (The pins were re-baselined when the simulators moved to the parallel
-//! engine's counter-based per-trial streams — see CHANGES.md.)
+//! engine's counter-based per-trial streams, and again when trial
+//! generation moved to content space on blocked streams — see CHANGES.md.)
 
 use muse_core::presets;
 use muse_faultsim::{muse_msed, MsedConfig, Rng};
@@ -38,6 +39,18 @@ fn trial_stream_pin() {
 }
 
 #[test]
+fn block_stream_pin() {
+    // The blocked engine's per-block stream derivation is part of the
+    // reproducibility contract, and must stay domain-separated from the
+    // per-trial streams.
+    let mut rng = Rng::for_block(0x4D53_4544, 7);
+    let first: Vec<u64> = (0..2).map(|_| rng.next_u64()).collect();
+    assert_eq!(first, vec![2424275038829968809, 17581779019344070349]);
+    let mut trial = Rng::for_trial(0x4D53_4544, 7);
+    assert_ne!(rng.next_u64(), trial.next_u64());
+}
+
+#[test]
 fn msed_tally_pin_muse_144_132() {
     let stats = muse_msed(
         &presets::muse_144_132(),
@@ -52,7 +65,7 @@ fn msed_tally_pin_muse_144_132() {
     assert_eq!(stats.silent, 0);
     assert_eq!(
         (stats.detected, stats.miscorrected),
-        (1_746, 254),
+        (1_761, 239),
         "pinned Monte-Carlo tally changed: PRNG, injection, or decoder drifted"
     );
 }

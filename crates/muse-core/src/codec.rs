@@ -141,6 +141,23 @@ impl MuseCode {
     ///
     /// Fails if the multiplier is invalid for the layout, leaves no data
     /// bits, or admits no exact fast-modulo constants.
+    ///
+    /// # Examples
+    ///
+    /// Build the paper's MUSE(144,132) from first principles:
+    ///
+    /// ```
+    /// use muse_core::{Direction, ErrorModel, MuseCode, SymbolMap};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let map = SymbolMap::sequential(144, 4)?; // 36 x4 devices
+    /// let code = MuseCode::new(map, ErrorModel::symbol(Direction::Bidirectional), 4065)?;
+    /// assert_eq!(code.name(), "MUSE(144,132)");
+    /// assert_eq!((code.k_bits(), code.r_bits()), (132, 12));
+    /// assert!(code.kernel().is_some(), "hot-path kernel precomputed");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn new(map: SymbolMap, model: ErrorModel, m: u64) -> Result<Self, CodeError> {
         let n_bits = map.n_bits();
         let r_bits = 64 - m.leading_zeros();

@@ -38,6 +38,8 @@
 //! assert_eq!(code.unpack_metadata(&recovered), (0x0123_4567_89AB_CDEF, 0b1010));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod analysis;
 mod builder;
 mod codec;

@@ -120,6 +120,40 @@ pub enum FastDecode {
 /// The per-code incremental-syndrome tables. Built once inside
 /// [`MuseCode::new`](crate::MuseCode::new); accessible via
 /// [`MuseCode::kernel`](crate::MuseCode::kernel).
+///
+/// # Examples
+///
+/// Classify a Monte-Carlo trial entirely in residue space — no codeword is
+/// ever built. The trial below says devices 3 and 17, whose stored 4-bit
+/// contents are `0x4` and `0xA`, are hit by the XOR patterns `0b0011` and
+/// `0b0101`:
+///
+/// ```
+/// use muse_core::{presets, FastDecode};
+///
+/// let code = presets::muse_144_132();
+/// let kernel = code.kernel().expect("within tabulation limits");
+///
+/// let rem = kernel.add_mod(
+///     kernel.flip_delta(3, 0x4, 0b0011),
+///     kernel.flip_delta(17, 0xA, 0b0101),
+/// );
+/// match kernel.classify(rem) {
+///     // Most double-device errors are flagged uncorrectable.
+///     FastDecode::Detected => {}
+///     // Some match an ELC entry: finish with the located symbol's
+///     // *current* (corrupted) content to learn the corrected content.
+///     FastDecode::Correct { symbol } => {
+///         let current = match symbol {
+///             3 => 0x4 ^ 0b0011,
+///             17 => 0xA ^ 0b0101,
+///             _ => 0, // an untouched symbol's stored content
+///         };
+///         let _corrected = kernel.correct(rem, current);
+///     }
+///     FastDecode::Clean => unreachable!("these patterns do not alias"),
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SyndromeKernel {
     m: u64,
@@ -137,12 +171,16 @@ pub struct SyndromeKernel {
     payload_sources: Vec<Vec<(u8, u16)>>,
     /// Per-symbol `(content bit, check bit)` lists for the Mixed gather.
     check_sources: Vec<Vec<(u8, u8)>>,
-    /// Dense remainder → entry-index + 1 (0 = no entry).
-    elc_entry: Vec<u32>,
-    entries: Vec<FastEntry>,
+    /// Dense remainder → packed `(transition offset << 12) | symbol`, or
+    /// [`NO_ENTRY`] — one fused load classifies a syndrome and locates its
+    /// content-transition block.
+    elc_fused: Vec<u32>,
     /// Flat per-entry content-transition blocks.
     transitions: Vec<u16>,
 }
+
+/// Sentinel in the fused ELC table: no entry for this remainder.
+const NO_ENTRY: u32 = u32::MAX;
 
 impl SyndromeKernel {
     /// Whether a layout/multiplier pair is within the kernel's tabulation
@@ -306,6 +344,18 @@ impl SyndromeKernel {
             });
             elc_entry[rem as usize] = entries.len() as u32;
         }
+        // Fused classify table: one load yields symbol + transition offset.
+        // The packing limits (4096 symbols, 2^20 transition slots) sit far
+        // above anything the 12-bit-symbol tabulation limit admits.
+        assert!(map.num_symbols() < 1 << 12, "too many symbols to pack");
+        assert!(transitions.len() < 1 << 20, "transition table too large");
+        let mut elc_fused = vec![NO_ENTRY; m as usize];
+        for (rem, &idx) in elc_entry.iter().enumerate() {
+            if idx != 0 {
+                let e = entries[(idx - 1) as usize];
+                elc_fused[rem] = (e.offset << 12) | e.symbol;
+            }
+        }
 
         let k_bits = map.n_bits() - r_bits;
         Self {
@@ -318,8 +368,7 @@ impl SyndromeKernel {
             residues,
             payload_sources,
             check_sources,
-            elc_entry,
-            entries,
+            elc_fused,
             transitions,
         }
     }
@@ -469,16 +518,16 @@ impl SyndromeKernel {
         self.add_mod(after, self.m - before)
     }
 
-    /// First decode stage: classify a syndrome.
+    /// First decode stage: classify a syndrome (one fused table load).
     #[inline]
     pub fn classify(&self, rem: u64) -> FastDecode {
         if rem == 0 {
             return FastDecode::Clean;
         }
-        match self.elc_entry[rem as usize] {
-            0 => FastDecode::Detected,
-            idx => FastDecode::Correct {
-                symbol: self.entries[(idx - 1) as usize].symbol as usize,
+        match self.elc_fused[rem as usize] {
+            NO_ENTRY => FastDecode::Detected,
+            packed => FastDecode::Correct {
+                symbol: (packed & 0xFFF) as usize,
             },
         }
     }
@@ -488,10 +537,9 @@ impl SyndromeKernel {
     /// the correction escapes the symbol (detected uncorrectable).
     #[inline]
     pub fn correct(&self, rem: u64, content: u16) -> Option<u16> {
-        let idx = self.elc_entry[rem as usize];
-        debug_assert!(idx != 0, "correct() requires a matched remainder");
-        let entry = self.entries[(idx - 1) as usize];
-        match self.transitions[entry.offset as usize + content as usize] {
+        let packed = self.elc_fused[rem as usize];
+        debug_assert!(packed != NO_ENTRY, "correct() requires a matched remainder");
+        match self.transitions[(packed >> 12) as usize + content as usize] {
             NO_TRANSITION => None,
             w => Some(w),
         }

@@ -11,9 +11,14 @@
 //!   (e.g. 144 or 80 bits) carved into `s`-bit symbols, with a possibly
 //!   partial top symbol when `s ∤ n_bits` (exactly the misalignment the
 //!   paper exploits to show 5/6/7-bit-symbol RS codes lose ChipKill).
+//!
+//! For Monte-Carlo hot loops, [`RsMemoryCode::error_syndromes`] and
+//! [`RsMemoryCode::locate_single`] run the whole decode decision in the
+//! error-value domain (GF syndromes of the corruption alone, one table
+//! multiply per touched symbol) without materializing a codeword.
 
 mod memory;
 mod rs;
 
-pub use memory::{RsMemoryCode, RsMemoryDecoded};
+pub use memory::{RsFastLocate, RsMemoryCode, RsMemoryDecoded};
 pub use rs::{RsCode, RsDecoded, RsError};

@@ -39,6 +39,30 @@ pub struct RsMemoryCode {
     n_bits: u32,
     data_bits: u32,
     top_symbol_bits: u32,
+    /// `α^(l·p)` for symbol position `p` and syndrome index `l ∈ [0, 2t)`,
+    /// flattened as `err_pows[p · 2t + l]` — the incremental-syndrome
+    /// table: because the code is linear, the syndromes of a corrupted
+    /// codeword equal the syndromes of its error pattern alone,
+    /// `S_l = Σ_p e_p · α^(l·p)`.
+    err_pows: Vec<u16>,
+}
+
+/// Outcome of syndrome-domain single-symbol location (t = 1 codes): the
+/// error-value view of [`RsMemoryCode::decode`] that never touches a
+/// codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsFastLocate {
+    /// All syndromes zero: the word reads back as-is.
+    Clean,
+    /// Detected-but-uncorrectable.
+    Detected,
+    /// The decoder would XOR `value` onto `symbol`.
+    Correct {
+        /// Located symbol position.
+        symbol: usize,
+        /// Error value the decoder removes.
+        value: u16,
+    },
 }
 
 /// Outcome of bit-level RS decoding.
@@ -82,12 +106,18 @@ impl RsMemoryCode {
         let k_sym = n_sym - 2 * t;
         let rs = RsCode::new(symbol_bits, n_sym, k_sym)?;
         let rem = n_bits % symbol_bits;
+        let gf = rs.field();
+        let err_pows = (0..n_sym)
+            .flat_map(|p| (0..2 * t).map(move |l| (p, l)))
+            .map(|(p, l)| gf.alpha_pow((l * p) as i64))
+            .collect();
         Ok(Self {
             rs,
             symbol_bits,
             n_bits,
             data_bits: n_bits - 2 * t as u32 * symbol_bits,
             top_symbol_bits: if rem == 0 { symbol_bits } else { rem },
+            err_pows,
         })
     }
 
@@ -209,6 +239,62 @@ impl RsMemoryCode {
             placed += self.width_of(i);
         }
         payload
+    }
+
+    /// Incremental error-domain syndromes: the `2t` syndromes of any
+    /// codeword corrupted by exactly `errors` (`(symbol, xor-value)` pairs,
+    /// zero values allowed), computed from the `α^(l·p)` table without
+    /// materializing — or even knowing — the codeword. Unused entries of
+    /// the returned array stay zero.
+    ///
+    /// Linear-code identity: `syndromes(cw ⊕ e) = syndromes(e)` since
+    /// `syndromes(cw) = 0`; cross-checked against
+    /// [`RsCode::syndromes`](crate::RsCode::syndromes) by property tests.
+    #[inline]
+    pub fn error_syndromes(&self, errors: &[(usize, u16)]) -> [u16; 4] {
+        let gf = self.rs.field();
+        let r = 2 * self.rs.t();
+        let mut synd = [0u16; 4];
+        for &(sym, value) in errors {
+            if value == 0 {
+                continue;
+            }
+            let pows = &self.err_pows[sym * r..(sym + 1) * r];
+            for (s, &pow) in synd[..r].iter_mut().zip(pows) {
+                *s ^= gf.mul(value, pow);
+            }
+        }
+        synd
+    }
+
+    /// Syndrome-domain single-symbol location for `t = 1` codes — the
+    /// hot-loop form of [`Self::decode`]: same Clean / Detected / Correct
+    /// decision (including the out-of-range rejection of shortened codes),
+    /// with the caller applying the shortened-top-symbol content check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code has `t ≠ 1`.
+    #[inline]
+    pub fn locate_single(&self, s0: u16, s1: u16) -> RsFastLocate {
+        assert_eq!(self.rs.t(), 1, "locate_single is for t = 1 codes");
+        if s0 == 0 && s1 == 0 {
+            return RsFastLocate::Clean;
+        }
+        // A true single error e at position j has S0 = e ≠ 0 and
+        // S1 = e·α^j ≠ 0; anything else is uncorrectable.
+        if s0 == 0 || s1 == 0 {
+            return RsFastLocate::Detected;
+        }
+        let gf = self.rs.field();
+        let pos = gf.log(gf.div(s1, s0)).expect("nonzero ratio") as usize;
+        if pos >= self.rs.n_symbols() {
+            return RsFastLocate::Detected;
+        }
+        RsFastLocate::Correct {
+            symbol: pos,
+            value: s0,
+        }
     }
 
     /// Decodes a channel word, correcting up to `t` symbol errors.
@@ -353,5 +439,103 @@ mod tests {
     fn oversized_payload_panics() {
         let rs = RsMemoryCode::new(8, 80, 1).unwrap();
         let _ = rs.encode(&Word::mask(65));
+    }
+
+    #[test]
+    fn error_syndromes_match_wide_syndromes() {
+        // Linear-code identity: syndromes(cw ⊕ e) == error_syndromes(e),
+        // for every geometry and random payloads/errors.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (s, t) in [(8u32, 1usize), (5, 1), (8, 2)] {
+            let rs = RsMemoryCode::new(s, 144, t).unwrap();
+            for _ in 0..200 {
+                let payload =
+                    (Word::from(next()) | (Word::from(next()) << 64)) & Word::mask(rs.data_bits());
+                let cw = rs.encode(&payload);
+                let mut symbols = rs.to_symbols(&cw);
+                let k = 1 + (next() % 3) as usize;
+                let mut errors = Vec::new();
+                for _ in 0..k {
+                    let sym = (next() % rs.n_symbols() as u64) as usize;
+                    if errors.iter().any(|&(e, _)| e == sym) {
+                        continue;
+                    }
+                    let width = if sym + 1 == rs.n_symbols() {
+                        rs.top_symbol_bits()
+                    } else {
+                        rs.symbol_bits()
+                    };
+                    let value = (next() & ((1 << width) - 1)) as u16;
+                    symbols[sym] ^= value;
+                    errors.push((sym, value));
+                }
+                let corrupted = rs.from_symbols(&symbols);
+                let wide = rs.inner().syndromes(&rs.to_symbols(&corrupted));
+                let fast = rs.error_syndromes(&errors);
+                assert_eq!(&fast[..2 * t], wide.as_slice(), "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_single_matches_wide_decode() {
+        let rs = RsMemoryCode::new(8, 144, 1).unwrap();
+        let payload = Word::from(0xA5A5_5A5A_DEAD_BEEFu64) | (Word::from(0x42u64) << 100);
+        let cw = rs.encode(&payload);
+        let mut state = 0xFACEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        for trial in 0..500 {
+            let k = 1 + (trial % 3) as usize;
+            let mut errors: Vec<(usize, u16)> = Vec::new();
+            for _ in 0..k {
+                let sym = (next() % 18) as usize;
+                if errors.iter().any(|&(e, _)| e == sym) {
+                    continue;
+                }
+                let value = 1 + (next() % 255) as u16;
+                errors.push((sym, value));
+            }
+            let mut symbols = rs.to_symbols(&cw);
+            for &(sym, value) in &errors {
+                symbols[sym] ^= value;
+            }
+            let corrupted = rs.from_symbols(&symbols);
+            let synd = rs.error_syndromes(&errors);
+            let fast = rs.locate_single(synd[0], synd[1]);
+            match (fast, rs.decode(&corrupted)) {
+                (RsFastLocate::Clean, RsMemoryDecoded::Clean { .. }) => {}
+                (RsFastLocate::Detected, RsMemoryDecoded::Detected) => {}
+                (RsFastLocate::Correct { symbol, value }, wide) => {
+                    // The wide decoder applies the same correction, except
+                    // when the shortened-top-symbol check rejects it.
+                    match wide {
+                        RsMemoryDecoded::Corrected { errors: we, .. } => {
+                            assert_eq!(we, vec![(symbol, value)], "trial {trial}");
+                        }
+                        RsMemoryDecoded::Detected => {
+                            let fixed = symbols[symbol] ^ value;
+                            assert!(
+                                symbol == 17 && fixed >= 1 << rs.top_symbol_bits(),
+                                "trial {trial}: only the top-symbol range check \
+                                 may turn Correct into Detected"
+                            );
+                        }
+                        other => panic!("trial {trial}: {fast:?} vs {other:?}"),
+                    }
+                }
+                (fast, wide) => panic!("trial {trial}: fast {fast:?} vs wide {wide:?}"),
+            }
+        }
     }
 }
