@@ -123,6 +123,15 @@ fn main() {
     });
     push("msed_rs_144_128", trials, one, all);
 
+    let pim = presets::muse_268_256();
+    let one = measure(|| {
+        std::hint::black_box(muse_msed(&pim, msed_cfg(1)));
+    });
+    let all = measure(|| {
+        std::hint::black_box(muse_msed(&pim, msed_cfg(0)));
+    });
+    push("msed_muse_268_256", trials, one, all);
+
     let one = measure(|| {
         std::hint::black_box(simulate_retention_threaded(
             &muse_asym,

@@ -1,0 +1,211 @@
+//! Machine-readable fleet-lifetime performance + rate snapshot.
+//!
+//! Measures the lifetime simulator's throughput (DIMM-epochs/sec and
+//! erasure-mode classifications/sec, at one worker and at all workers) on
+//! an erasure-heavy configuration, runs the full scenario matrix at the
+//! default fleet configuration, and writes `BENCH_lifetime.json` (schema
+//! `lifetime-bench/v1`, field reference in the `muse-bench` crate docs).
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p muse-bench --bin bench_lifetime` — full
+//!   snapshot.
+//! * `... -- --smoke` — CI mode: the small fixed-seed fleet of
+//!   [`muse_lifetime::smoke_setup`] is run and its tallies asserted
+//!   against [`muse_lifetime::smoke_expected`] (the same pins
+//!   `crates/lifetime/tests/regression.rs` checks), then a reduced
+//!   snapshot is written. Exits nonzero on any drift.
+
+use std::time::Instant;
+
+use muse_lifetime::{
+    scenario_codes, simulate_fleet, smoke_expected, smoke_setup, Environment, FleetCode,
+    FleetConfig, LifetimeReport,
+};
+
+/// Best-of-3 wall-clock seconds for one run.
+fn measure(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The erasure-heavy throughput configuration: every DIMM starts degraded
+/// and transient pressure is cranked so nearly every epoch classifies
+/// reads through the erasure decoder.
+fn throughput_setup() -> (Environment, FleetConfig) {
+    (
+        Environment {
+            name: "erasure-throughput",
+            transient_fit_per_device: 5.0e7,
+            permanent_scale: [0.0, 0.0, 0.0],
+            asymmetric_transients: false,
+        },
+        FleetConfig {
+            dimms: 256,
+            years: 5.0,
+            scrub_interval_hours: 168.0,
+            initial_failed_devices: 1,
+            spares_per_dimm: 0,
+            seed: 0xBEAC,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn scenario_json(r: &LifetimeReport) -> String {
+    format!(
+        concat!(
+            "    {{\"code\": \"{}\", \"environment\": \"{}\", ",
+            "\"machine_years\": {:.1}, ",
+            "\"due_per_machine_year\": {:.6}, \"sdc_per_machine_year\": {:.6}, ",
+            "\"repairs_per_machine_year\": {:.6}, \"degraded_fraction\": {:.6}, ",
+            "\"erasure_reads\": {}, \"data_loss_events\": {}}}"
+        ),
+        r.code,
+        r.environment,
+        r.machine_years,
+        r.due_per_machine_year,
+        r.sdc_per_machine_year,
+        r.repairs_per_machine_year,
+        r.degraded_fraction,
+        r.tally.erasure_reads,
+        r.tally.data_loss_events,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    if smoke {
+        // Assert the pinned smoke tallies (the single source of truth
+        // shared with crates/lifetime/tests/regression.rs).
+        let (env, config) = smoke_setup();
+        for (code, (name, due, sdc, corrected, reads)) in
+            scenario_codes().iter().zip(smoke_expected())
+        {
+            let r = simulate_fleet(code, &env, &config);
+            assert_eq!(r.code, name, "scenario order drifted");
+            assert_eq!(
+                (
+                    r.tally.due_words,
+                    r.tally.sdc_words,
+                    r.tally.corrected_words,
+                    r.tally.erasure_reads
+                ),
+                (due, sdc, corrected, reads),
+                "pinned smoke tally drifted for {name}"
+            );
+        }
+        println!("smoke tallies match the pins for all 4 codes");
+    }
+
+    // Throughput: erasure-heavy fleet, MUSE and RS, 1 thread vs all.
+    let (thr_env, thr_config) = throughput_setup();
+    let thr_codes = [
+        FleetCode::muse(muse_core::presets::muse_80_69()),
+        FleetCode::rs(muse_rs::RsMemoryCode::new(8, 144, 1).expect("geometry"), 4),
+    ];
+    let mut throughput_rows = Vec::new();
+    for code in &thr_codes {
+        let run = |threads: usize| {
+            let config = FleetConfig {
+                threads,
+                dimms: if smoke { 32 } else { thr_config.dimms },
+                ..thr_config
+            };
+            let mut tally = Default::default();
+            let secs = measure(|| {
+                tally = simulate_fleet(code, &thr_env, &config).tally;
+            });
+            (secs, tally)
+        };
+        let (secs_one, tally) = run(1);
+        let (secs_all, _) = run(0);
+        let epochs = tally.epochs as f64;
+        let reads = tally.erasure_reads as f64;
+        println!(
+            "{:<18} {:>12.0} epochs/s {:>12.0} erasure-reads/s (1 thread; {} reads)",
+            code.name(),
+            epochs / secs_one,
+            reads / secs_one,
+            tally.erasure_reads,
+        );
+        throughput_rows.push(format!(
+            concat!(
+                "    {{\"code\": \"{}\", \"epochs\": {}, \"erasure_reads\": {}, ",
+                "\"one_thread\": {{\"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, ",
+                "\"erasure_reads_per_sec\": {:.0}}}, ",
+                "\"all_threads\": {{\"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, ",
+                "\"erasure_reads_per_sec\": {:.0}}}}}"
+            ),
+            code.name(),
+            tally.epochs,
+            tally.erasure_reads,
+            secs_one,
+            epochs / secs_one,
+            reads / secs_one,
+            secs_all,
+            epochs / secs_all,
+            reads / secs_all,
+        ));
+    }
+
+    // Scenario matrix rates.
+    let matrix_config = if smoke {
+        FleetConfig {
+            dimms: 64,
+            years: 2.0,
+            ..FleetConfig::default()
+        }
+    } else {
+        FleetConfig::default()
+    };
+    let reports = muse_lifetime::run_matrix(&matrix_config);
+    println!(
+        "\n{:<16} {:<21} {:>10} {:>10} {:>9}",
+        "code", "environment", "DUE/m-yr", "SDC/m-yr", "degraded"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:<21} {:>10.5} {:>10.5} {:>8.2}%",
+            r.code,
+            r.environment,
+            r.due_per_machine_year,
+            r.sdc_per_machine_year,
+            100.0 * r.degraded_fraction
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"lifetime-bench/v1\",\n");
+    json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        concat!(
+            "  \"fleet\": {{\"dimms\": {}, \"years\": {}, ",
+            "\"scrub_interval_hours\": {}, \"spares_per_dimm\": {}, ",
+            "\"dimms_per_machine\": {}}},\n"
+        ),
+        matrix_config.dimms,
+        matrix_config.years,
+        matrix_config.scrub_interval_hours,
+        matrix_config.spares_per_dimm,
+        matrix_config.dimms_per_machine,
+    ));
+    json.push_str("  \"throughput\": [\n");
+    json.push_str(&throughput_rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"scenarios\": [\n");
+    let body: Vec<String> = reports.iter().map(scenario_json).collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_lifetime.json", &json).expect("write BENCH_lifetime.json");
+    println!("\nwrote BENCH_lifetime.json ({threads_available} CPUs)");
+}

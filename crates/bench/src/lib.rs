@@ -51,6 +51,48 @@
 //! pre-engine wide-word loop kept as the speedup baseline. Regenerate on a
 //! quiet machine and commit the file when a PR changes simulator
 //! performance.
+//!
+//! # The `BENCH_lifetime.json` fleet snapshot
+//!
+//! `cargo run --release -p muse-bench --bin bench_lifetime` measures the
+//! fleet-lifetime simulator (`muse-lifetime`) and (over)writes
+//! `BENCH_lifetime.json`. Schema `lifetime-bench/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "lifetime-bench/v1",
+//!   "threads_available": 1,     // CPUs visible to the run
+//!   "smoke": false,             // true under the CI `--smoke` mode
+//!   "fleet": {                  // the scenario-matrix configuration
+//!     "dimms": 1024, "years": 5.0, "scrub_interval_hours": 12.0,
+//!     "spares_per_dimm": 0, "dimms_per_machine": 8
+//!   },
+//!   "throughput": [             // erasure-heavy fleet, 1 vs all workers
+//!     {
+//!       "code": "MUSE(80,69)",
+//!       "epochs": 33280,         // DIMM-epochs simulated per run
+//!       "erasure_reads": 158721, // degraded-mode classifications per run
+//!       "one_thread":  {"seconds": 0.04, "epochs_per_sec": 700000,
+//!                       "erasure_reads_per_sec": 13000000},
+//!       "all_threads": {"seconds": 0.04, "epochs_per_sec": 700000,
+//!                       "erasure_reads_per_sec": 13000000}
+//!     }
+//!   ],
+//!   "scenarios": [              // one row per code x environment
+//!     {
+//!       "code": "MUSE(144,132)", "environment": "chipkill-heavy",
+//!       "machine_years": 640.0,
+//!       "due_per_machine_year": 2.5, "sdc_per_machine_year": 0.0,
+//!       "repairs_per_machine_year": 0.4, "degraded_fraction": 0.08,
+//!       "erasure_reads": 1583, "data_loss_events": 0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `--smoke` (used by CI) first asserts the pinned small-fleet tallies of
+//! `crates/lifetime/tests/regression.rs`, then writes a reduced snapshot.
+//! All rates are deterministic — bit-identical at any worker count.
 
 pub mod baseline;
 pub mod experiments;

@@ -10,6 +10,10 @@
 //!   [--asym] [--single-bit] [--limit K]` — run Algorithm 1.
 //! * `msed <preset> [--trials N] [--devices K] [--threads T]` —
 //!   Monte-Carlo detection rate (parallel; bit-identical at any `T`).
+//! * `lifetime [--dimms N] [--years Y] [--scrub-hours H] [--spares S]
+//!   [--seed X] [--threads T]` — the fleet-lifetime scenario matrix:
+//!   DUE/SDC/repair rates per machine-year for every code × environment,
+//!   with erasure-mode degraded operation (see the `muse-lifetime` crate).
 //!
 //! The command layer is a plain function from parsed arguments to a
 //! [`String`], so every path is unit-testable without spawning processes.
@@ -46,6 +50,8 @@ USAGE:
   muse-tool search --bits <n> [--symbol <s>] [--redundancy <r>]
                    [--interleaved] [--asym] [--single-bit] [--limit <k>]
   muse-tool msed <preset> [--trials <n>] [--devices <k>] [--threads <t>]
+  muse-tool lifetime [--dimms <n>] [--years <y>] [--scrub-hours <h>]
+                     [--spares <s>] [--seed <x>] [--threads <t>]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
   muse-tool spec <preset>
 
@@ -235,6 +241,52 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 stats.silent
             ))
         }
+        Some("lifetime") => {
+            let rest: Vec<&str> = it.collect();
+            let config = muse_lifetime::FleetConfig {
+                dimms: parse_or(&rest, "--dimms", 1024)?,
+                years: parse_or(&rest, "--years", 5.0)?,
+                scrub_interval_hours: parse_or(&rest, "--scrub-hours", 12.0)?,
+                spares_per_dimm: parse_or(&rest, "--spares", 0)?,
+                seed: parse_or(&rest, "--seed", 0xF1EE_7155)?,
+                threads: parse_or(&rest, "--threads", 0)?,
+                ..muse_lifetime::FleetConfig::default()
+            };
+            let reports = muse_lifetime::run_matrix(&config);
+            let mut out = format!(
+                "fleet: {} DIMMs x {} years ({:.0} machine-years), scrub every {}h, {} spares/DIMM\n\n{:<16} {:<21} {:>10} {:>10} {:>11} {:>9} {:>9}\n",
+                config.dimms,
+                config.years,
+                config.machine_years(),
+                config.scrub_interval_hours,
+                config.spares_per_dimm,
+                "code",
+                "environment",
+                "DUE/m-yr",
+                "SDC/m-yr",
+                "repairs/yr",
+                "degraded",
+                "era-reads",
+            );
+            for r in &reports {
+                out.push_str(&format!(
+                    "{:<16} {:<21} {:>10.5} {:>10.5} {:>11.4} {:>8.2}% {:>9}\n",
+                    r.code,
+                    r.environment,
+                    r.due_per_machine_year,
+                    r.sdc_per_machine_year,
+                    r.repairs_per_machine_year,
+                    100.0 * r.degraded_fraction,
+                    r.tally.erasure_reads,
+                ));
+            }
+            out.push_str(
+                "\nDUE/SDC are per machine-year (word DUEs + data-loss events); degraded = \
+                 fraction of DIMM-epochs in erasure-mode operation.\nDeterministic: tallies are \
+                 bit-identical at any --threads value.",
+            );
+            Ok(out)
+        }
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -341,6 +393,26 @@ mod tests {
     fn msed_reports_rate() {
         let out = run_str("msed muse80_69 --trials 500").unwrap();
         assert!(out.contains("% of 500 2-device errors detected"), "{out}");
+    }
+
+    #[test]
+    fn lifetime_reports_matrix() {
+        // A tiny fleet keeps the test fast; the matrix still covers all
+        // 4 codes x 3 environments.
+        let out = run_str("lifetime --dimms 24 --years 1 --scrub-hours 48").unwrap();
+        assert!(out.contains("MUSE(144,132)"), "{out}");
+        assert!(out.contains("RS(144,112) t=2"), "{out}");
+        assert!(out.contains("transient-dominant"), "{out}");
+        assert!(out.contains("retention-asymmetric"), "{out}");
+        assert_eq!(out.matches("chipkill-heavy").count(), 4);
+        // Deterministic across thread counts.
+        let serial = run_str("lifetime --dimms 24 --years 1 --scrub-hours 48 --threads 1").unwrap();
+        assert_eq!(
+            out.replace("--threads", ""),
+            serial.replace("--threads", ""),
+            "thread count must not change the rates"
+        );
+        assert!(run_str("lifetime --dimms zzz").is_err());
     }
 
     #[test]

@@ -41,7 +41,9 @@
 //! * [`muse_msed`] / [`rs_msed`] — the multi-symbol error detection (MSED)
 //!   simulator behind the paper's Table IV.
 //! * [`simulate_attacks`] — the Section VI-A case study: 40-bit line hashes
-//!   in MUSE spare bits vs blind bit-flip attacks.
+//!   in MUSE spare bits vs blind bit-flip attacks. SipHash runs over the
+//!   real line bytes (legitimately content-dependent); the ECC step of the
+//!   8 codewords per line runs on the residue kernel.
 //! * [`simulate_retention`] — the Section III-C asymmetric (1→0)
 //!   retention-error model and refresh-interval sweeps.
 //! * [`simulate_stack`] — on-die SEC × rank-level MUSE co-design.

@@ -9,7 +9,7 @@
 //! (keyed, 64-bit output folded to 40 bits) — the standard short-input PRF
 //! for exactly this setting.
 
-use muse_core::{Decoded, MuseCode, Word};
+use muse_core::{Decoded, FastDecode, MuseCode, SyndromeKernel, Word};
 
 use crate::engine::{SimEngine, Tally};
 
@@ -230,7 +230,160 @@ pub fn simulate_attacks(
 }
 
 /// [`simulate_attacks`] with an explicit worker count (0 ⇒ all CPUs).
+///
+/// The line hash is content-dependent (SipHash over the real data bytes),
+/// so the data words are genuinely materialized — but the ECC step runs in
+/// residue space: each of the line's eight codewords is classified through
+/// the [`SyndromeKernel`] (check-value fold, per-symbol flip deltas, fused
+/// ELC transition) instead of a wide encode/decode, and the read-back
+/// payload is reassembled from the flip/correction deltas alone. Draw
+/// order, outcomes, and tallies are bit-identical to the wide pipeline,
+/// which survives as the fallback for kernel-less codes (pinned by
+/// `fast_attacks_match_wide_pipeline` below).
 pub fn simulate_attacks_threaded(
+    code: &MuseCode,
+    hasher: &LineHasher,
+    flips: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> AttackStats {
+    assert!(code.spare_bits() >= 5, "need 5 spare bits per word");
+    let Some(kernel) = code.kernel() else {
+        return simulate_attacks_wide(code, hasher, flips, trials, seed, threads);
+    };
+    let n_bits = code.n_bits();
+    SimEngine::new(threads).run_with(
+        seed,
+        trials,
+        || vec![Vec::<(usize, u16)>::new(); WORDS_PER_LINE],
+        |_, rng, word_flips, stats: &mut AttackStats| {
+            let mut data = [0u64; WORDS_PER_LINE];
+            for d in &mut data {
+                *d = rng.next_u64();
+            }
+            let hash = hasher.hash(&data);
+            for flips in word_flips.iter_mut() {
+                flips.clear();
+            }
+            for _ in 0..flips {
+                let word = rng.below(WORDS_PER_LINE as u64) as usize;
+                let bit = rng.below(n_bits as u64) as u32;
+                push_flip(code, &mut word_flips[word], bit);
+            }
+            stats.merge(classify_line_fast(
+                code, kernel, hasher, &data, hash, word_flips,
+            ));
+        },
+    )
+}
+
+/// Folds one storage-bit flip into a word's per-symbol XOR patterns.
+fn push_flip(code: &MuseCode, flips: &mut Vec<(usize, u16)>, bit: u32) {
+    let map = code.symbol_map();
+    let sym = map.symbol_of_bit(bit);
+    let idx = map
+        .bits_of(sym)
+        .iter()
+        .position(|&b| b == bit)
+        .expect("bit belongs to its symbol");
+    match flips.iter_mut().find(|(s, _)| *s == sym) {
+        Some(entry) => entry.1 ^= 1 << idx,
+        None => flips.push((sym, 1 << idx)),
+    }
+}
+
+/// Residue-space read-back of one attacked line: decodes all eight words on
+/// the kernel, reassembles data + hash slices from the flip/correction
+/// deltas, and verifies the hash — the exact outcome of
+/// [`HashedLine::verify`] on the equivalent wide line.
+fn classify_line_fast(
+    code: &MuseCode,
+    kernel: &SyndromeKernel,
+    hasher: &LineHasher,
+    data: &[u64; WORDS_PER_LINE],
+    hash: u64,
+    word_flips: &[Vec<(usize, u16)>],
+) -> AttackStats {
+    let map = code.symbol_map();
+    let r_bits = code.r_bits();
+    // Toggles the payload bits named by a symbol-content diff.
+    let apply_sym_diff = |out: &mut [u64; 5], sym: usize, diff: u16| {
+        for (bit_idx, &b) in map.bits_of(sym).iter().enumerate() {
+            if diff >> bit_idx & 1 == 1 && b >= r_bits {
+                let pb = (b - r_bits) as usize;
+                out[pb >> 6] ^= 1u64 << (pb & 63);
+            }
+        }
+    };
+    let mut stats = AttackStats::default();
+    let mut read_data = [0u64; WORDS_PER_LINE];
+    let mut read_hash = 0u64;
+    for (i, flips) in word_flips.iter().enumerate() {
+        let limbs = code
+            .pack_metadata(data[i], (hash >> (5 * i as u32)) & 0x1F)
+            .to_limbs();
+        let x = kernel.check_value(&limbs);
+        let mut rem = 0u64;
+        for &(sym, pattern) in flips {
+            if pattern != 0 {
+                let content = kernel.encoded_content(sym, &limbs, x);
+                rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
+            }
+        }
+        let mut out = limbs;
+        if rem == 0 {
+            // Zero syndrome: the word reads back as stored (flips and all).
+            for &(sym, pattern) in flips {
+                apply_sym_diff(&mut out, sym, pattern);
+            }
+        } else {
+            match kernel.classify(rem) {
+                FastDecode::Clean => unreachable!("nonzero remainder"),
+                FastDecode::Detected => {
+                    stats.blocked_by_ecc += 1;
+                    return stats;
+                }
+                FastDecode::Correct { symbol } => {
+                    let content = kernel.encoded_content(symbol, &limbs, x);
+                    let injected = flips
+                        .iter()
+                        .find(|&&(s, _)| s == symbol)
+                        .map_or(0, |&(_, p)| p);
+                    match kernel.correct(rem, content ^ injected) {
+                        None => {
+                            stats.blocked_by_ecc += 1;
+                            return stats;
+                        }
+                        Some(corrected) => {
+                            for &(sym, pattern) in flips {
+                                if sym != symbol {
+                                    apply_sym_diff(&mut out, sym, pattern);
+                                }
+                            }
+                            apply_sym_diff(&mut out, symbol, corrected ^ content);
+                        }
+                    }
+                }
+            }
+        }
+        read_data[i] = out[0];
+        read_hash |= (out[1] & 0x1F) << (5 * i as u32);
+    }
+    if read_hash != hasher.hash(&read_data) {
+        stats.blocked_by_hash += 1;
+    } else if read_data == *data {
+        stats.harmless += 1;
+    } else {
+        stats.successful += 1;
+    }
+    stats
+}
+
+/// The wide-word reference pipeline: encode the line, flip storage bits,
+/// decode through [`HashedLine::verify`]. The fallback for kernel-less
+/// codes and the property-tested oracle for the residue-space path.
+fn simulate_attacks_wide(
     code: &MuseCode,
     hasher: &LineHasher,
     flips: usize,
@@ -314,6 +467,35 @@ mod tests {
         let forged = code.encode(&code.pack_metadata(0x6666, 0));
         line.codewords[2] = forged;
         assert_eq!(line.verify(&code, &hasher), Err(LineError::HashMismatch));
+    }
+
+    #[test]
+    fn fast_attacks_match_wide_pipeline() {
+        // The residue-space ECC step must reproduce the wide pipeline's
+        // tallies exactly: same seed, kernel on vs kernel dropped.
+        let mut wide_code = presets::muse_80_69();
+        wide_code.disable_syndrome_kernel();
+        let fast_code = presets::muse_80_69();
+        let hasher = LineHasher::new(0xFA57, 0x31DE);
+        for (flips, seed) in [(1usize, 7u64), (4, 8), (9, 9), (23, 10)] {
+            let fast = simulate_attacks(&fast_code, &hasher, flips, 300, seed);
+            let wide = simulate_attacks(&wide_code, &hasher, flips, 300, seed);
+            assert_eq!(
+                (
+                    fast.blocked_by_ecc,
+                    fast.blocked_by_hash,
+                    fast.successful,
+                    fast.harmless
+                ),
+                (
+                    wide.blocked_by_ecc,
+                    wide.blocked_by_hash,
+                    wide.successful,
+                    wide.harmless
+                ),
+                "flips={flips}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Content-space word-read classification for healthy and degraded
+//! (erasure-mode) operation.
+//!
+//! A word read is classified from (a) the set of known-failed devices the
+//! controller decodes around (the *erased* set) and (b) the transient /
+//! permanent disturbances striking the word ([`Strike`]s). No codeword is
+//! materialized:
+//!
+//! * **MUSE** reads run on the [`SyndromeKernel`] residue algebra — symbol
+//!   contents are sampled lazily (uniform payload bits, check bits from a
+//!   lazily drawn check value, exactly the `muse-faultsim` content-space
+//!   discipline), the survivors' syndrome contribution accumulates through
+//!   [`SyndromeKernel::residue`]/[`SyndromeKernel::flip_delta`], and
+//!   degraded reads finish with one [`ErasureTable::solve`] lookup.
+//! * **Reed-Solomon** reads run in the error-value domain —
+//!   [`RsMemoryCode::error_syndromes`] over the folded device strikes, then
+//!   [`RsCode::locate_errors`](muse_rs::RsCode::locate_errors) (healthy) or
+//!   [`RsCode::erasure_magnitudes`](muse_rs::RsCode::erasure_magnitudes)
+//!   (degraded). Dead-chip contents never enter the outcome: the erasure
+//!   solve compensates any value they take, so the simulator does not
+//!   sample them.
+//!
+//! The wide decoders (`MuseCode::decode`/`recover_erasures`,
+//! `RsMemoryCode::decode`, `RsCode::decode_erasures`) are the
+//! property-tested oracles — see the `#[cfg(test)]` suite at the bottom,
+//! which replays every classification against a reconstructed wide word.
+
+use muse_core::{ErasureSolve, ErasureTable, FastDecode, SyndromeKernel};
+use muse_faultsim::{Bounded32, Rng};
+use muse_rs::RsMemoryCode;
+
+/// Outcome of reading one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordRead {
+    /// The data read back correct (possibly after correction / erasure
+    /// recovery).
+    Correct,
+    /// Detected-but-uncorrectable: a DUE the machine must handle.
+    Due,
+    /// The word read back wrong without a flag — silent data corruption.
+    Sdc,
+}
+
+/// One device-level disturbance of a word read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strike {
+    /// XOR this pattern onto the device's bits (transient upset patterns,
+    /// permanent-fault garbage).
+    Xor(u16),
+    /// Asymmetric (retention-style) discharge of one bit: the cell flips
+    /// only if it currently stores a 1 (Section III-C's `1→0` model).
+    AsymBit(u8),
+}
+
+/// Lazily sampled per-symbol contents of one MUSE word, in the
+/// `muse-faultsim` content-space discipline: payload bits uniform, check
+/// bits from a check value drawn uniformly over `[0, m)` on first use.
+pub struct MuseContents {
+    contents: Vec<u16>,
+    stamps: Vec<u64>,
+    generation: u64,
+    x: Option<u64>,
+    x_pick: Bounded32,
+    pinned: bool,
+}
+
+impl MuseContents {
+    /// Fresh sampler for a kernel's symbol geometry.
+    pub fn new(kernel: &SyndromeKernel) -> Self {
+        Self {
+            contents: vec![0; kernel.num_symbols()],
+            stamps: vec![u64::MAX; kernel.num_symbols()],
+            generation: 0,
+            x: None,
+            x_pick: Bounded32::new(u32::try_from(kernel.modulus()).expect("kernel moduli fit u32")),
+            pinned: false,
+        }
+    }
+
+    /// Starts a fresh word read: every symbol content (and the check value)
+    /// is resampled on next observation. No-op while pinned.
+    #[inline]
+    pub fn begin(&mut self) {
+        if !self.pinned {
+            self.generation = self.generation.wrapping_add(1);
+            self.x = None;
+        }
+    }
+
+    /// Test hook: pins every symbol content (and the check value) to those
+    /// of a real codeword, so a classification replays a wide-word read
+    /// exactly.
+    #[cfg(test)]
+    pub fn pin(&mut self, contents: &[u16], x: u64) {
+        self.generation = self.generation.wrapping_add(1);
+        self.contents.copy_from_slice(contents);
+        for stamp in &mut self.stamps {
+            *stamp = self.generation;
+        }
+        self.x = Some(x);
+        self.pinned = true;
+    }
+
+    /// The stored content of `sym`, sampled on first observation per read.
+    #[inline]
+    fn content(&mut self, kernel: &SyndromeKernel, rng: &mut Rng, sym: usize) -> u16 {
+        if self.stamps[sym] != self.generation {
+            let raw = rng.next_u64() as u16;
+            let content = if kernel.needs_check_value(sym) {
+                let x = match self.x {
+                    Some(x) => x,
+                    None => {
+                        let x = self.x_pick.sample(rng) as u64;
+                        self.x = Some(x);
+                        x
+                    }
+                };
+                kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), x)
+            } else {
+                raw & kernel.width_mask(sym)
+            };
+            self.contents[sym] = content;
+            self.stamps[sym] = self.generation;
+        }
+        self.contents[sym]
+    }
+
+    /// Resolves a strike to its XOR pattern on `sym`'s current content.
+    #[inline]
+    fn resolve(&mut self, kernel: &SyndromeKernel, rng: &mut Rng, sym: usize, s: Strike) -> u16 {
+        match s {
+            Strike::Xor(p) => p,
+            Strike::AsymBit(bit) => (1 << bit) & self.content(kernel, rng, sym),
+        }
+    }
+}
+
+/// Classifies one MUSE word read.
+///
+/// `erased` is the controller's known-failed device set (empty = healthy
+/// decode; non-empty = degraded decode through `table`, which must be the
+/// [`ErasureTable`] built for exactly that set). Strikes must name
+/// non-erased symbols — a dead chip's output never reaches the decoder.
+pub fn classify_muse(
+    kernel: &SyndromeKernel,
+    table: Option<&ErasureTable>,
+    strikes: &[(u16, Strike)],
+    contents: &mut MuseContents,
+    rng: &mut Rng,
+) -> WordRead {
+    assert!(strikes.len() <= 16, "at most 16 strikes per word read");
+    contents.begin();
+    let m = kernel.modulus();
+    match table {
+        None => {
+            // Healthy decode: accumulate the strikes' syndrome and run the
+            // fused classify/correct stages.
+            let mut rem = 0u64;
+            let mut payload_touched = false;
+            let mut resolved = [(0usize, 0u16); 16];
+            let mut n = 0usize;
+            for &(dev, s) in strikes {
+                let sym = dev as usize;
+                let pattern = contents.resolve(kernel, rng, sym, s);
+                if pattern == 0 {
+                    continue;
+                }
+                let content = contents.content(kernel, rng, sym);
+                rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
+                payload_touched |= pattern & kernel.payload_mask(sym) != 0;
+                resolved[n] = (sym, pattern);
+                n += 1;
+            }
+            let resolved = &resolved[..n];
+            if rem == 0 {
+                return if payload_touched {
+                    WordRead::Sdc
+                } else {
+                    WordRead::Correct
+                };
+            }
+            match kernel.classify(rem) {
+                FastDecode::Clean => unreachable!("nonzero remainder"),
+                FastDecode::Detected => WordRead::Due,
+                FastDecode::Correct { symbol } => {
+                    let original = contents.content(kernel, rng, symbol);
+                    let injected = resolved
+                        .iter()
+                        .find(|&&(s, _)| s == symbol)
+                        .map_or(0, |&(_, p)| p);
+                    match kernel.correct(rem, original ^ injected) {
+                        None => WordRead::Due,
+                        Some(corrected) => {
+                            let restored = (corrected ^ original) & kernel.payload_mask(symbol)
+                                == 0
+                                && resolved
+                                    .iter()
+                                    .all(|&(s, p)| s == symbol || p & kernel.payload_mask(s) == 0);
+                            if restored {
+                                WordRead::Correct
+                            } else {
+                                WordRead::Sdc
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(table) => {
+            // Degraded decode: the survivors' syndrome contribution, then
+            // one erasure-table lookup. The intact word has syndrome 0, so
+            // Σ_{s∉E} R_s(orig) = −Σ_{s∈E} R_s(orig); strikes on survivors
+            // then move it by flip_delta.
+            let mut rem_rest = 0u64;
+            for &s in table.symbols() {
+                let r = kernel.residue(s, contents.content(kernel, rng, s));
+                rem_rest = kernel.add_mod(rem_rest, if r == 0 { 0 } else { m - r });
+            }
+            let mut payload_touched = false;
+            for &(dev, s) in strikes {
+                let sym = dev as usize;
+                debug_assert!(
+                    !table.symbols().contains(&sym),
+                    "strikes on erased devices never reach the decoder"
+                );
+                let pattern = contents.resolve(kernel, rng, sym, s);
+                if pattern == 0 {
+                    continue;
+                }
+                let content = contents.content(kernel, rng, sym);
+                rem_rest = kernel.add_mod(rem_rest, kernel.flip_delta(sym, content, pattern));
+                payload_touched |= pattern & kernel.payload_mask(sym) != 0;
+            }
+            let target = if rem_rest == 0 { 0 } else { m - rem_rest };
+            match table.solve(target) {
+                ErasureSolve::None | ErasureSolve::Ambiguous => WordRead::Due,
+                ErasureSolve::Unique(filling) => {
+                    let mut wrong = payload_touched;
+                    for (i, &s) in table.symbols().iter().enumerate() {
+                        let original = contents.content(kernel, rng, s);
+                        wrong |=
+                            (table.content_of(filling, i) ^ original) & kernel.payload_mask(s) != 0;
+                    }
+                    if wrong {
+                        WordRead::Sdc
+                    } else {
+                        WordRead::Correct
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Error-domain classification context for a Reed-Solomon fleet code.
+///
+/// Fleet geometries are restricted to the clean case: whole symbols per
+/// channel (no shortened top) and devices nested inside symbols, which the
+/// constructor asserts.
+pub struct RsClassifier {
+    device_bits: u32,
+    devices_per_symbol: u32,
+    /// `2t` — parity symbols / syndrome count.
+    parity: usize,
+    n_symbols: usize,
+}
+
+impl RsClassifier {
+    /// Builds the context, validating the geometry.
+    pub fn new(code: &RsMemoryCode, device_bits: u32) -> Self {
+        assert_eq!(
+            code.top_symbol_bits(),
+            code.symbol_bits(),
+            "fleet RS codes use whole symbols (no shortened top)"
+        );
+        assert_eq!(
+            code.symbol_bits() % device_bits,
+            0,
+            "devices must nest inside RS symbols"
+        );
+        Self {
+            device_bits,
+            devices_per_symbol: code.symbol_bits() / device_bits,
+            parity: 2 * code.inner().t(),
+            n_symbols: code.n_symbols(),
+        }
+    }
+
+    /// Number of physical devices on the channel.
+    pub fn devices(&self) -> usize {
+        self.n_symbols * self.devices_per_symbol as usize
+    }
+
+    /// The RS symbol a device's bits live in.
+    #[inline]
+    pub fn symbol_of_device(&self, dev: u16) -> usize {
+        (dev as u32 / self.devices_per_symbol) as usize
+    }
+
+    /// Classifies one RS word read against the erased symbol positions
+    /// (`erased`, sorted, `≤ 2t`) and the strikes. Strikes on erased
+    /// symbols are permitted — the erasure solve absorbs them (the whole
+    /// symbol is reconstructed) — and dead-chip garbage is *not* passed:
+    /// the solve compensates any value a dead chip emits, so its content
+    /// cannot affect the outcome.
+    pub fn classify(
+        &self,
+        code: &RsMemoryCode,
+        erased: &[usize],
+        strikes: &[(u16, Strike)],
+        rng: &mut Rng,
+    ) -> WordRead {
+        debug_assert!(erased.len() <= self.parity);
+        // Fold device strikes into per-symbol error values.
+        let mut errors = [(0usize, 0u16); 16];
+        let mut n = 0usize;
+        for &(dev, s) in strikes {
+            let value = match s {
+                Strike::Xor(p) => p,
+                // Asymmetric discharge: the struck cell stores 1 with
+                // probability 1/2 under uniform contents.
+                Strike::AsymBit(bit) => {
+                    if rng.chance(0.5) {
+                        1 << bit
+                    } else {
+                        0
+                    }
+                }
+            };
+            if value == 0 {
+                continue;
+            }
+            let sym = self.symbol_of_device(dev);
+            let shifted = value << ((dev as u32 % self.devices_per_symbol) * self.device_bits);
+            match errors[..n].iter_mut().find(|e| e.0 == sym) {
+                Some(e) => e.1 ^= shifted,
+                None => {
+                    errors[n] = (sym, shifted);
+                    n += 1;
+                }
+            }
+        }
+        let errors = &errors[..n];
+        let data_start = self.parity;
+
+        if erased.is_empty() {
+            if errors.iter().all(|&(_, v)| v == 0) {
+                return WordRead::Correct;
+            }
+            let synd = code.error_syndromes(errors);
+            let synd = &synd[..self.parity];
+            if synd.iter().all(|&s| s == 0) {
+                // Aliased to a valid codeword: silent iff data symbols moved.
+                return if errors.iter().any(|&(p, v)| p >= data_start && v != 0) {
+                    WordRead::Sdc
+                } else {
+                    WordRead::Correct
+                };
+            }
+            match code.inner().locate_errors(synd) {
+                None => WordRead::Due,
+                Some(located) => {
+                    // Residual after correction: injected ⊕ located, per
+                    // position; data reads right iff it vanishes on every
+                    // data symbol.
+                    let residual_clean = |pos: usize| {
+                        let injected = errors
+                            .iter()
+                            .find(|&&(p, _)| p == pos)
+                            .map_or(0, |&(_, v)| v);
+                        let corrected = located
+                            .iter()
+                            .find(|&&(p, _)| p == pos)
+                            .map_or(0, |&(_, v)| v);
+                        injected ^ corrected == 0
+                    };
+                    let touched = errors
+                        .iter()
+                        .map(|&(p, _)| p)
+                        .chain(located.iter().map(|&(p, _)| p));
+                    if touched.filter(|&p| p >= data_start).all(residual_clean) {
+                        WordRead::Correct
+                    } else {
+                        WordRead::Sdc
+                    }
+                }
+            }
+        } else {
+            let synd = code.error_syndromes(errors);
+            match code
+                .inner()
+                .erasure_magnitudes(&synd[..self.parity], erased)
+            {
+                None => WordRead::Due,
+                Some(mags) => {
+                    // Residual: injected errors minus the applied erasure
+                    // corrections.
+                    let clean = |pos: usize| {
+                        let injected = errors
+                            .iter()
+                            .find(|&&(p, _)| p == pos)
+                            .map_or(0, |&(_, v)| v);
+                        let corrected =
+                            erased.iter().position(|&p| p == pos).map_or(0, |i| mags[i]);
+                        injected ^ corrected == 0
+                    };
+                    let touched = errors.iter().map(|&(p, _)| p).chain(erased.iter().copied());
+                    if touched.filter(|&p| p >= data_start).all(clean) {
+                        WordRead::Correct
+                    } else {
+                        WordRead::Sdc
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::{presets, MuseCode, Word};
+    use muse_rs::RsMemoryDecoded;
+
+    fn preset_codes() -> Vec<MuseCode> {
+        let mut codes = presets::table1();
+        codes.extend([presets::muse_268_256(), presets::muse_144_128()]);
+        codes
+    }
+
+    /// Every MUSE classification — healthy and degraded — must match the
+    /// wide pipeline on a pinned word: encode, strike, decode (or
+    /// erasure-recover) wide, compare outcome classes.
+    #[test]
+    fn muse_classification_matches_wide_oracle() {
+        for code in preset_codes() {
+            let Some(kernel) = code.kernel() else {
+                continue;
+            };
+            let map = code.symbol_map();
+            let n_sym = map.num_symbols();
+            let mut contents_ctx = MuseContents::new(kernel);
+            let mut rng = Rng::seeded(0x11FE ^ code.multiplier());
+            for trial in 0..300u32 {
+                let mut limbs = [0u64; 5];
+                for limb in &mut limbs {
+                    *limb = rng.next_u64();
+                }
+                let payload = Word::from_limbs(limbs) & Word::mask(code.k_bits());
+                let cw = code.encode(&payload);
+                let contents = kernel.contents_of_word(map, &cw);
+                let x = (cw & Word::mask(code.r_bits())).to_u64().expect("r ≤ 32");
+                contents_ctx.pin(&contents, x);
+
+                // 0..=2 erased devices, 0..=2 strikes on survivors.
+                let n_erased = (trial % 3) as usize;
+                let mut erased: Vec<usize> = Vec::new();
+                while erased.len() < n_erased {
+                    let s = (rng.below(n_sym as u64)) as usize;
+                    if !erased.contains(&s) {
+                        erased.push(s);
+                    }
+                }
+                erased.sort_unstable();
+                let mut strikes: Vec<(u16, Strike)> = Vec::new();
+                for _ in 0..(trial / 3) % 3 {
+                    let s = rng.below(n_sym as u64) as usize;
+                    if erased.contains(&s) || strikes.iter().any(|&(d, _)| d as usize == s) {
+                        continue;
+                    }
+                    let width = kernel.symbol_bits(s);
+                    let strike = if trial % 2 == 0 {
+                        Strike::Xor(rng.nonzero_below(1 << width) as u16)
+                    } else {
+                        Strike::AsymBit(rng.below(width as u64) as u8)
+                    };
+                    strikes.push((s as u16, strike));
+                }
+                if erased.is_empty() && strikes.is_empty() {
+                    continue;
+                }
+
+                let table = (!erased.is_empty()).then(|| kernel.erasure_table(&erased));
+                let fast = classify_muse(
+                    kernel,
+                    table.as_ref(),
+                    &strikes,
+                    &mut contents_ctx,
+                    &mut rng,
+                );
+
+                // Wide replay: resolve each strike against the pinned
+                // contents exactly as the classifier does.
+                let mut corrupted = cw;
+                for &(dev, s) in &strikes {
+                    let pattern = match s {
+                        Strike::Xor(p) => p,
+                        Strike::AsymBit(bit) => (1 << bit) & contents[dev as usize],
+                    };
+                    map.apply_xor_pattern(&mut corrupted, dev as usize, pattern as u64);
+                }
+                let wide = if erased.is_empty() {
+                    match code.decode(&corrupted) {
+                        muse_core::Decoded::Detected => WordRead::Due,
+                        d => {
+                            if d.payload() == Some(payload) {
+                                WordRead::Correct
+                            } else {
+                                WordRead::Sdc
+                            }
+                        }
+                    }
+                } else {
+                    match code.recover_erasures(&corrupted, &erased) {
+                        None => WordRead::Due,
+                        Some(p) if p == payload => WordRead::Correct,
+                        Some(_) => WordRead::Sdc,
+                    }
+                };
+                assert_eq!(
+                    fast,
+                    wide,
+                    "{} trial {trial}: erased {erased:?} strikes {strikes:?}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    /// Every RS classification must match the wide pipeline: encode a
+    /// random payload, apply the same folded errors, decode (healthy) or
+    /// erasure-decode (degraded) wide, compare outcome classes.
+    #[test]
+    fn rs_classification_matches_wide_oracle() {
+        for (t, device_bits) in [(1usize, 4u32), (1, 8), (2, 4), (2, 8)] {
+            let code = RsMemoryCode::new(8, 144, t).expect("geometry");
+            let ctx = RsClassifier::new(&code, device_bits);
+            let mut rng = Rng::seeded(0x2512 + t as u64 * 100 + device_bits as u64);
+            for trial in 0..400u32 {
+                let payload = {
+                    let mut w = Word::ZERO;
+                    for i in 0..3 {
+                        w = w | (Word::from(rng.next_u64()) << (64 * i));
+                    }
+                    w & Word::mask(code.data_bits())
+                };
+                let cw = code.encode(&payload);
+
+                let n_erased = (trial % (2 * t as u32 + 1)) as usize;
+                let mut erased: Vec<usize> = Vec::new();
+                while erased.len() < n_erased {
+                    let p = rng.below(code.n_symbols() as u64) as usize;
+                    if !erased.contains(&p) {
+                        erased.push(p);
+                    }
+                }
+                erased.sort_unstable();
+
+                let mut strikes: Vec<(u16, Strike)> = Vec::new();
+                for _ in 0..(trial / 5) % 4 {
+                    let dev = rng.below(ctx.devices() as u64) as u16;
+                    if strikes.iter().any(|&(d, _)| d == dev) {
+                        continue;
+                    }
+                    strikes.push((dev, Strike::Xor(rng.nonzero_below(1 << device_bits) as u16)));
+                }
+                if erased.is_empty() && strikes.is_empty() {
+                    continue;
+                }
+
+                let fast = ctx.classify(&code, &erased, &strikes, &mut rng);
+
+                let mut corrupted = cw;
+                for &(dev, s) in &strikes {
+                    let Strike::Xor(p) = s else { unreachable!() };
+                    corrupted = corrupted ^ (Word::from(p as u64) << (dev as u32 * device_bits));
+                }
+                let wide = if erased.is_empty() {
+                    match code.decode(&corrupted) {
+                        RsMemoryDecoded::Detected => WordRead::Due,
+                        d => {
+                            if d.payload() == Some(payload) {
+                                WordRead::Correct
+                            } else {
+                                WordRead::Sdc
+                            }
+                        }
+                    }
+                } else {
+                    let symbols = code.to_symbols(&corrupted);
+                    match code.inner().decode_erasures(&symbols, &erased) {
+                        None => WordRead::Due,
+                        Some(data) => {
+                            // Reassemble the payload from the data symbols.
+                            let mut p = Word::ZERO;
+                            for (i, &s) in data.iter().enumerate() {
+                                p = p | (Word::from(s as u64) << (i as u32 * 8));
+                            }
+                            if p == payload {
+                                WordRead::Correct
+                            } else {
+                                WordRead::Sdc
+                            }
+                        }
+                    }
+                };
+                assert_eq!(
+                    fast, wide,
+                    "t={t} db={device_bits} trial {trial}: erased {erased:?} strikes {strikes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rs_strikes_inside_erased_symbols_are_absorbed() {
+        // A transient hitting the live device of an erased symbol is
+        // reconstructed along with the dead half: fully corrected.
+        let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
+        let ctx = RsClassifier::new(&code, 4);
+        let mut rng = Rng::seeded(77);
+        // Devices 8 and 9 share symbol 4; erase it, strike device 9.
+        let out = ctx.classify(&code, &[4], &[(9, Strike::Xor(0xF))], &mut rng);
+        assert_eq!(out, WordRead::Correct);
+    }
+
+    #[test]
+    fn rs_full_erasure_budget_turns_extra_errors_silent() {
+        // k = 2t erased symbols leave no residual syndromes: an extra
+        // error outside the erased set cannot be detected.
+        let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
+        let ctx = RsClassifier::new(&code, 8);
+        let mut rng = Rng::seeded(78);
+        // Symbols 3 and 7 erased (devices == symbols at x8), strike 12.
+        let out = ctx.classify(&code, &[3, 7], &[(12, Strike::Xor(0x5A))], &mut rng);
+        assert_eq!(out, WordRead::Sdc);
+    }
+}

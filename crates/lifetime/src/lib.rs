@@ -1,0 +1,431 @@
+//! Fleet-lifetime reliability simulation with erasure-mode degraded
+//! operation.
+//!
+//! The per-word Monte-Carlo studies in `muse-faultsim` answer "what happens
+//! to one read under `k` simultaneous device errors"; this crate answers
+//! the question a deployment actually asks: **DUE, SDC, and repair-action
+//! rates per machine-year** for a fleet of DIMMs over a multi-year horizon,
+//! where chips fail permanently, the controller learns which chip died, and
+//! the code keeps running in *erasure mode* on the surviving symbols
+//! (`MuseCode::recover_erasures` / `RsCode::decode_erasures` semantics, run
+//! in residue / error-value space).
+//!
+//! # Model
+//!
+//! * A fleet of [`FleetConfig::dimms`] DIMMs is simulated independently
+//!   over [`FleetConfig::years`], in epochs of one scrub interval.
+//! * Permanent faults (stuck bit / row multi-bit / whole device, at
+//!   [`muse_faultsim::FailureMode`] FIT rates scaled per
+//!   [`Environment`]) and transient upsets arrive as Poisson processes per
+//!   device.
+//! * A whole-device failure is detected by the next scrub or demand read;
+//!   the device then either consumes a spare (rebuild pass through the
+//!   erasure decoder) or joins the *erased set*: the DIMM runs degraded,
+//!   and every subsequent disturbed read is classified against the
+//!   degraded code. Failures beyond the code's erasure capacity are
+//!   data-loss events (DIMM replacement).
+//! * Classification never materializes a codeword: MUSE reads run on the
+//!   [`muse_core::SyndromeKernel`] residue algebra plus a precomputed
+//!   [`muse_core::ErasureTable`] lookup; Reed-Solomon reads run on
+//!   error-domain GF syndromes
+//!   ([`muse_rs::RsCode::erasure_magnitudes`] /
+//!   [`muse_rs::RsCode::locate_errors`]). The wide decoders survive as
+//!   property-tested oracles (`src/classify.rs` tests,
+//!   `muse-core/tests/erasure_equivalence.rs`).
+//!
+//! Everything is deterministic: epoch `e` of DIMM `d` draws only from the
+//! counter-based stream [`muse_faultsim::Rng::for_cell`]`(seed, d, e)`, so
+//! tallies are **bit-identical at any thread count**.
+//!
+//! # Examples
+//!
+//! ```
+//! use muse_lifetime::{simulate_fleet, FleetCode, FleetConfig};
+//!
+//! let code = FleetCode::muse(muse_core::presets::muse_80_69());
+//! let env = muse_lifetime::chipkill_heavy();
+//! let config = FleetConfig {
+//!     dimms: 64,
+//!     years: 2.0,
+//!     ..FleetConfig::default()
+//! };
+//! let report = simulate_fleet(&code, &env, &config);
+//! assert_eq!(report.tally.epochs, 64 * config.epochs());
+//! // Determinism contract: same tallies at any worker count.
+//! let serial = simulate_fleet(&code, &env, &FleetConfig { threads: 1, ..config });
+//! assert_eq!(report.tally, serial.tally);
+//! ```
+
+#![deny(missing_docs)]
+
+mod classify;
+mod sim;
+
+pub use classify::{MuseContents, RsClassifier, Strike, WordRead};
+
+use muse_core::MuseCode;
+use muse_faultsim::Tally;
+use muse_rs::RsMemoryCode;
+
+/// A code under fleet simulation.
+#[derive(Debug, Clone)]
+pub enum FleetCode {
+    /// A MUSE code (must carry its [`muse_core::SyndromeKernel`]).
+    Muse(
+        /// The code (boxed: a constructed `MuseCode` holds its kernel
+        /// tables and dwarfs the RS variant).
+        Box<MuseCode>,
+    ),
+    /// A Reed-Solomon memory code over physical devices of
+    /// `device_bits` each (devices must nest inside RS symbols).
+    Rs {
+        /// The bit-level RS code.
+        code: RsMemoryCode,
+        /// Physical device width in bits (x4 ⇒ 4).
+        device_bits: u32,
+    },
+}
+
+impl FleetCode {
+    /// Wraps a MUSE code, validating that its syndrome kernel exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's layout is outside the kernel's tabulation
+    /// limits — the fleet hot path has no wide fallback.
+    pub fn muse(code: MuseCode) -> Self {
+        assert!(
+            code.kernel().is_some(),
+            "{} carries no syndrome kernel; the fleet simulator requires one",
+            code.name()
+        );
+        Self::Muse(Box::new(code))
+    }
+
+    /// Wraps an RS memory code, validating the fleet geometry (whole
+    /// symbols, devices nested in symbols).
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometries with a shortened top symbol or devices
+    /// straddling symbols.
+    pub fn rs(code: RsMemoryCode, device_bits: u32) -> Self {
+        let _ = RsClassifier::new(&code, device_bits); // validates
+        Self::Rs { code, device_bits }
+    }
+
+    /// Display name, e.g. `MUSE(144,132)` or `RS(144,128) t=1`.
+    pub fn name(&self) -> String {
+        match self {
+            Self::Muse(code) => code.name().to_string(),
+            Self::Rs { code, .. } => format!("{} t={}", code.name(), code.inner().t()),
+        }
+    }
+
+    /// Number of physical devices a codeword spans.
+    pub fn devices(&self) -> usize {
+        match self {
+            Self::Muse(code) => code.symbol_map().num_symbols(),
+            Self::Rs { code, device_bits } => (code.n_bits() / device_bits) as usize,
+        }
+    }
+
+    /// Width in bits of device `dev`.
+    pub(crate) fn device_width(&self, dev: u16) -> u32 {
+        match self {
+            Self::Muse(code) => code
+                .kernel()
+                .expect("fleet MUSE codes carry a kernel")
+                .symbol_bits(dev as usize),
+            Self::Rs { device_bits, .. } => *device_bits,
+        }
+    }
+}
+
+/// A fault environment: per-mode rate scaling over the base
+/// [`muse_faultsim::FailureMode`] FIT rates plus the transient-upset rate.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Display name.
+    pub name: &'static str,
+    /// Transient (scrub-repairable) single-bit upsets, FIT per device.
+    pub transient_fit_per_device: f64,
+    /// Scale factors over `FailureMode::fit_per_device()` for
+    /// `[SingleBit, SingleDeviceMultiBit, WholeDevice]`.
+    pub permanent_scale: [f64; 3],
+    /// Retention-style asymmetry: transient flips only discharge `1→0`
+    /// (Section III-C), halving their effective rate on uniform data.
+    pub asymmetric_transients: bool,
+}
+
+/// Transient-dominant environment: soft errors far outnumber permanent
+/// faults (well-behaved server fleet).
+pub fn transient_dominant() -> Environment {
+    Environment {
+        name: "transient-dominant",
+        transient_fit_per_device: 2500.0,
+        permanent_scale: [0.5, 0.25, 0.4],
+        asymmetric_transients: false,
+    }
+}
+
+/// ChipKill-heavy environment: elevated whole-device failure rates (aging
+/// fleet / harsh conditions) — the erasure-mode stress case.
+pub fn chipkill_heavy() -> Environment {
+    Environment {
+        name: "chipkill-heavy",
+        transient_fit_per_device: 400.0,
+        permanent_scale: [1.0, 2.0, 25.0],
+        asymmetric_transients: false,
+    }
+}
+
+/// Retention/asymmetric environment: extended refresh intervals make
+/// one-directional (`1→0`) retention upsets the dominant transient mode.
+pub fn retention_asymmetric() -> Environment {
+    Environment {
+        name: "retention-asymmetric",
+        transient_fit_per_device: 2000.0,
+        permanent_scale: [0.5, 1.0, 2.0],
+        asymmetric_transients: true,
+    }
+}
+
+/// The three standard environments, in presentation order.
+pub fn scenario_environments() -> Vec<Environment> {
+    vec![
+        transient_dominant(),
+        chipkill_heavy(),
+        retention_asymmetric(),
+    ]
+}
+
+/// The four standard codes of the scenario matrix: both MUSE ChipKill
+/// presets and the RS baseline at `t = 1` and `t = 2`.
+pub fn scenario_codes() -> Vec<FleetCode> {
+    vec![
+        FleetCode::muse(muse_core::presets::muse_144_132()),
+        FleetCode::muse(muse_core::presets::muse_80_69()),
+        FleetCode::rs(RsMemoryCode::new(8, 144, 1).expect("geometry"), 4),
+        FleetCode::rs(RsMemoryCode::new(8, 144, 2).expect("geometry"), 4),
+    ]
+}
+
+/// Fleet and policy parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// DIMMs in the fleet (each simulated independently).
+    pub dimms: u64,
+    /// Simulated horizon in years.
+    pub years: f64,
+    /// Scrub interval — the epoch length — in hours.
+    pub scrub_interval_hours: f64,
+    /// Codewords per DIMM (scales per-word collision probabilities).
+    pub words_per_dimm: u64,
+    /// Words affected by one row/column multi-bit fault.
+    pub row_words: u32,
+    /// DIMMs per machine (converts DIMM-years into machine-years).
+    pub dimms_per_machine: u32,
+    /// Chip-sparing budget per DIMM; once exhausted, failed chips put the
+    /// DIMM into persistent degraded (erasure-mode) operation.
+    pub spares_per_dimm: u32,
+    /// Mean hours until demand traffic detects a dead chip (caps the
+    /// undetected-exposure window; the scrub always catches it too).
+    pub demand_read_hours: f64,
+    /// Devices retired before the simulation starts (every DIMM begins
+    /// degraded) — a benchmark/testing hook for erasure-mode throughput.
+    pub initial_failed_devices: u32,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Worker threads (0 ⇒ one per CPU). Tallies are bit-identical at any
+    /// value.
+    pub threads: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            dimms: 1024,
+            years: 5.0,
+            scrub_interval_hours: 12.0,
+            words_per_dimm: 1 << 23,
+            row_words: 512,
+            dimms_per_machine: 8,
+            spares_per_dimm: 0,
+            demand_read_hours: 1.0,
+            initial_failed_devices: 0,
+            seed: 0xF1EE_7155,
+            threads: 0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Epochs (scrub intervals) per DIMM over the horizon.
+    pub fn epochs(&self) -> u64 {
+        (self.years * sim::HOURS_PER_YEAR / self.scrub_interval_hours).ceil() as u64
+    }
+
+    /// Machine-years covered by the whole fleet run.
+    pub fn machine_years(&self) -> f64 {
+        self.dimms as f64 * self.years / self.dimms_per_machine as f64
+    }
+}
+
+/// Raw fleet-run tallies (merged across DIMMs in DIMM order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifetimeTally {
+    /// Epochs simulated (DIMMs × epochs, minus nothing — replacement
+    /// restarts count their epochs too).
+    pub epochs: u64,
+    /// Epochs a DIMM spent in degraded (erasure-mode) operation.
+    pub degraded_epochs: u64,
+    /// Event words that read back correct (corrected transients/permanent
+    /// faults, successful degraded reads). Routine clean reads are not
+    /// counted.
+    pub corrected_words: u64,
+    /// Words read back detected-uncorrectable.
+    pub due_words: u64,
+    /// Words read back silently wrong.
+    pub sdc_words: u64,
+    /// Degraded-mode word classifications (erasure-decoder invocations
+    /// with a disturbance present) — the events/sec unit.
+    pub erasure_reads: u64,
+    /// Whole-device failures detected and retired.
+    pub devices_retired: u64,
+    /// Row/column multi-bit faults mapped out.
+    pub rows_retired: u64,
+    /// Chip-sparing rebuild passes completed.
+    pub spare_rebuilds: u64,
+    /// Failures beyond the code's erasure capacity (fleet data loss).
+    pub data_loss_events: u64,
+    /// DIMMs replaced after data loss.
+    pub dimm_replacements: u64,
+}
+
+impl Tally for LifetimeTally {
+    fn merge(&mut self, other: Self) {
+        self.epochs += other.epochs;
+        self.degraded_epochs += other.degraded_epochs;
+        self.corrected_words += other.corrected_words;
+        self.due_words += other.due_words;
+        self.sdc_words += other.sdc_words;
+        self.erasure_reads += other.erasure_reads;
+        self.devices_retired += other.devices_retired;
+        self.rows_retired += other.rows_retired;
+        self.spare_rebuilds += other.spare_rebuilds;
+        self.data_loss_events += other.data_loss_events;
+        self.dimm_replacements += other.dimm_replacements;
+    }
+}
+
+/// One fleet run, reduced to machine-year rates.
+#[derive(Debug, Clone)]
+pub struct LifetimeReport {
+    /// Code under test.
+    pub code: String,
+    /// Environment name.
+    pub environment: String,
+    /// Machine-years the run covers.
+    pub machine_years: f64,
+    /// Detected-uncorrectable events (word DUEs + data-loss events) per
+    /// machine-year.
+    pub due_per_machine_year: f64,
+    /// Silent data corruptions per machine-year.
+    pub sdc_per_machine_year: f64,
+    /// Repair actions (device retirements, row map-outs, spare rebuilds,
+    /// DIMM replacements) per machine-year.
+    pub repairs_per_machine_year: f64,
+    /// Fraction of DIMM-epochs spent in degraded (erasure-mode) operation.
+    pub degraded_fraction: f64,
+    /// The raw tallies.
+    pub tally: LifetimeTally,
+}
+
+impl LifetimeReport {
+    fn new(code: &FleetCode, env: &Environment, config: &FleetConfig, t: LifetimeTally) -> Self {
+        let my = config.machine_years();
+        Self {
+            code: code.name(),
+            environment: env.name.to_string(),
+            machine_years: my,
+            due_per_machine_year: (t.due_words + t.data_loss_events) as f64 / my,
+            sdc_per_machine_year: t.sdc_words as f64 / my,
+            repairs_per_machine_year: (t.devices_retired
+                + t.rows_retired
+                + t.spare_rebuilds
+                + t.dimm_replacements) as f64
+                / my,
+            degraded_fraction: if t.epochs == 0 {
+                0.0
+            } else {
+                t.degraded_epochs as f64 / t.epochs as f64
+            },
+            tally: t,
+        }
+    }
+}
+
+/// Simulates one code under one environment across the whole fleet.
+///
+/// Deterministic: bit-identical tallies at any [`FleetConfig::threads`].
+pub fn simulate_fleet(code: &FleetCode, env: &Environment, config: &FleetConfig) -> LifetimeReport {
+    let tally = sim::run_fleet(code, env, config);
+    LifetimeReport::new(code, env, config, tally)
+}
+
+/// The canonical CI smoke setup: a small fleet that starts degraded (one
+/// retired chip per DIMM) under an aggressive synthetic environment, so
+/// every classification path — erasure reads, DUEs, SDCs, retirements —
+/// is exercised in under a second. Consumed by both
+/// `tests/regression.rs` and `bench_lifetime --smoke` so the pins cannot
+/// drift apart.
+pub fn smoke_setup() -> (Environment, FleetConfig) {
+    (
+        Environment {
+            name: "smoke",
+            transient_fit_per_device: 2.0e5,
+            permanent_scale: [2.0, 2.0, 40.0],
+            asymmetric_transients: false,
+        },
+        FleetConfig {
+            dimms: 32,
+            years: 1.0,
+            scrub_interval_hours: 24.0,
+            dimms_per_machine: 4,
+            spares_per_dimm: 0,
+            initial_failed_devices: 1,
+            seed: 0x500E,
+            threads: 0,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// The pinned [`smoke_setup`] tallies, one row per [`scenario_codes`]
+/// entry: `(code name, due_words, sdc_words, corrected_words,
+/// erasure_reads)`. Any intentional change to RNG streams, arrival
+/// sampling, or erasure classification must re-baseline these (and say so
+/// in CHANGES.md).
+pub fn smoke_expected() -> [(&'static str, u64, u64, u64, u64); 4] {
+    [
+        ("MUSE(144,132)", 2019, 4, 0, 2023),
+        ("MUSE(80,69)", 1084, 1, 0, 1085),
+        ("RS(144,128) t=1", 1935, 33, 57, 2025),
+        ("RS(144,112) t=2", 1968, 0, 57, 2025),
+    ]
+}
+
+/// Runs the full scenario matrix — [`scenario_codes`] ×
+/// [`scenario_environments`] — under one fleet configuration.
+pub fn run_matrix(config: &FleetConfig) -> Vec<LifetimeReport> {
+    let codes = scenario_codes();
+    let envs = scenario_environments();
+    let mut reports = Vec::with_capacity(codes.len() * envs.len());
+    for code in &codes {
+        for env in &envs {
+            reports.push(simulate_fleet(code, env, config));
+        }
+    }
+    reports
+}

@@ -1,0 +1,458 @@
+//! The discrete-event fleet engine: per-DIMM epoch walks on counter-based
+//! `(DIMM, epoch)` RNG streams, batched over [`SimEngine`] workers.
+//!
+//! # Event model (one epoch = one scrub interval)
+//!
+//! 1. **Arrivals.** Permanent faults arrive per device as Poisson processes
+//!    (sampled as per-epoch binomial counts over the device population —
+//!    at most one arrival per device per epoch, an error `< p²`):
+//!    stuck single bits, row/column multi-bit faults, and whole-device
+//!    (ChipKill) failures, at [`FailureMode`] FIT rates scaled by the
+//!    [`Environment`](crate::Environment). Transient single-bit upsets
+//!    arrive the same way at the environment's transient rate.
+//! 2. **Exposure.** A whole-device failure is *undetected* from its arrival
+//!    until the earlier of the next scrub and a demand read
+//!    (exponentially distributed latency). Words read in that window carry
+//!    the dead chip's garbage as an extra, unknown device error.
+//! 3. **Classification.** Only reads that can produce a non-trivial
+//!    outcome are classified (everything else is tallied analytically):
+//!    transient-hit words on a degraded DIMM, multi-fault overlaps
+//!    (transient × transient, transient × stuck word, transient × dying
+//!    chip), and the scrub reads of freshly detected permanent faults.
+//!    Classification runs in content space — [`classify_muse`] /
+//!    [`RsClassifier::classify`] — never materializing a word.
+//! 4. **Repair.** At the epoch boundary each detected whole-device failure
+//!    either consumes a spare (one full-fleet rebuild pass through the
+//!    erasure decoder, then the chip is replaced), or — with no spares
+//!    left — transitions the DIMM into *degraded operation*: the device
+//!    joins the erased set and every later read decodes around it. A
+//!    failure that exceeds the code's erasure capacity (or lands on an
+//!    unrecoverable device combination) is a data-loss event: the DIMM is
+//!    replaced and restarts fresh.
+//!
+//! # Determinism
+//!
+//! Epoch `e` of DIMM `d` draws exclusively from
+//! [`Rng::for_cell`]`(seed, d, e)`; per-DIMM tallies merge in DIMM order.
+//! Results are bit-identical at any thread count
+//! (`tests/determinism.rs`).
+
+use muse_core::ErasureTable;
+use muse_faultsim::{Bounded32, CountCdf, FailureMode, Rng, SimEngine};
+
+use crate::classify::{classify_muse, MuseContents, RsClassifier, Strike, WordRead};
+use crate::{Environment, FleetCode, FleetConfig, LifetimeTally};
+
+/// Hours per (Julian) year, the FIT-rate convention.
+pub(crate) const HOURS_PER_YEAR: f64 = 8766.0;
+
+/// Precomputed per-run sampling constants.
+pub(crate) struct Plan {
+    epochs: u64,
+    cdf_single: CountCdf,
+    cdf_multi: CountCdf,
+    cdf_whole: CountCdf,
+    cdf_trans: CountCdf,
+    device_pick: Bounded32,
+    words: f64,
+    row_words: u32,
+    /// Mean demand-read detection latency, in epoch units.
+    demand_epochs: f64,
+    asym: bool,
+}
+
+impl Plan {
+    pub fn new(code: &FleetCode, env: &Environment, config: &FleetConfig) -> Self {
+        let devices = code.devices() as u32;
+        let hours = config.scrub_interval_hours;
+        let p_mode =
+            |mode: FailureMode, scale: f64| (mode.fit_per_device() * scale * hours / 1e9).min(1.0);
+        let [s_single, s_multi, s_whole] = env.permanent_scale;
+        Self {
+            epochs: config.epochs(),
+            cdf_single: CountCdf::binomial(devices, p_mode(FailureMode::SingleBit, s_single)),
+            cdf_multi: CountCdf::binomial(
+                devices,
+                p_mode(FailureMode::SingleDeviceMultiBit, s_multi),
+            ),
+            cdf_whole: CountCdf::binomial(devices, p_mode(FailureMode::WholeDevice, s_whole)),
+            cdf_trans: CountCdf::binomial(
+                devices,
+                (env.transient_fit_per_device * hours / 1e9).min(1.0),
+            ),
+            device_pick: Bounded32::new(devices),
+            words: config.words_per_dimm as f64,
+            row_words: config.row_words,
+            demand_epochs: config.demand_read_hours / hours,
+            asym: env.asymmetric_transients,
+        }
+    }
+}
+
+/// Per-worker scratch: the content sampler and the RS classification
+/// context.
+pub(crate) struct Scratch {
+    muse: Option<MuseContents>,
+    rs: Option<RsClassifier>,
+}
+
+/// The resolved decode context for an erased device set — precomputed
+/// once per set *transition* (device retirement, replacement), not per
+/// read, so the degraded hot loop is allocation-free.
+enum Degraded {
+    /// Empty erased set: the healthy decoder.
+    Healthy,
+    /// MUSE degraded: the erasure table for the set.
+    Muse(ErasureTable),
+    /// RS degraded: the erased symbol positions (sorted, deduped).
+    Rs(Vec<usize>),
+}
+
+impl Degraded {
+    /// Builds the context for `erased` — `None` when the set exceeds the
+    /// code's erasure capacity or is not uniquely recoverable for every
+    /// stored content (MUSE sets whose fillings collide).
+    fn resolve(code: &FleetCode, erased: &[u16]) -> Option<Self> {
+        if erased.is_empty() {
+            return Some(Self::Healthy);
+        }
+        match code {
+            FleetCode::Muse(mc) => {
+                let kernel = mc.kernel().expect("fleet MUSE codes carry a kernel");
+                let total_bits: u32 = erased.iter().map(|&d| kernel.symbol_bits(d as usize)).sum();
+                if total_bits > 16 {
+                    return None;
+                }
+                let syms: Vec<usize> = erased.iter().map(|&d| d as usize).collect();
+                let table = kernel.erasure_table(&syms);
+                table.is_injective().then_some(Self::Muse(table))
+            }
+            FleetCode::Rs { code, device_bits } => {
+                let per_symbol = code.symbol_bits() / device_bits;
+                let mut syms: Vec<usize> = erased
+                    .iter()
+                    .map(|&d| (d as u32 / per_symbol) as usize)
+                    .collect();
+                syms.sort_unstable();
+                syms.dedup();
+                (syms.len() <= 2 * code.inner().t()).then_some(Self::Rs(syms))
+            }
+        }
+    }
+}
+
+impl Scratch {
+    pub fn new(code: &FleetCode) -> Self {
+        match code {
+            FleetCode::Muse(mc) => Self {
+                muse: Some(MuseContents::new(
+                    mc.kernel().expect("fleet MUSE codes carry a kernel"),
+                )),
+                rs: None,
+            },
+            FleetCode::Rs { code, device_bits } => Self {
+                muse: None,
+                rs: Some(RsClassifier::new(code, *device_bits)),
+            },
+        }
+    }
+}
+
+/// Per-DIMM mutable state.
+struct DimmState {
+    /// Retired (known-failed) devices, sorted — the erased set.
+    erased: Vec<u16>,
+    /// The decode context resolved for `erased`.
+    ctx: Degraded,
+    /// Device of each word carrying a stuck permanent bit.
+    stuck: Vec<u16>,
+    spares_left: u32,
+}
+
+impl DimmState {
+    fn fresh(code: &FleetCode, config: &FleetConfig) -> Self {
+        let erased: Vec<u16> = (0..config.initial_failed_devices as u16).collect();
+        let ctx = Degraded::resolve(code, &erased)
+            .expect("initial_failed_devices exceeds the code's erasure capacity");
+        Self {
+            erased,
+            ctx,
+            stuck: Vec::new(),
+            spares_left: config.spares_per_dimm,
+        }
+    }
+}
+
+fn record(tally: &mut LifetimeTally, out: WordRead) {
+    match out {
+        WordRead::Correct => tally.corrected_words += 1,
+        WordRead::Due => tally.due_words += 1,
+        WordRead::Sdc => tally.sdc_words += 1,
+    }
+}
+
+/// Classifies one word read under a resolved decode context.
+fn classify_word(
+    code: &FleetCode,
+    scratch: &mut Scratch,
+    ctx: &Degraded,
+    strikes: &[(u16, Strike)],
+    rng: &mut Rng,
+) -> WordRead {
+    match (code, ctx) {
+        (FleetCode::Muse(mc), Degraded::Healthy | Degraded::Muse(_)) => {
+            let kernel = mc.kernel().expect("fleet MUSE codes carry a kernel");
+            let contents = scratch.muse.as_mut().expect("MUSE scratch");
+            let table = match ctx {
+                Degraded::Muse(table) => Some(table),
+                _ => None,
+            };
+            classify_muse(kernel, table, strikes, contents, rng)
+        }
+        (FleetCode::Rs { code, .. }, Degraded::Healthy) => {
+            let rs = scratch.rs.as_ref().expect("RS scratch");
+            rs.classify(code, &[], strikes, rng)
+        }
+        (FleetCode::Rs { code, .. }, Degraded::Rs(syms)) => {
+            let rs = scratch.rs.as_ref().expect("RS scratch");
+            rs.classify(code, syms, strikes, rng)
+        }
+        _ => unreachable!("context resolved for a different code kind"),
+    }
+}
+
+/// Runs the whole fleet and merges the tallies (bit-identical at any
+/// thread count).
+pub(crate) fn run_fleet(
+    code: &FleetCode,
+    env: &Environment,
+    config: &FleetConfig,
+) -> LifetimeTally {
+    let plan = Plan::new(code, env, config);
+    // Validate the starting erased set once, up front (fails fast instead
+    // of panicking inside a worker).
+    drop(DimmState::fresh(code, config));
+    SimEngine::new(config.threads).run_with(
+        config.seed,
+        config.dimms,
+        || Scratch::new(code),
+        |dimm, _trial_rng, scratch, tally: &mut LifetimeTally| {
+            let mut state = DimmState::fresh(code, config);
+            for epoch in 0..plan.epochs {
+                // The determinism contract: epoch e of DIMM d draws only
+                // from this stream, regardless of worker assignment.
+                let mut rng = Rng::for_cell(config.seed, dimm, epoch);
+                epoch_step(code, &plan, config, &mut rng, &mut state, scratch, tally);
+            }
+        },
+    )
+}
+
+/// One scrub interval of one DIMM. All sampling happens in a fixed order
+/// off the epoch's private stream.
+#[allow(clippy::too_many_arguments)]
+fn epoch_step(
+    code: &FleetCode,
+    plan: &Plan,
+    config: &FleetConfig,
+    rng: &mut Rng,
+    state: &mut DimmState,
+    scratch: &mut Scratch,
+    tally: &mut LifetimeTally,
+) {
+    tally.epochs += 1;
+    let degraded = !state.erased.is_empty();
+    if degraded {
+        tally.degraded_epochs += 1;
+    }
+
+    // 1. Arrival counts: one raw draw each, through the exact binomial CDF.
+    let n_single = plan.cdf_single.sample(rng.next_u64());
+    let n_multi = plan.cdf_multi.sample(rng.next_u64());
+    let n_whole = plan.cdf_whole.sample(rng.next_u64());
+    let n_trans = plan.cdf_trans.sample(rng.next_u64());
+
+    // 2. Whole-device failures: device + undetected-exposure window.
+    let mut pending: Vec<(u16, f64)> = Vec::new();
+    for _ in 0..n_whole {
+        let dev = plan.device_pick.sample(rng) as u16;
+        if state.erased.contains(&dev) || pending.iter().any(|&(d, _)| d == dev) {
+            continue;
+        }
+        let arrive = rng.f64();
+        let demand = -(1.0 - rng.f64()).ln() * plan.demand_epochs;
+        pending.push((dev, (1.0 - arrive).min(demand)));
+    }
+
+    let mut strikes: Vec<(u16, Strike)> = Vec::new();
+
+    // 3. Row/column multi-bit faults: detected and mapped out at this
+    //    scrub. On a healthy DIMM the row's words carry one in-model
+    //    device error each — corrected by construction. Degraded, every
+    //    word of the row goes through the erasure decoder.
+    for _ in 0..n_multi {
+        let dev = plan.device_pick.sample(rng) as u16;
+        if state.erased.contains(&dev) || pending.iter().any(|&(d, _)| d == dev) {
+            continue;
+        }
+        tally.rows_retired += 1;
+        if !degraded {
+            tally.corrected_words += plan.row_words as u64;
+        } else {
+            let width = code.device_width(dev);
+            for _ in 0..plan.row_words {
+                strikes.clear();
+                strikes.push((dev, Strike::Xor(rng.nonzero_below(1 << width) as u16)));
+                tally.erasure_reads += 1;
+                let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+                record(tally, out);
+            }
+        }
+    }
+
+    // 4. Stuck single bits: corrected on first read; the word keeps its
+    //    latent fault and stays exposed to later transients.
+    for _ in 0..n_single {
+        let dev = plan.device_pick.sample(rng) as u16;
+        if state.erased.contains(&dev) || pending.iter().any(|&(d, _)| d == dev) {
+            continue;
+        }
+        if !degraded {
+            tally.corrected_words += 1;
+        } else {
+            let width = code.device_width(dev);
+            strikes.clear();
+            strikes.push((dev, Strike::Xor(1 << rng.below(width as u64))));
+            tally.erasure_reads += 1;
+            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            record(tally, out);
+        }
+        if state.stuck.len() < 4096 {
+            state.stuck.push(dev);
+        }
+    }
+
+    // 5. Transient upsets. Healthy single-word singles are corrected by
+    //    the next scrub (tallied analytically); everything that can go
+    //    wrong — degraded reads, overlaps with stuck words, dying chips,
+    //    or a second transient in the same word — is classified.
+    for i in 0..n_trans as u64 {
+        let dev = plan.device_pick.sample(rng) as u16;
+        let width = code.device_width(dev);
+        let bit = rng.below(width as u64) as u8;
+        if state.erased.contains(&dev) {
+            continue; // inside a dead chip: the erasure solve ignores it
+        }
+        let tstrike = if plan.asym {
+            Strike::AsymBit(bit)
+        } else {
+            Strike::Xor(1 << bit)
+        };
+        strikes.clear();
+        strikes.push((dev, tstrike));
+        // Dying chips: garbage while the failure is undetected.
+        for &(ddev, window) in &pending {
+            if ddev != dev && rng.chance(window) {
+                let garbage = rng.below(1 << code.device_width(ddev)) as u16;
+                if garbage != 0 {
+                    strikes.push((ddev, Strike::Xor(garbage)));
+                }
+            }
+        }
+        // Landing in a word with a latent stuck bit.
+        if !state.stuck.is_empty() && rng.chance(state.stuck.len() as f64 / plan.words) {
+            let s = state.stuck[rng.below(state.stuck.len() as u64) as usize];
+            if !state.erased.contains(&s) && !strikes.iter().any(|&(d, _)| d == s) {
+                let w = code.device_width(s);
+                strikes.push((s, Strike::Xor(1 << rng.below(w as u64))));
+            }
+        }
+        // Colliding with an earlier transient of this epoch.
+        if i > 0 && rng.chance(i as f64 / plan.words) {
+            let other = plan.device_pick.sample(rng) as u16;
+            let ow = code.device_width(other);
+            let obit = rng.below(ow as u64) as u8;
+            if !state.erased.contains(&other) && !strikes.iter().any(|&(d, _)| d == other) {
+                strikes.push((
+                    other,
+                    if plan.asym {
+                        Strike::AsymBit(obit)
+                    } else {
+                        Strike::Xor(1 << obit)
+                    },
+                ));
+            }
+        }
+        strikes.truncate(16);
+        if degraded {
+            tally.erasure_reads += 1;
+            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            record(tally, out);
+        } else if strikes.len() == 1 {
+            // A lone in-model transient: scrubbed away. Asymmetric cells
+            // only flip when they store a 1 (uniform contents: p = 1/2).
+            match tstrike {
+                Strike::Xor(_) => tally.corrected_words += 1,
+                Strike::AsymBit(_) => {
+                    if rng.chance(0.5) {
+                        tally.corrected_words += 1;
+                    }
+                }
+            }
+        } else {
+            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            record(tally, out);
+        }
+    }
+
+    // 6. Epoch boundary: act on the detected whole-device failures.
+    for &(dev, _) in &pending {
+        tally.devices_retired += 1;
+        let mut candidate = state.erased.clone();
+        candidate.push(dev);
+        candidate.sort_unstable();
+        if let Some(cctx) = Degraded::resolve(code, &candidate) {
+            if state.spares_left > 0 {
+                // Chip sparing: one rebuild pass reads every word through
+                // the erasure decoder; words disturbed by a concurrent
+                // transient are the ones that can fail.
+                let n_rebuild = plan.cdf_trans.sample(rng.next_u64());
+                for _ in 0..n_rebuild {
+                    let tdev = plan.device_pick.sample(rng) as u16;
+                    if candidate.contains(&tdev) {
+                        continue;
+                    }
+                    let w = code.device_width(tdev);
+                    let bit = rng.below(w as u64) as u8;
+                    strikes.clear();
+                    strikes.push((
+                        tdev,
+                        if plan.asym {
+                            Strike::AsymBit(bit)
+                        } else {
+                            Strike::Xor(1 << bit)
+                        },
+                    ));
+                    tally.erasure_reads += 1;
+                    let out = classify_word(code, scratch, &cctx, &strikes, rng);
+                    record(tally, out);
+                }
+                state.spares_left -= 1;
+                tally.spare_rebuilds += 1;
+                // The failed chip is now spared: the erased set is
+                // unchanged going forward.
+            } else {
+                // No spares: degraded operation from the next epoch on.
+                state.erased = candidate;
+                state.ctx = cctx;
+            }
+        } else {
+            // Beyond the code's erasure capacity (or an unrecoverable
+            // device combination): data loss; the DIMM is replaced.
+            tally.data_loss_events += 1;
+            tally.dimm_replacements += 1;
+            *state = DimmState::fresh(code, config);
+            break;
+        }
+    }
+}

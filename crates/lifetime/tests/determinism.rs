@@ -1,0 +1,130 @@
+//! The fleet simulator's determinism contract and behavioural sanity.
+//!
+//! Tallies must be a pure function of `(code, environment, config)` —
+//! bit-identical at any thread count — and the scenario matrix must
+//! reproduce the qualitative reliability ordering the codes are built for.
+
+use muse_lifetime::{
+    chipkill_heavy, retention_asymmetric, scenario_codes, simulate_fleet, transient_dominant,
+    FleetCode, FleetConfig,
+};
+use muse_rs::RsMemoryCode;
+
+fn small(threads: usize) -> FleetConfig {
+    FleetConfig {
+        dimms: 96,
+        years: 3.0,
+        scrub_interval_hours: 24.0,
+        dimms_per_machine: 4,
+        seed: 0xD177,
+        threads,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn identical_across_thread_counts() {
+    for code in scenario_codes() {
+        let env = chipkill_heavy();
+        let serial = simulate_fleet(&code, &env, &small(1));
+        for threads in [2, 3, 0] {
+            let parallel = simulate_fleet(&code, &env, &small(threads));
+            assert_eq!(
+                serial.tally,
+                parallel.tally,
+                "{} at {threads} threads",
+                code.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_fleet_exercises_erasure_reads() {
+    // Start every DIMM with one retired chip: all disturbed reads must go
+    // through the erasure decoder.
+    let config = FleetConfig {
+        initial_failed_devices: 1,
+        ..small(0)
+    };
+    let code = FleetCode::muse(muse_core::presets::muse_80_69());
+    let report = simulate_fleet(&code, &transient_dominant(), &config);
+    assert_eq!(report.degraded_fraction, 1.0, "every epoch is degraded");
+    assert!(report.tally.erasure_reads > 0, "transients hit the decoder");
+    // A lone transient under one erased chip consumes the margin: some
+    // reads fail (DUE or SDC), none are silently lost without any events.
+    assert!(report.tally.due_words + report.tally.sdc_words > 0);
+}
+
+#[test]
+fn rs_t2_survives_more_failures_than_t1() {
+    // In a chipkill-heavy fleet with no spares, the t=2 RS code tolerates
+    // four erased symbols where t=1 tolerates two: fewer data-loss events.
+    let config = FleetConfig {
+        dimms: 512,
+        years: 5.0,
+        seed: 0x1234,
+        ..small(0)
+    };
+    let env = chipkill_heavy();
+    let t1 = simulate_fleet(
+        &FleetCode::rs(RsMemoryCode::new(8, 144, 1).unwrap(), 4),
+        &env,
+        &config,
+    );
+    let t2 = simulate_fleet(
+        &FleetCode::rs(RsMemoryCode::new(8, 144, 2).unwrap(), 4),
+        &env,
+        &config,
+    );
+    assert!(
+        t2.tally.data_loss_events <= t1.tally.data_loss_events,
+        "t2 {} vs t1 {}",
+        t2.tally.data_loss_events,
+        t1.tally.data_loss_events
+    );
+}
+
+#[test]
+fn sparing_prevents_degraded_operation() {
+    let env = chipkill_heavy();
+    let degraded = simulate_fleet(
+        &FleetCode::muse(muse_core::presets::muse_144_132()),
+        &env,
+        &FleetConfig {
+            spares_per_dimm: 0,
+            ..small(0)
+        },
+    );
+    let spared = simulate_fleet(
+        &FleetCode::muse(muse_core::presets::muse_144_132()),
+        &env,
+        &FleetConfig {
+            spares_per_dimm: 4,
+            ..small(0)
+        },
+    );
+    assert!(spared.degraded_fraction < degraded.degraded_fraction);
+    assert!(spared.tally.spare_rebuilds > 0);
+    assert_eq!(degraded.tally.spare_rebuilds, 0);
+}
+
+#[test]
+fn environments_shape_the_failure_mix() {
+    let code = FleetCode::muse(muse_core::presets::muse_80_69());
+    let config = FleetConfig {
+        dimms: 256,
+        ..small(0)
+    };
+    let heavy = simulate_fleet(&code, &chipkill_heavy(), &config);
+    let soft = simulate_fleet(&code, &transient_dominant(), &config);
+    let retention = simulate_fleet(&code, &retention_asymmetric(), &config);
+    assert!(
+        heavy.tally.devices_retired > soft.tally.devices_retired,
+        "chipkill-heavy retires more chips"
+    );
+    assert!(
+        soft.tally.corrected_words > 0 && retention.tally.corrected_words > 0,
+        "transients get scrubbed"
+    );
+}

@@ -1,0 +1,55 @@
+//! Reproducibility pins: exact fleet tallies for the fixed smoke
+//! configuration ([`muse_lifetime::smoke_setup`] — the same setup
+//! `bench_lifetime --smoke` asserts in CI).
+//!
+//! The pinned values live in [`muse_lifetime::smoke_expected`] and pin the
+//! composed behaviour of the per-cell RNG streams, the arrival sampling,
+//! and the erasure-mode classification. If you change any of them *on
+//! purpose*, re-baseline `smoke_expected` and say so in CHANGES.md.
+
+use muse_lifetime::{scenario_codes, simulate_fleet, smoke_expected, smoke_setup};
+
+#[test]
+fn smoke_tallies_are_pinned() {
+    let (env, config) = smoke_setup();
+    for (code, (name, due, sdc, corrected, reads)) in scenario_codes().iter().zip(smoke_expected())
+    {
+        let r = simulate_fleet(code, &env, &config);
+        assert_eq!(r.code, name);
+        assert_eq!(
+            (
+                r.tally.due_words,
+                r.tally.sdc_words,
+                r.tally.corrected_words,
+                r.tally.erasure_reads
+            ),
+            (due, sdc, corrected, reads),
+            "pinned fleet tally changed for {name}: RNG streams, arrival \
+             sampling, or erasure classification drifted"
+        );
+        assert_eq!(r.tally.epochs, config.dimms * config.epochs());
+        assert_eq!(r.degraded_fraction, 1.0);
+    }
+}
+
+#[test]
+fn smoke_shows_the_code_reliability_ordering() {
+    // The differentiators the matrix exists for: the t=2 RS catches every
+    // extra error a degraded t=1 lets through, and MUSE's odd multipliers
+    // leak fewer silent corruptions than same-redundancy RS.
+    let (env, config) = smoke_setup();
+    let reports: Vec<_> = scenario_codes()
+        .iter()
+        .map(|c| simulate_fleet(c, &env, &config))
+        .collect();
+    let sdc = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.code == name)
+            .expect("scenario present")
+            .tally
+            .sdc_words
+    };
+    assert_eq!(sdc("RS(144,112) t=2"), 0);
+    assert!(sdc("MUSE(80,69)") < sdc("RS(144,128) t=1"));
+}

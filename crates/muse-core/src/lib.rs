@@ -69,7 +69,7 @@ pub use search::{
 };
 pub use spec::ParseSpecError;
 pub use symbol::{SymbolMap, SymbolMapError};
-pub use syndrome::{FastDecode, SyndromeKernel};
+pub use syndrome::{ErasureSolve, ErasureTable, FastDecode, SyndromeKernel};
 
 /// The codeword carrier: 320 bits covers every code in the paper (the widest
 /// is the 268-bit PIM codeword).

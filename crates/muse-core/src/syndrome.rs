@@ -545,6 +545,20 @@ impl SyndromeKernel {
         }
     }
 
+    /// Builds the residue-space erasure solver for a fixed set of erased
+    /// symbols (known-failed devices) — the degraded-mode analogue of
+    /// [`MuseCode::recover_erasures`](crate::MuseCode::recover_erasures),
+    /// reduced to one table lookup per read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the erased symbols span more than 16 total bits (the same
+    /// enumeration limit as the wide erasure decoder), contain duplicates,
+    /// or name an out-of-range symbol.
+    pub fn erasure_table(&self, symbols: &[usize]) -> ErasureTable {
+        ErasureTable::build(self, symbols)
+    }
+
     /// Symbol contents of an arbitrary wide codeword (reference/test path).
     pub fn contents_of_word(&self, map: &SymbolMap, word: &Word) -> Vec<u16> {
         (0..map.num_symbols())
@@ -567,6 +581,139 @@ impl SyndromeKernel {
             .iter()
             .enumerate()
             .fold(0, |acc, (s, &v)| self.add_mod(acc, self.residue(s, v)))
+    }
+}
+
+/// Result of a residue-space erasure solve: the unique filling of the
+/// erased symbols that restores divisibility, or why none exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErasureSolve {
+    /// No filling of the erased symbols makes the word divisible by `m` —
+    /// a detected-uncorrectable read (extra errors shifted the syndrome
+    /// outside the reachable set).
+    None,
+    /// More than one filling restores divisibility; the decoder cannot
+    /// choose (the wide path returns `None` for these too).
+    Ambiguous,
+    /// Exactly one filling works; fetch per-symbol contents with
+    /// [`ErasureTable::content_of`].
+    Unique(
+        /// Packed filling token (erased symbols' contents concatenated).
+        u32,
+    ),
+}
+
+/// Precomputed residue-space erasure solver for one fixed set of erased
+/// symbols — degraded-mode (known-failed-chip) decoding as table lookups.
+///
+/// The wide decoder ([`MuseCode::recover_erasures`](crate::MuseCode::recover_erasures))
+/// zeroes the erased bits and enumerates every filling per read. This table
+/// runs that enumeration **once** at construction: for each combined
+/// content assignment `f` of the erased symbols it records the residue
+/// `Σ_s R_s(f_s) mod m`, so a read reduces to
+///
+/// 1. accumulate `rem_rest`, the syndrome contribution of the *non-erased*
+///    symbols (incrementally, via [`SyndromeKernel::residue`] /
+///    [`SyndromeKernel::flip_delta`] — no wide word);
+/// 2. look up `target = (m − rem_rest) mod m`: the unique filling with that
+///    residue restores divisibility; zero or several fillings mean the
+///    read is detected-uncorrectable.
+///
+/// Cross-validated against the wide decoder by
+/// `muse-core/tests/erasure_equivalence.rs` for every preset.
+#[derive(Debug, Clone)]
+pub struct ErasureTable {
+    symbols: Vec<usize>,
+    widths: Vec<u8>,
+    /// Bit offset of each erased symbol's content in the packed filling.
+    offsets: Vec<u8>,
+    /// Residue → packed filling, [`NO_FILLING`], or [`AMBIGUOUS_FILLING`].
+    table: Vec<u32>,
+    /// Whether every filling maps to a distinct residue (no ambiguity
+    /// anywhere — every clean degraded read recovers).
+    injective: bool,
+}
+
+/// Sentinel in the erasure table: no filling reaches this residue.
+const NO_FILLING: u32 = u32::MAX;
+/// Sentinel in the erasure table: several fillings reach this residue.
+const AMBIGUOUS_FILLING: u32 = u32::MAX - 1;
+
+impl ErasureTable {
+    fn build(kernel: &SyndromeKernel, symbols: &[usize]) -> Self {
+        let widths: Vec<u8> = symbols
+            .iter()
+            .map(|&s| {
+                assert!(s < kernel.num_symbols(), "erased symbol {s} out of range");
+                kernel.symbol_bits(s) as u8
+            })
+            .collect();
+        for (i, &s) in symbols.iter().enumerate() {
+            assert!(!symbols[..i].contains(&s), "duplicate erased symbol {s}");
+        }
+        let total_bits: u32 = widths.iter().map(|&w| w as u32).sum();
+        assert!(total_bits <= 16, "erasure search space too large");
+        let mut offsets = Vec::with_capacity(symbols.len());
+        let mut acc = 0u8;
+        for &w in &widths {
+            offsets.push(acc);
+            acc += w;
+        }
+        let mut table = vec![NO_FILLING; kernel.modulus() as usize];
+        let mut injective = true;
+        for filling in 0..1u32 << total_bits {
+            let rem = symbols.iter().enumerate().fold(0u64, |r, (i, &s)| {
+                let content = (filling >> offsets[i]) as u16 & ((1u16 << widths[i]) - 1);
+                kernel.add_mod(r, kernel.residue(s, content))
+            });
+            let slot = &mut table[rem as usize];
+            if *slot == NO_FILLING {
+                *slot = filling;
+            } else {
+                *slot = AMBIGUOUS_FILLING;
+                injective = false;
+            }
+        }
+        Self {
+            symbols: symbols.to_vec(),
+            widths,
+            offsets,
+            table,
+            injective,
+        }
+    }
+
+    /// The erased symbols, in construction order.
+    pub fn symbols(&self) -> &[usize] {
+        &self.symbols
+    }
+
+    /// Whether every filling has a distinct residue: every *clean* degraded
+    /// read (no additional errors) recovers uniquely. False means some
+    /// stored contents are unrecoverable even without further faults — the
+    /// wide decoder's "ambiguous" case — e.g. device pairs whose spanned
+    /// width defeats the `2^w − 1 < m·2^v` condition of Section IV.
+    pub fn is_injective(&self) -> bool {
+        self.injective
+    }
+
+    /// Solves for the filling whose residue equals `target`
+    /// (`= (m − rem_rest) mod m` where `rem_rest` is the syndrome
+    /// contribution of the non-erased symbols as read).
+    #[inline]
+    pub fn solve(&self, target: u64) -> ErasureSolve {
+        match self.table[target as usize] {
+            NO_FILLING => ErasureSolve::None,
+            AMBIGUOUS_FILLING => ErasureSolve::Ambiguous,
+            filling => ErasureSolve::Unique(filling),
+        }
+    }
+
+    /// Unpacks the content of the `i`-th erased symbol (construction order)
+    /// from a [`ErasureSolve::Unique`] filling token.
+    #[inline]
+    pub fn content_of(&self, filling: u32, i: usize) -> u16 {
+        (filling >> self.offsets[i]) as u16 & ((1u16 << self.widths[i]) - 1)
     }
 }
 

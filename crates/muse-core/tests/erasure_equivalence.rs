@@ -1,0 +1,209 @@
+//! Residue-space erasure solving must match the wide erasure decoder.
+//!
+//! For every preset code with a kernel: random payloads, random erased
+//! symbol sets (known-failed devices), optional extra corruption on the
+//! surviving symbols, optional garbage in the erased symbols. The wide path
+//! runs [`MuseCode::recover_erasures`] on the materialized word; the fast
+//! path accumulates the survivors' syndrome contribution incrementally and
+//! looks the target residue up in the [`ErasureTable`]. They must agree on
+//! recoverability *and* on the recovered payload.
+
+use muse_core::{presets, ErasureSolve, MuseCode, Word};
+
+/// xorshift64* — a tiny in-test generator (muse-core has no RNG dep).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn preset_codes() -> Vec<MuseCode> {
+    let mut codes = presets::table1();
+    codes.extend([presets::muse_268_256(), presets::muse_144_128()]);
+    codes
+}
+
+/// The degraded-mode read, fast path: syndrome contribution of the
+/// surviving symbols (as read, i.e. after `flips`), then the table lookup.
+fn fast_recover(
+    code: &MuseCode,
+    contents: &[u16],
+    erased: &[usize],
+    flips: &[(usize, u16)],
+) -> Option<Vec<u16>> {
+    let kernel = code.kernel().expect("preset kernels exist");
+    let table = kernel.erasure_table(erased);
+    // rem_rest = Σ_{s∉E} R_s(read content). Incremental form: the intact
+    // word has syndrome 0, so Σ_{s∉E} R_s(orig) = −Σ_{s∈E} R_s(orig);
+    // flips on survivors then move it by flip_delta.
+    let mut rem_rest = 0u64;
+    for &s in erased {
+        let r = kernel.residue(s, contents[s]);
+        rem_rest = kernel.add_mod(rem_rest, if r == 0 { 0 } else { kernel.modulus() - r });
+    }
+    for &(s, p) in flips {
+        rem_rest = kernel.add_mod(rem_rest, kernel.flip_delta(s, contents[s], p));
+    }
+    let m = kernel.modulus();
+    let target = if rem_rest == 0 { 0 } else { m - rem_rest };
+    match table.solve(target) {
+        ErasureSolve::None | ErasureSolve::Ambiguous => None,
+        ErasureSolve::Unique(f) => {
+            Some((0..erased.len()).map(|i| table.content_of(f, i)).collect())
+        }
+    }
+}
+
+#[test]
+fn erasure_table_matches_wide_recovery() {
+    for code in preset_codes() {
+        let kernel = code.kernel().expect("preset kernels exist");
+        let map = code.symbol_map();
+        let n_sym = map.num_symbols();
+        let mut rng = TestRng(0xE2A5_0000 ^ code.multiplier());
+        for trial in 0..200u32 {
+            // A random payload, encoded wide; its per-symbol contents.
+            let mut limbs = [0u64; 5];
+            for limb in &mut limbs {
+                *limb = rng.next();
+            }
+            let payload = Word::from_limbs(limbs) & Word::mask(code.k_bits());
+            let cw = code.encode(&payload);
+            let contents = kernel.contents_of_word(map, &cw);
+
+            // Erase 1 or 2 distinct symbols (sometimes adjacent — the
+            // paper's recoverable pairs — sometimes arbitrary).
+            let k = 1 + (trial % 2) as usize;
+            let first = rng.below(n_sym as u64) as usize;
+            let mut erased = vec![first];
+            if k == 2 {
+                let second = if trial % 4 == 1 {
+                    (first + 1) % n_sym
+                } else {
+                    let mut s = rng.below(n_sym as u64) as usize;
+                    if s == first {
+                        s = (s + 1) % n_sym;
+                    }
+                    s
+                };
+                erased.push(second);
+            }
+
+            // 0..2 extra flips on surviving symbols.
+            let mut flips: Vec<(usize, u16)> = Vec::new();
+            for _ in 0..trial % 3 {
+                let s = rng.below(n_sym as u64) as usize;
+                if erased.contains(&s) || flips.iter().any(|&(f, _)| f == s) {
+                    continue;
+                }
+                let pattern = 1 + rng.below((1 << kernel.symbol_bits(s)) - 1) as u16;
+                flips.push((s, pattern));
+            }
+
+            // Wide path: corrupt survivors, garbage the erased symbols.
+            let mut word = cw;
+            for &(s, p) in &flips {
+                map.apply_xor_pattern(&mut word, s, p as u64);
+            }
+            for &s in &erased {
+                map.apply_xor_pattern(&mut word, s, rng.below(1 << kernel.symbol_bits(s)));
+            }
+            let wide = code.recover_erasures(&word, &erased);
+            let fast = fast_recover(&code, &contents, &erased, &flips);
+
+            match (&fast, &wide) {
+                (None, None) => {}
+                (Some(filling), Some(recovered)) => {
+                    // The wide payload must equal the word completed with
+                    // the fast filling.
+                    let mut candidate = word;
+                    for (i, &s) in erased.iter().enumerate() {
+                        for (bit_idx, &bit) in map.bits_of(s).iter().enumerate() {
+                            candidate.set_bit(bit, filling[i] >> bit_idx & 1 == 1);
+                        }
+                    }
+                    assert_eq!(
+                        code.remainder(&candidate),
+                        0,
+                        "{} trial {trial}",
+                        code.name()
+                    );
+                    assert_eq!(
+                        candidate >> code.r_bits(),
+                        *recovered,
+                        "{} trial {trial}: payloads diverge",
+                        code.name()
+                    );
+                }
+                _ => panic!(
+                    "{} trial {trial}: fast {fast:?} vs wide {wide:?} (erased {erased:?}, \
+                     flips {flips:?})",
+                    code.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_device_erasure_is_always_injective() {
+    // In-model guarantee: all nonzero error values of one device have
+    // distinct nonzero remainders, so distinct fillings cannot collide.
+    for code in preset_codes() {
+        let kernel = code.kernel().expect("preset kernels exist");
+        for sym in 0..kernel.num_symbols() {
+            let table = kernel.erasure_table(&[sym]);
+            assert!(table.is_injective(), "{} symbol {sym}", code.name());
+            assert_eq!(table.symbols(), &[sym]);
+        }
+    }
+}
+
+#[test]
+fn clean_degraded_reads_recover_original_contents() {
+    // No extra errors: the unique filling must be the original contents of
+    // the erased devices, for every adjacent pair (the Section IV claim).
+    let code = presets::muse_80_69();
+    let kernel = code.kernel().expect("preset kernels exist");
+    let mut rng = TestRng(0xC1EA);
+    for pair in 0..kernel.num_symbols() - 1 {
+        let erased = [pair, pair + 1];
+        let mut limbs = [0u64; 5];
+        for limb in &mut limbs {
+            *limb = rng.next();
+        }
+        let payload = Word::from_limbs(limbs) & Word::mask(code.k_bits());
+        let contents = kernel.contents_of_word(code.symbol_map(), &code.encode(&payload));
+        let recovered = fast_recover(&code, &contents, &erased, &[])
+            .unwrap_or_else(|| panic!("adjacent pair {pair} must recover"));
+        assert_eq!(recovered, vec![contents[pair], contents[pair + 1]]);
+    }
+}
+
+#[test]
+fn three_erased_devices_exceed_the_residue_space() {
+    // 3 × 4-bit devices enumerate 4096 fillings > m = 4065: pigeonhole
+    // forces collisions, so the set cannot be injective (and a degraded
+    // DIMM with three dead chips is unrecoverable in general).
+    let code = presets::muse_144_132();
+    let kernel = code.kernel().expect("preset kernels exist");
+    let table = kernel.erasure_table(&[0, 5, 11]);
+    assert!(!table.is_injective());
+}
+
+#[test]
+#[should_panic(expected = "search space too large")]
+fn erasure_table_limit_enforced() {
+    let code = presets::muse_144_132();
+    let kernel = code.kernel().expect("preset kernels exist");
+    let _ = kernel.erasure_table(&[0, 1, 2, 3, 4]);
+}

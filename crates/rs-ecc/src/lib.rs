@@ -17,6 +17,8 @@
 //! error-value domain (GF syndromes of the corruption alone, one table
 //! multiply per touched symbol) without materializing a codeword.
 
+#![deny(missing_docs)]
+
 mod memory;
 mod rs;
 

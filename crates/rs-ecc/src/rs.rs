@@ -268,14 +268,69 @@ impl RsCode {
     /// erasures as errors — the permanent-chip-failure mode).
     ///
     /// Solves the Vandermonde system `Σ e_i·α^(l·p_i) = S_l` for the erased
-    /// magnitudes by Gaussian elimination over GF(2^s).
+    /// magnitudes ([`Self::erasure_magnitudes`]) and applies them.
     ///
     /// # Panics
     ///
     /// Panics if `cw.len() != n`, positions are out of range or duplicated,
     /// or more than `2t` positions are given.
+    ///
+    /// # Examples
+    ///
+    /// A `t = 1` code corrects **one** unknown symbol error but **two**
+    /// erased symbols once the failed positions are known — the ChipKill
+    /// degraded mode:
+    ///
+    /// ```
+    /// use muse_rs::RsCode;
+    ///
+    /// # fn main() -> Result<(), muse_rs::RsError> {
+    /// let rs = RsCode::new(8, 18, 16)?; // RS(144,128) in symbols, t = 1
+    /// let data: Vec<u16> = (0..16).map(|i| (i * 7) as u16).collect();
+    /// let mut cw = rs.encode(&data);
+    /// cw[4] ^= 0xDE; // two known-failed chips return garbage
+    /// cw[11] ^= 0xAD;
+    /// assert_eq!(rs.decode_erasures(&cw, &[4, 11]), Some(data.clone()));
+    ///
+    /// // One erasure leaves a syndrome of margin: an extra unknown error
+    /// // fails the residual check and is detected.
+    /// let mut cw = rs.encode(&data);
+    /// cw[4] ^= 0xDE;
+    /// cw[7] ^= 0x01;
+    /// assert_eq!(rs.decode_erasures(&cw, &[4]), None);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn decode_erasures(&self, cw: &[u16], positions: &[usize]) -> Option<Vec<u16>> {
         assert_eq!(cw.len(), self.n, "expected {} codeword symbols", self.n);
+        let synd = self.syndromes(cw);
+        let magnitudes = self.erasure_magnitudes(&synd, positions)?;
+        let mut fixed = cw.to_vec();
+        for (&p, &e) in positions.iter().zip(&magnitudes) {
+            fixed[p] ^= e;
+        }
+        debug_assert!(self.syndromes(&fixed).iter().all(|&s| s == 0));
+        Some(fixed[2 * self.t..].to_vec())
+    }
+
+    /// Syndrome-domain erasure solving: the error magnitudes at the known
+    /// positions implied by the `2t` syndromes, or `None` when no
+    /// assignment satisfies all of them (errors outside the erased set).
+    ///
+    /// This is [`Self::decode_erasures`] without the codeword: because the
+    /// code is linear, `syndromes(cw ⊕ e) = syndromes(e)`, so Monte-Carlo
+    /// loops feed it syndromes accumulated straight from the error pattern
+    /// ([`RsMemoryCode::error_syndromes`](crate::RsMemoryCode::error_syndromes))
+    /// and never materialize a word. Solves the leading `k × k` Vandermonde
+    /// system by Gaussian elimination, then checks the `2t − k` remaining
+    /// syndrome equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synd.len() != 2t`, positions are out of range or
+    /// duplicated, or more than `2t` positions are given.
+    pub fn erasure_magnitudes(&self, synd: &[u16], positions: &[usize]) -> Option<Vec<u16>> {
+        assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
         assert!(
             positions.len() <= 2 * self.t,
             "more erasures than parity symbols"
@@ -287,15 +342,11 @@ impl RsCode {
                 "duplicate erasure position {p}"
             );
         }
-        let synd = self.syndromes(cw);
-        if positions.is_empty() {
-            return synd
-                .iter()
-                .all(|&s| s == 0)
-                .then(|| cw[2 * self.t..].to_vec());
+        let k = positions.len();
+        if k == 0 {
+            return synd.iter().all(|&s| s == 0).then(Vec::new);
         }
         let gf = &self.gf;
-        let k = positions.len();
         // Build the augmented matrix [α^(l·p_i) | S_l], l = 0..k.
         let mut mat: Vec<Vec<u16>> = (0..k)
             .map(|l| {
@@ -307,7 +358,8 @@ impl RsCode {
                 row
             })
             .collect();
-        // Gaussian elimination.
+        // Gaussian elimination (the Vandermonde system in distinct α^p_i is
+        // nonsingular, so a pivot always exists).
         for col in 0..k {
             let pivot = (col..k).find(|&r| mat[r][col] != 0)?;
             mat.swap(col, pivot);
@@ -325,15 +377,43 @@ impl RsCode {
                 }
             }
         }
-        let mut fixed = cw.to_vec();
-        for (i, &p) in positions.iter().enumerate() {
-            fixed[p] ^= mat[i][k];
+        let magnitudes: Vec<u16> = (0..k).map(|i| mat[i][k]).collect();
+        // The solution must also satisfy the remaining syndrome equations.
+        for (l, &s) in synd.iter().enumerate().skip(k) {
+            let mut acc = s;
+            for (&p, &e) in positions.iter().zip(&magnitudes) {
+                acc = gf.add(acc, gf.mul(e, gf.alpha_pow((l * p) as i64)));
+            }
+            if acc != 0 {
+                return None;
+            }
         }
-        // The solution must also satisfy any remaining syndromes.
-        if self.syndromes(&fixed).iter().any(|&s| s != 0) {
-            return None;
+        Some(magnitudes)
+    }
+
+    /// Syndrome-domain error location: the PGZ procedure of
+    /// [`Self::decode`] applied directly to a (nonzero) syndrome vector,
+    /// returning the `(position, magnitude)` corrections the decoder would
+    /// apply, or `None` for a detected-uncorrectable pattern.
+    ///
+    /// Feed it [`RsMemoryCode::error_syndromes`](crate::RsMemoryCode::error_syndromes)
+    /// output to classify trials without a codeword. All-zero syndromes are
+    /// the caller's "clean" fast path, not a location problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synd.len() != 2t` or all syndromes are zero.
+    pub fn locate_errors(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+        assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
+        assert!(
+            synd.iter().any(|&s| s != 0),
+            "all-zero syndromes are a clean word, not a location problem"
+        );
+        match self.t {
+            1 => self.locate_t1(synd),
+            2 => self.locate_t2(synd),
+            _ => unreachable!("t is validated to 1 or 2"),
         }
-        Some(fixed[2 * self.t..].to_vec())
     }
 
     fn locate_t2(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
@@ -576,6 +656,107 @@ mod tests {
         bad[4] ^= 0x22;
         bad[10] ^= 0x33; // not in the erased set
         assert_eq!(rs.decode_erasures(&bad, &[3, 4]), None);
+    }
+
+    #[test]
+    fn erasure_magnitudes_match_wide_erasure_decode() {
+        // Syndrome-domain solving == codeword-domain decode_erasures, for
+        // t = 1 and t = 2, random erasure sets and extra errors.
+        let mut state = 0x0E2A_5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (n, k_data) in [(18usize, 16usize), (18, 14), (10, 8)] {
+            let rs = RsCode::new(8, n, k_data).unwrap();
+            let t2 = 2 * rs.t();
+            let data: Vec<u16> = (0..k_data).map(|_| (next() & 0xFF) as u16).collect();
+            let cw = rs.encode(&data);
+            for trial in 0..300u64 {
+                // Erase 0..=2t distinct positions, inject 0..3 errors
+                // anywhere (inside or outside the erased set).
+                let n_erase = (next() % (t2 as u64 + 1)) as usize;
+                let mut positions: Vec<usize> = Vec::new();
+                while positions.len() < n_erase {
+                    let p = (next() % n as u64) as usize;
+                    if !positions.contains(&p) {
+                        positions.push(p);
+                    }
+                }
+                let mut bad = cw.clone();
+                for _ in 0..next() % 3 {
+                    bad[(next() % n as u64) as usize] ^= (next() & 0xFF) as u16;
+                }
+                let wide = rs.decode_erasures(&bad, &positions);
+                let synd = rs.syndromes(&bad);
+                match (rs.erasure_magnitudes(&synd, &positions), &wide) {
+                    (None, None) => {}
+                    (Some(mags), Some(d)) => {
+                        let mut fixed = bad.clone();
+                        for (&p, &e) in positions.iter().zip(&mags) {
+                            fixed[p] ^= e;
+                        }
+                        assert_eq!(&fixed[t2..], d.as_slice(), "n={n} trial {trial}");
+                    }
+                    (fast, wide) => {
+                        panic!("n={n} trial {trial}: fast {fast:?} vs wide {wide:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_errors_matches_decode() {
+        for (n, k_data) in [(18usize, 16usize), (18, 14)] {
+            let rs = RsCode::new(8, n, k_data).unwrap();
+            let data: Vec<u16> = (0..k_data).map(|i| (i * 11 + 3) as u16 & 0xFF).collect();
+            let cw = rs.encode(&data);
+            let mut state = 0x10CAu64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 16
+            };
+            for trial in 0..300u64 {
+                let k_err = 1 + (trial % 3) as usize;
+                let mut bad = cw.clone();
+                for _ in 0..k_err {
+                    bad[(next() % n as u64) as usize] ^= (next() & 0xFF) as u16;
+                }
+                let synd = rs.syndromes(&bad);
+                if synd.iter().all(|&s| s == 0) {
+                    continue; // errors cancelled: a clean word
+                }
+                match (rs.locate_errors(&synd), rs.decode(&bad)) {
+                    (None, RsDecoded::Detected) => {}
+                    (Some(located), RsDecoded::Corrected { mut errors, .. }) => {
+                        let mut located = located;
+                        located.sort_unstable();
+                        errors.sort_unstable();
+                        assert_eq!(located, errors, "n={n} trial {trial}");
+                    }
+                    (fast, wide) => panic!("n={n} trial {trial}: {fast:?} vs {wide:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_erasure_budget_has_no_detection_margin() {
+        // k = 2t erasures consume every syndrome: the solve always succeeds,
+        // so an extra unknown error silently lands in the recovered data.
+        let rs = rs_18_16();
+        let data = vec![0x3Cu16; 16];
+        let mut bad = rs.encode(&data);
+        bad[2] ^= 0x55; // erased pair
+        bad[3] ^= 0xAA;
+        bad[9] ^= 0x01; // the extra, unknown error
+        let recovered = rs
+            .decode_erasures(&bad, &[2, 3])
+            .expect("no residual syndromes remain to reject it");
+        assert_ne!(recovered, data, "the extra error is silent corruption");
     }
 
     #[test]

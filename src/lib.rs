@@ -8,6 +8,7 @@
 //! | [`core`] | `muse-core` | the MUSE codes: search, codec, ELC, presets |
 //! | [`rs`] | `muse-rs` | the Reed-Solomon baseline |
 //! | [`faultsim`] | `muse-faultsim` | Monte-Carlo fault injection (Table IV etc.) |
+//! | [`lifetime`] | `muse-lifetime` | fleet-lifetime reliability with erasure-mode degraded operation |
 //! | [`hw`] | `muse-hw` | VLSI cost model + Verilog emission (Table V) |
 //! | [`memsim`] | `muse-memsim` | memory-system simulator (Figures 6 & 7) |
 //! | [`secded`] | `muse-secded` | Hsiao / on-die SEC substrates |
@@ -34,6 +35,7 @@ pub use muse_core as core;
 pub use muse_faultsim as faultsim;
 pub use muse_gf as gf;
 pub use muse_hw as hw;
+pub use muse_lifetime as lifetime;
 pub use muse_memsim as memsim;
 pub use muse_rs as rs;
 pub use muse_secded as secded;
