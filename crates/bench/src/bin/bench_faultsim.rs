@@ -123,6 +123,27 @@ fn main() {
     });
     push("msed_rs_144_128", trials, one, all);
 
+    // The t = 2 row measures the retired wide-PGZ-per-trial fallback's
+    // replacement: syndrome-domain double-error location.
+    let rs_t2 = RsMemoryCode::new(8, 144, 2).expect("geometry");
+    let one = measure(|| {
+        std::hint::black_box(rs_msed(
+            &rs_t2,
+            4,
+            RsDetectMode::DeviceConfined,
+            msed_cfg(1),
+        ));
+    });
+    let all = measure(|| {
+        std::hint::black_box(rs_msed(
+            &rs_t2,
+            4,
+            RsDetectMode::DeviceConfined,
+            msed_cfg(0),
+        ));
+    });
+    push("msed_rs_144_112_t2", trials, one, all);
+
     let pim = presets::muse_268_256();
     let one = measure(|| {
         std::hint::black_box(muse_msed(&pim, msed_cfg(1)));

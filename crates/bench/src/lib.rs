@@ -48,9 +48,12 @@
 //! ```
 //!
 //! Timings are best-of-3 wall-clock; `msed_naive_wide_serial` is the
-//! pre-engine wide-word loop kept as the speedup baseline. Regenerate on a
-//! quiet machine and commit the file when a PR changes simulator
-//! performance.
+//! pre-engine wide-word loop kept as the speedup baseline, and
+//! `msed_rs_144_112_t2` tracks the syndrome-domain `t = 2` RS path that
+//! replaced the wide-PGZ-per-trial fallback. CI validates the committed
+//! file against this schema (including the required simulator rows).
+//! Regenerate on a quiet machine and commit the file when a PR changes
+//! simulator performance.
 //!
 //! # The `BENCH_lifetime.json` fleet snapshot
 //!

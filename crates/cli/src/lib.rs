@@ -10,6 +10,10 @@
 //!   [--asym] [--single-bit] [--limit K]` — run Algorithm 1.
 //! * `msed <preset> [--trials N] [--devices K] [--threads T]` —
 //!   Monte-Carlo detection rate (parallel; bit-identical at any `T`).
+//! * `rsmsed [--t 1|2] [--symbol-bits S] [--device-bits D] [--trials N]
+//!   [--devices K] [--threads T]` — the Reed-Solomon comparator on the
+//!   144-bit channel, classified in the GF-syndrome domain for both `t`
+//!   values (no wide decode per trial).
 //! * `lifetime [--dimms N] [--years Y] [--scrub-hours H] [--spares S]
 //!   [--seed X] [--threads T]` — the fleet-lifetime scenario matrix:
 //!   DUE/SDC/repair rates per machine-year for every code × environment,
@@ -50,6 +54,8 @@ USAGE:
   muse-tool search --bits <n> [--symbol <s>] [--redundancy <r>]
                    [--interleaved] [--asym] [--single-bit] [--limit <k>]
   muse-tool msed <preset> [--trials <n>] [--devices <k>] [--threads <t>]
+  muse-tool rsmsed [--t <1|2>] [--symbol-bits <s>] [--device-bits <d>]
+                   [--trials <n>] [--devices <k>] [--threads <t>]
   muse-tool lifetime [--dimms <n>] [--years <y>] [--scrub-hours <h>]
                      [--spares <s>] [--seed <x>] [--threads <t>]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
@@ -241,6 +247,43 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 stats.silent
             ))
         }
+        Some("rsmsed") => {
+            let rest: Vec<&str> = it.collect();
+            let t: usize = parse_or(&rest, "--t", 1)?;
+            let symbol_bits: u32 = parse_or(&rest, "--symbol-bits", 8)?;
+            let device_bits: u32 = parse_or(&rest, "--device-bits", 4)?;
+            if !(1..=16).contains(&device_bits) {
+                return Err(err("--device-bits must be in 1..=16"));
+            }
+            let trials: u64 = parse_or(&rest, "--trials", 10_000)?;
+            let devices: usize = parse_or(&rest, "--devices", 2)?;
+            let threads: usize = parse_or(&rest, "--threads", 0)?;
+            let code = muse_rs::RsMemoryCode::new(symbol_bits, 144, t)
+                .map_err(|e| err(format!("bad RS geometry: {e}")))?;
+            let stats = muse_faultsim::rs_msed(
+                &code,
+                device_bits,
+                muse_faultsim::RsDetectMode::DeviceConfined,
+                MsedConfig {
+                    trials,
+                    failing_devices: devices,
+                    threads,
+                    ..MsedConfig::default()
+                },
+            );
+            Ok(format!(
+                "{} t={}: {:.2}% of {} {}-device errors detected \
+                 ({} corrected, {} miscorrected, {} silent)",
+                code.name(),
+                t,
+                stats.detection_rate(),
+                trials,
+                devices,
+                stats.corrected,
+                stats.miscorrected,
+                stats.silent
+            ))
+        }
         Some("lifetime") => {
             let rest: Vec<&str> = it.collect();
             let config = muse_lifetime::FleetConfig {
@@ -393,6 +436,23 @@ mod tests {
     fn msed_reports_rate() {
         let out = run_str("msed muse80_69 --trials 500").unwrap();
         assert!(out.contains("% of 500 2-device errors detected"), "{out}");
+    }
+
+    #[test]
+    fn rsmsed_covers_both_t_values() {
+        let out = run_str("rsmsed --trials 400").unwrap();
+        assert!(out.contains("RS(144,128) t=1"), "{out}");
+        let out = run_str("rsmsed --t 2 --trials 400").unwrap();
+        assert!(out.contains("RS(144,112) t=2"), "{out}");
+        // x8 devices nest whole symbols: every 2-device error is in-model
+        // for t = 2 and corrects.
+        let out = run_str("rsmsed --t 2 --device-bits 8 --trials 300").unwrap();
+        assert!(out.contains("(300 corrected"), "{out}");
+        // An x8 device straddling three 5-bit symbols folds correctly too.
+        let out = run_str("rsmsed --t 2 --symbol-bits 5 --device-bits 8 --trials 300").unwrap();
+        assert!(out.contains("RS(144,124) t=2"), "{out}");
+        assert!(run_str("rsmsed --t 3").is_err());
+        assert!(run_str("rsmsed --device-bits 0").is_err());
     }
 
     #[test]

@@ -32,8 +32,9 @@ use crate::rng::Bounded32;
 use crate::Rng;
 
 /// Maximum simultaneous device failures the fixed-capacity content-space
-/// trial paths support; experiments beyond this take the wide-word
-/// fallbacks (which accept any `k ≤ n_devices`).
+/// trial paths support; experiments beyond this route through the
+/// Vec-based distinct samplers in `msed` (still syndrome-domain — the
+/// wide-word fallbacks are retired; any `k ≤ n_devices` is accepted).
 pub(crate) const MAX_STRIKES: usize = 8;
 
 /// Splits raw `u64` draws into 32-bit halves so two bounded samples usually
@@ -317,7 +318,7 @@ impl CodewordScratch {
 /// stays in registers when the record is a non-escaping local, so
 /// consecutive trials share no memory traffic and the CPU overlaps their
 /// table lookups. Capacity is [`MAX_STRIKES`] simultaneous device
-/// failures; larger experiments take the wide-word path.
+/// failures; larger experiments take the Vec-based content path.
 #[derive(Default)]
 pub(crate) struct InlineTrial {
     /// `(symbol, pattern, content)` per strike.

@@ -101,9 +101,7 @@ pub fn measure_mode_threaded(
     seed: u64,
     threads: usize,
 ) -> ModeOutcome {
-    let Some(kernel) = code.kernel() else {
-        return measure_mode_wide(code, mode, trials, seed, threads);
-    };
+    let kernel = crate::require_kernel(code, "FIT");
     let plan = TrialPlan::new(kernel, 2);
     // Multi-bit mode samples a pattern *value* in [2, 2^w): excludes only
     // the lowest single-bit flip, matching the seed's sampling (some
@@ -148,66 +146,6 @@ pub fn measure_mode_threaded(
             }
         },
     );
-    let t = trials as f64;
-    ModeOutcome {
-        mode,
-        p_correct: tally.correct as f64 / t,
-        p_due: tally.due as f64 / t,
-        p_sdc: tally.sdc as f64 / t,
-    }
-}
-
-/// Wide-path `measure_mode` for layouts outside the kernel's tabulation
-/// limits (still engine-parallel).
-fn measure_mode_wide(
-    code: &MuseCode,
-    mode: FailureMode,
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> ModeOutcome {
-    let map = code.symbol_map();
-    let n_sym = map.num_symbols();
-    let tally: ModeTally =
-        SimEngine::new(threads).run(seed ^ 0xF17, trials, |_, rng, tally: &mut ModeTally| {
-            let payload = crate::random_payload(rng, code.k_bits());
-            let cw = code.encode(&payload);
-            let mut corrupted = cw;
-            match mode {
-                FailureMode::SingleBit => {
-                    let sym = rng.below(n_sym as u64) as usize;
-                    let bit = rng.below(map.bits_of(sym).len() as u64);
-                    map.apply_xor_pattern(&mut corrupted, sym, 1 << bit);
-                }
-                FailureMode::SingleDeviceMultiBit | FailureMode::WholeDevice => {
-                    let sym = rng.below(n_sym as u64) as usize;
-                    let all = 1u64 << map.bits_of(sym).len();
-                    let pattern = if mode == FailureMode::WholeDevice {
-                        rng.nonzero_below(all)
-                    } else {
-                        rng.nonzero_below(all - 1) + 1
-                    };
-                    map.apply_xor_pattern(&mut corrupted, sym, pattern);
-                }
-                FailureMode::TwoDevices => {
-                    for sym in rng.choose_k(n_sym, 2) {
-                        let pattern = rng.nonzero_below(1 << map.bits_of(sym).len());
-                        map.apply_xor_pattern(&mut corrupted, sym, pattern);
-                    }
-                }
-            }
-            match code.decode(&corrupted) {
-                muse_core::Decoded::Detected => tally.due += 1,
-                muse_core::Decoded::Clean { payload: p }
-                | muse_core::Decoded::Corrected { payload: p, .. } => {
-                    if p == payload {
-                        tally.correct += 1;
-                    } else {
-                        tally.sdc += 1;
-                    }
-                }
-            }
-        });
     let t = trials as f64;
     ModeOutcome {
         mode,

@@ -83,6 +83,23 @@ mod rowhammer;
 mod scrub;
 
 pub use engine::{SimEngine, Tally};
+
+/// The syndrome kernel of `code`, or a panic naming the subsystem — the
+/// wide-word fallbacks are retired, so a kernel-less code (outside
+/// [`muse_core::SyndromeKernel::supports`]) is a caller error everywhere
+/// classification runs in the syndrome domain.
+pub(crate) fn require_kernel<'a>(
+    code: &'a muse_core::MuseCode,
+    what: &str,
+) -> &'a muse_core::SyndromeKernel {
+    code.kernel().unwrap_or_else(|| {
+        panic!(
+            "{} carries no syndrome kernel (outside SyndromeKernel::supports); \
+             {what} classification runs in the syndrome domain only",
+            code.name()
+        )
+    })
+}
 pub use fit::{
     measure_mode, measure_mode_threaded, project_fit, FailureMode, FitProjection, ModeOutcome,
 };

@@ -14,8 +14,10 @@
 //! (see [`muse_core::SyndromeKernel`]). Results are bit-identical at any
 //! `threads` setting.
 
-use muse_core::{Decoded, MuseCode, Word};
-use muse_rs::{RsFastLocate, RsMemoryCode, RsMemoryDecoded};
+use muse_core::{MuseCode, Word};
+use muse_rs::RsMemoryCode;
+#[cfg(test)]
+use muse_rs::RsMemoryDecoded;
 
 use crate::engine::{SimEngine, Tally};
 use crate::fastpath::{
@@ -133,41 +135,39 @@ impl Default for MsedConfig {
 /// ```
 pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
     let engine = SimEngine::new(config.threads);
-    // Content-space paths hold a trial's strikes in fixed-capacity arrays;
-    // larger experiments (k > MAX_STRIKES) run the wide path below.
-    let kernel = code
-        .kernel()
-        .filter(|_| config.failing_devices <= fastpath::MAX_STRIKES);
-    let Some(kernel) = kernel else {
-        // Layout outside the kernel's tabulation limits (or too many
-        // simultaneous strikes): same experiment through the wide
-        // encode/decode path, still engine-parallel.
-        return engine.run(
+    let kernel = crate::require_kernel(code, "MSED");
+    if config.failing_devices > fastpath::MAX_STRIKES {
+        // Beyond the fixed-capacity inline arrays: draws go through the
+        // Vec-based distinct sampler instead of the columnar fills, but
+        // classification stays in the syndrome domain — no codeword is
+        // ever materialized on any strike count.
+        let n_sym = kernel.num_symbols();
+        assert!(
+            config.failing_devices <= n_sym,
+            "cannot corrupt {} of {n_sym} devices",
+            config.failing_devices
+        );
+        return engine.run_blocked(
             config.seed,
             config.trials,
-            |_, rng, stats: &mut MsedStats| {
-                let payload = random_payload(rng, code.k_bits());
-                let cw = code.encode(&payload);
-                let mut corrupted = cw;
-                let map = code.symbol_map();
-                for sym in rng.choose_k(map.num_symbols(), config.failing_devices) {
-                    let pattern = rng.nonzero_below(1 << map.bits_of(sym).len());
-                    map.apply_xor_pattern(&mut corrupted, sym, pattern);
-                }
-                stats.record(match code.decode(&corrupted) {
-                    Decoded::Detected => Outcome::Detected,
-                    Decoded::Clean { .. } => Outcome::Silent,
-                    Decoded::Corrected { payload: p, .. } => {
-                        if p == payload {
-                            Outcome::Corrected
-                        } else {
-                            Outcome::Miscorrected
-                        }
+            || CodewordScratch::new(kernel),
+            |range, rng, scratch, stats: &mut MsedStats| {
+                for _ in range {
+                    scratch.begin_trial();
+                    for sym in rng.choose_k(n_sym, config.failing_devices) {
+                        let pattern = rng.nonzero_below(1 << kernel.symbol_bits(sym)) as u16;
+                        scratch.injected.push((sym, pattern));
                     }
-                });
+                    stats.record(match classify(kernel, scratch, rng) {
+                        TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
+                        TrialOutcome::Detected => Outcome::Detected,
+                        TrialOutcome::CorrectedRight => Outcome::Corrected,
+                        TrialOutcome::Miscorrected => Outcome::Miscorrected,
+                    });
+                }
             },
         );
-    };
+    }
     let k = config.failing_devices;
     let plan = TrialPlan::new(kernel, k);
     let Some(uniform_pattern) = plan.uniform_pattern() else {
@@ -261,13 +261,15 @@ pub enum RsDetectMode {
 /// Estimates the MSED rate of a Reed-Solomon memory code against
 /// `device_bits`-wide physical device failures (x4 ⇒ 4).
 ///
-/// `t = 1` codes (commercial ChipKill) run in the error-value domain: a
-/// trial folds the device patterns into per-RS-symbol error values,
-/// accumulates the two GF syndromes from the incremental table
-/// ([`RsMemoryCode::error_syndromes`]), and classifies without ever
-/// encoding a codeword — symbol contents are only sampled in the rare
-/// shortened-top-symbol range check. `t = 2` codes fall back to the wide
-/// encode/decode pipeline (still engine-parallel).
+/// Both `t` values run in the error-value domain: a trial folds the device
+/// patterns into per-RS-symbol error values, accumulates the `2t` GF
+/// syndromes from the incremental table
+/// ([`RsMemoryCode::error_syndromes`]), and classifies through the
+/// syndrome-domain PGZ location
+/// ([`muse_rs::RsCode::locate_errors_fixed`]) without ever encoding a
+/// codeword — symbol contents are only sampled in the rare
+/// shortened-top-symbol range check. The wide encode/decode pipeline
+/// survives as the property-test oracle only.
 pub fn rs_msed(
     code: &RsMemoryCode,
     device_bits: u32,
@@ -275,17 +277,29 @@ pub fn rs_msed(
     config: MsedConfig,
 ) -> MsedStats {
     let n_devices = (code.n_bits() / device_bits) as usize;
-    if code.inner().t() != 1
-        || config.failing_devices > fastpath::MAX_STRIKES
-        || config.failing_devices > n_devices
-    {
-        // t = 2 decodes, or more strikes than the fixed-capacity fast path
-        // holds: the wide pipeline accepts any k ≤ n_devices (and reports
-        // k > n_devices with `choose_k`'s clear panic).
-        return rs_msed_wide(code, device_bits, mode, config);
-    }
     let ctx = RsFastMsed::new(code, device_bits, mode);
     let k = config.failing_devices;
+    assert!(k <= n_devices, "cannot corrupt {k} of {n_devices} devices");
+    if k > fastpath::MAX_STRIKES {
+        // Beyond the fixed-capacity arrays: Vec-based distinct sampling,
+        // same error-domain classification backend.
+        return SimEngine::new(config.threads).run_blocked(
+            config.seed,
+            config.trials,
+            || (Vec::new(), Vec::new()),
+            |range, rng, (strikes, errors), stats: &mut MsedStats| {
+                for _ in range {
+                    strikes.clear();
+                    for dev in rng.choose_k(n_devices, k) {
+                        strikes.push((dev, rng.nonzero_below(1 << device_bits) as u16));
+                    }
+                    errors.clear();
+                    ctx.fold_into(strikes, errors);
+                    stats.record(ctx.classify_errors(rng, errors).0);
+                }
+            },
+        );
+    }
     let picks: Vec<Bounded32> = (0..k)
         .map(|i| Bounded32::new((ctx.n_devices - i) as u32))
         .collect();
@@ -313,7 +327,8 @@ pub fn rs_msed(
     )
 }
 
-/// Error-domain MSED classification context for `t = 1` RS memory codes.
+/// Error-domain MSED classification context for RS memory codes (both `t`
+/// values — the `t = 2` wide-PGZ-per-trial fallback is retired).
 struct RsFastMsed<'a> {
     code: &'a RsMemoryCode,
     device_bits: u32,
@@ -322,6 +337,8 @@ struct RsFastMsed<'a> {
     /// Per-device `(first RS symbol, bit offset within it)`.
     splits: Vec<(usize, u32)>,
     symbol_bits: u32,
+    /// `2t` — syndromes consumed / first data symbol.
+    parity: usize,
     top: usize,
     top_mask: u16,
 }
@@ -342,136 +359,132 @@ impl<'a> RsFastMsed<'a> {
                 })
                 .collect(),
             symbol_bits,
+            parity: 2 * code.inner().t(),
             top: code.n_symbols() - 1,
             top_mask: ((1u32 << code.top_symbol_bits()) - 1) as u16,
         }
     }
 
-    /// Classifies one trial given its device strikes, reproducing the wide
-    /// `encode → corrupt → decode` classification exactly (property-tested
-    /// against it below). Symbol contents never enter the decision except
-    /// through the shortened-top range check, where the top content is
-    /// sampled uniformly on demand — the sampled value (if any) is returned
-    /// for reference reconstruction.
-    fn classify(&self, rng: &mut Rng, strikes: &[(usize, u16)]) -> (Outcome, Option<u16>) {
-        // Fold device patterns into per-RS-symbol error values (a device
-        // may straddle two symbols; adjacent devices may share one).
-        let mut errors = [(0usize, 0u16); 16];
-        let mut n_errors = 0usize;
-        let push = |errors: &mut [(usize, u16); 16], n: &mut usize, sym: usize, val: u16| {
-            if val == 0 {
-                return;
-            }
-            if let Some(e) = errors[..*n].iter_mut().find(|e| e.0 == sym) {
-                e.1 ^= val;
-            } else {
-                errors[*n] = (sym, val);
-                *n += 1;
-            }
-        };
-        let sym_mask = ((1u32 << self.symbol_bits) - 1) as u16;
+    /// Folds device strikes into per-RS-symbol error chunks, emitting each
+    /// nonzero `(symbol, value)` chunk through `sink` (a device may
+    /// straddle several symbols — e.g. x8 devices on 5-bit symbols span
+    /// three; adjacent devices may share one, so sinks XOR-merge by
+    /// symbol).
+    #[inline]
+    fn fold(&self, strikes: &[(usize, u16)], mut sink: impl FnMut(usize, u16)) {
+        let sym_mask = (1u32 << self.symbol_bits) - 1;
         for &(dev, pattern) in strikes {
-            let (sym, shift) = self.splits[dev];
-            push(
-                &mut errors,
-                &mut n_errors,
-                sym,
-                (pattern << shift) & sym_mask,
-            );
-            if shift + self.device_bits > self.symbol_bits {
-                push(
-                    &mut errors,
-                    &mut n_errors,
-                    sym + 1,
-                    pattern >> (self.symbol_bits - shift),
-                );
-            }
-        }
-        let errors = &errors[..n_errors];
-
-        let synd = self.code.error_syndromes(errors);
-        match self.code.locate_single(synd[0], synd[1]) {
-            RsFastLocate::Clean => (Outcome::Silent, None),
-            RsFastLocate::Detected => (Outcome::Detected, None),
-            RsFastLocate::Correct { symbol, value } => {
-                let mut top_content = None;
-                if symbol == self.top {
-                    // Shortened-code check: sample the top symbol's stored
-                    // content and reject corrections escaping its width.
-                    let original = rng.next_u64() as u16 & self.top_mask;
-                    top_content = Some(original);
-                    let injected = errors
-                        .iter()
-                        .find(|&&(s, _)| s == symbol)
-                        .map_or(0, |&(_, e)| e);
-                    if original ^ injected ^ value > self.top_mask {
-                        return (Outcome::Detected, top_content);
-                    }
+            let (mut sym, shift) = self.splits[dev];
+            let mut bits = (pattern as u32) << shift;
+            while bits != 0 {
+                let val = (bits & sym_mask) as u16;
+                if val != 0 {
+                    sink(sym, val);
                 }
-                // The read is right iff the correction cancels the injected
-                // corruption on every data symbol (positions ≥ 2t = 2).
-                let wrong = errors.iter().any(|&(s, e)| s >= 2 && s != symbol && e != 0)
-                    || (symbol >= 2 && {
-                        let injected = errors
-                            .iter()
-                            .find(|&&(s, _)| s == symbol)
-                            .map_or(0, |&(_, e)| e);
-                        injected ^ value != 0
-                    });
-                let outcome = if !wrong {
-                    Outcome::Corrected
-                } else {
-                    match self.mode {
-                        RsDetectMode::SymbolSyndromes => Outcome::Miscorrected,
-                        RsDetectMode::DeviceConfined => {
-                            if error_confined_to_device(self.code, self.device_bits, symbol, value)
-                            {
-                                Outcome::Miscorrected
-                            } else {
-                                Outcome::Detected
-                            }
-                        }
-                    }
-                };
-                (outcome, top_content)
+                bits >>= self.symbol_bits;
+                sym += 1;
             }
         }
     }
-}
 
-/// The wide-word reference pipeline for [`rs_msed`]: full encode/decode per
-/// trial. Used for `t = 2` codes and as the property-tested reference.
-fn rs_msed_wide(
-    code: &RsMemoryCode,
-    device_bits: u32,
-    mode: RsDetectMode,
-    config: MsedConfig,
-) -> MsedStats {
-    let n_devices = (code.n_bits() / device_bits) as usize;
-    SimEngine::new(config.threads).run(
-        config.seed,
-        config.trials,
-        |_, rng, stats: &mut MsedStats| {
-            let payload = random_payload(rng, code.data_bits());
-            let cw = code.encode(&payload);
-            let mut corrupted = cw;
-            for dev in rng.choose_k(n_devices, config.failing_devices) {
-                let pattern = rng.nonzero_below(1 << device_bits);
-                corrupted = corrupted ^ (Word::from(pattern) << (dev as u32 * device_bits));
+    /// [`Self::fold`] into a `Vec` sink (the arbitrary-`k` path).
+    fn fold_into(&self, strikes: &[(usize, u16)], errors: &mut Vec<(usize, u16)>) {
+        self.fold(strikes, |sym, val| {
+            match errors.iter_mut().find(|e| e.0 == sym) {
+                Some(e) => e.1 ^= val,
+                None => errors.push((sym, val)),
             }
-            stats.record(classify_rs_wide(
-                code,
-                device_bits,
-                mode,
-                &payload,
-                &corrupted,
-            ));
-        },
-    )
+        });
+    }
+
+    /// Classifies one trial given its device strikes (fixed-capacity fold:
+    /// `MAX_STRIKES` devices of ≤ 16 bits over ≥ 2-bit symbols touch at
+    /// most 64 symbols).
+    fn classify(&self, rng: &mut Rng, strikes: &[(usize, u16)]) -> (Outcome, Option<u16>) {
+        let mut errors = [(0usize, 0u16); 64];
+        let mut n_errors = 0usize;
+        self.fold(strikes, |sym, val| {
+            if let Some(e) = errors[..n_errors].iter_mut().find(|e| e.0 == sym) {
+                e.1 ^= val;
+            } else {
+                errors[n_errors] = (sym, val);
+                n_errors += 1;
+            }
+        });
+        self.classify_errors(rng, &errors[..n_errors])
+    }
+
+    /// Classifies one trial from its folded per-symbol error values,
+    /// reproducing the wide `encode → corrupt → decode` classification
+    /// exactly (property-tested against it below). Symbol contents never
+    /// enter the decision except through the shortened-top range check,
+    /// where the top content is sampled uniformly on demand — the sampled
+    /// value (if any) is returned for reference reconstruction.
+    fn classify_errors(&self, rng: &mut Rng, errors: &[(usize, u16)]) -> (Outcome, Option<u16>) {
+        let synd = self.code.error_syndromes(errors);
+        let synd = &synd[..self.parity];
+        if synd.iter().all(|&s| s == 0) {
+            return (Outcome::Silent, None);
+        }
+        let Some(located) = self.code.inner().locate_errors_fixed(synd) else {
+            return (Outcome::Detected, None);
+        };
+        let corrections = located.corrections();
+        let injected_at = |pos: usize| {
+            errors
+                .iter()
+                .find(|&&(s, _)| s == pos)
+                .map_or(0, |&(_, e)| e)
+        };
+        let mut top_content = None;
+        for &(symbol, value) in corrections {
+            if symbol == self.top {
+                // Shortened-code check: sample the top symbol's stored
+                // content and reject corrections escaping its width.
+                let original = rng.next_u64() as u16 & self.top_mask;
+                top_content = Some(original);
+                if original ^ injected_at(symbol) ^ value > self.top_mask {
+                    return (Outcome::Detected, top_content);
+                }
+            }
+        }
+        // The read is right iff the corrections cancel the injected
+        // corruption on every data symbol (positions ≥ 2t).
+        let corrected_at = |pos: usize| {
+            corrections
+                .iter()
+                .find(|&&(s, _)| s == pos)
+                .map_or(0, |&(_, v)| v)
+        };
+        let wrong = errors
+            .iter()
+            .map(|&(s, _)| s)
+            .chain(corrections.iter().map(|&(s, _)| s))
+            .filter(|&s| s >= self.parity)
+            .any(|s| injected_at(s) ^ corrected_at(s) != 0);
+        let outcome = if !wrong {
+            Outcome::Corrected
+        } else {
+            match self.mode {
+                RsDetectMode::SymbolSyndromes => Outcome::Miscorrected,
+                RsDetectMode::DeviceConfined => {
+                    if corrections.iter().all(|&(symbol, value)| {
+                        error_confined_to_device(self.code, self.device_bits, symbol, value)
+                    }) {
+                        Outcome::Miscorrected
+                    } else {
+                        Outcome::Detected
+                    }
+                }
+            }
+        };
+        (outcome, top_content)
+    }
 }
 
-/// Wide-decode outcome classification shared by the reference pipeline and
-/// the equivalence tests.
+/// Wide-decode outcome classification: the property-test oracle the
+/// error-domain path is validated against (the retired runtime fallback).
+#[cfg(test)]
 fn classify_rs_wide(
     code: &RsMemoryCode,
     device_bits: u32,
@@ -642,17 +655,28 @@ mod tests {
     /// trial's device strikes plus its (lazily sampled) top-symbol content
     /// fully determine the outcome, so reconstruct a payload consistent
     /// with the observation, run the real encode → corrupt → decode
-    /// pipeline, and compare — across geometries, shortened tops, and both
-    /// detect modes.
+    /// pipeline, and compare — across geometries, shortened tops, both
+    /// detect modes, and both `t` values (the `t = 2` wide fallback is
+    /// retired; this oracle is all that remains of it).
     #[test]
     fn rs_fast_classification_matches_wide() {
-        for (sym_bits, device_bits) in [(8u32, 4u32), (5, 4), (8, 8), (6, 4)] {
-            let code = RsMemoryCode::new(sym_bits, 144, 1).unwrap();
+        for (sym_bits, device_bits, t) in [
+            (8u32, 4u32, 1usize),
+            (5, 4, 1),
+            (8, 8, 1),
+            (6, 4, 1),
+            (5, 8, 1), // x8 device straddles THREE 5-bit symbols
+            (8, 4, 2),
+            (8, 8, 2),
+            (5, 4, 2),
+            (5, 8, 2),
+        ] {
+            let code = RsMemoryCode::new(sym_bits, 144, t).unwrap();
             for mode in [RsDetectMode::SymbolSyndromes, RsDetectMode::DeviceConfined] {
                 let ctx = RsFastMsed::new(&code, device_bits, mode);
-                let mut rng = Rng::seeded(0x5EED ^ sym_bits as u64);
+                let mut rng = Rng::seeded(0x5EED ^ sym_bits as u64 ^ (t as u64) << 32);
                 for trial in 0..400u64 {
-                    let k = 1 + (trial % 3) as usize;
+                    let k = 1 + (trial % 4) as usize;
                     let mut strikes: Vec<(usize, u16)> = Vec::new();
                     while strikes.len() < k {
                         let dev = rng.below(ctx.n_devices as u64) as usize;
@@ -678,7 +702,7 @@ mod tests {
                     let wide = classify_rs_wide(&code, device_bits, mode, &payload, &corrupted);
                     assert_eq!(
                         fast, wide,
-                        "s={sym_bits} db={device_bits} {mode:?} trial {trial}: {strikes:?}"
+                        "s={sym_bits} db={device_bits} t={t} {mode:?} trial {trial}: {strikes:?}"
                     );
                 }
             }
@@ -686,9 +710,10 @@ mod tests {
     }
 
     #[test]
-    fn many_failing_devices_take_the_wide_path() {
-        // k beyond the fixed-capacity fast path falls back to wide-word
-        // trials instead of panicking.
+    fn many_failing_devices_take_the_generic_content_path() {
+        // k beyond the fixed-capacity inline arrays routes through the
+        // Vec-based distinct sampler — still syndrome-domain, no wide
+        // words, no panic.
         let config = MsedConfig {
             failing_devices: 10,
             trials: 200,
@@ -701,9 +726,26 @@ mod tests {
         // rest are detected.
         let rate = stats.detection_rate();
         assert!((60.0..95.0).contains(&rate), "rate {rate}");
-        let rs = RsMemoryCode::new(8, 144, 1).unwrap();
-        let stats = rs_msed(&rs, 4, RsDetectMode::DeviceConfined, config);
-        assert_eq!(stats.total(), 200);
+        for t in [1usize, 2] {
+            let rs = RsMemoryCode::new(8, 144, t).unwrap();
+            let stats = rs_msed(&rs, 4, RsDetectMode::DeviceConfined, config);
+            assert_eq!(stats.total(), 200, "t={t}");
+        }
+    }
+
+    #[test]
+    fn rs_t2_corrects_double_device_errors_in_syndrome_space() {
+        // A t = 2 code corrects any two-device strike nested inside two RS
+        // symbols — the case the retired wide-PGZ fallback used to decode
+        // per trial.
+        let code = RsMemoryCode::new(8, 144, 2).unwrap();
+        let stats = rs_msed(
+            &code,
+            8, // x8 devices == whole symbols: every 2-device error in-model
+            RsDetectMode::SymbolSyndromes,
+            quick(2_000),
+        );
+        assert_eq!(stats.corrected, 2_000, "{stats:?}");
     }
 
     #[test]

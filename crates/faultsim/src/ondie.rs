@@ -27,14 +27,19 @@
 //! flips, folds the 8-bit on-die syndrome from a 136-entry column table,
 //! and hands the surviving rank-visible XOR pattern to the incremental
 //! MUSE residue kernel. No 136-bit word is ever encoded or decoded; the
-//! wide pipeline survives as the fallback for rank codes without a kernel
-//! and as the property-tested reference.
+//! wide pipeline survives only as the property-tested reference (rank
+//! codes without a syndrome kernel are rejected).
 
-use muse_core::{Decoded, MuseCode};
-use muse_secded::{SecDecoded, SecDed, Word};
+#[cfg(test)]
+use muse_core::Decoded;
+use muse_core::MuseCode;
+use muse_secded::SecDed;
+#[cfg(test)]
+use muse_secded::{SecDecoded, Word};
 
 use crate::engine::{SimEngine, Tally};
 use crate::fastpath::{classify, CodewordScratch, TrialOutcome};
+#[cfg(test)]
 use crate::random_payload;
 use crate::rng::{Bounded32, CountCdf};
 use crate::Rng;
@@ -220,8 +225,9 @@ pub fn simulate_stack_threaded(
     let seed = seed ^ 0x0D1E;
 
     match code {
-        Some(c) => match c.kernel() {
-            Some(kernel) => {
+        Some(c) => {
+            let kernel = crate::require_kernel(c, "rank-level flip-position");
+            {
                 let n_dev = kernel.num_symbols();
                 engine.run_blocked(
                     seed,
@@ -258,8 +264,7 @@ pub fn simulate_stack_threaded(
                     },
                 )
             }
-            None => simulate_stack_wide(stack, code, cell_p, words, seed, threads, &ondie),
-        },
+        }
         None => {
             // No rank code: 16 devices feed a raw 64-bit word; the read is
             // silently wrong iff any device leaves a visible residual flip.
@@ -291,8 +296,9 @@ pub fn simulate_stack_threaded(
 }
 
 /// The wide-word reference pipeline: encodes and decodes real on-die words.
-/// Used for rank codes outside the kernel's tabulation limits and as the
-/// cross-validated reference for the flip-position fast path.
+/// The retired runtime fallback, surviving only as the cross-validated
+/// oracle for the flip-position fast path.
+#[cfg(test)]
 fn simulate_stack_wide(
     stack: Stack,
     code: Option<&MuseCode>,
@@ -441,6 +447,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "carries no syndrome kernel")]
+    fn kernel_less_rank_code_panics() {
+        // The wide runtime fallback is retired: a rank code without a
+        // kernel is a caller error, not a silent slow path.
+        let mut code = presets::muse_144_132();
+        code.disable_syndrome_kernel();
+        let _ = simulate_stack(Stack::RankOnly, Some(&code), 1e-3, 10, 1);
+    }
+
+    #[test]
     fn zero_fault_rate_is_perfect() {
         let code = presets::muse_144_132();
         for stack in [
@@ -505,14 +521,23 @@ mod tests {
         }
     }
 
-    /// Fast path vs the wide reference pipeline, statistically: same rates
-    /// within Monte-Carlo tolerance.
+    /// Fast path vs the wide oracle pipeline, statistically: same rates
+    /// within Monte-Carlo tolerance. (The oracle is no longer reachable at
+    /// runtime — kernel-less rank codes panic — so it is driven directly.)
     #[test]
     fn fast_path_consistent_with_wide_reference() {
-        let mut code = presets::muse_144_132();
+        let code = presets::muse_144_132();
         let fast = simulate_stack(Stack::Stacked, Some(&code), 2e-3, 2_000, 7);
-        code.disable_syndrome_kernel();
-        let wide = simulate_stack(Stack::Stacked, Some(&code), 2e-3, 2_000, 7);
+        let ondie = SecDed::hamming_sec(136, 128).expect("DDR5 on-die geometry");
+        let wide = simulate_stack_wide(
+            Stack::Stacked,
+            Some(&code),
+            2e-3,
+            2_000,
+            7 ^ 0x0D1E,
+            0,
+            &ondie,
+        );
         assert_eq!(fast.total(), wide.total());
         let tol = 0.05 * fast.total() as f64;
         assert!(

@@ -127,43 +127,7 @@ pub fn simulate_retention_threaded(
 ) -> RetentionStats {
     let p = model.cell_failure_probability(t_ms);
     let engine = SimEngine::new(threads);
-    let Some(kernel) = code.kernel() else {
-        // Layout outside the kernel's tabulation limits: wide-word trials,
-        // still engine-parallel.
-        return engine.run(seed, words, |_, rng, stats: &mut RetentionStats| {
-            let payload = crate::random_payload(rng, code.k_bits());
-            let stored = code.encode(&payload);
-            let mut leaked = stored;
-            let mut any = false;
-            for bit in 0..code.n_bits() {
-                if stored.bit(bit) && rng.chance(p) {
-                    leaked.set_bit(bit, false);
-                    any = true;
-                }
-            }
-            if !any {
-                stats.clean += 1;
-                return;
-            }
-            match code.decode(&leaked) {
-                muse_core::Decoded::Clean { payload: read } => {
-                    if read == payload {
-                        stats.clean += 1;
-                    } else {
-                        stats.silent_corruptions += 1;
-                    }
-                }
-                muse_core::Decoded::Corrected { payload: read, .. } => {
-                    if read == payload {
-                        stats.corrected += 1;
-                    } else {
-                        stats.miscorrected += 1;
-                    }
-                }
-                muse_core::Decoded::Detected => stats.uncorrectable += 1,
-            }
-        });
-    };
+    let kernel = crate::require_kernel(code, "retention");
     // Per-symbol *candidate* counts: a cell is a leak candidate with
     // probability `p` independent of its stored value; only candidates over
     // stored 1-bits actually flip (`mask & content`). Sampling the count

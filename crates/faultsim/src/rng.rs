@@ -196,6 +196,20 @@ impl Rng {
     }
 }
 
+/// The classification backends in `muse-core`/`muse-rs` draw their lazily
+/// sampled contents through this trait; the provided combinators mirror
+/// [`Rng`]'s own derivations bit-for-bit, so classifying through a backend
+/// consumes exactly the stream a hand-rolled loop would.
+impl muse_core::Entropy for Rng {
+    fn next_u64(&mut self) -> u64 {
+        Rng::next_u64(self)
+    }
+
+    fn fill_u64s(&mut self, out: &mut [u64]) {
+        Rng::fill_u64s(self, out)
+    }
+}
+
 /// Inverse-CDF sampler for a small discrete count distribution, with the
 /// cumulative probabilities quantized to the full `u64` range.
 ///
@@ -295,8 +309,9 @@ impl CountCdf {
     }
 }
 
-/// A uniform integer sampler over `[0, bound)` with its Lemire rejection
-/// constant precomputed.
+/// The precomputed-Lemire bounded sampler, shared with the classification
+/// backends (defined next to the [`muse_core::Entropy`] trait so both
+/// crates draw from one implementation — and one stream).
 ///
 /// [`Rng::below`] recomputes `2^64 mod bound` (a 64-bit division) on every
 /// rejection check; a `Bounded32` pays that division once at configuration
@@ -317,103 +332,7 @@ impl CountCdf {
 /// device.fill(&mut rng, &mut batch);
 /// assert!(batch.iter().all(|&v| v < 36));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Bounded32 {
-    bound: u32,
-    threshold: u32,
-}
-
-impl Bounded32 {
-    /// A sampler over `[0, bound)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound == 0`.
-    pub fn new(bound: u32) -> Self {
-        assert!(bound > 0, "empty sampling range");
-        Self {
-            bound,
-            threshold: bound.wrapping_neg() % bound,
-        }
-    }
-
-    /// The exclusive upper bound.
-    pub fn bound(&self) -> u32 {
-        self.bound
-    }
-
-    /// Maps one 32-bit half-draw to a sample, or `None` when the draw lands
-    /// in the rejection zone (probability `< bound / 2^32`).
-    #[inline]
-    pub fn map(&self, half: u32) -> Option<u32> {
-        let m = half as u64 * self.bound as u64;
-        if (m as u32) >= self.threshold {
-            Some((m >> 32) as u32)
-        } else {
-            None
-        }
-    }
-
-    /// Draws one sample (bias-free; consumes fresh draws on rejection).
-    #[inline]
-    pub fn sample(&self, rng: &mut Rng) -> u32 {
-        loop {
-            let raw = rng.next_u64();
-            if let Some(v) = self.map(raw as u32) {
-                return v;
-            }
-            if let Some(v) = self.map((raw >> 32) as u32) {
-                return v;
-            }
-        }
-    }
-
-    /// Maps `half` to a sample, falling back to fresh draws on rejection —
-    /// the building block for packing several bounded samples into one raw
-    /// `u64`.
-    #[inline]
-    pub fn of_half(&self, rng: &mut Rng, half: u32) -> u32 {
-        match self.map(half) {
-            Some(v) => v,
-            None => self.sample(rng),
-        }
-    }
-
-    /// Bounded-batch rejection sampling: fills `out` with independent
-    /// uniform samples, drawing raw `u64`s in blocks (two samples per raw
-    /// draw in the common no-rejection case).
-    pub fn fill(&self, rng: &mut Rng, out: &mut [u32]) {
-        if self.threshold == 0 {
-            // Power-of-two-divisible bound: rejection-free, two samples per
-            // raw draw in a branchless loop.
-            let mut chunks = out.chunks_exact_mut(2);
-            for pair in &mut chunks {
-                let raw = rng.next_u64();
-                pair[0] = ((raw as u32 as u64 * self.bound as u64) >> 32) as u32;
-                pair[1] = (((raw >> 32) * self.bound as u64) >> 32) as u32;
-            }
-            if let [last] = chunks.into_remainder() {
-                *last = ((rng.next_u64() as u32 as u64 * self.bound as u64) >> 32) as u32;
-            }
-            return;
-        }
-        let mut raws = [0u64; 32];
-        let mut slots = out.iter_mut();
-        loop {
-            rng.fill_u64s(&mut raws);
-            for &raw in &raws {
-                for half in [raw as u32, (raw >> 32) as u32] {
-                    if let Some(v) = self.map(half) {
-                        match slots.next() {
-                            Some(slot) => *slot = v,
-                            None => return,
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
+pub use muse_core::Bounded32;
 
 #[cfg(test)]
 mod tests {

@@ -170,42 +170,49 @@ fn fit_identical_across_thread_counts() {
 }
 
 #[test]
-fn kernel_less_fallback_is_deterministic_and_consistent() {
-    // Codes outside the kernel's tabulation limits run wide-word trials on
-    // the same engine: still bit-identical across thread counts, and
-    // statistically consistent with the kernel path.
-    let mut code = presets::muse_144_132();
-    let fast = muse_msed(
-        &code,
-        MsedConfig {
-            trials: 4_000,
-            ..MsedConfig::default()
-        },
-    );
-    code.disable_syndrome_kernel();
-    assert!(code.kernel().is_none());
+fn beyond_capacity_strike_counts_stay_deterministic() {
+    // Strike counts beyond the fixed-capacity inline arrays route through
+    // the Vec-based distinct sampler (the wide-word fallbacks are retired):
+    // still syndrome-domain, still bit-identical across thread counts.
+    let muse = presets::muse_144_132();
     let config = |threads| MsedConfig {
-        trials: 4_000,
+        failing_devices: 10,
+        trials: 2_000,
+        seed: 0xB16,
+        threads,
+    };
+    let serial = muse_msed(&muse, config(1));
+    assert_eq!(serial, muse_msed(&muse, config(4)));
+    assert_eq!(serial.total(), 2_000);
+
+    for t in [1usize, 2] {
+        let rs = RsMemoryCode::new(8, 144, t).expect("geometry");
+        let serial = rs_msed(&rs, 4, RsDetectMode::DeviceConfined, config(1));
+        assert_eq!(
+            serial,
+            rs_msed(&rs, 4, RsDetectMode::DeviceConfined, config(4)),
+            "t={t}"
+        );
+        assert_eq!(serial.total(), 2_000);
+    }
+}
+
+#[test]
+fn rs_t2_msed_identical_across_thread_counts() {
+    // The t = 2 syndrome-domain path (the retired wide-PGZ fallback's
+    // replacement) obeys the same determinism contract as everything else.
+    let code = RsMemoryCode::new(8, 144, 2).expect("geometry");
+    let config = |threads| MsedConfig {
+        trials: 1_500,
         threads,
         ..MsedConfig::default()
     };
-    let serial = muse_msed(&code, config(1));
-    assert_eq!(serial, muse_msed(&code, config(4)));
-    assert_eq!(serial.total(), 4_000);
-    assert!(
-        (serial.detection_rate() - fast.detection_rate()).abs() < 3.0,
-        "wide {} vs kernel {}",
-        serial.detection_rate(),
-        fast.detection_rate()
-    );
-
-    let model = RetentionModel {
-        weak_fraction: 2e-3,
-        ..RetentionModel::default()
-    };
-    let retention_serial = simulate_retention_threaded(&code, &model, 2048.0, 2_000, 7, 1);
-    let retention_parallel = simulate_retention_threaded(&code, &model, 2048.0, 2_000, 7, 4);
-    assert_eq!(retention_serial.total(), retention_parallel.total());
-    assert_eq!(retention_serial.clean, retention_parallel.clean);
-    assert_eq!(retention_serial.corrected, retention_parallel.corrected);
+    let serial = rs_msed(&code, 4, RsDetectMode::DeviceConfined, config(1));
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            rs_msed(&code, 4, RsDetectMode::DeviceConfined, config(threads)),
+            "threads={threads}"
+        );
+    }
 }

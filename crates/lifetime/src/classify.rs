@@ -1,417 +1,84 @@
-//! Content-space word-read classification for healthy and degraded
-//! (erasure-mode) operation.
+//! Fleet wiring over the unified syndrome-domain classification backends.
 //!
-//! A word read is classified from (a) the set of known-failed devices the
-//! controller decodes around (the *erased* set) and (b) the transient /
-//! permanent disturbances striking the word ([`Strike`]s). No codeword is
-//! materialized:
-//!
-//! * **MUSE** reads run on the [`SyndromeKernel`] residue algebra — symbol
-//!   contents are sampled lazily (uniform payload bits, check bits from a
-//!   lazily drawn check value, exactly the `muse-faultsim` content-space
-//!   discipline), the survivors' syndrome contribution accumulates through
-//!   [`SyndromeKernel::residue`]/[`SyndromeKernel::flip_delta`], and
-//!   degraded reads finish with one [`ErasureTable::solve`] lookup.
-//! * **Reed-Solomon** reads run in the error-value domain —
-//!   [`RsMemoryCode::error_syndromes`] over the folded device strikes, then
-//!   [`RsCode::locate_errors`](muse_rs::RsCode::locate_errors) (healthy) or
-//!   [`RsCode::erasure_magnitudes`](muse_rs::RsCode::erasure_magnitudes)
-//!   (degraded). Dead-chip contents never enter the outcome: the erasure
-//!   solve compensates any value they take, so the simulator does not
-//!   sample them.
-//!
-//! The wide decoders (`MuseCode::decode`/`recover_erasures`,
-//! `RsMemoryCode::decode`, `RsCode::decode_erasures`) are the
-//! property-tested oracles — see the `#[cfg(test)]` suite at the bottom,
-//! which replays every classification against a reconstructed wide word.
+//! The per-family classifiers live with their codes — [`MuseClassifier`]
+//! in `muse-core` (residue algebra + combined erasure-plus-error solve)
+//! and [`RsClassifier`] in `muse-rs` (GF error syndromes + Forney-style
+//! combined decoding) — both implementing [`muse_core::Classifier`]. This
+//! module folds them into one [`FleetBackend`] enum so the fleet engine
+//! classifies every word read through a single interface, and hosts the
+//! wide-decoder **oracle tests**: the retired wide pipelines
+//! (`MuseCode::decode`, filling enumeration over `MuseCode::remainder`,
+//! `RsMemoryCode::decode`, `RsCode::decode_erasures`) survive only here,
+//! replaying every classification against a reconstructed wide word.
 
-use muse_core::{ErasureSolve, ErasureTable, FastDecode, SyndromeKernel};
-use muse_faultsim::{Bounded32, Rng};
-use muse_rs::RsMemoryCode;
+use muse_core::{Classifier, Entropy, MuseClassifier, MuseContext, Strike, WordRead};
+use muse_rs::{RsClassifier, RsContext};
 
-/// Outcome of reading one word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WordRead {
-    /// The data read back correct (possibly after correction / erasure
-    /// recovery).
-    Correct,
-    /// Detected-but-uncorrectable: a DUE the machine must handle.
-    Due,
-    /// The word read back wrong without a flag — silent data corruption.
-    Sdc,
+use crate::FleetCode;
+
+/// The per-worker classification backend for one [`FleetCode`]: MUSE or
+/// Reed-Solomon, dispatching to the family's syndrome-domain classifier.
+pub enum FleetBackend<'a> {
+    /// MUSE residue-space classification ([`MuseClassifier`]).
+    Muse(MuseClassifier<'a>),
+    /// Reed-Solomon error-domain classification ([`RsClassifier`]).
+    Rs(RsClassifier<'a>),
 }
 
-/// One device-level disturbance of a word read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strike {
-    /// XOR this pattern onto the device's bits (transient upset patterns,
-    /// permanent-fault garbage).
-    Xor(u16),
-    /// Asymmetric (retention-style) discharge of one bit: the cell flips
-    /// only if it currently stores a 1 (Section III-C's `1→0` model).
-    AsymBit(u8),
+/// The resolved decode context of a [`FleetBackend`] for one erased set.
+pub enum FleetContext {
+    /// MUSE context (healthy, or an [`muse_core::ErasureTable`]).
+    Muse(MuseContext),
+    /// RS context (healthy, or the erased symbol positions).
+    Rs(RsContext),
 }
 
-/// Lazily sampled per-symbol contents of one MUSE word, in the
-/// `muse-faultsim` content-space discipline: payload bits uniform, check
-/// bits from a check value drawn uniformly over `[0, m)` on first use.
-pub struct MuseContents {
-    contents: Vec<u16>,
-    stamps: Vec<u64>,
-    generation: u64,
-    x: Option<u64>,
-    x_pick: Bounded32,
-    pinned: bool,
-}
-
-impl MuseContents {
-    /// Fresh sampler for a kernel's symbol geometry.
-    pub fn new(kernel: &SyndromeKernel) -> Self {
-        Self {
-            contents: vec![0; kernel.num_symbols()],
-            stamps: vec![u64::MAX; kernel.num_symbols()],
-            generation: 0,
-            x: None,
-            x_pick: Bounded32::new(u32::try_from(kernel.modulus()).expect("kernel moduli fit u32")),
-            pinned: false,
-        }
-    }
-
-    /// Starts a fresh word read: every symbol content (and the check value)
-    /// is resampled on next observation. No-op while pinned.
-    #[inline]
-    pub fn begin(&mut self) {
-        if !self.pinned {
-            self.generation = self.generation.wrapping_add(1);
-            self.x = None;
-        }
-    }
-
-    /// Test hook: pins every symbol content (and the check value) to those
-    /// of a real codeword, so a classification replays a wide-word read
-    /// exactly.
-    #[cfg(test)]
-    pub fn pin(&mut self, contents: &[u16], x: u64) {
-        self.generation = self.generation.wrapping_add(1);
-        self.contents.copy_from_slice(contents);
-        for stamp in &mut self.stamps {
-            *stamp = self.generation;
-        }
-        self.x = Some(x);
-        self.pinned = true;
-    }
-
-    /// The stored content of `sym`, sampled on first observation per read.
-    #[inline]
-    fn content(&mut self, kernel: &SyndromeKernel, rng: &mut Rng, sym: usize) -> u16 {
-        if self.stamps[sym] != self.generation {
-            let raw = rng.next_u64() as u16;
-            let content = if kernel.needs_check_value(sym) {
-                let x = match self.x {
-                    Some(x) => x,
-                    None => {
-                        let x = self.x_pick.sample(rng) as u64;
-                        self.x = Some(x);
-                        x
-                    }
-                };
-                kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), x)
-            } else {
-                raw & kernel.width_mask(sym)
-            };
-            self.contents[sym] = content;
-            self.stamps[sym] = self.generation;
-        }
-        self.contents[sym]
-    }
-
-    /// Resolves a strike to its XOR pattern on `sym`'s current content.
-    #[inline]
-    fn resolve(&mut self, kernel: &SyndromeKernel, rng: &mut Rng, sym: usize, s: Strike) -> u16 {
-        match s {
-            Strike::Xor(p) => p,
-            Strike::AsymBit(bit) => (1 << bit) & self.content(kernel, rng, sym),
+impl<'a> FleetBackend<'a> {
+    /// Builds the backend for a fleet code.
+    pub fn new(code: &'a FleetCode) -> Self {
+        match code {
+            FleetCode::Muse(mc) => Self::Muse(MuseClassifier::new(
+                mc.kernel().expect("fleet MUSE codes carry a kernel"),
+            )),
+            FleetCode::Rs { code, device_bits } => Self::Rs(RsClassifier::new(code, *device_bits)),
         }
     }
 }
 
-/// Classifies one MUSE word read.
-///
-/// `erased` is the controller's known-failed device set (empty = healthy
-/// decode; non-empty = degraded decode through `table`, which must be the
-/// [`ErasureTable`] built for exactly that set). Strikes must name
-/// non-erased symbols — a dead chip's output never reaches the decoder.
-pub fn classify_muse(
-    kernel: &SyndromeKernel,
-    table: Option<&ErasureTable>,
-    strikes: &[(u16, Strike)],
-    contents: &mut MuseContents,
-    rng: &mut Rng,
-) -> WordRead {
-    assert!(strikes.len() <= 16, "at most 16 strikes per word read");
-    contents.begin();
-    let m = kernel.modulus();
-    match table {
-        None => {
-            // Healthy decode: accumulate the strikes' syndrome and run the
-            // fused classify/correct stages.
-            let mut rem = 0u64;
-            let mut payload_touched = false;
-            let mut resolved = [(0usize, 0u16); 16];
-            let mut n = 0usize;
-            for &(dev, s) in strikes {
-                let sym = dev as usize;
-                let pattern = contents.resolve(kernel, rng, sym, s);
-                if pattern == 0 {
-                    continue;
-                }
-                let content = contents.content(kernel, rng, sym);
-                rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
-                payload_touched |= pattern & kernel.payload_mask(sym) != 0;
-                resolved[n] = (sym, pattern);
-                n += 1;
-            }
-            let resolved = &resolved[..n];
-            if rem == 0 {
-                return if payload_touched {
-                    WordRead::Sdc
-                } else {
-                    WordRead::Correct
-                };
-            }
-            match kernel.classify(rem) {
-                FastDecode::Clean => unreachable!("nonzero remainder"),
-                FastDecode::Detected => WordRead::Due,
-                FastDecode::Correct { symbol } => {
-                    let original = contents.content(kernel, rng, symbol);
-                    let injected = resolved
-                        .iter()
-                        .find(|&&(s, _)| s == symbol)
-                        .map_or(0, |&(_, p)| p);
-                    match kernel.correct(rem, original ^ injected) {
-                        None => WordRead::Due,
-                        Some(corrected) => {
-                            let restored = (corrected ^ original) & kernel.payload_mask(symbol)
-                                == 0
-                                && resolved
-                                    .iter()
-                                    .all(|&(s, p)| s == symbol || p & kernel.payload_mask(s) == 0);
-                            if restored {
-                                WordRead::Correct
-                            } else {
-                                WordRead::Sdc
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Some(table) => {
-            // Degraded decode: the survivors' syndrome contribution, then
-            // one erasure-table lookup. The intact word has syndrome 0, so
-            // Σ_{s∉E} R_s(orig) = −Σ_{s∈E} R_s(orig); strikes on survivors
-            // then move it by flip_delta.
-            let mut rem_rest = 0u64;
-            for &s in table.symbols() {
-                let r = kernel.residue(s, contents.content(kernel, rng, s));
-                rem_rest = kernel.add_mod(rem_rest, if r == 0 { 0 } else { m - r });
-            }
-            let mut payload_touched = false;
-            for &(dev, s) in strikes {
-                let sym = dev as usize;
-                debug_assert!(
-                    !table.symbols().contains(&sym),
-                    "strikes on erased devices never reach the decoder"
-                );
-                let pattern = contents.resolve(kernel, rng, sym, s);
-                if pattern == 0 {
-                    continue;
-                }
-                let content = contents.content(kernel, rng, sym);
-                rem_rest = kernel.add_mod(rem_rest, kernel.flip_delta(sym, content, pattern));
-                payload_touched |= pattern & kernel.payload_mask(sym) != 0;
-            }
-            let target = if rem_rest == 0 { 0 } else { m - rem_rest };
-            match table.solve(target) {
-                ErasureSolve::None | ErasureSolve::Ambiguous => WordRead::Due,
-                ErasureSolve::Unique(filling) => {
-                    let mut wrong = payload_touched;
-                    for (i, &s) in table.symbols().iter().enumerate() {
-                        let original = contents.content(kernel, rng, s);
-                        wrong |=
-                            (table.content_of(filling, i) ^ original) & kernel.payload_mask(s) != 0;
-                    }
-                    if wrong {
-                        WordRead::Sdc
-                    } else {
-                        WordRead::Correct
-                    }
-                }
-            }
-        }
-    }
-}
+impl Classifier for FleetBackend<'_> {
+    type Context = FleetContext;
 
-/// Error-domain classification context for a Reed-Solomon fleet code.
-///
-/// Fleet geometries are restricted to the clean case: whole symbols per
-/// channel (no shortened top) and devices nested inside symbols, which the
-/// constructor asserts.
-pub struct RsClassifier {
-    device_bits: u32,
-    devices_per_symbol: u32,
-    /// `2t` — parity symbols / syndrome count.
-    parity: usize,
-    n_symbols: usize,
-}
-
-impl RsClassifier {
-    /// Builds the context, validating the geometry.
-    pub fn new(code: &RsMemoryCode, device_bits: u32) -> Self {
-        assert_eq!(
-            code.top_symbol_bits(),
-            code.symbol_bits(),
-            "fleet RS codes use whole symbols (no shortened top)"
-        );
-        assert_eq!(
-            code.symbol_bits() % device_bits,
-            0,
-            "devices must nest inside RS symbols"
-        );
-        Self {
-            device_bits,
-            devices_per_symbol: code.symbol_bits() / device_bits,
-            parity: 2 * code.inner().t(),
-            n_symbols: code.n_symbols(),
+    fn devices(&self) -> usize {
+        match self {
+            Self::Muse(b) => b.devices(),
+            Self::Rs(b) => b.devices(),
         }
     }
 
-    /// Number of physical devices on the channel.
-    pub fn devices(&self) -> usize {
-        self.n_symbols * self.devices_per_symbol as usize
+    fn device_width(&self, dev: u16) -> u32 {
+        match self {
+            Self::Muse(b) => b.device_width(dev),
+            Self::Rs(b) => b.device_width(dev),
+        }
     }
 
-    /// The RS symbol a device's bits live in.
-    #[inline]
-    pub fn symbol_of_device(&self, dev: u16) -> usize {
-        (dev as u32 / self.devices_per_symbol) as usize
+    fn resolve(&self, erased: &[u16]) -> Option<FleetContext> {
+        match self {
+            Self::Muse(b) => b.resolve(erased).map(FleetContext::Muse),
+            Self::Rs(b) => b.resolve(erased).map(FleetContext::Rs),
+        }
     }
 
-    /// Classifies one RS word read against the erased symbol positions
-    /// (`erased`, sorted, `≤ 2t`) and the strikes. Strikes on erased
-    /// symbols are permitted — the erasure solve absorbs them (the whole
-    /// symbol is reconstructed) — and dead-chip garbage is *not* passed:
-    /// the solve compensates any value a dead chip emits, so its content
-    /// cannot affect the outcome.
-    pub fn classify(
-        &self,
-        code: &RsMemoryCode,
-        erased: &[usize],
+    fn classify<E: Entropy>(
+        &mut self,
+        ctx: &FleetContext,
         strikes: &[(u16, Strike)],
-        rng: &mut Rng,
+        entropy: &mut E,
     ) -> WordRead {
-        debug_assert!(erased.len() <= self.parity);
-        // Fold device strikes into per-symbol error values.
-        let mut errors = [(0usize, 0u16); 16];
-        let mut n = 0usize;
-        for &(dev, s) in strikes {
-            let value = match s {
-                Strike::Xor(p) => p,
-                // Asymmetric discharge: the struck cell stores 1 with
-                // probability 1/2 under uniform contents.
-                Strike::AsymBit(bit) => {
-                    if rng.chance(0.5) {
-                        1 << bit
-                    } else {
-                        0
-                    }
-                }
-            };
-            if value == 0 {
-                continue;
-            }
-            let sym = self.symbol_of_device(dev);
-            let shifted = value << ((dev as u32 % self.devices_per_symbol) * self.device_bits);
-            match errors[..n].iter_mut().find(|e| e.0 == sym) {
-                Some(e) => e.1 ^= shifted,
-                None => {
-                    errors[n] = (sym, shifted);
-                    n += 1;
-                }
-            }
-        }
-        let errors = &errors[..n];
-        let data_start = self.parity;
-
-        if erased.is_empty() {
-            if errors.iter().all(|&(_, v)| v == 0) {
-                return WordRead::Correct;
-            }
-            let synd = code.error_syndromes(errors);
-            let synd = &synd[..self.parity];
-            if synd.iter().all(|&s| s == 0) {
-                // Aliased to a valid codeword: silent iff data symbols moved.
-                return if errors.iter().any(|&(p, v)| p >= data_start && v != 0) {
-                    WordRead::Sdc
-                } else {
-                    WordRead::Correct
-                };
-            }
-            match code.inner().locate_errors(synd) {
-                None => WordRead::Due,
-                Some(located) => {
-                    // Residual after correction: injected ⊕ located, per
-                    // position; data reads right iff it vanishes on every
-                    // data symbol.
-                    let residual_clean = |pos: usize| {
-                        let injected = errors
-                            .iter()
-                            .find(|&&(p, _)| p == pos)
-                            .map_or(0, |&(_, v)| v);
-                        let corrected = located
-                            .iter()
-                            .find(|&&(p, _)| p == pos)
-                            .map_or(0, |&(_, v)| v);
-                        injected ^ corrected == 0
-                    };
-                    let touched = errors
-                        .iter()
-                        .map(|&(p, _)| p)
-                        .chain(located.iter().map(|&(p, _)| p));
-                    if touched.filter(|&p| p >= data_start).all(residual_clean) {
-                        WordRead::Correct
-                    } else {
-                        WordRead::Sdc
-                    }
-                }
-            }
-        } else {
-            let synd = code.error_syndromes(errors);
-            match code
-                .inner()
-                .erasure_magnitudes(&synd[..self.parity], erased)
-            {
-                None => WordRead::Due,
-                Some(mags) => {
-                    // Residual: injected errors minus the applied erasure
-                    // corrections.
-                    let clean = |pos: usize| {
-                        let injected = errors
-                            .iter()
-                            .find(|&&(p, _)| p == pos)
-                            .map_or(0, |&(_, v)| v);
-                        let corrected =
-                            erased.iter().position(|&p| p == pos).map_or(0, |i| mags[i]);
-                        injected ^ corrected == 0
-                    };
-                    let touched = errors.iter().map(|&(p, _)| p).chain(erased.iter().copied());
-                    if touched.filter(|&p| p >= data_start).all(clean) {
-                        WordRead::Correct
-                    } else {
-                        WordRead::Sdc
-                    }
-                }
-            }
+        match (self, ctx) {
+            (Self::Muse(b), FleetContext::Muse(c)) => b.classify(c, strikes, entropy),
+            (Self::Rs(b), FleetContext::Rs(c)) => b.classify(c, strikes, entropy),
+            _ => unreachable!("context resolved for a different backend"),
         }
     }
 }
@@ -419,8 +86,9 @@ impl RsClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muse_core::{presets, MuseCode, Word};
-    use muse_rs::RsMemoryDecoded;
+    use muse_core::{presets, Decoded, MuseCode, Word};
+    use muse_faultsim::Rng;
+    use muse_rs::{RsMemoryCode, RsMemoryDecoded};
 
     fn preset_codes() -> Vec<MuseCode> {
         let mut codes = presets::table1();
@@ -428,9 +96,57 @@ mod tests {
         codes
     }
 
-    /// Every MUSE classification — healthy and degraded — must match the
-    /// wide pipeline on a pinned word: encode, strike, decode (or
-    /// erasure-recover) wide, compare outcome classes.
+    /// Wide combined-decode oracle for degraded MUSE reads: enumerate every
+    /// filling of the erased bits; a filling explains the read if the
+    /// filled word is divisible by `m` (pure erasure) or wide-decodes to a
+    /// confined correction on a *surviving* symbol (combined). Pure
+    /// erasure wins when it exists; otherwise the oracle commits only to a
+    /// unique combined explanation — exactly the
+    /// `ErasureTable::solve_combined` semantics, from the codeword side.
+    fn wide_combined_muse(code: &MuseCode, corrupted: &Word, erased: &[usize]) -> Option<Word> {
+        let map = code.symbol_map();
+        let erased_bits: Vec<u32> = erased
+            .iter()
+            .flat_map(|&s| map.bits_of(s).iter().copied())
+            .collect();
+        let mut base = *corrupted;
+        for &bit in &erased_bits {
+            base.set_bit(bit, false);
+        }
+        let mut pure: Option<Word> = None;
+        let mut pure_count = 0u32;
+        let mut combined: Option<Word> = None;
+        let mut combined_count = 0u32;
+        for filling in 0..1u64 << erased_bits.len() {
+            let mut cand = base;
+            for (i, &bit) in erased_bits.iter().enumerate() {
+                if filling >> i & 1 == 1 {
+                    cand.set_bit(bit, true);
+                }
+            }
+            if code.remainder(&cand) == 0 {
+                pure_count += 1;
+                pure = Some(cand >> code.r_bits());
+            } else if let Decoded::Corrected {
+                payload, symbol, ..
+            } = code.decode(&cand)
+            {
+                if !erased.contains(&symbol) {
+                    combined_count += 1;
+                    combined = Some(payload);
+                }
+            }
+        }
+        match (pure_count, combined_count) {
+            (1, _) => pure,
+            (0, 1) => combined,
+            _ => None,
+        }
+    }
+
+    /// Every MUSE classification — healthy and degraded (now with the
+    /// combined erasure-plus-error solve) — must match the wide pipeline
+    /// on a pinned word.
     #[test]
     fn muse_classification_matches_wide_oracle() {
         for code in preset_codes() {
@@ -439,7 +155,7 @@ mod tests {
             };
             let map = code.symbol_map();
             let n_sym = map.num_symbols();
-            let mut contents_ctx = MuseContents::new(kernel);
+            let mut backend = MuseClassifier::new(kernel);
             let mut rng = Rng::seeded(0x11FE ^ code.multiplier());
             for trial in 0..300u32 {
                 let mut limbs = [0u64; 5];
@@ -450,7 +166,7 @@ mod tests {
                 let cw = code.encode(&payload);
                 let contents = kernel.contents_of_word(map, &cw);
                 let x = (cw & Word::mask(code.r_bits())).to_u64().expect("r ≤ 32");
-                contents_ctx.pin(&contents, x);
+                backend.pin(&contents, x);
 
                 // 0..=2 erased devices, 0..=2 strikes on survivors.
                 let n_erased = (trial % 3) as usize;
@@ -480,14 +196,16 @@ mod tests {
                     continue;
                 }
 
-                let table = (!erased.is_empty()).then(|| kernel.erasure_table(&erased));
-                let fast = classify_muse(
-                    kernel,
-                    table.as_ref(),
-                    &strikes,
-                    &mut contents_ctx,
-                    &mut rng,
-                );
+                // Build the degraded context directly from the erasure
+                // table (the fleet's `resolve` additionally rejects
+                // non-injective sets as data loss; the oracle covers their
+                // classification semantics too).
+                let ctx = if erased.is_empty() {
+                    MuseContext::Healthy
+                } else {
+                    MuseContext::Degraded(kernel.erasure_table(&erased))
+                };
+                let fast = backend.classify(&ctx, &strikes, &mut rng);
 
                 // Wide replay: resolve each strike against the pinned
                 // contents exactly as the classifier does.
@@ -501,7 +219,7 @@ mod tests {
                 }
                 let wide = if erased.is_empty() {
                     match code.decode(&corrupted) {
-                        muse_core::Decoded::Detected => WordRead::Due,
+                        Decoded::Detected => WordRead::Due,
                         d => {
                             if d.payload() == Some(payload) {
                                 WordRead::Correct
@@ -511,7 +229,7 @@ mod tests {
                         }
                     }
                 } else {
-                    match code.recover_erasures(&corrupted, &erased) {
+                    match wide_combined_muse(&code, &corrupted, &erased) {
                         None => WordRead::Due,
                         Some(p) if p == payload => WordRead::Correct,
                         Some(_) => WordRead::Sdc,
@@ -527,14 +245,90 @@ mod tests {
         }
     }
 
+    /// The combined MUSE solve strictly extends the plain erasure solve:
+    /// it never downgrades a read the old erasure-only decoder recovered,
+    /// and it recovers some reads the old decoder flagged DUE.
+    #[test]
+    fn muse_combined_extends_plain_erasure_decoding() {
+        let code = presets::muse_80_69();
+        let kernel = code.kernel().expect("preset");
+        let mut backend = MuseClassifier::new(kernel);
+        let ctx = backend.resolve(&[7]).expect("capacity");
+        let mut rng = Rng::seeded(0xE57);
+        let mut recovered_beyond_plain = 0u32;
+        for trial in 0..400u32 {
+            let dev = ((8 + trial) % 20) as u16;
+            if dev == 7 {
+                continue;
+            }
+            let pattern = 1 + (trial % 15) as u16;
+            let fast = backend.classify(&ctx, &[(dev, Strike::Xor(pattern))], &mut rng);
+            assert_ne!(fast, WordRead::Sdc, "in-model transients never go silent");
+            // The plain solve can never explain a survivor error (the
+            // target residue has no filling — the old path's DUE), so
+            // every Correct here is the combined mode's contribution.
+            if fast == WordRead::Correct {
+                recovered_beyond_plain += 1;
+            }
+        }
+        assert!(
+            recovered_beyond_plain > 0,
+            "combined mode recovers reads plain erasure decoding flagged"
+        );
+    }
+
+    /// Brute-force combined-decode oracle for degraded RS reads, built on
+    /// the codeword-domain erasure decoder: erasure-only explanation
+    /// first, then every single-error position within the remaining
+    /// capacity, committing only to a unique consistent explanation.
+    fn wide_combined_rs(
+        code: &RsMemoryCode,
+        corrupted: &Word,
+        erased: &[usize],
+    ) -> Option<Vec<u16>> {
+        let rs = code.inner();
+        let symbols = code.to_symbols(corrupted);
+        if let Some(data) = rs.decode_erasures(&symbols, erased) {
+            return Some(data);
+        }
+        let e_max = (2 * rs.t() - erased.len()) / 2;
+        if e_max == 0 {
+            return None;
+        }
+        let synd = rs.syndromes(&symbols);
+        let mut found: Option<Vec<u16>> = None;
+        for q in 0..rs.n_symbols() {
+            if erased.contains(&q) {
+                continue;
+            }
+            let mut positions = erased.to_vec();
+            positions.push(q);
+            let Some(mags) = rs.erasure_magnitudes(&synd, &positions) else {
+                continue;
+            };
+            if *mags.last().expect("nonempty") == 0 {
+                continue;
+            }
+            if found.is_some() {
+                return None; // ambiguous explanation
+            }
+            let mut fixed = symbols.clone();
+            for (&p, &m) in positions.iter().zip(&mags) {
+                fixed[p] ^= m;
+            }
+            found = Some(fixed[2 * rs.t()..].to_vec());
+        }
+        found
+    }
+
     /// Every RS classification must match the wide pipeline: encode a
     /// random payload, apply the same folded errors, decode (healthy) or
-    /// erasure-decode (degraded) wide, compare outcome classes.
+    /// combined-decode (degraded) wide, compare outcome classes.
     #[test]
     fn rs_classification_matches_wide_oracle() {
         for (t, device_bits) in [(1usize, 4u32), (1, 8), (2, 4), (2, 8)] {
             let code = RsMemoryCode::new(8, 144, t).expect("geometry");
-            let ctx = RsClassifier::new(&code, device_bits);
+            let mut backend = RsClassifier::new(&code, device_bits);
             let mut rng = Rng::seeded(0x2512 + t as u64 * 100 + device_bits as u64);
             for trial in 0..400u32 {
                 let payload = {
@@ -558,7 +352,7 @@ mod tests {
 
                 let mut strikes: Vec<(u16, Strike)> = Vec::new();
                 for _ in 0..(trial / 5) % 4 {
-                    let dev = rng.below(ctx.devices() as u64) as u16;
+                    let dev = rng.below(backend.devices() as u64) as u16;
                     if strikes.iter().any(|&(d, _)| d == dev) {
                         continue;
                     }
@@ -568,7 +362,15 @@ mod tests {
                     continue;
                 }
 
-                let fast = ctx.classify(&code, &erased, &strikes, &mut rng);
+                // Resolve via erased *devices* covering exactly the erased
+                // symbols.
+                let devices_per_symbol = (code.symbol_bits() / device_bits) as u16;
+                let erased_devs: Vec<u16> = erased
+                    .iter()
+                    .map(|&s| s as u16 * devices_per_symbol)
+                    .collect();
+                let ctx = backend.resolve(&erased_devs).expect("within capacity");
+                let fast = backend.classify(&ctx, &strikes, &mut rng);
 
                 let mut corrupted = cw;
                 for &(dev, s) in &strikes {
@@ -587,8 +389,7 @@ mod tests {
                         }
                     }
                 } else {
-                    let symbols = code.to_symbols(&corrupted);
-                    match code.inner().decode_erasures(&symbols, &erased) {
+                    match wide_combined_rs(&code, &corrupted, &erased) {
                         None => WordRead::Due,
                         Some(data) => {
                             // Reassemble the payload from the data symbols.
@@ -617,10 +418,11 @@ mod tests {
         // A transient hitting the live device of an erased symbol is
         // reconstructed along with the dead half: fully corrected.
         let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
-        let ctx = RsClassifier::new(&code, 4);
+        let mut backend = RsClassifier::new(&code, 4);
         let mut rng = Rng::seeded(77);
         // Devices 8 and 9 share symbol 4; erase it, strike device 9.
-        let out = ctx.classify(&code, &[4], &[(9, Strike::Xor(0xF))], &mut rng);
+        let ctx = backend.resolve(&[8]).expect("capacity");
+        let out = backend.classify(&ctx, &[(9, Strike::Xor(0xF))], &mut rng);
         assert_eq!(out, WordRead::Correct);
     }
 
@@ -629,10 +431,35 @@ mod tests {
         // k = 2t erased symbols leave no residual syndromes: an extra
         // error outside the erased set cannot be detected.
         let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
-        let ctx = RsClassifier::new(&code, 8);
+        let mut backend = RsClassifier::new(&code, 8);
         let mut rng = Rng::seeded(78);
         // Symbols 3 and 7 erased (devices == symbols at x8), strike 12.
-        let out = ctx.classify(&code, &[3, 7], &[(12, Strike::Xor(0x5A))], &mut rng);
+        let ctx = backend.resolve(&[3, 7]).expect("capacity");
+        let out = backend.classify(&ctx, &[(12, Strike::Xor(0x5A))], &mut rng);
         assert_eq!(out, WordRead::Sdc);
+    }
+
+    #[test]
+    fn rs_t2_combined_corrects_transient_under_erasures() {
+        // The behaviour the lifetime simulator's degraded t = 2 rows now
+        // exercise: ν ≤ 2 erased symbols plus one unknown transient is
+        // within the combined budget (2e + ν ≤ 4) and reads back correct —
+        // the old erasure-only path flagged these DUE.
+        let code = RsMemoryCode::new(8, 144, 2).expect("geometry");
+        let mut backend = RsClassifier::new(&code, 4);
+        let mut rng = Rng::seeded(0x7E57);
+        for erased_devs in [vec![4u16], vec![4, 12]] {
+            let ctx = backend.resolve(&erased_devs).expect("capacity");
+            for trial in 0..100u32 {
+                let dev = (20 + trial % 10) as u16;
+                let pattern = 1 + (trial % 15) as u16;
+                let out = backend.classify(&ctx, &[(dev, Strike::Xor(pattern))], &mut rng);
+                assert_eq!(
+                    out,
+                    WordRead::Correct,
+                    "erased {erased_devs:?} trial {trial}"
+                );
+            }
+        }
     }
 }

@@ -19,8 +19,11 @@
 //!    transient-hit words on a degraded DIMM, multi-fault overlaps
 //!    (transient × transient, transient × stuck word, transient × dying
 //!    chip), and the scrub reads of freshly detected permanent faults.
-//!    Classification runs in content space — [`classify_muse`] /
-//!    [`RsClassifier::classify`] — never materializing a word.
+//!    Classification runs through the unified syndrome-domain backend
+//!    ([`FleetBackend`], a [`muse_core::Classifier`]) — never
+//!    materializing a word. Degraded reads use **combined**
+//!    error-and-erasure decoding: Forney-style `2e + ν ≤ 2t` for RS, the
+//!    erasure-solve-plus-ELC-correction analogue for MUSE.
 //! 4. **Repair.** At the epoch boundary each detected whole-device failure
 //!    either consumes a spare (one full-fleet rebuild pass through the
 //!    erasure decoder, then the chip is replaced), or — with no spares
@@ -37,10 +40,10 @@
 //! Results are bit-identical at any thread count
 //! (`tests/determinism.rs`).
 
-use muse_core::ErasureTable;
+use muse_core::{Classifier, Strike, WordRead};
 use muse_faultsim::{Bounded32, CountCdf, FailureMode, Rng, SimEngine};
 
-use crate::classify::{classify_muse, MuseContents, RsClassifier, Strike, WordRead};
+use crate::classify::{FleetBackend, FleetContext};
 use crate::{Environment, FleetCode, FleetConfig, LifetimeTally};
 
 /// Hours per (Julian) year, the FIT-rate convention.
@@ -89,90 +92,22 @@ impl Plan {
     }
 }
 
-/// Per-worker scratch: the content sampler and the RS classification
-/// context.
-pub(crate) struct Scratch {
-    muse: Option<MuseContents>,
-    rs: Option<RsClassifier>,
-}
-
-/// The resolved decode context for an erased device set — precomputed
-/// once per set *transition* (device retirement, replacement), not per
-/// read, so the degraded hot loop is allocation-free.
-enum Degraded {
-    /// Empty erased set: the healthy decoder.
-    Healthy,
-    /// MUSE degraded: the erasure table for the set.
-    Muse(ErasureTable),
-    /// RS degraded: the erased symbol positions (sorted, deduped).
-    Rs(Vec<usize>),
-}
-
-impl Degraded {
-    /// Builds the context for `erased` — `None` when the set exceeds the
-    /// code's erasure capacity or is not uniquely recoverable for every
-    /// stored content (MUSE sets whose fillings collide).
-    fn resolve(code: &FleetCode, erased: &[u16]) -> Option<Self> {
-        if erased.is_empty() {
-            return Some(Self::Healthy);
-        }
-        match code {
-            FleetCode::Muse(mc) => {
-                let kernel = mc.kernel().expect("fleet MUSE codes carry a kernel");
-                let total_bits: u32 = erased.iter().map(|&d| kernel.symbol_bits(d as usize)).sum();
-                if total_bits > 16 {
-                    return None;
-                }
-                let syms: Vec<usize> = erased.iter().map(|&d| d as usize).collect();
-                let table = kernel.erasure_table(&syms);
-                table.is_injective().then_some(Self::Muse(table))
-            }
-            FleetCode::Rs { code, device_bits } => {
-                let per_symbol = code.symbol_bits() / device_bits;
-                let mut syms: Vec<usize> = erased
-                    .iter()
-                    .map(|&d| (d as u32 / per_symbol) as usize)
-                    .collect();
-                syms.sort_unstable();
-                syms.dedup();
-                (syms.len() <= 2 * code.inner().t()).then_some(Self::Rs(syms))
-            }
-        }
-    }
-}
-
-impl Scratch {
-    pub fn new(code: &FleetCode) -> Self {
-        match code {
-            FleetCode::Muse(mc) => Self {
-                muse: Some(MuseContents::new(
-                    mc.kernel().expect("fleet MUSE codes carry a kernel"),
-                )),
-                rs: None,
-            },
-            FleetCode::Rs { code, device_bits } => Self {
-                muse: None,
-                rs: Some(RsClassifier::new(code, *device_bits)),
-            },
-        }
-    }
-}
-
 /// Per-DIMM mutable state.
 struct DimmState {
     /// Retired (known-failed) devices, sorted — the erased set.
     erased: Vec<u16>,
     /// The decode context resolved for `erased`.
-    ctx: Degraded,
+    ctx: FleetContext,
     /// Device of each word carrying a stuck permanent bit.
     stuck: Vec<u16>,
     spares_left: u32,
 }
 
 impl DimmState {
-    fn fresh(code: &FleetCode, config: &FleetConfig) -> Self {
+    fn fresh(backend: &FleetBackend<'_>, config: &FleetConfig) -> Self {
         let erased: Vec<u16> = (0..config.initial_failed_devices as u16).collect();
-        let ctx = Degraded::resolve(code, &erased)
+        let ctx = backend
+            .resolve(&erased)
             .expect("initial_failed_devices exceeds the code's erasure capacity");
         Self {
             erased,
@@ -191,36 +126,6 @@ fn record(tally: &mut LifetimeTally, out: WordRead) {
     }
 }
 
-/// Classifies one word read under a resolved decode context.
-fn classify_word(
-    code: &FleetCode,
-    scratch: &mut Scratch,
-    ctx: &Degraded,
-    strikes: &[(u16, Strike)],
-    rng: &mut Rng,
-) -> WordRead {
-    match (code, ctx) {
-        (FleetCode::Muse(mc), Degraded::Healthy | Degraded::Muse(_)) => {
-            let kernel = mc.kernel().expect("fleet MUSE codes carry a kernel");
-            let contents = scratch.muse.as_mut().expect("MUSE scratch");
-            let table = match ctx {
-                Degraded::Muse(table) => Some(table),
-                _ => None,
-            };
-            classify_muse(kernel, table, strikes, contents, rng)
-        }
-        (FleetCode::Rs { code, .. }, Degraded::Healthy) => {
-            let rs = scratch.rs.as_ref().expect("RS scratch");
-            rs.classify(code, &[], strikes, rng)
-        }
-        (FleetCode::Rs { code, .. }, Degraded::Rs(syms)) => {
-            let rs = scratch.rs.as_ref().expect("RS scratch");
-            rs.classify(code, syms, strikes, rng)
-        }
-        _ => unreachable!("context resolved for a different code kind"),
-    }
-}
-
 /// Runs the whole fleet and merges the tallies (bit-identical at any
 /// thread count).
 pub(crate) fn run_fleet(
@@ -231,18 +136,18 @@ pub(crate) fn run_fleet(
     let plan = Plan::new(code, env, config);
     // Validate the starting erased set once, up front (fails fast instead
     // of panicking inside a worker).
-    drop(DimmState::fresh(code, config));
+    drop(DimmState::fresh(&FleetBackend::new(code), config));
     SimEngine::new(config.threads).run_with(
         config.seed,
         config.dimms,
-        || Scratch::new(code),
-        |dimm, _trial_rng, scratch, tally: &mut LifetimeTally| {
-            let mut state = DimmState::fresh(code, config);
+        || FleetBackend::new(code),
+        |dimm, _trial_rng, backend, tally: &mut LifetimeTally| {
+            let mut state = DimmState::fresh(backend, config);
             for epoch in 0..plan.epochs {
                 // The determinism contract: epoch e of DIMM d draws only
                 // from this stream, regardless of worker assignment.
                 let mut rng = Rng::for_cell(config.seed, dimm, epoch);
-                epoch_step(code, &plan, config, &mut rng, &mut state, scratch, tally);
+                epoch_step(&plan, config, &mut rng, &mut state, backend, tally);
             }
         },
     )
@@ -250,14 +155,12 @@ pub(crate) fn run_fleet(
 
 /// One scrub interval of one DIMM. All sampling happens in a fixed order
 /// off the epoch's private stream.
-#[allow(clippy::too_many_arguments)]
 fn epoch_step(
-    code: &FleetCode,
     plan: &Plan,
     config: &FleetConfig,
     rng: &mut Rng,
     state: &mut DimmState,
-    scratch: &mut Scratch,
+    backend: &mut FleetBackend<'_>,
     tally: &mut LifetimeTally,
 ) {
     tally.epochs += 1;
@@ -299,12 +202,12 @@ fn epoch_step(
         if !degraded {
             tally.corrected_words += plan.row_words as u64;
         } else {
-            let width = code.device_width(dev);
+            let width = backend.device_width(dev);
             for _ in 0..plan.row_words {
                 strikes.clear();
                 strikes.push((dev, Strike::Xor(rng.nonzero_below(1 << width) as u16)));
                 tally.erasure_reads += 1;
-                let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+                let out = backend.classify(&state.ctx, &strikes, rng);
                 record(tally, out);
             }
         }
@@ -320,11 +223,11 @@ fn epoch_step(
         if !degraded {
             tally.corrected_words += 1;
         } else {
-            let width = code.device_width(dev);
+            let width = backend.device_width(dev);
             strikes.clear();
             strikes.push((dev, Strike::Xor(1 << rng.below(width as u64))));
             tally.erasure_reads += 1;
-            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            let out = backend.classify(&state.ctx, &strikes, rng);
             record(tally, out);
         }
         if state.stuck.len() < 4096 {
@@ -338,7 +241,7 @@ fn epoch_step(
     //    or a second transient in the same word — is classified.
     for i in 0..n_trans as u64 {
         let dev = plan.device_pick.sample(rng) as u16;
-        let width = code.device_width(dev);
+        let width = backend.device_width(dev);
         let bit = rng.below(width as u64) as u8;
         if state.erased.contains(&dev) {
             continue; // inside a dead chip: the erasure solve ignores it
@@ -353,7 +256,7 @@ fn epoch_step(
         // Dying chips: garbage while the failure is undetected.
         for &(ddev, window) in &pending {
             if ddev != dev && rng.chance(window) {
-                let garbage = rng.below(1 << code.device_width(ddev)) as u16;
+                let garbage = rng.below(1 << backend.device_width(ddev)) as u16;
                 if garbage != 0 {
                     strikes.push((ddev, Strike::Xor(garbage)));
                 }
@@ -363,14 +266,14 @@ fn epoch_step(
         if !state.stuck.is_empty() && rng.chance(state.stuck.len() as f64 / plan.words) {
             let s = state.stuck[rng.below(state.stuck.len() as u64) as usize];
             if !state.erased.contains(&s) && !strikes.iter().any(|&(d, _)| d == s) {
-                let w = code.device_width(s);
+                let w = backend.device_width(s);
                 strikes.push((s, Strike::Xor(1 << rng.below(w as u64))));
             }
         }
         // Colliding with an earlier transient of this epoch.
         if i > 0 && rng.chance(i as f64 / plan.words) {
             let other = plan.device_pick.sample(rng) as u16;
-            let ow = code.device_width(other);
+            let ow = backend.device_width(other);
             let obit = rng.below(ow as u64) as u8;
             if !state.erased.contains(&other) && !strikes.iter().any(|&(d, _)| d == other) {
                 strikes.push((
@@ -386,7 +289,7 @@ fn epoch_step(
         strikes.truncate(16);
         if degraded {
             tally.erasure_reads += 1;
-            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            let out = backend.classify(&state.ctx, &strikes, rng);
             record(tally, out);
         } else if strikes.len() == 1 {
             // A lone in-model transient: scrubbed away. Asymmetric cells
@@ -400,7 +303,7 @@ fn epoch_step(
                 }
             }
         } else {
-            let out = classify_word(code, scratch, &state.ctx, &strikes, rng);
+            let out = backend.classify(&state.ctx, &strikes, rng);
             record(tally, out);
         }
     }
@@ -411,7 +314,7 @@ fn epoch_step(
         let mut candidate = state.erased.clone();
         candidate.push(dev);
         candidate.sort_unstable();
-        if let Some(cctx) = Degraded::resolve(code, &candidate) {
+        if let Some(cctx) = backend.resolve(&candidate) {
             if state.spares_left > 0 {
                 // Chip sparing: one rebuild pass reads every word through
                 // the erasure decoder; words disturbed by a concurrent
@@ -422,7 +325,7 @@ fn epoch_step(
                     if candidate.contains(&tdev) {
                         continue;
                     }
-                    let w = code.device_width(tdev);
+                    let w = backend.device_width(tdev);
                     let bit = rng.below(w as u64) as u8;
                     strikes.clear();
                     strikes.push((
@@ -434,7 +337,7 @@ fn epoch_step(
                         },
                     ));
                     tally.erasure_reads += 1;
-                    let out = classify_word(code, scratch, &cctx, &strikes, rng);
+                    let out = backend.classify(&cctx, &strikes, rng);
                     record(tally, out);
                 }
                 state.spares_left -= 1;
@@ -451,7 +354,7 @@ fn epoch_step(
             // device combination): data loss; the DIMM is replaced.
             tally.data_loss_events += 1;
             tally.dimm_replacements += 1;
-            *state = DimmState::fresh(code, config);
+            *state = DimmState::fresh(backend, config);
             break;
         }
     }

@@ -34,22 +34,31 @@ fn smoke_tallies_are_pinned() {
 
 #[test]
 fn smoke_shows_the_code_reliability_ordering() {
-    // The differentiators the matrix exists for: the t=2 RS catches every
-    // extra error a degraded t=1 lets through, and MUSE's odd multipliers
-    // leak fewer silent corruptions than same-redundancy RS.
+    // The differentiators the matrix exists for: combined error-and-
+    // erasure decoding lets the t=2 RS correct every transient under one
+    // erased chip (zero degraded DUEs, zero SDCs) where the t=1 budget is
+    // already spent, and MUSE's odd multipliers leak fewer silent
+    // corruptions than same-redundancy RS.
     let (env, config) = smoke_setup();
     let reports: Vec<_> = scenario_codes()
         .iter()
         .map(|c| simulate_fleet(c, &env, &config))
         .collect();
-    let sdc = |name: &str| {
-        reports
+    let row = |name: &str| {
+        &reports
             .iter()
             .find(|r| r.code == name)
             .expect("scenario present")
             .tally
-            .sdc_words
     };
-    assert_eq!(sdc("RS(144,112) t=2"), 0);
-    assert!(sdc("MUSE(80,69)") < sdc("RS(144,128) t=1"));
+    assert_eq!(row("RS(144,112) t=2").sdc_words, 0);
+    assert_eq!(
+        row("RS(144,112) t=2").due_words,
+        0,
+        "2e + ν ≤ 2t: one transient under one erasure is correctable"
+    );
+    assert!(row("RS(144,112) t=2").due_words < row("RS(144,128) t=1").due_words);
+    assert!(row("MUSE(80,69)").sdc_words < row("RS(144,128) t=1").sdc_words);
+    // MUSE's combined mode recovers its unique-explanation fraction.
+    assert!(row("MUSE(144,132)").corrected_words > 0);
 }

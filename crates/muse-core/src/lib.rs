@@ -42,6 +42,7 @@
 
 pub mod analysis;
 mod builder;
+mod classifier;
 mod codec;
 mod elc;
 mod errval;
@@ -55,6 +56,9 @@ mod symbol;
 mod syndrome;
 
 pub use builder::{BuildError, CodeBuilder, Shuffle};
+pub use classifier::{
+    Bounded32, Classifier, Entropy, MuseClassifier, MuseContext, Strike, WordRead,
+};
 pub use codec::{CodeError, Decoded, MuseCode};
 pub use elc::{CorrectionEntry, ErrorLookup};
 pub use errval::{
@@ -69,7 +73,7 @@ pub use search::{
 };
 pub use spec::ParseSpecError;
 pub use symbol::{SymbolMap, SymbolMapError};
-pub use syndrome::{ErasureSolve, ErasureTable, FastDecode, SyndromeKernel};
+pub use syndrome::{CombinedSolve, ErasureSolve, ErasureTable, FastDecode, SyndromeKernel};
 
 /// The codeword carrier: 320 bits covers every code in the paper (the widest
 /// is the 268-bit PIM codeword).

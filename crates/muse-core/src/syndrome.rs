@@ -182,25 +182,65 @@ pub struct SyndromeKernel {
 /// Sentinel in the fused ELC table: no entry for this remainder.
 const NO_ENTRY: u32 = u32::MAX;
 
+/// 320-bit chunked value for construction-time span arithmetic: symbols may
+/// scatter across the whole codeword (spread/shuffled maps), so per-content
+/// error arithmetic runs on five limbs instead of a single `u128`.
+type Chunks = [u64; 5];
+
+#[inline]
+fn chunk_set_bit(v: &mut Chunks, bit: u32) {
+    v[(bit >> 6) as usize] |= 1 << (bit & 63);
+}
+
+#[inline]
+fn chunk_bit(v: &Chunks, bit: u32) -> u64 {
+    v[(bit >> 6) as usize] >> (bit & 63) & 1
+}
+
+/// `a + b` with the carry out of bit 320 (an escaping correction).
+fn chunk_add(a: &Chunks, b: &Chunks) -> (Chunks, bool) {
+    let mut out = [0u64; 5];
+    let mut carry = false;
+    for i in 0..5 {
+        let (s, c1) = a[i].overflowing_add(b[i]);
+        let (s, c2) = s.overflowing_add(carry as u64);
+        out[i] = s;
+        carry = c1 | c2;
+    }
+    (out, carry)
+}
+
+/// `a − b` with the borrow out of bit 320 (an escaping correction).
+fn chunk_sub(a: &Chunks, b: &Chunks) -> (Chunks, bool) {
+    let mut out = [0u64; 5];
+    let mut borrow = false;
+    for i in 0..5 {
+        let (d, b1) = a[i].overflowing_sub(b[i]);
+        let (d, b2) = d.overflowing_sub(borrow as u64);
+        out[i] = d;
+        borrow = b1 | b2;
+    }
+    (out, borrow)
+}
+
+/// Whether `v` sets any bit outside `mask`.
+fn chunk_escapes(v: &Chunks, mask: &Chunks) -> bool {
+    v.iter().zip(mask).any(|(&x, &m)| x & !m != 0)
+}
+
 impl SyndromeKernel {
     /// Whether a layout/multiplier pair is within the kernel's tabulation
     /// limits: every symbol at most 12 bits wide (contents are tabulated as
-    /// `2^width` entries), every symbol spanning fewer than 120 bit
-    /// positions (per-content arithmetic runs in shifted `u128` space), and
-    /// `m < 2^32` (the check-value fold multiplies two residues in `u64`).
+    /// `2^width` entries) and `m < 2^32` (the check-value fold multiplies
+    /// two residues in `u64`). Symbols may scatter across the entire
+    /// codeword — the construction-time error arithmetic runs on chunked
+    /// 320-bit words, so spread and wide symbol maps tabulate too.
     ///
     /// Codes outside these limits still construct and decode through the
     /// wide path — they just carry no kernel
-    /// ([`MuseCode::kernel`](crate::MuseCode::kernel) returns `None`) and
-    /// the simulators fall back to wide-word trials.
+    /// ([`MuseCode::kernel`](crate::MuseCode::kernel) returns `None`).
     pub fn supports(map: &SymbolMap, m: u64) -> bool {
-        m < 1 << 32
-            && (0..map.num_symbols()).all(|s| {
-                let bits = map.bits_of(s);
-                let lo = bits.iter().min().expect("non-empty symbol");
-                let hi = bits.iter().max().expect("non-empty symbol");
-                bits.len() <= 12 && hi - lo < 120
-            })
+        m < 1 << 32 && (0..map.num_symbols()).all(|s| map.bits_of(s).len() <= 12)
     }
 
     /// Builds the kernel for a validated layout + ELC.
@@ -214,30 +254,35 @@ impl SyndromeKernel {
             m < 1 << 32,
             "multiplier {m} exceeds the kernel's u64 fold range"
         );
-        // All per-content arithmetic happens in u128 space shifted down by
-        // each symbol's lowest bit: error values are confined to one
-        // symbol's bit positions, and no symbol spans more than ~80 bits,
-        // so the wide words never need to materialize.
+        // All per-content arithmetic happens in chunked 320-bit space
+        // shifted down by each symbol's lowest bit: error values are
+        // confined to one symbol's bit positions, which may scatter across
+        // the whole codeword, but the wide words never need to materialize.
         struct SymbolSpan {
             base: u32,
-            expand: Vec<u128>,
-            mask: u128,
+            expand: Vec<Chunks>,
+            mask: Chunks,
         }
         let spans: Vec<SymbolSpan> = (0..map.num_symbols())
             .map(|s| {
                 let bits = map.bits_of(s);
                 assert!(bits.len() <= 12, "symbol too wide to tabulate");
                 let base = *bits.iter().min().expect("non-empty symbol");
-                let top = *bits.iter().max().expect("non-empty symbol");
-                assert!(top - base < 120, "symbol span exceeds the u128 fast path");
-                let expand = (0..1u128 << bits.len())
+                let expand = (0..1usize << bits.len())
                     .map(|content| {
-                        bits.iter().enumerate().fold(0u128, |acc, (i, &bit)| {
-                            acc | ((content >> i & 1) << (bit - base))
-                        })
+                        let mut v = [0u64; 5];
+                        for (i, &bit) in bits.iter().enumerate() {
+                            if content >> i & 1 == 1 {
+                                chunk_set_bit(&mut v, bit - base);
+                            }
+                        }
+                        v
                     })
                     .collect();
-                let mask = bits.iter().fold(0u128, |acc, &bit| acc | 1 << (bit - base));
+                let mut mask = [0u64; 5];
+                for &bit in bits {
+                    chunk_set_bit(&mut mask, bit - base);
+                }
                 SymbolSpan { base, expand, mask }
             })
             .collect();
@@ -257,16 +302,29 @@ impl SyndromeKernel {
         let mut residues = Vec::new();
         let mut payload_sources = Vec::with_capacity(map.num_symbols());
         let mut check_sources = Vec::with_capacity(map.num_symbols());
-        for (s, span) in spans.iter().enumerate() {
+        for s in 0..map.num_symbols() {
             let bits = map.bits_of(s);
             let width = bits.len() as u8;
-            let pow_base = pow2_mod(span.base) as u128;
             let residue_offset = residues.len() as u32;
-            residues.extend(
-                span.expand
-                    .iter()
-                    .map(|&e| ((e % m as u128) * pow_base % m as u128) as u64),
-            );
+            // R_s[x] = Σ_{i: x_i=1} 2^{B_s[i]} mod m, built incrementally
+            // from the per-bit powers (residues are additive in content
+            // bits), so no wide expansion is reduced.
+            let bit_pows: Vec<u64> = bits.iter().map(|&b| pow2_mod(b)).collect();
+            let add = |a: u64, b: u64| {
+                let sum = a + b;
+                if sum >= m {
+                    sum - m
+                } else {
+                    sum
+                }
+            };
+            let base_idx = residues.len();
+            residues.push(0);
+            for x in 1..1usize << width {
+                let low = x.trailing_zeros() as usize;
+                let rest = residues[base_idx + (x & (x - 1))];
+                residues.push(add(rest, bit_pows[low]));
+            }
             let mut psrc = Vec::new();
             let mut csrc = Vec::new();
             let mut check_mask = 0u16;
@@ -315,24 +373,24 @@ impl SyndromeKernel {
             let bits = map.bits_of(entry.symbol);
             let span = &spans[entry.symbol];
             // The error value is a sum of ±2^b over this symbol's bits, so
-            // its magnitude shifted down by the span base fits u128.
+            // its magnitude shifted down by the span base fits the chunks.
             let mag = entry.error.magnitude();
             debug_assert!(mag.trailing_zeros() >= span.base);
-            let mag128 = (*mag >> span.base).to_u128().expect("error within span");
+            let mag_chunks = (*mag >> span.base).to_limbs();
             let negative = entry.error.is_negative();
             let offset = transitions.len() as u32;
             for content in 0..1usize << bits.len() {
                 // corrected = expand(v) − e; a borrow/carry escaping the
                 // symbol sets bits outside the mask, which is exactly the
                 // wide decoder's confinement rejection (Figure 4, method 2).
-                let corrected = if negative {
-                    span.expand[content].wrapping_add(mag128)
+                let (corrected, escaped) = if negative {
+                    chunk_add(&span.expand[content], &mag_chunks)
                 } else {
-                    span.expand[content].wrapping_sub(mag128)
+                    chunk_sub(&span.expand[content], &mag_chunks)
                 };
-                transitions.push(if corrected & !span.mask == 0 {
+                transitions.push(if !escaped && !chunk_escapes(&corrected, &span.mask) {
                     bits.iter().enumerate().fold(0u16, |acc, (i, &bit)| {
-                        acc | ((corrected >> (bit - span.base) & 1) as u16) << i
+                        acc | (chunk_bit(&corrected, bit - span.base) as u16) << i
                     })
                 } else {
                     NO_TRANSITION
@@ -545,6 +603,19 @@ impl SyndromeKernel {
         }
     }
 
+    /// Every ELC entry as `(remainder, owning symbol)`, in remainder order
+    /// — the kernel-side view of the correctable-error hypothesis space the
+    /// combined erasure-plus-error solve
+    /// ([`ErasureTable::solve_combined`]) draws from (the solve itself
+    /// scans the table's occupied residues, the smaller side).
+    pub fn elc_entries(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.elc_fused
+            .iter()
+            .enumerate()
+            .filter(|&(_, &packed)| packed != NO_ENTRY)
+            .map(|(rem, &packed)| (rem as u64, (packed & 0xFFF) as usize))
+    }
+
     /// Builds the residue-space erasure solver for a fixed set of erased
     /// symbols (known-failed devices) — the degraded-mode analogue of
     /// [`MuseCode::recover_erasures`](crate::MuseCode::recover_erasures),
@@ -629,6 +700,10 @@ pub struct ErasureTable {
     offsets: Vec<u8>,
     /// Residue → packed filling, [`NO_FILLING`], or [`AMBIGUOUS_FILLING`].
     table: Vec<u32>,
+    /// The occupied residues `(residue, slot)` in ascending residue order —
+    /// the combined solve's scan space (at most one entry per filling,
+    /// instead of one per ELC remainder).
+    occupied: Vec<(u64, u32)>,
     /// Whether every filling maps to a distinct residue (no ambiguity
     /// anywhere — every clean degraded read recovers).
     injective: bool,
@@ -638,6 +713,36 @@ pub struct ErasureTable {
 const NO_FILLING: u32 = u32::MAX;
 /// Sentinel in the erasure table: several fillings reach this residue.
 const AMBIGUOUS_FILLING: u32 = u32::MAX - 1;
+
+/// Result of a combined erasure-plus-error solve
+/// ([`ErasureTable::solve_combined`]): the MUSE analogue of Forney-style
+/// combined Reed-Solomon decoding — fill the erased symbols *and* correct
+/// one in-model error on a surviving symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinedSolve {
+    /// No filling (with or without one correctable survivor error) explains
+    /// the syndrome: detected-uncorrectable.
+    None,
+    /// More than one explanation exists; the decoder cannot choose.
+    Ambiguous,
+    /// A plain erasure solve succeeded — no survivor error assumed.
+    Unique(
+        /// Packed filling token ([`ErasureTable::content_of`]).
+        u32,
+    ),
+    /// Exactly one (filling, ELC entry) pair explains the syndrome: fill
+    /// the erased symbols and finish with
+    /// [`SyndromeKernel::correct`]`(rem, current)` on the named survivor —
+    /// whose confinement check may still reject the correction (detected).
+    Corrected {
+        /// Packed filling token ([`ErasureTable::content_of`]).
+        filling: u32,
+        /// The matched ELC remainder (feed to [`SyndromeKernel::correct`]).
+        rem: u64,
+        /// The surviving symbol the matched error is confined to.
+        symbol: usize,
+    },
+}
 
 impl ErasureTable {
     fn build(kernel: &SyndromeKernel, symbols: &[usize]) -> Self {
@@ -674,11 +779,18 @@ impl ErasureTable {
                 injective = false;
             }
         }
+        let occupied = table
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != NO_FILLING)
+            .map(|(rem, &slot)| (rem as u64, slot))
+            .collect();
         Self {
             symbols: symbols.to_vec(),
             widths,
             offsets,
             table,
+            occupied,
             injective,
         }
     }
@@ -715,11 +827,89 @@ impl ErasureTable {
     pub fn content_of(&self, filling: u32, i: usize) -> u16 {
         (filling >> self.offsets[i]) as u16 & ((1u16 << self.widths[i]) - 1)
     }
+
+    /// Combined erasure-plus-error solving: like [`Self::solve`], but when
+    /// no plain filling reaches `target`, additionally considers **one**
+    /// correctable (in-model) error on a *surviving* symbol — the MUSE
+    /// analogue of Forney-style combined Reed-Solomon decoding. A filling
+    /// `f` together with ELC entry `(rem, symbol ∉ erased)` explains the
+    /// read when `residue(f) ≡ target + rem (mod m)`: the filled word then
+    /// carries remainder `rem` and the ordinary fast-ELC correction
+    /// finishes the decode.
+    ///
+    /// The plain solve wins when it succeeds (zero assumed errors beats
+    /// one); otherwise the ELC entries are scanned and the solve commits
+    /// only to a **unique** explanation — any second candidate, or any
+    /// candidate whose filling is itself ambiguous, is detected
+    /// uncorrectable (MUSE's single residue has no extra syndrome
+    /// equations to disambiguate with, unlike the `2t` Reed-Solomon
+    /// syndromes). Entries on erased symbols are skipped: a correction
+    /// there is just another filling, which the plain solve already
+    /// covered.
+    ///
+    /// `viable(rem, symbol)` is the caller's content-dependent confinement
+    /// check ([`SyndromeKernel::correct`] on the survivor's current
+    /// content): a wide decoder enumerating fillings rejects unconfined
+    /// corrections during candidacy, and filtering here mirrors that —
+    /// which is what keeps genuinely explainable reads from drowning in
+    /// coincidental table hits. Pass `|_, _| true` for the
+    /// content-independent variant.
+    ///
+    /// The scan walks this table's *occupied residues* (one per filling,
+    /// ascending) rather than the ELC: a filling at residue `ρ` pairs with
+    /// ELC remainder `ρ − target (mod m)`, checked with one fused-table
+    /// load — so a failed solve costs `O(fillings)`, not `O(m)`.
+    ///
+    /// `kernel` must be the kernel this table was built from.
+    pub fn solve_combined(
+        &self,
+        kernel: &SyndromeKernel,
+        target: u64,
+        mut viable: impl FnMut(u64, usize) -> bool,
+    ) -> CombinedSolve {
+        match self.solve(target) {
+            ErasureSolve::Unique(filling) => return CombinedSolve::Unique(filling),
+            ErasureSolve::Ambiguous => return CombinedSolve::Ambiguous,
+            ErasureSolve::None => {}
+        }
+        let m = kernel.modulus();
+        let mut found: Option<(u32, u64, usize)> = None;
+        for &(rho, slot) in &self.occupied {
+            // residue(filling) + rem_rest ≡ rem: the filled word carries
+            // remainder ρ − target.
+            let rem = if rho >= target {
+                rho - target
+            } else {
+                rho + m - target
+            };
+            let FastDecode::Correct { symbol } = kernel.classify(rem) else {
+                continue; // rem 0 is the (failed) pure solve; others no entry
+            };
+            if self.symbols.contains(&symbol) || !viable(rem, symbol) {
+                continue;
+            }
+            if slot == AMBIGUOUS_FILLING || found.is_some() {
+                // Two fillings share the shifted residue, or a second
+                // (rem, filling) explanation exists: the decoder cannot
+                // choose.
+                return CombinedSolve::Ambiguous;
+            }
+            found = Some((slot, rem, symbol));
+        }
+        match found {
+            Some((filling, rem, symbol)) => CombinedSolve::Corrected {
+                filling,
+                rem,
+                symbol,
+            },
+            None => CombinedSolve::None,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Mod64;
+    use super::{CombinedSolve, ErasureSolve, Mod64};
     use crate::{presets, Decoded, MuseCode, Word};
 
     fn payload_limbs(code: &MuseCode, raw: [u64; 5]) -> ([u64; 5], Word) {
@@ -746,12 +936,13 @@ mod tests {
         // 13-bit symbols exceed the content-table width.
         let wide = SymbolMap::sequential(78, 13).unwrap();
         assert!(!SyndromeKernel::supports(&wide, 4065));
-        // A symbol spanning bits 0..143 exceeds the u128 span limit.
+        // A symbol spanning bits 0..143 tabulates too: the chunked span
+        // arithmetic removed the old 120-bit span limit.
         let mut groups: Vec<Vec<u32>> = (0..36).map(|i| (4 * i..4 * i + 4).collect()).collect();
         groups[0][3] = 143;
         groups[35][3] = 3;
         let spread = SymbolMap::from_groups(144, groups).unwrap();
-        assert!(!SyndromeKernel::supports(&spread, 4065));
+        assert!(SyndromeKernel::supports(&spread, 4065));
         // Multipliers at or beyond 2^32 exceed the u64 fold.
         let seq = SymbolMap::sequential(144, 4).unwrap();
         assert!(SyndromeKernel::supports(&seq, 4065));
@@ -966,6 +1157,55 @@ mod tests {
             seen_detected && seen_miscorrected,
             "both outcomes exercised"
         );
+    }
+
+    #[test]
+    fn combined_scan_matches_elc_entry_brute_force() {
+        // The occupied-residue scan of `solve_combined` must find exactly
+        // the candidates a brute-force walk of `elc_entries()` finds: a
+        // filling at residue ρ pairs with ELC remainder ρ − target, i.e.
+        // table[target + rem] occupied for entry `rem` — the two scan
+        // directions are bijective.
+        let code = presets::muse_80_69();
+        let kernel = code.kernel().expect("presets support the kernel");
+        let table = kernel.erasure_table(&[4]);
+        let m = kernel.modulus();
+        for target in (0..m).step_by(7) {
+            // Brute force over every ELC entry, content-independent.
+            let mut found: Vec<(u64, usize)> = Vec::new();
+            let mut ambiguous = false;
+            for (rem, symbol) in kernel.elc_entries() {
+                if symbol == 4 {
+                    continue;
+                }
+                match table.solve(kernel.add_mod(target, rem)) {
+                    ErasureSolve::None => {}
+                    ErasureSolve::Ambiguous => ambiguous = true,
+                    ErasureSolve::Unique(_) => found.push((rem, symbol)),
+                }
+            }
+            let fast = table.solve_combined(kernel, target, |_, _| true);
+            match fast {
+                CombinedSolve::Unique(_) => {
+                    assert!(matches!(table.solve(target), ErasureSolve::Unique(_)));
+                }
+                CombinedSolve::Corrected { rem, symbol, .. } => {
+                    assert!(!ambiguous && found.len() == 1, "target {target}");
+                    assert_eq!(found[0], (rem, symbol), "target {target}");
+                }
+                CombinedSolve::Ambiguous => {
+                    assert!(
+                        ambiguous
+                            || found.len() > 1
+                            || matches!(table.solve(target), ErasureSolve::Ambiguous),
+                        "target {target}"
+                    );
+                }
+                CombinedSolve::None => {
+                    assert!(!ambiguous && found.is_empty(), "target {target}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! classifies trials entirely in residue space, and any divergence from
 //! `MuseCode::decode` would silently skew every Monte-Carlo estimate.
 
-use muse_core::{presets, Decoded, FastDecode, MuseCode, Word};
+use muse_core::{
+    find_multipliers, presets, Decoded, Direction, ErrorModel, FastDecode, MuseCode, SearchOptions,
+    SymbolMap, Word,
+};
 use proptest::prelude::*;
 
 fn word_bits(n: u32) -> impl Strategy<Value = Word> {
@@ -13,7 +16,31 @@ fn word_bits(n: u32) -> impl Strategy<Value = Word> {
         .prop_map(move |limbs| Word::from_limbs(limbs) & Word::mask(n))
 }
 
-/// Strategy: every preset code of the paper.
+/// A 144-bit map whose first and last symbols each span the entire
+/// codeword (bit 3 ↔ bit 143 swapped): beyond the old 120-bit span limit,
+/// so this layout used to be kernel-less and classify through the wide
+/// path. The chunked span tabulation now builds a kernel for it; the
+/// multiplier comes from the Algorithm 1 search (first 13-bit hit).
+fn spread_144_131() -> MuseCode {
+    let mut groups: Vec<Vec<u32>> = (0..36).map(|i| (4 * i..4 * i + 4).collect()).collect();
+    groups[0][3] = 143;
+    groups[35][3] = 3;
+    let map = SymbolMap::from_groups(144, groups).expect("valid spread layout");
+    let model = ErrorModel::symbol(Direction::Bidirectional);
+    let found = find_multipliers(
+        &map,
+        &model,
+        13,
+        SearchOptions {
+            threads: 0,
+            limit: 1,
+        },
+    );
+    MuseCode::new(map, model, found[0]).expect("searched multiplier is valid")
+}
+
+/// Strategy: every preset code of the paper, plus the spread-map layout
+/// the widened kernel tabulation newly covers.
 fn preset_code() -> impl Strategy<Value = MuseCode> {
     prop_oneof![
         Just(presets::muse_144_132()),
@@ -22,7 +49,20 @@ fn preset_code() -> impl Strategy<Value = MuseCode> {
         Just(presets::muse_80_70()),
         Just(presets::muse_268_256()),
         Just(presets::muse_144_128()),
+        Just(spread_144_131()),
     ]
+}
+
+#[test]
+fn spread_map_gets_a_kernel() {
+    // The layout exceeding the old u128 span limit now tabulates; its
+    // kernel must exist (every property below then covers it too).
+    let code = spread_144_131();
+    assert_eq!(code.multiplier(), 7149);
+    assert!(
+        code.kernel().is_some(),
+        "chunked tabulation covers spread maps"
+    );
 }
 
 /// Replaces symbol `sym`'s bits in `word` with `content`.

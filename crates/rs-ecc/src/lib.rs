@@ -13,14 +13,21 @@
 //!   paper exploits to show 5/6/7-bit-symbol RS codes lose ChipKill).
 //!
 //! For Monte-Carlo hot loops, [`RsMemoryCode::error_syndromes`] and
-//! [`RsMemoryCode::locate_single`] run the whole decode decision in the
-//! error-value domain (GF syndromes of the corruption alone, one table
-//! multiply per touched symbol) without materializing a codeword.
+//! [`RsCode::locate_errors_fixed`] run the whole decode decision for both
+//! `t` values in the error-value domain (GF syndromes of the corruption alone, one
+//! table multiply per touched symbol) without materializing a codeword;
+//! [`RsCode::decode_combined`] adds Forney-style combined
+//! error-and-erasure decoding (`ν` erasures + `e` errors, `2e + ν ≤ 2t`)
+//! for degraded (known-failed-chip) operation, and [`RsClassifier`]
+//! packages it all as the workspace's unified `muse_core::Classifier`
+//! backend.
 
 #![deny(missing_docs)]
 
+mod classifier;
 mod memory;
 mod rs;
 
+pub use classifier::{RsClassifier, RsContext};
 pub use memory::{RsFastLocate, RsMemoryCode, RsMemoryDecoded};
-pub use rs::{RsCode, RsDecoded, RsError};
+pub use rs::{RsCode, RsDecoded, RsError, RsLocated};

@@ -230,13 +230,9 @@ impl RsCode {
                 data: cw[2 * self.t..].to_vec(),
             };
         }
-        let errors = match self.t {
-            1 => self.locate_t1(&synd),
-            2 => self.locate_t2(&synd),
-            _ => unreachable!("t is validated to 1 or 2"),
-        };
-        let Some(errors) = errors else {
-            return RsDecoded::Detected;
+        let errors = match self.locate_errors_fixed(&synd) {
+            Some(located) => located.corrections().to_vec(),
+            None => return RsDecoded::Detected,
         };
         let mut fixed = cw.to_vec();
         for &(pos, val) in &errors {
@@ -249,7 +245,7 @@ impl RsCode {
         }
     }
 
-    fn locate_t1(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+    fn locate_t1(&self, synd: &[u16]) -> Option<RsLocated> {
         let (s0, s1) = (synd[0], synd[1]);
         if s0 == 0 || s1 == 0 {
             // A true single error e at position j has S0 = e ≠ 0 and
@@ -260,7 +256,7 @@ impl RsCode {
         if pos >= self.n {
             return None;
         }
-        Some(vec![(pos, s0)])
+        Some(RsLocated::one(pos, s0))
     }
 
     /// Erasure decoding: corrects up to `2t` symbol errors at *known*
@@ -404,6 +400,18 @@ impl RsCode {
     ///
     /// Panics if `synd.len() != 2t` or all syndromes are zero.
     pub fn locate_errors(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+        self.locate_errors_fixed(synd)
+            .map(|l| l.corrections().to_vec())
+    }
+
+    /// [`Self::locate_errors`] without the allocation: the corrections come
+    /// back in a fixed-capacity [`RsLocated`] — the form the Monte-Carlo
+    /// hot loops consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synd.len() != 2t` or all syndromes are zero.
+    pub fn locate_errors_fixed(&self, synd: &[u16]) -> Option<RsLocated> {
         assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
         assert!(
             synd.iter().any(|&s| s != 0),
@@ -416,7 +424,121 @@ impl RsCode {
         }
     }
 
-    fn locate_t2(&self, synd: &[u16]) -> Option<Vec<(usize, u16)>> {
+    /// Forney-style **combined error-and-erasure** decoding in the syndrome
+    /// domain: corrects `e` unknown errors on top of `ν` known-position
+    /// erasures whenever `2e + ν ≤ 2t`, returning the full
+    /// `(position, xor-magnitude)` correction list (the `ν` erasure fills —
+    /// zero magnitudes included — plus any located error), or `None` for a
+    /// detected-uncorrectable pattern.
+    ///
+    /// The procedure multiplies the syndrome polynomial by the erasure
+    /// locator `Γ(x) = Π (1 − X_i x)`: in the modified syndromes
+    /// `Ξ_j = Σ_k Γ_k·S_{j−k}` (`j ≥ ν`) the erasure contributions cancel,
+    /// leaving pure error syndromes of capacity `⌊(2t − ν)/2⌋`. All-zero
+    /// `Ξ` reduces to the plain erasure solve
+    /// ([`Self::erasure_magnitudes`]); otherwise the surviving geometric
+    /// ratio `Ξ_{j+1}/Ξ_j = α^q` locates the single error the `t ≤ 2`
+    /// geometries admit, and the full Vandermonde solve (with its residual
+    /// syndrome checks) produces the magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synd.len() != 2t`, positions are out of range or
+    /// duplicated, or more than `2t` positions are given.
+    ///
+    /// # Examples
+    ///
+    /// A `t = 2` code correcting a transient error *under* an erased chip —
+    /// the degraded-mode read a plain erasure decoder flags as DUE:
+    ///
+    /// ```
+    /// use muse_rs::RsCode;
+    ///
+    /// # fn main() -> Result<(), muse_rs::RsError> {
+    /// let rs = RsCode::new(8, 18, 14)?; // RS(144,112), t = 2
+    /// let data: Vec<u16> = (0..14).map(|i| (i * 29) as u16 & 0xFF).collect();
+    /// let mut cw = rs.encode(&data);
+    /// cw[6] ^= 0x5A;  // the known-failed (erased) chip returns garbage
+    /// cw[11] ^= 0x03; // an unknown transient strikes elsewhere
+    ///
+    /// let synd = rs.syndromes(&cw);
+    /// let corrections = rs.decode_combined(&synd, &[6]).expect("2e + ν = 3 ≤ 2t");
+    /// for (pos, mag) in corrections {
+    ///     cw[pos] ^= mag;
+    /// }
+    /// assert_eq!(&cw[4..], data.as_slice());
+    ///
+    /// // One more unknown error exceeds the budget and must flag DUE.
+    /// let mut bad = rs.encode(&data);
+    /// bad[6] ^= 0x5A;
+    /// bad[11] ^= 0x03;
+    /// bad[2] ^= 0x47;
+    /// assert_eq!(rs.decode_combined(&rs.syndromes(&bad), &[6]), None);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn decode_combined(&self, synd: &[u16], erasures: &[usize]) -> Option<Vec<(usize, u16)>> {
+        assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
+        let nu = erasures.len();
+        if nu == 0 {
+            // No erasures: plain error location (clean words included).
+            if synd.iter().all(|&s| s == 0) {
+                return Some(Vec::new());
+            }
+            return self.locate_errors(synd);
+        }
+        let gf = &self.gf;
+        // Erasure locator Γ(x) = Π (1 + X_i·x), X_i = α^{p_i} (char 2).
+        let mut gamma = vec![1u16];
+        for &p in erasures {
+            assert!(p < self.n, "erasure position {p} out of range");
+            gamma = gf.poly_mul(&gamma, &[1, gf.alpha_pow(p as i64)]);
+        }
+        // Modified syndromes: the erasure contributions vanish for j ≥ ν.
+        let modified: Vec<u16> = (nu..2 * self.t)
+            .map(|j| {
+                gamma
+                    .iter()
+                    .enumerate()
+                    .fold(0u16, |acc, (k, &g)| gf.add(acc, gf.mul(g, synd[j - k])))
+            })
+            .collect();
+        if modified.iter().all(|&x| x == 0) {
+            // No errors outside the erased set (Ξ = 0 is equivalent to the
+            // residual checks of the plain solve passing).
+            let mags = self.erasure_magnitudes(synd, erasures)?;
+            return Some(erasures.iter().copied().zip(mags).collect());
+        }
+        if 2 * self.t - nu < 2 {
+            // Errors present but no remaining correction capacity.
+            return None;
+        }
+        // t ≤ 2 leaves capacity for exactly one error: a genuine single
+        // error at q makes every Ξ_j = C·α^{q·j} nonzero with constant
+        // consecutive ratio α^q.
+        if modified.contains(&0) {
+            return None;
+        }
+        let ratio = gf.div(modified[1], modified[0]);
+        if modified.windows(2).any(|w| gf.div(w[1], w[0]) != ratio) {
+            return None;
+        }
+        let q = gf.log(ratio)? as usize;
+        if q >= self.n || erasures.contains(&q) {
+            return None;
+        }
+        let mut positions: Vec<usize> = erasures.to_vec();
+        positions.push(q);
+        // The full Vandermonde solve re-checks any remaining syndrome
+        // equations; a zero "error" magnitude is inconsistent with Ξ ≠ 0.
+        let mags = self.erasure_magnitudes(synd, &positions)?;
+        if *mags.last().expect("ν + 1 ≥ 1 magnitudes") == 0 {
+            return None;
+        }
+        Some(positions.into_iter().zip(mags).collect())
+    }
+
+    fn locate_t2(&self, synd: &[u16]) -> Option<RsLocated> {
         let gf = &self.gf;
         let (s0, s1, s2, s3) = (synd[0], synd[1], synd[2], synd[3]);
         // ν = 2: solve [S0 S1; S1 S2]·[σ2 σ1]ᵀ = [S2 S3]ᵀ.
@@ -425,15 +547,20 @@ impl RsCode {
             let sigma1 = gf.div(gf.add(gf.mul(s0, s3), gf.mul(s1, s2)), det);
             let sigma2 = gf.div(gf.add(gf.mul(s1, s3), gf.mul(s2, s2)), det);
             // Λ(x) = 1 + σ1·x + σ2·x²; roots at X_i⁻¹ = α^{-pos}.
-            let mut positions = Vec::new();
+            let mut positions = [0usize; 2];
+            let mut n_pos = 0usize;
             for pos in 0..self.n {
                 let x = gf.alpha_pow(-(pos as i64));
                 let v = gf.add(gf.add(1, gf.mul(sigma1, x)), gf.mul(sigma2, gf.mul(x, x)));
                 if v == 0 {
-                    positions.push(pos);
+                    if n_pos == 2 {
+                        return None;
+                    }
+                    positions[n_pos] = pos;
+                    n_pos += 1;
                 }
             }
-            if positions.len() != 2 {
+            if n_pos != 2 {
                 return None;
             }
             let (x1, x2) = (
@@ -446,7 +573,7 @@ impl RsCode {
             if e1 == 0 || e2 == 0 {
                 return None;
             }
-            return Some(vec![(positions[0], e1), (positions[1], e2)]);
+            return Some(RsLocated::two(positions[0], e1, positions[1], e2));
         }
         // ν = 1: S_l = e·α^{l·pos} for all four syndromes.
         if s0 == 0 {
@@ -460,7 +587,37 @@ impl RsCode {
         if gf.mul(s1, ratio) != s2 || gf.mul(s2, ratio) != s3 {
             return None;
         }
-        Some(vec![(pos, s0)])
+        Some(RsLocated::one(pos, s0))
+    }
+}
+
+/// The corrections of a syndrome-domain error location, in fixed-capacity
+/// form (no allocation — the Monte-Carlo hot-loop variant of the
+/// `Vec`-returning [`RsCode::locate_errors`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsLocated {
+    pairs: [(usize, u16); 2],
+    len: u8,
+}
+
+impl RsLocated {
+    fn one(pos: usize, val: u16) -> Self {
+        Self {
+            pairs: [(pos, val), (0, 0)],
+            len: 1,
+        }
+    }
+
+    fn two(p1: usize, v1: u16, p2: usize, v2: u16) -> Self {
+        Self {
+            pairs: [(p1, v1), (p2, v2)],
+            len: 2,
+        }
+    }
+
+    /// The located `(position, magnitude)` corrections.
+    pub fn corrections(&self) -> &[(usize, u16)] {
+        &self.pairs[..self.len as usize]
     }
 }
 
