@@ -2,9 +2,11 @@
 //!
 //! Measures the lifetime simulator's throughput (DIMM-epochs/sec and
 //! erasure-mode classifications/sec, at one worker and at all workers) on
-//! an erasure-heavy configuration, runs the full scenario matrix at the
-//! default fleet configuration, and writes `BENCH_lifetime.json` (schema
-//! `lifetime-bench/v1`, field reference in the `muse-bench` crate docs).
+//! an erasure-heavy configuration, the checkpoint overhead of the
+//! crash-safe sharded runner (plain vs checkpointed vs resumed-from-half),
+//! runs the full scenario matrix at the default fleet configuration, and
+//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v1`, field
+//! reference in the `muse-bench` crate docs).
 //!
 //! Usage:
 //!
@@ -19,8 +21,8 @@
 use std::time::Instant;
 
 use muse_lifetime::{
-    scenario_codes, simulate_fleet, smoke_expected, smoke_setup, Environment, FleetCode,
-    FleetConfig, LifetimeReport,
+    run_sharded, scenario_codes, simulate_fleet, smoke_setup, verify_smoke, Environment, FleetCode,
+    FleetConfig, LifetimeReport, RunnerConfig,
 };
 
 /// Best-of-3 wall-clock seconds for one run.
@@ -86,23 +88,17 @@ fn main() {
         // Assert the pinned smoke tallies (the single source of truth
         // shared with crates/lifetime/tests/regression.rs).
         let (env, config) = smoke_setup();
-        for (code, (name, due, sdc, corrected, reads)) in
-            scenario_codes().iter().zip(smoke_expected())
-        {
-            let r = simulate_fleet(code, &env, &config);
-            assert_eq!(r.code, name, "scenario order drifted");
-            assert_eq!(
-                (
-                    r.tally.due_words,
-                    r.tally.sdc_words,
-                    r.tally.corrected_words,
-                    r.tally.erasure_reads
-                ),
-                (due, sdc, corrected, reads),
-                "pinned smoke tally drifted for {name}"
-            );
+        let reports: Vec<_> = scenario_codes()
+            .iter()
+            .map(|code| simulate_fleet(code, &env, &config))
+            .collect();
+        if let Err(drift) = verify_smoke(&reports) {
+            panic!("pinned smoke tally drifted: {drift}");
         }
-        println!("smoke tallies match the pins for all 4 codes");
+        println!(
+            "smoke tallies match the pins for all {} codes",
+            reports.len()
+        );
     }
 
     // Throughput: erasure-heavy fleet, MUSE and RS, 1 thread vs all.
@@ -156,6 +152,82 @@ fn main() {
         ));
     }
 
+    // Checkpoint overhead of the crash-safe sharded runner: the same
+    // erasure-heavy fleet plain, checkpointed every shard, and resumed
+    // from a half-complete checkpoint.
+    let ckpt_code = &thr_codes[0];
+    let ckpt_config = FleetConfig {
+        threads: 1,
+        dimms: if smoke { 32 } else { thr_config.dimms },
+        ..thr_config
+    };
+    let shards = 8u32;
+    let dir = std::env::temp_dir().join(format!("muse-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = RunnerConfig {
+        shards,
+        checkpoint_dir: Some(dir.clone()),
+        ..RunnerConfig::default()
+    };
+    let plain_seconds = measure(|| {
+        simulate_fleet(ckpt_code, &thr_env, &ckpt_config);
+    });
+    let mut checkpoint_writes = 0;
+    let checkpointed_seconds = measure(|| {
+        let outcome = run_sharded(ckpt_code, &thr_env, &ckpt_config, &runner, None)
+            .expect("checkpointed run");
+        checkpoint_writes = outcome.stats().checkpoint_writes;
+    });
+    // Resume: re-prime a half-complete checkpoint before every timed leg.
+    let resume_from_half_seconds = (0..3)
+        .map(|_| {
+            run_sharded(
+                ckpt_code,
+                &thr_env,
+                &ckpt_config,
+                &RunnerConfig {
+                    stop_after_shards: Some(u64::from(shards) / 2),
+                    ..runner.clone()
+                },
+                None,
+            )
+            .expect("interrupted half run");
+            let start = Instant::now();
+            run_sharded(
+                ckpt_code,
+                &thr_env,
+                &ckpt_config,
+                &RunnerConfig {
+                    resume: true,
+                    ..runner.clone()
+                },
+                None,
+            )
+            .expect("resumed run");
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let _ = std::fs::remove_dir_all(&dir);
+    let overhead_pct = 100.0 * (checkpointed_seconds - plain_seconds) / plain_seconds;
+    println!(
+        "\ncheckpointing: plain {plain_seconds:.3}s, checkpointed {checkpointed_seconds:.3}s \
+         ({overhead_pct:+.1}% over {checkpoint_writes} writes), resume-from-half \
+         {resume_from_half_seconds:.3}s"
+    );
+    let resume_json = format!(
+        concat!(
+            "  \"resume\": {{\"shards\": {}, \"checkpoint_writes\": {}, ",
+            "\"plain_seconds\": {:.6}, \"checkpointed_seconds\": {:.6}, ",
+            "\"overhead_pct\": {:.3}, \"resume_from_half_seconds\": {:.6}}},\n"
+        ),
+        shards,
+        checkpoint_writes,
+        plain_seconds,
+        checkpointed_seconds,
+        overhead_pct,
+        resume_from_half_seconds,
+    );
+
     // Scenario matrix rates.
     let matrix_config = if smoke {
         FleetConfig {
@@ -202,6 +274,7 @@ fn main() {
     json.push_str("  \"throughput\": [\n");
     json.push_str(&throughput_rows.join(",\n"));
     json.push_str("\n  ],\n");
+    json.push_str(&resume_json);
     json.push_str("  \"scenarios\": [\n");
     let body: Vec<String> = reports.iter().map(scenario_json).collect();
     json.push_str(&body.join(",\n"));

@@ -81,6 +81,14 @@
 //!                       "erasure_reads_per_sec": 13000000}
 //!     }
 //!   ],
+//!   "resume": {                 // crash-safe sharded-runner overhead
+//!     "shards": 8,              // shard count of the measured run
+//!     "checkpoint_writes": 8,   // generations persisted
+//!     "plain_seconds": 0.21,            // simulate_fleet, no sharding
+//!     "checkpointed_seconds": 0.21,     // sharded + checkpoint every shard
+//!     "overhead_pct": 0.5,              // checkpointed vs plain
+//!     "resume_from_half_seconds": 0.10  // resume of a half-done checkpoint
+//!   },
 //!   "scenarios": [              // one row per code x environment
 //!     {
 //!       "code": "MUSE(144,132)", "environment": "chipkill-heavy",
@@ -94,8 +102,15 @@
 //! ```
 //!
 //! `--smoke` (used by CI) first asserts the pinned small-fleet tallies of
-//! `crates/lifetime/tests/regression.rs`, then writes a reduced snapshot.
+//! `crates/lifetime/tests/regression.rs` (via
+//! `muse_lifetime::verify_smoke`), then writes a reduced snapshot.
 //! All rates are deterministic — bit-identical at any worker count.
+//!
+//! The `resume` row exercises the `lifetime-ckpt/v1` checkpoint store
+//! (two alternating generations, atomic write-temp-fsync-rename,
+//! CRC-32-validated records; full layout in the `muse-lifetime`
+//! `checkpoint` module docs): the overhead of persisting every shard
+//! boundary, and the wall-clock of resuming a run interrupted halfway.
 
 pub mod baseline;
 pub mod experiments;

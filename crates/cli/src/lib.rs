@@ -15,9 +15,17 @@
 //!   144-bit channel, classified in the GF-syndrome domain for both `t`
 //!   values (no wide decode per trial).
 //! * `lifetime [--dimms N] [--years Y] [--scrub-hours H] [--spares S]
-//!   [--seed X] [--threads T]` — the fleet-lifetime scenario matrix:
-//!   DUE/SDC/repair rates per machine-year for every code × environment,
-//!   with erasure-mode degraded operation (see the `muse-lifetime` crate).
+//!   [--seed X] [--threads T] [--shards K] [--checkpoint-dir D]
+//!   [--resume] [--inject SPEC] [--smoke]` — the fleet-lifetime scenario
+//!   matrix: DUE/SDC/repair rates per machine-year for every code ×
+//!   environment, with erasure-mode degraded operation (see the
+//!   `muse-lifetime` crate). With `--checkpoint-dir` every cell runs
+//!   through the crash-safe sharded supervisor (checkpoints survive
+//!   interruption; `--resume` continues bit-identically); `--inject`
+//!   drives the deterministic fault plan
+//!   (`kill=<p>,crash-after=<n>,corrupt=<gen>:<truncate|bitflip>,`
+//!   `delay=<ms>,fault-seed=<x>`); `--smoke` checks the pinned CI
+//!   tallies instead of printing the matrix.
 //!
 //! The command layer is a plain function from parsed arguments to a
 //! [`String`], so every path is unit-testable without spawning processes.
@@ -58,6 +66,8 @@ USAGE:
                    [--trials <n>] [--devices <k>] [--threads <t>]
   muse-tool lifetime [--dimms <n>] [--years <y>] [--scrub-hours <h>]
                      [--spares <s>] [--seed <x>] [--threads <t>]
+                     [--shards <k>] [--checkpoint-dir <dir>] [--resume]
+                     [--inject <spec>] [--smoke]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
   muse-tool spec <preset>
 
@@ -286,17 +296,69 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("lifetime") => {
             let rest: Vec<&str> = it.collect();
-            let config = muse_lifetime::FleetConfig {
-                dimms: parse_or(&rest, "--dimms", 1024)?,
-                years: parse_or(&rest, "--years", 5.0)?,
-                scrub_interval_hours: parse_or(&rest, "--scrub-hours", 12.0)?,
-                spares_per_dimm: parse_or(&rest, "--spares", 0)?,
-                seed: parse_or(&rest, "--seed", 0xF1EE_7155)?,
-                threads: parse_or(&rest, "--threads", 0)?,
-                ..muse_lifetime::FleetConfig::default()
+            let smoke = has_flag(&rest, "--smoke");
+            let (smoke_env, smoke_config) = muse_lifetime::smoke_setup();
+            let mut config = if smoke {
+                smoke_config
+            } else {
+                muse_lifetime::FleetConfig {
+                    dimms: parse_or(&rest, "--dimms", 1024)?,
+                    years: parse_or(&rest, "--years", 5.0)?,
+                    scrub_interval_hours: parse_or(&rest, "--scrub-hours", 12.0)?,
+                    spares_per_dimm: parse_or(&rest, "--spares", 0)?,
+                    ..muse_lifetime::FleetConfig::default()
+                }
             };
-            let reports = muse_lifetime::run_matrix(&config);
-            let mut out = format!(
+            // Seed/threads stay overridable even under --smoke: threads
+            // never changes tallies, and a seed change is exactly what the
+            // config-hash fencing tests need to provoke.
+            config.seed = parse_or(&rest, "--seed", config.seed)?;
+            config.threads = parse_or(&rest, "--threads", config.threads)?;
+            let shards: u32 = parse_or(&rest, "--shards", 0)?;
+            let checkpoint_dir =
+                flag_value(&rest, "--checkpoint-dir")?.map(std::path::PathBuf::from);
+            let resume = has_flag(&rest, "--resume");
+            let (faults, crash_after) = match flag_value(&rest, "--inject")? {
+                Some(spec) => {
+                    let (plan, crash) = parse_inject(spec)?;
+                    (Some(plan), crash)
+                }
+                None => (None, None),
+            };
+            let envs = if smoke {
+                vec![smoke_env]
+            } else {
+                muse_lifetime::scenario_environments()
+            };
+            let sharded = checkpoint_dir.is_some() || shards != 0 || faults.is_some();
+            let (reports, banners) = run_lifetime_cells(
+                &muse_lifetime::scenario_codes(),
+                &envs,
+                &config,
+                LifetimeRun {
+                    sharded,
+                    shards,
+                    checkpoint_dir,
+                    resume,
+                    faults,
+                    crash_after,
+                },
+            )?;
+            let mut out = String::new();
+            for banner in &banners {
+                out.push_str(banner);
+                out.push('\n');
+            }
+            if smoke {
+                muse_lifetime::verify_smoke(&reports)
+                    .map_err(|drift| err(format!("smoke pin mismatch: {drift}")))?;
+                out.push_str(&format!(
+                    "smoke tallies match the pins for all {} codes",
+                    reports.len()
+                ));
+                return Ok(out);
+            }
+            out.push_str(&format!(
                 "fleet: {} DIMMs x {} years ({:.0} machine-years), scrub every {}h, {} spares/DIMM\n\n{:<16} {:<21} {:>10} {:>10} {:>11} {:>9} {:>9}\n",
                 config.dimms,
                 config.years,
@@ -310,7 +372,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 "repairs/yr",
                 "degraded",
                 "era-reads",
-            );
+            ));
             for r in &reports {
                 out.push_str(&format!(
                     "{:<16} {:<21} {:>10.5} {:>10.5} {:>11.4} {:>8.2}% {:>9}\n",
@@ -332,6 +394,138 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
+}
+
+/// How the `lifetime` subcommand should execute its matrix cells.
+struct LifetimeRun {
+    /// Route cells through the sharded supervisor (any of the sharding
+    /// flags present) instead of the plain simulator.
+    sharded: bool,
+    shards: u32,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
+    faults: Option<muse_lifetime::FaultPlan>,
+    crash_after: Option<u64>,
+}
+
+/// One checkpoint prefix per matrix cell, so every cell's generations
+/// live in their own slot files inside the shared directory.
+fn cell_prefix(code: &muse_lifetime::FleetCode, env: &muse_lifetime::Environment) -> String {
+    format!("{}-{}", code.name(), env.name)
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Runs every `codes × envs` cell, through the crash-safe sharded
+/// supervisor when requested, returning the reports plus any resume
+/// banners. An injected crash (`crash-after=<n>`) surfaces as an error so
+/// the process exits nonzero with the checkpoint safely on disk.
+fn run_lifetime_cells(
+    codes: &[muse_lifetime::FleetCode],
+    envs: &[muse_lifetime::Environment],
+    config: &muse_lifetime::FleetConfig,
+    run: LifetimeRun,
+) -> Result<(Vec<muse_lifetime::LifetimeReport>, Vec<String>), CliError> {
+    let mut reports = Vec::with_capacity(codes.len() * envs.len());
+    let mut banners = Vec::new();
+    for code in codes {
+        for env in envs {
+            if !run.sharded {
+                reports.push(muse_lifetime::simulate_fleet(code, env, config));
+                continue;
+            }
+            let runner = muse_lifetime::RunnerConfig {
+                shards: run.shards,
+                checkpoint_dir: run.checkpoint_dir.clone(),
+                checkpoint_prefix: cell_prefix(code, env),
+                resume: run.resume,
+                stop_after_shards: run.crash_after,
+                ..muse_lifetime::RunnerConfig::default()
+            };
+            let outcome =
+                muse_lifetime::run_sharded(code, env, config, &runner, run.faults.as_ref())
+                    .map_err(|e| err(e.to_string()))?;
+            let stats = outcome.stats();
+            if let Some(info) = &stats.resume {
+                banners.push(format!(
+                    "resume: {} x {} — generation {}, {}/{} shards done, {:.1} machine-years \
+                     covered{}",
+                    code.name(),
+                    env.name,
+                    info.generation,
+                    info.shards_done,
+                    info.total_shards,
+                    info.machine_years_done,
+                    if info.fell_back {
+                        " (newest checkpoint corrupt; fell back to previous generation)"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            match outcome {
+                muse_lifetime::ShardedOutcome::Complete { report, .. } => reports.push(report),
+                muse_lifetime::ShardedOutcome::Interrupted { stats } => {
+                    return Err(err(format!(
+                        "injected crash in cell {} x {} after {} shards ({} checkpoint writes); \
+                         rerun with --resume to continue bit-identically",
+                        code.name(),
+                        env.name,
+                        stats.shards_run,
+                        stats.checkpoint_writes,
+                    )));
+                }
+            }
+        }
+    }
+    Ok((reports, banners))
+}
+
+/// Parses an `--inject` spec: comma-separated `key=value` pairs from
+/// `kill=<prob>`, `crash-after=<shards>`,
+/// `corrupt=<generation>:<truncate|bitflip>`, `delay=<ms>`, and
+/// `fault-seed=<seed>`.
+fn parse_inject(spec: &str) -> Result<(muse_lifetime::FaultPlan, Option<u64>), CliError> {
+    let mut plan = muse_lifetime::FaultPlan::default();
+    let mut crash_after = None;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("--inject: {part:?} is not key=value")))?;
+        let bad = |what: &str| err(format!("--inject {key}: cannot parse {what}"));
+        match key {
+            "kill" => plan.kill_prob = value.parse().map_err(|_| bad(value))?,
+            "crash-after" => crash_after = Some(value.parse().map_err(|_| bad(value))?),
+            "delay" => plan.delay_ms_max = value.parse().map_err(|_| bad(value))?,
+            "fault-seed" => plan.seed = value.parse().map_err(|_| bad(value))?,
+            "corrupt" => {
+                let (generation, kind) = value
+                    .split_once(':')
+                    .ok_or_else(|| err("--inject corrupt needs <generation>:<truncate|bitflip>"))?;
+                let kind = match kind {
+                    "truncate" => muse_lifetime::Corruption::Truncate,
+                    "bitflip" => muse_lifetime::Corruption::BitFlip,
+                    other => return Err(err(format!("--inject corrupt: unknown kind {other:?}"))),
+                };
+                plan.corrupt_generation =
+                    Some((generation.parse().map_err(|_| bad(generation))?, kind));
+            }
+            other => {
+                return Err(err(format!(
+                    "--inject: unknown key {other:?} (kill, crash-after, corrupt, delay, \
+                     fault-seed)"
+                )))
+            }
+        }
+    }
+    Ok((plan, crash_after))
 }
 
 fn parse_hex(s: &str) -> Result<Word, CliError> {
@@ -473,6 +667,53 @@ mod tests {
             "thread count must not change the rates"
         );
         assert!(run_str("lifetime --dimms zzz").is_err());
+    }
+
+    #[test]
+    fn lifetime_smoke_checks_the_pins() {
+        let out = run_str("lifetime --smoke").unwrap();
+        assert!(
+            out.contains("smoke tallies match the pins for all 4 codes"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn lifetime_crash_resume_cycle() {
+        let dir = std::env::temp_dir().join(format!("muse-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!(
+            "lifetime --smoke --checkpoint-dir {} --shards 4",
+            dir.display()
+        );
+        // Injected crash after one shard: nonzero exit, checkpoint on disk.
+        let crashed = run_str(&format!("{base} --inject crash-after=1")).unwrap_err();
+        assert!(crashed.0.contains("injected crash"), "{crashed}");
+        assert!(crashed.0.contains("--resume"), "{crashed}");
+        // Resume completes, prints the banner, and still matches the pins.
+        let out = run_str(&format!("{base} --resume")).unwrap();
+        assert!(out.contains("resume: MUSE(144,132) x smoke"), "{out}");
+        assert!(out.contains("1/4 shards done"), "{out}");
+        assert!(out.contains("machine-years covered"), "{out}");
+        assert!(
+            out.contains("smoke tallies match the pins for all 4 codes"),
+            "{out}"
+        );
+        // Resuming under a different seed is refused with a clear message.
+        run_str(&format!("{base} --inject crash-after=1")).unwrap_err();
+        let mismatch = run_str(&format!("{base} --resume --seed 1")).unwrap_err();
+        assert!(mismatch.0.contains("config-hash mismatch"), "{mismatch}");
+        assert!(mismatch.0.contains("refusing to resume"), "{mismatch}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifetime_inject_spec_is_validated() {
+        assert!(run_str("lifetime --smoke --inject kill=zzz").is_err());
+        assert!(run_str("lifetime --smoke --inject crash-after").is_err());
+        assert!(run_str("lifetime --smoke --inject corrupt=3").is_err());
+        assert!(run_str("lifetime --smoke --inject corrupt=3:melt").is_err());
+        assert!(run_str("lifetime --smoke --inject nope=1").is_err());
     }
 
     #[test]

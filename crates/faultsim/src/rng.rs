@@ -88,6 +88,21 @@ impl Rng {
         Self::for_trial(seed ^ z ^ (z >> 31), step)
     }
 
+    /// Counter-based *shard-supervision* stream derivation: the generator
+    /// for `(shard, attempt)` under `seed` — e.g. the fault-injection
+    /// decisions of shard `shard`'s `attempt`-th execution in the
+    /// fleet-lifetime sharded runner.
+    ///
+    /// Supervision draws (kill-this-attempt?, completion delays) must be a
+    /// pure function of `(seed, shard, attempt)` so injected failures
+    /// reproduce exactly across reruns and resumes, and must never overlap
+    /// the simulation's own [`Self::for_cell`] streams (a fault plan
+    /// sharing the fleet seed must not perturb tallies). The shard axis is
+    /// therefore salted into its own domain before the 2-D derivation.
+    pub fn for_shard(seed: u64, shard: u64, attempt: u64) -> Self {
+        Self::for_cell(seed ^ 0x5AAD_5AAD_5AAD_5AAD, shard, attempt)
+    }
+
     /// Counter-based *block* stream derivation: the generator for trial
     /// block `block` under `seed`.
     ///
@@ -465,6 +480,25 @@ mod tests {
         let x = lane0.next_u64();
         assert_ne!(x, trial.next_u64());
         assert_ne!(x, block.next_u64());
+    }
+
+    #[test]
+    fn shard_streams_are_domain_separated() {
+        // Supervision streams must not collapse onto the simulation's own
+        // derivations for the same seed, and must be deterministic per
+        // (shard, attempt).
+        let mut a = Rng::for_shard(7, 3, 1);
+        let mut b = Rng::for_shard(7, 3, 1);
+        let mut cell = Rng::for_cell(7, 3, 1);
+        let mut other_attempt = Rng::for_shard(7, 3, 2);
+        let mut other_shard = Rng::for_shard(7, 4, 1);
+        for _ in 0..32 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, cell.next_u64(), "must not overlap for_cell");
+            assert_ne!(x, other_attempt.next_u64());
+            assert_ne!(x, other_shard.next_u64());
+        }
     }
 
     #[test]

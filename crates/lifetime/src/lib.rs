@@ -63,12 +63,22 @@
 
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod classify;
+mod shard;
 mod sim;
+mod supervisor;
 
+pub use checkpoint::{
+    config_hash, crc32, Checkpoint, CheckpointError, CheckpointStore, Corruption, Loaded,
+};
 pub use classify::{FleetBackend, FleetContext};
 pub use muse_core::{Classifier, Entropy, MuseClassifier, Strike, WordRead};
 pub use muse_rs::RsClassifier;
+pub use shard::ShardPlan;
+pub use supervisor::{
+    run_sharded, FaultPlan, ResumeInfo, RunStats, RunnerConfig, RunnerError, ShardedOutcome,
+};
 
 use muse_core::MuseCode;
 use muse_faultsim::Tally;
@@ -136,6 +146,28 @@ impl FleetCode {
             Self::Rs { code, device_bits } => (code.n_bits() / device_bits) as usize,
         }
     }
+
+    /// Canonical encoding for [`config_hash`]: a variant tag followed by
+    /// the complete code identity — the MUSE spec string (layout,
+    /// weights, moduli), or the RS geometry `(symbol_bits, n_bits, t,
+    /// device_bits)`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            Self::Muse(code) => {
+                let mut out = vec![0u8];
+                out.extend_from_slice(code.to_spec_string().as_bytes());
+                out
+            }
+            Self::Rs { code, device_bits } => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&code.symbol_bits().to_le_bytes());
+                out.extend_from_slice(&code.n_bits().to_le_bytes());
+                out.extend_from_slice(&(code.inner().t() as u32).to_le_bytes());
+                out.extend_from_slice(&device_bits.to_le_bytes());
+                out
+            }
+        }
+    }
 }
 
 /// A fault environment: per-mode rate scaling over the base
@@ -152,6 +184,22 @@ pub struct Environment {
     /// Retention-style asymmetry: transient flips only discharge `1→0`
     /// (Section III-C), halving their effective rate on uniform data.
     pub asymmetric_transients: bool,
+}
+
+impl Environment {
+    /// Canonical encoding for [`config_hash`]: name (length-prefixed)
+    /// and every rate field, floats as IEEE-754 bit patterns.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.transient_fit_per_device.to_bits().to_le_bytes());
+        for scale in self.permanent_scale {
+            out.extend_from_slice(&scale.to_bits().to_le_bytes());
+        }
+        out.push(self.asymmetric_transients as u8);
+        out
+    }
 }
 
 /// Transient-dominant environment: soft errors far outnumber permanent
@@ -265,6 +313,26 @@ impl FleetConfig {
     /// Machine-years covered by the whole fleet run.
     pub fn machine_years(&self) -> f64 {
         self.dimms as f64 * self.years / self.dimms_per_machine as f64
+    }
+
+    /// Canonical encoding for [`config_hash`]: every field in
+    /// declaration order, floats as IEEE-754 bit patterns — **except**
+    /// [`threads`](Self::threads). Tallies are bit-identical at any
+    /// thread count, so a checkpoint must stay valid when the worker
+    /// count changes (e.g. resuming on a different machine).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.dimms.to_le_bytes());
+        out.extend_from_slice(&self.years.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.scrub_interval_hours.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.words_per_dimm.to_le_bytes());
+        out.extend_from_slice(&self.row_words.to_le_bytes());
+        out.extend_from_slice(&self.dimms_per_machine.to_le_bytes());
+        out.extend_from_slice(&self.spares_per_dimm.to_le_bytes());
+        out.extend_from_slice(&self.demand_read_hours.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.initial_failed_devices.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out
     }
 }
 
@@ -421,24 +489,108 @@ pub fn smoke_setup() -> (Environment, FleetConfig) {
     )
 }
 
+/// One pinned [`smoke_setup`] row: the tallies [`scenario_codes`] entry
+/// `code` must reproduce exactly. Named fields so adding a pin (or a
+/// field) is one edit here, not lockstep tuple-index surgery across
+/// every consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmokeExpectation {
+    /// Code display name ([`FleetCode::name`]).
+    pub code: &'static str,
+    /// Expected [`LifetimeTally::due_words`].
+    pub due_words: u64,
+    /// Expected [`LifetimeTally::sdc_words`].
+    pub sdc_words: u64,
+    /// Expected [`LifetimeTally::corrected_words`].
+    pub corrected_words: u64,
+    /// Expected [`LifetimeTally::erasure_reads`].
+    pub erasure_reads: u64,
+}
+
 /// The pinned [`smoke_setup`] tallies, one row per [`scenario_codes`]
-/// entry: `(code name, due_words, sdc_words, corrected_words,
-/// erasure_reads)`. Any intentional change to RNG streams, arrival
-/// sampling, or erasure classification must re-baseline these (and say so
-/// in CHANGES.md).
+/// entry. Any intentional change to RNG streams, arrival sampling, or
+/// erasure classification must re-baseline these (and say so in
+/// CHANGES.md).
 ///
 /// Re-baselined when degraded reads switched to combined
 /// error-and-erasure decoding: the `t = 2` RS rows now correct every
 /// single transient under one erased chip (previously all DUEs), and the
 /// MUSE rows recover the unique-explanation fraction; `t = 1` RS rows are
 /// unchanged (one erasure consumes the whole `2t = 2` budget).
-pub fn smoke_expected() -> [(&'static str, u64, u64, u64, u64); 4] {
-    [
-        ("MUSE(144,132)", 1781, 2, 239, 2022),
-        ("MUSE(80,69)", 981, 1, 105, 1087),
-        ("RS(144,128) t=1", 1935, 33, 57, 2025),
-        ("RS(144,112) t=2", 0, 0, 2025, 2025),
+pub fn smoke_expected() -> Vec<SmokeExpectation> {
+    vec![
+        SmokeExpectation {
+            code: "MUSE(144,132)",
+            due_words: 1781,
+            sdc_words: 2,
+            corrected_words: 239,
+            erasure_reads: 2022,
+        },
+        SmokeExpectation {
+            code: "MUSE(80,69)",
+            due_words: 981,
+            sdc_words: 1,
+            corrected_words: 105,
+            erasure_reads: 1087,
+        },
+        SmokeExpectation {
+            code: "RS(144,128) t=1",
+            due_words: 1935,
+            sdc_words: 33,
+            corrected_words: 57,
+            erasure_reads: 2025,
+        },
+        SmokeExpectation {
+            code: "RS(144,112) t=2",
+            due_words: 0,
+            sdc_words: 0,
+            corrected_words: 2025,
+            erasure_reads: 2025,
+        },
     ]
+}
+
+/// Checks a batch of [`smoke_setup`] reports — one per [`scenario_codes`]
+/// entry, in order — against the [`smoke_expected`] pins. Shared by the
+/// regression tests, `bench_lifetime --smoke`, and the CLI's crash-
+/// recovery smoke so all three compare against the same baselines.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatching row (or a
+/// row-count mismatch).
+pub fn verify_smoke(reports: &[LifetimeReport]) -> Result<(), String> {
+    let pins = smoke_expected();
+    if reports.len() != pins.len() {
+        return Err(format!(
+            "expected {} smoke reports, got {}",
+            pins.len(),
+            reports.len()
+        ));
+    }
+    for (report, pin) in reports.iter().zip(&pins) {
+        if report.code != pin.code {
+            return Err(format!(
+                "smoke row order: expected {}, got {}",
+                pin.code, report.code
+            ));
+        }
+        let t = &report.tally;
+        let got = (t.due_words, t.sdc_words, t.corrected_words, t.erasure_reads);
+        let want = (
+            pin.due_words,
+            pin.sdc_words,
+            pin.corrected_words,
+            pin.erasure_reads,
+        );
+        if got != want {
+            return Err(format!(
+                "{}: (due, sdc, corrected, erasure_reads) = {got:?}, pinned {want:?}",
+                pin.code
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Runs the full scenario matrix — [`scenario_codes`] ×

@@ -1,0 +1,87 @@
+//! Deterministic fleet sharding: a fixed partition of the DIMM index
+//! space into contiguous, near-equal ranges.
+//!
+//! Because every `(DIMM, epoch)` draws from its own counter-based stream
+//! ([`muse_faultsim::Rng::for_cell`]), shard boundaries carry no
+//! randomness: a shard's tally is bit-identical to the same DIMM range of
+//! an unsharded run, and merging shard tallies (plain field-wise sums)
+//! reproduces the unsharded total exactly — in any execution order, at
+//! any thread count, across any interrupt/resume pattern.
+
+use std::ops::Range;
+
+/// A fixed partition of `dimms` DIMMs into `count` contiguous shards.
+///
+/// Shard `s` covers `dimms/count` DIMMs, with the first `dimms % count`
+/// shards one DIMM larger — every shard is nonempty and the ranges tile
+/// `0..dimms` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    dimms: u64,
+    count: u32,
+}
+
+impl ShardPlan {
+    /// A plan splitting `dimms` into `count` shards. `count == 0` picks a
+    /// default (16, capped at one DIMM per shard); any `count` is clamped
+    /// to `[1, dimms]` so no shard is empty.
+    pub fn new(dimms: u64, count: u32) -> Self {
+        let want = if count == 0 { 16 } else { count as u64 };
+        Self {
+            dimms,
+            count: want.clamp(1, dimms.max(1)) as u32,
+        }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Total DIMMs the plan partitions.
+    pub fn dimms(&self) -> u64 {
+        self.dimms
+    }
+
+    /// The global DIMM-index range of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.count()`.
+    pub fn range(&self, shard: u32) -> Range<u64> {
+        assert!(shard < self.count, "shard {shard} of {}", self.count);
+        let base = self.dimms / self.count as u64;
+        let rem = self.dimms % self.count as u64;
+        let s = shard as u64;
+        let lo = s * base + s.min(rem);
+        lo..lo + base + u64::from(s < rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_exactly() {
+        for (dimms, count) in [(10u64, 4u32), (5, 4), (1, 16), (1024, 16), (7, 7), (96, 5)] {
+            let plan = ShardPlan::new(dimms, count);
+            let mut cursor = 0u64;
+            for s in 0..plan.count() {
+                let r = plan.range(s);
+                assert_eq!(r.start, cursor, "dimms={dimms} count={count} s={s}");
+                assert!(r.end > r.start, "empty shard {s}");
+                cursor = r.end;
+            }
+            assert_eq!(cursor, dimms);
+        }
+    }
+
+    #[test]
+    fn zero_count_defaults_and_clamps() {
+        assert_eq!(ShardPlan::new(1024, 0).count(), 16);
+        assert_eq!(ShardPlan::new(3, 0).count(), 3);
+        assert_eq!(ShardPlan::new(3, 100).count(), 3);
+        assert_eq!(ShardPlan::new(0, 0).count(), 1);
+    }
+}

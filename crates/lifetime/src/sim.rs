@@ -133,15 +133,32 @@ pub(crate) fn run_fleet(
     env: &Environment,
     config: &FleetConfig,
 ) -> LifetimeTally {
+    run_fleet_range(code, env, config, 0..config.dimms)
+}
+
+/// Runs the DIMMs of `range` (global indices into the fleet) and merges
+/// their tallies — the unit of work of one shard.
+///
+/// Epoch `e` of global DIMM `d` draws only from
+/// `Rng::for_cell(seed, d, e)` no matter how the fleet is split, so the
+/// sum of any partition's range tallies is bit-identical to the
+/// unsharded [`run_fleet`] at any thread count.
+pub(crate) fn run_fleet_range(
+    code: &FleetCode,
+    env: &Environment,
+    config: &FleetConfig,
+    range: std::ops::Range<u64>,
+) -> LifetimeTally {
     let plan = Plan::new(code, env, config);
     // Validate the starting erased set once, up front (fails fast instead
     // of panicking inside a worker).
     drop(DimmState::fresh(&FleetBackend::new(code), config));
     SimEngine::new(config.threads).run_with(
         config.seed,
-        config.dimms,
+        range.end - range.start,
         || FleetBackend::new(code),
-        |dimm, _trial_rng, backend, tally: &mut LifetimeTally| {
+        |local, _trial_rng, backend, tally: &mut LifetimeTally| {
+            let dimm = range.start + local;
             let mut state = DimmState::fresh(backend, config);
             for epoch in 0..plan.epochs {
                 // The determinism contract: epoch e of DIMM d draws only

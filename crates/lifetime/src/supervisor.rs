@@ -1,0 +1,434 @@
+//! The resumable sharded runner: a supervisor that executes a
+//! [`ShardPlan`] shard by shard, retries failed shards with bounded
+//! exponential backoff, periodically persists a two-generation
+//! [`CheckpointStore`], and resumes bit-identically after any
+//! interruption.
+//!
+//! # Guarantees
+//!
+//! * **Equivalence.** The merged tally of a sharded run — interrupted at
+//!   any shard boundary any number of times, resumed on any machine with
+//!   any thread count, with any shards recomputed after injected kills —
+//!   is bit-identical to [`simulate_fleet`](crate::simulate_fleet)'s
+//!   uninterrupted run (`tests/resume.rs` sweeps every boundary).
+//! * **Crash safety.** Saves are atomic (write-temp, `fsync`, rename)
+//!   and alternate between two generation slots, so the previous
+//!   generation survives a crash mid-save; a corrupt newest generation
+//!   falls back to the previous one and only recomputes what it lacked.
+//! * **Config fencing.** Every checkpoint stores
+//!   [`config_hash`](crate::config_hash); resuming under a different
+//!   `(code, environment, config)` fails loudly instead of silently
+//!   restarting or mixing tallies. Thread count is excluded from the
+//!   hash — it must not invalidate a checkpoint.
+//!
+//! Failure injection ([`FaultPlan`]) is deterministic: every decision is
+//! a pure function of `(fault seed, shard, attempt)` via
+//! [`Rng::for_shard`], so the recovery paths are exercised reproducibly
+//! by the test suite and CI rather than trusted.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use muse_faultsim::{Rng, Tally};
+
+use crate::checkpoint::{config_hash, Checkpoint, CheckpointStore, Corruption};
+use crate::shard::ShardPlan;
+use crate::sim::run_fleet_range;
+use crate::{Environment, FleetCode, FleetConfig, LifetimeReport, LifetimeTally};
+
+/// Supervisor policy for one sharded run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Shard count (`0` ⇒ the [`ShardPlan`] default). A resumed run
+    /// adopts the checkpoint's shard count instead.
+    pub shards: u32,
+    /// Directory for checkpoints; `None` runs sharded but unpersisted.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// File-name prefix inside the directory (one prefix per concurrent
+    /// run — e.g. per scenario-matrix cell).
+    pub checkpoint_prefix: String,
+    /// Persist a generation after this many newly completed shards.
+    pub checkpoint_every: u32,
+    /// Resume from the newest valid checkpoint instead of starting clean.
+    pub resume: bool,
+    /// Retries per shard before the run fails (injected kills consume
+    /// attempts).
+    pub max_retries: u32,
+    /// First retry backoff in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Stop (checkpoint and return [`ShardedOutcome::Interrupted`]) after
+    /// this many shards have been run *in this invocation* — the
+    /// interruption hook used by the boundary-sweep tests and the CLI's
+    /// crash injection.
+    pub stop_after_shards: Option<u64>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            checkpoint_dir: None,
+            checkpoint_prefix: "fleet".to_string(),
+            checkpoint_every: 1,
+            resume: false,
+            max_retries: 5,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+            stop_after_shards: None,
+        }
+    }
+}
+
+/// Deterministic failure injection for the sharded runner. Every decision
+/// derives from [`Rng::for_shard`]`(seed, shard, attempt)` — disjoint
+/// from the simulation's own `(DIMM, epoch)` streams, so injection never
+/// perturbs tallies, only the path taken to compute them.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the injection streams.
+    pub seed: u64,
+    /// Probability that a given (shard, attempt) is killed mid-flight
+    /// (half the shard's work is done, then discarded).
+    pub kill_prob: f64,
+    /// Upper bound (exclusive, in milliseconds) of a uniform completion
+    /// delay per shard; `0` disables delays.
+    pub delay_ms_max: u64,
+    /// Corrupt this generation's checkpoint file right after it is
+    /// written — the next resume must fall back to the previous one.
+    pub corrupt_generation: Option<(u64, Corruption)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA17,
+            kill_prob: 0.0,
+            delay_ms_max: 0,
+            corrupt_generation: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Does this plan kill `shard`'s `attempt`-th execution?
+    pub fn kills(&self, shard: u32, attempt: u32) -> bool {
+        self.kill_prob > 0.0
+            && Rng::for_shard(self.seed, shard as u64, attempt as u64).chance(self.kill_prob)
+    }
+
+    /// Injected completion delay for `shard`, in milliseconds.
+    pub fn delay_ms(&self, shard: u32) -> u64 {
+        if self.delay_ms_max == 0 {
+            return 0;
+        }
+        Rng::for_shard(self.seed ^ 0xDE1A_DE1A_DE1A_DE1A, shard as u64, 0).below(self.delay_ms_max)
+    }
+}
+
+/// What a resumed run found on disk.
+#[derive(Debug, Clone)]
+pub struct ResumeInfo {
+    /// Generation of the checkpoint actually loaded.
+    pub generation: u64,
+    /// Shards already completed by the loaded checkpoint.
+    pub shards_done: u32,
+    /// Total shards of the (adopted) plan.
+    pub total_shards: u32,
+    /// DIMMs covered by the completed shards.
+    pub dimms_done: u64,
+    /// Machine-years already covered (drives the resume banner).
+    pub machine_years_done: f64,
+    /// True when the newest generation was corrupt and the previous one
+    /// was used instead.
+    pub fell_back: bool,
+}
+
+/// Counters describing how a sharded run executed.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Shards in the plan.
+    pub total_shards: u32,
+    /// Shards whose tallies came from the loaded checkpoint.
+    pub shards_resumed: u32,
+    /// Shards computed in this invocation.
+    pub shards_run: u32,
+    /// Attempts lost to injected kills (each retried with backoff).
+    pub retries: u32,
+    /// Checkpoint generations written in this invocation.
+    pub checkpoint_writes: u32,
+    /// Resume details when a checkpoint was loaded.
+    pub resume: Option<ResumeInfo>,
+}
+
+/// Result of [`run_sharded`]: either the fleet report, or a clean
+/// interruption with all completed shards persisted.
+#[derive(Debug, Clone)]
+pub enum ShardedOutcome {
+    /// The run finished; tallies are bit-identical to an uninterrupted
+    /// [`simulate_fleet`](crate::simulate_fleet).
+    Complete {
+        /// The fleet report.
+        report: LifetimeReport,
+        /// Execution counters.
+        stats: RunStats,
+    },
+    /// The run stopped at a shard boundary ([`RunnerConfig::
+    /// stop_after_shards`]); completed shards are checkpointed.
+    Interrupted {
+        /// Execution counters up to the interruption.
+        stats: RunStats,
+    },
+}
+
+impl ShardedOutcome {
+    /// The execution counters of either outcome.
+    pub fn stats(&self) -> &RunStats {
+        match self {
+            Self::Complete { stats, .. } | Self::Interrupted { stats } => stats,
+        }
+    }
+
+    /// The report, when the run completed.
+    pub fn report(&self) -> Option<&LifetimeReport> {
+        match self {
+            Self::Complete { report, .. } => Some(report),
+            Self::Interrupted { .. } => None,
+        }
+    }
+}
+
+/// Why a sharded run could not produce a result.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// The checkpoint on disk was produced by a different
+    /// `(code, environment, config)`; resuming would mix incompatible
+    /// tallies. Delete the checkpoint or restore the original
+    /// parameters.
+    ConfigHashMismatch {
+        /// Hash of the parameters this run was invoked with.
+        expected: u64,
+        /// Hash stored in the checkpoint.
+        found: u64,
+    },
+    /// A shard exhausted [`RunnerConfig::max_retries`] attempts.
+    ShardFailed {
+        /// The failing shard.
+        shard: u32,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Checkpoint I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ConfigHashMismatch { expected, found } => write!(
+                f,
+                "checkpoint config-hash mismatch: run configured as {expected:#018x} but the \
+                 checkpoint was written under {found:#018x}; refusing to resume (delete the \
+                 checkpoint directory to start over, or restore the original parameters)"
+            ),
+            Self::ShardFailed { shard, attempts } => {
+                write!(f, "shard {shard} failed after {attempts} attempts")
+            }
+            Self::Io(e) => write!(f, "checkpoint I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<std::io::Error> for RunnerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Executes one fleet run through the resumable sharded supervisor.
+///
+/// The fleet is split by a [`ShardPlan`]; each shard runs on
+/// [`FleetConfig::threads`] workers and its tally partial is recorded in
+/// a completion map. With a checkpoint directory configured, the map is
+/// persisted every [`RunnerConfig::checkpoint_every`] shards (atomic
+/// two-generation writes), and `resume: true` continues from the newest
+/// valid checkpoint — recomputing nothing that was persisted, and
+/// everything that was not.
+///
+/// # Errors
+///
+/// [`RunnerError::ConfigHashMismatch`] when resuming under changed
+/// parameters, [`RunnerError::ShardFailed`] when a shard exhausts its
+/// retries, [`RunnerError::Io`] on checkpoint I/O failure.
+///
+/// # Examples
+///
+/// ```
+/// use muse_lifetime::{run_sharded, FleetCode, FleetConfig, RunnerConfig};
+///
+/// let code = FleetCode::muse(muse_core::presets::muse_80_69());
+/// let env = muse_lifetime::chipkill_heavy();
+/// let config = FleetConfig { dimms: 48, years: 1.0, ..FleetConfig::default() };
+/// let outcome = run_sharded(&code, &env, &config,
+///     &RunnerConfig { shards: 6, ..RunnerConfig::default() }, None).unwrap();
+/// // Sharded execution is bit-identical to the plain run.
+/// let plain = muse_lifetime::simulate_fleet(&code, &env, &config);
+/// assert_eq!(outcome.report().unwrap().tally, plain.tally);
+/// ```
+pub fn run_sharded(
+    code: &FleetCode,
+    env: &Environment,
+    config: &FleetConfig,
+    runner: &RunnerConfig,
+    faults: Option<&FaultPlan>,
+) -> Result<ShardedOutcome, RunnerError> {
+    let hash = config_hash(code, env, config);
+    let mut plan = ShardPlan::new(config.dimms, runner.shards);
+    let store = match &runner.checkpoint_dir {
+        Some(dir) => Some(CheckpointStore::open(dir, &runner.checkpoint_prefix)?),
+        None => None,
+    };
+
+    let mut done: BTreeMap<u32, LifetimeTally> = BTreeMap::new();
+    let mut generation = 0u64;
+    let mut stats = RunStats::default();
+
+    if let Some(store) = &store {
+        if runner.resume {
+            if let Some(loaded) = store.load() {
+                let ckpt = loaded.checkpoint;
+                if ckpt.config_hash != hash {
+                    return Err(RunnerError::ConfigHashMismatch {
+                        expected: hash,
+                        found: ckpt.config_hash,
+                    });
+                }
+                // The stored plan wins: shard boundaries must match the
+                // recorded partials (the hash already fenced `dimms`).
+                plan = ShardPlan::new(ckpt.dimms, ckpt.shard_count);
+                generation = ckpt.generation;
+                done.extend(ckpt.done.iter().copied());
+                let dimms_done: u64 = done.keys().map(|&s| len_of(&plan, s)).sum();
+                stats.resume = Some(ResumeInfo {
+                    generation,
+                    shards_done: done.len() as u32,
+                    total_shards: plan.count(),
+                    dimms_done,
+                    machine_years_done: dimms_done as f64 * config.years
+                        / config.dimms_per_machine as f64,
+                    fell_back: loaded.fell_back,
+                });
+            }
+        } else {
+            store.clear()?;
+        }
+    }
+
+    stats.total_shards = plan.count();
+    stats.shards_resumed = done.len() as u32;
+
+    let epochs_per_dimm = config.epochs();
+    let mut pending_since_save = 0u32;
+    let save = |done: &BTreeMap<u32, LifetimeTally>,
+                generation: &mut u64,
+                stats: &mut RunStats|
+     -> Result<(), RunnerError> {
+        let Some(store) = &store else {
+            return Ok(());
+        };
+        *generation += 1;
+        let dimms_done: u64 = done.keys().map(|&s| len_of(&plan, s)).sum();
+        store.save(&Checkpoint {
+            config_hash: hash,
+            generation: *generation,
+            shard_count: plan.count(),
+            dimms: plan.dimms(),
+            epoch_cursor: dimms_done * epochs_per_dimm,
+            done: done.iter().map(|(&s, &t)| (s, t)).collect(),
+        })?;
+        stats.checkpoint_writes += 1;
+        if let Some((target, kind)) = faults.and_then(|f| f.corrupt_generation) {
+            if *generation == target {
+                store.corrupt(target, kind)?;
+            }
+        }
+        Ok(())
+    };
+
+    for shard in 0..plan.count() {
+        if done.contains_key(&shard) {
+            continue;
+        }
+        if runner
+            .stop_after_shards
+            .is_some_and(|stop| stats.shards_run as u64 >= stop)
+        {
+            if pending_since_save > 0 {
+                save(&done, &mut generation, &mut stats)?;
+            }
+            return Ok(ShardedOutcome::Interrupted { stats });
+        }
+        let range = plan.range(shard);
+        let mut attempt = 0u32;
+        let tally = loop {
+            if faults.is_some_and(|f| f.kills(shard, attempt)) {
+                // Killed mid-flight: half the shard's work happens, then
+                // the worker dies and its partial tally is discarded —
+                // the retry recomputes the shard from its streams.
+                let mid = range.start + (range.end - range.start) / 2;
+                let _ = run_fleet_range(code, env, config, range.start..mid);
+                stats.retries += 1;
+                if attempt >= runner.max_retries {
+                    return Err(RunnerError::ShardFailed {
+                        shard,
+                        attempts: attempt + 1,
+                    });
+                }
+                let backoff = runner
+                    .backoff_base_ms
+                    .saturating_mul(1u64 << attempt.min(20))
+                    .min(runner.backoff_cap_ms);
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+                attempt += 1;
+                continue;
+            }
+            let t = run_fleet_range(code, env, config, range.clone());
+            if let Some(delay) = faults.map(|f| f.delay_ms(shard)).filter(|&d| d > 0) {
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            break t;
+        };
+        done.insert(shard, tally);
+        stats.shards_run += 1;
+        pending_since_save += 1;
+        if pending_since_save >= runner.checkpoint_every.max(1) {
+            save(&done, &mut generation, &mut stats)?;
+            pending_since_save = 0;
+        }
+    }
+
+    if pending_since_save > 0 {
+        save(&done, &mut generation, &mut stats)?;
+    }
+
+    // Merge in ascending shard order (pure field-wise sums — identical to
+    // the unsharded run's DIMM-order merge).
+    let mut total = LifetimeTally::default();
+    for tally in done.values() {
+        total.merge(*tally);
+    }
+    Ok(ShardedOutcome::Complete {
+        report: LifetimeReport::new(code, env, config, total),
+        stats,
+    })
+}
+
+fn len_of(plan: &ShardPlan, shard: u32) -> u64 {
+    let r = plan.range(shard);
+    r.end - r.start
+}

@@ -1,0 +1,99 @@
+//! Property tests over the `lifetime-ckpt/v1` codec: arbitrary
+//! checkpoints round-trip exactly, and any corruption — truncation at a
+//! random point, a random flipped bit — is rejected by the CRC/structure
+//! checks rather than decoded into a wrong checkpoint (the invariant the
+//! corruption-fallback path of the sharded runner rests on).
+
+use muse_lifetime::{Checkpoint, LifetimeTally};
+use proptest::prelude::*;
+
+const MAX_SHARDS: usize = 24;
+
+fn tally_from(fields: &[u64]) -> LifetimeTally {
+    LifetimeTally {
+        epochs: fields[0],
+        degraded_epochs: fields[1],
+        corrected_words: fields[2],
+        due_words: fields[3],
+        sdc_words: fields[4],
+        erasure_reads: fields[5],
+        devices_retired: fields[6],
+        rows_retired: fields[7],
+        spare_rebuilds: fields[8],
+        data_loss_events: fields[9],
+        dimm_replacements: fields[10],
+    }
+}
+
+fn build(
+    config_hash: u64,
+    generation: u64,
+    shard_count: u32,
+    dimms: u64,
+    epoch_cursor: u64,
+    include: &[bool],
+    fields: &[u64],
+) -> Checkpoint {
+    let done = (0..shard_count as usize)
+        .filter(|&s| include[s])
+        .map(|s| (s as u32, tally_from(&fields[s * 11..][..11])))
+        .collect();
+    Checkpoint {
+        config_hash,
+        generation,
+        shard_count,
+        dimms,
+        epoch_cursor,
+        done,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_checkpoints_roundtrip(
+        config_hash in any::<u64>(),
+        generation in any::<u64>(),
+        shard_count in 1u32..=MAX_SHARDS as u32,
+        dimms in 1u64..1_000_000,
+        epoch_cursor in any::<u64>(),
+        include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
+        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+    ) {
+        let ckpt = build(config_hash, generation, shard_count, dimms,
+            epoch_cursor, &include, &fields);
+        let bytes = ckpt.encode();
+        prop_assert_eq!(Checkpoint::decode(&bytes).expect("roundtrip"), ckpt);
+    }
+
+    #[test]
+    fn truncation_never_decodes(
+        shard_count in 1u32..=MAX_SHARDS as u32,
+        include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
+        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+        cut in any::<u64>(),
+    ) {
+        let ckpt = build(1, 2, shard_count, 1024, 3, &include, &fields);
+        let bytes = ckpt.encode();
+        // Any strict prefix must fail (length or CRC check).
+        let len = (cut % bytes.len() as u64) as usize;
+        prop_assert!(Checkpoint::decode(&bytes[..len]).is_err(),
+            "prefix of {} of {} bytes decoded", len, bytes.len());
+    }
+
+    #[test]
+    fn bitflips_never_decode(
+        shard_count in 1u32..=MAX_SHARDS as u32,
+        include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
+        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+        flip in any::<u64>(),
+    ) {
+        let ckpt = build(4, 5, shard_count, 2048, 6, &include, &fields);
+        let mut bytes = ckpt.encode();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Checkpoint::decode(&bytes).is_err(),
+            "flip of bit {} in {} bytes decoded", bit, bytes.len());
+    }
+}

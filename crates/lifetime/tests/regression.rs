@@ -7,26 +7,22 @@
 //! and the erasure-mode classification. If you change any of them *on
 //! purpose*, re-baseline `smoke_expected` and say so in CHANGES.md.
 
-use muse_lifetime::{scenario_codes, simulate_fleet, smoke_expected, smoke_setup};
+use muse_lifetime::{scenario_codes, simulate_fleet, smoke_setup, verify_smoke};
 
 #[test]
 fn smoke_tallies_are_pinned() {
     let (env, config) = smoke_setup();
-    for (code, (name, due, sdc, corrected, reads)) in scenario_codes().iter().zip(smoke_expected())
-    {
-        let r = simulate_fleet(code, &env, &config);
-        assert_eq!(r.code, name);
-        assert_eq!(
-            (
-                r.tally.due_words,
-                r.tally.sdc_words,
-                r.tally.corrected_words,
-                r.tally.erasure_reads
-            ),
-            (due, sdc, corrected, reads),
-            "pinned fleet tally changed for {name}: RNG streams, arrival \
+    let reports: Vec<_> = scenario_codes()
+        .iter()
+        .map(|code| simulate_fleet(code, &env, &config))
+        .collect();
+    if let Err(drift) = verify_smoke(&reports) {
+        panic!(
+            "pinned fleet tally changed ({drift}): RNG streams, arrival \
              sampling, or erasure classification drifted"
         );
+    }
+    for r in &reports {
         assert_eq!(r.tally.epochs, config.dimms * config.epochs());
         assert_eq!(r.degraded_fraction, 1.0);
     }

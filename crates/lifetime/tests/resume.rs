@@ -1,0 +1,445 @@
+//! The sharded runner's hard guarantee: interrupt at any point and
+//! resume — at any thread count, with any shard count, through injected
+//! kills and corrupted checkpoints — and the merged tallies are
+//! bit-identical to an uninterrupted [`simulate_fleet`] run.
+
+use std::path::PathBuf;
+
+use muse_lifetime::{
+    run_sharded, simulate_fleet, smoke_setup, CheckpointStore, Corruption, Environment, FaultPlan,
+    FleetCode, FleetConfig, LifetimeTally, RunnerConfig, RunnerError, ShardedOutcome,
+};
+
+/// A small degraded fleet under the aggressive smoke environment so every
+/// classification path is hit, shrunk further so the boundary sweep stays
+/// fast in debug builds.
+fn setup() -> (FleetCode, Environment, FleetConfig) {
+    let (env, config) = smoke_setup();
+    (
+        FleetCode::muse(muse_core::presets::muse_80_69()),
+        env,
+        FleetConfig {
+            dimms: 24,
+            threads: 1,
+            ..config
+        },
+    )
+}
+
+/// A fresh per-test checkpoint directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("muse-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn runner(dir: &TempDir) -> RunnerConfig {
+    RunnerConfig {
+        shards: 6,
+        checkpoint_dir: Some(dir.0.clone()),
+        backoff_base_ms: 0,
+        ..RunnerConfig::default()
+    }
+}
+
+fn complete(outcome: ShardedOutcome) -> muse_lifetime::LifetimeReport {
+    match outcome {
+        ShardedOutcome::Complete { report, .. } => report,
+        ShardedOutcome::Interrupted { .. } => panic!("run did not complete"),
+    }
+}
+
+#[test]
+fn sharded_equals_unsharded_at_any_shard_and_thread_count() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    for shards in [1u32, 3, 6, 0] {
+        for threads in [1usize, 4] {
+            let config = FleetConfig { threads, ..config };
+            let outcome = run_sharded(
+                &code,
+                &env,
+                &config,
+                &RunnerConfig {
+                    shards,
+                    ..RunnerConfig::default()
+                },
+                None,
+            )
+            .expect("sharded run");
+            assert_eq!(
+                complete(outcome).tally,
+                baseline,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupt_at_every_shard_boundary_resumes_bit_identically() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    for stop_after in 0..6u64 {
+        for &resume_threads in &[1usize, 4] {
+            let dir = TempDir::new(&format!("sweep-{stop_after}-{resume_threads}"));
+            let first = run_sharded(
+                &code,
+                &env,
+                &config,
+                &RunnerConfig {
+                    stop_after_shards: Some(stop_after),
+                    ..runner(&dir)
+                },
+                None,
+            )
+            .expect("interrupted run");
+            assert!(
+                matches!(first, ShardedOutcome::Interrupted { .. }),
+                "stop_after={stop_after} should interrupt"
+            );
+            // Resume at a different thread count than the first leg ran.
+            let resumed_config = FleetConfig {
+                threads: resume_threads,
+                ..config
+            };
+            let outcome = run_sharded(
+                &code,
+                &env,
+                &resumed_config,
+                &RunnerConfig {
+                    resume: true,
+                    ..runner(&dir)
+                },
+                None,
+            )
+            .expect("resumed run");
+            let stats = outcome.stats().clone();
+            assert_eq!(
+                complete(outcome).tally,
+                baseline,
+                "stop_after={stop_after} resume_threads={resume_threads}"
+            );
+            if stop_after > 0 {
+                let info = stats.resume.expect("checkpoint was loaded");
+                assert_eq!(info.shards_done as u64, stop_after);
+                assert_eq!(info.total_shards, 6);
+                assert!(!info.fell_back);
+                assert_eq!(stats.shards_resumed as u64, stop_after);
+                assert_eq!(stats.shards_run as u64, 6 - stop_after);
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_interruptions_still_converge() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let dir = TempDir::new("repeat");
+    // One shard per invocation: six interruptions, then completion.
+    let mut resume = false;
+    for _ in 0..6 {
+        let outcome = run_sharded(
+            &code,
+            &env,
+            &config,
+            &RunnerConfig {
+                resume,
+                stop_after_shards: Some(1),
+                ..runner(&dir)
+            },
+            None,
+        )
+        .expect("leg");
+        resume = true;
+        if let ShardedOutcome::Complete { report, .. } = outcome {
+            assert_eq!(report.tally, baseline);
+            return;
+        }
+    }
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            resume: true,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("final leg");
+    assert_eq!(complete(outcome).tally, baseline);
+}
+
+#[test]
+fn injected_kills_retry_and_preserve_tallies() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let faults = FaultPlan {
+        seed: 0xDEAD,
+        kill_prob: 0.6,
+        ..FaultPlan::default()
+    };
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            shards: 6,
+            backoff_base_ms: 0,
+            max_retries: 16,
+            ..RunnerConfig::default()
+        },
+        Some(&faults),
+    )
+    .expect("kills within the retry budget");
+    let stats = outcome.stats().clone();
+    assert!(stats.retries > 0, "kill_prob=0.6 over 6 shards never fired");
+    assert_eq!(complete(outcome).tally, baseline);
+}
+
+#[test]
+fn kill_every_attempt_exhausts_retries() {
+    let (code, env, config) = setup();
+    let faults = FaultPlan {
+        kill_prob: 1.0,
+        ..FaultPlan::default()
+    };
+    let err = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            shards: 2,
+            max_retries: 2,
+            backoff_base_ms: 0,
+            ..RunnerConfig::default()
+        },
+        Some(&faults),
+    )
+    .expect_err("every attempt is killed");
+    match err {
+        RunnerError::ShardFailed { shard: 0, attempts } => assert_eq!(attempts, 3),
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+}
+
+#[test]
+fn corrupt_newest_generation_falls_back_and_recomputes() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    for kind in [Corruption::Truncate, Corruption::BitFlip] {
+        let dir = TempDir::new(&format!("corrupt-{kind:?}"));
+        // Four shards done ⇒ generations 1..=4 written; corrupt gen 4
+        // right after its save, as a crash mid-write would.
+        let faults = FaultPlan {
+            corrupt_generation: Some((4, kind)),
+            ..FaultPlan::default()
+        };
+        let first = run_sharded(
+            &code,
+            &env,
+            &config,
+            &RunnerConfig {
+                stop_after_shards: Some(4),
+                ..runner(&dir)
+            },
+            Some(&faults),
+        )
+        .expect("interrupted run");
+        assert!(matches!(first, ShardedOutcome::Interrupted { .. }));
+        let outcome = run_sharded(
+            &code,
+            &env,
+            &config,
+            &RunnerConfig {
+                resume: true,
+                ..runner(&dir)
+            },
+            None,
+        )
+        .expect("resumed run");
+        let stats = outcome.stats().clone();
+        let info = stats.resume.expect("fell back to generation 3");
+        assert!(info.fell_back, "{kind:?}: newest generation was corrupt");
+        assert_eq!(info.generation, 3);
+        assert_eq!(info.shards_done, 3);
+        assert_eq!(stats.shards_run, 3, "{kind:?}: shard 4 is recomputed");
+        assert_eq!(complete(outcome).tally, baseline, "{kind:?}");
+    }
+}
+
+#[test]
+fn both_generations_corrupt_restarts_clean() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let dir = TempDir::new("both-corrupt");
+    let first = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            stop_after_shards: Some(4),
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("interrupted run");
+    assert!(matches!(first, ShardedOutcome::Interrupted { .. }));
+    let store = CheckpointStore::open(&dir.0, "fleet").expect("store");
+    store.corrupt(3, Corruption::Truncate).expect("corrupt g3");
+    store.corrupt(4, Corruption::BitFlip).expect("corrupt g4");
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            resume: true,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("resumed run");
+    let stats = outcome.stats().clone();
+    assert!(stats.resume.is_none(), "nothing valid to resume from");
+    assert_eq!(stats.shards_run, 6, "everything recomputed");
+    assert_eq!(complete(outcome).tally, baseline);
+}
+
+#[test]
+fn config_change_is_refused_but_thread_change_is_not() {
+    let (code, env, config) = setup();
+    let dir = TempDir::new("hash");
+    run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            stop_after_shards: Some(2),
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("interrupted run");
+    // A different seed is a different experiment: refuse.
+    let reseeded = FleetConfig {
+        seed: config.seed ^ 1,
+        ..config
+    };
+    let err = run_sharded(
+        &code,
+        &env,
+        &reseeded,
+        &RunnerConfig {
+            resume: true,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect_err("seed change must not resume");
+    assert!(
+        matches!(err, RunnerError::ConfigHashMismatch { .. }),
+        "got {err}"
+    );
+    // A different thread count is the same experiment: resume fine.
+    let rethreaded = FleetConfig {
+        threads: 4,
+        ..config
+    };
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &rethreaded,
+        &RunnerConfig {
+            resume: true,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("thread change resumes");
+    assert_eq!(
+        complete(outcome).tally,
+        simulate_fleet(&code, &env, &config).tally
+    );
+}
+
+#[test]
+fn resume_adopts_the_checkpoints_shard_plan() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let dir = TempDir::new("adopt");
+    run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            stop_after_shards: Some(3),
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("interrupted at 3 of 6");
+    // Ask for a different shard count on resume; the stored plan wins so
+    // the recorded partials stay aligned to their DIMM ranges.
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            shards: 2,
+            resume: true,
+            checkpoint_dir: Some(dir.0.clone()),
+            ..RunnerConfig::default()
+        },
+        None,
+    )
+    .expect("resumed run");
+    let stats = outcome.stats().clone();
+    assert_eq!(stats.total_shards, 6, "checkpoint's plan adopted");
+    assert_eq!(complete(outcome).tally, baseline);
+}
+
+#[test]
+fn checkpoint_every_batches_saves() {
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let dir = TempDir::new("batched");
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            checkpoint_every: 4,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("batched run");
+    let stats = outcome.stats().clone();
+    // 6 shards at one save per 4 completions: one batch save + the final
+    // flush of the remainder.
+    assert_eq!(stats.checkpoint_writes, 2);
+    assert_eq!(complete(outcome).tally, baseline);
+    // A tally partial survives on disk and resumes.
+    let mut total = LifetimeTally::default();
+    let loaded = CheckpointStore::open(&dir.0, "fleet")
+        .expect("store")
+        .load()
+        .expect("final checkpoint present");
+    for (_, t) in &loaded.checkpoint.done {
+        use muse_faultsim::Tally;
+        total.merge(*t);
+    }
+    assert_eq!(total, baseline);
+}
