@@ -4,9 +4,13 @@
 //! erasure-mode classifications/sec, at one worker and at all workers) on
 //! an erasure-heavy configuration, the checkpoint overhead of the
 //! crash-safe sharded runner (plain vs checkpointed vs resumed-from-half),
-//! runs the full scenario matrix at the default fleet configuration, and
-//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v1`, field
-//! reference in the `muse-bench` crate docs).
+//! runs the full scenario matrix at the default fleet configuration —
+//! once with the naive estimator and once with importance sampling — and
+//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v2`, field
+//! reference in the `muse-bench` crate docs). Every scenario row carries
+//! its estimator, 95% confidence intervals, and a rendered rate string
+//! that reports zero observed events as the rule-of-three upper bound
+//! rather than a bare zero.
 //!
 //! Usage:
 //!
@@ -21,8 +25,8 @@
 use std::time::Instant;
 
 use muse_lifetime::{
-    run_sharded, scenario_codes, simulate_fleet, smoke_setup, verify_smoke, Environment, FleetCode,
-    FleetConfig, LifetimeReport, RunnerConfig,
+    run_sharded, scenario_codes, simulate_fleet, smoke_setup, verify_smoke, Environment, Estimator,
+    FleetCode, FleetConfig, LifetimeReport, RunnerConfig,
 };
 
 /// Best-of-3 wall-clock seconds for one run.
@@ -64,15 +68,29 @@ fn scenario_json(r: &LifetimeReport) -> String {
         concat!(
             "    {{\"code\": \"{}\", \"environment\": \"{}\", ",
             "\"machine_years\": {:.1}, ",
-            "\"due_per_machine_year\": {:.6}, \"sdc_per_machine_year\": {:.6}, ",
+            "\"estimator\": \"{}\", \"bias\": {}, ",
+            "\"due_per_machine_year\": {:.6e}, \"due_events\": {}, ",
+            "\"due_ci95\": [{:.6e}, {:.6e}], \"due_display\": \"{}\", ",
+            "\"sdc_per_machine_year\": {:.6e}, \"sdc_events\": {}, ",
+            "\"sdc_ci95\": [{:.6e}, {:.6e}], \"sdc_display\": \"{}\", ",
             "\"repairs_per_machine_year\": {:.6}, \"degraded_fraction\": {:.6}, ",
             "\"erasure_reads\": {}, \"data_loss_events\": {}}}"
         ),
         r.code,
         r.environment,
         r.machine_years,
-        r.due_per_machine_year,
-        r.sdc_per_machine_year,
+        r.estimator.name(),
+        r.estimator.bias(),
+        r.due_estimate.mean,
+        r.due_estimate.events,
+        r.due_estimate.lo,
+        r.due_estimate.hi,
+        r.due_estimate.render(),
+        r.sdc_estimate.mean,
+        r.sdc_estimate.events,
+        r.sdc_estimate.lo,
+        r.sdc_estimate.hi,
+        r.sdc_estimate.render(),
         r.repairs_per_machine_year,
         r.degraded_fraction,
         r.tally.erasure_reads,
@@ -228,7 +246,9 @@ fn main() {
         resume_from_half_seconds,
     );
 
-    // Scenario matrix rates.
+    // Scenario matrix rates: the full code x environment grid, once with
+    // the naive counter and once with importance sampling (16x inflation),
+    // so the snapshot always contains SDC rows with usable error bars.
     let matrix_config = if smoke {
         FleetConfig {
             dimms: 64,
@@ -238,25 +258,30 @@ fn main() {
     } else {
         FleetConfig::default()
     };
-    let reports = muse_lifetime::run_matrix(&matrix_config);
+    let mut reports = muse_lifetime::run_matrix(&matrix_config);
+    reports.extend(muse_lifetime::run_matrix(&FleetConfig {
+        estimator: Estimator::importance(16.0),
+        ..matrix_config
+    }));
     println!(
-        "\n{:<16} {:<21} {:>10} {:>10} {:>9}",
-        "code", "environment", "DUE/m-yr", "SDC/m-yr", "degraded"
+        "\n{:<16} {:<21} {:>6} {:>22} {:>22} {:>9}",
+        "code", "environment", "est", "DUE/m-yr [95% CI]", "SDC/m-yr [95% CI]", "degraded"
     );
     for r in &reports {
         println!(
-            "{:<16} {:<21} {:>10.5} {:>10.5} {:>8.2}%",
+            "{:<16} {:<21} {:>6} {:>22} {:>22} {:>8.2}%",
             r.code,
             r.environment,
-            r.due_per_machine_year,
-            r.sdc_per_machine_year,
+            r.estimator.name(),
+            r.due_estimate.render(),
+            r.sdc_estimate.render(),
             100.0 * r.degraded_fraction
         );
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"lifetime-bench/v1\",\n");
+    json.push_str("  \"schema\": \"lifetime-bench/v2\",\n");
     json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(

@@ -59,11 +59,13 @@
 //!
 //! `cargo run --release -p muse-bench --bin bench_lifetime` measures the
 //! fleet-lifetime simulator (`muse-lifetime`) and (over)writes
-//! `BENCH_lifetime.json`. Schema `lifetime-bench/v1`:
+//! `BENCH_lifetime.json`. Schema `lifetime-bench/v2` (v2 added the
+//! per-row estimator tag, event counts, 95% confidence intervals, and the
+//! rendered rate strings; v1 rows carried only the bare point rates):
 //!
 //! ```json
 //! {
-//!   "schema": "lifetime-bench/v1",
+//!   "schema": "lifetime-bench/v2",
 //!   "threads_available": 1,     // CPUs visible to the run
 //!   "smoke": false,             // true under the CI `--smoke` mode
 //!   "fleet": {                  // the scenario-matrix configuration
@@ -89,17 +91,34 @@
 //!     "overhead_pct": 0.5,              // checkpointed vs plain
 //!     "resume_from_half_seconds": 0.10  // resume of a half-done checkpoint
 //!   },
-//!   "scenarios": [              // one row per code x environment
+//!   "scenarios": [              // one row per code x environment x estimator
 //!     {
 //!       "code": "MUSE(144,132)", "environment": "chipkill-heavy",
 //!       "machine_years": 640.0,
-//!       "due_per_machine_year": 2.5, "sdc_per_machine_year": 0.0,
+//!       "estimator": "is",      // "naive" or "is" (importance sampling)
+//!       "bias": 16.0,           // rate-inflation factor (1.0 for naive)
+//!       "due_per_machine_year": 2.5,
+//!       "due_events": 1600,     // observed (unweighted) DUE events
+//!       "due_ci95": [2.1, 2.9], // 95% confidence interval on the rate
+//!       "due_display": "2.5e0 [2.1e0,2.9e0]",
+//!       "sdc_per_machine_year": 1.3e-4,
+//!       "sdc_events": 3,
+//!       "sdc_ci95": [0.0, 3.2e-4],
+//!       "sdc_display": "1.3e-4 [0.0e0,3.2e-4]",
 //!       "repairs_per_machine_year": 0.4, "degraded_fraction": 0.08,
 //!       "erasure_reads": 1583, "data_loss_events": 0
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! The matrix runs twice — once per estimator — so every snapshot holds
+//! both the unbiased naive counts and the importance-sampled rates whose
+//! likelihood-ratio reweighting resolves rare SDC events with error bars.
+//! When a row observed zero events its `*_display` string is the
+//! rule-of-three 95% upper bound (`"<4.7e-3 @95%"`), never a bare zero;
+//! CI rejects snapshots whose SDC columns are neither positive nor
+//! bounded that way.
 //!
 //! `--smoke` (used by CI) first asserts the pinned small-fleet tallies of
 //! `crates/lifetime/tests/regression.rs` (via

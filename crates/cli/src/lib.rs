@@ -15,14 +15,20 @@
 //!   144-bit channel, classified in the GF-syndrome domain for both `t`
 //!   values (no wide decode per trial).
 //! * `lifetime [--dimms N] [--years Y] [--scrub-hours H] [--spares S]
-//!   [--seed X] [--threads T] [--shards K] [--checkpoint-dir D]
-//!   [--resume] [--inject SPEC] [--smoke]` — the fleet-lifetime scenario
-//!   matrix: DUE/SDC/repair rates per machine-year for every code ×
-//!   environment, with erasure-mode degraded operation (see the
-//!   `muse-lifetime` crate). With `--checkpoint-dir` every cell runs
-//!   through the crash-safe sharded supervisor (checkpoints survive
-//!   interruption; `--resume` continues bit-identically); `--inject`
-//!   drives the deterministic fault plan
+//!   [--seed X] [--threads T] [--estimator naive|is] [--bias F]
+//!   [--shards K] [--checkpoint-dir D] [--resume] [--inject SPEC]
+//!   [--smoke]` — the fleet-lifetime scenario matrix: DUE/SDC/repair
+//!   rates per machine-year for every code × environment (three
+//!   synthetic plus two field-calibrated rate sets), with erasure-mode
+//!   degraded operation (see the `muse-lifetime` crate). DUE/SDC
+//!   columns quote 95% confidence intervals; zero observed events print
+//!   the rule-of-three upper bound (`<x @95%`), never a bare zero.
+//!   `--estimator is` switches to importance sampling with
+//!   likelihood-ratio reweighting (`--bias` sets the rate-inflation
+//!   factor and implies `is`; default 16). With `--checkpoint-dir`
+//!   every cell runs through the crash-safe sharded supervisor
+//!   (checkpoints survive interruption; `--resume` continues
+//!   bit-identically); `--inject` drives the deterministic fault plan
 //!   (`kill=<p>,crash-after=<n>,corrupt=<gen>:<truncate|bitflip>,`
 //!   `delay=<ms>,fault-seed=<x>`); `--smoke` checks the pinned CI
 //!   tallies instead of printing the matrix.
@@ -66,6 +72,7 @@ USAGE:
                    [--trials <n>] [--devices <k>] [--threads <t>]
   muse-tool lifetime [--dimms <n>] [--years <y>] [--scrub-hours <h>]
                      [--spares <s>] [--seed <x>] [--threads <t>]
+                     [--estimator <naive|is>] [--bias <factor>]
                      [--shards <k>] [--checkpoint-dir <dir>] [--resume]
                      [--inject <spec>] [--smoke]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
@@ -314,6 +321,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             // config-hash fencing tests need to provoke.
             config.seed = parse_or(&rest, "--seed", config.seed)?;
             config.threads = parse_or(&rest, "--threads", config.threads)?;
+            config.estimator = parse_estimator(&rest)?;
             let shards: u32 = parse_or(&rest, "--shards", 0)?;
             let checkpoint_dir =
                 flag_value(&rest, "--checkpoint-dir")?.map(std::path::PathBuf::from);
@@ -328,7 +336,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let envs = if smoke {
                 vec![smoke_env]
             } else {
-                muse_lifetime::scenario_environments()
+                muse_lifetime::all_environments()
             };
             let sharded = checkpoint_dir.is_some() || shards != 0 || faults.is_some();
             let (reports, banners) = run_lifetime_cells(
@@ -358,37 +366,45 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 ));
                 return Ok(out);
             }
+            let est_label = match config.estimator {
+                muse_lifetime::Estimator::Naive => "naive".to_string(),
+                muse_lifetime::Estimator::Importance { bias } => {
+                    format!("is bias={bias}")
+                }
+            };
             out.push_str(&format!(
-                "fleet: {} DIMMs x {} years ({:.0} machine-years), scrub every {}h, {} spares/DIMM\n\n{:<16} {:<21} {:>10} {:>10} {:>11} {:>9} {:>9}\n",
+                "fleet: {} DIMMs x {} years ({:.0} machine-years), scrub every {}h, {} spares/DIMM, estimator {}\n\n{:<16} {:<21} {:>22} {:>22} {:>11} {:>9} {:>9}\n",
                 config.dimms,
                 config.years,
                 config.machine_years(),
                 config.scrub_interval_hours,
                 config.spares_per_dimm,
+                est_label,
                 "code",
                 "environment",
-                "DUE/m-yr",
-                "SDC/m-yr",
+                "DUE/m-yr [95% CI]",
+                "SDC/m-yr [95% CI]",
                 "repairs/yr",
                 "degraded",
                 "era-reads",
             ));
             for r in &reports {
                 out.push_str(&format!(
-                    "{:<16} {:<21} {:>10.5} {:>10.5} {:>11.4} {:>8.2}% {:>9}\n",
+                    "{:<16} {:<21} {:>22} {:>22} {:>11.4} {:>8.2}% {:>9}\n",
                     r.code,
                     r.environment,
-                    r.due_per_machine_year,
-                    r.sdc_per_machine_year,
+                    r.due_estimate.render(),
+                    r.sdc_estimate.render(),
                     r.repairs_per_machine_year,
                     100.0 * r.degraded_fraction,
                     r.tally.erasure_reads,
                 ));
             }
             out.push_str(
-                "\nDUE/SDC are per machine-year (word DUEs + data-loss events); degraded = \
-                 fraction of DIMM-epochs in erasure-mode operation.\nDeterministic: tallies are \
-                 bit-identical at any --threads value.",
+                "\nDUE/SDC are per machine-year (word DUEs + data-loss events) with 95% \
+                 confidence intervals; `<x @95%` marks the rule-of-three upper bound when zero \
+                 events were observed; degraded = fraction of DIMM-epochs in erasure-mode \
+                 operation.\nDeterministic: tallies are bit-identical at any --threads value.",
             );
             Ok(out)
         }
@@ -566,6 +582,36 @@ fn parse_or<T: std::str::FromStr>(rest: &[&str], flag: &str, default: T) -> Resu
     }
 }
 
+/// `--estimator naive|is` plus `--bias <factor>`; `--bias` implies `is`,
+/// and `is` without `--bias` defaults to a 16x rate inflation.
+fn parse_estimator(rest: &[&str]) -> Result<muse_lifetime::Estimator, CliError> {
+    let bias: Option<f64> = match flag_value(rest, "--bias")? {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| err(format!("--bias: cannot parse {v:?}")))?,
+        ),
+    };
+    match (flag_value(rest, "--estimator")?, bias) {
+        (None, None) | (Some("naive"), None) => Ok(muse_lifetime::Estimator::Naive),
+        (Some("naive"), Some(_)) => Err(err(
+            "--bias only applies to importance sampling (--estimator is)",
+        )),
+        (Some("is"), bias) | (None, bias @ Some(_)) => {
+            let factor = bias.unwrap_or(16.0);
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(err(format!(
+                    "--bias: factor must be finite and >= 1, got {factor}"
+                )));
+            }
+            Ok(muse_lifetime::Estimator::importance(factor))
+        }
+        (Some(other), _) => Err(err(format!(
+            "--estimator: unknown estimator {other:?} (expected naive or is)"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,13 +698,16 @@ mod tests {
     #[test]
     fn lifetime_reports_matrix() {
         // A tiny fleet keeps the test fast; the matrix still covers all
-        // 4 codes x 3 environments.
+        // 4 codes x 5 environments (3 synthetic + 2 field-calibrated).
         let out = run_str("lifetime --dimms 24 --years 1 --scrub-hours 48").unwrap();
         assert!(out.contains("MUSE(144,132)"), "{out}");
         assert!(out.contains("RS(144,112) t=2"), "{out}");
         assert!(out.contains("transient-dominant"), "{out}");
         assert!(out.contains("retention-asymmetric"), "{out}");
         assert_eq!(out.matches("chipkill-heavy").count(), 4);
+        assert_eq!(out.matches("field-ddr3").count(), 4);
+        assert_eq!(out.matches("field-ddr4").count(), 4);
+        assert!(out.contains("estimator naive"), "{out}");
         // Deterministic across thread counts.
         let serial = run_str("lifetime --dimms 24 --years 1 --scrub-hours 48 --threads 1").unwrap();
         assert_eq!(
@@ -667,6 +716,40 @@ mod tests {
             "thread count must not change the rates"
         );
         assert!(run_str("lifetime --dimms zzz").is_err());
+    }
+
+    #[test]
+    fn lifetime_zero_events_render_as_upper_bounds() {
+        // Regression pin for the silent-zero bug: a fleet too small to
+        // observe any SDC must print the rule-of-three bound, not 0.000000.
+        let out = run_str("lifetime --dimms 8 --years 1 --scrub-hours 48").unwrap();
+        assert!(out.contains("@95%"), "rule-of-three bound missing: {out}");
+        assert!(
+            !out.contains("0.00000 "),
+            "bare zero rate leaked through: {out}"
+        );
+        // The exact formatted shape: `<` glued to a scientific-notation
+        // bound — 3 / machine-years, here exactly 1 machine-year.
+        assert!(out.contains("<3.00e0 @95%"), "{out}");
+    }
+
+    #[test]
+    fn lifetime_importance_sampling_quotes_cis() {
+        let base = "lifetime --dimms 24 --years 1 --scrub-hours 48";
+        let out = run_str(&format!("{base} --estimator is --bias 8")).unwrap();
+        assert!(out.contains("estimator is bias=8"), "{out}");
+        assert!(out.contains("["), "no CI bracket in IS output: {out}");
+        // --bias alone implies importance sampling.
+        let implied = run_str(&format!("{base} --bias 8")).unwrap();
+        assert_eq!(out, implied);
+        // is without --bias picks the default inflation.
+        let default = run_str(&format!("{base} --estimator is")).unwrap();
+        assert!(default.contains("estimator is bias=16"), "{default}");
+        // Bad estimator configs are rejected up front.
+        assert!(run_str(&format!("{base} --estimator zzz")).is_err());
+        assert!(run_str(&format!("{base} --estimator naive --bias 4")).is_err());
+        assert!(run_str(&format!("{base} --bias 0.5")).is_err());
+        assert!(run_str(&format!("{base} --bias nan")).is_err());
     }
 
     #[test]

@@ -168,6 +168,36 @@ int_range_strategies! {
     i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
 }
 
+macro_rules! float_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 uniform mantissa bits scaled into [0, 1), then into
+                // the half-open target range.
+                let unit = rng.below_u128(1 << 53) as $t / (1u64 << 53) as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                // Guard the end against round-up at the range boundary.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let unit = rng.below_u128((1 << 53) + 1) as $t / (1u64 << 53) as $t;
+                self.start() + (self.end() - self.start()) * unit
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
 macro_rules! tuple_strategies {
     ($(($($name:ident),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -215,6 +245,24 @@ mod tests {
             let x = (-(1i128 << 100)..(1i128 << 100)).generate(&mut rng);
             assert!(x.unsigned_abs() <= 1u128 << 100);
         }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = rng();
+        let (mut lo_half, mut hi_half) = (false, false);
+        for _ in 0..500 {
+            let v = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+            if v < 0.5 {
+                lo_half = true;
+            } else {
+                hi_half = true;
+            }
+            let w = (0.25f32..=0.75).generate(&mut rng);
+            assert!((0.25..=0.75).contains(&w));
+        }
+        assert!(lo_half && hi_half, "both halves of the range reachable");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Durable, crash-safe fleet checkpoints: the `lifetime-ckpt/v1` format.
+//! Durable, crash-safe fleet checkpoints: the `lifetime-ckpt/v2` format
+//! (reading `v1` payloads transparently).
 //!
 //! A checkpoint captures everything the sharded runner
 //! ([`run_sharded`](crate::run_sharded)) needs to continue an interrupted
@@ -8,7 +9,7 @@
 //! FleetConfig)` triple so a checkpoint can never silently resume under
 //! different parameters.
 //!
-//! # On-disk layout (`lifetime-ckpt/v1`)
+//! # On-disk layout (`lifetime-ckpt/v2`, with v1 read-compat)
 //!
 //! One checkpoint file is a fixed header followed by one record per
 //! completed shard, every piece independently CRC-32 checksummed:
@@ -16,7 +17,7 @@
 //! ```text
 //! header (56 bytes):
 //!   0   8  magic  b"MLCKPT1\n"
-//!   8   4  format version (u32 LE) = 1
+//!   8   4  format version (u32 LE) = 2 (1 accepted on read)
 //!   12  4  shard count of the run's shard plan (u32 LE)
 //!   16  8  config_hash (u64 LE)
 //!   24  8  generation (u64 LE, monotonically increasing per save)
@@ -24,11 +25,25 @@
 //!   40  8  epoch cursor: DIMM-epochs covered by the records (u64 LE)
 //!   48  4  record count (u32 LE)
 //!   52  4  CRC-32 of bytes 0..52
-//! record (96 bytes, repeated `record count` times, ascending shard index):
-//!   0   4  shard index (u32 LE)
-//!   4  88  the 11 LifetimeTally fields (u64 LE, declaration order)
-//!   92  4  CRC-32 of bytes 0..92
+//! record (192 bytes, repeated `record count` times, ascending shard index):
+//!   0    4  shard index (u32 LE)
+//!   4   88  the 11 raw LifetimeTally counters (u64 LE, declaration order)
+//!   92  96  the 3 WeightedCount accumulators — due_weighted,
+//!           sdc_weighted, weight_sum — each as sum_q64 then sumsq_q32
+//!           (u128 LE); all zero under the naive estimator
+//!   188  4  CRC-32 of bytes 0..188
 //! ```
+//!
+//! A **version-1** record is 96 bytes — the same first 92 bytes followed
+//! directly by its CRC, with no weighted accumulators. [`Checkpoint::decode`]
+//! still accepts such payloads (the weighted sums load as zero, which is
+//! exactly what the naive estimator that wrote them would have recorded),
+//! so pre-v2 checkpoints resume unchanged. The config-hash domain string
+//! stays `"lifetime-ckpt/v1"` for the same reason: the hash fingerprints
+//! the *run configuration*, not the container format, and changing it
+//! would orphan every existing naive checkpoint. Importance-sampling runs
+//! can never adopt an old checkpoint anyway — their estimator feeds extra
+//! bytes into [`FleetConfig::canonical_bytes`], giving a different hash.
 //!
 //! # Generation policy and corruption fallback
 //!
@@ -47,14 +62,17 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::estimator::WeightedCount;
 use crate::{Environment, FleetCode, FleetConfig, LifetimeTally};
 
-/// Magic bytes opening every `lifetime-ckpt/v1` file.
+/// Magic bytes opening every checkpoint file (shared by v1 and v2).
 pub const MAGIC: [u8; 8] = *b"MLCKPT1\n";
-/// Checkpoint format version written and accepted by this build.
-pub const FORMAT_VERSION: u32 = 1;
+/// Checkpoint format version written by this build. Version 1 payloads
+/// are still accepted on read (their weighted sums load as zero).
+pub const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 56;
-const RECORD_LEN: usize = 96;
+const RECORD_LEN_V1: usize = 96;
+const RECORD_LEN_V2: usize = 192;
 const TALLY_FIELDS: usize = 11;
 
 /// Why a checkpoint payload failed to decode.
@@ -126,7 +144,13 @@ fn tally_from_fields(f: [u64; TALLY_FIELDS]) -> LifetimeTally {
         spare_rebuilds: f[8],
         data_loss_events: f[9],
         dimm_replacements: f[10],
+        ..LifetimeTally::default()
     }
+}
+
+/// The three weighted accumulators in their on-disk order.
+fn weighted_fields(t: &LifetimeTally) -> [WeightedCount; 3] {
+    [t.due_weighted, t.sdc_weighted, t.weight_sum]
 }
 
 /// An in-memory checkpoint: the durable state of one sharded fleet run.
@@ -152,11 +176,10 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serializes to the `lifetime-ckpt/v1` byte layout.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + RECORD_LEN * self.done.len());
+    fn encode_header(&self, version: u32, record_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + record_len * self.done.len());
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.shard_count.to_le_bytes());
         out.extend_from_slice(&self.config_hash.to_le_bytes());
         out.extend_from_slice(&self.generation.to_le_bytes());
@@ -166,6 +189,34 @@ impl Checkpoint {
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         debug_assert_eq!(out.len(), HEADER_LEN);
+        out
+    }
+
+    /// Serializes to the `lifetime-ckpt/v2` byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_header(FORMAT_VERSION, RECORD_LEN_V2);
+        for &(shard, ref tally) in &self.done {
+            let start = out.len();
+            out.extend_from_slice(&shard.to_le_bytes());
+            for field in tally_fields(tally) {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+            for wc in weighted_fields(tally) {
+                out.extend_from_slice(&wc.sum_q64.to_le_bytes());
+                out.extend_from_slice(&wc.sumsq_q32.to_le_bytes());
+            }
+            let crc = crc32(&out[start..]);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Serializes to the legacy `lifetime-ckpt/v1` byte layout (96-byte
+    /// records, no weighted accumulators — they are simply dropped).
+    /// Kept so the v1 read-compat path stays testable against bytes a
+    /// pre-v2 build would actually have written.
+    pub fn encode_v1(&self) -> Vec<u8> {
+        let mut out = self.encode_header(1, RECORD_LEN_V1);
         for &(shard, ref tally) in &self.done {
             let start = out.len();
             out.extend_from_slice(&shard.to_le_bytes());
@@ -178,10 +229,12 @@ impl Checkpoint {
         out
     }
 
-    /// Decodes and fully validates a `lifetime-ckpt/v1` payload: magic,
-    /// version, exact length, header and per-record CRCs, and shard-index
-    /// structure. Any corruption — truncation anywhere, any flipped bit —
-    /// yields an error rather than a partial checkpoint.
+    /// Decodes and fully validates a `lifetime-ckpt/v1` or `/v2` payload:
+    /// magic, version, exact length, header and per-record CRCs, and
+    /// shard-index structure. Any corruption — truncation anywhere, any
+    /// flipped bit — yields an error rather than a partial checkpoint.
+    /// Version-1 records carry no weighted accumulators; those load as
+    /// zero (what the naive estimator that wrote them recorded).
     pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
         if bytes.len() < HEADER_LEN {
             return Err(CheckpointError::Truncated);
@@ -191,22 +244,26 @@ impl Checkpoint {
         }
         let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
         let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-        if u32_at(8) != FORMAT_VERSION {
-            return Err(CheckpointError::BadFormat);
-        }
+        let u128_at = |off: usize| u128::from_le_bytes(bytes[off..off + 16].try_into().unwrap());
+        let record_len = match u32_at(8) {
+            1 => RECORD_LEN_V1,
+            2 => RECORD_LEN_V2,
+            _ => return Err(CheckpointError::BadFormat),
+        };
         if crc32(&bytes[..52]) != u32_at(52) {
             return Err(CheckpointError::BadChecksum);
         }
         let shard_count = u32_at(12);
         let records = u32_at(48) as usize;
-        if bytes.len() != HEADER_LEN + RECORD_LEN * records {
+        if bytes.len() != HEADER_LEN + record_len * records {
             return Err(CheckpointError::Truncated);
         }
         let mut done = Vec::with_capacity(records);
         let mut prev: Option<u32> = None;
         for r in 0..records {
-            let base = HEADER_LEN + RECORD_LEN * r;
-            if crc32(&bytes[base..base + 92]) != u32_at(base + 92) {
+            let base = HEADER_LEN + record_len * r;
+            let crc_off = base + record_len - 4;
+            if crc32(&bytes[base..crc_off]) != u32_at(crc_off) {
                 return Err(CheckpointError::BadChecksum);
             }
             let shard = u32_at(base);
@@ -218,7 +275,18 @@ impl Checkpoint {
             for (i, field) in fields.iter_mut().enumerate() {
                 *field = u64_at(base + 4 + 8 * i);
             }
-            done.push((shard, tally_from_fields(fields)));
+            let mut tally = tally_from_fields(fields);
+            if record_len == RECORD_LEN_V2 {
+                let wbase = base + 4 + 8 * TALLY_FIELDS;
+                let wc = |i: usize| WeightedCount {
+                    sum_q64: u128_at(wbase + 32 * i),
+                    sumsq_q32: u128_at(wbase + 32 * i + 16),
+                };
+                tally.due_weighted = wc(0);
+                tally.sdc_weighted = wc(1);
+                tally.weight_sum = wc(2);
+            }
+            done.push((shard, tally));
         }
         Ok(Self {
             config_hash: u64_at(16),
@@ -356,6 +424,11 @@ impl CheckpointStore {
 /// [`FleetConfig::canonical_bytes`]): tallies are bit-identical at any
 /// thread count, so moving a checkpoint to a machine with different
 /// parallelism must not invalidate it.
+///
+/// The domain string is frozen at `"lifetime-ckpt/v1"` even though the
+/// container format is now v2: the hash fingerprints the run
+/// configuration, not the byte layout, and rolling it would orphan
+/// every pre-v2 checkpoint (see the module docs).
 pub fn config_hash(code: &FleetCode, env: &Environment, config: &FleetConfig) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
@@ -383,12 +456,15 @@ mod tests {
     }
 
     fn sample() -> Checkpoint {
-        let t = LifetimeTally {
+        let mut t = LifetimeTally {
             epochs: 123,
             due_words: 4,
             sdc_words: 1,
             ..LifetimeTally::default()
         };
+        t.due_weighted.push(3.75);
+        t.sdc_weighted.push(0.015625);
+        t.weight_sum.push(1.0);
         Checkpoint {
             config_hash: 0xDEAD_BEEF_0BAD_F00D,
             generation: 7,
@@ -403,6 +479,42 @@ mod tests {
     fn roundtrip() {
         let c = sample();
         assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn v1_payload_decodes_with_zero_weighted_sums() {
+        let c = sample();
+        let decoded = Checkpoint::decode(&c.encode_v1()).unwrap();
+        // Everything but the weighted accumulators survives the trip...
+        let mut expect = c.clone();
+        for (_, t) in &mut expect.done {
+            t.due_weighted = WeightedCount::default();
+            t.sdc_weighted = WeightedCount::default();
+            t.weight_sum = WeightedCount::default();
+        }
+        assert_eq!(decoded, expect);
+        // ...and the v1 payload really is the legacy 96-byte-record size.
+        assert_eq!(c.encode_v1().len(), 56 + 96 * 3);
+        assert_eq!(c.encode().len(), 56 + 192 * 3);
+    }
+
+    #[test]
+    fn every_v1_truncation_and_bitflip_fails() {
+        let bytes = sample().encode_v1();
+        for len in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..len]).is_err(),
+                "v1 prefix of {len} bytes decoded"
+            );
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut mangled = bytes.clone();
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                Checkpoint::decode(&mangled).is_err(),
+                "v1 flip of bit {bit} decoded"
+            );
+        }
     }
 
     #[test]

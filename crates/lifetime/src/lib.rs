@@ -65,6 +65,7 @@
 
 mod checkpoint;
 mod classify;
+pub mod estimator;
 mod shard;
 mod sim;
 mod supervisor;
@@ -73,6 +74,7 @@ pub use checkpoint::{
     config_hash, crc32, Checkpoint, CheckpointError, CheckpointStore, Corruption, Loaded,
 };
 pub use classify::{FleetBackend, FleetContext};
+pub use estimator::{Estimator, RateEstimate, WeightedCount};
 pub use muse_core::{Classifier, Entropy, MuseClassifier, Strike, WordRead};
 pub use muse_rs::RsClassifier;
 pub use shard::ShardPlan;
@@ -244,6 +246,53 @@ pub fn scenario_environments() -> Vec<Environment> {
     ]
 }
 
+/// Field-calibrated DDR3 server environment, after the large-scale DRAM
+/// field studies of Sridharan et al. (SC'12/SC'13): ~30 FIT/device of
+/// permanent faults split roughly half single-bit, the rest row/column
+/// faults and bank/whole-chip failures, with transients at a comparable
+/// per-device rate. The study's per-bank/row/column/pin taxonomy is
+/// mapped onto this model's three modes: single-bit → `SingleBit`,
+/// row + column + pin → `SingleDeviceMultiBit`, bank + multi-bank +
+/// whole-chip → `WholeDevice`.
+pub fn field_ddr3() -> Environment {
+    Environment {
+        name: "field-ddr3",
+        transient_fit_per_device: 29.0,
+        // 32 / 11 / 22 FIT over the base [35, 20, 5] FIT rates.
+        permanent_scale: [0.91, 0.55, 4.4],
+        asymmetric_transients: false,
+    }
+}
+
+/// Field-calibrated DDR4 hyperscale environment: per-device permanent
+/// rates several times below the DDR3 study (denser parts, better
+/// screening) with a larger whole-device share, and a transient rate
+/// dominated by high-altitude-equivalent neutron flux scaled to sea
+/// level. Mapping onto the three model modes as in [`field_ddr3`].
+pub fn field_ddr4() -> Environment {
+    Environment {
+        name: "field-ddr4",
+        transient_fit_per_device: 55.0,
+        // 10 / 8 / 4.5 FIT over the base [35, 20, 5] FIT rates.
+        permanent_scale: [0.29, 0.4, 0.9],
+        asymmetric_transients: false,
+    }
+}
+
+/// The field-calibrated environments, in presentation order.
+pub fn field_environments() -> Vec<Environment> {
+    vec![field_ddr3(), field_ddr4()]
+}
+
+///// Every standard environment: the three synthetic scenario rates
+/// followed by the field-calibrated sets — the environment axis of
+/// [`run_matrix`].
+pub fn all_environments() -> Vec<Environment> {
+    let mut envs = scenario_environments();
+    envs.extend(field_environments());
+    envs
+}
+
 /// The four standard codes of the scenario matrix: both MUSE ChipKill
 /// presets and the RS baseline at `t = 1` and `t = 2`.
 pub fn scenario_codes() -> Vec<FleetCode> {
@@ -284,6 +333,9 @@ pub struct FleetConfig {
     /// Worker threads (0 ⇒ one per CPU). Tallies are bit-identical at any
     /// value.
     pub threads: usize,
+    /// Rate estimator: naive Monte Carlo, or importance sampling with
+    /// likelihood-ratio reweighting (see [`estimator`]).
+    pub estimator: Estimator,
 }
 
 impl Default for FleetConfig {
@@ -300,6 +352,7 @@ impl Default for FleetConfig {
             initial_failed_devices: 0,
             seed: 0xF1EE_7155,
             threads: 0,
+            estimator: Estimator::Naive,
         }
     }
 }
@@ -320,6 +373,13 @@ impl FleetConfig {
     /// [`threads`](Self::threads). Tallies are bit-identical at any
     /// thread count, so a checkpoint must stay valid when the worker
     /// count changes (e.g. resuming on a different machine).
+    ///
+    /// The [`estimator`](Self::estimator) is appended **only when
+    /// non-naive**: a naive config encodes exactly as it did before the
+    /// estimator field existed, so pre-estimator hashes — and every
+    /// `lifetime-ckpt/v1` checkpoint carrying one — stay resumable,
+    /// while a biased run can never silently adopt a naive checkpoint
+    /// (or vice versa).
     pub fn canonical_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.dimms.to_le_bytes());
@@ -332,6 +392,7 @@ impl FleetConfig {
         out.extend_from_slice(&self.demand_read_hours.to_bits().to_le_bytes());
         out.extend_from_slice(&self.initial_failed_devices.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.estimator.canonical_bytes());
         out
     }
 }
@@ -365,6 +426,18 @@ pub struct LifetimeTally {
     pub data_loss_events: u64,
     /// DIMMs replaced after data loss.
     pub dimm_replacements: u64,
+    /// Likelihood-weighted DUE totals (word DUEs + data-loss events),
+    /// one per-DIMM total per trajectory. Zero under the naive
+    /// estimator; the fixed-point accumulation keeps merges
+    /// bit-identical under any fleet partition (see
+    /// [`estimator::WeightedCount`]).
+    pub due_weighted: WeightedCount,
+    /// Likelihood-weighted SDC totals (see [`Self::due_weighted`]).
+    pub sdc_weighted: WeightedCount,
+    /// Final full-trajectory likelihood ratios, one per DIMM — a
+    /// diagnostic: under the biased measure each has expectation 1, and
+    /// [`WeightedCount::effective_n`] gives the effective sample size.
+    pub weight_sum: WeightedCount,
 }
 
 impl Tally for LifetimeTally {
@@ -380,6 +453,9 @@ impl Tally for LifetimeTally {
         self.spare_rebuilds += other.spare_rebuilds;
         self.data_loss_events += other.data_loss_events;
         self.dimm_replacements += other.dimm_replacements;
+        self.due_weighted.merge(other.due_weighted);
+        self.sdc_weighted.merge(other.sdc_weighted);
+        self.weight_sum.merge(other.weight_sum);
     }
 }
 
@@ -402,6 +478,15 @@ pub struct LifetimeReport {
     pub repairs_per_machine_year: f64,
     /// Fraction of DIMM-epochs spent in degraded (erasure-mode) operation.
     pub degraded_fraction: f64,
+    /// The estimator that produced the DUE/SDC rates.
+    pub estimator: Estimator,
+    /// DUE rate with its 95% confidence interval (Poisson for naive
+    /// runs, across-DIMM CLT for importance-sampling runs; the
+    /// rule-of-three upper bound when zero events were observed).
+    pub due_estimate: RateEstimate,
+    /// SDC rate with its 95% confidence interval (see
+    /// [`Self::due_estimate`]).
+    pub sdc_estimate: RateEstimate,
     /// The raw tallies.
     pub tally: LifetimeTally,
 }
@@ -409,12 +494,23 @@ pub struct LifetimeReport {
 impl LifetimeReport {
     fn new(code: &FleetCode, env: &Environment, config: &FleetConfig, t: LifetimeTally) -> Self {
         let my = config.machine_years();
+        let due_events = t.due_words + t.data_loss_events;
+        let (due_estimate, sdc_estimate) = match config.estimator {
+            Estimator::Naive => (
+                RateEstimate::from_count(due_events, my),
+                RateEstimate::from_count(t.sdc_words, my),
+            ),
+            Estimator::Importance { .. } => (
+                RateEstimate::from_weighted(due_events, t.due_weighted, config.dimms, my),
+                RateEstimate::from_weighted(t.sdc_words, t.sdc_weighted, config.dimms, my),
+            ),
+        };
         Self {
             code: code.name(),
             environment: env.name.to_string(),
             machine_years: my,
-            due_per_machine_year: (t.due_words + t.data_loss_events) as f64 / my,
-            sdc_per_machine_year: t.sdc_words as f64 / my,
+            due_per_machine_year: due_estimate.mean,
+            sdc_per_machine_year: sdc_estimate.mean,
             repairs_per_machine_year: (t.devices_retired
                 + t.rows_retired
                 + t.spare_rebuilds
@@ -425,6 +521,9 @@ impl LifetimeReport {
             } else {
                 t.degraded_epochs as f64 / t.epochs as f64
             },
+            estimator: config.estimator,
+            due_estimate,
+            sdc_estimate,
             tally: t,
         }
     }
@@ -594,10 +693,10 @@ pub fn verify_smoke(reports: &[LifetimeReport]) -> Result<(), String> {
 }
 
 /// Runs the full scenario matrix — [`scenario_codes`] ×
-/// [`scenario_environments`] — under one fleet configuration.
+/// [`all_environments`] — under one fleet configuration.
 pub fn run_matrix(config: &FleetConfig) -> Vec<LifetimeReport> {
     let codes = scenario_codes();
-    let envs = scenario_environments();
+    let envs = all_environments();
     let mut reports = Vec::with_capacity(codes.len() * envs.len());
     for code in &codes {
         for env in &envs {

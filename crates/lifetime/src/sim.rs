@@ -39,11 +39,27 @@
 //! [`Rng::for_cell`]`(seed, d, e)`; per-DIMM tallies merge in DIMM order.
 //! Results are bit-identical at any thread count
 //! (`tests/determinism.rs`).
+//!
+//! # Importance sampling
+//!
+//! Under [`Estimator::Importance`] the walk layers a biased measure on
+//! top of the nominal draws (see [`crate::estimator`] for the scheme):
+//! extra permanent-fault arrivals come off the domain-separated
+//! [`Rng::for_bias`]`(seed, d, e)` stream, rare collision draws are
+//! boosted in place on the main stream, and every biased decision
+//! multiplies an exact likelihood ratio into the trajectory weight.
+//! DUE/SDC events accumulate the weight at event time; per-DIMM totals
+//! are quantized into the fixed-point [`LifetimeTally`] weighted sums,
+//! so weighted results keep the same any-thread-count bit-identity as
+//! the raw counts. At a bias factor of exactly 1.0 no bias-stream draw
+//! is consumed, every likelihood ratio is exactly 1.0, and the main
+//! stream sees the identical draw sequence as a naive run.
 
 use muse_core::{Classifier, Strike, WordRead};
 use muse_faultsim::{Bounded32, CountCdf, FailureMode, Rng, SimEngine};
 
 use crate::classify::{FleetBackend, FleetContext};
+use crate::estimator::{boosted_chance, BiasedCount, Estimator};
 use crate::{Environment, FleetCode, FleetConfig, LifetimeTally};
 
 /// Hours per (Julian) year, the FIT-rate convention.
@@ -62,6 +78,21 @@ pub(crate) struct Plan {
     /// Mean demand-read detection latency, in epoch units.
     demand_epochs: f64,
     asym: bool,
+    /// Importance-sampling plan; `None` under the naive estimator.
+    bias: Option<BiasPlan>,
+}
+
+/// Precomputed biased-arrival samplers and the collision boost factor.
+///
+/// Only the *permanent* fault modes are biased: their per-epoch arrival
+/// probabilities are the rare ingredients of multi-fault SDC paths,
+/// while the transient rate is large enough that inflating it would
+/// explode the weight variance instead of reducing it.
+struct BiasPlan {
+    factor: f64,
+    single: BiasedCount,
+    multi: BiasedCount,
+    whole: BiasedCount,
 }
 
 impl Plan {
@@ -71,14 +102,14 @@ impl Plan {
         let p_mode =
             |mode: FailureMode, scale: f64| (mode.fit_per_device() * scale * hours / 1e9).min(1.0);
         let [s_single, s_multi, s_whole] = env.permanent_scale;
+        let p_single = p_mode(FailureMode::SingleBit, s_single);
+        let p_multi = p_mode(FailureMode::SingleDeviceMultiBit, s_multi);
+        let p_whole = p_mode(FailureMode::WholeDevice, s_whole);
         Self {
             epochs: config.epochs(),
-            cdf_single: CountCdf::binomial(devices, p_mode(FailureMode::SingleBit, s_single)),
-            cdf_multi: CountCdf::binomial(
-                devices,
-                p_mode(FailureMode::SingleDeviceMultiBit, s_multi),
-            ),
-            cdf_whole: CountCdf::binomial(devices, p_mode(FailureMode::WholeDevice, s_whole)),
+            cdf_single: CountCdf::binomial(devices, p_single),
+            cdf_multi: CountCdf::binomial(devices, p_multi),
+            cdf_whole: CountCdf::binomial(devices, p_whole),
             cdf_trans: CountCdf::binomial(
                 devices,
                 (env.transient_fit_per_device * hours / 1e9).min(1.0),
@@ -88,6 +119,15 @@ impl Plan {
             row_words: config.row_words,
             demand_epochs: config.demand_read_hours / hours,
             asym: env.asymmetric_transients,
+            bias: match config.estimator {
+                Estimator::Naive => None,
+                Estimator::Importance { bias } => Some(BiasPlan {
+                    factor: bias,
+                    single: BiasedCount::new(devices, p_single, bias),
+                    multi: BiasedCount::new(devices, p_multi, bias),
+                    whole: BiasedCount::new(devices, p_whole, bias),
+                }),
+            },
         }
     }
 }
@@ -118,11 +158,42 @@ impl DimmState {
     }
 }
 
-fn record(tally: &mut LifetimeTally, out: WordRead) {
+/// One DIMM trajectory's running likelihood ratio and weighted event
+/// totals. `f64` arithmetic stays inside the DIMM's sequential walk;
+/// cross-DIMM aggregation happens in fixed point (see
+/// [`crate::estimator::WeightedCount`]).
+struct Weights {
+    /// Running likelihood ratio (nominal density over biased density of
+    /// every biased decision so far). Exactly 1.0 under the naive
+    /// estimator or a bias factor of 1.0.
+    w: f64,
+    /// Sum over DUE / data-loss events of the weight at event time.
+    due: f64,
+    /// Sum over SDC events of the weight at event time.
+    sdc: f64,
+}
+
+impl Weights {
+    fn fresh() -> Self {
+        Self {
+            w: 1.0,
+            due: 0.0,
+            sdc: 0.0,
+        }
+    }
+}
+
+fn record(tally: &mut LifetimeTally, ws: &mut Weights, out: WordRead) {
     match out {
         WordRead::Correct => tally.corrected_words += 1,
-        WordRead::Due => tally.due_words += 1,
-        WordRead::Sdc => tally.sdc_words += 1,
+        WordRead::Due => {
+            tally.due_words += 1;
+            ws.due += ws.w;
+        }
+        WordRead::Sdc => {
+            tally.sdc_words += 1;
+            ws.sdc += ws.w;
+        }
     }
 }
 
@@ -160,22 +231,66 @@ pub(crate) fn run_fleet_range(
         |local, _trial_rng, backend, tally: &mut LifetimeTally| {
             let dimm = range.start + local;
             let mut state = DimmState::fresh(backend, config);
+            let mut ws = Weights::fresh();
+            let biased = plan.bias.is_some();
             for epoch in 0..plan.epochs {
                 // The determinism contract: epoch e of DIMM d draws only
-                // from this stream, regardless of worker assignment.
+                // from this stream (plus its domain-separated bias
+                // companion), regardless of worker assignment.
                 let mut rng = Rng::for_cell(config.seed, dimm, epoch);
-                epoch_step(&plan, config, &mut rng, &mut state, backend, tally);
+                let mut bias_rng = if biased {
+                    Some(Rng::for_bias(config.seed, dimm, epoch))
+                } else {
+                    None
+                };
+                epoch_step(
+                    &plan,
+                    config,
+                    &mut rng,
+                    bias_rng.as_mut(),
+                    &mut ws,
+                    &mut state,
+                    backend,
+                    tally,
+                );
+            }
+            if biased {
+                // Quantize the per-DIMM f64 totals once, in DIMM order:
+                // fixed-point addition is associative, so the merged
+                // fleet sums are partition-invariant.
+                tally.due_weighted.push(ws.due);
+                tally.sdc_weighted.push(ws.sdc);
+                tally.weight_sum.push(ws.w);
             }
         },
     )
 }
 
+/// Draws one collision decision: the plain `chance(p)` under the naive
+/// estimator, the boosted draw (with its likelihood ratio folded into
+/// the trajectory weight) under importance sampling. Either way exactly
+/// one main-stream draw is consumed, and at a bias factor of 1.0 the
+/// boosted probability collapses back to `p`.
+fn collision(rng: &mut Rng, p: f64, boost: Option<f64>, ws: &mut Weights) -> bool {
+    match boost {
+        None => rng.chance(p),
+        Some(factor) => {
+            let (hit, lr) = boosted_chance(rng, p, factor);
+            ws.w *= lr;
+            hit
+        }
+    }
+}
+
 /// One scrub interval of one DIMM. All sampling happens in a fixed order
-/// off the epoch's private stream.
+/// off the epoch's private stream; biased extras come off `bias_rng`.
+#[allow(clippy::too_many_arguments)]
 fn epoch_step(
     plan: &Plan,
     config: &FleetConfig,
     rng: &mut Rng,
+    bias_rng: Option<&mut Rng>,
+    ws: &mut Weights,
     state: &mut DimmState,
     backend: &mut FleetBackend<'_>,
     tally: &mut LifetimeTally,
@@ -185,12 +300,26 @@ fn epoch_step(
     if degraded {
         tally.degraded_epochs += 1;
     }
+    let boost = plan.bias.as_ref().map(|b| b.factor);
 
-    // 1. Arrival counts: one raw draw each, through the exact binomial CDF.
-    let n_single = plan.cdf_single.sample(rng.next_u64());
-    let n_multi = plan.cdf_multi.sample(rng.next_u64());
-    let n_whole = plan.cdf_whole.sample(rng.next_u64());
+    // 1. Arrival counts: one raw draw each, through the exact binomial
+    //    CDF. Under importance sampling each permanent-fault count is
+    //    topped up with an independent extra-arrival draw off the bias
+    //    stream, and the exact likelihood ratio of the combined count
+    //    multiplies the trajectory weight (transients stay unbiased —
+    //    see [`BiasPlan`]).
+    let mut n_single = plan.cdf_single.sample(rng.next_u64());
+    let mut n_multi = plan.cdf_multi.sample(rng.next_u64());
+    let mut n_whole = plan.cdf_whole.sample(rng.next_u64());
     let n_trans = plan.cdf_trans.sample(rng.next_u64());
+    if let (Some(bp), Some(brng)) = (&plan.bias, bias_rng) {
+        n_single += bp.single.sample_extra(brng);
+        n_multi += bp.multi.sample_extra(brng);
+        n_whole += bp.whole.sample_extra(brng);
+        ws.w *= bp.single.likelihood(n_single)
+            * bp.multi.likelihood(n_multi)
+            * bp.whole.likelihood(n_whole);
+    }
 
     // 2. Whole-device failures: device + undetected-exposure window.
     let mut pending: Vec<(u16, f64)> = Vec::new();
@@ -225,7 +354,7 @@ fn epoch_step(
                 strikes.push((dev, Strike::Xor(rng.nonzero_below(1 << width) as u16)));
                 tally.erasure_reads += 1;
                 let out = backend.classify(&state.ctx, &strikes, rng);
-                record(tally, out);
+                record(tally, ws, out);
             }
         }
     }
@@ -245,7 +374,7 @@ fn epoch_step(
             strikes.push((dev, Strike::Xor(1 << rng.below(width as u64))));
             tally.erasure_reads += 1;
             let out = backend.classify(&state.ctx, &strikes, rng);
-            record(tally, out);
+            record(tally, ws, out);
         }
         if state.stuck.len() < 4096 {
             state.stuck.push(dev);
@@ -272,7 +401,7 @@ fn epoch_step(
         strikes.push((dev, tstrike));
         // Dying chips: garbage while the failure is undetected.
         for &(ddev, window) in &pending {
-            if ddev != dev && rng.chance(window) {
+            if ddev != dev && collision(rng, window, boost, ws) {
                 let garbage = rng.below(1 << backend.device_width(ddev)) as u16;
                 if garbage != 0 {
                     strikes.push((ddev, Strike::Xor(garbage)));
@@ -280,7 +409,9 @@ fn epoch_step(
             }
         }
         // Landing in a word with a latent stuck bit.
-        if !state.stuck.is_empty() && rng.chance(state.stuck.len() as f64 / plan.words) {
+        if !state.stuck.is_empty()
+            && collision(rng, state.stuck.len() as f64 / plan.words, boost, ws)
+        {
             let s = state.stuck[rng.below(state.stuck.len() as u64) as usize];
             if !state.erased.contains(&s) && !strikes.iter().any(|&(d, _)| d == s) {
                 let w = backend.device_width(s);
@@ -288,7 +419,7 @@ fn epoch_step(
             }
         }
         // Colliding with an earlier transient of this epoch.
-        if i > 0 && rng.chance(i as f64 / plan.words) {
+        if i > 0 && collision(rng, i as f64 / plan.words, boost, ws) {
             let other = plan.device_pick.sample(rng) as u16;
             let ow = backend.device_width(other);
             let obit = rng.below(ow as u64) as u8;
@@ -307,7 +438,7 @@ fn epoch_step(
         if degraded {
             tally.erasure_reads += 1;
             let out = backend.classify(&state.ctx, &strikes, rng);
-            record(tally, out);
+            record(tally, ws, out);
         } else if strikes.len() == 1 {
             // A lone in-model transient: scrubbed away. Asymmetric cells
             // only flip when they store a 1 (uniform contents: p = 1/2).
@@ -321,7 +452,7 @@ fn epoch_step(
             }
         } else {
             let out = backend.classify(&state.ctx, &strikes, rng);
-            record(tally, out);
+            record(tally, ws, out);
         }
     }
 
@@ -355,7 +486,7 @@ fn epoch_step(
                     ));
                     tally.erasure_reads += 1;
                     let out = backend.classify(&cctx, &strikes, rng);
-                    record(tally, out);
+                    record(tally, ws, out);
                 }
                 state.spares_left -= 1;
                 tally.spare_rebuilds += 1;
@@ -368,8 +499,11 @@ fn epoch_step(
             }
         } else {
             // Beyond the code's erasure capacity (or an unrecoverable
-            // device combination): data loss; the DIMM is replaced.
+            // device combination): data loss; the DIMM is replaced. The
+            // trajectory weight carries across the replacement — the
+            // biased measure runs over the whole DIMM slot's lifetime.
             tally.data_loss_events += 1;
+            ws.due += ws.w;
             tally.dimm_replacements += 1;
             *state = DimmState::fresh(backend, config);
             break;

@@ -164,7 +164,11 @@ pub struct RunStats {
 
 /// Result of [`run_sharded`]: either the fleet report, or a clean
 /// interruption with all completed shards persisted.
+///
+/// The variants are deliberately unboxed: one outcome exists per fleet
+/// cell, so the size gap between them never matters.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub enum ShardedOutcome {
     /// The run finished; tallies are bit-identical to an uninterrupted
     /// [`simulate_fleet`](crate::simulate_fleet).

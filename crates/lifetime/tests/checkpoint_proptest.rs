@@ -1,13 +1,21 @@
-//! Property tests over the `lifetime-ckpt/v1` codec: arbitrary
-//! checkpoints round-trip exactly, and any corruption — truncation at a
-//! random point, a random flipped bit — is rejected by the CRC/structure
-//! checks rather than decoded into a wrong checkpoint (the invariant the
-//! corruption-fallback path of the sharded runner rests on).
+//! Property tests over the `lifetime-ckpt/v2` codec: arbitrary
+//! checkpoints — weighted accumulators included — round-trip exactly,
+//! legacy v1 payloads decode with zeroed weighted sums, and any
+//! corruption — truncation at a random point, a random flipped bit — is
+//! rejected by the CRC/structure checks rather than decoded into a wrong
+//! checkpoint (the invariant the corruption-fallback path of the sharded
+//! runner rests on).
 
-use muse_lifetime::{Checkpoint, LifetimeTally};
+use muse_lifetime::{Checkpoint, LifetimeTally, WeightedCount};
 use proptest::prelude::*;
 
 const MAX_SHARDS: usize = 24;
+/// 11 raw counters + 2×u64 halves for each of the 6 weighted u128s.
+const FIELDS_PER_SHARD: usize = 23;
+
+fn u128_from(hi: u64, lo: u64) -> u128 {
+    (u128::from(hi) << 64) | u128::from(lo)
+}
 
 fn tally_from(fields: &[u64]) -> LifetimeTally {
     LifetimeTally {
@@ -22,6 +30,18 @@ fn tally_from(fields: &[u64]) -> LifetimeTally {
         spare_rebuilds: fields[8],
         data_loss_events: fields[9],
         dimm_replacements: fields[10],
+        due_weighted: WeightedCount {
+            sum_q64: u128_from(fields[11], fields[12]),
+            sumsq_q32: u128_from(fields[13], fields[14]),
+        },
+        sdc_weighted: WeightedCount {
+            sum_q64: u128_from(fields[15], fields[16]),
+            sumsq_q32: u128_from(fields[17], fields[18]),
+        },
+        weight_sum: WeightedCount {
+            sum_q64: u128_from(fields[19], fields[20]),
+            sumsq_q32: u128_from(fields[21], fields[22]),
+        },
     }
 }
 
@@ -36,7 +56,12 @@ fn build(
 ) -> Checkpoint {
     let done = (0..shard_count as usize)
         .filter(|&s| include[s])
-        .map(|s| (s as u32, tally_from(&fields[s * 11..][..11])))
+        .map(|s| {
+            (
+                s as u32,
+                tally_from(&fields[s * FIELDS_PER_SHARD..][..FIELDS_PER_SHARD]),
+            )
+        })
         .collect();
     Checkpoint {
         config_hash,
@@ -59,7 +84,8 @@ proptest! {
         dimms in 1u64..1_000_000,
         epoch_cursor in any::<u64>(),
         include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
-        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+        fields in prop::collection::vec(
+            any::<u64>(), MAX_SHARDS * FIELDS_PER_SHARD..MAX_SHARDS * FIELDS_PER_SHARD + 1),
     ) {
         let ckpt = build(config_hash, generation, shard_count, dimms,
             epoch_cursor, &include, &fields);
@@ -68,14 +94,34 @@ proptest! {
     }
 
     #[test]
+    fn v1_payloads_decode_with_weighted_sums_zeroed(
+        shard_count in 1u32..=MAX_SHARDS as u32,
+        include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
+        fields in prop::collection::vec(
+            any::<u64>(), MAX_SHARDS * FIELDS_PER_SHARD..MAX_SHARDS * FIELDS_PER_SHARD + 1),
+    ) {
+        let ckpt = build(7, 8, shard_count, 4096, 9, &include, &fields);
+        let decoded = Checkpoint::decode(&ckpt.encode_v1()).expect("v1 decode");
+        let mut expect = ckpt.clone();
+        for (_, t) in &mut expect.done {
+            t.due_weighted = WeightedCount::default();
+            t.sdc_weighted = WeightedCount::default();
+            t.weight_sum = WeightedCount::default();
+        }
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
     fn truncation_never_decodes(
         shard_count in 1u32..=MAX_SHARDS as u32,
         include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
-        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+        fields in prop::collection::vec(
+            any::<u64>(), MAX_SHARDS * FIELDS_PER_SHARD..MAX_SHARDS * FIELDS_PER_SHARD + 1),
         cut in any::<u64>(),
+        legacy in any::<bool>(),
     ) {
         let ckpt = build(1, 2, shard_count, 1024, 3, &include, &fields);
-        let bytes = ckpt.encode();
+        let bytes = if legacy { ckpt.encode_v1() } else { ckpt.encode() };
         // Any strict prefix must fail (length or CRC check).
         let len = (cut % bytes.len() as u64) as usize;
         prop_assert!(Checkpoint::decode(&bytes[..len]).is_err(),
@@ -86,11 +132,13 @@ proptest! {
     fn bitflips_never_decode(
         shard_count in 1u32..=MAX_SHARDS as u32,
         include in prop::collection::vec(any::<bool>(), MAX_SHARDS..MAX_SHARDS + 1),
-        fields in prop::collection::vec(any::<u64>(), MAX_SHARDS * 11..MAX_SHARDS * 11 + 1),
+        fields in prop::collection::vec(
+            any::<u64>(), MAX_SHARDS * FIELDS_PER_SHARD..MAX_SHARDS * FIELDS_PER_SHARD + 1),
         flip in any::<u64>(),
+        legacy in any::<bool>(),
     ) {
         let ckpt = build(4, 5, shard_count, 2048, 6, &include, &fields);
-        let mut bytes = ckpt.encode();
+        let mut bytes = if legacy { ckpt.encode_v1() } else { ckpt.encode() };
         let bit = (flip % (bytes.len() as u64 * 8)) as usize;
         bytes[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(Checkpoint::decode(&bytes).is_err(),

@@ -5,8 +5,8 @@
 //! reproduce the qualitative reliability ordering the codes are built for.
 
 use muse_lifetime::{
-    chipkill_heavy, retention_asymmetric, scenario_codes, simulate_fleet, transient_dominant,
-    FleetCode, FleetConfig,
+    chipkill_heavy, field_environments, retention_asymmetric, scenario_codes, simulate_fleet,
+    transient_dominant, Estimator, FleetCode, FleetConfig,
 };
 use muse_rs::RsMemoryCode;
 
@@ -37,6 +37,57 @@ fn identical_across_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn weighted_tallies_identical_across_thread_counts() {
+    // The importance-sampling path must satisfy the same contract as the
+    // raw counts: the fixed-point weighted accumulators — not just the
+    // integer counters — are bit-identical at any thread count.
+    for code in scenario_codes() {
+        let env = chipkill_heavy();
+        let config = |threads| FleetConfig {
+            estimator: Estimator::importance(16.0),
+            ..small(threads)
+        };
+        let serial = simulate_fleet(&code, &env, &config(1));
+        for threads in [2, 4, 0] {
+            let parallel = simulate_fleet(&code, &env, &config(threads));
+            assert_eq!(
+                serial.tally,
+                parallel.tally,
+                "{} weighted tallies at {threads} threads",
+                code.name()
+            );
+            assert_eq!(
+                serial.tally.due_weighted, parallel.tally.due_weighted,
+                "weighted DUE accumulator drifted"
+            );
+        }
+        // The biased run really biased something: weights were recorded.
+        assert!(serial.tally.weight_sum.sum() > 0.0);
+    }
+}
+
+#[test]
+fn field_environments_are_live_and_distinct() {
+    let envs = field_environments();
+    assert_eq!(envs.len(), 2, "two field-calibrated rate sets ship");
+    let code = FleetCode::muse(muse_core::presets::muse_144_132());
+    let mut tallies = Vec::new();
+    for env in &envs {
+        let report = simulate_fleet(&code, env, &small(0));
+        assert!(
+            report.tally.corrected_words > 0,
+            "{} produces activity",
+            env.name
+        );
+        tallies.push(report.tally);
+    }
+    assert_ne!(
+        tallies[0], tallies[1],
+        "the two field environments must not alias"
+    );
 }
 
 #[test]

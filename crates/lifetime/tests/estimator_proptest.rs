@@ -1,0 +1,141 @@
+//! Property tests of the likelihood-ratio accounting behind the
+//! importance-sampling estimator:
+//!
+//! - the expectation of the weight under the biased measure is exactly 1
+//!   (checked analytically: `Σ pmf_biased(k) · lr(k) = Σ pmf_nominal(k)`),
+//! - likelihood ratios are finite and non-negative everywhere, and
+//!   strictly positive wherever both measures carry mass,
+//! - [`boosted_chance`] returns the exact branch factor for arbitrary
+//!   probabilities and bias factors, and
+//! - a bias factor of exactly 1.0 reproduces the naive fleet tallies
+//!   **bit-identically**, with the weighted accumulators holding the
+//!   exact fixed-point image of the raw counts.
+
+use muse_lifetime::estimator::{binomial_pmf, boosted_chance, BiasedCount};
+use muse_lifetime::{scenario_codes, simulate_fleet, smoke_setup, Estimator, WeightedCount};
+use proptest::prelude::*;
+
+/// The extra-arrival probability the sampler actually uses — mirrors the
+/// (deliberately private) `EXTRA_P_CAP = 0.5` clamp in the estimator, so
+/// this test also pins that constant.
+fn p_extra(p: f64, bias: f64) -> f64 {
+    ((bias - 1.0) * p).min(0.5)
+}
+
+/// The biased count's pmf: `Binomial(n, p) ⊛ Binomial(n, p_extra)`.
+fn biased_pmf(n: u32, p: f64, bias: f64) -> Vec<f64> {
+    let nominal = binomial_pmf(n, p);
+    let extra = binomial_pmf(n, p_extra(p, bias));
+    let mut conv = vec![0.0; nominal.len() + extra.len() - 1];
+    for (i, &a) in nominal.iter().enumerate() {
+        for (j, &b) in extra.iter().enumerate() {
+            conv[i + j] += a * b;
+        }
+    }
+    conv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expected_weight_is_one_under_the_biased_measure(
+        n in 1u32..=64,
+        p in 0.0f64..0.5,
+        bias in 1.0f64..1000.0,
+    ) {
+        let bc = BiasedCount::new(n, p, bias);
+        if p_extra(p, bias) <= 0.0 {
+            // Inert inflation: every ratio is exactly 1.
+            for k in 0..=2 * n {
+                prop_assert_eq!(bc.likelihood(k), 1.0);
+            }
+        } else {
+            let conv = biased_pmf(n, p, bias);
+            let expectation: f64 = conv
+                .iter()
+                .enumerate()
+                .map(|(k, &pb)| pb * bc.likelihood(k as u32))
+                .sum();
+            prop_assert!(
+                (expectation - 1.0).abs() < 1e-8,
+                "n={} p={} bias={}: E[w]={}", n, p, bias, expectation
+            );
+        }
+    }
+
+    #[test]
+    fn likelihood_ratios_are_finite_and_positive_on_support(
+        n in 1u32..=64,
+        p in 1e-9f64..0.5,
+        bias in 1.0f64..1000.0,
+    ) {
+        let bc = BiasedCount::new(n, p, bias);
+        let nominal = binomial_pmf(n, p);
+        let conv = biased_pmf(n, p, bias);
+        for k in 0..conv.len() + 4 {
+            let lr = bc.likelihood(k as u32);
+            prop_assert!(lr.is_finite() && lr >= 0.0, "lr({})={}", k, lr);
+            let nom_mass = nominal.get(k).copied().unwrap_or(0.0);
+            if nom_mass > 0.0 && conv.get(k).copied().unwrap_or(0.0) > 0.0 {
+                prop_assert!(lr > 0.0, "lr({})=0 on nominal support", k);
+            }
+        }
+    }
+
+    #[test]
+    fn boosted_chance_factor_is_the_exact_branch_ratio(
+        p in 1e-12f64..1.0,
+        bias in 1.0f64..1e6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = muse_faultsim::Rng::seeded(seed);
+        let boosted = (p * bias).min(0.5).max(p);
+        let (hit, factor) = boosted_chance(&mut rng, p, bias);
+        prop_assert!(factor.is_finite() && factor > 0.0);
+        let expect = if hit { p / boosted } else { (1.0 - p) / (1.0 - boosted) };
+        prop_assert_eq!(factor, expect);
+        if hit {
+            // Hits are over-sampled, so their weight can only shrink.
+            prop_assert!(factor <= 1.0, "hit factor exceeds 1: {}", factor);
+        }
+    }
+}
+
+proptest! {
+    // Fleet runs are the expensive case: fewer, still plenty to sweep
+    // seeds and codes.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bias_one_reproduces_naive_tallies_bit_identically(
+        seed in any::<u64>(),
+        code_idx in 0usize..4,
+        dimms in 2u64..6,
+    ) {
+        let (env, mut config) = smoke_setup();
+        config.seed = seed;
+        config.dimms = dimms;
+        config.years = 0.2;
+        config.threads = 1;
+        let code = &scenario_codes()[code_idx];
+
+        let naive = simulate_fleet(code, &env, &config).tally;
+        config.estimator = Estimator::importance(1.0);
+        let is = simulate_fleet(code, &env, &config).tally;
+
+        // Raw counters: identical draw-for-draw.
+        let mut stripped = is;
+        stripped.due_weighted = WeightedCount::default();
+        stripped.sdc_weighted = WeightedCount::default();
+        stripped.weight_sum = WeightedCount::default();
+        prop_assert_eq!(stripped, naive);
+
+        // Weighted accumulators: the exact fixed-point image of the raw
+        // counts (every weight is exactly 1.0, integers quantize exactly).
+        let due_events = naive.due_words + naive.data_loss_events;
+        prop_assert_eq!(is.due_weighted.sum(), due_events as f64);
+        prop_assert_eq!(is.sdc_weighted.sum(), naive.sdc_words as f64);
+        prop_assert_eq!(is.weight_sum.sum(), dimms as f64);
+    }
+}

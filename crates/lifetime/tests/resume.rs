@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 
 use muse_lifetime::{
-    run_sharded, simulate_fleet, smoke_setup, CheckpointStore, Corruption, Environment, FaultPlan,
-    FleetCode, FleetConfig, LifetimeTally, RunnerConfig, RunnerError, ShardedOutcome,
+    run_sharded, simulate_fleet, smoke_setup, CheckpointStore, Corruption, Environment, Estimator,
+    FaultPlan, FleetCode, FleetConfig, LifetimeTally, RunnerConfig, RunnerError, ShardedOutcome,
 };
 
 /// A small degraded fleet under the aggressive smoke environment so every
@@ -140,6 +140,110 @@ fn interrupt_at_every_shard_boundary_resumes_bit_identically() {
             }
         }
     }
+}
+
+#[test]
+fn is_interrupt_at_every_shard_boundary_resumes_bit_identically() {
+    // The weighted (importance-sampling) path rides the same
+    // `lifetime-ckpt/v2` records: interrupting after every shard
+    // boundary and resuming — at a different thread count — must
+    // reproduce the uninterrupted run's weighted accumulators bit for
+    // bit, not just the raw counters.
+    let (code, env, config) = setup();
+    let config = FleetConfig {
+        estimator: Estimator::importance(16.0),
+        ..config
+    };
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    assert!(
+        baseline.weight_sum.sum() > 0.0,
+        "the biased run recorded weights"
+    );
+    for stop_after in 0..6u64 {
+        for &resume_threads in &[1usize, 4] {
+            let dir = TempDir::new(&format!("is-sweep-{stop_after}-{resume_threads}"));
+            let first = run_sharded(
+                &code,
+                &env,
+                &config,
+                &RunnerConfig {
+                    stop_after_shards: Some(stop_after),
+                    ..runner(&dir)
+                },
+                None,
+            )
+            .expect("interrupted run");
+            assert!(matches!(first, ShardedOutcome::Interrupted { .. }));
+            let resumed_config = FleetConfig {
+                threads: resume_threads,
+                ..config
+            };
+            let outcome = run_sharded(
+                &code,
+                &env,
+                &resumed_config,
+                &RunnerConfig {
+                    resume: true,
+                    ..runner(&dir)
+                },
+                None,
+            )
+            .expect("resumed run");
+            let resumed = complete(outcome).tally;
+            assert_eq!(
+                resumed, baseline,
+                "stop_after={stop_after} resume_threads={resume_threads}"
+            );
+            assert_eq!(
+                resumed.sdc_weighted, baseline.sdc_weighted,
+                "weighted SDC accumulator drifted across the resume"
+            );
+        }
+    }
+}
+
+#[test]
+fn v1_checkpoint_written_by_old_code_resumes() {
+    // Naive checkpoints written by the pre-estimator build were 96-byte
+    // `lifetime-ckpt/v1` records. Rewrite the newest slot with the exact
+    // bytes such a build would have produced (`encode_v1`) and resume:
+    // the v2 reader must accept them and converge bit-identically.
+    let (code, env, config) = setup();
+    let baseline = simulate_fleet(&code, &env, &config).tally;
+    let dir = TempDir::new("v1-compat");
+    let first = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            stop_after_shards: Some(3),
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("interrupted run");
+    assert!(matches!(first, ShardedOutcome::Interrupted { .. }));
+    let store = CheckpointStore::open(&dir.0, "fleet").expect("store");
+    let loaded = store.load().expect("checkpoint present");
+    assert!(!loaded.fell_back);
+    let legacy = loaded.checkpoint.encode_v1();
+    std::fs::write(store.slot_path(loaded.checkpoint.generation), legacy).expect("rewrite as v1");
+    let outcome = run_sharded(
+        &code,
+        &env,
+        &config,
+        &RunnerConfig {
+            resume: true,
+            ..runner(&dir)
+        },
+        None,
+    )
+    .expect("resumed from v1 bytes");
+    let stats = outcome.stats().clone();
+    let info = stats.resume.expect("v1 checkpoint was loaded");
+    assert_eq!(info.shards_done, 3);
+    assert!(!info.fell_back, "a valid v1 payload is not corruption");
+    assert_eq!(complete(outcome).tally, baseline);
 }
 
 #[test]
