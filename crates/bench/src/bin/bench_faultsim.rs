@@ -242,7 +242,11 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"faultsim-bench/v1\",\n");
+    json.push_str("  \"schema\": \"faultsim-bench/v2\",\n");
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        muse_bench::HostInfo::detect().json()
+    ));
     json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
     json.push_str(&format!("  \"trials\": {trials},\n"));
     json.push_str(&format!(

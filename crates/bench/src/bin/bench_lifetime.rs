@@ -6,7 +6,7 @@
 //! crash-safe sharded runner (plain vs checkpointed vs resumed-from-half),
 //! runs the full scenario matrix at the default fleet configuration —
 //! once with the naive estimator and once with importance sampling — and
-//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v2`, field
+//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v3`, field
 //! reference in the `muse-bench` crate docs). Every scenario row carries
 //! its estimator, 95% confidence intervals, and a rendered rate string
 //! that reports zero observed events as the rule-of-three upper bound
@@ -281,7 +281,11 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"lifetime-bench/v2\",\n");
+    json.push_str("  \"schema\": \"lifetime-bench/v3\",\n");
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        muse_bench::HostInfo::detect().json()
+    ));
     json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(

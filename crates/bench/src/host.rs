@@ -1,0 +1,53 @@
+//! Host identification for benchmark snapshots.
+//!
+//! Every `BENCH_*.json` row is a wall-clock measurement, so the snapshot
+//! records where it was taken: logical core count, OS, and CPU
+//! architecture. Comparing trajectories across machines without this
+//! context is how phantom regressions get filed.
+
+/// The host facts embedded in benchmark snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Logical CPUs visible to the process.
+    pub logical_cores: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+}
+
+impl HostInfo {
+    /// Detects the current host.
+    pub fn detect() -> Self {
+        Self {
+            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+        }
+    }
+
+    /// The `"host"` JSON object embedded in `BENCH_*.json` snapshots.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"logical_cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+            self.logical_cores, self.os, self.arch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_and_render() {
+        let host = HostInfo::detect();
+        assert!(host.logical_cores >= 1);
+        let json = host.json();
+        assert!(json.starts_with("{\"logical_cores\": "));
+        assert!(json.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
+        assert!(json.contains(&format!("\"arch\": \"{}\"", std::env::consts::ARCH)));
+        // The object is flat JSON the CI schema checker can parse.
+        assert!(!json.contains('\n'));
+    }
+}

@@ -26,11 +26,14 @@
 //! `cargo run --release -p muse-bench --bin bench_faultsim [trials]`
 //! measures every fault simulator and (over)writes `BENCH_faultsim.json`
 //! in the current directory, so each PR's hot-path numbers land next to
-//! the previous baseline. Schema `faultsim-bench/v1`:
+//! the previous baseline. Schema `faultsim-bench/v2` (v2 added the
+//! `host` object so trajectories are never compared across machines
+//! unknowingly):
 //!
 //! ```json
 //! {
-//!   "schema": "faultsim-bench/v1",
+//!   "schema": "faultsim-bench/v2",
+//!   "host": {"logical_cores": 1, "os": "linux", "arch": "x86_64"},
 //!   "threads_available": 1,          // CPUs visible to the run
 //!   "trials": 20000,                 // base trial count (CLI arg)
 //!   "msed_speedup_vs_naive": {"one_thread": 4.8, "all_threads": 4.7},
@@ -59,13 +62,15 @@
 //!
 //! `cargo run --release -p muse-bench --bin bench_lifetime` measures the
 //! fleet-lifetime simulator (`muse-lifetime`) and (over)writes
-//! `BENCH_lifetime.json`. Schema `lifetime-bench/v2` (v2 added the
-//! per-row estimator tag, event counts, 95% confidence intervals, and the
-//! rendered rate strings; v1 rows carried only the bare point rates):
+//! `BENCH_lifetime.json`. Schema `lifetime-bench/v3` (v3 added the
+//! `host` object; v2 added the per-row estimator tag, event counts,
+//! 95% confidence intervals, and the rendered rate strings; v1 rows
+//! carried only the bare point rates):
 //!
 //! ```json
 //! {
-//!   "schema": "lifetime-bench/v2",
+//!   "schema": "lifetime-bench/v3",
+//!   "host": {"logical_cores": 1, "os": "linux", "arch": "x86_64"},
 //!   "threads_available": 1,     // CPUs visible to the run
 //!   "smoke": false,             // true under the CI `--smoke` mode
 //!   "fleet": {                  // the scenario-matrix configuration
@@ -130,11 +135,68 @@
 //! CRC-32-validated records; full layout in the `muse-lifetime`
 //! `checkpoint` module docs): the overhead of persisting every shard
 //! boundary, and the wall-clock of resuming a run interrupted halfway.
+//!
+//! # Observability artifacts: `muse-trace/v1` and the Prometheus textfile
+//!
+//! `muse-tool lifetime --trace <file> --metrics <file> [--progress]`
+//! (any of the three routes cells through the sharded supervisor)
+//! produces two machine-readable artifacts alongside the matrix. Both
+//! are strictly observational: tallies and weighted sums are
+//! bit-identical with telemetry on or off, at any thread count
+//! (`crates/lifetime/tests/telemetry.rs` pins this).
+//!
+//! **Trace (`--trace`)** is JSONL, one flat object per line, schema
+//! `muse-trace/v1`. Every line carries `schema`, a monotonically
+//! increasing `seq`, and `event`; the remaining fields depend on the
+//! event kind:
+//!
+//! ```json
+//! {"schema": "muse-trace/v1", "seq": 0, "event": "run_start",
+//!  "label": "MUSE(144,132)@smoke", "total_shards": 8,
+//!  "dimms_per_shard": 4, "estimator": "naive", "threads": 1}
+//! ```
+//!
+//! | `event` | fields |
+//! |---|---|
+//! | `run_start` | `label`, `total_shards`, `dimms_per_shard`, `estimator`, `threads` |
+//! | `resume_adopted` | `generation`, `shards_done`, `total_shards`, `fell_back` |
+//! | `shard_start` | `shard`, `dimm_lo`, `dimm_hi` |
+//! | `shard_end` | `shard`, `wall_ms`, `dimms` |
+//! | `shard_retry` | `shard`, `attempt`, `backoff_ms`, `error` |
+//! | `checkpoint_written` | `generation`, `shards_done`, `write_ms` |
+//! | `weight_cap_saturated` | `channel`, `requested_bias`, `cap` |
+//! | `heartbeat` | `shards_done`, `total_shards`, `machine_years`, `due_ci_half`, `sdc_ci_half` |
+//! | `run_end` | `shards_done`, `wall_ms`, `retries` |
+//!
+//! Events flow through a bounded channel to a writer thread and are
+//! **dropped, never blocked on**, under backpressure; `seq` still
+//! advances on a drop, so a gap in the file locates exactly where
+//! pressure hit, and the CLI's final `trace: N events written,
+//! D dropped` banner (plus the `muse_trace_dropped_events` gauge)
+//! reports the count — CI asserts it is zero on the smoke run.
+//!
+//! **Metrics (`--metrics`)** is the Prometheus text exposition format
+//! (`# HELP`/`# TYPE` comments; counters, gauges, and cumulative
+//! log2-bucket histograms with `_bucket{le="..."}`/`_sum`/`_count`
+//! series), written atomically (temp + rename) after every shard so a
+//! node-exporter textfile collector can scrape mid-run. Instruments:
+//! `muse_lifetime_shards_completed_total`,
+//! `muse_lifetime_shard_retries_total`,
+//! `muse_lifetime_checkpoint_writes_total`,
+//! `muse_lifetime_dimms_simulated_total`, `muse_sim_trials_total`,
+//! `muse_lifetime_due_events_total`, `muse_lifetime_sdc_events_total`,
+//! histograms `muse_lifetime_shard_wall_ms` /
+//! `muse_lifetime_checkpoint_write_ms`, and gauges
+//! `muse_sim_trials_per_second`, `muse_lifetime_machine_years`,
+//! `muse_lifetime_due_weighted_sum`, `muse_lifetime_sdc_weighted_sum`,
+//! `muse_trace_dropped_events`.
 
 pub mod baseline;
 pub mod experiments;
 pub mod format;
+pub mod host;
 
 pub use baseline::naive_msed;
 pub use experiments::*;
 pub use format::{bar, print_table};
+pub use host::HostInfo;

@@ -17,7 +17,8 @@
 //! * `lifetime [--dimms N] [--years Y] [--scrub-hours H] [--spares S]
 //!   [--seed X] [--threads T] [--estimator naive|is] [--bias F]
 //!   [--shards K] [--checkpoint-dir D] [--resume] [--inject SPEC]
-//!   [--smoke]` — the fleet-lifetime scenario matrix: DUE/SDC/repair
+//!   [--trace FILE] [--metrics FILE] [--progress] [--smoke]` — the
+//!   fleet-lifetime scenario matrix: DUE/SDC/repair
 //!   rates per machine-year for every code × environment (three
 //!   synthetic plus two field-calibrated rate sets), with erasure-mode
 //!   degraded operation (see the `muse-lifetime` crate). DUE/SDC
@@ -31,7 +32,14 @@
 //!   bit-identically); `--inject` drives the deterministic fault plan
 //!   (`kill=<p>,crash-after=<n>,corrupt=<gen>:<truncate|bitflip>,`
 //!   `delay=<ms>,fault-seed=<x>`); `--smoke` checks the pinned CI
-//!   tallies instead of printing the matrix.
+//!   tallies instead of printing the matrix. Observability (strictly
+//!   observational — tallies stay bit-identical): `--trace` streams
+//!   `muse-trace/v1` JSONL events, `--metrics` snapshots a Prometheus
+//!   textfile after every shard, `--progress` prints heartbeat lines
+//!   (shards done, machine-years, ETA, live 95% CI half-widths) to
+//!   stderr; any of the three routes cells through the sharded
+//!   supervisor. Shard retries and checkpoint-corruption fallbacks are
+//!   warned on stderr as they happen.
 //!
 //! The command layer is a plain function from parsed arguments to a
 //! [`String`], so every path is unit-testable without spawning processes.
@@ -74,7 +82,8 @@ USAGE:
                      [--spares <s>] [--seed <x>] [--threads <t>]
                      [--estimator <naive|is>] [--bias <factor>]
                      [--shards <k>] [--checkpoint-dir <dir>] [--resume]
-                     [--inject <spec>] [--smoke]
+                     [--inject <spec>] [--trace <file>] [--metrics <file>]
+                     [--progress] [--smoke]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
   muse-tool spec <preset>
 
@@ -338,7 +347,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             } else {
                 muse_lifetime::all_environments()
             };
-            let sharded = checkpoint_dir.is_some() || shards != 0 || faults.is_some();
+            let trace = flag_value(&rest, "--trace")?.map(std::path::PathBuf::from);
+            let metrics = flag_value(&rest, "--metrics")?.map(std::path::PathBuf::from);
+            let progress = has_flag(&rest, "--progress");
+            // Any observability flag routes cells through the sharded
+            // supervisor — that is where the events live.
+            let sharded = checkpoint_dir.is_some()
+                || shards != 0
+                || faults.is_some()
+                || trace.is_some()
+                || metrics.is_some()
+                || progress;
             let (reports, banners) = run_lifetime_cells(
                 &muse_lifetime::scenario_codes(),
                 &envs,
@@ -350,6 +369,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     resume,
                     faults,
                     crash_after,
+                    trace,
+                    metrics,
+                    progress,
                 },
             )?;
             let mut out = String::new();
@@ -422,6 +444,12 @@ struct LifetimeRun {
     resume: bool,
     faults: Option<muse_lifetime::FaultPlan>,
     crash_after: Option<u64>,
+    /// Stream `muse-trace/v1` JSONL events to this file.
+    trace: Option<std::path::PathBuf>,
+    /// Snapshot a Prometheus textfile here after every shard.
+    metrics: Option<std::path::PathBuf>,
+    /// Print heartbeat progress lines to stderr.
+    progress: bool,
 }
 
 /// One checkpoint prefix per matrix cell, so every cell's generations
@@ -443,6 +471,9 @@ fn cell_prefix(code: &muse_lifetime::FleetCode, env: &muse_lifetime::Environment
 /// supervisor when requested, returning the reports plus any resume
 /// banners. An injected crash (`crash-after=<n>`) surfaces as an error so
 /// the process exits nonzero with the checkpoint safely on disk.
+/// Telemetry sinks (trace writer, metrics registry) are shared across
+/// all cells: one JSONL stream and one Prometheus textfile cover the
+/// whole matrix.
 fn run_lifetime_cells(
     codes: &[muse_lifetime::FleetCode],
     envs: &[muse_lifetime::Environment],
@@ -451,6 +482,14 @@ fn run_lifetime_cells(
 ) -> Result<(Vec<muse_lifetime::LifetimeReport>, Vec<String>), CliError> {
     let mut reports = Vec::with_capacity(codes.len() * envs.len());
     let mut banners = Vec::new();
+    let tracer = match &run.trace {
+        Some(path) => Some(
+            muse_telemetry::Tracer::to_file(path, muse_telemetry::DEFAULT_CAPACITY)
+                .map_err(|e| err(format!("--trace {}: {e}", path.display())))?,
+        ),
+        None => None,
+    };
+    let registry = (run.metrics.is_some() || run.progress).then(muse_telemetry::Metrics::new);
     for code in codes {
         for env in envs {
             if !run.sharded {
@@ -465,9 +504,29 @@ fn run_lifetime_cells(
                 stop_after_shards: run.crash_after,
                 ..muse_lifetime::RunnerConfig::default()
             };
-            let outcome =
-                muse_lifetime::run_sharded(code, env, config, &runner, run.faults.as_ref())
-                    .map_err(|e| err(e.to_string()))?;
+            let telemetry = muse_lifetime::FleetTelemetry {
+                tracer: tracer.as_ref(),
+                metrics: registry.as_ref(),
+                metrics_path: run.metrics.clone(),
+                label: muse_lifetime::cell_label(&code.name(), env.name),
+                warn: Some(Box::new(|line: &str| eprintln!("{line}"))),
+                heartbeat: run.progress.then(|| {
+                    let f: Box<muse_lifetime::telemetry::HeartbeatFn<'_>> =
+                        Box::new(|snap: &muse_telemetry::ProgressSnapshot| {
+                            eprintln!("{}", snap.render());
+                        });
+                    f
+                }),
+            };
+            let outcome = muse_lifetime::run_sharded_with(
+                code,
+                env,
+                config,
+                &runner,
+                run.faults.as_ref(),
+                &telemetry,
+            )
+            .map_err(|e| err(e.to_string()))?;
             let stats = outcome.stats();
             if let Some(info) = &stats.resume {
                 banners.push(format!(
@@ -500,6 +559,25 @@ fn run_lifetime_cells(
                 }
             }
         }
+    }
+    if let Some(tracer) = tracer {
+        let path = run.trace.as_ref().expect("tracer implies --trace path");
+        let summary = tracer.finish();
+        banners.push(format!(
+            "trace: {} events written, {} dropped ({})",
+            summary.written,
+            summary.dropped,
+            path.display(),
+        ));
+    }
+    if let (Some(registry), Some(path)) = (&registry, &run.metrics) {
+        registry
+            .write_textfile(path)
+            .map_err(|e| err(format!("--metrics {}: {e}", path.display())))?;
+        banners.push(format!(
+            "metrics: Prometheus textfile at {}",
+            path.display()
+        ));
     }
     Ok((reports, banners))
 }
@@ -787,6 +865,50 @@ mod tests {
         let mismatch = run_str(&format!("{base} --resume --seed 1")).unwrap_err();
         assert!(mismatch.0.contains("config-hash mismatch"), "{mismatch}");
         assert!(mismatch.0.contains("refusing to resume"), "{mismatch}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifetime_telemetry_flags_emit_artifacts() {
+        let dir = std::env::temp_dir().join(format!("muse-cli-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let metrics = dir.join("metrics.prom");
+        let out = run_str(&format!(
+            "lifetime --smoke --trace {} --metrics {}",
+            trace.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        // Telemetry must not perturb the pinned tallies.
+        assert!(
+            out.contains("smoke tallies match the pins for all 4 codes"),
+            "{out}"
+        );
+        // Banners report the artifacts and a greppable drop count.
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+        assert!(out.contains("metrics: Prometheus textfile"), "{out}");
+        // Every JSONL line parses as a schema-valid muse-trace/v1 event,
+        // and the stream is bracketed by run_start/run_end per cell.
+        let body = std::fs::read_to_string(&trace).unwrap();
+        let mut kinds = Vec::new();
+        for line in body.lines() {
+            let (_seq, event) = muse_telemetry::TraceEvent::parse_line(line).unwrap();
+            kinds.push(event.kind());
+        }
+        assert_eq!(kinds.iter().filter(|k| **k == "run_start").count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == "run_end").count(), 4);
+        assert!(kinds.contains(&"shard_start"), "{kinds:?}");
+        assert!(kinds.contains(&"heartbeat"), "{kinds:?}");
+        // The Prometheus textfile carries the core instruments.
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("# TYPE muse_lifetime_shards_completed_total counter"));
+        assert!(prom.contains("muse_sim_trials_total"));
+        assert!(prom.contains("muse_lifetime_shard_wall_ms_bucket"));
+        // A bad trace path fails fast instead of running the matrix.
+        assert!(run_str("lifetime --smoke --trace /nonexistent-dir/t.jsonl").is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,6 +17,24 @@
 //! the engine merges the tallies at join time.
 
 use crate::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of completed trials across every [`SimEngine`] run.
+///
+/// Workers add their whole chunk once at chunk completion — never inside
+/// the trial loop — so the counter costs one relaxed atomic add per
+/// worker-chunk and cannot perturb trial outcomes (it touches no RNG
+/// stream). Observability consumers (the `muse-telemetry` metrics
+/// registry) snapshot it to derive trials/s.
+static TRIALS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+
+/// Total trials completed by every engine run in this process so far.
+///
+/// Monotone; read it twice around a workload to get a delta for a
+/// throughput estimate.
+pub fn trials_completed() -> u64 {
+    TRIALS_COMPLETED.load(Ordering::Relaxed)
+}
 
 /// A mergeable accumulation of trial outcomes.
 pub trait Tally: Default + Send {
@@ -140,6 +158,9 @@ impl SimEngine {
                 let range = b * B..((b + 1) * B).min(trials);
                 block(range, &mut rng, &mut scratch, &mut tally);
             }
+            let lo = lo_block * B;
+            let hi = (hi_block * B).min(trials);
+            TRIALS_COMPLETED.fetch_add(hi.saturating_sub(lo), Ordering::Relaxed);
             tally
         };
 
@@ -186,6 +207,7 @@ impl SimEngine {
                 let mut rng = Rng::for_trial(seed, i);
                 trial(i, &mut rng, &mut scratch, &mut tally);
             }
+            TRIALS_COMPLETED.fetch_add(hi - lo, Ordering::Relaxed);
             tally
         };
 

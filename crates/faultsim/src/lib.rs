@@ -82,7 +82,7 @@ mod rng;
 mod rowhammer;
 mod scrub;
 
-pub use engine::{SimEngine, Tally};
+pub use engine::{trials_completed, SimEngine, Tally};
 
 /// The syndrome kernel of `code`, or a panic naming the subsystem — the
 /// wide-word fallbacks are retired, so a kernel-less code (outside

@@ -44,8 +44,11 @@ use muse_faultsim::{CountCdf, Rng};
 
 /// Largest probability the *extra*-arrival inflation may add per device
 /// per epoch (keeps the likelihood ratios, and thus the weight variance,
-/// bounded however large the bias factor).
-const EXTRA_P_CAP: f64 = 0.5;
+/// bounded however large the bias factor). Public so the supervisor's
+/// telemetry can flag the saturated channels — when
+/// `(bias − 1) · p > EXTRA_P_CAP` the effective inflation is lower than
+/// requested.
+pub const EXTRA_P_CAP: f64 = 0.5;
 
 /// Largest probability a boosted coincidence may be forced to
 /// (a forced-certain event would make the miss branch unreachable and

@@ -69,6 +69,7 @@ pub mod estimator;
 mod shard;
 mod sim;
 mod supervisor;
+pub mod telemetry;
 
 pub use checkpoint::{
     config_hash, crc32, Checkpoint, CheckpointError, CheckpointStore, Corruption, Loaded,
@@ -79,8 +80,10 @@ pub use muse_core::{Classifier, Entropy, MuseClassifier, Strike, WordRead};
 pub use muse_rs::RsClassifier;
 pub use shard::ShardPlan;
 pub use supervisor::{
-    run_sharded, FaultPlan, ResumeInfo, RunStats, RunnerConfig, RunnerError, ShardedOutcome,
+    run_sharded, run_sharded_with, FaultPlan, ResumeInfo, RunStats, RunnerConfig, RunnerError,
+    ShardedOutcome,
 };
+pub use telemetry::{cell_label, FleetTelemetry};
 
 use muse_core::MuseCode;
 use muse_faultsim::Tally;

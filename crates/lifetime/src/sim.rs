@@ -132,6 +132,25 @@ impl Plan {
     }
 }
 
+/// Per-epoch permanent-fault arrival probabilities per device, by biased
+/// channel name — the inputs of the supervisor's weight-cap saturation
+/// diagnostic (`(bias − 1) · p > EXTRA_P_CAP` means the channel's
+/// effective inflation is clipped).
+pub(crate) fn arrival_probabilities(
+    env: &Environment,
+    config: &FleetConfig,
+) -> [(&'static str, f64); 3] {
+    let hours = config.scrub_interval_hours;
+    let p_mode =
+        |mode: FailureMode, scale: f64| (mode.fit_per_device() * scale * hours / 1e9).min(1.0);
+    let [s_single, s_multi, s_whole] = env.permanent_scale;
+    [
+        ("single", p_mode(FailureMode::SingleBit, s_single)),
+        ("multi", p_mode(FailureMode::SingleDeviceMultiBit, s_multi)),
+        ("whole", p_mode(FailureMode::WholeDevice, s_whole)),
+    ]
+}
+
 /// Per-DIMM mutable state.
 struct DimmState {
     /// Retired (known-failed) devices, sorted — the erased set.

@@ -28,12 +28,17 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::Instant;
 
-use muse_faultsim::{Rng, Tally};
+use muse_faultsim::{Rng, SimEngine, Tally};
+use muse_telemetry::{estimate_eta_ms, ProgressSnapshot, TraceEvent};
 
 use crate::checkpoint::{config_hash, Checkpoint, CheckpointStore, Corruption};
 use crate::shard::ShardPlan;
-use crate::sim::run_fleet_range;
+use crate::sim::{arrival_probabilities, run_fleet_range};
+use crate::telemetry::{
+    ci_half_widths, elapsed_ms, saturated_channels, FleetTelemetry, RunInstruments,
+};
 use crate::{Environment, FleetCode, FleetConfig, LifetimeReport, LifetimeTally};
 
 /// Supervisor policy for one sharded run.
@@ -289,6 +294,36 @@ pub fn run_sharded(
     runner: &RunnerConfig,
     faults: Option<&FaultPlan>,
 ) -> Result<ShardedOutcome, RunnerError> {
+    run_sharded_with(
+        code,
+        env,
+        config,
+        runner,
+        faults,
+        &FleetTelemetry::disabled(),
+    )
+}
+
+/// [`run_sharded`] with observability hooks: trace events, metrics, and
+/// heartbeats flow through the given [`FleetTelemetry`].
+///
+/// Telemetry is strictly observational — it reads wall clocks and
+/// completed tallies but never touches an RNG stream, so the outcome
+/// (tallies, weighted sums, checkpoint contents) is bit-identical to a
+/// telemetry-off run at any thread count (`tests/telemetry.rs`).
+///
+/// # Errors
+///
+/// Exactly those of [`run_sharded`]; telemetry sink failures degrade to
+/// warnings, never errors.
+pub fn run_sharded_with(
+    code: &FleetCode,
+    env: &Environment,
+    config: &FleetConfig,
+    runner: &RunnerConfig,
+    faults: Option<&FaultPlan>,
+    telemetry: &FleetTelemetry<'_>,
+) -> Result<ShardedOutcome, RunnerError> {
     let hash = config_hash(code, env, config);
     let mut plan = ShardPlan::new(config.dimms, runner.shards);
     let store = match &runner.checkpoint_dir {
@@ -299,6 +334,13 @@ pub fn run_sharded(
     let mut done: BTreeMap<u32, LifetimeTally> = BTreeMap::new();
     let mut generation = 0u64;
     let mut stats = RunStats::default();
+    let run_started = Instant::now();
+    let instruments = telemetry.metrics.map(RunInstruments::resolve);
+    let emit = |event: &TraceEvent| {
+        if let Some(tracer) = telemetry.tracer {
+            tracer.emit(event);
+        }
+    };
 
     if let Some(store) = &store {
         if runner.resume {
@@ -334,6 +376,47 @@ pub fn run_sharded(
     stats.total_shards = plan.count();
     stats.shards_resumed = done.len() as u32;
 
+    emit(&TraceEvent::RunStart {
+        label: telemetry.label.clone(),
+        total_shards: plan.count(),
+        dimms_per_shard: if plan.count() == 0 {
+            0
+        } else {
+            len_of(&plan, 0)
+        },
+        estimator: config.estimator.name().to_string(),
+        threads: SimEngine::new(config.threads).threads() as u32,
+    });
+    for (channel, requested_bias, cap) in
+        saturated_channels(&arrival_probabilities(env, config), config.estimator)
+    {
+        emit(&TraceEvent::WeightCapSaturated {
+            channel: channel.to_string(),
+            requested_bias,
+            cap,
+        });
+        telemetry.warn(&format!(
+            "warning: importance-sampling bias {requested_bias} saturates the \
+             per-epoch extra-arrival cap ({cap}) on the {channel} channel; \
+             effective inflation is lower than requested"
+        ));
+    }
+    if let Some(resume) = &stats.resume {
+        emit(&TraceEvent::ResumeAdopted {
+            generation: resume.generation,
+            shards_done: resume.shards_done,
+            total_shards: resume.total_shards,
+            fell_back: resume.fell_back,
+        });
+        if resume.fell_back {
+            telemetry.warn(&format!(
+                "warning: newest checkpoint generation was corrupt; fell back \
+                 to generation {} ({}/{} shards), recomputing the rest",
+                resume.generation, resume.shards_done, resume.total_shards
+            ));
+        }
+    }
+
     let epochs_per_dimm = config.epochs();
     let mut pending_since_save = 0u32;
     let save = |done: &BTreeMap<u32, LifetimeTally>,
@@ -345,6 +428,7 @@ pub fn run_sharded(
         };
         *generation += 1;
         let dimms_done: u64 = done.keys().map(|&s| len_of(&plan, s)).sum();
+        let write_started = Instant::now();
         store.save(&Checkpoint {
             config_hash: hash,
             generation: *generation,
@@ -353,7 +437,17 @@ pub fn run_sharded(
             epoch_cursor: dimms_done * epochs_per_dimm,
             done: done.iter().map(|(&s, &t)| (s, t)).collect(),
         })?;
+        let write_ms = elapsed_ms(write_started);
         stats.checkpoint_writes += 1;
+        emit(&TraceEvent::CheckpointWritten {
+            generation: *generation,
+            shards_done: done.len() as u32,
+            write_ms,
+        });
+        if let Some(ins) = &instruments {
+            ins.checkpoint_writes.inc();
+            ins.checkpoint_write_ms.observe(write_ms);
+        }
         if let Some((target, kind)) = faults.and_then(|f| f.corrupt_generation) {
             if *generation == target {
                 store.corrupt(target, kind)?;
@@ -362,6 +456,7 @@ pub fn run_sharded(
         Ok(())
     };
 
+    let mut trials_prev = muse_faultsim::trials_completed();
     for shard in 0..plan.count() {
         if done.contains_key(&shard) {
             continue;
@@ -373,9 +468,21 @@ pub fn run_sharded(
             if pending_since_save > 0 {
                 save(&done, &mut generation, &mut stats)?;
             }
+            emit(&TraceEvent::RunEnd {
+                shards_done: done.len() as u32,
+                wall_ms: elapsed_ms(run_started),
+                retries: u64::from(stats.retries),
+            });
+            telemetry.snapshot_metrics();
             return Ok(ShardedOutcome::Interrupted { stats });
         }
         let range = plan.range(shard);
+        emit(&TraceEvent::ShardStart {
+            shard,
+            dimm_lo: range.start,
+            dimm_hi: range.end,
+        });
+        let shard_started = Instant::now();
         let mut attempt = 0u32;
         let tally = loop {
             if faults.is_some_and(|f| f.kills(shard, attempt)) {
@@ -395,6 +502,19 @@ pub fn run_sharded(
                     .backoff_base_ms
                     .saturating_mul(1u64 << attempt.min(20))
                     .min(runner.backoff_cap_ms);
+                emit(&TraceEvent::ShardRetry {
+                    shard,
+                    attempt,
+                    backoff_ms: backoff,
+                    error: "injected kill".to_string(),
+                });
+                if let Some(ins) = &instruments {
+                    ins.shard_retries.inc();
+                }
+                telemetry.warn(&format!(
+                    "warning: shard {shard} attempt {attempt} failed (injected \
+                     kill); retrying after {backoff}ms backoff"
+                ));
                 if backoff > 0 {
                     std::thread::sleep(std::time::Duration::from_millis(backoff));
                 }
@@ -407,8 +527,72 @@ pub fn run_sharded(
             }
             break t;
         };
+        let wall_ms = elapsed_ms(shard_started);
+        emit(&TraceEvent::ShardEnd {
+            shard,
+            wall_ms,
+            dimms: range.end - range.start,
+        });
         done.insert(shard, tally);
         stats.shards_run += 1;
+
+        if let Some(ins) = &instruments {
+            let trials_now = muse_faultsim::trials_completed();
+            let trials_delta = trials_now.saturating_sub(trials_prev);
+            trials_prev = trials_now;
+            ins.shards_completed.inc();
+            ins.dimms_simulated.add(range.end - range.start);
+            ins.sim_trials.add(trials_delta);
+            ins.due_events.add(tally.due_words + tally.data_loss_events);
+            ins.sdc_events.add(tally.sdc_words);
+            ins.shard_wall_ms.observe(wall_ms);
+            if wall_ms > 0 {
+                ins.trials_per_sec
+                    .set(trials_delta as f64 * 1000.0 / wall_ms as f64);
+            }
+        }
+        if telemetry.tracer.is_some() || telemetry.heartbeat.is_some() || instruments.is_some() {
+            let mut merged = LifetimeTally::default();
+            for t in done.values() {
+                merged.merge(*t);
+            }
+            let dimms_done: u64 = done.keys().map(|&s| len_of(&plan, s)).sum();
+            let machine_years_done =
+                dimms_done as f64 * config.years / f64::from(config.dimms_per_machine);
+            let (due_ci_half, sdc_ci_half) = ci_half_widths(config, &merged, dimms_done);
+            emit(&TraceEvent::Heartbeat {
+                shards_done: done.len() as u32,
+                total_shards: plan.count(),
+                machine_years: machine_years_done,
+                due_ci_half,
+                sdc_ci_half,
+            });
+            if let Some(ins) = &instruments {
+                ins.machine_years.set(machine_years_done);
+                ins.due_weighted_sum.set(merged.due_weighted.sum());
+                ins.sdc_weighted_sum.set(merged.sdc_weighted.sum());
+                ins.trace_dropped.set(telemetry.dropped_events() as f64);
+            }
+            if let Some(heartbeat) = &telemetry.heartbeat {
+                heartbeat(&ProgressSnapshot {
+                    label: telemetry.label.clone(),
+                    shards_done: done.len() as u32,
+                    total_shards: plan.count(),
+                    machine_years_done,
+                    machine_years_total: config.machine_years(),
+                    eta_ms: estimate_eta_ms(
+                        elapsed_ms(run_started),
+                        u64::from(stats.shards_run),
+                        u64::from(plan.count() - stats.shards_resumed),
+                    ),
+                    due_ci_half,
+                    sdc_ci_half,
+                    dropped_events: telemetry.dropped_events(),
+                });
+            }
+            telemetry.snapshot_metrics();
+        }
+
         pending_since_save += 1;
         if pending_since_save >= runner.checkpoint_every.max(1) {
             save(&done, &mut generation, &mut stats)?;
@@ -419,6 +603,16 @@ pub fn run_sharded(
     if pending_since_save > 0 {
         save(&done, &mut generation, &mut stats)?;
     }
+
+    emit(&TraceEvent::RunEnd {
+        shards_done: done.len() as u32,
+        wall_ms: elapsed_ms(run_started),
+        retries: u64::from(stats.retries),
+    });
+    if let Some(ins) = &instruments {
+        ins.trace_dropped.set(telemetry.dropped_events() as f64);
+    }
+    telemetry.snapshot_metrics();
 
     // Merge in ascending shard order (pure field-wise sums — identical to
     // the unsharded run's DIMM-order merge).

@@ -1,0 +1,213 @@
+//! The telemetry non-perturbation contract: every observability hook —
+//! tracing, metrics, heartbeats, even a saturated tracer dropping events
+//! under backpressure — leaves the simulation bit-identical to a run
+//! with telemetry off, at any thread count. Tallies here are compared
+//! with `==` over the whole [`LifetimeTally`], so the likelihood-weighted
+//! fixed-point accumulators are pinned too, not just the event counts.
+
+use std::cell::Cell;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use muse_lifetime::{
+    run_sharded_with, simulate_fleet, smoke_setup, Estimator, FleetCode, FleetConfig,
+    FleetTelemetry, LifetimeTally, RunnerConfig, ShardedOutcome,
+};
+use muse_telemetry::{Metrics, TraceEvent, Tracer};
+
+/// An in-memory `Write` sink shared with the test after the writer
+/// thread is done with it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink whose every write blocks on a mutex the test holds for the
+/// whole run — deterministic backpressure, independent of how fast the
+/// simulation happens to be.
+struct GatedSink(Arc<Mutex<()>>);
+
+impl Write for GatedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        drop(self.0.lock().unwrap());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn smoke_code() -> FleetCode {
+    FleetCode::muse(muse_core::presets::muse_144_132())
+}
+
+/// Sharded run with every hook attached; returns the tally plus the
+/// trace bytes.
+fn run_instrumented(config: &FleetConfig, capacity: usize) -> (LifetimeTally, Vec<u8>, u64) {
+    let (env, _) = smoke_setup();
+    let buf = SharedBuf::default();
+    let tracer = Tracer::new(Box::new(buf.clone()), capacity);
+    let registry = Metrics::new();
+    let heartbeats = Cell::new(0u32);
+    let telemetry = FleetTelemetry {
+        tracer: Some(&tracer),
+        metrics: Some(&registry),
+        metrics_path: None,
+        label: muse_lifetime::cell_label("MUSE(144,132)", env.name),
+        warn: Some(Box::new(|_line: &str| {})),
+        heartbeat: Some(Box::new(|_snap| heartbeats.set(heartbeats.get() + 1))),
+    };
+    let runner = RunnerConfig {
+        shards: 4,
+        ..RunnerConfig::default()
+    };
+    let outcome = run_sharded_with(&smoke_code(), &env, config, &runner, None, &telemetry)
+        .expect("sharded run");
+    let tally = match outcome {
+        ShardedOutcome::Complete { report, .. } => report.tally,
+        ShardedOutcome::Interrupted { .. } => panic!("run was not interrupted"),
+    };
+    assert_eq!(heartbeats.get(), 4, "one heartbeat per completed shard");
+    // The registry saw the run: shard counter matches, trial counter and
+    // shard-wall histogram moved.
+    let rendered = registry.render();
+    assert!(
+        rendered.contains("muse_lifetime_shards_completed_total 4"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("muse_lifetime_shard_wall_ms_count 4"),
+        "{rendered}"
+    );
+    drop(telemetry);
+    let summary = tracer.finish();
+    let bytes = buf.0.lock().unwrap().clone();
+    (tally, bytes, summary.dropped)
+}
+
+#[test]
+fn telemetry_never_perturbs_tallies() {
+    let (env, base_config) = smoke_setup();
+    for estimator in [Estimator::Naive, Estimator::importance(16.0)] {
+        // Telemetry-off baseline: the plain simulator, single-threaded.
+        let config = FleetConfig {
+            estimator,
+            threads: 1,
+            ..base_config
+        };
+        let baseline = simulate_fleet(&smoke_code(), &env, &config).tally;
+        for threads in [1usize, 4] {
+            let config = FleetConfig { threads, ..config };
+            let (tally, bytes, dropped) = run_instrumented(&config, 4096);
+            assert_eq!(
+                tally,
+                baseline,
+                "telemetry perturbed the {} tally at {threads} threads",
+                estimator.name()
+            );
+            assert_eq!(dropped, 0, "ample capacity must not drop");
+            // The stream is schema-valid, gap-free, and bracketed.
+            let lines: Vec<&str> = std::str::from_utf8(&bytes).unwrap().lines().collect();
+            let mut kinds = Vec::new();
+            for (i, line) in lines.iter().enumerate() {
+                let (seq, event) = TraceEvent::parse_line(line).expect("schema-valid line");
+                assert_eq!(seq, i as u64, "gap-free sequence");
+                kinds.push(event.kind());
+            }
+            assert_eq!(kinds.first(), Some(&"run_start"));
+            assert_eq!(kinds.last(), Some(&"run_end"));
+            assert_eq!(kinds.iter().filter(|k| **k == "shard_end").count(), 4);
+            assert_eq!(kinds.iter().filter(|k| **k == "heartbeat").count(), 4);
+        }
+    }
+}
+
+#[test]
+fn weight_cap_saturation_is_traced() {
+    // A bias large enough that the inflated arrival probability clips at
+    // the supervisor's cap on every channel — the stream must say so up
+    // front, once per clipped channel, before any shard runs.
+    let (_env, base_config) = smoke_setup();
+    let config = FleetConfig {
+        estimator: Estimator::importance(1.0e6),
+        threads: 1,
+        dimms: 4,
+        ..base_config
+    };
+    let (_tally, bytes, _dropped) = run_instrumented(&config, 4096);
+    let lines: Vec<String> = std::str::from_utf8(&bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let saturated: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"weight_cap_saturated\""))
+        .collect();
+    assert!(!saturated.is_empty(), "no saturation events in stream");
+    assert!(
+        saturated
+            .iter()
+            .any(|l| l.contains("\"channel\":\"whole\"")),
+        "{saturated:?}"
+    );
+    // They precede the first shard.
+    let first_sat = lines
+        .iter()
+        .position(|l| l.contains("weight_cap_saturated"))
+        .unwrap();
+    let first_shard = lines
+        .iter()
+        .position(|l| l.contains("\"shard_start\""))
+        .unwrap();
+    assert!(first_sat < first_shard);
+}
+
+#[test]
+fn dropped_events_do_not_perturb_tallies() {
+    let (env, base_config) = smoke_setup();
+    let config = FleetConfig {
+        threads: 1,
+        ..base_config
+    };
+    let baseline = simulate_fleet(&smoke_code(), &env, &config).tally;
+    // Capacity 1 + a writer blocked for the whole run: the first event is
+    // taken by the (stuck) writer, the second fills the channel, and every
+    // later one must drop.
+    let gate = Arc::new(Mutex::new(()));
+    let held = gate.lock().unwrap();
+    let tracer = Tracer::new(Box::new(GatedSink(Arc::clone(&gate))), 1);
+    let telemetry = FleetTelemetry {
+        tracer: Some(&tracer),
+        ..FleetTelemetry::disabled()
+    };
+    let runner = RunnerConfig {
+        shards: 4,
+        ..RunnerConfig::default()
+    };
+    let outcome = run_sharded_with(&smoke_code(), &env, &config, &runner, None, &telemetry)
+        .expect("sharded run");
+    let tally = match outcome {
+        ShardedOutcome::Complete { report, .. } => report.tally,
+        ShardedOutcome::Interrupted { .. } => panic!("run was not interrupted"),
+    };
+    drop(telemetry);
+    drop(held);
+    let summary = tracer.finish();
+    assert!(summary.dropped > 0, "backpressure must have dropped events");
+    assert_eq!(summary.emitted, summary.written + summary.dropped);
+    assert_eq!(
+        tally, baseline,
+        "dropping trace events must not perturb the simulation"
+    );
+}

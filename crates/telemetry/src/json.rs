@@ -1,0 +1,432 @@
+//! Minimal flat-JSON encoding and decoding — just enough for one
+//! `muse-trace/v1` line.
+//!
+//! Trace events are *flat* JSON objects (every value is a string, number,
+//! or boolean), so this module deliberately implements only that subset:
+//! [`JsonBuilder`] writes one object, [`parse_object`] reads one back.
+//! Numbers are kept as their raw source tokens until a typed getter parses
+//! them, so `u64` values above 2⁵³ survive a round trip exactly.
+
+use std::fmt::Write as _;
+
+/// One decoded value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string, unescaped.
+    Str(String),
+    /// A number, kept as its raw token (parsed lazily by the typed
+    /// getters so integers round-trip exactly).
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A decoded flat JSON object: ordered key → value pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject(pub Vec<(String, JsonValue)>);
+
+/// Why a line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl JsonObject {
+    /// The raw value at `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The string at `key`.
+    pub fn str(&self, key: &str) -> Result<&str, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            other => fail(format!("field {key:?}: expected a string, got {other:?}")),
+        }
+    }
+
+    /// The `u64` at `key` (must be a plain non-negative integer token).
+    pub fn u64(&self, key: &str) -> Result<u64, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Num(raw)) => raw
+                .parse()
+                .map_err(|_| JsonError(format!("field {key:?}: {raw:?} is not a u64"))),
+            other => fail(format!("field {key:?}: expected a number, got {other:?}")),
+        }
+    }
+
+    /// The `u32` at `key`.
+    pub fn u32(&self, key: &str) -> Result<u32, JsonError> {
+        u32::try_from(self.u64(key)?)
+            .map_err(|_| JsonError(format!("field {key:?}: out of u32 range")))
+    }
+
+    /// The `f64` at `key`.
+    pub fn f64(&self, key: &str) -> Result<f64, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Num(raw)) => raw
+                .parse()
+                .map_err(|_| JsonError(format!("field {key:?}: {raw:?} is not an f64"))),
+            other => fail(format!("field {key:?}: expected a number, got {other:?}")),
+        }
+    }
+
+    /// The boolean at `key`.
+    pub fn bool(&self, key: &str) -> Result<bool, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => fail(format!("field {key:?}: expected a bool, got {other:?}")),
+        }
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and all control characters).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental writer of one flat JSON object.
+#[derive(Debug)]
+pub struct JsonBuilder {
+    out: String,
+    first: bool,
+}
+
+impl JsonBuilder {
+    /// Opens the object.
+    pub fn new() -> Self {
+        Self {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        escape_into(key, &mut self.out);
+        self.out.push_str("\":");
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('"');
+        escape_into(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Appends a float field using Rust's shortest round-trip formatting
+    /// (non-finite values, which JSON cannot carry, become `null`).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value:?}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only —
+/// nested objects and arrays are rejected, matching what trace events
+/// emit).
+pub fn parse_object(line: &str) -> Result<JsonObject, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return fail(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return fail("trailing bytes after the object");
+    }
+    Ok(JsonObject(fields))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => fail(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => fail("nested values are not part of the flat trace schema"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let raw =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+                // Validate the token shape now so getters can't see junk.
+                raw.parse::<f64>()
+                    .map_err(|_| JsonError(format!("bad number token {raw:?}")))?;
+                Ok(JsonValue::Num(raw.to_string()))
+            }
+            other => fail(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            fail(format!("expected literal {word:?}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume raw UTF-8 runs byte-by-byte; multi-byte sequences are
+            // copied through a char boundary check at the end.
+            match self.next() {
+                None => return fail("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let code = self.hex4()?;
+                        if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: a low surrogate must follow.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let low = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return fail("unpaired surrogate");
+                            }
+                            let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| JsonError("invalid surrogate pair".into()))?,
+                            );
+                        } else {
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("invalid \\u escape".into()))?,
+                            );
+                        }
+                    }
+                    other => return fail(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return fail("raw control character in string");
+                    }
+                    out.push(b as char);
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8: find the full sequence.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return fail("invalid UTF-8 lead byte"),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return fail("truncated UTF-8 sequence");
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| JsonError("invalid UTF-8 sequence".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.next() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                other => return fail(format!("bad hex digit {other:?}")),
+            };
+            code = (code << 4) | d;
+        }
+        Ok(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_and_parser_reads_back() {
+        let mut b = JsonBuilder::new();
+        b.str("name", "shard \"7\"\n")
+            .u64("big", u64::MAX)
+            .f64("rate", 1.25e-9)
+            .bool("ok", true)
+            .f64("inf", f64::INFINITY);
+        let line = b.finish();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj.str("name").unwrap(), "shard \"7\"\n");
+        assert_eq!(obj.u64("big").unwrap(), u64::MAX);
+        assert_eq!(obj.f64("rate").unwrap(), 1.25e-9);
+        assert!(obj.bool("ok").unwrap());
+        assert_eq!(obj.get("inf"), Some(&JsonValue::Null));
+        assert!(obj.str("missing").is_err());
+        assert!(obj.u64("name").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        for s in ["π ≈ 3.14159", "tab\there", "\u{1}\u{1F}", "emoji 🎯", ""] {
+            let mut b = JsonBuilder::new();
+            b.str("s", s);
+            let obj = parse_object(&b.finish()).unwrap();
+            assert_eq!(obj.str("s").unwrap(), s);
+        }
+        // \u escapes incl. a surrogate pair decode correctly.
+        let obj = parse_object(r#"{"s":"\u0041\ud83c\udfaf"}"#).unwrap();
+        assert_eq!(obj.str("s").unwrap(), "A🎯");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1}x",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":\"\\q\"}",
+            "{\"a\":\"\\ud800\"}",
+            "{\"a\":nul}",
+            "{\"a\":--3}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+        // The empty object is fine.
+        assert_eq!(parse_object("{}").unwrap(), JsonObject::default());
+    }
+}

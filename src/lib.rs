@@ -12,6 +12,7 @@
 //! | [`hw`] | `muse-hw` | VLSI cost model + Verilog emission (Table V) |
 //! | [`memsim`] | `muse-memsim` | memory-system simulator (Figures 6 & 7) |
 //! | [`secded`] | `muse-secded` | Hsiao / on-die SEC substrates |
+//! | [`telemetry`] | `muse-telemetry` | trace events, metrics registry, live progress |
 //! | [`gf`] | `muse-gf` | GF(2^s) arithmetic |
 //! | [`wideint`] | `muse-wideint` | fixed-width big integers |
 //!
@@ -39,4 +40,5 @@ pub use muse_lifetime as lifetime;
 pub use muse_memsim as memsim;
 pub use muse_rs as rs;
 pub use muse_secded as secded;
+pub use muse_telemetry as telemetry;
 pub use muse_wideint as wideint;
