@@ -190,6 +190,49 @@
 //! `muse_sim_trials_per_second`, `muse_lifetime_machine_years`,
 //! `muse_lifetime_due_weighted_sum`, `muse_lifetime_sdc_weighted_sum`,
 //! `muse_trace_dropped_events`.
+//!
+//! # Ops runbook: running the batch service (`muse-service`)
+//!
+//! The scenario matrix also runs as a crash-only daemon (`muse-tool
+//! serve`) over a spool directory — the deployment shape for unattended
+//! sweeps. The short version for operators:
+//!
+//! **Spool layout** (`--root`, default `muse-spool/`): `queue/` holds
+//! `<id>.job` specs (`muse-job/v1` JSON; the 16-hex id *is* the config
+//! hash, so identical submissions dedup structurally), `active/` the one
+//! claimed job, `done/` `<id>.result` (`muse-result/v1`), `failed/` the
+//! spec plus `<id>.err`, `cache/` `<id>.res` binary tally records
+//! (`muse-result-cache/v1`, CRC-32 + embedded-hash fenced), and
+//! `checkpoints/<id>/` the in-flight two-generation checkpoint store.
+//! Every transition is an atomic rename; there is no other state.
+//!
+//! **Lifecycle**: `submit` (enqueue; prints `submitted <id>` or
+//! `duplicate <id>`), `serve [--once]` (claim → run sharded with
+//! watchdog + retries → cache + `done/`), `status`, `result <id>`,
+//! `smoke-check` (asserts the four pinned smoke tallies from `done/`).
+//!
+//! **Drain**: SIGTERM/SIGINT sets a flag the runner checks at every
+//! shard boundary — the in-flight job checkpoints, returns to `queue/`,
+//! and the daemon exits `0` after printing `drained cleanly`. A
+//! restarted daemon adopts `active/` orphans (a daemon that died without
+//! draining), resumes from the checkpoint (`resume: job <id> adopted
+//! checkpoint generation N`), and reproduces bit-identical tallies.
+//!
+//! **Exit codes**: `0` — all jobs done or a clean drain; nonzero — any
+//! job failed (evidence in `failed/`) or the spool itself errored. Cache
+//! hits recompute nothing (`shards_run: 0` in the result); a cache
+//! record that fails its CRC or hash fence is discarded loudly and the
+//! job recomputes.
+//!
+//! **Chaos**: `serve --inject
+//! kill=p,hang=p,hang-ms=n,enospc=p,short-write=p,fsync-fail=p,`
+//! `rename-fail=p,corrupt-record=p,sink-fail=p,sink-block-ms=n,delay=n`
+//! drives the deterministic fault plans (`FaultPlan` + `IoFaultPlan`) —
+//! the same seams `crates/service/tests/chaos.rs` uses to prove every
+//! fault class either completes bit-identically or fails loudly with
+//! resumable state. The CI `service-smoke` job runs the full drill:
+//! submit, SIGTERM mid-run, restart-resume, pinned tallies, cache-served
+//! resubmit.
 
 pub mod baseline;
 pub mod experiments;

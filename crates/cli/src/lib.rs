@@ -40,6 +40,21 @@
 //!   stderr; any of the three routes cells through the sharded
 //!   supervisor. Shard retries and checkpoint-corruption fallbacks are
 //!   warned on stderr as they happen.
+//! * `submit` / `serve` / `status` / `result` / `smoke-check` — the
+//!   `muse-service` spool daemon (see that crate's docs for the spool
+//!   layout and drain semantics). `submit` enqueues lifetime-run jobs
+//!   (`--smoke` enqueues the four pinned smoke cells); `serve` runs the
+//!   daemon — `--once` drains the queue and exits, otherwise it polls
+//!   until SIGTERM/SIGINT trips a graceful drain (finish the shard,
+//!   checkpoint, re-queue, exit 0; a restart adopts the checkpoints and
+//!   resumes bit-identically). Repeated configurations are served from
+//!   the CRC-checked result cache without recomputing. `--watchdog-ms`
+//!   arms the per-shard watchdog; `--inject` accepts the lifetime fault
+//!   keys plus `hang=<p>`, `hang-ms=<n>` and the I/O chaos keys
+//!   (`enospc`, `short-write`, `fsync-fail`, `rename-fail`,
+//!   `corrupt-record`, `sink-fail`, `sink-block-ms`, `io-seed`).
+//!   `smoke-check` verifies finished smoke results against the pinned
+//!   tallies.
 //!
 //! The command layer is a plain function from parsed arguments to a
 //! [`String`], so every path is unit-testable without spawning processes.
@@ -84,6 +99,17 @@ USAGE:
                      [--shards <k>] [--checkpoint-dir <dir>] [--resume]
                      [--inject <spec>] [--trace <file>] [--metrics <file>]
                      [--progress] [--smoke]
+  muse-tool submit [--root <dir>] (--smoke | [--code <name>] [--env <name>]
+                   [--dimms <n>] [--years <y>] [--scrub-hours <h>]
+                   [--spares <s>] [--seed <x>] [--estimator <naive|is>]
+                   [--bias <f>]) [--shards <k>] [--threads <t>]
+  muse-tool serve [--root <dir>] [--once] [--poll-ms <n>] [--watchdog-ms <n>]
+                  [--max-retries <n>] [--backoff-ms <n>]
+                  [--checkpoint-every <n>] [--inject <spec>]
+                  [--trace <file>] [--metrics <file>]
+  muse-tool status [--root <dir>]
+  muse-tool result <id> [--root <dir>]
+  muse-tool smoke-check [--root <dir>]
   muse-tool verilog <preset> [--syndrome-only|--corrector]
   muse-tool spec <preset>
 
@@ -430,8 +456,228 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             );
             Ok(out)
         }
+        Some("submit") => {
+            let rest: Vec<&str> = it.collect();
+            let spool = open_spool(&rest)?;
+            let shards: u32 = parse_or(&rest, "--shards", 0)?;
+            let threads: usize = parse_or(&rest, "--threads", 0)?;
+            let default = muse_service::JobSpec::default();
+            let specs: Vec<muse_service::JobSpec> = if has_flag(&rest, "--smoke") {
+                // The four pinned smoke cells, in scenario order.
+                ["muse144_132", "muse80_69", "rs144_128_t1", "rs144_112_t2"]
+                    .into_iter()
+                    .map(|code| muse_service::JobSpec {
+                        code: code.to_string(),
+                        env: "smoke".to_string(),
+                        smoke: true,
+                        shards,
+                        threads,
+                        ..muse_service::JobSpec::default()
+                    })
+                    .collect()
+            } else {
+                vec![muse_service::JobSpec {
+                    code: flag_value(&rest, "--code")?.unwrap_or("muse144_132").into(),
+                    env: flag_value(&rest, "--env")?
+                        .unwrap_or("transient-dominant")
+                        .into(),
+                    smoke: false,
+                    dimms: parse_or(&rest, "--dimms", default.dimms)?,
+                    years: parse_or(&rest, "--years", default.years)?,
+                    scrub_hours: parse_or(&rest, "--scrub-hours", default.scrub_hours)?,
+                    spares: parse_or(&rest, "--spares", default.spares)?,
+                    seed: parse_or(&rest, "--seed", default.seed)?,
+                    estimator: flag_value(&rest, "--estimator")?.unwrap_or("naive").into(),
+                    bias: parse_or(&rest, "--bias", default.bias)?,
+                    shards,
+                    threads,
+                }]
+            };
+            let mut out = String::new();
+            for spec in &specs {
+                match spool.submit(spec).map_err(err)? {
+                    (id, true) => {
+                        out.push_str(&format!("submitted {id} ({} @ {})\n", spec.code, spec.env));
+                    }
+                    (id, false) => out.push_str(&format!(
+                        "duplicate {id} ({} @ {}) — already queued\n",
+                        spec.code, spec.env
+                    )),
+                }
+            }
+            Ok(out.trim_end().to_string())
+        }
+        Some("serve") => {
+            let rest: Vec<&str> = it.collect();
+            let drain = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            #[cfg(unix)]
+            install_drain_handler(&drain);
+            let faults = match flag_value(&rest, "--inject")? {
+                Some(spec) => Some(parse_inject(spec)?.0),
+                None => None,
+            };
+            let config = muse_service::ServiceConfig {
+                root: std::path::PathBuf::from(
+                    flag_value(&rest, "--root")?.unwrap_or("muse-spool"),
+                ),
+                once: has_flag(&rest, "--once"),
+                poll_ms: parse_or(&rest, "--poll-ms", 200)?,
+                drain,
+                watchdog_ms: match flag_value(&rest, "--watchdog-ms")? {
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| err(format!("--watchdog-ms: cannot parse {v:?}")))?,
+                    ),
+                    None => None,
+                },
+                max_retries: parse_or(&rest, "--max-retries", 4)?,
+                backoff_base_ms: parse_or(&rest, "--backoff-ms", 20)?,
+                checkpoint_every: parse_or(&rest, "--checkpoint-every", 1)?,
+                faults,
+            };
+            let trace = flag_value(&rest, "--trace")?.map(std::path::PathBuf::from);
+            let tracer = match &trace {
+                Some(path) => Some(
+                    muse_telemetry::Tracer::to_file(path, muse_telemetry::DEFAULT_CAPACITY)
+                        .map_err(|e| err(format!("--trace {}: {e}", path.display())))?,
+                ),
+                None => None,
+            };
+            let metrics_path = flag_value(&rest, "--metrics")?.map(std::path::PathBuf::from);
+            let registry = metrics_path.is_some().then(muse_telemetry::Metrics::new);
+            let telemetry = muse_service::ServiceTelemetry {
+                metrics: registry.as_ref(),
+                metrics_path,
+                tracer: tracer.as_ref(),
+                warn: Some(Box::new(|line: &str| eprintln!("{line}"))),
+            };
+            let report =
+                muse_service::serve(&config, &telemetry).map_err(|e| err(format!("serve: {e}")))?;
+            drop(telemetry);
+            if let Some(tracer) = tracer {
+                let summary = tracer.finish();
+                eprintln!(
+                    "trace: {} events written, {} dropped, {} sink errors",
+                    summary.written, summary.dropped, summary.io_errors
+                );
+            }
+            let summary = format!(
+                "serve: {} job(s) completed ({} from cache), {} failed, {} orphan(s) adopted{}",
+                report.jobs_completed,
+                report.cache_hits,
+                report.jobs_failed,
+                report.adopted,
+                if report.drained {
+                    "; drained cleanly — queue and checkpoints persisted, restart resumes"
+                } else {
+                    ""
+                },
+            );
+            if report.jobs_failed > 0 {
+                // Loud failure: chaos runs and CI must see a nonzero exit,
+                // with the per-job evidence preserved in failed/.
+                return Err(err(format!("{summary}\nsee failed/ for specs and errors")));
+            }
+            Ok(summary)
+        }
+        Some("status") => {
+            let rest: Vec<&str> = it.collect();
+            let spool = open_spool(&rest)?;
+            let s = spool.status().map_err(|e| err(format!("status: {e}")))?;
+            Ok(format!(
+                "queued: {}\nactive: {}\ndone: {}\nfailed: {}",
+                s.queued, s.active, s.done, s.failed
+            ))
+        }
+        Some("result") => {
+            let id = it.next().ok_or_else(|| err("result needs a job id"))?;
+            let rest: Vec<&str> = it.collect();
+            let spool = open_spool(&rest)?;
+            spool
+                .result_json(id)
+                .map(|json| json.trim_end().to_string())
+                .map_err(|e| err(format!("result {id}: {e} (is the job done?)")))
+        }
+        Some("smoke-check") => {
+            let rest: Vec<&str> = it.collect();
+            let spool = open_spool(&rest)?;
+            let pins = muse_lifetime::smoke_expected();
+            let mut checked = 0;
+            for code in ["muse144_132", "muse80_69", "rs144_128_t1", "rs144_112_t2"] {
+                let spec = muse_service::JobSpec {
+                    code: code.to_string(),
+                    env: "smoke".to_string(),
+                    smoke: true,
+                    ..muse_service::JobSpec::default()
+                };
+                let id = spec.job_id().map_err(err)?;
+                let json = spool
+                    .result_json(&id)
+                    .map_err(|e| err(format!("smoke-check: job {id} ({code}): {e}")))?;
+                let result = muse_service::JobResult::from_json(&json).map_err(err)?;
+                let pin = pins
+                    .iter()
+                    .find(|p| p.code == result.code)
+                    .ok_or_else(|| err(format!("smoke-check: no pin for code {}", result.code)))?;
+                let t = &result.tally;
+                let got = (t.due_words, t.sdc_words, t.corrected_words, t.erasure_reads);
+                let want = (
+                    pin.due_words,
+                    pin.sdc_words,
+                    pin.corrected_words,
+                    pin.erasure_reads,
+                );
+                if got != want {
+                    return Err(err(format!(
+                        "smoke-check: {} tallies drifted: got {got:?}, pinned {want:?}",
+                        result.code
+                    )));
+                }
+                checked += 1;
+            }
+            Ok(format!(
+                "service smoke results match the pins for all {checked} codes"
+            ))
+        }
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
+}
+
+/// Opens the spool at `--root` (default `muse-spool`).
+fn open_spool(rest: &[&str]) -> Result<muse_service::Spool, CliError> {
+    let root = std::path::PathBuf::from(flag_value(rest, "--root")?.unwrap_or("muse-spool"));
+    muse_service::Spool::open(&root).map_err(|e| err(format!("spool {}: {e}", root.display())))
+}
+
+/// Wires SIGTERM/SIGINT to the daemon's drain flag. The handler only
+/// flips a static (async-signal-safe); a detached watcher thread
+/// forwards it into the `Arc` the service polls at shard boundaries.
+#[cfg(unix)]
+fn install_drain_handler(drain: &std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    let drain = std::sync::Arc::clone(drain);
+    let _ = std::thread::Builder::new()
+        .name("muse-drain".to_string())
+        .spawn(move || loop {
+            if SIGNALED.load(Ordering::Relaxed) {
+                drain.store(true, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
 }
 
 /// How the `lifetime` subcommand should execute its matrix cells.
@@ -584,8 +830,11 @@ fn run_lifetime_cells(
 
 /// Parses an `--inject` spec: comma-separated `key=value` pairs from
 /// `kill=<prob>`, `crash-after=<shards>`,
-/// `corrupt=<generation>:<truncate|bitflip>`, `delay=<ms>`, and
-/// `fault-seed=<seed>`.
+/// `corrupt=<generation>:<truncate|bitflip>`, `delay=<ms>`,
+/// `fault-seed=<seed>`, the watchdog keys `hang=<prob>` / `hang-ms=<ms>`,
+/// and the I/O chaos keys `enospc`/`short-write`/`fsync-fail`/
+/// `rename-fail`/`corrupt-record`/`sink-fail` (probabilities),
+/// `sink-block-ms=<ms>`, and `io-seed=<seed>`.
 fn parse_inject(spec: &str) -> Result<(muse_lifetime::FaultPlan, Option<u64>), CliError> {
     let mut plan = muse_lifetime::FaultPlan::default();
     let mut crash_after = None;
@@ -599,6 +848,8 @@ fn parse_inject(spec: &str) -> Result<(muse_lifetime::FaultPlan, Option<u64>), C
             "crash-after" => crash_after = Some(value.parse().map_err(|_| bad(value))?),
             "delay" => plan.delay_ms_max = value.parse().map_err(|_| bad(value))?,
             "fault-seed" => plan.seed = value.parse().map_err(|_| bad(value))?,
+            "hang" => plan.hang_prob = value.parse().map_err(|_| bad(value))?,
+            "hang-ms" => plan.hang_ms = value.parse().map_err(|_| bad(value))?,
             "corrupt" => {
                 let (generation, kind) = value
                     .split_once(':')
@@ -611,10 +862,36 @@ fn parse_inject(spec: &str) -> Result<(muse_lifetime::FaultPlan, Option<u64>), C
                 plan.corrupt_generation =
                     Some((generation.parse().map_err(|_| bad(generation))?, kind));
             }
+            "enospc" | "short-write" | "fsync-fail" | "rename-fail" | "corrupt-record"
+            | "sink-fail" => {
+                let p: f64 = value.parse().map_err(|_| bad(value))?;
+                let io = plan
+                    .io
+                    .get_or_insert_with(muse_lifetime::IoFaultPlan::default);
+                match key {
+                    "enospc" => io.enospc_prob = p,
+                    "short-write" => io.short_write_prob = p,
+                    "fsync-fail" => io.fsync_fail_prob = p,
+                    "rename-fail" => io.rename_fail_prob = p,
+                    "corrupt-record" => io.corrupt_record_prob = p,
+                    _ => io.sink_fail_prob = p,
+                }
+            }
+            "sink-block-ms" => {
+                plan.io
+                    .get_or_insert_with(muse_lifetime::IoFaultPlan::default)
+                    .sink_block_ms = value.parse().map_err(|_| bad(value))?;
+            }
+            "io-seed" => {
+                plan.io
+                    .get_or_insert_with(muse_lifetime::IoFaultPlan::default)
+                    .seed = value.parse().map_err(|_| bad(value))?;
+            }
             other => {
                 return Err(err(format!(
                     "--inject: unknown key {other:?} (kill, crash-after, corrupt, delay, \
-                     fault-seed)"
+                     fault-seed, hang, hang-ms, enospc, short-write, fsync-fail, rename-fail, \
+                     corrupt-record, sink-fail, sink-block-ms, io-seed)"
                 )))
             }
         }
@@ -919,6 +1196,64 @@ mod tests {
         assert!(run_str("lifetime --smoke --inject corrupt=3").is_err());
         assert!(run_str("lifetime --smoke --inject corrupt=3:melt").is_err());
         assert!(run_str("lifetime --smoke --inject nope=1").is_err());
+    }
+
+    #[test]
+    fn service_spool_cycle() {
+        let root = std::env::temp_dir().join(format!("muse-cli-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let base = format!("--root {}", root.display());
+        // Submit the four smoke cells; a second submit is deduplicated.
+        let out = run_str(&format!("submit {base} --smoke --shards 4")).unwrap();
+        assert_eq!(out.matches("submitted").count(), 4, "{out}");
+        let dup = run_str(&format!("submit {base} --smoke --shards 4")).unwrap();
+        assert_eq!(dup.matches("duplicate").count(), 4, "{dup}");
+        let status = run_str(&format!("status {base}")).unwrap();
+        assert!(status.contains("queued: 4"), "{status}");
+        // Drain the queue once: all four compute (cache is cold).
+        let out = run_str(&format!("serve {base} --once")).unwrap();
+        assert!(out.contains("4 job(s) completed (0 from cache)"), "{out}");
+        let status = run_str(&format!("status {base}")).unwrap();
+        assert!(status.contains("done: 4"), "{status}");
+        assert!(status.contains("queued: 0"), "{status}");
+        // The results match the pinned smoke tallies.
+        let check = run_str(&format!("smoke-check {base}")).unwrap();
+        assert!(check.contains("match the pins for all 4 codes"), "{check}");
+        // `result` prints the schema-tagged JSON for a known id.
+        let id = muse_service::JobSpec {
+            code: "muse144_132".into(),
+            env: "smoke".into(),
+            smoke: true,
+            ..muse_service::JobSpec::default()
+        }
+        .job_id()
+        .unwrap();
+        let json = run_str(&format!("result {id} {base}")).unwrap();
+        assert!(json.contains("muse-result/v1"), "{json}");
+        assert!(json.contains("\"cache_hit\":false"), "{json}");
+        // Re-submit and serve again: every job is a cache hit.
+        run_str(&format!("submit {base} --smoke --shards 4")).unwrap();
+        let out = run_str(&format!("serve {base} --once")).unwrap();
+        assert!(out.contains("4 job(s) completed (4 from cache)"), "{out}");
+        let json = run_str(&format!("result {id} {base}")).unwrap();
+        assert!(json.contains("\"cache_hit\":true"), "{json}");
+        // A garbage job fails loudly: nonzero exit, evidence in failed/.
+        std::fs::write(root.join("queue/deadbeef.job"), "not json").unwrap();
+        let failure = run_str(&format!("serve {base} --once")).unwrap_err();
+        assert!(failure.0.contains("1 failed"), "{failure}");
+        assert!(failure.0.contains("failed/"), "{failure}");
+        let status = run_str(&format!("status {base}")).unwrap();
+        assert!(status.contains("failed: 1"), "{status}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn service_flags_are_validated() {
+        assert!(run_str("serve --watchdog-ms zzz").is_err());
+        assert!(run_str("result").is_err());
+        assert!(run_str("submit --code bogus --root /tmp/muse-cli-bad-spool").is_err());
+        assert!(run_str("serve --once --inject sink-fail=zzz").is_err());
+        let _ = std::fs::remove_dir_all("/tmp/muse-cli-bad-spool");
     }
 
     #[test]

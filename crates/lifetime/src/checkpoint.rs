@@ -63,6 +63,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::estimator::WeightedCount;
+use crate::iofault::{injected_io_error, IoFaultPlan};
 use crate::{Environment, FleetCode, FleetConfig, LifetimeTally};
 
 /// Magic bytes opening every checkpoint file (shared by v1 and v2).
@@ -324,6 +325,7 @@ pub struct Loaded {
 pub struct CheckpointStore {
     slots: [PathBuf; 2],
     tmp: PathBuf,
+    faults: Option<IoFaultPlan>,
 }
 
 impl CheckpointStore {
@@ -331,6 +333,19 @@ impl CheckpointStore {
     /// under `dir`. Distinct runs sharing a directory must use distinct
     /// prefixes.
     pub fn open(dir: &Path, prefix: &str) -> std::io::Result<Self> {
+        Self::open_with_faults(dir, prefix, None)
+    }
+
+    /// [`Self::open`] with an [`IoFaultPlan`] seam: every [`Self::save`]
+    /// consults the plan, keyed by the checkpoint's **generation** (a
+    /// natural, deterministic op index), so chaos tests can inject
+    /// ENOSPC / torn writes / fsync / rename failures at exact,
+    /// reproducible points in a run.
+    pub fn open_with_faults(
+        dir: &Path,
+        prefix: &str,
+        faults: Option<IoFaultPlan>,
+    ) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         Ok(Self {
             slots: [
@@ -338,6 +353,7 @@ impl CheckpointStore {
                 dir.join(format!("{prefix}.g1")),
             ],
             tmp: dir.join(format!("{prefix}.tmp")),
+            faults: faults.filter(IoFaultPlan::any_storage_faults),
         })
     }
 
@@ -350,13 +366,47 @@ impl CheckpointStore {
     /// write-to-temp, `fsync`, rename. The previous generation's slot is
     /// untouched, so a crash at any instant leaves at least one valid
     /// checkpoint behind.
+    ///
+    /// With an [`IoFaultPlan`] attached ([`Self::open_with_faults`]),
+    /// injected ENOSPC / fsync / rename faults surface here as `Err` —
+    /// the previous generation stays intact and resumable — while an
+    /// injected short write commits a torn payload that [`Self::load`]'s
+    /// CRC validation rejects (fallback generation loads instead). A
+    /// post-commit `corrupt_record` fault flips one bit in the slot
+    /// (bit rot), exercising the same fallback.
     pub fn save(&self, checkpoint: &Checkpoint) -> std::io::Result<()> {
+        let generation = checkpoint.generation;
+        if let Some(f) = &self.faults {
+            if f.enospc(generation) {
+                return Err(injected_io_error("ENOSPC", generation));
+            }
+        }
         let bytes = checkpoint.encode();
+        let write_len = match &self.faults {
+            Some(f) if f.short_write(generation) => bytes.len() / 2,
+            _ => bytes.len(),
+        };
         let mut file = std::fs::File::create(&self.tmp)?;
-        file.write_all(&bytes)?;
+        file.write_all(&bytes[..write_len])?;
+        if let Some(f) = &self.faults {
+            if f.fsync_fails(generation) {
+                return Err(injected_io_error("fsync failure", generation));
+            }
+        }
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&self.tmp, self.slot_path(checkpoint.generation))
+        if let Some(f) = &self.faults {
+            if f.rename_fails(generation) {
+                return Err(injected_io_error("rename failure", generation));
+            }
+        }
+        std::fs::rename(&self.tmp, self.slot_path(generation))?;
+        if let Some(f) = &self.faults {
+            if f.corrupts_record(generation) {
+                self.corrupt(generation, Corruption::BitFlip)?;
+            }
+        }
+        Ok(())
     }
 
     /// Loads the newest valid checkpoint, falling back to the previous

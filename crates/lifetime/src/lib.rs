@@ -66,6 +66,7 @@
 mod checkpoint;
 mod classify;
 pub mod estimator;
+mod iofault;
 mod shard;
 mod sim;
 mod supervisor;
@@ -76,12 +77,13 @@ pub use checkpoint::{
 };
 pub use classify::{FleetBackend, FleetContext};
 pub use estimator::{Estimator, RateEstimate, WeightedCount};
+pub use iofault::{injected_io_error, IoFaultPlan};
 pub use muse_core::{Classifier, Entropy, MuseClassifier, Strike, WordRead};
 pub use muse_rs::RsClassifier;
 pub use shard::ShardPlan;
 pub use supervisor::{
-    run_sharded, run_sharded_with, FaultPlan, ResumeInfo, RunStats, RunnerConfig, RunnerError,
-    ShardedOutcome,
+    retry_backoff_ms, run_sharded, run_sharded_with, FaultPlan, ResumeInfo, RunStats, RunnerConfig,
+    RunnerError, ShardedOutcome,
 };
 pub use telemetry::{cell_label, FleetTelemetry};
 
@@ -495,6 +497,20 @@ pub struct LifetimeReport {
 }
 
 impl LifetimeReport {
+    /// Rebuilds the report a run under `(code, env, config)` would have
+    /// produced for `tally` — the reconstruction path of the service's
+    /// result cache: rates and CIs are pure functions of the tally and
+    /// the config, so a cached tally yields a report bit-identical to
+    /// the run that computed it.
+    pub fn from_tally(
+        code: &FleetCode,
+        env: &Environment,
+        config: &FleetConfig,
+        tally: LifetimeTally,
+    ) -> Self {
+        Self::new(code, env, config, tally)
+    }
+
     fn new(code: &FleetCode, env: &Environment, config: &FleetConfig, t: LifetimeTally) -> Self {
         let my = config.machine_years();
         let due_events = t.due_words + t.data_loss_events;

@@ -28,12 +28,15 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use muse_faultsim::{Rng, SimEngine, Tally};
 use muse_telemetry::{estimate_eta_ms, ProgressSnapshot, TraceEvent};
 
 use crate::checkpoint::{config_hash, Checkpoint, CheckpointStore, Corruption};
+use crate::iofault::IoFaultPlan;
 use crate::shard::ShardPlan;
 use crate::sim::{arrival_probabilities, run_fleet_range};
 use crate::telemetry::{
@@ -68,6 +71,19 @@ pub struct RunnerConfig {
     /// interruption hook used by the boundary-sweep tests and the CLI's
     /// crash injection.
     pub stop_after_shards: Option<u64>,
+    /// Per-shard watchdog: an attempt that has not produced its tally
+    /// within this many milliseconds is killed (the worker thread is
+    /// abandoned, its late result discarded) and retried with backoff —
+    /// safe because a recompute is bit-identical by construction.
+    /// `None` disables the watchdog and runs attempts inline.
+    pub shard_timeout_ms: Option<u64>,
+    /// Cooperative drain flag, checked at every shard boundary: once
+    /// set, the run checkpoints and returns
+    /// [`ShardedOutcome::Interrupted`] exactly like
+    /// [`Self::stop_after_shards`]. The service daemon points this at
+    /// its SIGTERM/SIGINT flag so an in-flight job drains to resumable
+    /// state within one shard's worth of work.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunnerConfig {
@@ -82,6 +98,8 @@ impl Default for RunnerConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 1000,
             stop_after_shards: None,
+            shard_timeout_ms: None,
+            stop: None,
         }
     }
 }
@@ -103,15 +121,34 @@ pub struct FaultPlan {
     /// Corrupt this generation's checkpoint file right after it is
     /// written — the next resume must fall back to the previous one.
     pub corrupt_generation: Option<(u64, Corruption)>,
+    /// Probability that a given (shard, attempt) hangs for
+    /// [`Self::hang_ms`] before producing its result — the stall a
+    /// [`RunnerConfig::shard_timeout_ms`] watchdog exists to cut short.
+    pub hang_prob: f64,
+    /// Duration of an injected hang, in milliseconds.
+    pub hang_ms: u64,
+    /// Deterministic I/O chaos threaded into the checkpoint store (and,
+    /// via the service daemon, the result cache): injected ENOSPC, torn
+    /// writes, fsync/rename failures, post-commit bit rot.
+    pub io: Option<IoFaultPlan>,
+}
+
+impl FaultPlan {
+    /// Seed of the injection streams when no plan is given (keeps the
+    /// backoff-jitter stream defined even for fault-free runs).
+    pub const DEFAULT_SEED: u64 = 0xFA17;
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         Self {
-            seed: 0xFA17,
+            seed: Self::DEFAULT_SEED,
             kill_prob: 0.0,
             delay_ms_max: 0,
             corrupt_generation: None,
+            hang_prob: 0.0,
+            hang_ms: 60_000,
+            io: None,
         }
     }
 }
@@ -123,6 +160,17 @@ impl FaultPlan {
             && Rng::for_shard(self.seed, shard as u64, attempt as u64).chance(self.kill_prob)
     }
 
+    /// Does this plan hang `shard`'s `attempt`-th execution?
+    pub fn hangs(&self, shard: u32, attempt: u32) -> bool {
+        self.hang_prob > 0.0
+            && Rng::for_shard(
+                self.seed ^ 0x4A46_4A46_4A46_4A46,
+                shard as u64,
+                attempt as u64,
+            )
+            .chance(self.hang_prob)
+    }
+
     /// Injected completion delay for `shard`, in milliseconds.
     pub fn delay_ms(&self, shard: u32) -> u64 {
         if self.delay_ms_max == 0 {
@@ -130,6 +178,30 @@ impl FaultPlan {
         }
         Rng::for_shard(self.seed ^ 0xDE1A_DE1A_DE1A_DE1A, shard as u64, 0).below(self.delay_ms_max)
     }
+}
+
+/// Backoff before retrying `shard`'s failed `attempt`: exponential in
+/// the attempt (base [`RunnerConfig::backoff_base_ms`], capped at
+/// [`RunnerConfig::backoff_cap_ms`]) with deterministic ±50% jitter
+/// drawn from a salted [`Rng::for_shard`] stream — mass shard retries
+/// across a fleet must not synchronize into thundering herds. Sleep
+/// duration never feeds into a tally, so determinism holds regardless.
+pub fn retry_backoff_ms(runner: &RunnerConfig, fault_seed: u64, shard: u32, attempt: u32) -> u64 {
+    let base = runner
+        .backoff_base_ms
+        .saturating_mul(1u64 << attempt.min(20))
+        .min(runner.backoff_cap_ms);
+    if base == 0 {
+        return 0;
+    }
+    // below(1000) ∈ [0, 1000) maps to a factor in [0.5, 1.5).
+    let r = Rng::for_shard(
+        fault_seed ^ 0x7177_E201_7177_E201,
+        shard as u64,
+        attempt as u64,
+    )
+    .below(1000);
+    (base / 2) + base.saturating_mul(r) / 1000
 }
 
 /// What a resumed run found on disk.
@@ -159,8 +231,11 @@ pub struct RunStats {
     pub shards_resumed: u32,
     /// Shards computed in this invocation.
     pub shards_run: u32,
-    /// Attempts lost to injected kills (each retried with backoff).
+    /// Attempts lost to injected kills or watchdog timeouts (each
+    /// retried with backoff).
     pub retries: u32,
+    /// Attempts killed by the shard watchdog (a subset of `retries`).
+    pub watchdog_kills: u32,
     /// Checkpoint generations written in this invocation.
     pub checkpoint_writes: u32,
     /// Resume details when a checkpoint was loaded.
@@ -327,7 +402,11 @@ pub fn run_sharded_with(
     let hash = config_hash(code, env, config);
     let mut plan = ShardPlan::new(config.dimms, runner.shards);
     let store = match &runner.checkpoint_dir {
-        Some(dir) => Some(CheckpointStore::open(dir, &runner.checkpoint_prefix)?),
+        Some(dir) => Some(CheckpointStore::open_with_faults(
+            dir,
+            &runner.checkpoint_prefix,
+            faults.and_then(|f| f.io),
+        )?),
         None => None,
     };
 
@@ -339,6 +418,15 @@ pub fn run_sharded_with(
     let emit = |event: &TraceEvent| {
         if let Some(tracer) = telemetry.tracer {
             tracer.emit(event);
+        }
+    };
+    // Metrics snapshots warn on failure; the io_errors counter makes the
+    // failure visible to scrapers of whatever snapshot does land.
+    let snapshot = |instruments: &Option<RunInstruments>| {
+        if !telemetry.snapshot_metrics() {
+            if let Some(ins) = instruments {
+                ins.io_errors.inc();
+            }
         }
     };
 
@@ -461,9 +549,14 @@ pub fn run_sharded_with(
         if done.contains_key(&shard) {
             continue;
         }
-        if runner
-            .stop_after_shards
-            .is_some_and(|stop| stats.shards_run as u64 >= stop)
+        let drain = runner
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed));
+        if drain
+            || runner
+                .stop_after_shards
+                .is_some_and(|stop| stats.shards_run as u64 >= stop)
         {
             if pending_since_save > 0 {
                 save(&done, &mut generation, &mut stats)?;
@@ -473,7 +566,7 @@ pub fn run_sharded_with(
                 wall_ms: elapsed_ms(run_started),
                 retries: u64::from(stats.retries),
             });
-            telemetry.snapshot_metrics();
+            snapshot(&instruments);
             return Ok(ShardedOutcome::Interrupted { stats });
         }
         let range = plan.range(shard);
@@ -484,49 +577,80 @@ pub fn run_sharded_with(
         });
         let shard_started = Instant::now();
         let mut attempt = 0u32;
-        let tally = loop {
-            if faults.is_some_and(|f| f.kills(shard, attempt)) {
-                // Killed mid-flight: half the shard's work happens, then
-                // the worker dies and its partial tally is discarded —
-                // the retry recomputes the shard from its streams.
-                let mid = range.start + (range.end - range.start) / 2;
-                let _ = run_fleet_range(code, env, config, range.start..mid);
-                stats.retries += 1;
-                if attempt >= runner.max_retries {
-                    return Err(RunnerError::ShardFailed {
-                        shard,
-                        attempts: attempt + 1,
-                    });
+        let fault_seed = faults.map_or(FaultPlan::DEFAULT_SEED, |f| f.seed);
+        let tally = 'attempts: loop {
+            let failure: String = 'fail: {
+                if faults.is_some_and(|f| f.kills(shard, attempt)) {
+                    // Killed mid-flight: half the shard's work happens,
+                    // then the worker dies and its partial tally is
+                    // discarded — the retry recomputes the shard from
+                    // its streams.
+                    let mid = range.start + (range.end - range.start) / 2;
+                    let _ = run_fleet_range(code, env, config, range.start..mid);
+                    break 'fail "injected kill".to_string();
                 }
-                let backoff = runner
-                    .backoff_base_ms
-                    .saturating_mul(1u64 << attempt.min(20))
-                    .min(runner.backoff_cap_ms);
-                emit(&TraceEvent::ShardRetry {
+                // An injected hang stalls the attempt; a watchdog cuts
+                // the stall short, without one it merely delays.
+                let hang_ms = faults
+                    .filter(|f| f.hangs(shard, attempt))
+                    .map_or(0, |f| f.hang_ms);
+                match runner.shard_timeout_ms {
+                    Some(timeout_ms) => {
+                        match run_attempt_watchdogged(
+                            code,
+                            env,
+                            config,
+                            range.clone(),
+                            hang_ms,
+                            timeout_ms,
+                        ) {
+                            Some(t) => break 'attempts t,
+                            None => {
+                                stats.watchdog_kills += 1;
+                                if let Some(ins) = &instruments {
+                                    ins.watchdog_kills.inc();
+                                }
+                                break 'fail format!("watchdog timeout after {timeout_ms}ms");
+                            }
+                        }
+                    }
+                    None => {
+                        if hang_ms > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(hang_ms));
+                        }
+                        break 'attempts run_fleet_range(code, env, config, range.clone());
+                    }
+                }
+            };
+            stats.retries += 1;
+            if attempt >= runner.max_retries {
+                return Err(RunnerError::ShardFailed {
                     shard,
-                    attempt,
-                    backoff_ms: backoff,
-                    error: "injected kill".to_string(),
+                    attempts: attempt + 1,
                 });
-                if let Some(ins) = &instruments {
-                    ins.shard_retries.inc();
-                }
-                telemetry.warn(&format!(
-                    "warning: shard {shard} attempt {attempt} failed (injected \
-                     kill); retrying after {backoff}ms backoff"
-                ));
-                if backoff > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(backoff));
-                }
-                attempt += 1;
-                continue;
             }
-            let t = run_fleet_range(code, env, config, range.clone());
-            if let Some(delay) = faults.map(|f| f.delay_ms(shard)).filter(|&d| d > 0) {
-                std::thread::sleep(std::time::Duration::from_millis(delay));
+            let backoff = retry_backoff_ms(runner, fault_seed, shard, attempt);
+            emit(&TraceEvent::ShardRetry {
+                shard,
+                attempt,
+                backoff_ms: backoff,
+                error: failure.clone(),
+            });
+            if let Some(ins) = &instruments {
+                ins.shard_retries.inc();
             }
-            break t;
+            telemetry.warn(&format!(
+                "warning: shard {shard} attempt {attempt} failed ({failure}); \
+                 retrying after {backoff}ms backoff"
+            ));
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            attempt += 1;
         };
+        if let Some(delay) = faults.map(|f| f.delay_ms(shard)).filter(|&d| d > 0) {
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
         let wall_ms = elapsed_ms(shard_started);
         emit(&TraceEvent::ShardEnd {
             shard,
@@ -572,6 +696,7 @@ pub fn run_sharded_with(
                 ins.due_weighted_sum.set(merged.due_weighted.sum());
                 ins.sdc_weighted_sum.set(merged.sdc_weighted.sum());
                 ins.trace_dropped.set(telemetry.dropped_events() as f64);
+                ins.trace_io_errors.set(telemetry.io_errors() as f64);
             }
             if let Some(heartbeat) = &telemetry.heartbeat {
                 heartbeat(&ProgressSnapshot {
@@ -590,7 +715,7 @@ pub fn run_sharded_with(
                     dropped_events: telemetry.dropped_events(),
                 });
             }
-            telemetry.snapshot_metrics();
+            snapshot(&instruments);
         }
 
         pending_since_save += 1;
@@ -611,8 +736,9 @@ pub fn run_sharded_with(
     });
     if let Some(ins) = &instruments {
         ins.trace_dropped.set(telemetry.dropped_events() as f64);
+        ins.trace_io_errors.set(telemetry.io_errors() as f64);
     }
-    telemetry.snapshot_metrics();
+    snapshot(&instruments);
 
     // Merge in ascending shard order (pure field-wise sums — identical to
     // the unsharded run's DIMM-order merge).
@@ -626,7 +752,93 @@ pub fn run_sharded_with(
     })
 }
 
+/// Runs one shard attempt under the watchdog: the computation happens on
+/// a detached worker thread and the supervisor waits at most
+/// `timeout_ms` for its tally. On timeout the worker is abandoned — it
+/// holds only clones and a dead channel sender, so a late result is
+/// silently dropped and an injected hang leaks nothing past `hang_ms` —
+/// and `None` signals a watchdog kill, safe to retry because every
+/// recompute is bit-identical by construction.
+fn run_attempt_watchdogged(
+    code: &FleetCode,
+    env: &Environment,
+    config: &FleetConfig,
+    range: std::ops::Range<u64>,
+    hang_ms: u64,
+    timeout_ms: u64,
+) -> Option<LifetimeTally> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let code = code.clone();
+    let env = env.clone();
+    let config = *config;
+    let spawned = std::thread::Builder::new()
+        .name("muse-shard".into())
+        .spawn(move || {
+            if hang_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(hang_ms));
+            }
+            let _ = tx.send(run_fleet_range(&code, &env, &config, range));
+        });
+    if spawned.is_err() {
+        // Spawn failure (resource exhaustion) counts as a failed attempt
+        // and goes through the same retry-with-backoff path.
+        return None;
+    }
+    rx.recv_timeout(std::time::Duration::from_millis(timeout_ms))
+        .ok()
+}
+
 fn len_of(plan: &ShardPlan, shard: u32) -> u64 {
     let r = plan.range(shard);
     r.end - r.start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_is_bounded_deterministic_and_desynchronized() {
+        let runner = RunnerConfig {
+            backoff_base_ms: 100,
+            backoff_cap_ms: 10_000,
+            ..RunnerConfig::default()
+        };
+        for attempt in 0..6 {
+            let base = 100u64 << attempt;
+            let mut distinct = std::collections::BTreeSet::new();
+            for shard in 0..32 {
+                let b = retry_backoff_ms(&runner, 0xFA17, shard, attempt);
+                assert_eq!(b, retry_backoff_ms(&runner, 0xFA17, shard, attempt));
+                assert!(
+                    b >= base / 2 && b < base + base / 2 + 1,
+                    "attempt {attempt} shard {shard}: {b} outside ±50% of {base}"
+                );
+                distinct.insert(b);
+            }
+            // The whole point: concurrent retries of many shards must
+            // not all sleep the same duration.
+            assert!(distinct.len() > 8, "jitter too coarse: {distinct:?}");
+        }
+        // Zero base stays zero (tests rely on instant retries).
+        let fast = RunnerConfig {
+            backoff_base_ms: 0,
+            ..RunnerConfig::default()
+        };
+        assert_eq!(retry_backoff_ms(&fast, 0xFA17, 3, 2), 0);
+    }
+
+    #[test]
+    fn hang_decisions_are_deterministic_and_separate_from_kills() {
+        let plan = FaultPlan {
+            kill_prob: 0.5,
+            hang_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let kills: Vec<bool> = (0..64).map(|s| plan.kills(s, 0)).collect();
+        let hangs: Vec<bool> = (0..64).map(|s| plan.hangs(s, 0)).collect();
+        assert_eq!(kills, (0..64).map(|s| plan.kills(s, 0)).collect::<Vec<_>>());
+        assert_eq!(hangs, (0..64).map(|s| plan.hangs(s, 0)).collect::<Vec<_>>());
+        assert_ne!(kills, hangs, "hang stream must be salted away from kills");
+    }
 }

@@ -77,17 +77,26 @@ impl<'a> FleetTelemetry<'a> {
         self.tracer.map_or(0, |t| t.dropped())
     }
 
+    /// Trace-sink write errors so far (0 without a tracer).
+    pub(crate) fn io_errors(&self) -> u64 {
+        self.tracer.map_or(0, |t| t.io_errors())
+    }
+
     /// Writes the metrics textfile snapshot, when configured. Snapshot
-    /// failures are reported as warnings, never as run failures.
-    pub(crate) fn snapshot_metrics(&self) {
+    /// failures are reported as warnings, never as run failures; the
+    /// `false` return lets the supervisor bump its `io_errors` counter
+    /// so the loss is visible in the metrics themselves.
+    pub(crate) fn snapshot_metrics(&self) -> bool {
         if let (Some(metrics), Some(path)) = (self.metrics, &self.metrics_path) {
             if let Err(e) = metrics.write_textfile(path) {
                 self.warn(&format!(
                     "warning: metrics snapshot to {} failed: {e}",
                     path.display()
                 ));
+                return false;
             }
         }
+        true
     }
 }
 
@@ -97,6 +106,8 @@ impl<'a> FleetTelemetry<'a> {
 pub(crate) struct RunInstruments {
     pub shards_completed: Arc<Counter>,
     pub shard_retries: Arc<Counter>,
+    pub watchdog_kills: Arc<Counter>,
+    pub io_errors: Arc<Counter>,
     pub checkpoint_writes: Arc<Counter>,
     pub dimms_simulated: Arc<Counter>,
     pub sim_trials: Arc<Counter>,
@@ -109,6 +120,7 @@ pub(crate) struct RunInstruments {
     pub due_weighted_sum: Arc<Gauge>,
     pub sdc_weighted_sum: Arc<Gauge>,
     pub trace_dropped: Arc<Gauge>,
+    pub trace_io_errors: Arc<Gauge>,
 }
 
 impl RunInstruments {
@@ -121,6 +133,14 @@ impl RunInstruments {
             shard_retries: metrics.counter(
                 "muse_lifetime_shard_retries_total",
                 "Shard attempts that failed and were retried",
+            ),
+            watchdog_kills: metrics.counter(
+                "muse_lifetime_watchdog_kills_total",
+                "Shard attempts killed by the per-shard watchdog timeout",
+            ),
+            io_errors: metrics.counter(
+                "muse_io_errors_total",
+                "Telemetry-writer I/O errors (metrics snapshots that failed to land)",
             ),
             checkpoint_writes: metrics.counter(
                 "muse_lifetime_checkpoint_writes_total",
@@ -169,6 +189,10 @@ impl RunInstruments {
             trace_dropped: metrics.gauge(
                 "muse_trace_dropped_events",
                 "Trace events dropped under backpressure this run",
+            ),
+            trace_io_errors: metrics.gauge(
+                "muse_trace_io_errors",
+                "Trace-sink write errors this run (events lost to a failing sink)",
             ),
         }
     }

@@ -1,0 +1,339 @@
+//! The on-disk result cache: `muse-result-cache/v1` records.
+//!
+//! One record caches the complete [`LifetimeTally`] of one finished
+//! run, keyed — in the file name *and* inside the CRC-protected payload
+//! — by the run's [`config_hash`](muse_lifetime::config_hash). A lookup
+//! only ever returns a tally whose embedded hash matches the request
+//! and whose CRC verifies; anything else (truncation, bit rot, a record
+//! renamed over the wrong key) is reported as [`CacheLookup::Corrupt`]
+//! and treated as a miss. **A corrupt cache can cost a recompute, never
+//! a wrong number.**
+//!
+//! # Record layout (`<hash:016x>.res`, 208 bytes)
+//!
+//! ```text
+//! 0    8  magic  b"MRESLT1\n"
+//! 8    4  version (u32 LE) = 1
+//! 12   8  config_hash (u64 LE) — must equal the requested key
+//! 20  88  the 11 raw LifetimeTally counters (u64 LE, declaration order)
+//! 108 96  the 3 WeightedCount accumulators, sum_q64 then sumsq_q32 (u128 LE)
+//! 204  4  CRC-32 of bytes 0..204
+//! ```
+//!
+//! Writes are atomic (temp + rename) and routed through the same
+//! [`IoFaultPlan`] seam as checkpoints, keyed by the config hash — so
+//! the chaos suite can tear, starve, or rot cache records at exact,
+//! reproducible keys. A failed cache write is a warning for the caller,
+//! never a job failure: the cache is an optimization, correctness lives
+//! in the run itself.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use muse_lifetime::estimator::WeightedCount;
+use muse_lifetime::{crc32, injected_io_error, IoFaultPlan, LifetimeTally};
+
+/// Magic bytes opening every cache record.
+pub const RESULT_MAGIC: [u8; 8] = *b"MRESLT1\n";
+/// Schema name of the record format (for docs and error messages).
+pub const RESULT_SCHEMA: &str = "muse-result-cache/v1";
+const RECORD_VERSION: u32 = 1;
+const RECORD_LEN: usize = 208;
+const TALLY_FIELDS: usize = 11;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// A valid record for exactly this config hash.
+    Hit(LifetimeTally),
+    /// No record on disk.
+    Miss,
+    /// A record exists but failed validation (CRC, magic, length, or
+    /// embedded-hash mismatch). Callers count it and recompute.
+    Corrupt,
+}
+
+/// The config-hash-keyed result cache of one service root.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+    faults: Option<IoFaultPlan>,
+}
+
+fn tally_fields(t: &LifetimeTally) -> [u64; TALLY_FIELDS] {
+    [
+        t.epochs,
+        t.degraded_epochs,
+        t.corrected_words,
+        t.due_words,
+        t.sdc_words,
+        t.erasure_reads,
+        t.devices_retired,
+        t.rows_retired,
+        t.spare_rebuilds,
+        t.data_loss_events,
+        t.dimm_replacements,
+    ]
+}
+
+fn encode(hash: u64, t: &LifetimeTally) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_LEN);
+    out.extend_from_slice(&RESULT_MAGIC);
+    out.extend_from_slice(&RECORD_VERSION.to_le_bytes());
+    out.extend_from_slice(&hash.to_le_bytes());
+    for field in tally_fields(t) {
+        out.extend_from_slice(&field.to_le_bytes());
+    }
+    for wc in [t.due_weighted, t.sdc_weighted, t.weight_sum] {
+        out.extend_from_slice(&wc.sum_q64.to_le_bytes());
+        out.extend_from_slice(&wc.sumsq_q32.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    debug_assert_eq!(out.len(), RECORD_LEN);
+    out
+}
+
+fn decode(bytes: &[u8], want_hash: u64) -> Option<LifetimeTally> {
+    if bytes.len() != RECORD_LEN || bytes[..8] != RESULT_MAGIC {
+        return None;
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let u128_at = |off: usize| u128::from_le_bytes(bytes[off..off + 16].try_into().unwrap());
+    if u32_at(8) != RECORD_VERSION
+        || crc32(&bytes[..RECORD_LEN - 4]) != u32_at(RECORD_LEN - 4)
+        || u64_at(12) != want_hash
+    {
+        return None;
+    }
+    let f = |i: usize| u64_at(20 + 8 * i);
+    let wc = |i: usize| WeightedCount {
+        sum_q64: u128_at(108 + 32 * i),
+        sumsq_q32: u128_at(108 + 32 * i + 16),
+    };
+    Some(LifetimeTally {
+        epochs: f(0),
+        degraded_epochs: f(1),
+        corrected_words: f(2),
+        due_words: f(3),
+        sdc_words: f(4),
+        erasure_reads: f(5),
+        devices_retired: f(6),
+        rows_retired: f(7),
+        spare_rebuilds: f(8),
+        data_loss_events: f(9),
+        dimm_replacements: f(10),
+        due_weighted: wc(0),
+        sdc_weighted: wc(1),
+        weight_sum: wc(2),
+    })
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `dir`, with an
+    /// optional I/O chaos seam whose decisions are keyed by the record's
+    /// config hash.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failure.
+    pub fn open(dir: &Path, faults: Option<IoFaultPlan>) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            faults: faults.filter(IoFaultPlan::any_storage_faults),
+        })
+    }
+
+    /// The record path for a config hash.
+    pub fn record_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.res"))
+    }
+
+    /// Looks up `hash`. Corruption of any kind is reported, not
+    /// returned: a [`CacheLookup::Hit`] tally is bit-exact by
+    /// construction.
+    pub fn get(&self, hash: u64) -> CacheLookup {
+        match std::fs::read(self.record_path(hash)) {
+            Ok(bytes) => match decode(&bytes, hash) {
+                Some(tally) => CacheLookup::Hit(tally),
+                None => CacheLookup::Corrupt,
+            },
+            Err(_) => CacheLookup::Miss,
+        }
+    }
+
+    /// Atomically persists the record for `hash`: write-to-temp,
+    /// `fsync`, rename, with every step subject to the attached
+    /// [`IoFaultPlan`] (keyed by `hash`). A post-commit
+    /// `corrupt_record` fault flips one bit in the committed file —
+    /// the bit-rot case [`Self::get`]'s CRC exists to catch.
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O failure; the previous record (if any) is
+    /// intact either way.
+    pub fn put(&self, hash: u64, tally: &LifetimeTally) -> std::io::Result<()> {
+        if let Some(f) = &self.faults {
+            if f.enospc(hash) {
+                return Err(injected_io_error("ENOSPC", hash));
+            }
+        }
+        let bytes = encode(hash, tally);
+        let write_len = match &self.faults {
+            Some(f) if f.short_write(hash) => bytes.len() / 2,
+            _ => bytes.len(),
+        };
+        let tmp = self.dir.join(format!("{hash:016x}.tmp"));
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes[..write_len])?;
+        if let Some(f) = &self.faults {
+            if f.fsync_fails(hash) {
+                return Err(injected_io_error("fsync failure", hash));
+            }
+        }
+        file.sync_all()?;
+        drop(file);
+        if let Some(f) = &self.faults {
+            if f.rename_fails(hash) {
+                return Err(injected_io_error("rename failure", hash));
+            }
+        }
+        let path = self.record_path(hash);
+        std::fs::rename(&tmp, &path)?;
+        if let Some(f) = &self.faults {
+            if f.corrupts_record(hash) {
+                let mut bytes = std::fs::read(&path)?;
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x08;
+                std::fs::write(&path, &bytes)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("muse-cache-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample() -> LifetimeTally {
+        let mut t = LifetimeTally {
+            epochs: 9000,
+            due_words: 17,
+            sdc_words: 1,
+            corrected_words: 230,
+            erasure_reads: 400,
+            ..LifetimeTally::default()
+        };
+        t.due_weighted.push(2.5);
+        t.weight_sum.push(1.0);
+        t
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let dir = TempDir::new("roundtrip");
+        let cache = ResultCache::open(&dir.0, None).unwrap();
+        assert_eq!(cache.get(42), CacheLookup::Miss);
+        cache.put(42, &sample()).unwrap();
+        assert_eq!(cache.get(42), CacheLookup::Hit(sample()));
+        // A different hash is a miss even with a record on disk.
+        assert_eq!(cache.get(43), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn every_truncation_and_bitflip_is_corrupt_never_wrong() {
+        let dir = TempDir::new("mangle");
+        let cache = ResultCache::open(&dir.0, None).unwrap();
+        cache.put(7, &sample()).unwrap();
+        let path = cache.record_path(7);
+        let good = std::fs::read(&path).unwrap();
+        for len in 0..good.len() {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert_eq!(cache.get(7), CacheLookup::Corrupt, "prefix {len} accepted");
+        }
+        for bit in 0..good.len() * 8 {
+            let mut mangled = good.clone();
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(&path, &mangled).unwrap();
+            assert_eq!(cache.get(7), CacheLookup::Corrupt, "bit {bit} accepted");
+        }
+        // Restored bytes hit again.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(cache.get(7), CacheLookup::Hit(sample()));
+    }
+
+    #[test]
+    fn hash_fencing_rejects_renamed_records() {
+        // A record copied over another key carries its own hash inside
+        // the CRC'd payload — the fence catches the swap.
+        let dir = TempDir::new("fence");
+        let cache = ResultCache::open(&dir.0, None).unwrap();
+        cache.put(1, &sample()).unwrap();
+        std::fs::copy(cache.record_path(1), cache.record_path(2)).unwrap();
+        assert_eq!(cache.get(2), CacheLookup::Corrupt);
+    }
+
+    #[test]
+    fn injected_faults_fail_loudly_or_detectably() {
+        let dir = TempDir::new("faults");
+        let loud = |plan: IoFaultPlan| {
+            let cache = ResultCache::open(&dir.0, Some(plan)).unwrap();
+            cache.put(5, &sample()).unwrap_err();
+            // Nothing half-written became visible.
+            assert_eq!(cache.get(5), CacheLookup::Miss);
+        };
+        loud(IoFaultPlan {
+            enospc_prob: 1.0,
+            ..IoFaultPlan::default()
+        });
+        loud(IoFaultPlan {
+            fsync_fail_prob: 1.0,
+            ..IoFaultPlan::default()
+        });
+        loud(IoFaultPlan {
+            rename_fail_prob: 1.0,
+            ..IoFaultPlan::default()
+        });
+        // Torn write: commit "succeeds" but the CRC refuses the record.
+        let torn = ResultCache::open(
+            &dir.0,
+            Some(IoFaultPlan {
+                short_write_prob: 1.0,
+                ..IoFaultPlan::default()
+            }),
+        )
+        .unwrap();
+        torn.put(6, &sample()).unwrap();
+        assert_eq!(torn.get(6), CacheLookup::Corrupt);
+        // Post-commit rot: same detection.
+        let rot = ResultCache::open(
+            &dir.0,
+            Some(IoFaultPlan {
+                corrupt_record_prob: 1.0,
+                ..IoFaultPlan::default()
+            }),
+        )
+        .unwrap();
+        rot.put(8, &sample()).unwrap();
+        assert_eq!(rot.get(8), CacheLookup::Corrupt);
+    }
+}

@@ -1,0 +1,63 @@
+//! `muse-service`: the crash-only fleet-lifetime daemon.
+//!
+//! A long-running service that accepts lifetime-run jobs (code ×
+//! environment × horizon × estimator), executes them through the
+//! sharded supervisor with per-shard watchdog timeouts, and serves
+//! repeated configurations from a CRC-checked, `config_hash`-fenced
+//! on-disk result cache — a repeated config never recomputes.
+//!
+//! # Crash-only design: the spool directory
+//!
+//! There is no network protocol and no in-memory queue that can be
+//! lost: the queue **is** the filesystem. A service root holds
+//!
+//! ```text
+//! <root>/queue/<id>.job         submitted, waiting (JSON job spec)
+//! <root>/active/<id>.job        claimed by a daemon (rename from queue/)
+//! <root>/done/<id>.result       finished (JSON result, muse-result/v1)
+//! <root>/failed/<id>.job|.err   failed loudly (spec kept + error text)
+//! <root>/cache/<hash>.res       result cache (CRC + config_hash fenced)
+//! <root>/checkpoints/<id>/      per-job lifetime-ckpt/v2 checkpoints
+//! ```
+//!
+//! where `<id>` is the 16-hex [`config_hash`](muse_lifetime::config_hash)
+//! of the resolved job — submission is idempotent and deduplication is
+//! structural. Claims are single `rename`s (atomic on POSIX), results
+//! are written temp-then-rename, and every startup *adopts* whatever a
+//! previous process left in `active/` by renaming it back to `queue/`:
+//! recovery and normal startup are the same code path. A drained or
+//! killed daemon therefore never needs a shutdown protocol to preserve
+//! state — the state was never anywhere volatile to begin with.
+//!
+//! # Graceful drain
+//!
+//! [`ServiceConfig::drain`] is a shared flag (the CLI's `serve` wires it
+//! to SIGTERM/SIGINT). It is checked between jobs and — via
+//! [`RunnerConfig::stop`](muse_lifetime::RunnerConfig) — at every shard
+//! boundary inside a running job, so the drain window is bounded by one
+//! shard plus one checkpoint write. The in-flight job checkpoints,
+//! returns to `queue/`, and the daemon exits cleanly; a restart adopts
+//! the checkpoint and resumes **bit-identically** (`tests/chaos.rs`
+//! pins this against an uninterrupted run).
+//!
+//! # Chaos coverage
+//!
+//! Every durable-write path (checkpoints, cache records) threads an
+//! [`IoFaultPlan`](muse_lifetime::IoFaultPlan); `tests/chaos.rs` sweeps
+//! injected kills, shard hangs (watchdog), ENOSPC, torn writes, rename
+//! and fsync failures, cache-record corruption, and failing/blocked
+//! telemetry sinks, asserting the invariant the whole crate is built
+//! around: **bit-identical tallies or a loud, resumable failure — never
+//! wrong numbers, never a hang.**
+
+#![deny(missing_docs)]
+
+mod cache;
+mod daemon;
+mod job;
+
+pub use cache::{CacheLookup, ResultCache, RESULT_MAGIC, RESULT_SCHEMA};
+pub use daemon::{
+    serve, JobResult, ServiceConfig, ServiceReport, ServiceTelemetry, Spool, SpoolStatus,
+};
+pub use job::{JobSpec, JOB_SCHEMA};

@@ -1,0 +1,167 @@
+//! End-to-end spool semantics: submission idempotence, orphan adoption,
+//! the job-id fence, and cross-config cache fencing.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use muse_lifetime::simulate_fleet;
+use muse_service::{
+    serve, JobResult, JobSpec, ServiceConfig, ServiceReport, ServiceTelemetry, Spool,
+};
+
+fn small_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        code: "muse80_69".to_string(),
+        env: "chipkill-heavy".to_string(),
+        dimms: 16,
+        years: 0.5,
+        scrub_hours: 24.0,
+        seed,
+        shards: 2,
+        ..JobSpec::default()
+    }
+}
+
+struct Harness {
+    root: PathBuf,
+    spool: Spool,
+    warns: Arc<Mutex<Vec<String>>>,
+}
+
+impl Harness {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("muse-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spool = Spool::open(&root).unwrap();
+        Self {
+            root,
+            spool,
+            warns: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn serve_once(&self) -> ServiceReport {
+        let config = ServiceConfig {
+            root: self.root.clone(),
+            once: true,
+            backoff_base_ms: 0,
+            ..ServiceConfig::default()
+        };
+        let warns = Arc::clone(&self.warns);
+        let telemetry = ServiceTelemetry {
+            warn: Some(Box::new(move |line: &str| {
+                warns.lock().unwrap().push(line.to_string())
+            })),
+            ..ServiceTelemetry::default()
+        };
+        serve(&config, &telemetry).unwrap()
+    }
+
+    fn warned(&self, needle: &str) -> bool {
+        self.warns
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|w| w.contains(needle))
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn submission_is_idempotent_and_status_tracks_stages() {
+    let h = Harness::new("idempotent");
+    let (id, enqueued) = h.spool.submit(&small_spec(1)).unwrap();
+    assert!(enqueued);
+    // Same config resubmitted: same id, silently deduplicated.
+    let (id2, enqueued) = h.spool.submit(&small_spec(1)).unwrap();
+    assert_eq!(id, id2);
+    assert!(!enqueued);
+    // A different seed is a different configuration — its own id.
+    let (id3, enqueued) = h.spool.submit(&small_spec(2)).unwrap();
+    assert_ne!(id, id3);
+    assert!(enqueued);
+    let status = h.spool.status().unwrap();
+    assert_eq!((status.queued, status.done), (2, 0), "{status:?}");
+    let report = h.serve_once();
+    assert_eq!(report.jobs_completed, 2, "{report:?}");
+    let status = h.spool.status().unwrap();
+    assert_eq!((status.queued, status.done), (0, 2), "{status:?}");
+    // Each id's result is fenced to its own configuration: the two runs
+    // differ only by seed, and their tallies must be their own.
+    let r1 = JobResult::from_json(&h.spool.result_json(&id).unwrap()).unwrap();
+    let r3 = JobResult::from_json(&h.spool.result_json(&id3).unwrap()).unwrap();
+    let (c1, e1, f1) = small_spec(1).resolve().unwrap();
+    let (c3, e3, f3) = small_spec(2).resolve().unwrap();
+    assert_eq!(r1.tally, simulate_fleet(&c1, &e1, &f1).tally);
+    assert_eq!(r3.tally, simulate_fleet(&c3, &e3, &f3).tally);
+    assert_ne!(r1.tally, r3.tally, "distinct seeds must not share tallies");
+}
+
+#[test]
+fn startup_adopts_orphans_left_by_a_dead_daemon() {
+    let h = Harness::new("orphans");
+    // Simulate a daemon that died mid-claim: the job sits in active/.
+    let spec = small_spec(7);
+    let id = spec.job_id().unwrap();
+    std::fs::write(
+        h.spool.active_dir().join(format!("{id}.job")),
+        spec.to_json(),
+    )
+    .unwrap();
+    let report = h.serve_once();
+    assert_eq!(report.adopted, 1, "{report:?}");
+    assert_eq!(report.jobs_completed, 1, "{report:?}");
+    assert!(h.warned("resume: adopted"), "{:?}", h.warns.lock().unwrap());
+    let (code, env, config) = spec.resolve().unwrap();
+    let result = JobResult::from_json(&h.spool.result_json(&id).unwrap()).unwrap();
+    assert_eq!(result.tally, simulate_fleet(&code, &env, &config).tally);
+}
+
+#[test]
+fn the_job_id_fence_rejects_misnamed_job_files() {
+    let h = Harness::new("fence");
+    let (id, _) = h.spool.submit(&small_spec(3)).unwrap();
+    // An operator (or a bug) renames the job onto a different id: the
+    // spec inside hashes to the original, and the daemon refuses to run
+    // it under the wrong identity.
+    let wrong = "f".repeat(16);
+    std::fs::rename(
+        h.spool.queue_dir().join(format!("{id}.job")),
+        h.spool.queue_dir().join(format!("{wrong}.job")),
+    )
+    .unwrap();
+    let report = h.serve_once();
+    assert_eq!(report.jobs_failed, 1, "{report:?}");
+    let error = std::fs::read_to_string(h.spool.failed_dir().join(format!("{wrong}.err"))).unwrap();
+    assert!(error.contains("job id mismatch"), "{error}");
+    assert!(error.contains(&id), "error names the real id: {error}");
+}
+
+#[test]
+fn completed_jobs_clean_up_their_checkpoints_and_serve_from_cache() {
+    let h = Harness::new("cleanup");
+    let (id, _) = h.spool.submit(&small_spec(9)).unwrap();
+    let report = h.serve_once();
+    assert_eq!(report.jobs_completed, 1, "{report:?}");
+    assert!(
+        !h.spool.checkpoint_dir(&id).exists(),
+        "checkpoints must not outlive a completed job"
+    );
+    assert!(h.spool.cache_dir().join(format!("{id}.res")).exists());
+    // The rerun never recomputes: zero shards run, cache hit recorded.
+    h.spool.submit(&small_spec(9)).unwrap();
+    let report = h.serve_once();
+    assert_eq!(
+        (report.jobs_completed, report.cache_hits),
+        (1, 1),
+        "{report:?}"
+    );
+    let result = JobResult::from_json(&h.spool.result_json(&id).unwrap()).unwrap();
+    assert!(result.cache_hit);
+    assert_eq!(result.shards_run, 0, "cache hits must not recompute");
+}

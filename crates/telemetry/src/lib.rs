@@ -16,8 +16,11 @@
 //! [`Tracer`].  Emission never blocks: under backpressure events are
 //! dropped and counted ([`Tracer::dropped`]), and the per-event sequence
 //! number still advances, so gaps in the file pinpoint where drops
-//! happened.  [`Tracer::finish`] returns a [`TraceSummary`] with
-//! emitted/written/dropped counts.
+//! happened.  Sink write errors are likewise counted
+//! ([`Tracer::io_errors`]) rather than panicked over or silently
+//! swallowed.  [`Tracer::finish`] returns a [`TraceSummary`] whose
+//! counts account for every event exactly once:
+//! `emitted == written + dropped + io_errors`.
 //!
 //! ## Metrics registry
 //!

@@ -321,7 +321,9 @@ impl TraceEvent {
     }
 }
 
-/// Counters describing what a finished [`Tracer`] did.
+/// Counters describing what a finished [`Tracer`] did. Every emitted
+/// event is accounted for exactly once:
+/// `emitted == written + dropped + io_errors`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceSummary {
     /// Events accepted by `emit` (dropped or not).
@@ -330,11 +332,15 @@ pub struct TraceSummary {
     pub written: u64,
     /// Events dropped because the channel was full.
     pub dropped: u64,
+    /// Events lost because the sink's write failed (counted, never
+    /// panicked over — a broken sink must not take the run down).
+    pub io_errors: u64,
 }
 
 struct Shared {
     seq: AtomicU64,
     dropped: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 /// Non-blocking trace emitter backed by a writer thread.
@@ -353,18 +359,28 @@ impl Tracer {
     /// at `capacity` events.
     pub fn new(sink: Box<dyn Write + Send>, capacity: usize) -> Self {
         let (tx, rx) = sync_channel::<String>(capacity.max(1));
+        let shared = Arc::new(Shared {
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        });
+        let writer_shared = Arc::clone(&shared);
         let writer = std::thread::Builder::new()
             .name("muse-trace".into())
             .spawn(move || {
                 // Lines go to the sink unbuffered: a slow sink must show up
                 // as channel backpressure (and dropped events), not hide
-                // behind an in-memory buffer that defers the stall.
+                // behind an in-memory buffer that defers the stall. A
+                // *failing* sink is counted per lost line — never a panic,
+                // never silent — so callers can surface the loss.
                 let mut sink = sink;
                 let mut written = 0u64;
                 for mut line in rx {
                     line.push('\n');
                     if sink.write_all(line.as_bytes()).is_ok() {
                         written += 1;
+                    } else {
+                        writer_shared.io_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 let _ = sink.flush();
@@ -373,10 +389,7 @@ impl Tracer {
             .expect("spawn trace writer thread");
         Self {
             tx: Some(tx),
-            shared: Arc::new(Shared {
-                seq: AtomicU64::new(0),
-                dropped: AtomicU64::new(0),
-            }),
+            shared,
             writer: Some(writer),
         }
     }
@@ -411,6 +424,13 @@ impl Tracer {
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
+    /// Events lost to sink write errors so far. (The count trails the
+    /// writer thread slightly; [`Tracer::finish`] returns the settled
+    /// total.)
+    pub fn io_errors(&self) -> u64 {
+        self.shared.io_errors.load(Ordering::Relaxed)
+    }
+
     /// Closes the channel, joins the writer thread, and returns the final
     /// counters.  Clones of this tracer become inert (their emits count as
     /// dropped).
@@ -424,6 +444,7 @@ impl Tracer {
             emitted: self.shared.seq.load(Ordering::Relaxed),
             written,
             dropped: self.shared.dropped.load(Ordering::Relaxed),
+            io_errors: self.shared.io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -606,6 +627,68 @@ mod tests {
         assert_eq!(summary.emitted, n);
         assert!(summary.dropped > 0, "expected drops under backpressure");
         assert_eq!(summary.written + summary.dropped, n);
+    }
+
+    #[test]
+    fn failing_sink_counts_io_errors_instead_of_panicking() {
+        // Every write fails: nothing lands, nothing panics, every event
+        // is accounted for as an io_error.
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+        }
+        let tracer = Tracer::new(Box::new(FailingSink), 64);
+        let events = sample_events();
+        for event in &events {
+            tracer.emit(event);
+        }
+        let summary = tracer.finish();
+        assert_eq!(summary.emitted, events.len() as u64);
+        assert_eq!(summary.written, 0);
+        assert_eq!(summary.io_errors + summary.dropped, events.len() as u64);
+        assert!(summary.io_errors > 0);
+        assert_eq!(
+            summary.emitted,
+            summary.written + summary.dropped + summary.io_errors,
+            "every event must be accounted for exactly once"
+        );
+    }
+
+    #[test]
+    fn intermittent_sink_failures_account_for_every_event() {
+        // The sink fails on every third line; written + io_errors must
+        // still cover everything that reached the writer.
+        struct Flaky(u64);
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0 += 1;
+                if self.0.is_multiple_of(3) {
+                    Err(std::io::Error::other("intermittent"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Box::new(Flaky(0)), 256);
+        for i in 0..30u32 {
+            tracer.emit(&TraceEvent::ShardStart {
+                shard: i,
+                dimm_lo: 0,
+                dimm_hi: 1,
+            });
+        }
+        let summary = tracer.finish();
+        assert_eq!(summary.emitted, 30);
+        assert_eq!(summary.written + summary.dropped + summary.io_errors, 30);
+        assert!(summary.io_errors > 0 && summary.written > 0);
     }
 
     #[test]
