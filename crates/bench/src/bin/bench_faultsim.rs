@@ -1,9 +1,16 @@
 //! Machine-readable fault-simulation performance snapshot.
 //!
-//! Measures trials/second for every simulator at one worker and at all
-//! workers, plus the pre-engine naive MSED baseline, and writes
-//! `BENCH_faultsim.json` to the current directory so later PRs can compare
-//! against a recorded trajectory.
+//! Measures trials/second for every simulator, plus the pre-engine naive
+//! MSED baseline and a thread-scaling sweep of the flagship MSED kernel,
+//! and writes `BENCH_faultsim.json` (schema `faultsim-bench/v3`, field
+//! reference in the `muse-bench` crate docs) to the current directory so
+//! later PRs can compare against a recorded trajectory.
+//!
+//! Single-core honesty: on a 1-core host an `all_threads` leg would just
+//! re-measure the serial path with jitter, so rows carry one canonical
+//! `one_thread` measurement, `msed_speedup_vs_naive.all_threads` is
+//! omitted, and the sweep rows beyond 1 thread are emitted as explicit
+//! `"skipped_single_core": true` markers instead of noise.
 //!
 //! Usage: `cargo run --release --bin bench_faultsim [trials]`
 
@@ -29,11 +36,42 @@ fn measure(mut f: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Measures a simulator serially and, on multi-core hosts only, at all
+/// workers. A 1-core "all threads" leg is the serial path re-timed with
+/// jitter, so it is not measured at all there.
+fn measure_pair(single_core: bool, mut run: impl FnMut(usize)) -> (f64, Option<f64>) {
+    let one = measure(|| run(1));
+    let all = (!single_core).then(|| measure(|| run(0)));
+    (one, all)
+}
+
+/// Sweep points 1, 2, 4, … up to the core count (which is appended when
+/// not itself a power of two). A 1-core host keeps the canonical
+/// [1, 2, 4] shape so consumers always see the same rows; the >1 entries
+/// are emitted as `skipped_single_core` markers.
+fn sweep_points(logical_cores: usize) -> Vec<usize> {
+    let cap = logical_cores.max(4);
+    let mut points = Vec::new();
+    let mut t = 1;
+    while t <= cap {
+        points.push(t);
+        t *= 2;
+    }
+    if logical_cores > 1 && !points.contains(&logical_cores) {
+        points.push(logical_cores);
+        points.sort_unstable();
+    }
+    if logical_cores > 1 {
+        points.retain(|&p| p <= logical_cores);
+    }
+    points
+}
+
 struct Row {
     name: &'static str,
     trials: u64,
     secs_one: f64,
-    secs_all: f64,
+    secs_all: Option<f64>,
 }
 
 impl Row {
@@ -42,19 +80,22 @@ impl Row {
     }
 
     fn json(&self) -> String {
-        format!(
-            concat!(
-                "    {{\"name\": \"{}\", \"trials\": {}, ",
-                "\"one_thread\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}, ",
-                "\"all_threads\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}}}"
-            ),
+        let mut row = format!(
+            "    {{\"name\": \"{}\", \"trials\": {}, \"one_thread\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}",
             self.name,
             self.trials,
             self.secs_one,
             Self::rate(self.trials, self.secs_one),
-            self.secs_all,
-            Self::rate(self.trials, self.secs_all),
-        )
+        );
+        if let Some(secs_all) = self.secs_all {
+            row.push_str(&format!(
+                ", \"all_threads\": {{\"seconds\": {:.6}, \"trials_per_sec\": {:.0}}}",
+                secs_all,
+                Self::rate(self.trials, secs_all),
+            ));
+        }
+        row.push('}');
+        row
     }
 }
 
@@ -64,6 +105,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(20_000);
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single_core = threads_available == 1;
 
     let muse = presets::muse_144_132();
     let muse_asym = presets::muse_80_67();
@@ -95,10 +137,10 @@ fn main() {
         name: "msed_naive_wide_serial",
         trials,
         secs_one: naive_secs,
-        secs_all: naive_secs,
+        secs_all: None,
     }];
 
-    let mut push = |name: &'static str, n: u64, one: f64, all: f64| {
+    let mut push = |name: &'static str, n: u64, (one, all): (f64, Option<f64>)| {
         rows.push(Row {
             name,
             trials: n,
@@ -107,151 +149,171 @@ fn main() {
         });
     };
 
-    let one = measure(|| {
-        std::hint::black_box(muse_msed(&muse, msed_cfg(1)));
-    });
-    let all = measure(|| {
-        std::hint::black_box(muse_msed(&muse, msed_cfg(0)));
-    });
-    push("msed_muse_144_132", trials, one, all);
+    push(
+        "msed_muse_144_132",
+        trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(muse_msed(&muse, msed_cfg(t)));
+        }),
+    );
 
-    let one = measure(|| {
-        std::hint::black_box(rs_msed(&rs, 4, RsDetectMode::DeviceConfined, msed_cfg(1)));
-    });
-    let all = measure(|| {
-        std::hint::black_box(rs_msed(&rs, 4, RsDetectMode::DeviceConfined, msed_cfg(0)));
-    });
-    push("msed_rs_144_128", trials, one, all);
+    push(
+        "msed_rs_144_128",
+        trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(rs_msed(&rs, 4, RsDetectMode::DeviceConfined, msed_cfg(t)));
+        }),
+    );
 
     // The t = 2 row measures the retired wide-PGZ-per-trial fallback's
-    // replacement: syndrome-domain double-error location.
+    // replacement: closed-form syndrome-domain double-error location.
     let rs_t2 = RsMemoryCode::new(8, 144, 2).expect("geometry");
-    let one = measure(|| {
-        std::hint::black_box(rs_msed(
-            &rs_t2,
-            4,
-            RsDetectMode::DeviceConfined,
-            msed_cfg(1),
-        ));
-    });
-    let all = measure(|| {
-        std::hint::black_box(rs_msed(
-            &rs_t2,
-            4,
-            RsDetectMode::DeviceConfined,
-            msed_cfg(0),
-        ));
-    });
-    push("msed_rs_144_112_t2", trials, one, all);
+    push(
+        "msed_rs_144_112_t2",
+        trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(rs_msed(
+                &rs_t2,
+                4,
+                RsDetectMode::DeviceConfined,
+                msed_cfg(t),
+            ));
+        }),
+    );
 
     let pim = presets::muse_268_256();
-    let one = measure(|| {
-        std::hint::black_box(muse_msed(&pim, msed_cfg(1)));
-    });
-    let all = measure(|| {
-        std::hint::black_box(muse_msed(&pim, msed_cfg(0)));
-    });
-    push("msed_muse_268_256", trials, one, all);
+    push(
+        "msed_muse_268_256",
+        trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(muse_msed(&pim, msed_cfg(t)));
+        }),
+    );
 
-    let one = measure(|| {
-        std::hint::black_box(simulate_retention_threaded(
-            &muse_asym,
-            &retention_model,
-            1024.0,
-            trials,
-            1,
-            1,
-        ));
-    });
-    let all = measure(|| {
-        std::hint::black_box(simulate_retention_threaded(
-            &muse_asym,
-            &retention_model,
-            1024.0,
-            trials,
-            1,
-            0,
-        ));
-    });
-    push("retention_muse_80_67", trials, one, all);
+    push(
+        "retention_muse_80_67",
+        trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(simulate_retention_threaded(
+                &muse_asym,
+                &retention_model,
+                1024.0,
+                trials,
+                1,
+                t,
+            ));
+        }),
+    );
 
-    let one = measure(|| {
-        std::hint::black_box(simulate_attacks_threaded(
-            &muse80,
-            &hasher,
-            8,
-            line_trials,
-            9,
-            1,
-        ));
-    });
-    let all = measure(|| {
-        std::hint::black_box(simulate_attacks_threaded(
-            &muse80,
-            &hasher,
-            8,
-            line_trials,
-            9,
-            0,
-        ));
-    });
-    push("rowhammer_muse_80_69", line_trials, one, all);
+    push(
+        "rowhammer_muse_80_69",
+        line_trials,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(simulate_attacks_threaded(
+                &muse80,
+                &hasher,
+                8,
+                line_trials,
+                9,
+                t,
+            ));
+        }),
+    );
 
     let ondie_words = trials / 40; // each word simulates 36 on-die devices
-    let ondie = |threads| {
-        measure(|| {
+    push(
+        "ondie_stacked_144_132",
+        ondie_words,
+        measure_pair(single_core, |t| {
             std::hint::black_box(simulate_stack_threaded(
                 Stack::Stacked,
                 Some(&muse),
                 1e-3,
                 ondie_words,
                 3,
-                threads,
+                t,
             ));
-        })
-    };
-    push("ondie_stacked_144_132", ondie_words, ondie(1), ondie(0));
+        }),
+    );
 
-    let scrub = |threads| {
-        measure(|| {
-            std::hint::black_box(simulate_scrubbing_threaded(
-                &muse80,
-                &scrub_cfg(()),
-                threads,
-            ));
-        })
-    };
-    push("scrub_muse_80_69", scrub_cfg(()).words, scrub(1), scrub(0));
+    push(
+        "scrub_muse_80_69",
+        scrub_cfg(()).words,
+        measure_pair(single_core, |t| {
+            std::hint::black_box(simulate_scrubbing_threaded(&muse80, &scrub_cfg(()), t));
+        }),
+    );
 
-    let fit = |threads| {
-        measure(|| {
+    push(
+        "fit_two_devices_144_132",
+        trials,
+        measure_pair(single_core, |t| {
             std::hint::black_box(measure_mode_threaded(
                 &muse,
                 FailureMode::TwoDevices,
                 trials,
                 17,
-                threads,
+                t,
             ));
-        })
-    };
-    push("fit_two_devices_144_132", trials, fit(1), fit(0));
+        }),
+    );
 
-    let engine_row = &rows[1];
-    let speedup_one = naive_secs / engine_row.secs_one;
-    let speedup_all = naive_secs / engine_row.secs_all;
+    // Thread-scaling sweep of the flagship MSED kernel: 1, 2, 4, … up to
+    // the core count, with per-row parallel efficiency relative to the
+    // 1-thread rate. On a 1-core host the >1 rows are skipped markers.
+    let sweep_serial_secs = rows[1].secs_one;
+    let sweep_serial_rate = Row::rate(trials, sweep_serial_secs);
+    let mut sweep_rows = Vec::new();
+    for threads in sweep_points(threads_available) {
+        if threads == 1 {
+            sweep_rows.push(format!(
+                "      {{\"threads\": 1, \"seconds\": {:.6}, \"trials_per_sec\": {:.0}, \"efficiency\": 1.0}}",
+                sweep_serial_secs, sweep_serial_rate,
+            ));
+        } else if single_core {
+            sweep_rows.push(format!(
+                "      {{\"threads\": {threads}, \"skipped_single_core\": true}}"
+            ));
+        } else {
+            let secs = measure(|| {
+                std::hint::black_box(muse_msed(&muse, msed_cfg(threads)));
+            });
+            let rate = Row::rate(trials, secs);
+            sweep_rows.push(format!(
+                "      {{\"threads\": {}, \"seconds\": {:.6}, \"trials_per_sec\": {:.0}, \"efficiency\": {:.3}}}",
+                threads,
+                secs,
+                rate,
+                rate / (sweep_serial_rate * threads as f64),
+            ));
+        }
+    }
+
+    let speedup_one = naive_secs / rows[1].secs_one;
+    let speedup_all = rows[1].secs_all.map(|secs| naive_secs / secs);
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"faultsim-bench/v2\",\n");
+    json.push_str("  \"schema\": \"faultsim-bench/v3\",\n");
     json.push_str(&format!(
         "  \"host\": {},\n",
         muse_bench::HostInfo::detect().json()
     ));
     json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
     json.push_str(&format!("  \"trials\": {trials},\n"));
+    match speedup_all {
+        Some(all) => json.push_str(&format!(
+            "  \"msed_speedup_vs_naive\": {{\"one_thread\": {speedup_one:.2}, \"all_threads\": {all:.2}}},\n"
+        )),
+        None => json.push_str(&format!(
+            "  \"msed_speedup_vs_naive\": {{\"one_thread\": {speedup_one:.2}}},\n"
+        )),
+    }
     json.push_str(&format!(
-        "  \"msed_speedup_vs_naive\": {{\"one_thread\": {speedup_one:.2}, \"all_threads\": {speedup_all:.2}}},\n"
+        "  \"thread_sweep\": {{\"name\": \"msed_muse_144_132\", \"trials\": {trials}, \"rows\": [\n"
     ));
+    json.push_str(&sweep_rows.join(",\n"));
+    json.push_str("\n    ]},\n");
     json.push_str("  \"results\": [\n");
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     json.push_str(&body.join(",\n"));
@@ -265,15 +327,24 @@ fn main() {
         "simulator", "1-thread/s", "all-threads/s", "trials"
     );
     for row in &rows {
+        let all = row.secs_all.map_or_else(
+            || "-".into(),
+            |s| format!("{:.0}", Row::rate(row.trials, s)),
+        );
         println!(
-            "{:<26} {:>14.0} {:>14.0} {:>10}",
+            "{:<26} {:>14.0} {:>14} {:>10}",
             row.name,
             Row::rate(row.trials, row.secs_one),
-            Row::rate(row.trials, row.secs_all),
+            all,
             row.trials
         );
     }
-    println!(
-        "\nmuse_msed vs naive wide loop: {speedup_one:.2}x (1 thread), {speedup_all:.2}x ({threads_available} threads)"
-    );
+    match speedup_all {
+        Some(all) => println!(
+            "\nmuse_msed vs naive wide loop: {speedup_one:.2}x (1 thread), {all:.2}x ({threads_available} threads)"
+        ),
+        None => println!(
+            "\nmuse_msed vs naive wide loop: {speedup_one:.2}x (1 thread; single-core host, no parallel leg)"
+        ),
+    }
 }

@@ -1,16 +1,22 @@
 //! Machine-readable fleet-lifetime performance + rate snapshot.
 //!
 //! Measures the lifetime simulator's throughput (DIMM-epochs/sec and
-//! erasure-mode classifications/sec, at one worker and at all workers) on
-//! an erasure-heavy configuration, the checkpoint overhead of the
-//! crash-safe sharded runner (plain vs checkpointed vs resumed-from-half),
-//! runs the full scenario matrix at the default fleet configuration —
-//! once with the naive estimator and once with importance sampling — and
-//! writes `BENCH_lifetime.json` (schema `lifetime-bench/v3`, field
-//! reference in the `muse-bench` crate docs). Every scenario row carries
-//! its estimator, 95% confidence intervals, and a rendered rate string
-//! that reports zero observed events as the rule-of-three upper bound
-//! rather than a bare zero.
+//! erasure-mode classifications/sec) on an erasure-heavy configuration
+//! with a worker-count sweep (1, 2, 4, … up to the core count), the
+//! checkpoint overhead of the crash-safe sharded runner (plain vs
+//! checkpointed vs resumed-from-half), runs the full scenario matrix at
+//! the default fleet configuration — once with the naive estimator and
+//! once with importance sampling — and writes `BENCH_lifetime.json`
+//! (schema `lifetime-bench/v4`, field reference in the `muse-bench`
+//! crate docs). Every scenario row carries its estimator, 95% confidence
+//! intervals, and a rendered rate string that reports zero observed
+//! events as the rule-of-three upper bound rather than a bare zero.
+//!
+//! Single-core honesty: a 1-core "all threads" leg is the serial path
+//! re-timed with jitter, so on such hosts the throughput rows carry one
+//! canonical `one_thread` measurement (no `all_threads` object) and the
+//! sweep rows beyond 1 worker are explicit `"skipped_single_core": true`
+//! markers.
 //!
 //! Usage:
 //!
@@ -38,6 +44,28 @@ fn measure(mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Sweep points 1, 2, 4, … up to the core count (which is appended when
+/// not itself a power of two). A 1-core host keeps the canonical
+/// [1, 2, 4] shape so consumers always see the same rows; the >1 entries
+/// are emitted as `skipped_single_core` markers.
+fn sweep_points(logical_cores: usize) -> Vec<usize> {
+    let cap = logical_cores.max(4);
+    let mut points = Vec::new();
+    let mut t = 1;
+    while t <= cap {
+        points.push(t);
+        t *= 2;
+    }
+    if logical_cores > 1 && !points.contains(&logical_cores) {
+        points.push(logical_cores);
+        points.sort_unstable();
+    }
+    if logical_cores > 1 {
+        points.retain(|&p| p <= logical_cores);
+    }
+    points
 }
 
 /// The erasure-heavy throughput configuration: every DIMM starts degraded
@@ -119,14 +147,19 @@ fn main() {
         );
     }
 
-    // Throughput: erasure-heavy fleet, MUSE and RS, 1 thread vs all.
+    let single_core = threads_available == 1;
+
+    // Throughput: erasure-heavy fleet, MUSE and RS. One canonical serial
+    // measurement per code; the parallel leg only exists on multi-core
+    // hosts. The first code additionally gets the worker-count sweep.
     let (thr_env, thr_config) = throughput_setup();
     let thr_codes = [
         FleetCode::muse(muse_core::presets::muse_80_69()),
         FleetCode::rs(muse_rs::RsMemoryCode::new(8, 144, 1).expect("geometry"), 4),
     ];
     let mut throughput_rows = Vec::new();
-    for code in &thr_codes {
+    let mut sweep_rows = Vec::new();
+    for (idx, code) in thr_codes.iter().enumerate() {
         let run = |threads: usize| {
             let config = FleetConfig {
                 threads,
@@ -140,7 +173,6 @@ fn main() {
             (secs, tally)
         };
         let (secs_one, tally) = run(1);
-        let (secs_all, _) = run(0);
         let epochs = tally.epochs as f64;
         let reads = tally.erasure_reads as f64;
         println!(
@@ -150,13 +182,11 @@ fn main() {
             reads / secs_one,
             tally.erasure_reads,
         );
-        throughput_rows.push(format!(
+        let mut row = format!(
             concat!(
                 "    {{\"code\": \"{}\", \"epochs\": {}, \"erasure_reads\": {}, ",
                 "\"one_thread\": {{\"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, ",
-                "\"erasure_reads_per_sec\": {:.0}}}, ",
-                "\"all_threads\": {{\"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, ",
-                "\"erasure_reads_per_sec\": {:.0}}}}}"
+                "\"erasure_reads_per_sec\": {:.0}}}"
             ),
             code.name(),
             tally.epochs,
@@ -164,10 +194,49 @@ fn main() {
             secs_one,
             epochs / secs_one,
             reads / secs_one,
-            secs_all,
-            epochs / secs_all,
-            reads / secs_all,
-        ));
+        );
+        if !single_core {
+            let (secs_all, _) = run(0);
+            row.push_str(&format!(
+                concat!(
+                    ", \"all_threads\": {{\"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, ",
+                    "\"erasure_reads_per_sec\": {:.0}}}"
+                ),
+                secs_all,
+                epochs / secs_all,
+                reads / secs_all,
+            ));
+        }
+        row.push('}');
+        throughput_rows.push(row);
+
+        // Worker-count sweep over the first (MUSE erasure-heavy) code with
+        // per-row parallel efficiency vs the 1-worker rate.
+        if idx == 0 {
+            let serial_rate = epochs / secs_one;
+            for threads in sweep_points(threads_available) {
+                if threads == 1 {
+                    sweep_rows.push(format!(
+                        "      {{\"threads\": 1, \"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, \"efficiency\": 1.0}}",
+                        secs_one, serial_rate,
+                    ));
+                } else if single_core {
+                    sweep_rows.push(format!(
+                        "      {{\"threads\": {threads}, \"skipped_single_core\": true}}"
+                    ));
+                } else {
+                    let (secs, _) = run(threads);
+                    let rate = epochs / secs;
+                    sweep_rows.push(format!(
+                        "      {{\"threads\": {}, \"seconds\": {:.6}, \"epochs_per_sec\": {:.0}, \"efficiency\": {:.3}}}",
+                        threads,
+                        secs,
+                        rate,
+                        rate / (serial_rate * threads as f64),
+                    ));
+                }
+            }
+        }
     }
 
     // Checkpoint overhead of the crash-safe sharded runner: the same
@@ -281,7 +350,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"lifetime-bench/v3\",\n");
+    json.push_str("  \"schema\": \"lifetime-bench/v4\",\n");
     json.push_str(&format!(
         "  \"host\": {},\n",
         muse_bench::HostInfo::detect().json()
@@ -303,6 +372,12 @@ fn main() {
     json.push_str("  \"throughput\": [\n");
     json.push_str(&throughput_rows.join(",\n"));
     json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"thread_sweep\": {{\"code\": \"{}\", \"rows\": [\n",
+        thr_codes[0].name()
+    ));
+    json.push_str(&sweep_rows.join(",\n"));
+    json.push_str("\n    ]},\n");
     json.push_str(&resume_json);
     json.push_str("  \"scenarios\": [\n");
     let body: Vec<String> = reports.iter().map(scenario_json).collect();

@@ -26,52 +26,81 @@
 //! `cargo run --release -p muse-bench --bin bench_faultsim [trials]`
 //! measures every fault simulator and (over)writes `BENCH_faultsim.json`
 //! in the current directory, so each PR's hot-path numbers land next to
-//! the previous baseline. Schema `faultsim-bench/v2` (v2 added the
-//! `host` object so trajectories are never compared across machines
-//! unknowingly):
+//! the previous baseline. Schema `faultsim-bench/v3` (v3 added the
+//! `thread_sweep` object and made every parallel-leg field honest on
+//! single-core hosts — see below; v2 added the `host` object so
+//! trajectories are never compared across machines unknowingly):
 //!
 //! ```json
 //! {
-//!   "schema": "faultsim-bench/v2",
-//!   "host": {"logical_cores": 1, "os": "linux", "arch": "x86_64"},
-//!   "threads_available": 1,          // CPUs visible to the run
+//!   "schema": "faultsim-bench/v3",
+//!   "host": {"logical_cores": 8, "os": "linux", "arch": "x86_64"},
+//!   "threads_available": 8,          // CPUs visible to the run
 //!   "trials": 20000,                 // base trial count (CLI arg)
-//!   "msed_speedup_vs_naive": {"one_thread": 4.8, "all_threads": 4.7},
+//!   "msed_speedup_vs_naive": {"one_thread": 9.8, "all_threads": 61.2},
+//!   "thread_sweep": {                // flagship MSED kernel scaling proof
+//!     "name": "msed_muse_144_132",
+//!     "trials": 20000,
+//!     "rows": [
+//!       {"threads": 1, "seconds": 0.0003, "trials_per_sec": 60000000,
+//!        "efficiency": 1.0},          // rate / (serial_rate * threads)
+//!       {"threads": 2, "seconds": 0.0002, "trials_per_sec": 112000000,
+//!        "efficiency": 0.93}
+//!     ]
+//!   },
 //!   "results": [
 //!     {
 //!       "name": "msed_muse_144_132", // simulator + code under test
 //!       "trials": 20000,             // this row's trial count (some rows
 //!                                    // scale the base count down because a
 //!                                    // trial covers many words/devices)
-//!       "one_thread":  {"seconds": 0.0008, "trials_per_sec": 26000000},
-//!       "all_threads": {"seconds": 0.0008, "trials_per_sec": 26000000}
+//!       "one_thread":  {"seconds": 0.0003, "trials_per_sec": 60000000},
+//!       "all_threads": {"seconds": 0.0001, "trials_per_sec": 448000000}
 //!     }
 //!   ]
 //! }
 //! ```
 //!
+//! **Single-core hosts** (`host.logical_cores == 1`): an "all threads"
+//! leg there would just re-time the serial path with jitter, so the
+//! emitter measures one canonical `one_thread` object per row (no
+//! `all_threads` key), omits `msed_speedup_vs_naive.all_threads` rather
+//! than reporting a sub-1x artifact, and keeps the sweep's canonical
+//! `[1, 2, 4]` row shape with the >1 rows as explicit markers:
+//!
+//! ```json
+//! {"threads": 2, "skipped_single_core": true}
+//! ```
+//!
 //! Timings are best-of-3 wall-clock; `msed_naive_wide_serial` is the
-//! pre-engine wide-word loop kept as the speedup baseline, and
+//! pre-engine wide-word loop kept as the speedup baseline (serial by
+//! definition — it never has an `all_threads` leg), and
 //! `msed_rs_144_112_t2` tracks the syndrome-domain `t = 2` RS path that
 //! replaced the wide-PGZ-per-trial fallback. CI validates the committed
-//! file against this schema (including the required simulator rows).
-//! Regenerate on a quiet machine and commit the file when a PR changes
-//! simulator performance.
+//! file against this schema (including the required simulator rows and
+//! the sweep shape) and asserts a freshly measured
+//! `msed_speedup_vs_naive.one_thread` floor so kernel regressions fail
+//! loudly. Regenerate on a quiet machine and commit the file when a PR
+//! changes simulator performance.
 //!
 //! # The `BENCH_lifetime.json` fleet snapshot
 //!
 //! `cargo run --release -p muse-bench --bin bench_lifetime` measures the
 //! fleet-lifetime simulator (`muse-lifetime`) and (over)writes
-//! `BENCH_lifetime.json`. Schema `lifetime-bench/v3` (v3 added the
-//! `host` object; v2 added the per-row estimator tag, event counts,
-//! 95% confidence intervals, and the rendered rate strings; v1 rows
-//! carried only the bare point rates):
+//! `BENCH_lifetime.json`. Schema `lifetime-bench/v4` (v4 added the
+//! `thread_sweep` object and the single-core honesty rule — on 1-core
+//! hosts the throughput rows carry only `one_thread` and the sweep rows
+//! beyond 1 worker are `{"threads": N, "skipped_single_core": true}`
+//! markers, exactly as in `faultsim-bench/v3`; v3 added the `host`
+//! object; v2 added the per-row estimator tag, event counts, 95%
+//! confidence intervals, and the rendered rate strings; v1 rows carried
+//! only the bare point rates):
 //!
 //! ```json
 //! {
-//!   "schema": "lifetime-bench/v3",
-//!   "host": {"logical_cores": 1, "os": "linux", "arch": "x86_64"},
-//!   "threads_available": 1,     // CPUs visible to the run
+//!   "schema": "lifetime-bench/v4",
+//!   "host": {"logical_cores": 8, "os": "linux", "arch": "x86_64"},
+//!   "threads_available": 8,     // CPUs visible to the run
 //!   "smoke": false,             // true under the CI `--smoke` mode
 //!   "fleet": {                  // the scenario-matrix configuration
 //!     "dimms": 1024, "years": 5.0, "scrub_interval_hours": 12.0,
@@ -84,10 +113,19 @@
 //!       "erasure_reads": 158721, // degraded-mode classifications per run
 //!       "one_thread":  {"seconds": 0.04, "epochs_per_sec": 700000,
 //!                       "erasure_reads_per_sec": 13000000},
-//!       "all_threads": {"seconds": 0.04, "epochs_per_sec": 700000,
-//!                       "erasure_reads_per_sec": 13000000}
+//!       "all_threads": {"seconds": 0.01, "epochs_per_sec": 4900000,
+//!                       "erasure_reads_per_sec": 91000000}
 //!     }
 //!   ],
+//!   "thread_sweep": {           // worker scaling of the first code
+//!     "code": "MUSE(80,69)",
+//!     "rows": [
+//!       {"threads": 1, "seconds": 0.04, "epochs_per_sec": 700000,
+//!        "efficiency": 1.0},    // rate / (serial_rate * threads)
+//!       {"threads": 2, "seconds": 0.02, "epochs_per_sec": 1300000,
+//!        "efficiency": 0.93}
+//!     ]
+//!   },
 //!   "resume": {                 // crash-safe sharded-runner overhead
 //!     "shards": 8,              // shard count of the measured run
 //!     "checkpoint_writes": 8,   // generations persisted

@@ -383,8 +383,38 @@ pub(crate) fn content_from_raw(
 /// the `i`-th strike's `(distinct-symbol draw, final nonzero pattern, raw
 /// content bits)`. Classification reproduces the wide decoder bit-for-bit
 /// (property-tested below alongside [`classify`]).
-#[inline]
+#[inline(always)]
 pub(crate) fn msed_inline_trial(
+    kernel: &SyndromeKernel,
+    x_pick: Bounded32,
+    rng: &mut Rng,
+    trial: &mut InlineTrial,
+    draws: &[(u32, u16, u16)],
+) -> TrialOutcome {
+    assert!(
+        draws.len() <= MAX_STRIKES,
+        "at most {MAX_STRIKES} simultaneous device failures on the fast path"
+    );
+    let mut resolved = [(0u32, 0u16, 0u16); MAX_STRIKES];
+    let mut chosen = [0usize; MAX_STRIKES];
+    for (i, (&(sym_draw, pattern, raw), slot)) in draws.iter().zip(&mut resolved).enumerate() {
+        let sym = place_distinct(&mut chosen, i, sym_draw as usize);
+        *slot = (sym as u32, pattern, raw);
+    }
+    msed_inline_trial_resolved(kernel, x_pick, rng, trial, &resolved[..draws.len()])
+}
+
+/// [`msed_inline_trial`] with the distinct-symbol resolution already done:
+/// `draws[i]` carries the `i`-th strike's final symbol index instead of its
+/// distinct draw. The lane kernel's ordered replay enters here — its lane
+/// pass resolved every symbol up front — drawing live randomness in exactly
+/// the places (and order) the draw-for-draw scalar path would.
+///
+/// `inline(always)`: both callers are per-trial hot loops, and a real call
+/// here forces the strike array through memory (measured ~2× on the MSED
+/// columnar path).
+#[inline(always)]
+pub(crate) fn msed_inline_trial_resolved(
     kernel: &SyndromeKernel,
     x_pick: Bounded32,
     rng: &mut Rng,
@@ -398,13 +428,11 @@ pub(crate) fn msed_inline_trial(
     trial.x = None;
     trial.extra = None;
     trial.len = draws.len();
-    let mut chosen = [0usize; MAX_STRIKES];
     let mut rem = 0u64;
-    for (i, &(sym_draw, pattern, raw)) in draws.iter().enumerate() {
-        let sym = place_distinct(&mut chosen, i, sym_draw as usize);
-        let content = content_from_raw(kernel, x_pick, rng, &mut trial.x, sym, raw);
-        rem = kernel.add_mod(rem, kernel.flip_delta(sym, content, pattern));
-        trial.strikes[i] = (sym as u32, pattern, content);
+    for (i, &(sym, pattern, raw)) in draws.iter().enumerate() {
+        let content = content_from_raw(kernel, x_pick, rng, &mut trial.x, sym as usize, raw);
+        rem = kernel.add_mod(rem, kernel.flip_delta(sym as usize, content, pattern));
+        trial.strikes[i] = (sym, pattern, content);
     }
     let (outcome, extra) = classify_strikes(
         kernel,
@@ -416,6 +444,91 @@ pub(crate) fn msed_inline_trial(
     );
     trial.extra = extra;
     outcome
+}
+
+/// One double-strike MSED trial from the k = 2 fully-columnar draw scheme,
+/// with *no* live randomness: every observation is pre-drawn in bulk —
+///
+/// * `quad ∈ [0, n(n−1)·(2^w−1)²)` — one quad-packed bounded draw carrying
+///   both distinct symbols *and* both nonzero patterns. The symbol pair is
+///   `quad mod n(n−1)` (first strike `· / (n−1)`, second `· mod (n−1)`
+///   adjusted past it — a uniform ordered pair of distinct symbols); the
+///   pattern pair is `quad / n(n−1)`, split by `2^w−1` and offset by 1
+///   (uniform width `w` only, and only while the product fits `u32`);
+/// * `cnt` — two raw 16-bit contents, strike 0 in the low half;
+/// * `x ∈ [0, m)` — the trial's check value, drawn unconditionally (the
+///   lazy per-trial draw would serialize the stream behind a data-dependent
+///   branch; an unused uniform draw biases nothing);
+/// * `extra` — raw content bits for a correction target outside the
+///   strikes, likewise drawn unconditionally and usually unused.
+///
+/// Returns the outcome plus the outside-strike correction target's
+/// `(symbol, content)` when one was consulted (for reference
+/// reconstruction in tests). This is the draw-for-draw scalar oracle the
+/// lane kernel (`lanes.rs`) is proven bit-identical to.
+#[inline]
+pub(crate) fn msed_trial_k2_cols(
+    kernel: &SyndromeKernel,
+    quad: u32,
+    cnt: u32,
+    x: u64,
+    extra: u32,
+) -> (TrialOutcome, Option<(u32, u16)>) {
+    let n = kernel.num_symbols() as u32;
+    let pb = (1u32 << kernel.symbol_bits(0)) - 1;
+    let sp = quad % (n * (n - 1));
+    let qp = quad / (n * (n - 1));
+    let a = (sp / (n - 1)) as usize;
+    let r = (sp % (n - 1)) as usize;
+    let b = r + (r >= a) as usize;
+    let p0 = 1 + (qp / pb) as u16;
+    let p1 = 1 + (qp % pb) as u16;
+    let content = |sym: usize, raw: u16| {
+        if kernel.needs_check_value(sym) {
+            kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), x)
+        } else {
+            raw & kernel.width_mask(sym)
+        }
+    };
+    let c0 = content(a, cnt as u16);
+    let c1 = content(b, (cnt >> 16) as u16);
+    let rem = kernel.add_mod(kernel.flip_delta(a, c0, p0), kernel.flip_delta(b, c1, p1));
+    if rem == 0 {
+        let intact = p0 & kernel.payload_mask(a) == 0 && p1 & kernel.payload_mask(b) == 0;
+        return if intact {
+            (TrialOutcome::CleanIntact, None)
+        } else {
+            (TrialOutcome::CleanCorrupted, None)
+        };
+    }
+    match kernel.classify(rem) {
+        FastDecode::Clean => unreachable!("nonzero remainder"),
+        FastDecode::Detected => (TrialOutcome::Detected, None),
+        FastDecode::Correct { symbol } => {
+            let mut consulted = None;
+            let (original, injected, other_clean) = if symbol == a {
+                (c0, p0, p1 & kernel.payload_mask(b) == 0)
+            } else if symbol == b {
+                (c1, p1, p0 & kernel.payload_mask(a) == 0)
+            } else {
+                let c = content(symbol, extra as u16);
+                consulted = Some((symbol as u32, c));
+                let clean = p0 & kernel.payload_mask(a) == 0 && p1 & kernel.payload_mask(b) == 0;
+                (c, 0, clean)
+            };
+            let outcome = match kernel.correct(rem, original ^ injected) {
+                None => TrialOutcome::Detected,
+                Some(corrected) => {
+                    if (corrected ^ original) & kernel.payload_mask(symbol) == 0 && other_clean {
+                        TrialOutcome::CorrectedRight
+                    } else {
+                        TrialOutcome::Miscorrected
+                    }
+                }
+            };
+            (outcome, consulted)
+        }
+    }
 }
 
 /// The classification tail shared by [`msed_inline_trial`] and the
@@ -867,6 +980,74 @@ mod tests {
             assert!(
                 reconstructed >= 300,
                 "{}: only {reconstructed}/400 inline trials reconstructable",
+                code.name()
+            );
+        }
+    }
+
+    /// The fully-columnar k = 2 trial against the wide decoder: sample the
+    /// four pre-drawn columns the way `muse_msed` fills them, reconstruct a
+    /// codeword consistent with every observation, and compare outcomes —
+    /// each uniform-width preset (the scheme is undefined on mixed widths).
+    #[test]
+    fn k2_columnar_trials_match_wide_decoder() {
+        for code in preset_codes() {
+            let Some(kernel) = code.kernel() else {
+                continue;
+            };
+            let plan = TrialPlan::new(kernel, 2);
+            if plan.uniform_pattern().is_none() {
+                continue;
+            }
+            let n = kernel.num_symbols() as u32;
+            let pb = (1u32 << kernel.symbol_bits(0)) - 1;
+            let bound = n as u64 * (n - 1) as u64 * pb as u64 * pb as u64;
+            if bound > u32::MAX as u64 {
+                continue; // scheme undefined: quad draw must fit u32
+            }
+            let mut rng = Rng::seeded(0x2C01);
+            let mut reconstructed = 0u32;
+            for t in 0..400 {
+                let quad = rng.below(bound) as u32;
+                let cnt = rng.next_u64() as u32;
+                let x = rng.below(kernel.modulus());
+                let extra = rng.next_u64() as u32;
+                let (fast, consulted) = msed_trial_k2_cols(kernel, quad, cnt, x, extra);
+
+                let sp = quad % (n * (n - 1));
+                let qp = quad / (n * (n - 1));
+                let a = (sp / (n - 1)) as usize;
+                let r = (sp % (n - 1)) as usize;
+                let b = r + (r >= a) as usize;
+                let strikes = [(a, 1 + (qp / pb) as u16), (b, 1 + (qp % pb) as u16)];
+                let content = |sym: usize, raw: u16| {
+                    if kernel.needs_check_value(sym) {
+                        kernel.apply_check_bits(sym, raw & kernel.payload_mask(sym), x)
+                    } else {
+                        raw & kernel.width_mask(sym)
+                    }
+                };
+                let mut observed = vec![None; kernel.num_symbols()];
+                observed[a] = Some(content(a, cnt as u16));
+                observed[b] = Some(content(b, (cnt >> 16) as u16));
+                if let Some((sym, c)) = consulted {
+                    observed[sym as usize] = Some(c);
+                }
+                let Some(cw) = reconstruct(&code, &observed, Some(x)) else {
+                    continue;
+                };
+                reconstructed += 1;
+                let payload = code.payload_of(&cw);
+                let mut corrupted = cw;
+                for &(sym, pattern) in &strikes {
+                    code.symbol_map()
+                        .apply_xor_pattern(&mut corrupted, sym, pattern as u64);
+                }
+                check_outcome(code.name(), t, fast, code.decode(&corrupted), payload);
+            }
+            assert!(
+                reconstructed >= 300,
+                "{}: only {reconstructed}/400 columnar trials reconstructable",
                 code.name()
             );
         }

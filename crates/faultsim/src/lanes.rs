@@ -1,0 +1,801 @@
+//! Lane-parallel (structure-of-arrays) MUSE trial kernel — the
+//! double-symbol MSED hot path for uniform-width symbol layouts.
+//!
+//! The scalar fast path walks one trial at a time: resolve its distinct
+//! symbols, assemble contents, fold residues, probe the fused ELC table.
+//! Each step is a handful of table loads, so the real limit is memory-level
+//! parallelism — consecutive trials serialized behind each other's lookups
+//! and, worse, behind *data-dependent live draws* (the lazily sampled check
+//! value `X`). This module removes both. The k = 2 draw scheme is fully
+//! columnar (see [`fastpath::msed_trial_k2_cols`]): one quad-packed bounded
+//! draw carries a trial's two distinct symbols *and* two nonzero patterns,
+//! and the check value and outside-strike correction content are
+//! unconditional per-trial columns — no live randomness at all. A whole
+//! engine block then moves through the kernel in branchless stages:
+//!
+//! 1. **Decode + fold + probe** (one fused pass per lane): unpack the quad
+//!    draw with divisions by the runtime constants `n(n−1)`, `n−1` and
+//!    `2^w−1` strength-reduced to multiply-shift (domain-verified at
+//!    construction), assemble final contents — check bits included — via a
+//!    per-symbol shift-and-mask of the `X` column
+//!    ([`SyndromeKernel::check_span`]), gather `before`/`after` residues,
+//!    reduce modularly without branches (`x.min(x − m)` compiles to a
+//!    cmov), and probe the fused ELC table. Consecutive lanes share no
+//!    state, so the table loads overlap in the load queue.
+//! 2. **Compact** — indices of trials needing attention (zero syndrome or
+//!    a correction candidate, ~12%) collected with a branch-free
+//!    conditional append; the bulk majority tally as Detected in one
+//!    addition.
+//! 3. **Walk** — the exceptional few re-derive their draws from the
+//!    original columns (pure ALU, cheaper than storing six columns for
+//!    everyone) and finish the exact transition-table classification. No
+//!    trial ever re-enters a scalar replay.
+//!
+//! With the `simd` cargo feature on a runtime-detected AVX2 host, stage 1
+//! runs as a split pipeline instead: a decode pass materializes the strike
+//! columns, and `vpgatherdq` folds four lanes per iteration — bit-identical
+//! to the portable pass (`simd_parity` test, cross-feature CI).
+//!
+//! Unavailable on mixed-width layouts, scattered (non-affine) check spans,
+//! or geometries past the verified divisor domains; `muse_msed` falls back
+//! to the same-stream scalar oracle there, so the lane kernel is an
+//! implementation detail the draws never observe.
+
+use muse_core::SyndromeKernel;
+
+use crate::fastpath::TrialOutcome;
+
+/// Multiply-shift division by a runtime constant (Granlund–Montgomery
+/// round-up magic), exact over a construction-verified dividend domain —
+/// the stage-1 decodes divide every lane by `n(n−1)`, `n−1` and `2^w−1`,
+/// where hardware `div`s would cost more than the rest of the stage.
+#[derive(Clone, Copy)]
+struct MagicDiv {
+    div: u32,
+    magic: u64,
+}
+
+impl MagicDiv {
+    /// A divider exact for all dividends in `[0, div·count)`, or `None`
+    /// when exactness cannot be guaranteed for that domain (the lane
+    /// kernel then defers to the scalar path and its hardware divisions).
+    fn new(div: u32, count: u32) -> Option<Self> {
+        if div == 0 {
+            return None;
+        }
+        let domain = (div as u64).checked_mul(count as u64)?;
+        if domain > 1u64 << 32 {
+            return None;
+        }
+        let magic = (1u64 << 32) / div as u64 + 1;
+        // div·magic = 2^32 + e with e = div − (2^32 mod div) ∈ [1, div];
+        // then ⌊d·magic / 2^32⌋ = ⌊d/div⌋ exactly while d·e < 2^32 (the
+        // round-up variant of Granlund–Montgomery invariant division).
+        let e = div as u64 * magic - (1u64 << 32);
+        if domain.saturating_sub(1) as u128 * e as u128 >= 1u128 << 32 {
+            return None;
+        }
+        let this = Self { div, magic };
+        // Belt and braces for small domains; the analytic bound carries
+        // the rest (and `magic_div_exact` exhausts the large presets).
+        debug_assert!((0..domain.min(1 << 14) as u32).all(|d| this.quot(d) == d / div));
+        Some(this)
+    }
+
+    #[inline]
+    fn quot(self, d: u32) -> u32 {
+        ((d as u64 * self.magic) >> 32) as u32
+    }
+
+    #[inline]
+    fn divmod(self, d: u32) -> (u32, u32) {
+        let q = self.quot(d);
+        (q, d - q * self.div)
+    }
+}
+
+/// Per-configuration constants of the lane kernel.
+/// [`LaneKernel::new`] returns `None` for layouts the columnar stages
+/// cannot shape — see the module docs.
+pub(crate) struct LaneKernel<'k> {
+    /// Flat residue table; symbol `s` content `x` at `(s << width) + x`.
+    residues: &'k [u64],
+    /// Fused remainder → `(transition offset << 12) | symbol` table.
+    elc_fused: &'k [u32],
+    /// Flat content-transition blocks behind the fused entries.
+    transitions: &'k [u16],
+    /// Per-symbol payload masks.
+    payload_masks: Vec<u16>,
+    /// Per-symbol affine check-span constants, packed
+    /// `(cbase << 24) | (ibase << 16) | nbits_mask`: the check part of a
+    /// content is `(((x >> cbase) as u16) & nbits_mask) << ibase` — all
+    /// zeros for payload-only symbols, so one branchless expression covers
+    /// every lane.
+    check_info: Vec<u32>,
+    /// The common symbol width.
+    width: u32,
+    m: u64,
+    /// Quad-draw split: divide by `n(n−1)` (quotient = pattern pair,
+    /// remainder = symbol pair).
+    quad_div: MagicDiv,
+    /// Symbol-pair decode: divide by `n − 1`.
+    sym_div: MagicDiv,
+    /// Pattern-pair decode: divide by `2^width − 1`.
+    pat_div: MagicDiv,
+    /// Runtime-detected AVX2 (only ever true with the `simd` feature).
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    use_avx2: bool,
+}
+
+/// Per-worker stage buffers, sized for one engine block. Grow-only, never
+/// zeroed: every cell is written before it is read.
+#[derive(Default)]
+pub(crate) struct LaneBuffers {
+    /// Per-trial modular syndrome.
+    rems: Vec<u64>,
+    /// Per-trial fused-table probe results.
+    packed: Vec<u32>,
+    /// Compacted indices of trials needing per-trial attention.
+    exceptional: Vec<u32>,
+    /// Decoded strike columns (strike-major), used by the AVX2 split
+    /// pipeline only — the portable pass keeps everything in registers.
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    syms: Vec<u32>,
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    pats: Vec<u32>,
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    cnts: Vec<u32>,
+}
+
+fn grow<T: Clone + Default>(v: &mut Vec<T>, len: usize) {
+    if v.len() < len {
+        v.resize(len, T::default());
+    }
+}
+
+/// Standalone compaction pass for the AVX2 split pipeline (the portable
+/// pass fuses this into stage 1): collects indices of trials needing the
+/// walk with a branch-free conditional append. Returns the count.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn compact(buf: &mut LaneBuffers, len: usize) -> usize {
+    let mut n_exc = 0usize;
+    for t in 0..len {
+        buf.exceptional[n_exc] = t as u32;
+        let exc = (buf.rems[t] == 0) | (buf.packed[t] != SyndromeKernel::NO_ENTRY);
+        n_exc += exc as usize;
+    }
+    n_exc
+}
+
+impl<'k> LaneKernel<'k> {
+    /// Builds the lane kernel, or `None` where the columnar stages don't
+    /// apply: mixed symbol widths, scattered check spans, non-standard
+    /// residue packing, or a geometry past the dividers' verified domains.
+    pub fn new(kernel: &'k SyndromeKernel) -> Option<Self> {
+        let n = kernel.num_symbols();
+        if n < 2 {
+            return None;
+        }
+        let width = kernel.symbol_bits(0);
+        if (1..n).any(|s| kernel.symbol_bits(s) != width) {
+            return None;
+        }
+        if (0..n).any(|s| kernel.residue_offset(s) != (s as u32) << width) {
+            return None;
+        }
+        let mut check_info = Vec::with_capacity(n);
+        for s in 0..n {
+            let (cbase, ibase, nbits) = kernel.check_span(s)?;
+            check_info
+                .push(((cbase as u32) << 24) | ((ibase as u32) << 16) | ((1u32 << nbits) - 1));
+        }
+        let n = n as u32;
+        let pb = (1u32 << width) - 1;
+        Some(Self {
+            residues: kernel.raw_residues(),
+            elc_fused: kernel.raw_elc_fused(),
+            transitions: kernel.raw_transitions(),
+            payload_masks: (0..n as usize).map(|s| kernel.payload_mask(s)).collect(),
+            check_info,
+            width,
+            m: kernel.modulus(),
+            quad_div: MagicDiv::new(n * (n - 1), pb.checked_mul(pb)?)?,
+            sym_div: MagicDiv::new(n - 1, n)?,
+            pat_div: MagicDiv::new(pb, pb)?,
+            use_avx2: avx2_available(),
+        })
+    }
+
+    /// A symbol's final content from its raw 16-bit draw and the trial's
+    /// check value: payload bits masked, check-region bits gathered from
+    /// `x` by the precomputed affine span (zero-width for payload-only
+    /// symbols — no branch).
+    #[inline]
+    fn content(&self, sym: u32, raw: u16, x: u64) -> u16 {
+        let s = sym as usize;
+        debug_assert!(s < self.check_info.len());
+        // SAFETY: private fn; every caller passes a symbol < n — the quad
+        // divider's verified decode domain (stage 1) or a fused-table
+        // entry, which the kernel builds from symbol indices (walk).
+        let (info, pmask) = unsafe {
+            (
+                *self.check_info.get_unchecked(s),
+                *self.payload_masks.get_unchecked(s),
+            )
+        };
+        let part = (((x >> (info >> 24)) as u16) & info as u16) << ((info >> 16) & 0xFF);
+        (raw & pmask) | part
+    }
+
+    /// Decodes one trial's draw columns into its resolved strikes:
+    /// `(sym0, sym1, pat0, pat1, content0, content1)` — patterns with the
+    /// `1 +` nonzero offset applied, contents with check bits in place.
+    #[inline]
+    fn decode(&self, quad: u32, cnt: u32, x: u64) -> (u32, u32, u32, u32, u16, u16) {
+        let (qp, sp) = self.quad_div.divmod(quad);
+        let (a, r) = self.sym_div.divmod(sp);
+        let b = r + (r >= a) as u32;
+        let (ph, pl) = self.pat_div.divmod(qp);
+        let c0 = self.content(a, cnt as u16, x);
+        let c1 = self.content(b, (cnt >> 16) as u16, x);
+        (a, b, 1 + ph, 1 + pl, c0, c1)
+    }
+
+    /// Runs one engine block of `len` trials through the staged lanes.
+    ///
+    /// The four pre-filled draw columns are exactly those of
+    /// [`fastpath::msed_trial_k2_cols`]: the quad-packed
+    /// symbols-and-patterns draw, two raw 16-bit contents per trial, the
+    /// per-trial check value, and the raw content bits of a potential
+    /// outside-strike correction target. No live randomness — outcomes are
+    /// a pure function of the columns. `sink` receives `(outcome, count)`
+    /// batches in an unspecified order (tallies are associative; the
+    /// bulk-Detected majority arrives as one batch).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_block(
+        &self,
+        buf: &mut LaneBuffers,
+        len: usize,
+        quad_col: &[u32],
+        cnt_col: &[u32],
+        x_col: &[u32],
+        extra_col: &[u32],
+        mut sink: impl FnMut(TrialOutcome, u64),
+    ) {
+        assert!(
+            quad_col.len() == len
+                && cnt_col.len() == len
+                && x_col.len() == len
+                && extra_col.len() == len
+        );
+        grow(&mut buf.rems, len);
+        grow(&mut buf.packed, len);
+        grow(&mut buf.exceptional, len);
+
+        // Stage 1: decode + fold + probe + compact, one fused branchless
+        // pass (the AVX2 build splits it to feed the vector fold).
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        let n_exc = if self.use_avx2 {
+            self.stage1_avx2(buf, len, quad_col, cnt_col, x_col);
+            compact(buf, len)
+        } else {
+            self.stage1_portable(buf, len, quad_col, cnt_col, x_col)
+        };
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        let n_exc = self.stage1_portable(buf, len, quad_col, cnt_col, x_col);
+
+        // The bulk majority (~88%) is Detected: one batched tally.
+        sink(TrialOutcome::Detected, (len - n_exc) as u64);
+
+        // Stage 3: the exceptional walk. Strikes are re-derived from the
+        // draw columns — a handful of ALU ops on ~12% of trials beats
+        // storing six decoded columns for all of them.
+        for &t in &buf.exceptional[..n_exc] {
+            let t = t as usize;
+            let x = x_col[t] as u64;
+            let (s0, s1, p0, p1, c0, c1) = self.decode(quad_col[t], cnt_col[t], x);
+            let (p0, p1) = (p0 as u16, p1 as u16);
+            if buf.rems[t] == 0 {
+                // Zero syndrome: silent — and truly intact only when both
+                // patterns sit entirely in check bits.
+                let intact = p0 & self.payload_masks[s0 as usize] == 0
+                    && p1 & self.payload_masks[s1 as usize] == 0;
+                sink(
+                    if intact {
+                        TrialOutcome::CleanIntact
+                    } else {
+                        TrialOutcome::CleanCorrupted
+                    },
+                    1,
+                );
+                continue;
+            }
+            // Compaction keeps only `packed != NO_ENTRY` past this point: a
+            // correction candidate.
+            let packed = buf.packed[t];
+            let symbol = packed & 0xFFF;
+            let (original, injected, other_clean) = if s0 == symbol {
+                (c0, p0, p1 & self.payload_masks[s1 as usize] == 0)
+            } else if s1 == symbol {
+                (c1, p1, p0 & self.payload_masks[s0 as usize] == 0)
+            } else {
+                // Correction target outside the strikes: its content comes
+                // from the pre-drawn extra column — still no live draw.
+                let c = self.content(symbol, extra_col[t] as u16, x);
+                let clean = p0 & self.payload_masks[s0 as usize] == 0
+                    && p1 & self.payload_masks[s1 as usize] == 0;
+                (c, 0, clean)
+            };
+            let corrected =
+                self.transitions[(packed >> 12) as usize + (original ^ injected) as usize];
+            if corrected == SyndromeKernel::NO_TRANSITION {
+                sink(TrialOutcome::Detected, 1);
+                continue;
+            }
+            let payload_restored =
+                (corrected ^ original) & self.payload_masks[symbol as usize] == 0 && other_clean;
+            sink(
+                if payload_restored {
+                    TrialOutcome::CorrectedRight
+                } else {
+                    TrialOutcome::Miscorrected
+                },
+                1,
+            );
+        }
+    }
+
+    /// The fused portable stage 1: per lane, decode the draws, gather the
+    /// four residues, reduce the syndrome branchlessly (`x.min(x − m)`
+    /// compiles to a cmov — an `if x ≥ m` on data-random values
+    /// mispredicts half the time), probe the fused ELC table, and append
+    /// exceptional indices branch-free. Consecutive lanes are independent,
+    /// so the loads pipeline. Returns the exceptional count.
+    fn stage1_portable(
+        &self,
+        buf: &mut LaneBuffers,
+        len: usize,
+        quad_col: &[u32],
+        cnt_col: &[u32],
+        x_col: &[u32],
+    ) -> usize {
+        let (m, w) = (self.m, self.width);
+        let mut n_exc = 0usize;
+        for t in 0..len {
+            let (a, b, p0, p1, c0, c1) = self.decode(quad_col[t], cnt_col[t], x_col[t] as u64);
+            let base0 = (a << w) as usize;
+            let base1 = (b << w) as usize;
+            // SAFETY: every index is bounded by construction — `a, b < n`
+            // (the quad divider's verified domain), contents and patterns
+            // never leave the width mask, so `base + idx < n·2^w =
+            // residues.len()`; `rem < m = elc_fused.len()` after the
+            // reductions.
+            let (before0, after0, before1, after1) = unsafe {
+                (
+                    *self.residues.get_unchecked(base0 + c0 as usize),
+                    *self
+                        .residues
+                        .get_unchecked(base0 + (c0 as u32 ^ p0) as usize),
+                    *self.residues.get_unchecked(base1 + c1 as usize),
+                    *self
+                        .residues
+                        .get_unchecked(base1 + (c1 as u32 ^ p1) as usize),
+                )
+            };
+            // Each delta ∈ [0, 2m): when ≥ m the wrapped subtraction is
+            // the smaller value; when < m it wraps above 2^63 and loses
+            // `min`.
+            let d0 = after0 + (m - before0);
+            let d0 = d0.min(d0.wrapping_sub(m));
+            let d1 = after1 + (m - before1);
+            let d1 = d1.min(d1.wrapping_sub(m));
+            let rem = d0 + d1;
+            let rem = rem.min(rem.wrapping_sub(m));
+            buf.rems[t] = rem;
+            // SAFETY: rem < m = elc_fused.len().
+            let packed = unsafe { *self.elc_fused.get_unchecked(rem as usize) };
+            buf.packed[t] = packed;
+            // Branch-free conditional append: zero syndrome or a
+            // correction candidate goes to the walk.
+            buf.exceptional[n_exc] = t as u32;
+            n_exc += ((rem == 0) | (packed != SyndromeKernel::NO_ENTRY)) as usize;
+        }
+        n_exc
+    }
+
+    /// The AVX2 split pipeline behind the `simd` feature: a decode pass
+    /// materializes the strike columns, `vpgatherdq` folds four lanes per
+    /// iteration, and a probe pass fills the fused-table column.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    fn stage1_avx2(
+        &self,
+        buf: &mut LaneBuffers,
+        len: usize,
+        quad_col: &[u32],
+        cnt_col: &[u32],
+        x_col: &[u32],
+    ) {
+        grow(&mut buf.syms, 2 * len);
+        grow(&mut buf.pats, 2 * len);
+        grow(&mut buf.cnts, 2 * len);
+        {
+            let (sym0, sym1) = buf.syms.split_at_mut(len);
+            let (pat0, pat1) = buf.pats.split_at_mut(len);
+            let (cnt0, cnt1) = buf.cnts.split_at_mut(len);
+            for t in 0..len {
+                let (a, b, p0, p1, c0, c1) = self.decode(quad_col[t], cnt_col[t], x_col[t] as u64);
+                sym0[t] = a;
+                sym1[t] = b;
+                pat0[t] = p0;
+                pat1[t] = p1;
+                cnt0[t] = c0 as u32;
+                cnt1[t] = c1 as u32;
+            }
+        }
+        for i in 0..2 {
+            // SAFETY: AVX2 confirmed at runtime; every index is
+            // `(sym << width) + content` with `sym < n`,
+            // `content`/`content ^ pat` ≤ width mask — in bounds by
+            // construction.
+            unsafe {
+                simd_x86::fold_column_avx2(
+                    self.residues,
+                    self.m,
+                    self.width,
+                    &buf.syms[i * len..(i + 1) * len],
+                    &buf.pats[i * len..(i + 1) * len],
+                    &buf.cnts[i * len..(i + 1) * len],
+                    &mut buf.rems[..len],
+                    i == 0,
+                );
+            }
+        }
+        for (p, &rem) in buf.packed[..len].iter_mut().zip(&buf.rems[..len]) {
+            *p = self.elc_fused[rem as usize];
+        }
+    }
+
+    /// Portable single-column fold, kept as the bit-exactness yardstick
+    /// for the AVX2 fold (`simd_parity`): one strike column's residue
+    /// deltas folded into every lane's syndrome — written outright when
+    /// `init`, accumulated modularly otherwise.
+    #[cfg(any(test, all(feature = "simd", target_arch = "x86_64")))]
+    #[allow(dead_code)]
+    fn fold_column(&self, syms: &[u32], pats: &[u32], cnts: &[u32], rems: &mut [u64], init: bool) {
+        let (m, w) = (self.m, self.width);
+        let len = rems.len();
+        assert!(syms.len() == len && pats.len() == len && cnts.len() == len);
+        for t in 0..len {
+            let base = (syms[t] << w) as usize;
+            let content = cnts[t];
+            let before = self.residues[base + content as usize];
+            let after = self.residues[base + (content ^ pats[t]) as usize];
+            let delta = after + (m - before);
+            let delta = delta.min(delta.wrapping_sub(m));
+            if init {
+                rems[t] = delta;
+            } else {
+                let next = rems[t] + delta;
+                rems[t] = next.min(next.wrapping_sub(m));
+            }
+        }
+    }
+}
+
+/// Whether the AVX2 specialization is compiled in *and* the host supports
+/// it. Always false without the `simd` cargo feature — the fused portable
+/// pass is the only stage-1 path then.
+fn avx2_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// AVX2 stage-1 fold: four lanes per iteration, residues fetched with
+/// `vpgatherdq`. Opt-in via the `simd` cargo feature and runtime-gated on
+/// host support; bit-identical to [`LaneKernel::fold_column`] (asserted by
+/// the `simd_parity` test below and the feature-matrix CI equivalence
+/// runs).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd_x86 {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime. Slices must all
+    /// share one length; every `(sym << width) + content` and
+    /// `(sym << width) + (content ^ pat)` index must be in bounds for
+    /// `residues`. With `init` the syndrome column is written outright
+    /// (first strike); otherwise it accumulates modularly.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fold_column_avx2(
+        residues: &[u64],
+        m: u64,
+        width: u32,
+        syms: &[u32],
+        pats: &[u32],
+        cnts: &[u32],
+        rems: &mut [u64],
+        init: bool,
+    ) {
+        let len = rems.len();
+        debug_assert!(syms.len() == len && pats.len() == len && cnts.len() == len);
+        let shift = _mm_cvtsi32_si128(width as i32);
+        let mvec = _mm256_set1_epi64x(m as i64);
+        // Unsigned `x ≥ m` via signed compare is sound: every operand is
+        // `< 2m < 2^33`, far below the sign bit.
+        let mfence = _mm256_set1_epi64x((m - 1) as i64);
+        let table = residues.as_ptr() as *const i64;
+        let chunks = len / 4;
+        for c in 0..chunks {
+            let o = c * 4;
+            let sym = _mm_loadu_si128(syms.as_ptr().add(o) as *const __m128i);
+            let pat = _mm_loadu_si128(pats.as_ptr().add(o) as *const __m128i);
+            let content = _mm_loadu_si128(cnts.as_ptr().add(o) as *const __m128i);
+            let base = _mm_sll_epi32(sym, shift);
+            let idx_before = _mm_add_epi32(base, content);
+            let idx_after = _mm_add_epi32(base, _mm_xor_si128(content, pat));
+            let before = _mm256_i32gather_epi64::<8>(table, idx_before);
+            let after = _mm256_i32gather_epi64::<8>(table, idx_after);
+            // delta = after + (m − before), conditionally reduced.
+            let delta = _mm256_add_epi64(after, _mm256_sub_epi64(mvec, before));
+            let over = _mm256_cmpgt_epi64(delta, mfence);
+            let delta = _mm256_sub_epi64(delta, _mm256_and_si256(over, mvec));
+            let next = if init {
+                delta
+            } else {
+                let rem = _mm256_loadu_si256(rems.as_ptr().add(o) as *const __m256i);
+                let next = _mm256_add_epi64(rem, delta);
+                let over = _mm256_cmpgt_epi64(next, mfence);
+                _mm256_sub_epi64(next, _mm256_and_si256(over, mvec))
+            };
+            _mm256_storeu_si256(rems.as_mut_ptr().add(o) as *mut __m256i, next);
+        }
+        // Scalar tail (< 4 lanes), identical arithmetic.
+        for t in chunks * 4..len {
+            let base = (syms[t] << width) as usize;
+            let before = residues[base + cnts[t] as usize];
+            let after = residues[base + (cnts[t] ^ pats[t]) as usize];
+            let mut delta = after + (m - before);
+            if delta >= m {
+                delta -= m;
+            }
+            let next = if init { delta } else { rems[t] + delta };
+            rems[t] = next.min(next.wrapping_sub(m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Bounded32;
+    use crate::Rng;
+    use muse_core::presets;
+
+    /// The multiply-shift divider agrees with hardware division over its
+    /// whole verified domain — exhaustively, including the large quad-draw
+    /// domains of the real presets (construction's analytic bound is what
+    /// this pins down).
+    #[test]
+    fn magic_div_exact() {
+        for (div, count) in [
+            (35u32, 36u32),
+            (15, 15),
+            (255, 255),
+            (9, 67),
+            (1, 5),
+            (1260, 225), // muse_144_132 quad split
+            (90, 65025), // muse_80_70 quad split (w = 8)
+            (4422, 225), // muse_268_256 quad split
+        ] {
+            let magic = MagicDiv::new(div, count).expect("domain verifiable");
+            for d in 0..div.saturating_mul(count) {
+                assert_eq!(magic.divmod(d), (d / div, d % div), "{d}/{div}");
+            }
+        }
+        assert!(MagicDiv::new(0, 5).is_none(), "zero divisor");
+        assert!(
+            MagicDiv::new(1 << 16, 1 << 16).is_none(),
+            "domain past the analytic exactness bound"
+        );
+        assert!(
+            MagicDiv::new(1260, 65025).is_none(),
+            "36-symbol 8-bit quad split exceeds the provable domain — \
+             that geometry takes the scalar fallback"
+        );
+    }
+
+    /// The packed affine check-span constants reproduce
+    /// `apply_check_bits` exactly on every affine preset.
+    #[test]
+    fn affine_content_matches_apply_check_bits() {
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_144_128(),
+            presets::muse_80_69(),
+            presets::muse_80_70(),
+            presets::muse_268_256(),
+        ] {
+            let kernel = code.kernel().expect("preset supports the kernel");
+            let Some(lanes) = LaneKernel::new(kernel) else {
+                continue;
+            };
+            let mut state = 0xA11E_5EEDu64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for sym in 0..kernel.num_symbols() as u32 {
+                for _ in 0..64 {
+                    let raw = next() as u16;
+                    let x = next() % kernel.modulus();
+                    let expect = if kernel.needs_check_value(sym as usize) {
+                        kernel.apply_check_bits(
+                            sym as usize,
+                            raw & kernel.payload_mask(sym as usize),
+                            x,
+                        )
+                    } else {
+                        raw & kernel.width_mask(sym as usize)
+                    };
+                    assert_eq!(lanes.content(sym, raw, x), expect, "symbol {sym}");
+                }
+            }
+        }
+    }
+
+    /// Scattered (interleaved-map) check spans refuse the lane kernel —
+    /// those layouts classify through the same-stream scalar oracle.
+    #[test]
+    fn interleaved_layouts_fall_back() {
+        let code = presets::muse_80_67();
+        let Some(kernel) = code.kernel() else {
+            return;
+        };
+        assert!(
+            LaneKernel::new(kernel).is_none(),
+            "{} should defer to the scalar path",
+            code.name()
+        );
+    }
+
+    /// The portable fold matches per-lane scalar kernel calls exactly.
+    #[test]
+    fn fold_column_matches_flip_delta() {
+        let code = presets::muse_144_132();
+        let kernel = code.kernel().expect("preset supports the kernel");
+        let lanes = LaneKernel::new(kernel).expect("uniform widths");
+        let n = kernel.num_symbols() as u32;
+        let wmask = ((1u32 << lanes.width) - 1) as u64;
+        let mut state = 0x1357_9BDFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let len = 257;
+        let syms: Vec<u32> = (0..len).map(|_| (next() % n as u64) as u32).collect();
+        let pats: Vec<u32> = (0..len).map(|_| 1 + (next() % wmask) as u32).collect();
+        let cnts: Vec<u32> = (0..len).map(|_| (next() & wmask) as u32).collect();
+        let mut rems = vec![0u64; len];
+        lanes.fold_column(&syms, &pats, &cnts, &mut rems, true);
+        for t in 0..len {
+            let expected = kernel.flip_delta(syms[t] as usize, cnts[t] as u16, pats[t] as u16);
+            assert_eq!(rems[t], expected, "lane {t}");
+        }
+        // A second fold accumulates modularly.
+        let snapshot = rems.clone();
+        lanes.fold_column(&syms, &pats, &cnts, &mut rems, false);
+        for t in 0..len {
+            assert_eq!(rems[t], kernel.add_mod(snapshot[t], snapshot[t]));
+        }
+    }
+
+    /// With the `simd` feature on an AVX2 host, the vector fold must be
+    /// bit-identical to the portable one.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn simd_parity() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for code in [presets::muse_144_132(), presets::muse_268_256()] {
+            let kernel = code.kernel().expect("preset supports the kernel");
+            let lanes = LaneKernel::new(kernel).expect("uniform widths");
+            let n = kernel.num_symbols() as u32;
+            let wmask = ((1u32 << lanes.width) - 1) as u64;
+            let mut state = 0xFEED_F00Du64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // Deliberately non-multiple-of-4 length to cover the tail.
+            let len = 1023;
+            let syms: Vec<u32> = (0..len).map(|_| (next() % n as u64) as u32).collect();
+            let pats: Vec<u32> = (0..len).map(|_| 1 + (next() % wmask) as u32).collect();
+            let cnts: Vec<u32> = (0..len).map(|_| (next() & wmask) as u32).collect();
+            for init in [true, false] {
+                let mut scalar = vec![7u64; len];
+                let mut vector = vec![7u64; len];
+                lanes.fold_column(&syms, &pats, &cnts, &mut scalar, init);
+                unsafe {
+                    simd_x86::fold_column_avx2(
+                        lanes.residues,
+                        lanes.m,
+                        lanes.width,
+                        &syms,
+                        &pats,
+                        &cnts,
+                        &mut vector,
+                        init,
+                    );
+                }
+                assert_eq!(scalar, vector, "{} init={init}", code.name());
+            }
+        }
+    }
+
+    /// A full lane block agrees trial-for-trial with the scalar columnar
+    /// oracle on identical draw columns (the whole-simulation counterpart
+    /// lives in `tests/lane_equivalence.rs`).
+    #[test]
+    fn run_block_matches_scalar_oracle() {
+        use crate::fastpath::msed_trial_k2_cols;
+        for code in [
+            presets::muse_144_132(),
+            presets::muse_144_128(),
+            presets::muse_80_70(),
+        ] {
+            let kernel = code.kernel().expect("preset supports the kernel");
+            let lanes = LaneKernel::new(kernel).expect("uniform widths");
+            let n = kernel.num_symbols() as u32;
+            let pb = (1u32 << kernel.symbol_bits(0)) - 1;
+            let len = 777; // deliberately not the engine block size
+            let mut rng = Rng::seeded(0xB10C);
+            let mut quad_col = vec![0u32; len];
+            let mut cnt_col = vec![0u32; len];
+            let mut x_col = vec![0u32; len];
+            let mut extra_col = vec![0u32; len];
+            Bounded32::new(n * (n - 1) * pb * pb).fill(&mut rng, &mut quad_col);
+            rng.fill_u32s(&mut cnt_col);
+            Bounded32::new(kernel.modulus() as u32).fill(&mut rng, &mut x_col);
+            rng.fill_u32s(&mut extra_col);
+            let mut lane_tally = [0u64; 5];
+            let mut buf = LaneBuffers::default();
+            lanes.run_block(
+                &mut buf,
+                len,
+                &quad_col,
+                &cnt_col,
+                &x_col,
+                &extra_col,
+                |o, k| lane_tally[o as usize] += k,
+            );
+            let mut scalar_tally = [0u64; 5];
+            for t in 0..len {
+                let (o, _) = msed_trial_k2_cols(
+                    kernel,
+                    quad_col[t],
+                    cnt_col[t],
+                    x_col[t] as u64,
+                    extra_col[t],
+                );
+                scalar_tally[o as usize] += 1;
+            }
+            assert_eq!(lane_tally, scalar_tally, "{}", code.name());
+        }
+    }
+}

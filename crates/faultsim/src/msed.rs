@@ -11,8 +11,18 @@
 //! residue-syndrome kernel: no codeword is ever built — a trial draws the
 //! contents of the symbols it corrupts, accumulates the syndrome with
 //! per-symbol table lookups, and finishes with a fast-ELC transition check
-//! (see [`muse_core::SyndromeKernel`]). Results are bit-identical at any
-//! `threads` setting.
+//! (see [`muse_core::SyndromeKernel`]). The dominant `k = 2` case is
+//! fully columnar: each engine block pre-fills four flat draw columns —
+//! one *quad* draw packing both distinct symbol indices and both nonzero
+//! patterns into a single bounded integer, two raw contents, an
+//! unconditional check value, and an outside-strike correction content —
+//! so a trial's outcome is a pure function of its column entries with no
+//! live PRNG in the hot loop. On uniform affine layouts those columns
+//! feed the structure-of-arrays lane kernel ([`crate::lanes`], with an
+//! optional AVX2 specialization behind the `simd` feature); everywhere
+//! else a scalar walk consumes the *same* columns, so the stream — and
+//! therefore every tally — is identical on both paths and bit-identical
+//! at any `threads` setting.
 
 use muse_core::{MuseCode, Word};
 use muse_rs::RsMemoryCode;
@@ -21,9 +31,10 @@ use muse_rs::RsMemoryDecoded;
 
 use crate::engine::{SimEngine, Tally};
 use crate::fastpath::{
-    self, classify, msed_inline_trial, place_distinct, CodewordScratch, HalfDraws, InlineTrial,
-    TrialOutcome, TrialPlan,
+    self, classify, msed_inline_trial, msed_trial_k2_cols, place_distinct, CodewordScratch,
+    InlineTrial, TrialOutcome, TrialPlan,
 };
+use crate::lanes::{LaneBuffers, LaneKernel};
 use crate::rng::Bounded32;
 use crate::Rng;
 
@@ -72,11 +83,17 @@ impl MsedStats {
     }
 
     fn record(&mut self, outcome: Outcome) {
+        self.record_many(outcome, 1);
+    }
+
+    /// Tallies a batch of identical outcomes in one addition — the lane
+    /// kernel delivers its bulk-Detected majority this way.
+    fn record_many(&mut self, outcome: Outcome, count: u64) {
         match outcome {
-            Outcome::Detected => self.detected += 1,
-            Outcome::Corrected => self.corrected += 1,
-            Outcome::Miscorrected => self.miscorrected += 1,
-            Outcome::Silent => self.silent += 1,
+            Outcome::Detected => self.detected += count,
+            Outcome::Corrected => self.corrected += count,
+            Outcome::Miscorrected => self.miscorrected += count,
+            Outcome::Silent => self.silent += count,
         }
     }
 }
@@ -191,14 +208,123 @@ pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
             },
         );
     };
+    if k == 2 {
+        if let Some(quad_bound) = k2_quad_bound(kernel) {
+            // The canonical double-symbol experiment: the fully-columnar
+            // quad-packed draw scheme, lane-kernel accelerated where the
+            // layout allows.
+            return muse_msed_columnar_k2(kernel, quad_bound, config, false);
+        }
+    }
+    muse_msed_columnar_scalar(kernel, &plan, uniform_pattern, k, config)
+}
+
+/// The k = 2 quad-draw bound `n(n−1)·(2^w−1)²` when it fits a `u32` — the
+/// applicability gate of the fully-columnar scheme. `None` (a geometry far
+/// past any real preset) sends k = 2 down the generic per-strike columnar
+/// path instead.
+fn k2_quad_bound(kernel: &muse_core::SyndromeKernel) -> Option<u32> {
+    let n = kernel.num_symbols() as u64;
+    let pb = (1u64 << kernel.symbol_bits(0)) - 1;
+    u32::try_from(n * (n - 1) * pb * pb).ok()
+}
+
+/// The k = 2 columnar path: four bulk-filled draw columns per engine block
+/// (see [`msed_trial_k2_cols`] for the scheme), classified by the lane
+/// kernel when the layout supports it — or by the draw-for-draw scalar
+/// oracle (`force_scalar`, or a layout the lanes refuse). Both consume the
+/// same fills and no live randomness, so the draw stream — and therefore
+/// every tally — is identical either way, at any thread count.
+fn muse_msed_columnar_k2(
+    kernel: &muse_core::SyndromeKernel,
+    quad_bound: u32,
+    config: MsedConfig,
+    force_scalar: bool,
+) -> MsedStats {
     const BLOCK: usize = SimEngine::TRIAL_BLOCK as usize;
-    // Raw content bits: a rejection-free 16-bit-wide bounded fill.
-    let content16 = crate::rng::Bounded32::new(1 << 16);
-    engine.run_blocked(
+    let quad_pick = Bounded32::new(quad_bound);
+    let x_pick = Bounded32::new(u32::try_from(kernel.modulus()).expect("kernel moduli fit u32"));
+    let lanes = if force_scalar {
+        None
+    } else {
+        LaneKernel::new(kernel)
+    };
+    SimEngine::new(config.threads).run_blocked(
         config.seed,
         config.trials,
-        // Per-worker scratch: the columnar draw buffers (symbol, pattern,
-        // content per strike) the block fills are replayed from.
+        || {
+            (
+                vec![0u32; 4 * BLOCK], // the four draw columns, back to back
+                LaneBuffers::default(),
+            )
+        },
+        |range, rng, (cols, buf), stats: &mut MsedStats| {
+            let len = (range.end - range.start) as usize;
+            let (quad_col, rest) = cols.split_at_mut(len);
+            let (cnt_col, rest) = rest.split_at_mut(len);
+            let (x_col, rest) = rest.split_at_mut(len);
+            let extra_col = &mut rest[..len];
+            quad_pick.fill(rng, quad_col);
+            rng.fill_u32s(cnt_col);
+            x_pick.fill(rng, x_col);
+            rng.fill_u32s(extra_col);
+            match &lanes {
+                Some(lanes) => lanes.run_block(
+                    buf,
+                    len,
+                    quad_col,
+                    cnt_col,
+                    x_col,
+                    extra_col,
+                    |outcome, count| stats.record_many(outcome_of(outcome), count),
+                ),
+                None => {
+                    for t in 0..len {
+                        let (outcome, _) = msed_trial_k2_cols(
+                            kernel,
+                            quad_col[t],
+                            cnt_col[t],
+                            x_col[t] as u64,
+                            extra_col[t],
+                        );
+                        stats.record(outcome_of(outcome));
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// Maps a fast-path trial outcome onto the MSED tally class. The decoder
+/// reads a zero syndrome as "no error": any corruption landing there passes
+/// silently, payload-intact or not.
+#[inline]
+fn outcome_of(outcome: TrialOutcome) -> Outcome {
+    match outcome {
+        TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
+        TrialOutcome::Detected => Outcome::Detected,
+        TrialOutcome::CorrectedRight => Outcome::Corrected,
+        TrialOutcome::Miscorrected => Outcome::Miscorrected,
+    }
+}
+
+/// The scalar columnar path for strike counts other than 2: per-strike
+/// column fills consumed one trial at a time through
+/// [`msed_inline_trial`], with lazily drawn check values. (The k = 2 hot
+/// path uses the pair-packed fully-columnar scheme in
+/// [`muse_msed_columnar_k2`] instead.)
+fn muse_msed_columnar_scalar(
+    kernel: &muse_core::SyndromeKernel,
+    plan: &TrialPlan,
+    uniform_pattern: Bounded32,
+    k: usize,
+    config: MsedConfig,
+) -> MsedStats {
+    const BLOCK: usize = SimEngine::TRIAL_BLOCK as usize;
+    let content16 = crate::rng::Bounded32::new(1 << 16);
+    SimEngine::new(config.threads).run_blocked(
+        config.seed,
+        config.trials,
         || {
             (
                 vec![0u32; k * BLOCK],
@@ -207,10 +333,6 @@ pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
             )
         },
         |range, rng, (sym_col, pat_col, cnt_col), stats: &mut MsedStats| {
-            // Columnar batched draws: one tight rejection-sampling fill per
-            // strike column amortizes the RNG across the whole block, and —
-            // because consecutive trials then share no RNG state — lets the
-            // CPU overlap the table lookups of neighbouring trials.
             let len = (range.end - range.start) as usize;
             for i in 0..k {
                 plan.pick(i).fill(rng, &mut sym_col[i * len..(i + 1) * len]);
@@ -229,20 +351,43 @@ pub fn muse_msed(code: &MuseCode, config: MsedConfig) -> MsedStats {
                 // A fresh trial record per trial: local and non-escaping,
                 // so its stores stay in registers.
                 let mut trial = InlineTrial::default();
-                stats.record(
-                    match msed_inline_trial(kernel, plan.x_pick(), rng, &mut trial, &draws[..k]) {
-                        // The decoder reads a zero syndrome as "no error":
-                        // any corruption landing there passes silently,
-                        // payload-intact or not.
-                        TrialOutcome::CleanIntact | TrialOutcome::CleanCorrupted => Outcome::Silent,
-                        TrialOutcome::Detected => Outcome::Detected,
-                        TrialOutcome::CorrectedRight => Outcome::Corrected,
-                        TrialOutcome::Miscorrected => Outcome::Miscorrected,
-                    },
-                );
+                stats.record(outcome_of(msed_inline_trial(
+                    kernel,
+                    plan.x_pick(),
+                    rng,
+                    &mut trial,
+                    &draws[..k],
+                )));
             }
         },
     )
+}
+
+/// [`muse_msed`] forced down the draw-for-draw scalar columnar path — the
+/// lane kernel's bit-exactness oracle. Not part of the public API; exposed
+/// for the `lane_equivalence` integration suite (and anyone auditing the
+/// SIMD path), which asserts `muse_msed == muse_msed_scalar` tally-for-tally
+/// on every preset, trial count, and thread count.
+#[doc(hidden)]
+pub fn muse_msed_scalar(code: &MuseCode, config: MsedConfig) -> MsedStats {
+    let kernel = crate::require_kernel(code, "MSED");
+    let k = config.failing_devices;
+    assert!(
+        k <= fastpath::MAX_STRIKES,
+        "the scalar reference covers the fixed-capacity path only"
+    );
+    let plan = TrialPlan::new(kernel, k);
+    match plan.uniform_pattern() {
+        // Mixed-width layouts never take the lane kernel; the public entry
+        // point already runs the scalar path.
+        None => muse_msed(code, config),
+        Some(_) if k == 2 && k2_quad_bound(kernel).is_some() => {
+            muse_msed_columnar_k2(kernel, k2_quad_bound(kernel).unwrap(), config, true)
+        }
+        Some(uniform_pattern) => {
+            muse_msed_columnar_scalar(kernel, &plan, uniform_pattern, k, config)
+        }
+    }
 }
 
 /// How an RS "correction" of a beyond-model error is classified.
@@ -300,26 +445,31 @@ pub fn rs_msed(
             },
         );
     }
+    // Structure-of-arrays draws, like the MUSE fast path: whole columns of
+    // device picks and patterns fill per 1024-trial block, and the live
+    // block RNG is touched per trial only by the rare shortened-top
+    // content check inside `classify_errors`.
     let picks: Vec<Bounded32> = (0..k)
         .map(|i| Bounded32::new((ctx.n_devices - i) as u32))
         .collect();
     let pattern_pick = Bounded32::new((1u32 << device_bits) - 1);
+    const BLOCK: usize = SimEngine::TRIAL_BLOCK as usize;
     SimEngine::new(config.threads).run_blocked(
         config.seed,
         config.trials,
-        || (),
-        |range, rng, (), stats: &mut MsedStats| {
-            for _ in range {
-                let mut halves = HalfDraws::default();
+        || (vec![0u32; k * BLOCK], vec![0u32; k * BLOCK]),
+        |range, rng, (dev_col, pat_col), stats: &mut MsedStats| {
+            let len = (range.end - range.start) as usize;
+            for (i, pick) in picks.iter().enumerate() {
+                pick.fill(rng, &mut dev_col[i * len..(i + 1) * len]);
+            }
+            pattern_pick.fill(rng, &mut pat_col[..k * len]);
+            for t in 0..len {
                 let mut chosen = [0usize; fastpath::MAX_STRIKES];
                 let mut strikes = [(0usize, 0u16); fastpath::MAX_STRIKES];
                 for (i, strike) in strikes[..k].iter_mut().enumerate() {
-                    let half = halves.next(rng);
-                    let draw = picks[i].of_half(rng, half) as usize;
-                    let dev = place_distinct(&mut chosen, i, draw);
-                    let half = halves.next(rng);
-                    let pattern = 1 + pattern_pick.of_half(rng, half) as u16;
-                    *strike = (dev, pattern);
+                    let dev = place_distinct(&mut chosen, i, dev_col[i * len + t] as usize);
+                    *strike = (dev, 1 + pat_col[i * len + t] as u16);
                 }
                 stats.record(ctx.classify(rng, &strikes[..k]).0);
             }
@@ -336,6 +486,9 @@ struct RsFastMsed<'a> {
     n_devices: usize,
     /// Per-device `(first RS symbol, bit offset within it)`.
     splits: Vec<(usize, u32)>,
+    /// Whether every device lies inside a single RS symbol (device width
+    /// divides symbol width): the straddle-free fold fast path.
+    nested: bool,
     symbol_bits: u32,
     /// `2t` — syndromes consumed / first data symbol.
     parity: usize,
@@ -358,6 +511,7 @@ impl<'a> RsFastMsed<'a> {
                     ((base / symbol_bits) as usize, base % symbol_bits)
                 })
                 .collect(),
+            nested: symbol_bits.is_multiple_of(device_bits),
             symbol_bits,
             parity: 2 * code.inner().t(),
             top: code.n_symbols() - 1,
@@ -401,6 +555,24 @@ impl<'a> RsFastMsed<'a> {
     /// `MAX_STRIKES` devices of ≤ 16 bits over ≥ 2-bit symbols touch at
     /// most 64 symbols).
     fn classify(&self, rng: &mut Rng, strikes: &[(usize, u16)]) -> (Outcome, Option<u16>) {
+        if self.nested {
+            // Devices nest inside symbols: each strike lands in exactly one
+            // symbol, so `MAX_STRIKES` entries suffice and the per-trial
+            // scratch shrinks from 64 slots (1 KiB of zeroing) to 8.
+            let mut errors = [(0usize, 0u16); fastpath::MAX_STRIKES];
+            let mut n_errors = 0usize;
+            for &(dev, pattern) in strikes {
+                let (sym, shift) = self.splits[dev];
+                let val = pattern << shift;
+                if let Some(e) = errors[..n_errors].iter_mut().find(|e| e.0 == sym) {
+                    e.1 ^= val;
+                } else {
+                    errors[n_errors] = (sym, val);
+                    n_errors += 1;
+                }
+            }
+            return self.classify_errors(rng, &errors[..n_errors]);
+        }
         let mut errors = [(0usize, 0u16); 64];
         let mut n_errors = 0usize;
         self.fold(strikes, |sym, val| {

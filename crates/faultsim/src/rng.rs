@@ -156,6 +156,31 @@ impl Rng {
         self.state = [s0, s1, s2, s3];
     }
 
+    /// Fills `out` with 32-bit halves of consecutive [`Self::next_u64`]
+    /// draws, low half first. An odd tail costs a full draw whose high half
+    /// is discarded — the mapping from generator steps to slots depends
+    /// only on `out.len()`, keeping columnar streams reproducible.
+    pub fn fill_u32s(&mut self, out: &mut [u32]) {
+        let mut chunks = out.chunks_exact_mut(2);
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        for pair in &mut chunks {
+            let raw = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            pair[0] = raw as u32;
+            pair[1] = (raw >> 32) as u32;
+        }
+        self.state = [s0, s1, s2, s3];
+        if let [slot] = chunks.into_remainder() {
+            *slot = self.next_u64() as u32;
+        }
+    }
+
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;

@@ -54,6 +54,40 @@ fn msed_identical_with_auto_threads() {
 }
 
 #[test]
+fn msed_lane_path_identical_across_thread_counts() {
+    // The k = 2 lane kernel (SIMD path under `--features simd`) consumes
+    // pre-filled per-block draw columns, so worker count must never show:
+    // exercise a non-multiple-of-block trial count (4 blocks + 904-trial
+    // tail) on a lane-eligible preset and on the interleaved layout that
+    // falls back to the scalar oracle.
+    for code in [
+        presets::muse_144_132(),
+        presets::muse_80_70(),
+        presets::muse_80_67(),
+    ] {
+        if code.kernel().is_none() {
+            continue;
+        }
+        let config = |threads| MsedConfig {
+            trials: 5_000,
+            seed: 0x51D,
+            threads,
+            ..MsedConfig::default()
+        };
+        let serial = muse_msed(&code, config(1));
+        assert_eq!(serial.total(), 5_000);
+        for threads in [2, 5] {
+            assert_eq!(
+                serial,
+                muse_msed(&code, config(threads)),
+                "{} threads={threads}",
+                code.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn rs_msed_identical_across_thread_counts() {
     let code = RsMemoryCode::new(8, 144, 1).expect("geometry");
     let config = |threads| MsedConfig {

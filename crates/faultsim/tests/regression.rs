@@ -7,8 +7,10 @@
 //! and say so in the changelog.
 //!
 //! (The pins were re-baselined when the simulators moved to the parallel
-//! engine's counter-based per-trial streams, and again when trial
-//! generation moved to content space on blocked streams — see CHANGES.md.)
+//! engine's counter-based per-trial streams, again when trial generation
+//! moved to content space on blocked streams, and again when the k = 2
+//! MSED path moved to the fully-columnar quad-packed draw scheme for the
+//! lane kernel — see CHANGES.md.)
 
 use muse_core::presets;
 use muse_faultsim::{muse_msed, MsedConfig, Rng};
@@ -65,7 +67,7 @@ fn msed_tally_pin_muse_144_132() {
     assert_eq!(stats.silent, 0);
     assert_eq!(
         (stats.detected, stats.miscorrected),
-        (1_761, 239),
+        (1_746, 254),
         "pinned Monte-Carlo tally changed: PRNG, injection, or decoder drifted"
     );
 }

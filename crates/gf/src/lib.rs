@@ -67,9 +67,14 @@ pub struct Gf {
     width: u32,
     size: u32,
     poly: u32,
-    exp: Vec<u16>, // exp[i] = α^i for i in [0, 2(size-1))
-    log: Vec<u16>, // log[x] for x in [1, size)
+    exp: Vec<u16>,   // exp[i] = α^i for i in [0, 2(size-1))
+    log: Vec<u16>,   // log[x] for x in [1, size)
+    qroot: Vec<u16>, // qroot[c] = min y with y²+y=c, or NO_ROOT (Tr(c)=1)
 }
+
+/// Sentinel in the quadratic-root table: `y² + y = c` has no solution
+/// (equivalently `Tr(c) = 1`, true for exactly half the field).
+const NO_ROOT: u16 = u16::MAX;
 
 impl fmt::Debug for Gf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -125,13 +130,28 @@ impl Gf {
         for i in 0..size as usize - 1 {
             exp[i + size as usize - 1] = exp[i];
         }
-        Ok(Self {
+        let mut gf = Self {
             width,
             size,
             poly,
             exp,
             log,
-        })
+            qroot: Vec::new(),
+        };
+        // Tabulated half-trace: y ↦ y² + y is 2-to-1 (y and y+1 collide)
+        // onto the trace-zero hyperplane, so recording the smaller preimage
+        // of every image yields a constant-time solver for the normalized
+        // quadratic y² + y = c — the root step of the closed-form t = 2
+        // error locator in `muse-rs`.
+        let mut qroot = vec![NO_ROOT; size as usize];
+        for y in 0..size as u16 {
+            let c = gf.mul(y, y) ^ y;
+            if qroot[c as usize] == NO_ROOT {
+                qroot[c as usize] = y;
+            }
+        }
+        gf.qroot = qroot;
+        Ok(gf)
     }
 
     /// Field width `s` in bits.
@@ -217,12 +237,58 @@ impl Gf {
         self.exp[(la * e).rem_euclid(order) as usize]
     }
 
+    /// `α^(la + lb)` for two discrete logs `la, lb < 2^s − 1`: one lookup
+    /// in the doubled antilog table, no modular reduction — the hot-loop
+    /// form of a product whose factors' logs are already known.
+    #[inline]
+    pub fn exp_sum(&self, la: u32, lb: u32) -> u16 {
+        self.exp[(la + lb) as usize]
+    }
+
+    /// `α^e` for an exponent already known to lie in `[0, 2(2^s − 1))`: a
+    /// bare doubled-antilog lookup. The division-free form of
+    /// [`Self::alpha_pow`] for hot loops whose exponent arithmetic is
+    /// bounded by construction (reduce with conditional subtraction of the
+    /// group order first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e ≥ 2(2^s − 1)`.
+    #[inline]
+    pub fn exp_at(&self, e: u32) -> u16 {
+        self.exp[e as usize]
+    }
+
     /// Discrete log base α, or `None` for zero.
     pub fn log(&self, a: u16) -> Option<u32> {
         if a == 0 {
             None
         } else {
             Some(self.log[a as usize] as u32)
+        }
+    }
+
+    /// The absolute trace `Tr(a) = a + a² + a⁴ + … + a^(2^(s-1))`,
+    /// always 0 or 1.
+    pub fn trace(&self, a: u16) -> u16 {
+        let mut acc = 0u16;
+        let mut x = a;
+        for _ in 0..self.width {
+            acc ^= x;
+            x = self.mul(x, x);
+        }
+        debug_assert!(acc <= 1, "trace lies in the prime subfield");
+        acc
+    }
+
+    /// Solves the normalized quadratic `y² + y = c` in constant time via
+    /// the precomputed half-trace table: returns the smaller root (the
+    /// other is `y ^ 1`), or `None` when `Tr(c) = 1` and no root exists.
+    #[inline]
+    pub fn quad_solve(&self, c: u16) -> Option<u16> {
+        match self.qroot[c as usize] {
+            NO_ROOT => None,
+            y => Some(y),
         }
     }
 
@@ -352,6 +418,46 @@ mod tests {
         for a in 1..64u16 {
             let l = gf.log(a).unwrap();
             assert_eq!(gf.alpha_pow(l as i64), a);
+        }
+    }
+
+    #[test]
+    fn trace_is_additive_and_balanced() {
+        for width in [4u32, 8] {
+            let gf = Gf::new(width).unwrap();
+            let n = gf.size() as u16;
+            let ones: u32 = (0..n).map(|a| gf.trace(a) as u32).sum();
+            // Tr is a surjective linear form onto GF(2): half the field
+            // on each fiber.
+            assert_eq!(ones, gf.size() / 2);
+            for a in 0..n {
+                for b in [0u16, 1, 7, n - 1] {
+                    assert_eq!(gf.trace(a ^ b), gf.trace(a) ^ gf.trace(b));
+                }
+                // Frobenius invariance: Tr(a²) = Tr(a).
+                assert_eq!(gf.trace(gf.mul(a, a)), gf.trace(a));
+            }
+        }
+    }
+
+    #[test]
+    fn quad_solve_exhaustive() {
+        for width in [4u32, 8, 10] {
+            let gf = Gf::new(width).unwrap();
+            for c in 0..gf.size() as u16 {
+                match gf.quad_solve(c) {
+                    Some(y) => {
+                        assert_eq!(gf.mul(y, y) ^ y, c, "root check c={c}");
+                        // The companion root is y+1; the table holds the
+                        // smaller one, and solvable ⇔ Tr(c) = 0.
+                        let y2 = y ^ 1;
+                        assert_eq!(gf.mul(y2, y2) ^ y2, c);
+                        assert_eq!(y, y.min(y2));
+                        assert_eq!(gf.trace(c), 0, "c={c}");
+                    }
+                    None => assert_eq!(gf.trace(c), 1, "c={c}"),
+                }
+            }
         }
     }
 

@@ -191,7 +191,25 @@ impl Bounded32 {
             return;
         }
         let mut raws = [0u64; 32];
-        let mut slots = out.iter_mut();
+        // Branchless region: one 32-draw chunk yields at most 64 samples,
+        // so while that many slots remain free, accepted samples append via
+        // a conditional index bump — no per-sample branch to mispredict.
+        // Draw consumption is identical to the guarded tail below: whole
+        // chunks, nothing discarded while slots remain.
+        let mut idx = 0usize;
+        while idx + 64 <= out.len() {
+            entropy.fill_u64s(&mut raws);
+            for &raw in &raws {
+                for half in [raw as u32, (raw >> 32) as u32] {
+                    let m = half as u64 * self.bound as u64;
+                    out[idx] = (m >> 32) as u32;
+                    idx += ((m as u32) >= self.threshold) as usize;
+                }
+            }
+        }
+        // Guarded tail: fills the final slots, discarding the chunk's
+        // surplus halves — the draw stream the simulators pin.
+        let mut slots = out[idx..].iter_mut();
         loop {
             entropy.fill_u64s(&mut raws);
             for &raw in &raws {

@@ -229,6 +229,14 @@ fn chunk_escapes(v: &Chunks, mask: &Chunks) -> bool {
 }
 
 impl SyndromeKernel {
+    /// Sentinel in [`Self::raw_elc_fused`]: no ELC entry for this
+    /// remainder (the [`FastDecode::Detected`] case).
+    pub const NO_ENTRY: u32 = NO_ENTRY;
+
+    /// Sentinel in [`Self::raw_transitions`]: the correction escapes the
+    /// symbol (the [`Self::correct`] `None` case).
+    pub const NO_TRANSITION: u16 = NO_TRANSITION;
+
     /// Whether a layout/multiplier pair is within the kernel's tabulation
     /// limits: every symbol at most 12 bits wide (contents are tabulated as
     /// `2^width` entries) and `m < 2^32` (the check-value fold multiplies
@@ -478,6 +486,24 @@ impl SyndromeKernel {
         self.syms[sym].check_mask != 0
     }
 
+    /// When `sym`'s check-region sources form one contiguous run — content
+    /// bits `ibase..ibase+nbits` mirroring check-value bits
+    /// `cbase..cbase+nbits` — returns `(cbase, ibase, nbits)`, so
+    /// [`Self::apply_check_bits`] collapses to a single shift-and-mask:
+    /// `vp | (((x >> cbase) & ((1 << nbits) - 1)) << ibase)`. Symbols with
+    /// no check bits report `(0, 0, 0)`. `None` for scattered sources
+    /// (shuffled maps), where only the per-bit gather is exact.
+    pub fn check_span(&self, sym: usize) -> Option<(u8, u8, u8)> {
+        let src = &self.check_sources[sym];
+        let Some(&(i0, c0)) = src.first() else {
+            return Some((0, 0, 0));
+        };
+        src.iter()
+            .enumerate()
+            .all(|(j, &(i, c))| i == i0 + j as u8 && c == c0 + j as u8)
+            .then_some((c0, i0, src.len() as u8))
+    }
+
     /// Modular addition in `[0, m)`.
     #[inline]
     pub fn add_mod(&self, a: u64, b: u64) -> u64 {
@@ -564,6 +590,43 @@ impl SyndromeKernel {
     #[inline]
     pub fn residue(&self, sym: usize, content: u16) -> u64 {
         self.residues[self.syms[sym].residue_offset as usize + content as usize]
+    }
+
+    /// Start of `sym`'s block in the flat residue table
+    /// ([`Self::raw_residues`]). For uniform-width layouts this is
+    /// `sym << width`; shuffled or mixed-width maps get whatever the
+    /// construction packed.
+    #[inline]
+    pub fn residue_offset(&self, sym: usize) -> u32 {
+        self.syms[sym].residue_offset
+    }
+
+    /// The flat per-symbol residue table: symbol `sym` holding content `x`
+    /// contributes `raw_residues()[residue_offset(sym) + x]`. Raw view for
+    /// the lane-parallel (SoA/SIMD) trial kernels in `muse-faultsim`,
+    /// whose gather loops index the table directly instead of calling
+    /// [`Self::residue`] per lane.
+    #[inline]
+    pub fn raw_residues(&self) -> &[u64] {
+        &self.residues
+    }
+
+    /// The fused classify table, indexed by remainder `[0, m)`: either
+    /// [`Self::NO_ENTRY`] or `(transition offset << 12) | symbol` — the raw
+    /// form behind [`Self::classify`], exposed for the lane kernels' block
+    /// probes.
+    #[inline]
+    pub fn raw_elc_fused(&self) -> &[u32] {
+        &self.elc_fused
+    }
+
+    /// The flat content-transition table behind [`Self::correct`]: a fused
+    /// entry `packed` corrects content `v` to
+    /// `raw_transitions()[(packed >> 12) + v]`, with
+    /// [`Self::NO_TRANSITION`] marking an escaping (rejected) correction.
+    #[inline]
+    pub fn raw_transitions(&self) -> &[u16] {
+        &self.transitions
     }
 
     /// Syndrome delta caused by XOR-flipping `pattern` onto symbol `sym`

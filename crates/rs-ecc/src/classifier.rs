@@ -13,17 +13,18 @@
 
 use muse_core::{Classifier, Entropy, Strike, WordRead};
 
-use crate::RsMemoryCode;
+use crate::{CombinedContext, RsMemoryCode};
 
 /// The resolved RS decode context for one erased-device set.
 #[derive(Debug, Clone)]
 pub enum RsContext {
     /// Empty erased set: plain PGZ error location.
     Healthy,
-    /// Degraded operation: the erased RS symbol positions (sorted,
-    /// deduplicated), decoded around with combined error-and-erasure
-    /// decoding.
-    Degraded(Vec<usize>),
+    /// Degraded operation: the hoisted combined-decode constants for the
+    /// erased RS symbol set (erasure locator `Γ(x)`, inverse syndrome
+    /// Vandermonde, residual rows — see [`CombinedContext`]), so every
+    /// degraded read decodes without re-deriving them.
+    Degraded(CombinedContext),
 }
 
 /// Error-domain classification backend for a Reed-Solomon fleet code.
@@ -123,7 +124,8 @@ impl Classifier for RsClassifier<'_> {
         let mut syms: Vec<usize> = erased.iter().map(|&d| self.symbol_of_device(d)).collect();
         syms.sort_unstable();
         syms.dedup();
-        (syms.len() <= self.parity).then_some(RsContext::Degraded(syms))
+        (syms.len() <= self.parity)
+            .then(|| RsContext::Degraded(self.code.inner().combined_context(&syms)))
     }
 
     /// Classifies one RS word read. Strikes on erased symbols are
@@ -214,11 +216,20 @@ impl Classifier for RsClassifier<'_> {
                     }
                 }
             }
-            RsContext::Degraded(erased) => {
+            RsContext::Degraded(combined) => {
+                if errors.is_empty() {
+                    // All-zero syndromes: the erasure fills are all zero
+                    // and every data symbol reads back clean.
+                    return WordRead::Correct;
+                }
                 let synd = code.error_syndromes(errors);
-                match code.inner().decode_combined(&synd[..self.parity], erased) {
+                match code
+                    .inner()
+                    .decode_combined_ctx(&synd[..self.parity], combined)
+                {
                     None => WordRead::Due,
-                    Some(corrections) => {
+                    Some(located) => {
+                        let corrections = located.corrections();
                         // Residual: injected errors minus the applied
                         // corrections (erasure fills + any located error).
                         let clean = |pos: usize| {

@@ -30,4 +30,4 @@ mod rs;
 
 pub use classifier::{RsClassifier, RsContext};
 pub use memory::{RsFastLocate, RsMemoryCode, RsMemoryDecoded};
-pub use rs::{RsCode, RsDecoded, RsError, RsLocated};
+pub use rs::{CombinedContext, RsCode, RsCorrections, RsDecoded, RsError, RsLocated};

@@ -39,12 +39,16 @@ pub struct RsMemoryCode {
     n_bits: u32,
     data_bits: u32,
     top_symbol_bits: u32,
-    /// `α^(l·p)` for symbol position `p` and syndrome index `l ∈ [0, 2t)`,
-    /// flattened as `err_pows[p · 2t + l]` — the incremental-syndrome
-    /// table: because the code is linear, the syndromes of a corrupted
-    /// codeword equal the syndromes of its error pattern alone,
-    /// `S_l = Σ_p e_p · α^(l·p)`.
-    err_pows: Vec<u16>,
+    /// The incremental-syndrome table, in the log domain:
+    /// `log α^(l·p) = l·p mod (2^s − 1)` for symbol position `p` and
+    /// syndrome index `l ∈ [0, 2t)`, flattened as
+    /// `err_pow_logs[p · 2t + l]`. Because the code is linear, the
+    /// syndromes of a corrupted codeword equal the syndromes of its error
+    /// pattern alone, `S_l = Σ_p e_p · α^(l·p)` — and with the powers'
+    /// logs precomputed, each term is a single antilog lookup
+    /// (`S_l ^= α^(err_pow_logs[...] + log e_p)`) instead of a full
+    /// table multiply.
+    err_pow_logs: Vec<u16>,
 }
 
 /// Outcome of syndrome-domain single-symbol location (t = 1 codes): the
@@ -107,9 +111,12 @@ impl RsMemoryCode {
         let rs = RsCode::new(symbol_bits, n_sym, k_sym)?;
         let rem = n_bits % symbol_bits;
         let gf = rs.field();
-        let err_pows = (0..n_sym)
+        let err_pow_logs = (0..n_sym)
             .flat_map(|p| (0..2 * t).map(move |l| (p, l)))
-            .map(|(p, l)| gf.alpha_pow((l * p) as i64))
+            .map(|(p, l)| {
+                let pow = gf.alpha_pow((l * p) as i64);
+                gf.log(pow).expect("powers of α are nonzero") as u16
+            })
             .collect();
         Ok(Self {
             rs,
@@ -117,7 +124,7 @@ impl RsMemoryCode {
             n_bits,
             data_bits: n_bits - 2 * t as u32 * symbol_bits,
             top_symbol_bits: if rem == 0 { symbol_bits } else { rem },
-            err_pows,
+            err_pow_logs,
         })
     }
 
@@ -259,9 +266,10 @@ impl RsMemoryCode {
             if value == 0 {
                 continue;
             }
-            let pows = &self.err_pows[sym * r..(sym + 1) * r];
-            for (s, &pow) in synd[..r].iter_mut().zip(pows) {
-                *s ^= gf.mul(value, pow);
+            let lv = gf.log(value).expect("nonzero value");
+            let logs = &self.err_pow_logs[sym * r..(sym + 1) * r];
+            for (s, &lp) in synd[..r].iter_mut().zip(logs) {
+                *s ^= gf.exp_sum(lv, lp as u32);
             }
         }
         synd

@@ -479,43 +479,162 @@ impl RsCode {
     /// ```
     pub fn decode_combined(&self, synd: &[u16], erasures: &[usize]) -> Option<Vec<(usize, u16)>> {
         assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
-        let nu = erasures.len();
-        if nu == 0 {
+        if erasures.is_empty() {
             // No erasures: plain error location (clean words included).
             if synd.iter().all(|&s| s == 0) {
                 return Some(Vec::new());
             }
             return self.locate_errors(synd);
         }
+        let ctx = self.combined_context(erasures);
+        self.decode_combined_ctx(synd, &ctx)
+            .map(|c| c.corrections().to_vec())
+    }
+
+    /// Precomputes every per-erasure-set constant of
+    /// [`Self::decode_combined`] — the erasure locator `Γ(x)`, the inverse
+    /// of the leading `ν × ν` syndrome Vandermonde, and the residual-check
+    /// rows `α^(l·p_i)` — so repeated degraded reads against the same
+    /// erased set ([`Self::decode_combined_ctx`]) do none of that work.
+    /// `RsClassifier::resolve` builds one of these per degraded context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `erasures` is empty, has positions out of range or
+    /// duplicated, or holds more than `2t` positions.
+    pub fn combined_context(&self, erasures: &[usize]) -> CombinedContext {
+        let nu = erasures.len();
+        assert!(nu >= 1, "combined_context needs at least one erasure");
+        assert!(nu <= 2 * self.t, "more erasures than parity symbols");
+        for (i, &p) in erasures.iter().enumerate() {
+            assert!(p < self.n, "erasure position {p} out of range");
+            assert!(
+                !erasures[..i].contains(&p),
+                "duplicate erasure position {p}"
+            );
+        }
         let gf = &self.gf;
         // Erasure locator Γ(x) = Π (1 + X_i·x), X_i = α^{p_i} (char 2).
         let mut gamma = vec![1u16];
         for &p in erasures {
-            assert!(p < self.n, "erasure position {p} out of range");
             gamma = gf.poly_mul(&gamma, &[1, gf.alpha_pow(p as i64)]);
         }
-        // Modified syndromes: the erasure contributions vanish for j ≥ ν.
-        let modified: Vec<u16> = (nu..2 * self.t)
-            .map(|j| {
-                gamma
+        // Invert the leading ν × ν Vandermonde V[l][i] = α^(l·p_i) by
+        // Gauss-Jordan on [V | I] (nonsingular: the α^{p_i} are distinct).
+        let mut mat: Vec<Vec<u16>> = (0..nu)
+            .map(|l| {
+                let mut row: Vec<u16> = erasures
                     .iter()
-                    .enumerate()
-                    .fold(0u16, |acc, (k, &g)| gf.add(acc, gf.mul(g, synd[j - k])))
+                    .map(|&p| gf.alpha_pow((l * p) as i64))
+                    .collect();
+                row.extend((0..nu).map(|i| u16::from(i == l)));
+                row
             })
             .collect();
-        if modified.iter().all(|&x| x == 0) {
-            // No errors outside the erased set (Ξ = 0 is equivalent to the
-            // residual checks of the plain solve passing).
-            let mags = self.erasure_magnitudes(synd, erasures)?;
-            return Some(erasures.iter().copied().zip(mags).collect());
+        for col in 0..nu {
+            let pivot = (col..nu)
+                .find(|&r| mat[r][col] != 0)
+                .expect("distinct locators make the Vandermonde nonsingular");
+            mat.swap(col, pivot);
+            let inv = gf.inv(mat[col][col]);
+            for v in mat[col].iter_mut() {
+                *v = gf.mul(*v, inv);
+            }
+            for r in 0..nu {
+                if r != col && mat[r][col] != 0 {
+                    let factor = mat[r][col];
+                    let pivot_row = mat[col].clone();
+                    for (cell, &p) in mat[r].iter_mut().zip(&pivot_row) {
+                        *cell = gf.add(*cell, gf.mul(factor, p));
+                    }
+                }
+            }
         }
-        if 2 * self.t - nu < 2 {
+        let vinv: Vec<u16> = (0..nu).flat_map(|r| mat[r][nu..].to_vec()).collect();
+        // Residual-check rows for the 2t − ν unconsumed syndromes.
+        let check_rows: Vec<u16> = (nu..2 * self.t)
+            .flat_map(|l| erasures.iter().map(move |&p| gf.alpha_pow((l * p) as i64)))
+            .collect();
+        CombinedContext {
+            positions: erasures.to_vec(),
+            gamma,
+            vinv,
+            check_rows,
+        }
+    }
+
+    /// [`Self::decode_combined`] against a precomputed
+    /// [`CombinedContext`]: identical classifications, with the erasure
+    /// locator, inverse Vandermonde, and residual rows hoisted out of the
+    /// per-read path and the correction list returned in fixed-capacity
+    /// form (no allocation on the erasure-only fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synd.len() != 2t`.
+    pub fn decode_combined_ctx(
+        &self,
+        synd: &[u16],
+        ctx: &CombinedContext,
+    ) -> Option<RsCorrections> {
+        assert_eq!(synd.len(), 2 * self.t, "expected {} syndromes", 2 * self.t);
+        let gf = &self.gf;
+        let nu = ctx.positions.len();
+        // Modified syndromes Ξ_j (j ≥ ν): erasure contributions vanish.
+        let mut modified = [0u16; 4];
+        let n_modified = 2 * self.t - nu;
+        let mut all_zero = true;
+        for (slot, j) in modified[..n_modified].iter_mut().zip(nu..2 * self.t) {
+            let mut acc = 0u16;
+            for (k, &g) in ctx.gamma.iter().enumerate() {
+                acc = gf.add(acc, gf.mul(g, synd[j - k]));
+            }
+            *slot = acc;
+            all_zero &= acc == 0;
+        }
+        if all_zero {
+            // No errors outside the erased set: the precomputed inverse
+            // Vandermonde gives the erasure fills directly (Ξ = 0 is
+            // equivalent to the residual checks of the plain solve
+            // passing, but the hoisted rows re-check the trailing
+            // equations all the same).
+            let mut out = RsCorrections::default();
+            if synd.iter().all(|&s| s == 0) {
+                // Clean read under erasure: all-zero fills.
+                for (i, &p) in ctx.positions.iter().enumerate() {
+                    out.pairs[i] = (p, 0);
+                }
+                out.len = nu as u8;
+                return Some(out);
+            }
+            for (i, &p) in ctx.positions.iter().enumerate() {
+                let mut mag = 0u16;
+                for (j, &s) in synd[..nu].iter().enumerate() {
+                    mag = gf.add(mag, gf.mul(ctx.vinv[i * nu + j], s));
+                }
+                out.pairs[i] = (p, mag);
+            }
+            out.len = nu as u8;
+            for (l, &s) in synd.iter().enumerate().skip(nu) {
+                let row = &ctx.check_rows[(l - nu) * nu..(l - nu) * nu + nu];
+                let mut acc = s;
+                for (&r, &(_, e)) in row.iter().zip(&out.pairs[..nu]) {
+                    acc = gf.add(acc, gf.mul(e, r));
+                }
+                if acc != 0 {
+                    return None;
+                }
+            }
+            return Some(out);
+        }
+        if n_modified < 2 {
             // Errors present but no remaining correction capacity.
             return None;
         }
         // t ≤ 2 leaves capacity for exactly one error: a genuine single
         // error at q makes every Ξ_j = C·α^{q·j} nonzero with constant
         // consecutive ratio α^q.
+        let modified = &modified[..n_modified];
         if modified.contains(&0) {
             return None;
         }
@@ -524,10 +643,10 @@ impl RsCode {
             return None;
         }
         let q = gf.log(ratio)? as usize;
-        if q >= self.n || erasures.contains(&q) {
+        if q >= self.n || ctx.positions.contains(&q) {
             return None;
         }
-        let mut positions: Vec<usize> = erasures.to_vec();
+        let mut positions: Vec<usize> = ctx.positions.clone();
         positions.push(q);
         // The full Vandermonde solve re-checks any remaining syndrome
         // equations; a zero "error" magnitude is inconsistent with Ξ ≠ 0.
@@ -535,45 +654,101 @@ impl RsCode {
         if *mags.last().expect("ν + 1 ≥ 1 magnitudes") == 0 {
             return None;
         }
-        Some(positions.into_iter().zip(mags).collect())
+        let mut out = RsCorrections::default();
+        for (i, (&p, &m)) in positions.iter().zip(&mags).enumerate() {
+            out.pairs[i] = (p, m);
+        }
+        out.len = positions.len() as u8;
+        Some(out)
     }
 
     fn locate_t2(&self, synd: &[u16]) -> Option<RsLocated> {
         let gf = &self.gf;
         let (s0, s1, s2, s3) = (synd[0], synd[1], synd[2], synd[3]);
-        // ν = 2: solve [S0 S1; S1 S2]·[σ2 σ1]ᵀ = [S2 S3]ᵀ.
-        let det = gf.add(gf.mul(s0, s2), gf.mul(s1, s1));
+        // ν = 2: solve [S0 S1; S1 S2]·[σ2 σ1]ᵀ = [S2 S3]ᵀ. The three 2×2
+        // minors below (det = S0S2+S1², A = S0S3+S1S2, B = S1S3+S2²) come
+        // from four logs plus six doubled-antilog lookups when every
+        // syndrome is nonzero — the overwhelmingly common two-error shape —
+        // with the general zero-checked products as the rare fallback.
+        let (det, a, b) = if s0 != 0 && s1 != 0 && s2 != 0 && s3 != 0 {
+            let l0 = gf.log(s0).expect("nonzero");
+            let l1 = gf.log(s1).expect("nonzero");
+            let l2 = gf.log(s2).expect("nonzero");
+            let l3 = gf.log(s3).expect("nonzero");
+            (
+                gf.exp_sum(l0, l2) ^ gf.exp_sum(l1, l1),
+                gf.exp_sum(l0, l3) ^ gf.exp_sum(l1, l2),
+                gf.exp_sum(l1, l3) ^ gf.exp_sum(l2, l2),
+            )
+        } else {
+            (
+                gf.add(gf.mul(s0, s2), gf.mul(s1, s1)),
+                gf.add(gf.mul(s0, s3), gf.mul(s1, s2)),
+                gf.add(gf.mul(s1, s3), gf.mul(s2, s2)),
+            )
+        };
         if det != 0 {
-            let sigma1 = gf.div(gf.add(gf.mul(s0, s3), gf.mul(s1, s2)), det);
-            let sigma2 = gf.div(gf.add(gf.mul(s1, s3), gf.mul(s2, s2)), det);
-            // Λ(x) = 1 + σ1·x + σ2·x²; roots at X_i⁻¹ = α^{-pos}.
-            let mut positions = [0usize; 2];
-            let mut n_pos = 0usize;
-            for pos in 0..self.n {
-                let x = gf.alpha_pow(-(pos as i64));
-                let v = gf.add(gf.add(1, gf.mul(sigma1, x)), gf.mul(sigma2, gf.mul(x, x)));
-                if v == 0 {
-                    if n_pos == 2 {
-                        return None;
-                    }
-                    positions[n_pos] = pos;
-                    n_pos += 1;
+            // Λ(x) = 1 + σ1·x + σ2·x² (σ1 = A/det, σ2 = B/det) must have
+            // two distinct in-range roots (the inverse locators
+            // X_i⁻¹ = α^{-pos}). Closed form instead of a per-position
+            // Chien scan: a degenerate Λ (σ2 = 0: degree < 2; σ1 = 0: a
+            // repeated root, since squaring is bijective in char 2) never
+            // has two distinct roots, and otherwise the substitution
+            // x = (σ1/σ2)·y normalizes it to y² + y = c with
+            // c = σ2/σ1² = B·det/A², which the field's precomputed
+            // half-trace table solves in O(1) (`Gf::quad_solve`);
+            // Tr(c) = 1 means Λ is irreducible. Everything else is
+            // exponent arithmetic in the log domain:
+            // pos_i = −log((A/B)·y_i) = log B − log A − log y_i.
+            if a == 0 || b == 0 {
+                return None;
+            }
+            let la = gf.log(a).expect("nonzero") as i64;
+            let lb = gf.log(b).expect("nonzero") as i64;
+            let ldet = gf.log(det).expect("nonzero") as i64;
+            // Every exponent below is bounded in [0, 4·order) by
+            // construction (sums/differences of at most three reduced
+            // logs), so two conditional subtractions replace the general
+            // modular reduction — no integer division on the hot path.
+            let order = gf.size() as i64 - 1;
+            let red = |mut e: i64| -> u32 {
+                debug_assert!((0..4 * order).contains(&e));
+                if e >= 2 * order {
+                    e -= 2 * order;
                 }
-            }
-            if n_pos != 2 {
+                if e >= order {
+                    e -= order;
+                }
+                e as u32
+            };
+            let c = gf.exp_at(red(lb + ldet - 2 * la + 2 * order));
+            let y = gf.quad_solve(c)?;
+            // c ≠ 0 (σ2 ≠ 0), so y ∉ {0, 1} and both roots are nonzero.
+            let ly1 = gf.log(y).expect("y ∉ {0, 1}") as i64;
+            let ly2 = gf.log(y ^ 1).expect("y ∉ {0, 1}") as i64;
+            let p1 = red(lb - la - ly1 + 2 * order) as usize;
+            let p2 = red(lb - la - ly2 + 2 * order) as usize;
+            if p1 >= self.n || p2 >= self.n {
+                // A root beyond the (shortened) length is not a codeword
+                // position: detected-uncorrectable.
                 return None;
             }
-            let (x1, x2) = (
-                gf.alpha_pow(positions[0] as i64),
-                gf.alpha_pow(positions[1] as i64),
-            );
+            let (p1, p2) = (p1.min(p2), p1.max(p2));
+            let (x1, x2) = (gf.exp_at(p1 as u32), gf.exp_at(p2 as u32));
             // e1 + e2 = S0; e1·X1 + e2·X2 = S1.
-            let e1 = gf.div(gf.add(s1, gf.mul(s0, x2)), gf.add(x1, x2));
-            let e2 = gf.add(s0, e1);
-            if e1 == 0 || e2 == 0 {
+            let num = gf.add(s1, gf.mul(s0, x2));
+            if num == 0 {
+                // e1 = 0: fewer than two genuine errors.
                 return None;
             }
-            return Some(RsLocated::two(positions[0], e1, positions[1], e2));
+            let lnum = gf.log(num).expect("nonzero");
+            let lden = gf.log(gf.add(x1, x2)).expect("p1 ≠ p2");
+            let e1 = gf.exp_at(lnum + order as u32 - lden);
+            let e2 = gf.add(s0, e1);
+            if e2 == 0 {
+                return None;
+            }
+            return Some(RsLocated::two(p1, e1, p2, e2));
         }
         // ν = 1: S_l = e·α^{l·pos} for all four syndromes.
         if s0 == 0 {
@@ -588,6 +763,49 @@ impl RsCode {
             return None;
         }
         Some(RsLocated::one(pos, s0))
+    }
+}
+
+/// The precomputed per-erasure-set constants of combined decoding: the
+/// erasure locator `Γ(x)`, the inverse of the leading `ν × ν` syndrome
+/// Vandermonde, and the residual-check rows. Built once per degraded
+/// context by [`RsCode::combined_context`]; consumed per read by
+/// [`RsCode::decode_combined_ctx`].
+#[derive(Debug, Clone)]
+pub struct CombinedContext {
+    /// The erased symbol positions, in the order given at construction.
+    positions: Vec<usize>,
+    /// `Γ(x) = Π (1 + α^{p_i}·x)` coefficients, low-degree-first (ν + 1).
+    gamma: Vec<u16>,
+    /// Row-major inverse of `V[l][i] = α^(l·p_i)`, `l, i < ν`:
+    /// `mags = V⁻¹ · synd[..ν]`.
+    vinv: Vec<u16>,
+    /// Rows `α^(l·p_i)` for `l = ν..2t`: the trailing syndrome equations
+    /// the solved magnitudes must also satisfy.
+    check_rows: Vec<u16>,
+}
+
+impl CombinedContext {
+    /// The erased symbol positions this context was built for.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+}
+
+/// The correction list of a combined error-and-erasure decode, in
+/// fixed-capacity form (`ν ≤ 2t ≤ 4` erasure fills plus at most one
+/// located error — no allocation on the degraded hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RsCorrections {
+    pairs: [(usize, u16); 5],
+    len: u8,
+}
+
+impl RsCorrections {
+    /// The `(position, xor-magnitude)` corrections (erasure fills — zero
+    /// magnitudes included — plus any located error).
+    pub fn corrections(&self) -> &[(usize, u16)] {
+        &self.pairs[..self.len as usize]
     }
 }
 
